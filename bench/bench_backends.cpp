@@ -1,0 +1,138 @@
+// Backends and runtime support: NuSMV emission / parsing / checking
+// round-trip cost, online-monitor feed throughput, and valid-trace sampling
+// throughput.  (Beyond the paper's artifacts; documents the cost of the §5
+// delegation path and of the runtime layer.)
+#include "bench_common.hpp"
+
+#include "fsm/ops.hpp"
+#include "ltlf/parser.hpp"
+#include "shelley/automata.hpp"
+#include "shelley/monitor.hpp"
+#include "shelley/sampler.hpp"
+#include "smv/parser.hpp"
+#include "smv/smv.hpp"
+#include "upy/parser.hpp"
+
+namespace {
+
+using namespace shelley;
+
+void print_artifact() {
+  shelley::bench::artifact_banner(
+      "backends: NuSMV round trip + runtime monitor/sampler");
+  core::Verifier verifier;
+  verifier.add_source(examples::kValveSource);
+  verifier.add_source(examples::kBadSectorSource);
+  const core::ClassSpec* bad = verifier.find_class("BadSector");
+  DiagnosticEngine diagnostics;
+  const auto behaviors =
+      core::extract_behaviors(*bad, verifier.symbols(), diagnostics);
+  const core::SystemModel model = core::build_system_model(
+      *bad, behaviors, verifier.symbols(), diagnostics);
+  const fsm::Dfa dfa = fsm::minimize(
+      fsm::determinize(model.nfa, model.full_alphabet()));
+  smv::SmvModel smv_model =
+      smv::from_dfa(dfa, verifier.symbols(), "bad_sector");
+  const std::string text = smv::emit(smv_model);
+  const smv::SmvModel parsed = smv::parse_model(text);
+  std::printf("emitted %zu bytes of NuSMV; parsed back %zu states, "
+              "%zu events\n",
+              text.size(), parsed.state_names.size(),
+              parsed.event_names.size());
+  shelley::bench::end_banner();
+}
+
+struct ValveFixture {
+  core::Verifier verifier;
+  const core::ClassSpec* valve = nullptr;
+
+  ValveFixture() {
+    verifier.add_source(examples::kValveSource);
+    valve = verifier.find_class("Valve");
+  }
+};
+
+void BM_SmvEmit(benchmark::State& state) {
+  ValveFixture fixture;
+  const fsm::Dfa dfa = fsm::minimize(fsm::determinize(
+      core::usage_nfa(*fixture.valve, fixture.verifier.symbols())));
+  const smv::SmvModel model =
+      smv::from_dfa(dfa, fixture.verifier.symbols(), "valve");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(smv::emit(model));
+  }
+}
+BENCHMARK(BM_SmvEmit);
+
+void BM_SmvParse(benchmark::State& state) {
+  ValveFixture fixture;
+  const fsm::Dfa dfa = fsm::minimize(fsm::determinize(
+      core::usage_nfa(*fixture.valve, fixture.verifier.symbols())));
+  const std::string text =
+      smv::emit(smv::from_dfa(dfa, fixture.verifier.symbols(), "valve"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(smv::parse_model(text));
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations() * text.size()));
+}
+BENCHMARK(BM_SmvParse);
+
+void BM_SmvCheckLtlspec(benchmark::State& state) {
+  ValveFixture fixture;
+  SymbolTable& table = fixture.verifier.symbols();
+  const fsm::Dfa dfa = fsm::minimize(
+      fsm::determinize(core::usage_nfa(*fixture.valve, table)));
+  const smv::SmvModel model = smv::from_dfa(dfa, table, "valve");
+  const ltlf::Formula claim = ltlf::parse("G (open -> F close)", table);
+  for (auto _ : state) {
+    SymbolTable fresh;
+    benchmark::DoNotOptimize(smv::check_ltlspec(model, claim, fresh));
+  }
+}
+BENCHMARK(BM_SmvCheckLtlspec);
+
+void BM_MonitorFeed(benchmark::State& state) {
+  ValveFixture fixture;
+  core::Monitor monitor(*fixture.valve, fixture.verifier.symbols());
+  const char* cycle[] = {"test", "open", "close"};
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(monitor.feed(cycle[i % 3]));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MonitorFeed);
+
+void BM_MonitorConstruction(benchmark::State& state) {
+  ValveFixture fixture;
+  for (auto _ : state) {
+    SymbolTable table;
+    benchmark::DoNotOptimize(core::Monitor(*fixture.valve, table));
+  }
+}
+BENCHMARK(BM_MonitorConstruction);
+
+void BM_SamplerSample(benchmark::State& state) {
+  ValveFixture fixture;
+  core::TraceSampler sampler(*fixture.valve, fixture.verifier.symbols(),
+                             12345);
+  std::size_t calls = 0;
+  for (auto _ : state) {
+    const auto trace = sampler.sample(32);
+    calls += trace.size();
+    benchmark::DoNotOptimize(trace);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(calls));
+}
+BENCHMARK(BM_SamplerSample);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_artifact();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

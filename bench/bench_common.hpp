@@ -1,0 +1,84 @@
+// Shared helpers for the benchmark harness: each bench binary first
+// *regenerates* its paper artifact (table/figure/error message) on stdout,
+// then runs its google-benchmark timings.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "paper_sources.hpp"
+#include "shelley/verifier.hpp"
+
+namespace shelley::bench {
+
+/// Builds the source text of a synthetic @sys class with `ops` operations.
+/// Each operation returns the next operation (a ring), so the usage
+/// automaton is a cycle; `exits_per_op` > 1 adds branching returns.
+inline std::string synthetic_class(std::size_t ops,
+                                   std::size_t exits_per_op = 1,
+                                   const std::string& name = "Ring") {
+  std::string out = "@sys\nclass " + name + ":\n";
+  for (std::size_t i = 0; i < ops; ++i) {
+    const std::string op = "op" + std::to_string(i);
+    const std::string next = "op" + std::to_string((i + 1) % ops);
+    out += i == 0 ? "    @op_initial_final\n" : "    @op_final\n";
+    out += "    def " + op + "(self):\n";
+    if (exits_per_op <= 1) {
+      out += "        return [\"" + next + "\"]\n";
+    } else {
+      out += "        if x:\n";
+      for (std::size_t e = 0; e + 1 < exits_per_op; ++e) {
+        const std::string target =
+            "op" + std::to_string((i + 1 + e) % ops);
+        out += "            return [\"" + target + "\"]\n";
+        if (e + 2 < exits_per_op) out += "        elif y:\n";
+      }
+      out += "        else:\n";
+      out += "            return [\"" + next + "\"]\n";
+    }
+  }
+  return out;
+}
+
+/// A composite class driving `subsystems` Valves through a full cycle each.
+inline std::string synthetic_composite(std::size_t subsystems,
+                                       const std::string& name = "Farm") {
+  std::string fields = "[";
+  for (std::size_t i = 0; i < subsystems; ++i) {
+    if (i != 0) fields += ", ";
+    fields += "\"v" + std::to_string(i) + "\"";
+  }
+  fields += "]";
+
+  std::string out = "@sys(" + fields + ")\nclass " + name + ":\n";
+  out += "    def __init__(self):\n";
+  for (std::size_t i = 0; i < subsystems; ++i) {
+    out += "        self.v" + std::to_string(i) + " = Valve()\n";
+  }
+  out += "    @op_initial_final\n    def run(self):\n";
+  for (std::size_t i = 0; i < subsystems; ++i) {
+    const std::string v = "self.v" + std::to_string(i);
+    out += "        match " + v + ".test():\n";
+    out += "            case [\"open\"]:\n";
+    out += "                " + v + ".open()\n";
+    out += "                " + v + ".close()\n";
+    out += "            case [\"clean\"]:\n";
+    out += "                " + v + ".clean()\n";
+  }
+  out += "        return [\"run\"]\n";
+  return out;
+}
+
+/// Prints a banner separating the regenerated artifact from the timings.
+inline void artifact_banner(const char* what) {
+  std::printf("==== regenerated artifact: %s ====\n", what);
+}
+
+inline void end_banner() {
+  std::printf("==== timings ====\n");
+  std::fflush(stdout);
+}
+
+}  // namespace shelley::bench

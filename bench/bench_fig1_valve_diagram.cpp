@@ -1,0 +1,79 @@
+// Figure 1: the Valve diagram automatically generated from annotations.
+// Regenerates the DOT rendering, then times each pipeline stage (parse,
+// extract, usage automaton, diagram emission).
+#include "bench_common.hpp"
+
+#include "fsm/ops.hpp"
+#include "upy/parser.hpp"
+#include "shelley/automata.hpp"
+#include "viz/dot.hpp"
+
+namespace {
+
+using namespace shelley;
+
+void print_figure1() {
+  shelley::bench::artifact_banner("Figure 1 -- Valve diagram (DOT)");
+  core::Verifier verifier;
+  verifier.add_source(examples::kValveSource);
+  std::printf("%s",
+              viz::dot_class_diagram(*verifier.find_class("Valve")).c_str());
+  shelley::bench::end_banner();
+}
+
+void BM_ParseValve(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(upy::parse_module(examples::kValveSource));
+  }
+}
+BENCHMARK(BM_ParseValve);
+
+void BM_ExtractValveSpec(benchmark::State& state) {
+  const upy::Module module = upy::parse_module(examples::kValveSource);
+  for (auto _ : state) {
+    DiagnosticEngine diagnostics;
+    benchmark::DoNotOptimize(
+        core::extract_class_spec(module.classes.at(0), diagnostics));
+  }
+}
+BENCHMARK(BM_ExtractValveSpec);
+
+void BM_ValveUsageAutomaton(benchmark::State& state) {
+  core::Verifier verifier;
+  verifier.add_source(examples::kValveSource);
+  const core::ClassSpec* valve = verifier.find_class("Valve");
+  for (auto _ : state) {
+    SymbolTable table;
+    const fsm::Nfa nfa = core::usage_nfa(*valve, table);
+    benchmark::DoNotOptimize(fsm::minimize(fsm::determinize(nfa)));
+  }
+}
+BENCHMARK(BM_ValveUsageAutomaton);
+
+void BM_EmitValveDiagram(benchmark::State& state) {
+  core::Verifier verifier;
+  verifier.add_source(examples::kValveSource);
+  const core::ClassSpec* valve = verifier.find_class("Valve");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(viz::dot_class_diagram(*valve));
+  }
+}
+BENCHMARK(BM_EmitValveDiagram);
+
+void BM_FullPipelineValve(benchmark::State& state) {
+  for (auto _ : state) {
+    core::Verifier verifier;
+    verifier.add_source(examples::kValveSource);
+    benchmark::DoNotOptimize(verifier.verify_all());
+  }
+}
+BENCHMARK(BM_FullPipelineValve);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure1();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

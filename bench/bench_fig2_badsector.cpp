@@ -1,0 +1,128 @@
+// Figure 2 / §2.2: verification of BadSector, regenerating both error
+// messages (INVALID SUBSYSTEM USAGE with counterexample and subsystem
+// detail; FAIL TO MEET REQUIREMENT with formula and counterexample), then
+// timing the composite checks.
+#include "bench_common.hpp"
+
+#include "fsm/ops.hpp"
+#include "ltlf/automaton.hpp"
+#include "ltlf/parser.hpp"
+#include "shelley/automata.hpp"
+#include "shelley/checker.hpp"
+#include "viz/dot.hpp"
+
+namespace {
+
+using namespace shelley;
+
+void print_figure2() {
+  shelley::bench::artifact_banner(
+      "Figure 2 / Section 2.2 -- BadSector verification report");
+  core::Verifier verifier;
+  verifier.add_source(examples::kValveSource);
+  verifier.add_source(examples::kBadSectorSource);
+  const core::Report report = verifier.verify_all();
+  std::printf("%s", report.render(verifier.symbols()).c_str());
+  shelley::bench::end_banner();
+}
+
+struct Fixture {
+  core::Verifier verifier;
+  const core::ClassSpec* bad_sector = nullptr;
+  core::ClassLookup lookup;
+
+  Fixture() {
+    verifier.add_source(examples::kValveSource);
+    verifier.add_source(examples::kBadSectorSource);
+    bad_sector = verifier.find_class("BadSector");
+    lookup = [this](const std::string& name) {
+      return verifier.find_class(name);
+    };
+  }
+};
+
+void BM_CheckComposite_BadSector(benchmark::State& state) {
+  Fixture fixture;
+  for (auto _ : state) {
+    DiagnosticEngine diagnostics;
+    benchmark::DoNotOptimize(core::check_composite(
+        *fixture.bad_sector, fixture.lookup, fixture.verifier.symbols(),
+        diagnostics));
+  }
+}
+BENCHMARK(BM_CheckComposite_BadSector);
+
+void BM_BuildSystemModel_BadSector(benchmark::State& state) {
+  Fixture fixture;
+  for (auto _ : state) {
+    DiagnosticEngine diagnostics;
+    const auto behaviors = core::extract_behaviors(
+        *fixture.bad_sector, fixture.verifier.symbols(), diagnostics);
+    benchmark::DoNotOptimize(core::build_system_model(
+        *fixture.bad_sector, behaviors, fixture.verifier.symbols(),
+        diagnostics));
+  }
+}
+BENCHMARK(BM_BuildSystemModel_BadSector);
+
+void BM_SubsystemInclusionCheck(benchmark::State& state) {
+  Fixture fixture;
+  DiagnosticEngine diagnostics;
+  SymbolTable& table = fixture.verifier.symbols();
+  const auto behaviors =
+      core::extract_behaviors(*fixture.bad_sector, table, diagnostics);
+  const core::SystemModel model = core::build_system_model(
+      *fixture.bad_sector, behaviors, table, diagnostics);
+  const auto alphabet = model.full_alphabet();
+  const fsm::Dfa system =
+      fsm::minimize(fsm::determinize(model.nfa, alphabet));
+  const core::ClassSpec* valve = fixture.verifier.find_class("Valve");
+  const fsm::Dfa usage =
+      fsm::minimize(fsm::determinize(core::usage_nfa(*valve, table, "a.")));
+  const fsm::Dfa monitor = fsm::extend_alphabet_ignore(usage, alphabet);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fsm::inclusion_witness(system, monitor));
+  }
+}
+BENCHMARK(BM_SubsystemInclusionCheck);
+
+void BM_ClaimCheck_WeakUntil(benchmark::State& state) {
+  Fixture fixture;
+  DiagnosticEngine diagnostics;
+  SymbolTable& table = fixture.verifier.symbols();
+  const auto behaviors =
+      core::extract_behaviors(*fixture.bad_sector, table, diagnostics);
+  const core::SystemModel model = core::build_system_model(
+      *fixture.bad_sector, behaviors, table, diagnostics);
+  std::set<Symbol> ops(model.op_symbols.begin(), model.op_symbols.end());
+  const fsm::Nfa projected = fsm::map_labels(model.nfa, [&](Symbol s) {
+    return ops.contains(s) ? Symbol{} : s;
+  });
+  const fsm::Dfa dfa =
+      fsm::minimize(fsm::determinize(projected, model.event_symbols));
+  const ltlf::Formula claim = ltlf::parse("(!a.open) W b.open", table);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ltlf::counterexample(dfa, claim));
+  }
+}
+BENCHMARK(BM_ClaimCheck_WeakUntil);
+
+void BM_FullReport_BadSector(benchmark::State& state) {
+  for (auto _ : state) {
+    core::Verifier verifier;
+    verifier.add_source(examples::kValveSource);
+    verifier.add_source(examples::kBadSectorSource);
+    const core::Report report = verifier.verify_all();
+    benchmark::DoNotOptimize(report.render(verifier.symbols()));
+  }
+}
+BENCHMARK(BM_FullReport_BadSector);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure2();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Figure 3 / §3.1: the Shelley model (method-dependency graph) of class
+// Sector.  Regenerates the graph and its DOT rendering, then times
+// dependency extraction and behavior extraction as the class grows.
+#include "bench_common.hpp"
+
+#include "shelley/automata.hpp"
+#include "shelley/graph.hpp"
+#include "upy/parser.hpp"
+#include "viz/dot.hpp"
+
+namespace {
+
+using namespace shelley;
+
+void print_figure3() {
+  shelley::bench::artifact_banner(
+      "Figure 3 -- Shelley model of class Sector (DOT)");
+  core::Verifier verifier;
+  verifier.add_source(examples::kValveSource);
+  verifier.add_source(examples::kSectorSource);
+  const core::ClassSpec* sector = verifier.find_class("Sector");
+  const core::DependencyGraph graph =
+      core::DependencyGraph::build(*sector, verifier.diagnostics());
+  std::printf("nodes=%zu edges=%zu\n%s", graph.nodes().size(),
+              graph.edges().size(),
+              viz::dot_dependency_graph(*sector, graph).c_str());
+  shelley::bench::end_banner();
+}
+
+void BM_DependencyGraph_Sector(benchmark::State& state) {
+  core::Verifier verifier;
+  verifier.add_source(examples::kValveSource);
+  verifier.add_source(examples::kSectorSource);
+  const core::ClassSpec* sector = verifier.find_class("Sector");
+  for (auto _ : state) {
+    DiagnosticEngine diagnostics;
+    benchmark::DoNotOptimize(
+        core::DependencyGraph::build(*sector, diagnostics));
+  }
+}
+BENCHMARK(BM_DependencyGraph_Sector);
+
+void BM_BehaviorExtraction_Sector(benchmark::State& state) {
+  core::Verifier verifier;
+  verifier.add_source(examples::kValveSource);
+  verifier.add_source(examples::kSectorSource);
+  const core::ClassSpec* sector = verifier.find_class("Sector");
+  for (auto _ : state) {
+    SymbolTable table;
+    DiagnosticEngine diagnostics;
+    benchmark::DoNotOptimize(
+        core::extract_behaviors(*sector, table, diagnostics));
+  }
+}
+BENCHMARK(BM_BehaviorExtraction_Sector);
+
+void BM_DependencyGraph_Scaling(benchmark::State& state) {
+  const std::string source = shelley::bench::synthetic_class(
+      static_cast<std::size_t>(state.range(0)), 2);
+  const upy::Module module = upy::parse_module(source);
+  DiagnosticEngine diagnostics;
+  const core::ClassSpec spec =
+      core::extract_class_spec(module.classes.at(0), diagnostics);
+  for (auto _ : state) {
+    DiagnosticEngine inner;
+    benchmark::DoNotOptimize(core::DependencyGraph::build(spec, inner));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_DependencyGraph_Scaling)
+    ->RangeMultiplier(4)
+    ->Range(4, 256)
+    ->Complexity();
+
+void BM_DotEmission_Sector(benchmark::State& state) {
+  core::Verifier verifier;
+  verifier.add_source(examples::kValveSource);
+  verifier.add_source(examples::kSectorSource);
+  const core::ClassSpec* sector = verifier.find_class("Sector");
+  DiagnosticEngine diagnostics;
+  const core::DependencyGraph graph =
+      core::DependencyGraph::build(*sector, diagnostics);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(viz::dot_dependency_graph(*sector, graph));
+  }
+}
+BENCHMARK(BM_DotEmission_Sector);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure3();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,150 @@
+// Figure 4 / Examples 1-3: the trace semantics and the behavior-inference
+// function.  Regenerates all three worked examples, then times the
+// semantics oracle, the inference, and simplification as programs grow.
+#include "bench_common.hpp"
+
+#include "ir/generator.hpp"
+#include "ir/inference.hpp"
+#include "ir/semantics.hpp"
+#include "rex/derivative.hpp"
+
+namespace {
+
+using namespace shelley;
+
+ir::Program example_program(SymbolTable& table) {
+  const Symbol a = table.intern("a");
+  const Symbol b = table.intern("b");
+  const Symbol c = table.intern("c");
+  return ir::loop(ir::seq(
+      ir::call(a),
+      ir::branch(ir::seq(ir::call(b), ir::ret()), ir::call(c))));
+}
+
+void print_figure4() {
+  shelley::bench::artifact_banner(
+      "Figure 4 -- Examples 1-3 (semantics & inference)");
+  SymbolTable table;
+  const ir::Program p = example_program(table);
+  const Symbol a = *table.lookup("a");
+  const Symbol b = *table.lookup("b");
+  const Symbol c = *table.lookup("c");
+
+  std::printf("p = %s\n", ir::to_string(p, table).c_str());
+  std::printf("Example 1: 0 |- [a, c, a, c] in p : %s\n",
+              ir::derives(p, {a, c, a, c}, ir::Status::kOngoing) ? "yes"
+                                                                 : "NO");
+  std::printf("Example 2: R |- [a, c, a, b] in p : %s\n",
+              ir::derives(p, {a, c, a, b}, ir::Status::kReturned) ? "yes"
+                                                                  : "NO");
+  const ir::Behavior behavior = ir::analyze(p);
+  std::printf("Example 3: [[p]] = (%s, {",
+              rex::to_string(behavior.ongoing, table).c_str());
+  for (std::size_t i = 0; i < behavior.returned.size(); ++i) {
+    if (i != 0) std::printf(", ");
+    std::printf("%s", rex::to_string(behavior.returned[i].regex,
+                                     table).c_str());
+  }
+  std::printf("})\n");
+  std::printf("infer(p) = %s\n",
+              rex::to_string(ir::infer(p), table).c_str());
+  std::printf("simplified = %s\n",
+              rex::to_string(ir::infer_simplified(p), table).c_str());
+  shelley::bench::end_banner();
+}
+
+void BM_DerivesExample1(benchmark::State& state) {
+  SymbolTable table;
+  const ir::Program p = example_program(table);
+  const Symbol a = *table.lookup("a");
+  const Symbol c = *table.lookup("c");
+  const Word word{a, c, a, c};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ir::derives(p, word, ir::Status::kOngoing));
+  }
+}
+BENCHMARK(BM_DerivesExample1);
+
+void BM_InferExample3(benchmark::State& state) {
+  SymbolTable table;
+  const ir::Program p = example_program(table);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ir::infer(p));
+  }
+}
+BENCHMARK(BM_InferExample3);
+
+void BM_Infer_ProgramSizeSweep(benchmark::State& state) {
+  SymbolTable table;
+  ir::GeneratorOptions options;
+  options.max_depth = static_cast<std::size_t>(state.range(0));
+  ir::ProgramGenerator generator(12345, options, table);
+  std::vector<ir::Program> programs;
+  std::size_t total_nodes = 0;
+  for (int i = 0; i < 32; ++i) {
+    programs.push_back(generator.next());
+    total_nodes += programs.back()->size();
+  }
+  for (auto _ : state) {
+    for (const ir::Program& p : programs) {
+      benchmark::DoNotOptimize(ir::infer(p));
+    }
+  }
+  state.counters["avg_nodes"] =
+      static_cast<double>(total_nodes) / static_cast<double>(programs.size());
+  state.SetComplexityN(static_cast<benchmark::IterationCount>(total_nodes));
+}
+BENCHMARK(BM_Infer_ProgramSizeSweep)->DenseRange(3, 11, 2)->Complexity();
+
+void BM_InferSimplified_ProgramSizeSweep(benchmark::State& state) {
+  SymbolTable table;
+  ir::GeneratorOptions options;
+  options.max_depth = static_cast<std::size_t>(state.range(0));
+  ir::ProgramGenerator generator(12345, options, table);
+  std::vector<ir::Program> programs;
+  for (int i = 0; i < 32; ++i) programs.push_back(generator.next());
+  for (auto _ : state) {
+    for (const ir::Program& p : programs) {
+      benchmark::DoNotOptimize(ir::infer_simplified(p));
+    }
+  }
+}
+BENCHMARK(BM_InferSimplified_ProgramSizeSweep)->DenseRange(3, 11, 2);
+
+void BM_Derives_WordLengthSweep(benchmark::State& state) {
+  SymbolTable table;
+  const ir::Program p = example_program(table);
+  const Symbol a = *table.lookup("a");
+  const Symbol c = *table.lookup("c");
+  Word word;
+  for (int i = 0; i < state.range(0); ++i) {
+    word.push_back(i % 2 == 0 ? a : c);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ir::in_language(p, word));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Derives_WordLengthSweep)
+    ->RangeMultiplier(2)
+    ->Range(4, 64)
+    ->Complexity();
+
+void BM_EnumerateTraces(benchmark::State& state) {
+  SymbolTable table;
+  const ir::Program p = example_program(table);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ir::enumerate_traces(
+        p, {static_cast<std::size_t>(state.range(0)), 4}));
+  }
+}
+BENCHMARK(BM_EnumerateTraces)->DenseRange(4, 12, 2);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure4();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,148 @@
+// Active model inference (L*): query complexity and wall-clock versus the
+// size of the target specification -- the hand-rolled counterpart of
+// LearnLib/AALpy benchmarks, with static extraction as the baseline.
+#include "bench_common.hpp"
+
+#include "fsm/ops.hpp"
+#include "learn/lstar.hpp"
+#include "shelley/automata.hpp"
+#include "upy/parser.hpp"
+
+namespace {
+
+using namespace shelley;
+
+fsm::Dfa ring_target(std::size_t ops, SymbolTable& table) {
+  core::Verifier verifier;
+  verifier.add_source(shelley::bench::synthetic_class(ops));
+  return fsm::minimize(fsm::determinize(
+      core::usage_nfa(*verifier.find_class("Ring"), table)));
+}
+
+void print_artifact() {
+  shelley::bench::artifact_banner(
+      "L* model inference vs static extraction");
+  core::Verifier verifier;
+  verifier.add_source(examples::kValveSource);
+  SymbolTable& table = verifier.symbols();
+  const fsm::Dfa target = fsm::minimize(fsm::determinize(
+      core::usage_nfa(*verifier.find_class("Valve"), table)));
+  learn::DfaTeacher teacher(target);
+  const learn::LearnResult result =
+      learn::learn_dfa(teacher, target.alphabet());
+  std::printf("Valve: learned %zu-state model in %zu rounds, "
+              "%zu membership + %zu equivalence queries; "
+              "equivalent to extraction: %s\n",
+              result.dfa.state_count(), result.rounds,
+              result.membership_queries, result.equivalence_queries,
+              fsm::equivalent(result.dfa, target) ? "yes" : "NO");
+  shelley::bench::end_banner();
+}
+
+void BM_LStar_RingSweep(benchmark::State& state) {
+  SymbolTable table;
+  const fsm::Dfa target =
+      ring_target(static_cast<std::size_t>(state.range(0)), table);
+  std::size_t queries = 0;
+  for (auto _ : state) {
+    learn::DfaTeacher teacher(target);
+    const learn::LearnResult result =
+        learn::learn_dfa(teacher, target.alphabet());
+    queries = result.membership_queries;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["membership_queries"] = static_cast<double>(queries);
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_LStar_RingSweep)->RangeMultiplier(2)->Range(2, 16)
+    ->Complexity();
+
+void BM_StaticExtraction_RingSweep(benchmark::State& state) {
+  // Baseline: the paper's route on the same targets.
+  core::Verifier verifier;
+  verifier.add_source(shelley::bench::synthetic_class(
+      static_cast<std::size_t>(state.range(0))));
+  const core::ClassSpec* ring = verifier.find_class("Ring");
+  for (auto _ : state) {
+    SymbolTable table;
+    benchmark::DoNotOptimize(
+        fsm::minimize(fsm::determinize(core::usage_nfa(*ring, table))));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_StaticExtraction_RingSweep)->RangeMultiplier(2)->Range(2, 16)
+    ->Complexity();
+
+void BM_Ablation_LStarClassic(benchmark::State& state) {
+  SymbolTable table;
+  const fsm::Dfa target =
+      ring_target(static_cast<std::size_t>(state.range(0)), table);
+  std::size_t queries = 0;
+  for (auto _ : state) {
+    learn::DfaTeacher teacher(target);
+    const learn::LearnResult result = learn::learn_dfa(
+        teacher, target.alphabet(), 4096,
+        learn::CexStrategy::kAllPrefixes);
+    queries = result.membership_queries;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["membership_queries"] = static_cast<double>(queries);
+}
+BENCHMARK(BM_Ablation_LStarClassic)->DenseRange(2, 10, 4);
+
+void BM_Ablation_LStarRivestSchapire(benchmark::State& state) {
+  SymbolTable table;
+  const fsm::Dfa target =
+      ring_target(static_cast<std::size_t>(state.range(0)), table);
+  std::size_t queries = 0;
+  for (auto _ : state) {
+    learn::DfaTeacher teacher(target);
+    const learn::LearnResult result = learn::learn_dfa(
+        teacher, target.alphabet(), 4096,
+        learn::CexStrategy::kRivestSchapire);
+    queries = result.membership_queries;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["membership_queries"] = static_cast<double>(queries);
+}
+BENCHMARK(BM_Ablation_LStarRivestSchapire)->DenseRange(2, 10, 4);
+
+void BM_LStar_ValveThroughDfaTeacher(benchmark::State& state) {
+  SymbolTable table;
+  core::Verifier verifier;
+  verifier.add_source(examples::kValveSource);
+  const fsm::Dfa target = fsm::minimize(fsm::determinize(
+      core::usage_nfa(*verifier.find_class("Valve"), table)));
+  for (auto _ : state) {
+    learn::DfaTeacher teacher(target);
+    benchmark::DoNotOptimize(learn::learn_dfa(teacher, target.alphabet()));
+  }
+}
+BENCHMARK(BM_LStar_ValveThroughDfaTeacher);
+
+void BM_WMethodEquivalence(benchmark::State& state) {
+  SymbolTable table;
+  const fsm::Dfa target =
+      ring_target(static_cast<std::size_t>(state.range(0)), table);
+  std::size_t tests = 0;
+  for (auto _ : state) {
+    learn::WMethodTeacher teacher(
+        [&](const Word& word) { return target.accepts(word); },
+        target.alphabet(), /*extra_states=*/1);
+    const learn::LearnResult result =
+        learn::learn_dfa(teacher, target.alphabet());
+    tests = teacher.tests_executed();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["conformance_tests"] = static_cast<double>(tests);
+}
+BENCHMARK(BM_WMethodEquivalence)->DenseRange(2, 10, 4);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_artifact();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

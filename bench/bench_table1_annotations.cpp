@@ -1,0 +1,115 @@
+// Table 1: Shelley's annotations, where to apply them, and their meanings.
+// Regenerates the table by decoding a class that uses all seven
+// annotations, then times annotation decoding and spec extraction.
+#include "bench_common.hpp"
+
+#include "shelley/annotations.hpp"
+#include "shelley/spec.hpp"
+#include "upy/parser.hpp"
+
+namespace {
+
+constexpr const char* kAllAnnotations = R"py(
+@claim("G (a.open -> F a.close)")
+@sys(["a"])
+class Everything:
+    def __init__(self):
+        self.a = Valve()
+
+    @op_initial
+    def begin(self):
+        return ["middle"]
+
+    @op
+    def middle(self):
+        return ["stop", "once"]
+
+    @op_final
+    def stop(self):
+        return ["begin"]
+
+    @op_initial_final
+    def once(self):
+        return []
+)py";
+
+void print_table1() {
+  using namespace shelley;
+  shelley::bench::artifact_banner("Table 1 -- annotations and meanings");
+  const upy::Module module = upy::parse_module(kAllAnnotations);
+  DiagnosticEngine diagnostics;
+  const core::ClassSpec spec =
+      core::extract_class_spec(module.classes.at(0), diagnostics);
+
+  std::printf("| %-22s | %-8s | %s\n", "Annotation", "Applies", "Decoded as");
+  std::printf("| @claim(\"...\")          | class    | temporal requirement: %s\n",
+              spec.claims.at(0).text.c_str());
+  std::printf("| @sys([\"a\"])            | class    | composite class, subsystems:");
+  for (const auto& subsystem : spec.subsystems) {
+    std::printf(" %s:%s", subsystem.field.c_str(),
+                subsystem.class_name.c_str());
+  }
+  std::printf("\n");
+  for (const auto& op : spec.operations) {
+    const char* meaning = op.initial && op.final
+                              ? "invoke in first and last places"
+                          : op.initial ? "invoke in first place"
+                          : op.final   ? "invoke in last place"
+                                       : "invoke in between";
+    std::printf("| @op%-19s | method   | %-10s: %s\n",
+                op.initial && op.final ? "_initial_final"
+                : op.initial          ? "_initial"
+                : op.final            ? "_final"
+                                      : "",
+                op.name.c_str(), meaning);
+  }
+  shelley::bench::end_banner();
+}
+
+void BM_DecodeClassAnnotations(benchmark::State& state) {
+  using namespace shelley;
+  const upy::Module module = upy::parse_module(kAllAnnotations);
+  for (auto _ : state) {
+    DiagnosticEngine diagnostics;
+    benchmark::DoNotOptimize(
+        core::decode_class_annotations(module.classes.at(0), diagnostics));
+  }
+}
+BENCHMARK(BM_DecodeClassAnnotations);
+
+void BM_DecodeOpAnnotations(benchmark::State& state) {
+  using namespace shelley;
+  const upy::Module module = upy::parse_module(kAllAnnotations);
+  for (auto _ : state) {
+    DiagnosticEngine diagnostics;
+    for (const upy::FunctionDef& method : module.classes.at(0).methods) {
+      benchmark::DoNotOptimize(
+          core::decode_op_annotation(method, diagnostics));
+    }
+  }
+}
+BENCHMARK(BM_DecodeOpAnnotations);
+
+void BM_ExtractSpec_AnnotatedClass(benchmark::State& state) {
+  using namespace shelley;
+  const std::string source =
+      shelley::bench::synthetic_class(static_cast<std::size_t>(state.range(0)));
+  const upy::Module module = upy::parse_module(source);
+  for (auto _ : state) {
+    DiagnosticEngine diagnostics;
+    benchmark::DoNotOptimize(
+        core::extract_class_spec(module.classes.at(0), diagnostics));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ExtractSpec_AnnotatedClass)->RangeMultiplier(4)->Range(4, 256)
+    ->Complexity(benchmark::oN);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table1();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Table 2: return statements and their meanings.  Regenerates the table by
+// decoding each documented form, then times return decoding at scale.
+#include "bench_common.hpp"
+
+#include "shelley/annotations.hpp"
+#include "upy/parser.hpp"
+
+namespace {
+
+using namespace shelley;
+
+upy::ExprPtr return_value(const std::string& text) {
+  const upy::Module module = upy::parse_module(
+      "class C:\n    def m(self):\n        return " + text + "\n");
+  return upy::as<upy::ReturnStmt>(module.classes.at(0).methods.at(0)
+                                      .body.at(0))
+      ->value;
+}
+
+void print_table2() {
+  shelley::bench::artifact_banner("Table 2 -- return statements");
+  const char* forms[] = {
+      "[\"close\"]",          "[\"open\", \"clean\"]", "[\"close\"], 2",
+      "[\"close\"], True",    "[\"open\", \"clean\"], 2",
+  };
+  for (const char* form : forms) {
+    DiagnosticEngine diagnostics;
+    const auto successors =
+        core::decode_return_successors(return_value(form), {}, diagnostics);
+    std::string meaning = "expecting ";
+    for (std::size_t i = 0; i < successors->size(); ++i) {
+      if (i != 0) meaning += " or ";
+      meaning += "\"" + (*successors)[i] + "\"";
+    }
+    meaning += " to be invoked next";
+    std::printf("| return %-24s | %s\n", form, meaning.c_str());
+  }
+  shelley::bench::end_banner();
+}
+
+void BM_DecodeReturn(benchmark::State& state) {
+  const upy::ExprPtr value = return_value("[\"open\", \"clean\"], 2");
+  for (auto _ : state) {
+    DiagnosticEngine diagnostics;
+    benchmark::DoNotOptimize(
+        core::decode_return_successors(value, {}, diagnostics));
+  }
+}
+BENCHMARK(BM_DecodeReturn);
+
+void BM_ParseAndDecodeReturnStatements(benchmark::State& state) {
+  // End to end: parse a method with N returns, decode them all.
+  std::string body = "class C:\n    def m(self):\n";
+  for (int i = 0; i < state.range(0); ++i) {
+    body += "        if x" + std::to_string(i) + ":\n";
+    body += "            return [\"a\", \"b\"], " + std::to_string(i) + "\n";
+  }
+  body += "        return []\n";
+  for (auto _ : state) {
+    const upy::Module module = upy::parse_module(body);
+    DiagnosticEngine diagnostics;
+    std::size_t decoded = 0;
+    for (const auto* ret :
+         core::collect_returns(module.classes.at(0).methods.at(0).body)) {
+      if (core::decode_return_successors(ret->value, {}, diagnostics)) {
+        ++decoded;
+      }
+    }
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ParseAndDecodeReturnStatements)
+    ->RangeMultiplier(4)
+    ->Range(4, 256)
+    ->Complexity(benchmark::oN);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table2();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

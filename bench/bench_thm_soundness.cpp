@@ -1,0 +1,114 @@
+// Theorems 1-2 / Corollary 1: the property-check harness itself, reported
+// as a benchmark -- how fast the executable mechanization validates
+// soundness + completeness across random programs, and the end-to-end cost
+// of the regularity pipeline (infer -> simplify -> NFA -> DFA -> minimize).
+#include "bench_common.hpp"
+
+#include "fsm/ops.hpp"
+#include "fsm/thompson.hpp"
+#include "ir/generator.hpp"
+#include "ir/inference.hpp"
+#include "ir/semantics.hpp"
+#include "rex/derivative.hpp"
+
+namespace {
+
+using namespace shelley;
+
+// One theorem round: both directions on one program.
+bool theorem_round(const ir::Program& p, std::size_t max_length) {
+  const rex::Regex inferred = ir::infer(p);
+  for (const ir::Trace& trace : ir::enumerate_traces(p, {max_length, 3})) {
+    if (!rex::matches(inferred, trace.word)) return false;  // Thm 1 broken
+  }
+  const rex::Regex simplified = rex::simplify(inferred);
+  for (const Word& w : rex::enumerate_language(simplified, max_length)) {
+    if (!ir::in_language(p, w)) return false;  // Thm 2 broken
+  }
+  return true;
+}
+
+void print_artifact() {
+  shelley::bench::artifact_banner(
+      "Theorems 1-2 -- property-check verdicts on random programs");
+  SymbolTable table;
+  ir::GeneratorOptions options;
+  options.max_depth = 5;
+  ir::ProgramGenerator generator(2023, options, table);
+  std::size_t checked = 0;
+  std::size_t sound = 0;
+  for (int i = 0; i < 200; ++i) {
+    const ir::Program p = generator.next();
+    ++checked;
+    if (theorem_round(p, 6)) ++sound;
+  }
+  std::printf("programs checked: %zu, sound+complete: %zu (expected %zu)\n",
+              checked, sound, checked);
+  shelley::bench::end_banner();
+}
+
+void BM_TheoremRound(benchmark::State& state) {
+  SymbolTable table;
+  ir::GeneratorOptions options;
+  options.max_depth = static_cast<std::size_t>(state.range(0));
+  ir::ProgramGenerator generator(99, options, table);
+  std::vector<ir::Program> programs;
+  for (int i = 0; i < 16; ++i) programs.push_back(generator.next());
+  for (auto _ : state) {
+    for (const ir::Program& p : programs) {
+      benchmark::DoNotOptimize(theorem_round(p, 5));
+    }
+  }
+}
+BENCHMARK(BM_TheoremRound)->DenseRange(3, 7, 2);
+
+void BM_RegularityPipeline(benchmark::State& state) {
+  // Corollary 1 executably: program -> regex -> NFA -> DFA -> minimal DFA.
+  SymbolTable table;
+  ir::GeneratorOptions options;
+  options.max_depth = static_cast<std::size_t>(state.range(0));
+  ir::ProgramGenerator generator(7, options, table);
+  std::vector<ir::Program> programs;
+  for (int i = 0; i < 16; ++i) programs.push_back(generator.next());
+  std::size_t states = 0;
+  for (auto _ : state) {
+    states = 0;
+    for (const ir::Program& p : programs) {
+      const fsm::Dfa dfa = fsm::minimize(fsm::determinize(
+          fsm::from_regex(ir::infer_simplified(p))));
+      states += dfa.state_count();
+      benchmark::DoNotOptimize(dfa);
+    }
+  }
+  state.counters["minimal_states_total"] = static_cast<double>(states);
+}
+BENCHMARK(BM_RegularityPipeline)->DenseRange(3, 9, 2);
+
+void BM_ExactDecisionProcedure(benchmark::State& state) {
+  // The cost of `derives` (the memoized oracle) on adversarial inputs:
+  // deeply nested seq/loop with long words.
+  SymbolTable table;
+  const Symbol a = table.intern("a");
+  ir::Program p = ir::call(a);
+  for (int i = 0; i < state.range(0); ++i) {
+    p = ir::seq(ir::loop(p), ir::call(a));
+  }
+  Word word(16, a);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ir::in_language(p, word));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ExactDecisionProcedure)
+    ->RangeMultiplier(2)
+    ->Range(1, 16)
+    ->Complexity();
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_artifact();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,154 @@
+// The MicroPython listings of the paper, verbatim (Listings 2.1, 2.2, 3.1),
+// plus a corrected sector used to show a passing verification.  Shared by
+// the examples and reused (in string form) by the integration tests.
+#pragma once
+
+namespace shelley::examples {
+
+// Listing 2.1 -- class Valve.
+inline constexpr const char* kValveSource = R"(
+@sys
+class Valve:
+    def __init__(self):
+        self.control = Pin(27, OUT)
+        self.clean = Pin(28, OUT)
+        self.status = Pin(29, IN)
+
+    @op_initial
+    def test(self):
+        if self.status.value():
+            return ["open"]
+        else:
+            return ["clean"]
+
+    @op
+    def open(self):
+        self.control.on()
+        return ["close"]
+
+    @op_final
+    def close(self):
+        self.control.off()
+        return ["test"]
+
+    @op_final
+    def clean(self):
+        self.clean.on()
+        return ["test"]
+)";
+
+// Listing 2.2 -- class BadSector (invalid usage of valves).
+inline constexpr const char* kBadSectorSource = R"(
+@claim("(!a.open) W b.open")
+@sys(["a", "b"])
+class BadSector:
+    def __init__(self):
+        self.a = Valve()
+        self.b = Valve()
+
+    @op_initial_final
+    def open_a(self):
+        match self.a.test():
+            case ["open"]:
+                self.a.open()
+                return ["open_b"]
+            case ["clean"]:
+                self.a.clean()
+                print("a failed")
+                return []
+
+    @op_final
+    def open_b(self):
+        match self.b.test():
+            case ["open"]:
+                self.b.open()
+                self.a.close()
+                self.b.close()
+                return []
+            case ["clean"]:
+                self.b.clean()
+                print("b failed")
+                self.a.close()
+                return []
+)";
+
+// Listing 3.1 -- class Sector (returns only; bodies elided in the paper).
+inline constexpr const char* kSectorSource = R"(
+@sys(["a", "b"])
+class Sector:
+    def __init__(self):
+        self.a = Valve()
+        self.b = Valve()
+
+    @op_initial
+    def open_a(self):
+        if self.a.test() == ["open"]:
+            self.a.open()
+            return ["close_a", "open_b"]
+        else:
+            self.a.clean()
+            return ["clean_a"]
+
+    @op
+    def clean_a(self):
+        return ["open_a"]
+
+    @op_final
+    def close_a(self):
+        self.a.close()
+        return ["open_a"]
+
+    @op_final
+    def open_b(self):
+        match self.b.test():
+            case ["open"]:
+                self.b.open()
+                self.a.close()
+                self.b.close()
+                return []
+            case ["clean"]:
+                self.b.clean()
+                self.a.close()
+                return []
+)";
+
+// A corrected sector: valve b is opened before valve a, so both the Valve
+// specification and the temporal claim hold.
+inline constexpr const char* kGoodSectorSource = R"(
+@claim("(!a.open) W b.open")
+@sys(["a", "b"])
+class GoodSector:
+    def __init__(self):
+        self.a = Valve()
+        self.b = Valve()
+
+    @op_initial
+    def open_b(self):
+        match self.b.test():
+            case ["open"]:
+                self.b.open()
+                return ["open_a"]
+            case ["clean"]:
+                self.b.clean()
+                print("b failed")
+                return ["fail"]
+
+    @op_final
+    def open_a(self):
+        match self.a.test():
+            case ["open"]:
+                self.a.open()
+                self.a.close()
+                self.b.close()
+                return ["open_b"]
+            case ["clean"]:
+                self.a.clean()
+                self.b.close()
+                return ["open_b"]
+
+    @op_final
+    def fail(self):
+        return ["open_b"]
+)";
+
+}  // namespace shelley::examples

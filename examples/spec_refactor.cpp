@@ -1,0 +1,104 @@
+// Refactoring support: when a class's implementation is rewritten, its
+// *contract* (the valid-usage language derived from annotations and
+// returns) must not change.  compare_specs decides language equality and
+// produces a shortest distinguishing usage when it doesn't hold -- here on
+// three rewrites of the Valve contract.
+#include <cstdio>
+
+#include "fsm/ops.hpp"
+#include "fsm/to_regex.hpp"
+#include "shelley/automata.hpp"
+#include "shelley/compare.hpp"
+#include "shelley/verifier.hpp"
+
+#include "paper_sources.hpp"
+
+namespace {
+
+using namespace shelley;
+
+// Rewrite 1: if/elif instead of separate returns -- same contract.
+constexpr const char* kValveRefactored = R"py(
+@sys
+class ValveRefactored:
+    @op_initial
+    def test(self):
+        if self.status.value():
+            return ["open"]
+        elif True:
+            return ["clean"]
+
+    @op
+    def open(self):
+        return ["close"]
+
+    @op_final
+    def close(self):
+        return ["test"]
+
+    @op_final
+    def clean(self):
+        return ["test"]
+)py";
+
+// Rewrite 2: someone made `open` final "for convenience" -- contract change!
+constexpr const char* kValveLoosened = R"py(
+@sys
+class ValveLoosened:
+    @op_initial
+    def test(self):
+        if self.status.value():
+            return ["open"]
+        else:
+            return ["clean"]
+
+    @op_final
+    def open(self):
+        return ["close"]
+
+    @op_final
+    def close(self):
+        return ["test"]
+
+    @op_final
+    def clean(self):
+        return ["test"]
+)py";
+
+void compare(const char* title, const core::ClassSpec& before,
+             const core::ClassSpec& after, SymbolTable& table) {
+  std::printf("== %s ==\n", title);
+  const auto difference = core::compare_specs(before, after, table);
+  if (!difference) {
+    std::printf("contracts are EQUIVALENT\n\n");
+    return;
+  }
+  std::printf("contracts DIFFER; usage [%s] is valid only for %s\n\n",
+              to_string(difference->witness, table).c_str(),
+              difference->in_first ? before.name.c_str()
+                                   : after.name.c_str());
+}
+
+}  // namespace
+
+int main() {
+  core::Verifier verifier;
+  verifier.add_source(examples::kValveSource);
+  verifier.add_source(kValveRefactored);
+  verifier.add_source(kValveLoosened);
+  SymbolTable& table = verifier.symbols();
+
+  const core::ClassSpec* valve = verifier.find_class("Valve");
+  std::printf("Valve usage language: %s\n\n",
+              rex::to_string(
+                  fsm::to_regex(fsm::minimize(fsm::determinize(
+                      core::usage_nfa(*valve, table)))),
+                  table)
+                  .c_str());
+
+  compare("match-returns vs if/elif rewrite", *valve,
+          *verifier.find_class("ValveRefactored"), table);
+  compare("original vs '@op_final open' rewrite", *valve,
+          *verifier.find_class("ValveLoosened"), table);
+  return 0;
+}

@@ -1,0 +1,64 @@
+#include "fsm/dfa.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace shelley::fsm {
+
+Dfa::Dfa(std::size_t state_count, std::vector<Symbol> alphabet)
+    : alphabet_(std::move(alphabet)),
+      table_(state_count * alphabet_.size(), 0),
+      accepting_(state_count, false) {
+  assert(std::is_sorted(alphabet_.begin(), alphabet_.end()));
+  assert(std::adjacent_find(alphabet_.begin(), alphabet_.end()) ==
+         alphabet_.end());
+  if (state_count == 0) {
+    throw std::invalid_argument("Dfa requires at least one state");
+  }
+}
+
+std::optional<std::size_t> Dfa::letter_index(Symbol symbol) const {
+  const auto it =
+      std::lower_bound(alphabet_.begin(), alphabet_.end(), symbol);
+  if (it == alphabet_.end() || *it != symbol) return std::nullopt;
+  return static_cast<std::size_t>(it - alphabet_.begin());
+}
+
+void Dfa::set_accepting(StateId state, bool accepting) {
+  accepting_.at(state) = accepting;
+}
+
+void Dfa::set_transition(StateId from, std::size_t letter, StateId to) {
+  if (from >= state_count() || to >= state_count() ||
+      letter >= alphabet_.size()) {
+    throw std::out_of_range("Dfa::set_transition out of range");
+  }
+  table_[from * alphabet_.size() + letter] = to;
+}
+
+StateId Dfa::transition(StateId from, std::size_t letter) const {
+  return table_[from * alphabet_.size() + letter];
+}
+
+std::optional<StateId> Dfa::run(const Word& word) const {
+  StateId state = initial_;
+  for (Symbol s : word) {
+    const auto letter = letter_index(s);
+    if (!letter) return std::nullopt;
+    state = transition(state, *letter);
+  }
+  return state;
+}
+
+bool Dfa::accepts(const Word& word) const {
+  const auto state = run(word);
+  return state.has_value() && accepting_[*state];
+}
+
+std::size_t Dfa::accepting_count() const {
+  return static_cast<std::size_t>(
+      std::count(accepting_.begin(), accepting_.end(), true));
+}
+
+}  // namespace shelley::fsm

@@ -1,0 +1,60 @@
+// Deterministic finite automata with a dense, always-complete transition
+// table over an explicit alphabet.  Produced from Nfa by subset construction
+// (ops.hpp); all boolean-algebra operations (product, complement, inclusion)
+// work on Dfa.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "fsm/nfa.hpp"
+#include "support/symbol.hpp"
+
+namespace shelley::fsm {
+
+class Dfa {
+ public:
+  /// Creates a DFA with `state_count` states over `alphabet` (sorted,
+  /// duplicate-free).  All transitions initially self-loop on state 0;
+  /// callers must set every entry they care about.  State 0 is conventionally
+  /// the initial state unless changed.
+  Dfa(std::size_t state_count, std::vector<Symbol> alphabet);
+
+  [[nodiscard]] std::size_t state_count() const { return accepting_.size(); }
+  [[nodiscard]] const std::vector<Symbol>& alphabet() const {
+    return alphabet_;
+  }
+
+  /// Index of `symbol` in the alphabet, if present.
+  [[nodiscard]] std::optional<std::size_t> letter_index(Symbol symbol) const;
+
+  void set_initial(StateId state) { initial_ = state; }
+  [[nodiscard]] StateId initial() const { return initial_; }
+
+  void set_accepting(StateId state, bool accepting);
+  [[nodiscard]] bool is_accepting(StateId state) const {
+    return accepting_[state];
+  }
+
+  void set_transition(StateId from, std::size_t letter, StateId to);
+  [[nodiscard]] StateId transition(StateId from, std::size_t letter) const;
+
+  /// Runs the word; symbols outside the alphabet reject.
+  [[nodiscard]] bool accepts(const Word& word) const;
+
+  /// The state reached after consuming `word` from the initial state, or
+  /// nullopt if a symbol is outside the alphabet.
+  [[nodiscard]] std::optional<StateId> run(const Word& word) const;
+
+  [[nodiscard]] std::size_t accepting_count() const;
+
+ private:
+  std::vector<Symbol> alphabet_;         // sorted
+  std::vector<StateId> table_;           // state_count x alphabet size
+  std::vector<bool> accepting_;
+  StateId initial_ = 0;
+};
+
+}  // namespace shelley::fsm

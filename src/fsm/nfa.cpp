@@ -1,0 +1,104 @@
+#include "fsm/nfa.hpp"
+
+#include <deque>
+#include <stdexcept>
+
+namespace shelley::fsm {
+
+StateId Nfa::add_state() {
+  out_edges_.emplace_back();
+  return static_cast<StateId>(state_count_++);
+}
+
+StateId Nfa::add_states(std::size_t count) {
+  const auto first = static_cast<StateId>(state_count_);
+  for (std::size_t i = 0; i < count; ++i) add_state();
+  return first;
+}
+
+void Nfa::check_state(StateId state) const {
+  if (state >= state_count_) {
+    throw std::out_of_range("Nfa: state id out of range");
+  }
+}
+
+void Nfa::add_transition(StateId from, Symbol symbol, StateId to) {
+  check_state(from);
+  check_state(to);
+  const auto index = static_cast<std::uint32_t>(transitions_.size());
+  transitions_.push_back(Transition{from, symbol, to});
+  out_edges_[from].push_back(index);
+}
+
+void Nfa::add_epsilon(StateId from, StateId to) {
+  add_transition(from, Symbol{}, to);
+}
+
+void Nfa::mark_initial(StateId state) {
+  check_state(state);
+  initial_.insert(state);
+}
+
+void Nfa::mark_accepting(StateId state) {
+  check_state(state);
+  accepting_.insert(state);
+}
+
+std::set<Symbol> Nfa::alphabet() const {
+  std::set<Symbol> out;
+  for (const Transition& t : transitions_) {
+    if (!t.is_epsilon()) out.insert(t.symbol);
+  }
+  return out;
+}
+
+std::set<StateId> Nfa::epsilon_closure(const std::set<StateId>& states) const {
+  std::set<StateId> closure = states;
+  std::deque<StateId> work(states.begin(), states.end());
+  while (!work.empty()) {
+    const StateId state = work.front();
+    work.pop_front();
+    for (std::uint32_t edge : out_edges_[state]) {
+      const Transition& t = transitions_[edge];
+      if (t.is_epsilon() && closure.insert(t.to).second) {
+        work.push_back(t.to);
+      }
+    }
+  }
+  return closure;
+}
+
+std::set<StateId> Nfa::step(const std::set<StateId>& states,
+                            Symbol symbol) const {
+  std::set<StateId> out;
+  for (StateId state : states) {
+    for (std::uint32_t edge : out_edges_[state]) {
+      const Transition& t = transitions_[edge];
+      if (!t.is_epsilon() && t.symbol == symbol) out.insert(t.to);
+    }
+  }
+  return out;
+}
+
+bool Nfa::accepts(const Word& word) const {
+  std::set<StateId> current = epsilon_closure(initial_);
+  for (Symbol s : word) {
+    current = epsilon_closure(step(current, s));
+    if (current.empty()) return false;
+  }
+  for (StateId state : current) {
+    if (accepting_.contains(state)) return true;
+  }
+  return false;
+}
+
+StateId Nfa::import_states(const Nfa& other) {
+  const auto offset = static_cast<StateId>(state_count_);
+  add_states(other.state_count());
+  for (const Transition& t : other.transitions()) {
+    add_transition(t.from + offset, t.symbol, t.to + offset);
+  }
+  return offset;
+}
+
+}  // namespace shelley::fsm

@@ -1,0 +1,86 @@
+// Nondeterministic finite automata over interned event symbols, with
+// ε-transitions.  This is the executable form of the behavioral models the
+// paper extracts: class specifications (§3.1), inferred method behaviors
+// (§3.2), and composed system behaviors all compile to Nfa.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "support/symbol.hpp"
+
+namespace shelley::fsm {
+
+using StateId = std::uint32_t;
+
+struct Transition {
+  StateId from = 0;
+  Symbol symbol;  // invalid Symbol means ε
+  StateId to = 0;
+
+  [[nodiscard]] bool is_epsilon() const { return !symbol.valid(); }
+};
+
+class Nfa {
+ public:
+  Nfa() = default;
+
+  /// Adds a fresh state and returns its id.
+  StateId add_state();
+  /// Adds `count` fresh states; returns the first id.
+  StateId add_states(std::size_t count);
+
+  void add_transition(StateId from, Symbol symbol, StateId to);
+  void add_epsilon(StateId from, StateId to);
+
+  void mark_initial(StateId state);
+  void mark_accepting(StateId state);
+
+  [[nodiscard]] std::size_t state_count() const { return state_count_; }
+  [[nodiscard]] const std::vector<Transition>& transitions() const {
+    return transitions_;
+  }
+  [[nodiscard]] const std::set<StateId>& initial_states() const {
+    return initial_;
+  }
+  [[nodiscard]] const std::set<StateId>& accepting_states() const {
+    return accepting_;
+  }
+  [[nodiscard]] bool is_accepting(StateId state) const {
+    return accepting_.contains(state);
+  }
+
+  /// Every symbol labelling a transition.
+  [[nodiscard]] std::set<Symbol> alphabet() const;
+
+  /// ε-closure of a state set.
+  [[nodiscard]] std::set<StateId> epsilon_closure(
+      const std::set<StateId>& states) const;
+
+  /// States reachable from `states` through one `symbol` edge (no closure).
+  [[nodiscard]] std::set<StateId> step(const std::set<StateId>& states,
+                                       Symbol symbol) const;
+
+  /// Word membership by on-the-fly subset simulation.
+  [[nodiscard]] bool accepts(const Word& word) const;
+
+  /// Appends another automaton; returns the state-id offset applied to the
+  /// other automaton's states.  Initial/accepting markings of `other` are
+  /// NOT imported -- the caller wires the two machines together.
+  StateId import_states(const Nfa& other);
+
+ private:
+  void check_state(StateId state) const;
+
+  std::size_t state_count_ = 0;
+  std::vector<Transition> transitions_;
+  // Adjacency index: per-state list of indexes into transitions_.
+  std::vector<std::vector<std::uint32_t>> out_edges_;
+  std::set<StateId> initial_;
+  std::set<StateId> accepting_;
+};
+
+}  // namespace shelley::fsm

@@ -1,0 +1,395 @@
+#include "fsm/ops.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <numeric>
+#include <stdexcept>
+
+namespace shelley::fsm {
+namespace {
+
+std::vector<Symbol> sorted_union(const std::vector<Symbol>& a,
+                                 const std::vector<Symbol>& b) {
+  std::vector<Symbol> out;
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+}  // namespace
+
+Dfa determinize(const Nfa& nfa, std::vector<Symbol> alphabet) {
+  std::sort(alphabet.begin(), alphabet.end());
+  alphabet.erase(std::unique(alphabet.begin(), alphabet.end()),
+                 alphabet.end());
+  for (Symbol s : nfa.alphabet()) {
+    if (!std::binary_search(alphabet.begin(), alphabet.end(), s)) {
+      throw std::invalid_argument(
+          "determinize: alphabet does not cover the NFA's labels");
+    }
+  }
+
+  // Map from NFA state-set to DFA state id; state sets are ε-closed.
+  std::map<std::set<StateId>, StateId> ids;
+  std::vector<std::set<StateId>> sets;
+  const auto get_id = [&](std::set<StateId> set) {
+    const auto [it, inserted] =
+        ids.emplace(std::move(set), static_cast<StateId>(sets.size()));
+    if (inserted) sets.push_back(it->first);
+    return it->second;
+  };
+
+  const StateId start = get_id(nfa.epsilon_closure(nfa.initial_states()));
+  std::vector<std::vector<StateId>> rows;  // per DFA state, per letter
+  for (StateId current = 0; current < sets.size(); ++current) {
+    std::vector<StateId> row(alphabet.size(), 0);
+    for (std::size_t letter = 0; letter < alphabet.size(); ++letter) {
+      row[letter] =
+          get_id(nfa.epsilon_closure(nfa.step(sets[current], alphabet[letter])));
+    }
+    rows.push_back(std::move(row));
+  }
+
+  Dfa dfa(sets.size(), alphabet);
+  dfa.set_initial(start);
+  for (StateId state = 0; state < sets.size(); ++state) {
+    for (std::size_t letter = 0; letter < alphabet.size(); ++letter) {
+      dfa.set_transition(state, letter, rows[state][letter]);
+    }
+    for (StateId nfa_state : sets[state]) {
+      if (nfa.is_accepting(nfa_state)) {
+        dfa.set_accepting(state, true);
+        break;
+      }
+    }
+  }
+  return dfa;
+}
+
+Dfa determinize(const Nfa& nfa) {
+  const std::set<Symbol> sigma = nfa.alphabet();
+  return determinize(nfa, std::vector<Symbol>(sigma.begin(), sigma.end()));
+}
+
+Dfa minimize(const Dfa& dfa) {
+  const std::size_t n = dfa.state_count();
+  const std::size_t k = dfa.alphabet().size();
+
+  // Restrict to reachable states first (unreachable states would distort the
+  // partition refinement's block count, though not its correctness).
+  std::vector<bool> reachable(n, false);
+  {
+    std::deque<StateId> work{dfa.initial()};
+    reachable[dfa.initial()] = true;
+    while (!work.empty()) {
+      const StateId s = work.front();
+      work.pop_front();
+      for (std::size_t letter = 0; letter < k; ++letter) {
+        const StateId t = dfa.transition(s, letter);
+        if (!reachable[t]) {
+          reachable[t] = true;
+          work.push_back(t);
+        }
+      }
+    }
+  }
+
+  // Moore refinement: start from {accepting, rejecting}, split until stable.
+  std::vector<int> block(n, -1);
+  for (StateId s = 0; s < n; ++s) {
+    if (reachable[s]) block[s] = dfa.is_accepting(s) ? 1 : 0;
+  }
+  std::size_t block_count = 2;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Signature: (current block, blocks of successors).
+    std::map<std::vector<int>, int> signature_to_block;
+    std::vector<int> next_block(n, -1);
+    int next_count = 0;
+    for (StateId s = 0; s < n; ++s) {
+      if (!reachable[s]) continue;
+      std::vector<int> signature;
+      signature.reserve(k + 1);
+      signature.push_back(block[s]);
+      for (std::size_t letter = 0; letter < k; ++letter) {
+        signature.push_back(block[dfa.transition(s, letter)]);
+      }
+      const auto [it, inserted] =
+          signature_to_block.emplace(std::move(signature), next_count);
+      if (inserted) ++next_count;
+      next_block[s] = it->second;
+    }
+    if (static_cast<std::size_t>(next_count) != block_count) changed = true;
+    block = std::move(next_block);
+    block_count = static_cast<std::size_t>(next_count);
+  }
+
+  Dfa out(block_count, dfa.alphabet());
+  out.set_initial(static_cast<StateId>(block[dfa.initial()]));
+  for (StateId s = 0; s < n; ++s) {
+    if (!reachable[s]) continue;
+    const auto b = static_cast<StateId>(block[s]);
+    if (dfa.is_accepting(s)) out.set_accepting(b, true);
+    for (std::size_t letter = 0; letter < k; ++letter) {
+      out.set_transition(b, letter,
+                         static_cast<StateId>(block[dfa.transition(s, letter)]));
+    }
+  }
+  return out;
+}
+
+Nfa reverse(const Nfa& nfa) {
+  Nfa out;
+  out.add_states(nfa.state_count());
+  for (const Transition& t : nfa.transitions()) {
+    out.add_transition(t.to, t.symbol, t.from);
+  }
+  for (StateId s : nfa.accepting_states()) out.mark_initial(s);
+  for (StateId s : nfa.initial_states()) out.mark_accepting(s);
+  return out;
+}
+
+Dfa minimize_brzozowski(const Dfa& dfa) {
+  const std::vector<Symbol> alphabet = dfa.alphabet();
+  const Dfa reversed = determinize(reverse(to_nfa(dfa)), alphabet);
+  return determinize(reverse(to_nfa(reversed)), alphabet);
+}
+
+Dfa extend_alphabet(const Dfa& dfa, const std::vector<Symbol>& alphabet) {
+  std::vector<Symbol> sigma = alphabet;
+  std::sort(sigma.begin(), sigma.end());
+  sigma.erase(std::unique(sigma.begin(), sigma.end()), sigma.end());
+  const std::vector<Symbol> joined = sorted_union(sigma, dfa.alphabet());
+
+  // Fresh rejecting sink for the new letters.
+  const std::size_t n = dfa.state_count();
+  const StateId sink = static_cast<StateId>(n);
+  Dfa out(n + 1, joined);
+  out.set_initial(dfa.initial());
+  for (StateId s = 0; s < n; ++s) {
+    out.set_accepting(s, dfa.is_accepting(s));
+  }
+  for (StateId s = 0; s <= n; ++s) {
+    for (std::size_t letter = 0; letter < joined.size(); ++letter) {
+      const auto old_letter = dfa.letter_index(joined[letter]);
+      const StateId to = (s == sink || !old_letter)
+                             ? sink
+                             : dfa.transition(s, *old_letter);
+      out.set_transition(s, letter, to);
+    }
+  }
+  return out;
+}
+
+Dfa extend_alphabet_ignore(const Dfa& dfa,
+                           const std::vector<Symbol>& alphabet) {
+  std::vector<Symbol> sigma = alphabet;
+  std::sort(sigma.begin(), sigma.end());
+  sigma.erase(std::unique(sigma.begin(), sigma.end()), sigma.end());
+  const std::vector<Symbol> joined = sorted_union(sigma, dfa.alphabet());
+
+  const std::size_t n = dfa.state_count();
+  Dfa out(n, joined);
+  out.set_initial(dfa.initial());
+  for (StateId s = 0; s < n; ++s) {
+    out.set_accepting(s, dfa.is_accepting(s));
+    for (std::size_t letter = 0; letter < joined.size(); ++letter) {
+      const auto old_letter = dfa.letter_index(joined[letter]);
+      out.set_transition(s, letter,
+                         old_letter ? dfa.transition(s, *old_letter) : s);
+    }
+  }
+  return out;
+}
+
+Dfa product(const Dfa& a, const Dfa& b, ProductMode mode) {
+  if (a.alphabet() != b.alphabet()) {
+    throw std::invalid_argument(
+        "product: alphabets differ; call extend_alphabet first");
+  }
+  const std::size_t k = a.alphabet().size();
+  const std::size_t n = a.state_count();
+  const std::size_t m = b.state_count();
+  Dfa out(n * m, a.alphabet());
+  const auto pair_id = [m](StateId x, StateId y) {
+    return static_cast<StateId>(x * m + y);
+  };
+  out.set_initial(pair_id(a.initial(), b.initial()));
+  for (StateId x = 0; x < n; ++x) {
+    for (StateId y = 0; y < m; ++y) {
+      const bool in_a = a.is_accepting(x);
+      const bool in_b = b.is_accepting(y);
+      bool accepting = false;
+      switch (mode) {
+        case ProductMode::kIntersection:
+          accepting = in_a && in_b;
+          break;
+        case ProductMode::kUnion:
+          accepting = in_a || in_b;
+          break;
+        case ProductMode::kDifference:
+          accepting = in_a && !in_b;
+          break;
+      }
+      out.set_accepting(pair_id(x, y), accepting);
+      for (std::size_t letter = 0; letter < k; ++letter) {
+        out.set_transition(pair_id(x, y), letter,
+                           pair_id(a.transition(x, letter),
+                                   b.transition(y, letter)));
+      }
+    }
+  }
+  return out;
+}
+
+Dfa complement(const Dfa& dfa) {
+  Dfa out = dfa;
+  for (StateId s = 0; s < dfa.state_count(); ++s) {
+    out.set_accepting(s, !dfa.is_accepting(s));
+  }
+  return out;
+}
+
+bool is_empty(const Dfa& dfa) { return !shortest_word(dfa).has_value(); }
+
+std::optional<Word> shortest_word(const Dfa& dfa) {
+  const std::size_t k = dfa.alphabet().size();
+  struct Parent {
+    StateId state = 0;
+    std::size_t letter = 0;
+    bool has_parent = false;
+  };
+  std::vector<bool> visited(dfa.state_count(), false);
+  std::vector<Parent> parents(dfa.state_count());
+  std::deque<StateId> work{dfa.initial()};
+  visited[dfa.initial()] = true;
+
+  std::optional<StateId> goal;
+  if (dfa.is_accepting(dfa.initial())) goal = dfa.initial();
+  while (!goal && !work.empty()) {
+    const StateId s = work.front();
+    work.pop_front();
+    for (std::size_t letter = 0; letter < k && !goal; ++letter) {
+      const StateId t = dfa.transition(s, letter);
+      if (visited[t]) continue;
+      visited[t] = true;
+      parents[t] = Parent{s, letter, true};
+      if (dfa.is_accepting(t)) goal = t;
+      work.push_back(t);
+    }
+  }
+  if (!goal) return std::nullopt;
+
+  Word word;
+  StateId s = *goal;
+  while (parents[s].has_parent) {
+    word.push_back(dfa.alphabet()[parents[s].letter]);
+    s = parents[s].state;
+  }
+  std::reverse(word.begin(), word.end());
+  return word;
+}
+
+std::optional<Word> inclusion_witness(const Dfa& a, const Dfa& b) {
+  const std::vector<Symbol> joined = sorted_union(a.alphabet(), b.alphabet());
+  const Dfa ax = extend_alphabet(a, joined);
+  const Dfa bx = extend_alphabet(b, joined);
+  return shortest_word(product(ax, bx, ProductMode::kDifference));
+}
+
+bool included(const Dfa& a, const Dfa& b) {
+  return !inclusion_witness(a, b).has_value();
+}
+
+bool equivalent(const Dfa& a, const Dfa& b) {
+  return included(a, b) && included(b, a);
+}
+
+Nfa map_labels(const Nfa& nfa, const std::function<Symbol(Symbol)>& map) {
+  Nfa out;
+  out.add_states(nfa.state_count());
+  for (const Transition& t : nfa.transitions()) {
+    if (t.is_epsilon()) {
+      out.add_epsilon(t.from, t.to);
+    } else {
+      const Symbol mapped = map(t.symbol);
+      if (mapped.valid()) {
+        out.add_transition(t.from, mapped, t.to);
+      } else {
+        out.add_epsilon(t.from, t.to);
+      }
+    }
+  }
+  for (StateId s : nfa.initial_states()) out.mark_initial(s);
+  for (StateId s : nfa.accepting_states()) out.mark_accepting(s);
+  return out;
+}
+
+Nfa to_nfa(const Dfa& dfa) {
+  Nfa out;
+  out.add_states(dfa.state_count());
+  for (StateId s = 0; s < dfa.state_count(); ++s) {
+    for (std::size_t letter = 0; letter < dfa.alphabet().size(); ++letter) {
+      out.add_transition(s, dfa.alphabet()[letter],
+                         dfa.transition(s, letter));
+    }
+    if (dfa.is_accepting(s)) out.mark_accepting(s);
+  }
+  out.mark_initial(dfa.initial());
+  return out;
+}
+
+std::vector<bool> live_states(const Dfa& dfa) {
+  const std::size_t n = dfa.state_count();
+  const std::size_t k = dfa.alphabet().size();
+  // Reverse adjacency, then BFS from the accepting states.
+  std::vector<std::vector<StateId>> predecessors(n);
+  for (StateId s = 0; s < n; ++s) {
+    for (std::size_t letter = 0; letter < k; ++letter) {
+      predecessors[dfa.transition(s, letter)].push_back(s);
+    }
+  }
+  std::vector<bool> live(n, false);
+  std::deque<StateId> work;
+  for (StateId s = 0; s < n; ++s) {
+    if (dfa.is_accepting(s)) {
+      live[s] = true;
+      work.push_back(s);
+    }
+  }
+  while (!work.empty()) {
+    const StateId s = work.front();
+    work.pop_front();
+    for (StateId p : predecessors[s]) {
+      if (!live[p]) {
+        live[p] = true;
+        work.push_back(p);
+      }
+    }
+  }
+  return live;
+}
+
+std::size_t reachable_count(const Dfa& dfa) {
+  std::vector<bool> seen(dfa.state_count(), false);
+  std::deque<StateId> work{dfa.initial()};
+  seen[dfa.initial()] = true;
+  std::size_t count = 1;
+  while (!work.empty()) {
+    const StateId s = work.front();
+    work.pop_front();
+    for (std::size_t letter = 0; letter < dfa.alphabet().size(); ++letter) {
+      const StateId t = dfa.transition(s, letter);
+      if (!seen[t]) {
+        seen[t] = true;
+        ++count;
+        work.push_back(t);
+      }
+    }
+  }
+  return count;
+}
+
+}  // namespace shelley::fsm

@@ -1,0 +1,88 @@
+// Automata algorithms: subset construction, Moore minimization, boolean
+// products, complement, emptiness, shortest witnesses, language inclusion /
+// equivalence, alphabet extension, and label homomorphisms (projection).
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "fsm/dfa.hpp"
+#include "fsm/nfa.hpp"
+
+namespace shelley::fsm {
+
+/// Subset construction.  The result is complete over `alphabet` (a sink is
+/// added when needed).  `alphabet` must cover at least the NFA's own
+/// alphabet; extra letters simply lead to the sink.
+[[nodiscard]] Dfa determinize(const Nfa& nfa, std::vector<Symbol> alphabet);
+
+/// Determinizes over the NFA's own alphabet.
+[[nodiscard]] Dfa determinize(const Nfa& nfa);
+
+/// Moore partition-refinement minimization (keeps the alphabet).
+[[nodiscard]] Dfa minimize(const Dfa& dfa);
+
+/// Brzozowski's minimization: reverse -> determinize -> reverse ->
+/// determinize.  Same result as `minimize` up to isomorphism; kept as an
+/// independently implemented oracle (the ablation bench compares the two).
+[[nodiscard]] Dfa minimize_brzozowski(const Dfa& dfa);
+
+/// Reverses an NFA: every edge flips, initial and accepting states swap.
+[[nodiscard]] Nfa reverse(const Nfa& nfa);
+
+/// Rebuilds `dfa` over a larger alphabet; letters not previously in the
+/// alphabet go to a (possibly fresh) rejecting sink.
+[[nodiscard]] Dfa extend_alphabet(const Dfa& dfa,
+                                  const std::vector<Symbol>& alphabet);
+
+/// Rebuilds `dfa` over a larger alphabet where the new letters are *ignored*
+/// (self-loops on every state).  The result accepts exactly the words whose
+/// projection onto the original alphabet is accepted by `dfa` -- the monitor
+/// construction used for subsystem-usage checking.
+[[nodiscard]] Dfa extend_alphabet_ignore(const Dfa& dfa,
+                                         const std::vector<Symbol>& alphabet);
+
+enum class ProductMode { kIntersection, kUnion, kDifference };
+
+/// Synchronous product.  Both inputs must share the same alphabet (use
+/// extend_alphabet first).
+[[nodiscard]] Dfa product(const Dfa& a, const Dfa& b, ProductMode mode);
+
+/// Complement (flips acceptance; input must be complete, which Dfa is by
+/// construction).
+[[nodiscard]] Dfa complement(const Dfa& dfa);
+
+/// True iff the DFA accepts no word.
+[[nodiscard]] bool is_empty(const Dfa& dfa);
+
+/// A shortest accepted word (BFS), or nullopt when the language is empty.
+[[nodiscard]] std::optional<Word> shortest_word(const Dfa& dfa);
+
+/// A shortest word in L(a) \ L(b), i.e. a witness that L(a) ⊄ L(b);
+/// nullopt when L(a) ⊆ L(b).  Alphabets are joined automatically.
+[[nodiscard]] std::optional<Word> inclusion_witness(const Dfa& a,
+                                                    const Dfa& b);
+
+/// True iff L(a) ⊆ L(b).
+[[nodiscard]] bool included(const Dfa& a, const Dfa& b);
+
+/// True iff L(a) = L(b).
+[[nodiscard]] bool equivalent(const Dfa& a, const Dfa& b);
+
+/// Rewrites transition labels.  The map returns: the replacement symbol, or
+/// an invalid Symbol to turn the edge into ε (projection/erasure).
+[[nodiscard]] Nfa map_labels(const Nfa& nfa,
+                             const std::function<Symbol(Symbol)>& map);
+
+/// Converts a DFA back into an NFA (for composition).
+[[nodiscard]] Nfa to_nfa(const Dfa& dfa);
+
+/// Number of states reachable from the initial state (diagnostic metric).
+[[nodiscard]] std::size_t reachable_count(const Dfa& dfa);
+
+/// live[s] is true iff an accepting state is reachable from s.  A word that
+/// drives the DFA into a dead state can never be extended to an accepted
+/// one -- used to pinpoint the offending step in a counterexample.
+[[nodiscard]] std::vector<bool> live_states(const Dfa& dfa);
+
+}  // namespace shelley::fsm

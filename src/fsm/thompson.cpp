@@ -1,0 +1,67 @@
+#include "fsm/thompson.hpp"
+
+namespace shelley::fsm {
+
+std::pair<StateId, StateId> add_fragment(Nfa& nfa, const rex::Regex& r) {
+  using rex::Kind;
+  switch (r->kind()) {
+    case Kind::kEmpty: {
+      // Two disconnected states: nothing reaches the exit.
+      const StateId entry = nfa.add_state();
+      const StateId exit = nfa.add_state();
+      return {entry, exit};
+    }
+    case Kind::kEpsilon: {
+      const StateId entry = nfa.add_state();
+      const StateId exit = nfa.add_state();
+      nfa.add_epsilon(entry, exit);
+      return {entry, exit};
+    }
+    case Kind::kSymbol: {
+      const StateId entry = nfa.add_state();
+      const StateId exit = nfa.add_state();
+      nfa.add_transition(entry, r->symbol(), exit);
+      return {entry, exit};
+    }
+    case Kind::kConcat: {
+      const auto [entry1, exit1] = add_fragment(nfa, r->left());
+      const auto [entry2, exit2] = add_fragment(nfa, r->right());
+      nfa.add_epsilon(exit1, entry2);
+      return {entry1, exit2};
+    }
+    case Kind::kUnion: {
+      const StateId entry = nfa.add_state();
+      const StateId exit = nfa.add_state();
+      const auto [entry1, exit1] = add_fragment(nfa, r->left());
+      const auto [entry2, exit2] = add_fragment(nfa, r->right());
+      nfa.add_epsilon(entry, entry1);
+      nfa.add_epsilon(entry, entry2);
+      nfa.add_epsilon(exit1, exit);
+      nfa.add_epsilon(exit2, exit);
+      return {entry, exit};
+    }
+    case Kind::kStar: {
+      const StateId entry = nfa.add_state();
+      const StateId exit = nfa.add_state();
+      const auto [body_entry, body_exit] = add_fragment(nfa, r->left());
+      nfa.add_epsilon(entry, exit);
+      nfa.add_epsilon(entry, body_entry);
+      nfa.add_epsilon(body_exit, body_entry);
+      nfa.add_epsilon(body_exit, exit);
+      return {entry, exit};
+    }
+  }
+  // Unreachable; keep the compiler satisfied.
+  const StateId entry = nfa.add_state();
+  return {entry, entry};
+}
+
+Nfa from_regex(const rex::Regex& r) {
+  Nfa nfa;
+  const auto [entry, exit] = add_fragment(nfa, r);
+  nfa.mark_initial(entry);
+  nfa.mark_accepting(exit);
+  return nfa;
+}
+
+}  // namespace shelley::fsm

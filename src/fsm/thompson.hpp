@@ -1,0 +1,20 @@
+// Thompson construction: compiles a regular expression (rex) into an Nfa
+// with one initial and one accepting state.  Together with ops.hpp this
+// realizes Corollary 1 executably: the inferred behavior of any program is a
+// regular language recognized by a finite automaton.
+#pragma once
+
+#include "fsm/nfa.hpp"
+#include "rex/regex.hpp"
+
+namespace shelley::fsm {
+
+/// Builds an NFA recognizing L(r).
+[[nodiscard]] Nfa from_regex(const rex::Regex& r);
+
+/// Appends a Thompson fragment for `r` to `nfa`; returns the fragment's
+/// (entry, exit) states.  Neither state is marked initial/accepting.
+[[nodiscard]] std::pair<StateId, StateId> add_fragment(Nfa& nfa,
+                                                       const rex::Regex& r);
+
+}  // namespace shelley::fsm

@@ -1,0 +1,95 @@
+#include "fsm/to_regex.hpp"
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "fsm/ops.hpp"
+#include "rex/derivative.hpp"
+
+namespace shelley::fsm {
+namespace {
+
+// Generalized NFA: single initial state, single accepting state, at most
+// one regex edge between any ordered state pair.
+class Gnfa {
+ public:
+  explicit Gnfa(const Nfa& nfa) {
+    // States 0..n-1 are the NFA's; n is the fresh start, n+1 the fresh end.
+    const std::size_t n = nfa.state_count();
+    start_ = n;
+    end_ = n + 1;
+    for (const Transition& t : nfa.transitions()) {
+      add_edge(t.from, t.to,
+               t.is_epsilon() ? rex::epsilon() : rex::symbol(t.symbol));
+    }
+    for (StateId s : nfa.initial_states()) {
+      add_edge(start_, s, rex::epsilon());
+    }
+    for (StateId s : nfa.accepting_states()) {
+      add_edge(s, end_, rex::epsilon());
+    }
+    state_count_ = n + 2;
+  }
+
+  /// Eliminates every interior state; returns the start->end regex.
+  rex::Regex eliminate() {
+    for (std::size_t victim = 0; victim < state_count_; ++victim) {
+      if (victim == start_ || victim == end_) continue;
+      eliminate_state(victim);
+    }
+    const auto it = edges_.find({start_, end_});
+    return it == edges_.end() ? rex::empty() : it->second;
+  }
+
+ private:
+  void add_edge(std::size_t from, std::size_t to, rex::Regex r) {
+    auto [it, inserted] = edges_.emplace(std::make_pair(from, to), r);
+    if (!inserted) it->second = rex::smart_alt(it->second, std::move(r));
+  }
+
+  void eliminate_state(std::size_t victim) {
+    // Self loop on the victim (if any) becomes a star in every bypass.
+    rex::Regex loop = rex::epsilon();
+    if (const auto self = edges_.find({victim, victim});
+        self != edges_.end()) {
+      loop = rex::smart_star(self->second);
+    }
+    // Collect in/out edges of the victim.
+    std::vector<std::pair<std::size_t, rex::Regex>> incoming;
+    std::vector<std::pair<std::size_t, rex::Regex>> outgoing;
+    for (const auto& [key, regex] : edges_) {
+      const auto& [from, to] = key;
+      if (to == victim && from != victim) incoming.emplace_back(from, regex);
+      if (from == victim && to != victim) outgoing.emplace_back(to, regex);
+    }
+    // Remove all edges touching the victim.
+    for (auto it = edges_.begin(); it != edges_.end();) {
+      if (it->first.first == victim || it->first.second == victim) {
+        it = edges_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    // Bypass: from --in·loop*·out--> to.
+    for (const auto& [from, in] : incoming) {
+      for (const auto& [to, out] : outgoing) {
+        add_edge(from, to,
+                 rex::smart_concat(in, rex::smart_concat(loop, out)));
+      }
+    }
+  }
+
+  std::map<std::pair<std::size_t, std::size_t>, rex::Regex> edges_;
+  std::size_t start_ = 0;
+  std::size_t end_ = 0;
+  std::size_t state_count_ = 0;
+};
+
+}  // namespace
+
+rex::Regex to_regex(const Nfa& nfa) { return Gnfa(nfa).eliminate(); }
+
+rex::Regex to_regex(const Dfa& dfa) { return to_regex(to_nfa(dfa)); }
+
+}  // namespace shelley::fsm

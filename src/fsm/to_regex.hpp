@@ -1,0 +1,20 @@
+// DFA/NFA -> regular expression by state elimination (Kleene's theorem).
+// Together with thompson.hpp this closes the loop of Corollary 1: behaviors
+// round-trip between automata and regular expressions.  Used to *display*
+// the valid-usage language of a class specification as a regex.
+#pragma once
+
+#include "fsm/dfa.hpp"
+#include "fsm/nfa.hpp"
+#include "rex/regex.hpp"
+
+namespace shelley::fsm {
+
+/// Returns a regular expression with L(r) = L(nfa).  The result is built
+/// with the simplifying constructors but is not guaranteed minimal.
+[[nodiscard]] rex::Regex to_regex(const Nfa& nfa);
+
+/// Convenience overload.
+[[nodiscard]] rex::Regex to_regex(const Dfa& dfa);
+
+}  // namespace shelley::fsm

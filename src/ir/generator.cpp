@@ -1,0 +1,46 @@
+#include "ir/generator.hpp"
+
+namespace shelley::ir {
+
+ProgramGenerator::ProgramGenerator(std::uint64_t seed,
+                                   GeneratorOptions options,
+                                   SymbolTable& table)
+    : rng_(seed), options_(options) {
+  symbols_.reserve(options_.alphabet_size);
+  for (std::size_t i = 0; i < options_.alphabet_size; ++i) {
+    symbols_.push_back(table.intern("f" + std::to_string(i)));
+  }
+}
+
+Program ProgramGenerator::next() { return generate(options_.max_depth); }
+
+Program ProgramGenerator::generate(std::size_t depth) {
+  const GeneratorOptions& o = options_;
+  // At depth 0 only leaves are available.
+  const unsigned leaf_total = o.call_weight + o.skip_weight + o.return_weight;
+  const unsigned total =
+      depth == 0 ? leaf_total
+                 : leaf_total + o.seq_weight + o.if_weight + o.loop_weight;
+  std::uniform_int_distribution<unsigned> dist(0, total - 1);
+  unsigned pick = dist(rng_);
+
+  if (pick < o.call_weight) {
+    std::uniform_int_distribution<std::size_t> sym(0, symbols_.size() - 1);
+    return call(symbols_[sym(rng_)]);
+  }
+  pick -= o.call_weight;
+  if (pick < o.skip_weight) return skip();
+  pick -= o.skip_weight;
+  if (pick < o.return_weight) return ret();
+  pick -= o.return_weight;
+  if (pick < o.seq_weight) {
+    return seq(generate(depth - 1), generate(depth - 1));
+  }
+  pick -= o.seq_weight;
+  if (pick < o.if_weight) {
+    return branch(generate(depth - 1), generate(depth - 1));
+  }
+  return loop(generate(depth - 1));
+}
+
+}  // namespace shelley::ir

@@ -1,0 +1,43 @@
+// Deterministic random generation of IR programs, used to mechanize
+// Theorems 1/2 as property sweeps and to drive the scaling benchmarks.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "ir/program.hpp"
+#include "support/symbol.hpp"
+
+namespace shelley::ir {
+
+struct GeneratorOptions {
+  /// Maximum tree depth.
+  std::size_t max_depth = 5;
+  /// Number of distinct callable symbols (named f0, f1, ...).
+  std::size_t alphabet_size = 3;
+  /// Relative weights of each production at interior nodes.
+  unsigned call_weight = 4;
+  unsigned skip_weight = 1;
+  unsigned return_weight = 1;
+  unsigned seq_weight = 4;
+  unsigned if_weight = 2;
+  unsigned loop_weight = 2;
+};
+
+class ProgramGenerator {
+ public:
+  ProgramGenerator(std::uint64_t seed, GeneratorOptions options,
+                   SymbolTable& table);
+
+  /// Generates one random program.
+  [[nodiscard]] Program next();
+
+ private:
+  [[nodiscard]] Program generate(std::size_t depth);
+
+  std::mt19937_64 rng_;
+  GeneratorOptions options_;
+  std::vector<Symbol> symbols_;
+};
+
+}  // namespace shelley::ir

@@ -1,0 +1,84 @@
+#include "ir/inference.hpp"
+
+#include "rex/derivative.hpp"
+
+namespace shelley::ir {
+namespace {
+
+/// Inserts `r` unless an entry with equal structure and exit id is already
+/// present, modelling set union while keeping deterministic order.
+void insert_unique(std::vector<ReturnedBehavior>& set, ReturnedBehavior r) {
+  for (const ReturnedBehavior& existing : set) {
+    if (existing.exit_id == r.exit_id &&
+        rex::structurally_equal(existing.regex, r.regex)) {
+      return;
+    }
+  }
+  set.push_back(std::move(r));
+}
+
+}  // namespace
+
+Behavior analyze(const Program& p) {
+  switch (p->kind()) {
+    case Kind::kCall:
+      return {rex::symbol(p->symbol()), {}};
+    case Kind::kSkip:
+      return {rex::epsilon(), {}};
+    case Kind::kReturn:
+      return {rex::empty(), {{rex::epsilon(), p->exit_id()}}};
+    case Kind::kSeq: {
+      const Behavior b1 = analyze(p->left());
+      const Behavior b2 = analyze(p->right());
+      Behavior out;
+      out.ongoing = rex::concat(b1.ongoing, b2.ongoing);
+      for (const ReturnedBehavior& r : b2.returned) {
+        insert_unique(out.returned,
+                      {rex::concat(b1.ongoing, r.regex), r.exit_id});
+      }
+      for (const ReturnedBehavior& r : b1.returned) {
+        insert_unique(out.returned, r);
+      }
+      return out;
+    }
+    case Kind::kIf: {
+      const Behavior b1 = analyze(p->left());
+      const Behavior b2 = analyze(p->right());
+      Behavior out;
+      out.ongoing = rex::alt(b1.ongoing, b2.ongoing);
+      for (const ReturnedBehavior& r : b1.returned) {
+        insert_unique(out.returned, r);
+      }
+      for (const ReturnedBehavior& r : b2.returned) {
+        insert_unique(out.returned, r);
+      }
+      return out;
+    }
+    case Kind::kLoop: {
+      const Behavior b1 = analyze(p->left());
+      Behavior out;
+      out.ongoing = rex::star(b1.ongoing);
+      for (const ReturnedBehavior& r : b1.returned) {
+        insert_unique(out.returned,
+                      {rex::concat(out.ongoing, r.regex), r.exit_id});
+      }
+      return out;
+    }
+  }
+  return {rex::empty(), {}};
+}
+
+rex::Regex infer(const Program& p) {
+  const Behavior behavior = analyze(p);
+  rex::Regex out = behavior.ongoing;
+  for (const ReturnedBehavior& r : behavior.returned) {
+    out = rex::alt(std::move(out), r.regex);
+  }
+  return out;
+}
+
+rex::Regex infer_simplified(const Program& p) {
+  return rex::simplify(infer(p));
+}
+
+}  // namespace shelley::ir

@@ -1,0 +1,50 @@
+// Behavior inference (Figure 4):
+//
+//   ⟦f()⟧     = (f, ∅)
+//   ⟦skip⟧    = (ε, ∅)
+//   ⟦return⟧  = (∅, {ε})
+//   ⟦p1;p2⟧   = (r1·r2, {r1·r | r ∈ s2} ∪ s1)
+//   ⟦if⟧      = (r1+r2, s1 ∪ s2)
+//   ⟦loop p⟧  = (r1*, {r1*·r | r ∈ s1})
+//
+//   infer(p)  = r + r'1 + ... + r'n    where ⟦p⟧ = (r, {r'1, ..., r'n})
+//
+// `analyze` builds the *raw* regex structure exactly as written in the paper
+// (so Example 3's shape, including the `b·∅` subterm, is reproduced
+// verbatim); `infer_simplified` additionally normalizes with the smart
+// constructors, which is what the verification pipeline consumes.
+#pragma once
+
+#include <vector>
+
+#include "ir/program.hpp"
+#include "rex/regex.hpp"
+
+namespace shelley::ir {
+
+/// One element of the returned-behavior set s, tagged with the frontend
+/// exit-point id of the return statement it arose from (0 for untagged
+/// programs built directly in the calculus).
+struct ReturnedBehavior {
+  rex::Regex regex;
+  std::uint32_t exit_id = 0;
+};
+
+/// The pair ⟦p⟧ = (r, s): ongoing behavior plus the returned behaviors.
+/// `returned` preserves first-derivation order and is duplicate-free on
+/// (structure, exit_id) pairs (it models the paper's finite set s).
+struct Behavior {
+  rex::Regex ongoing;
+  std::vector<ReturnedBehavior> returned;
+};
+
+/// Computes ⟦p⟧ with raw (non-simplifying) regex constructors.
+[[nodiscard]] Behavior analyze(const Program& p);
+
+/// infer(p) = ongoing + returned_1 + ... + returned_n  (raw constructors).
+[[nodiscard]] rex::Regex infer(const Program& p);
+
+/// infer(p) normalized by rex::simplify; language-equal to infer(p).
+[[nodiscard]] rex::Regex infer_simplified(const Program& p);
+
+}  // namespace shelley::ir

@@ -1,0 +1,216 @@
+#include "ir/lowering.hpp"
+
+#include <cassert>
+
+namespace shelley::ir {
+namespace {
+
+using upy::AttributeExpr;
+using upy::CallExpr;
+using upy::NameExpr;
+
+void collect_events(const upy::ExprPtr& expr, const LoweringContext& context,
+                    std::vector<Symbol>& out);
+
+void collect_from_list(const std::vector<upy::ExprPtr>& items,
+                       const LoweringContext& context,
+                       std::vector<Symbol>& out) {
+  for (const upy::ExprPtr& item : items) collect_events(item, context, out);
+}
+
+void collect_events(const upy::ExprPtr& expr, const LoweringContext& context,
+                    std::vector<Symbol>& out) {
+  if (!expr) return;
+  std::visit(
+      [&](const auto& node) {
+        using T = std::decay_t<decltype(node)>;
+        if constexpr (std::is_same_v<T, CallExpr>) {
+          // Python evaluates the callee, then arguments, then performs the
+          // call -- the call's own event therefore comes last.
+          collect_events(node.callee, context, out);
+          collect_from_list(node.args, context, out);
+          if (const auto event =
+                  tracked_call_event(expr, context)) {
+            out.push_back(*event);
+          }
+        } else if constexpr (std::is_same_v<T, AttributeExpr>) {
+          collect_events(node.value, context, out);
+        } else if constexpr (std::is_same_v<T, upy::ListExpr> ||
+                             std::is_same_v<T, upy::TupleExpr>) {
+          collect_from_list(node.elements, context, out);
+        } else if constexpr (std::is_same_v<T, upy::UnaryExpr>) {
+          collect_events(node.operand, context, out);
+        } else if constexpr (std::is_same_v<T, upy::BinaryExpr>) {
+          collect_events(node.left, context, out);
+          collect_events(node.right, context, out);
+        } else if constexpr (std::is_same_v<T, upy::SubscriptExpr>) {
+          collect_events(node.value, context, out);
+          collect_events(node.index, context, out);
+        }
+        // Names and literals produce no events.
+      },
+      expr->node);
+}
+
+/// Events of an expression as a program fragment (skip when none).
+Program events_program(const upy::ExprPtr& expr,
+                       const LoweringContext& context) {
+  std::vector<Symbol> events;
+  collect_events(expr, context, events);
+  if (events.empty()) return skip();
+  std::vector<Program> calls;
+  calls.reserve(events.size());
+  for (Symbol event : events) calls.push_back(call(event));
+  return seq_of(calls);
+}
+
+Program lower_stmt(const upy::StmtPtr& stmt, const LoweringContext& context);
+
+Program lower_body(const upy::Block& block, const LoweringContext& context) {
+  std::vector<Program> parts;
+  for (const upy::StmtPtr& stmt : block) {
+    Program p = lower_stmt(stmt, context);
+    // Drop skips between statements to keep programs small; an empty
+    // sequence still lowers to a single skip below.
+    if (p->kind() == Kind::kSkip) continue;
+    parts.push_back(std::move(p));
+  }
+  return seq_of(parts);
+}
+
+/// Folds match cases / if-chains into nested if(★) nodes.
+Program fold_branches(std::vector<Program> branches) {
+  assert(!branches.empty());
+  Program out = branches.back();
+  for (std::size_t i = branches.size() - 1; i-- > 0;) {
+    out = branch(branches[i], std::move(out));
+  }
+  return out;
+}
+
+Program lower_stmt(const upy::StmtPtr& stmt, const LoweringContext& context) {
+  return std::visit(
+      [&](const auto& node) -> Program {
+        using T = std::decay_t<decltype(node)>;
+        if constexpr (std::is_same_v<T, upy::ExprStmt>) {
+          return events_program(node.value, context);
+        } else if constexpr (std::is_same_v<T, upy::AssignStmt>) {
+          // Right-hand side first (Python's evaluation order), then any
+          // events hidden in a subscripted target.
+          Program value = events_program(node.value, context);
+          Program target = events_program(node.target, context);
+          if (target->kind() == Kind::kSkip) return value;
+          return seq(std::move(value), std::move(target));
+        } else if constexpr (std::is_same_v<T, upy::ReturnStmt>) {
+          Program value = node.value ? events_program(node.value, context)
+                                     : skip();
+          Program ret_node = context.next_return_id != nullptr
+                                 ? ret_with_id((*context.next_return_id)++)
+                                 : ret();
+          if (value->kind() == Kind::kSkip) return ret_node;
+          return seq(std::move(value), std::move(ret_node));
+        } else if constexpr (std::is_same_v<T, upy::PassStmt>) {
+          return skip();
+        } else if constexpr (std::is_same_v<T, upy::BreakStmt> ||
+                             std::is_same_v<T, upy::ContinueStmt>) {
+          if (context.diagnostics != nullptr) {
+            context.diagnostics->error(
+                stmt->loc,
+                "break/continue are outside the analyzable subset "
+                "(the loop abstraction loop(\xE2\x98\x85) cannot express "
+                "them)");
+          }
+          return skip();
+        } else if constexpr (std::is_same_v<T, upy::IfStmt>) {
+          Program condition = events_program(node.condition, context);
+          Program then_p = lower_body(node.then_body, context);
+          Program else_p = lower_body(node.else_body, context);
+          Program branched = branch(std::move(then_p), std::move(else_p));
+          if (condition->kind() == Kind::kSkip) return branched;
+          return seq(std::move(condition), std::move(branched));
+        } else if constexpr (std::is_same_v<T, upy::WhileStmt>) {
+          Program condition = events_program(node.condition, context);
+          Program body = lower_body(node.body, context);
+          if (condition->kind() == Kind::kSkip) return loop(std::move(body));
+          // The condition is evaluated before every iteration and once more
+          // on exit: cond; loop(★){ body; cond }.
+          Program iteration = seq(std::move(body), condition);
+          return seq(condition, loop(std::move(iteration)));
+        } else if constexpr (std::is_same_v<T, upy::ForStmt>) {
+          Program iterable = events_program(node.iterable, context);
+          Program body = loop(lower_body(node.body, context));
+          if (iterable->kind() == Kind::kSkip) return body;
+          return seq(std::move(iterable), std::move(body));
+        } else if constexpr (std::is_same_v<T, upy::TryStmt>) {
+          if (context.diagnostics != nullptr) {
+            context.diagnostics->error(
+                stmt->loc,
+                "try/except is outside the analyzable subset (the paper's "
+                "analysis does not model Python exceptions)");
+          }
+          // Best effort: analyze the protected body so later diagnostics
+          // still fire.  Handlers and the finally block are lowered too --
+          // and discarded -- purely to keep the return-id counter aligned
+          // with the spec extraction's source-order numbering.
+          Program body = lower_body(node.body, context);
+          for (const upy::Block& handler : node.handlers) {
+            (void)lower_body(handler, context);
+          }
+          (void)lower_body(node.final_body, context);
+          return body;
+        } else if constexpr (std::is_same_v<T, upy::RaiseStmt>) {
+          if (context.diagnostics != nullptr) {
+            context.diagnostics->error(
+                stmt->loc,
+                "raise is outside the analyzable subset (the paper's "
+                "analysis does not model Python exceptions)");
+          }
+          return skip();
+        } else if constexpr (std::is_same_v<T, upy::MatchStmt>) {
+          Program subject = events_program(node.subject, context);
+          std::vector<Program> branches;
+          branches.reserve(node.cases.size());
+          for (const upy::MatchCase& match_case : node.cases) {
+            branches.push_back(lower_body(match_case.body, context));
+          }
+          Program branched = branches.size() == 1
+                                 ? std::move(branches.front())
+                                 : fold_branches(std::move(branches));
+          if (subject->kind() == Kind::kSkip) return branched;
+          return seq(std::move(subject), std::move(branched));
+        } else {
+          return skip();
+        }
+      },
+      stmt->node);
+}
+
+}  // namespace
+
+std::optional<Symbol> tracked_call_event(const upy::ExprPtr& expr,
+                                         const LoweringContext& context) {
+  const auto* call_node = upy::as<CallExpr>(expr);
+  if (call_node == nullptr) return std::nullopt;
+  const auto* method = upy::as<AttributeExpr>(call_node->callee);
+  if (method == nullptr) return std::nullopt;
+  const auto* field = upy::as<AttributeExpr>(method->value);
+  if (field == nullptr) return std::nullopt;
+  const auto* base = upy::as<NameExpr>(field->value);
+  if (base == nullptr || base->id != "self") return std::nullopt;
+  if (!context.tracked_fields.contains(field->attr)) return std::nullopt;
+  assert(context.symbols != nullptr);
+  return context.symbols->intern(field->attr + "." + method->attr);
+}
+
+std::vector<Symbol> events_in_expr(const upy::ExprPtr& expr,
+                                   const LoweringContext& context) {
+  std::vector<Symbol> out;
+  collect_events(expr, context, out);
+  return out;
+}
+
+Program lower_block(const upy::Block& block, const LoweringContext& context) {
+  return lower_body(block, context);
+}
+
+}  // namespace shelley::ir

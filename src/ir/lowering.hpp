@@ -1,0 +1,51 @@
+// Lowering MicroPython method bodies to the IR (§3.2 "Supported Python
+// constructs"):
+//
+//   * `self.<field>.<method>(...)` where <field> is a tracked subsystem
+//     becomes the event  <field>.<method>()  -- arguments are walked for
+//     nested tracked calls but their values are discarded;
+//   * `if`/`elif`/`else` and `match`/`case` become if(★);
+//   * `while` and `for` become loop(★);
+//   * `return` becomes return (the returned value is handled separately by
+//     the specification extraction);
+//   * every other statement becomes skip;
+//   * Python exceptions are not modeled; `break`/`continue` are outside the
+//     subset and reported as errors.
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "ir/program.hpp"
+#include "support/diagnostics.hpp"
+#include "support/symbol.hpp"
+#include "upy/ast.hpp"
+
+namespace shelley::ir {
+
+struct LoweringContext {
+  /// Names of `self.<field>` receivers whose calls are events.
+  std::set<std::string> tracked_fields;
+  SymbolTable* symbols = nullptr;
+  DiagnosticEngine* diagnostics = nullptr;  // optional
+  /// When set, each lowered return is tagged with *next_return_id, which is
+  /// then incremented.  Returns are visited in source order, so the assigned
+  /// ids line up with core::ExitPoint ids.
+  std::uint32_t* next_return_id = nullptr;
+};
+
+/// Lowers a method body.  Always returns a well-formed program; unsupported
+/// constructs lower to skip after reporting a diagnostic.
+[[nodiscard]] Program lower_block(const upy::Block& block,
+                                  const LoweringContext& context);
+
+/// Collects the events produced by evaluating `expr`, in evaluation order
+/// (arguments before the call itself).
+[[nodiscard]] std::vector<Symbol> events_in_expr(
+    const upy::ExprPtr& expr, const LoweringContext& context);
+
+/// If `expr` is a tracked call `self.x.m(...)`, returns its event symbol.
+[[nodiscard]] std::optional<Symbol> tracked_call_event(
+    const upy::ExprPtr& expr, const LoweringContext& context);
+
+}  // namespace shelley::ir

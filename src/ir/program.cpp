@@ -1,0 +1,144 @@
+#include "ir/program.hpp"
+
+#include <functional>
+#include <cassert>
+
+namespace shelley::ir {
+
+Node::Node(Kind kind, Symbol sym, Program left, Program right,
+           std::uint32_t exit_id)
+    : kind_(kind),
+      sym_(sym),
+      left_(std::move(left)),
+      right_(std::move(right)),
+      exit_id_(exit_id) {
+  size_ = 1;
+  if (left_) size_ += left_->size();
+  if (right_) size_ += right_->size();
+}
+
+Program call(Symbol f) {
+  assert(f.valid());
+  return std::make_shared<const Node>(Kind::kCall, f, nullptr, nullptr);
+}
+
+Program skip() {
+  static const Program instance =
+      std::make_shared<const Node>(Kind::kSkip, Symbol{}, nullptr, nullptr);
+  return instance;
+}
+
+Program ret() {
+  static const Program instance =
+      std::make_shared<const Node>(Kind::kReturn, Symbol{}, nullptr, nullptr);
+  return instance;
+}
+
+Program ret_with_id(std::uint32_t exit_id) {
+  return std::make_shared<const Node>(Kind::kReturn, Symbol{}, nullptr,
+                                      nullptr, exit_id);
+}
+
+Program seq(Program a, Program b) {
+  assert(a && b);
+  return std::make_shared<const Node>(Kind::kSeq, Symbol{}, std::move(a),
+                                      std::move(b));
+}
+
+Program branch(Program then_program, Program else_program) {
+  assert(then_program && else_program);
+  return std::make_shared<const Node>(Kind::kIf, Symbol{},
+                                      std::move(then_program),
+                                      std::move(else_program));
+}
+
+Program loop(Program body) {
+  assert(body);
+  return std::make_shared<const Node>(Kind::kLoop, Symbol{}, std::move(body),
+                                      nullptr);
+}
+
+Program seq_of(const std::vector<Program>& programs) {
+  if (programs.empty()) return skip();
+  Program out = programs.back();
+  for (std::size_t i = programs.size() - 1; i-- > 0;) {
+    out = seq(programs[i], std::move(out));
+  }
+  return out;
+}
+
+std::set<Symbol> alphabet(const Program& p) {
+  std::set<Symbol> out;
+  const std::function<void(const Program&)> walk = [&](const Program& node) {
+    if (!node) return;
+    if (node->kind() == Kind::kCall) out.insert(node->symbol());
+    walk(node->left());
+    walk(node->right());
+  };
+  walk(p);
+  return out;
+}
+
+bool structurally_equal(const Program& a, const Program& b) {
+  if (a.get() == b.get()) return true;
+  if (!a || !b) return false;
+  if (a->kind() != b->kind()) return false;
+  switch (a->kind()) {
+    case Kind::kSkip:
+    case Kind::kReturn:
+      return true;
+    case Kind::kCall:
+      return a->symbol() == b->symbol();
+    case Kind::kLoop:
+      return structurally_equal(a->left(), b->left());
+    case Kind::kSeq:
+    case Kind::kIf:
+      return structurally_equal(a->left(), b->left()) &&
+             structurally_equal(a->right(), b->right());
+  }
+  return false;
+}
+
+namespace {
+
+void render(const Program& p, const SymbolTable& table, std::string& out) {
+  switch (p->kind()) {
+    case Kind::kCall:
+      out += table.name(p->symbol());
+      out += "()";
+      break;
+    case Kind::kSkip:
+      out += "skip";
+      break;
+    case Kind::kReturn:
+      out += "return";
+      break;
+    case Kind::kSeq:
+      render(p->left(), table, out);
+      out += "; ";
+      render(p->right(), table, out);
+      break;
+    case Kind::kIf:
+      out += "if(★){ ";
+      render(p->left(), table, out);
+      out += " } else { ";
+      render(p->right(), table, out);
+      out += " }";
+      break;
+    case Kind::kLoop:
+      out += "loop(★){ ";
+      render(p->left(), table, out);
+      out += " }";
+      break;
+  }
+}
+
+}  // namespace
+
+std::string to_string(const Program& p, const SymbolTable& table) {
+  std::string out;
+  render(p, table, out);
+  return out;
+}
+
+}  // namespace shelley::ir

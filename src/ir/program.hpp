@@ -1,0 +1,79 @@
+// The paper's source calculus (§3.2, Figure 4):
+//
+//   p ::= f() | skip | return | p ; p | if(★){p} else {p} | loop(★){p}
+//
+// Programs are immutable shared trees.  `f` ranges over interned event
+// symbols (qualified method calls such as "a.open").
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "support/symbol.hpp"
+
+namespace shelley::ir {
+
+enum class Kind : std::uint8_t {
+  kCall,    // f()
+  kSkip,    // skip
+  kReturn,  // return
+  kSeq,     // p1 ; p2
+  kIf,      // if(★){p1} else {p2}
+  kLoop,    // loop(★){p}
+};
+
+class Node;
+using Program = std::shared_ptr<const Node>;
+
+class Node {
+ public:
+  Node(Kind kind, Symbol sym, Program left, Program right,
+       std::uint32_t exit_id = 0);
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] Symbol symbol() const { return sym_; }
+  [[nodiscard]] const Program& left() const { return left_; }
+  [[nodiscard]] const Program& right() const { return right_; }
+  /// Node count of the subtree.
+  [[nodiscard]] std::size_t size() const { return size_; }
+  /// For kReturn: which source-level exit point this return represents
+  /// (the index assigned by the frontend; 0 when untagged).  The formal
+  /// semantics ignores this -- it only exists so the composite-system
+  /// construction can route each returned behavior to its exit node.
+  [[nodiscard]] std::uint32_t exit_id() const { return exit_id_; }
+
+ private:
+  Kind kind_;
+  Symbol sym_;
+  Program left_;
+  Program right_;
+  std::size_t size_;
+  std::uint32_t exit_id_ = 0;
+};
+
+[[nodiscard]] Program call(Symbol f);
+[[nodiscard]] Program skip();
+[[nodiscard]] Program ret();
+/// A return tagged with a frontend exit-point id.
+[[nodiscard]] Program ret_with_id(std::uint32_t exit_id);
+[[nodiscard]] Program seq(Program a, Program b);
+[[nodiscard]] Program branch(Program then_program, Program else_program);
+[[nodiscard]] Program loop(Program body);
+
+/// Folds statements into a right-nested sequence; empty input yields skip.
+[[nodiscard]] Program seq_of(const std::vector<Program>& programs);
+
+/// Every symbol called anywhere in the program.
+[[nodiscard]] std::set<Symbol> alphabet(const Program& p);
+
+[[nodiscard]] bool structurally_equal(const Program& a, const Program& b);
+
+/// Renders in the paper's concrete syntax, e.g.
+/// `loop(★){ a(); if(★){ b(); return } else { c() } }`.
+[[nodiscard]] std::string to_string(const Program& p,
+                                    const SymbolTable& table);
+
+}  // namespace shelley::ir

@@ -1,0 +1,187 @@
+#include "ir/semantics.hpp"
+
+#include <map>
+#include <set>
+#include <span>
+#include <tuple>
+
+namespace shelley::ir {
+namespace {
+
+// Memoized decision of  s ⊢ word[begin..end) ∈ p.
+//
+// Rule coverage (Figure 4):
+//   CALL / SKIP / RETURN  -- leaves.
+//   SEQ-1: R ⊢ l ∈ p1             => R ⊢ l ∈ p1;p2
+//   SEQ-2: 0 ⊢ l1 ∈ p1, s ⊢ l2 ∈ p2 => s ⊢ l1·l2 ∈ p1;p2
+//   IF-1 / IF-2                   -- either branch.
+//   LOOP-1: 0 ⊢ [] ∈ loop
+//   LOOP-2: R ⊢ l ∈ p             => R ⊢ l ∈ loop
+//   LOOP-3: 0 ⊢ l1 ∈ p, s ⊢ l2 ∈ loop => s ⊢ l1·l2 ∈ loop
+//
+// For LOOP-3 we only need splits with non-empty l1: an empty l1 makes the
+// conclusion identical to the second premise, so it derives nothing new;
+// this restriction is what makes the recursion well-founded (the suffix
+// strictly shrinks on every loop re-entry).
+class Decider {
+ public:
+  Decider(const Word& word) : word_(word) {}
+
+  bool decide(const Node* p, std::size_t begin, std::size_t end,
+              Status status) {
+    const Key key{p, begin, end, status};
+    if (const auto it = memo_.find(key); it != memo_.end()) return it->second;
+    const bool result = compute(p, begin, end, status);
+    memo_.emplace(key, result);
+    return result;
+  }
+
+ private:
+  using Key = std::tuple<const Node*, std::size_t, std::size_t, Status>;
+
+  bool compute(const Node* p, std::size_t begin, std::size_t end,
+               Status status) {
+    const std::size_t len = end - begin;
+    switch (p->kind()) {
+      case Kind::kCall:
+        return status == Status::kOngoing && len == 1 &&
+               word_[begin] == p->symbol();
+      case Kind::kSkip:
+        return status == Status::kOngoing && len == 0;
+      case Kind::kReturn:
+        return status == Status::kReturned && len == 0;
+      case Kind::kSeq: {
+        // SEQ-1
+        if (status == Status::kReturned &&
+            decide(p->left().get(), begin, end, Status::kReturned)) {
+          return true;
+        }
+        // SEQ-2: all splits, including empty halves.
+        for (std::size_t mid = begin; mid <= end; ++mid) {
+          if (decide(p->left().get(), begin, mid, Status::kOngoing) &&
+              decide(p->right().get(), mid, end, status)) {
+            return true;
+          }
+        }
+        return false;
+      }
+      case Kind::kIf:
+        return decide(p->left().get(), begin, end, status) ||
+               decide(p->right().get(), begin, end, status);
+      case Kind::kLoop: {
+        // LOOP-1
+        if (status == Status::kOngoing && len == 0) return true;
+        // LOOP-2
+        if (status == Status::kReturned &&
+            decide(p->left().get(), begin, end, Status::kReturned)) {
+          return true;
+        }
+        // LOOP-3 with non-empty first iteration.
+        for (std::size_t mid = begin + 1; mid <= end; ++mid) {
+          if (decide(p->left().get(), begin, mid, Status::kOngoing) &&
+              decide(p, mid, end, status)) {
+            return true;
+          }
+        }
+        return false;
+      }
+    }
+    return false;
+  }
+
+  const Word& word_;
+  std::map<Key, bool> memo_;
+};
+
+}  // namespace
+
+bool derives(const Program& p, const Word& word, Status status) {
+  Decider decider(word);
+  return decider.decide(p.get(), 0, word.size(), status);
+}
+
+bool in_language(const Program& p, const Word& word) {
+  Decider decider(word);
+  return decider.decide(p.get(), 0, word.size(), Status::kOngoing) ||
+         decider.decide(p.get(), 0, word.size(), Status::kReturned);
+}
+
+namespace {
+
+using TraceSet = std::set<Trace>;
+
+Word concat_words(const Word& a, const Word& b) {
+  Word out = a;
+  out.insert(out.end(), b.begin(), b.end());
+  return out;
+}
+
+TraceSet enumerate(const Node* p, const EnumerationLimits& limits) {
+  switch (p->kind()) {
+    case Kind::kCall:
+      if (limits.max_length == 0) return {};
+      return {Trace{{p->symbol()}, Status::kOngoing}};
+    case Kind::kSkip:
+      return {Trace{{}, Status::kOngoing}};
+    case Kind::kReturn:
+      return {Trace{{}, Status::kReturned}};
+    case Kind::kSeq: {
+      const TraceSet lhs = enumerate(p->left().get(), limits);
+      const TraceSet rhs = enumerate(p->right().get(), limits);
+      TraceSet out;
+      for (const Trace& t1 : lhs) {
+        if (t1.status == Status::kReturned) {
+          out.insert(t1);  // SEQ-1
+          continue;
+        }
+        for (const Trace& t2 : rhs) {  // SEQ-2
+          if (t1.word.size() + t2.word.size() > limits.max_length) continue;
+          out.insert(Trace{concat_words(t1.word, t2.word), t2.status});
+        }
+      }
+      return out;
+    }
+    case Kind::kIf: {
+      TraceSet out = enumerate(p->left().get(), limits);
+      const TraceSet rhs = enumerate(p->right().get(), limits);
+      out.insert(rhs.begin(), rhs.end());
+      return out;
+    }
+    case Kind::kLoop: {
+      const TraceSet body = enumerate(p->left().get(), limits);
+      // Seed: LOOP-1 plus LOOP-2 (body traces that return).
+      TraceSet out{Trace{{}, Status::kOngoing}};
+      for (const Trace& t : body) {
+        if (t.status == Status::kReturned) out.insert(t);
+      }
+      // LOOP-3: prepend up to max_loop_unroll ongoing body iterations.
+      TraceSet frontier = out;
+      for (std::size_t round = 0; round < limits.max_loop_unroll; ++round) {
+        TraceSet next;
+        for (const Trace& t1 : body) {
+          if (t1.status != Status::kOngoing) continue;
+          for (const Trace& t2 : frontier) {
+            if (t1.word.size() + t2.word.size() > limits.max_length) continue;
+            Trace combined{concat_words(t1.word, t2.word), t2.status};
+            if (!out.contains(combined)) next.insert(std::move(combined));
+          }
+        }
+        if (next.empty()) break;
+        out.insert(next.begin(), next.end());
+        frontier = std::move(next);
+      }
+      return out;
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+std::vector<Trace> enumerate_traces(const Program& p,
+                                    EnumerationLimits limits) {
+  const TraceSet traces = enumerate(p.get(), limits);
+  return {traces.begin(), traces.end()};
+}
+
+}  // namespace shelley::ir

@@ -1,0 +1,52 @@
+// The trace semantics of Figure 4:  s ⊢ l ∈ p, with status s either
+// ongoing (0) or returned (R).
+//
+// Two executable forms are provided:
+//
+//  * `derives(p, l, s)` -- an exact decision procedure for the judgment,
+//    by structural recursion with memoized word spans.  This is the
+//    reference oracle used to mechanize Theorems 1 and 2 as tests.
+//
+//  * `enumerate_traces(p, ...)` -- bounded forward enumeration of all
+//    derivable (trace, status) pairs, with loops unrolled up to a bound.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/program.hpp"
+#include "support/symbol.hpp"
+
+namespace shelley::ir {
+
+enum class Status : std::uint8_t {
+  kOngoing,   // 0 in the paper
+  kReturned,  // R in the paper
+};
+
+struct Trace {
+  Word word;
+  Status status = Status::kOngoing;
+
+  friend bool operator==(const Trace&, const Trace&) = default;
+  friend auto operator<=>(const Trace&, const Trace&) = default;
+};
+
+/// Exact decision of  s ⊢ l ∈ p  (no bounds; terminates for every input).
+[[nodiscard]] bool derives(const Program& p, const Word& word, Status status);
+
+/// True iff l ∈ L(p) = { l | ∃s. s ⊢ l ∈ p }  (Definition 1).
+[[nodiscard]] bool in_language(const Program& p, const Word& word);
+
+struct EnumerationLimits {
+  std::size_t max_length = 8;      // drop traces longer than this
+  std::size_t max_loop_unroll = 4; // iterate each loop at most this often
+};
+
+/// All (trace, status) pairs derivable within the limits, sorted and
+/// duplicate-free.  For loop-free programs with max_length >= p->size()
+/// this is the complete trace set.
+[[nodiscard]] std::vector<Trace> enumerate_traces(const Program& p,
+                                                  EnumerationLimits limits);
+
+}  // namespace shelley::ir

@@ -1,0 +1,412 @@
+#include "learn/lstar.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "fsm/ops.hpp"
+
+namespace shelley::learn {
+
+DfaTeacher::DfaTeacher(fsm::Dfa reference) : reference_(std::move(reference)) {}
+
+bool DfaTeacher::membership(const Word& word) {
+  ++membership_queries_;
+  return reference_.accepts(word);
+}
+
+std::optional<Word> DfaTeacher::equivalence(const fsm::Dfa& hypothesis) {
+  ++equivalence_queries_;
+  if (const auto witness = fsm::inclusion_witness(reference_, hypothesis)) {
+    return witness;
+  }
+  return fsm::inclusion_witness(hypothesis, reference_);
+}
+
+BlackBoxTeacher::BlackBoxTeacher(std::function<bool(const Word&)> membership,
+                                 std::vector<Symbol> alphabet,
+                                 std::size_t test_depth)
+    : membership_(std::move(membership)),
+      alphabet_(std::move(alphabet)),
+      test_depth_(test_depth) {}
+
+bool BlackBoxTeacher::membership(const Word& word) {
+  return membership_(word);
+}
+
+std::optional<Word> BlackBoxTeacher::equivalence(
+    const fsm::Dfa& hypothesis) {
+  // Breadth-first conformance testing up to the depth bound.
+  std::vector<Word> frontier{{}};
+  for (std::size_t depth = 0; depth <= test_depth_; ++depth) {
+    std::vector<Word> next;
+    for (const Word& word : frontier) {
+      if (hypothesis.accepts(word) != membership_(word)) return word;
+      if (word.size() == depth && depth < test_depth_) {
+        for (Symbol s : alphabet_) {
+          Word extended = word;
+          extended.push_back(s);
+          next.push_back(std::move(extended));
+        }
+      }
+    }
+    frontier = std::move(next);
+    if (frontier.empty()) break;
+  }
+  return std::nullopt;
+}
+
+std::vector<Word> characterization_set(const fsm::Dfa& dfa) {
+  // Hopcroft-style pair refinement with witness tracking: start with ε
+  // (distinguishes accepting from rejecting) and grow until every
+  // inequivalent state pair has a distinguishing suffix.
+  std::vector<Word> w_set{{}};
+  const std::size_t n = dfa.state_count();
+  const std::size_t k = dfa.alphabet().size();
+
+  const auto signature = [&](fsm::StateId s) {
+    std::vector<bool> out;
+    out.reserve(w_set.size());
+    for (const Word& suffix : w_set) {
+      fsm::StateId state = s;
+      for (Symbol sym : suffix) {
+        state = dfa.transition(state, *dfa.letter_index(sym));
+      }
+      out.push_back(dfa.is_accepting(state));
+    }
+    return out;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (fsm::StateId a = 0; a < n && !changed; ++a) {
+      for (fsm::StateId b = a + 1; b < n && !changed; ++b) {
+        if (signature(a) != signature(b)) continue;
+        // Same signature: look for a letter whose successors differ.
+        for (std::size_t letter = 0; letter < k; ++letter) {
+          const fsm::StateId sa = dfa.transition(a, letter);
+          const fsm::StateId sb = dfa.transition(b, letter);
+          const auto sig_a = signature(sa);
+          const auto sig_b = signature(sb);
+          if (sig_a == sig_b) continue;
+          for (std::size_t i = 0; i < w_set.size(); ++i) {
+            if (sig_a[i] != sig_b[i]) {
+              Word suffix;
+              suffix.push_back(dfa.alphabet()[letter]);
+              suffix.insert(suffix.end(), w_set[i].begin(), w_set[i].end());
+              w_set.push_back(std::move(suffix));
+              changed = true;
+              break;
+            }
+          }
+          if (changed) break;
+        }
+      }
+    }
+  }
+  return w_set;
+}
+
+std::vector<Word> transition_cover(const fsm::Dfa& dfa) {
+  // BFS access words per reachable state, then append every letter.
+  std::vector<std::optional<Word>> access(dfa.state_count());
+  access[dfa.initial()] = Word{};
+  std::vector<fsm::StateId> queue{dfa.initial()};
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const fsm::StateId s = queue[head];
+    for (std::size_t letter = 0; letter < dfa.alphabet().size(); ++letter) {
+      const fsm::StateId t = dfa.transition(s, letter);
+      if (access[t]) continue;
+      Word word = *access[s];
+      word.push_back(dfa.alphabet()[letter]);
+      access[t] = std::move(word);
+      queue.push_back(t);
+    }
+  }
+  std::vector<Word> cover;
+  for (const auto& word : access) {
+    if (!word) continue;
+    cover.push_back(*word);
+    for (Symbol sym : dfa.alphabet()) {
+      Word extended = *word;
+      extended.push_back(sym);
+      cover.push_back(std::move(extended));
+    }
+  }
+  return cover;
+}
+
+WMethodTeacher::WMethodTeacher(std::function<bool(const Word&)> membership,
+                               std::vector<Symbol> alphabet,
+                               std::size_t extra_states)
+    : membership_(std::move(membership)),
+      alphabet_(std::move(alphabet)),
+      extra_states_(extra_states) {}
+
+bool WMethodTeacher::membership(const Word& word) {
+  return membership_(word);
+}
+
+std::optional<Word> WMethodTeacher::equivalence(const fsm::Dfa& hypothesis) {
+  const std::vector<Word> cover = transition_cover(hypothesis);
+  const std::vector<Word> w_set = characterization_set(hypothesis);
+
+  // Middles: Σ^0 ∪ Σ^1 ∪ ... ∪ Σ^extra_states.
+  std::vector<Word> middles{{}};
+  for (std::size_t head = 0;
+       head < middles.size() && middles[head].size() < extra_states_;
+       ++head) {
+    for (Symbol sym : alphabet_) {
+      Word word = middles[head];
+      word.push_back(sym);
+      middles.push_back(std::move(word));
+    }
+  }
+
+  for (const Word& prefix : cover) {
+    for (const Word& middle : middles) {
+      for (const Word& suffix : w_set) {
+        Word test = prefix;
+        test.insert(test.end(), middle.begin(), middle.end());
+        test.insert(test.end(), suffix.begin(), suffix.end());
+        ++tests_executed_;
+        if (hypothesis.accepts(test) != membership_(test)) return test;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+/// The L* observation table.
+class ObservationTable {
+ public:
+  ObservationTable(Teacher& teacher, std::vector<Symbol> alphabet,
+                   std::size_t max_states)
+      : teacher_(teacher),
+        alphabet_(std::move(alphabet)),
+        max_states_(max_states) {
+    prefixes_.push_back({});  // ε
+    suffixes_.push_back({});  // ε
+  }
+
+  /// Repairs closedness and consistency until stable.
+  void stabilize() {
+    bool changed = true;
+    while (changed) {
+      changed = close_once() || make_consistent_once();
+    }
+  }
+
+  /// Builds the hypothesis DFA from the stabilized table.
+  [[nodiscard]] fsm::Dfa hypothesis() {
+    // Distinct rows of S are the states.
+    std::map<std::vector<bool>, fsm::StateId> row_ids;
+    std::vector<Word> representatives;
+    for (const Word& s : prefixes_) {
+      const auto row_value = row(s);
+      if (row_ids.emplace(row_value, static_cast<fsm::StateId>(
+                                         representatives.size()))
+              .second) {
+        representatives.push_back(s);
+      }
+    }
+    if (representatives.size() > max_states_) {
+      throw std::runtime_error("learn_dfa: state bound exceeded");
+    }
+    last_representatives_ = representatives;
+
+    fsm::Dfa dfa(representatives.size(), alphabet_);
+    dfa.set_initial(row_ids.at(row({})));
+    for (std::size_t i = 0; i < representatives.size(); ++i) {
+      const Word& s = representatives[i];
+      dfa.set_accepting(static_cast<fsm::StateId>(i), query(s));
+      for (std::size_t letter = 0; letter < alphabet_.size(); ++letter) {
+        Word extended = s;
+        extended.push_back(alphabet_[letter]);
+        dfa.set_transition(static_cast<fsm::StateId>(i), letter,
+                           row_ids.at(row(extended)));
+      }
+    }
+    return dfa;
+  }
+
+  /// Classic counterexample handling: add every prefix of `cex` to S.
+  void absorb_counterexample(const Word& cex) {
+    for (std::size_t length = 0; length <= cex.size(); ++length) {
+      add_prefix(Word(cex.begin(), cex.begin() + static_cast<long>(length)));
+    }
+  }
+
+  /// Rivest–Schapire: binary-search for the position where the hypothesis
+  /// run and the target diverge; the counterexample's tail from there is a
+  /// distinguishing suffix and goes to E.  `hyp` must be the hypothesis the
+  /// counterexample refutes (built by the last hypothesis() call).
+  void absorb_counterexample_rs(const Word& cex, const fsm::Dfa& hyp) {
+    // α(i) = M( rep(state after cex[0..i)) · cex[i..) ).
+    const auto alpha = [&](std::size_t i) {
+      fsm::StateId state = hyp.initial();
+      for (std::size_t j = 0; j < i; ++j) {
+        const auto letter = hyp.letter_index(cex[j]);
+        if (!letter) return false;  // outside the alphabet; caller guards
+        state = hyp.transition(state, *letter);
+      }
+      Word word = last_representatives_.at(state);
+      word.insert(word.end(), cex.begin() + static_cast<long>(i),
+                  cex.end());
+      return query(word);
+    };
+    // Guard against symbols outside the learning alphabet.
+    for (Symbol s : cex) {
+      if (!hyp.letter_index(s)) {
+        absorb_counterexample(cex);
+        return;
+      }
+    }
+    const bool target_verdict = alpha(0);  // rep(initial) = ε
+    // Invariant: α(lo) == target, α(hi) != target (α(n) = hypothesis(w)).
+    std::size_t lo = 0;
+    std::size_t hi = cex.size();
+    while (hi - lo > 1) {
+      const std::size_t mid = (lo + hi) / 2;
+      (alpha(mid) == target_verdict ? lo : hi) = mid;
+    }
+    add_suffix(Word(cex.begin() + static_cast<long>(hi), cex.end()));
+    // Also make the offending transition's source row explicit in S so the
+    // new suffix can split it.
+    add_prefix(Word(cex.begin(), cex.begin() + static_cast<long>(hi)));
+  }
+
+  [[nodiscard]] std::size_t membership_queries() const {
+    return membership_queries_;
+  }
+
+ private:
+  bool query(const Word& word) {
+    const auto it = cache_.find(word);
+    if (it != cache_.end()) return it->second;
+    const bool result = teacher_.membership(word);
+    ++membership_queries_;
+    cache_.emplace(word, result);
+    return result;
+  }
+
+  std::vector<bool> row(const Word& prefix) {
+    std::vector<bool> out;
+    out.reserve(suffixes_.size());
+    for (const Word& e : suffixes_) {
+      Word word = prefix;
+      word.insert(word.end(), e.begin(), e.end());
+      out.push_back(query(word));
+    }
+    return out;
+  }
+
+  void add_prefix(Word s) {
+    if (std::find(prefixes_.begin(), prefixes_.end(), s) ==
+        prefixes_.end()) {
+      prefixes_.push_back(std::move(s));
+    }
+  }
+
+  void add_suffix(Word e) {
+    if (std::find(suffixes_.begin(), suffixes_.end(), e) ==
+        suffixes_.end()) {
+      suffixes_.push_back(std::move(e));
+    }
+  }
+
+  /// If some one-letter extension's row is unseen among S-rows, promote it
+  /// into S.  Returns true when the table changed.
+  bool close_once() {
+    std::map<std::vector<bool>, bool> s_rows;
+    for (const Word& s : prefixes_) s_rows.emplace(row(s), true);
+    for (const Word& s : prefixes_) {
+      for (Symbol a : alphabet_) {
+        Word extended = s;
+        extended.push_back(a);
+        if (!s_rows.contains(row(extended))) {
+          add_prefix(std::move(extended));
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  /// If two S-rows agree but disagree after some letter, the witnessing
+  /// (letter, suffix) becomes a new suffix.  Returns true when changed.
+  bool make_consistent_once() {
+    for (std::size_t i = 0; i < prefixes_.size(); ++i) {
+      for (std::size_t j = i + 1; j < prefixes_.size(); ++j) {
+        if (row(prefixes_[i]) != row(prefixes_[j])) continue;
+        for (std::size_t letter = 0; letter < alphabet_.size(); ++letter) {
+          Word left = prefixes_[i];
+          Word right = prefixes_[j];
+          left.push_back(alphabet_[letter]);
+          right.push_back(alphabet_[letter]);
+          const auto left_row = row(left);
+          const auto right_row = row(right);
+          if (left_row == right_row) continue;
+          for (std::size_t k = 0; k < suffixes_.size(); ++k) {
+            if (left_row[k] != right_row[k]) {
+              Word suffix;
+              suffix.push_back(alphabet_[letter]);
+              suffix.insert(suffix.end(), suffixes_[k].begin(),
+                            suffixes_[k].end());
+              add_suffix(std::move(suffix));
+              return true;
+            }
+          }
+        }
+      }
+    }
+    return false;
+  }
+
+  Teacher& teacher_;
+  std::vector<Symbol> alphabet_;
+  std::size_t max_states_;
+  std::vector<Word> prefixes_;  // S
+  std::vector<Word> suffixes_;  // E
+  std::vector<Word> last_representatives_;  // per hypothesis state
+  std::map<Word, bool> cache_;
+  std::size_t membership_queries_ = 0;
+};
+
+}  // namespace
+
+LearnResult learn_dfa(Teacher& teacher, std::vector<Symbol> alphabet,
+                      std::size_t max_states, CexStrategy strategy) {
+  std::sort(alphabet.begin(), alphabet.end());
+  alphabet.erase(std::unique(alphabet.begin(), alphabet.end()),
+                 alphabet.end());
+  if (alphabet.empty()) {
+    throw std::invalid_argument("learn_dfa: alphabet must be non-empty");
+  }
+
+  ObservationTable table(teacher, alphabet, max_states);
+  std::size_t equivalence_queries = 0;
+  std::size_t rounds = 0;
+  while (true) {
+    table.stabilize();
+    fsm::Dfa hypothesis = table.hypothesis();
+    ++rounds;
+    ++equivalence_queries;
+    const auto counterexample = teacher.equivalence(hypothesis);
+    if (!counterexample) {
+      return LearnResult{std::move(hypothesis),
+                         table.membership_queries(), equivalence_queries,
+                         rounds};
+    }
+    if (strategy == CexStrategy::kRivestSchapire) {
+      table.absorb_counterexample_rs(*counterexample, hypothesis);
+    } else {
+      table.absorb_counterexample(*counterexample);
+    }
+  }
+}
+
+}  // namespace shelley::learn

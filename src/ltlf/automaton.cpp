@@ -1,0 +1,74 @@
+#include "ltlf/automaton.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "fsm/ops.hpp"
+#include "ltlf/eval.hpp"
+
+namespace shelley::ltlf {
+
+fsm::Dfa to_dfa(const Formula& formula, std::vector<Symbol> alphabet,
+                std::size_t max_states) {
+  // Global rewrites (F F φ = F φ, ...) shrink the progression state space;
+  // language preservation is covered by the simplify tests.
+  const Formula rewritten = simplify(formula);
+  for (Symbol s : atoms(rewritten)) alphabet.push_back(s);
+  std::sort(alphabet.begin(), alphabet.end());
+  alphabet.erase(std::unique(alphabet.begin(), alphabet.end()),
+                 alphabet.end());
+
+  struct FormulaLess {
+    bool operator()(const Formula& a, const Formula& b) const {
+      return structural_compare(a, b) < 0;
+    }
+  };
+
+  std::map<Formula, fsm::StateId, FormulaLess> ids;
+  std::vector<Formula> states;
+  const auto get_id = [&](const Formula& f) {
+    const auto [it, inserted] =
+        ids.emplace(f, static_cast<fsm::StateId>(states.size()));
+    if (inserted) {
+      states.push_back(f);
+      if (states.size() > max_states) {
+        throw std::runtime_error(
+            "ltlf::to_dfa: progression exceeded the state bound");
+      }
+    }
+    return it->second;
+  };
+
+  const fsm::StateId start = get_id(to_dnf(rewritten));
+  std::vector<std::vector<fsm::StateId>> rows;
+  for (fsm::StateId current = 0; current < states.size(); ++current) {
+    const Formula state = states[current];
+    std::vector<fsm::StateId> row(alphabet.size(), 0);
+    for (std::size_t letter = 0; letter < alphabet.size(); ++letter) {
+      // DNF canonicalization is what closes the state space: progression
+      // results that are logically equal become structurally equal.
+      row[letter] = get_id(to_dnf(progress(state, alphabet[letter])));
+    }
+    rows.push_back(std::move(row));
+  }
+
+  fsm::Dfa dfa(states.size(), alphabet);
+  dfa.set_initial(start);
+  for (fsm::StateId state = 0; state < states.size(); ++state) {
+    dfa.set_accepting(state, eval_empty(states[state]));
+    for (std::size_t letter = 0; letter < alphabet.size(); ++letter) {
+      dfa.set_transition(state, letter, rows[state][letter]);
+    }
+  }
+  return dfa;
+}
+
+std::optional<Word> counterexample(const fsm::Dfa& system,
+                                   const Formula& formula) {
+  // A violation is a word of the system language satisfying ¬φ.
+  const fsm::Dfa violations = to_dfa(make_not(formula), system.alphabet());
+  return fsm::inclusion_witness(system, fsm::complement(violations));
+}
+
+}  // namespace shelley::ltlf

@@ -1,0 +1,31 @@
+// Formula → DFA via progression.
+//
+// States are canonical (normalized) formulas; the transition on event `a`
+// is progress(q, a); a state accepts iff the empty trace satisfies it.
+// Correctness invariant (checked by tests against the eval oracle):
+//     word ∈ L(to_dfa(φ, Σ))  iff  word ∈ Σ* and word ⊨ φ.
+#pragma once
+
+#include <vector>
+
+#include "fsm/dfa.hpp"
+#include "ltlf/formula.hpp"
+
+namespace shelley::ltlf {
+
+/// Translates `formula` into a complete DFA over `alphabet` (which is
+/// joined with the formula's own atoms).  Throws std::runtime_error if the
+/// construction exceeds `max_states`.  The default bound (64k states) is
+/// generous for realistic claims while failing fast -- with bounded memory
+/// -- on pathological formulas (e.g. negations of deeply nested temporal
+/// subformulas, whose progression closure is doubly exponential).
+[[nodiscard]] fsm::Dfa to_dfa(const Formula& formula,
+                              std::vector<Symbol> alphabet,
+                              std::size_t max_states = 1 << 16);
+
+/// Checks that every word of L(system) satisfies `formula`; returns a
+/// shortest violating word otherwise.
+[[nodiscard]] std::optional<Word> counterexample(const fsm::Dfa& system,
+                                                 const Formula& formula);
+
+}  // namespace shelley::ltlf

@@ -1,0 +1,94 @@
+#include "ltlf/eval.hpp"
+
+namespace shelley::ltlf {
+
+bool eval_at(const Formula& f, const Word& word, std::size_t pos) {
+  const bool at_end = pos >= word.size();
+  switch (f->kind()) {
+    case Kind::kTrue:
+      return true;
+    case Kind::kFalse:
+      return false;
+    case Kind::kEnd:
+      return at_end;
+    case Kind::kAtom:
+      return !at_end && word[pos] == f->symbol();
+    case Kind::kNot:
+      return !eval_at(f->left(), word, pos);
+    case Kind::kAnd:
+      return eval_at(f->left(), word, pos) && eval_at(f->right(), word, pos);
+    case Kind::kOr:
+      return eval_at(f->left(), word, pos) || eval_at(f->right(), word, pos);
+    case Kind::kNext:
+      // Strong next: a next *event* must exist.
+      return pos + 1 < word.size() && eval_at(f->left(), word, pos + 1);
+    case Kind::kWeakNext:
+      return pos + 1 >= word.size() || eval_at(f->left(), word, pos + 1);
+    case Kind::kUntil: {
+      for (std::size_t j = pos; j < word.size(); ++j) {
+        if (eval_at(f->right(), word, j)) return true;
+        if (!eval_at(f->left(), word, j)) return false;
+      }
+      // Also allow the release point at the very end of the trace (beyond
+      // the last event)?  No: U is strong -- ψ must hold at an actual
+      // position, and the empty suffix offers none...  except that our
+      // positions run to word.size() inclusive conceptually.  We follow the
+      // standard LTLf reading: ψ must hold at a position < |word|.
+      return false;
+    }
+    case Kind::kRelease: {
+      // ψ holds at every position until and including the first position
+      // where φ holds; if φ never holds, ψ must hold at every position.
+      for (std::size_t j = pos; j < word.size(); ++j) {
+        if (!eval_at(f->right(), word, j)) return false;
+        if (eval_at(f->left(), word, j)) return true;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+bool eval(const Formula& f, const Word& word) { return eval_at(f, word, 0); }
+
+bool eval_empty(const Formula& f) { return eval_at(f, {}, 0); }
+
+Formula progress(const Formula& f, Symbol a) {
+  switch (f->kind()) {
+    case Kind::kTrue:
+      return truth();
+    case Kind::kFalse:
+    case Kind::kEnd:  // consuming an event means the trace was not empty
+      return falsity();
+    case Kind::kAtom:
+      return f->symbol() == a ? truth() : falsity();
+    case Kind::kNot:
+      return make_not(progress(f->left(), a));
+    case Kind::kAnd:
+      return make_and(progress(f->left(), a), progress(f->right(), a));
+    case Kind::kOr:
+      return make_or(progress(f->left(), a), progress(f->right(), a));
+    case Kind::kNext:
+      // a·l ⊨ X φ  iff  l ≠ ε and l ⊨ φ  iff  l ⊨ !end & φ.
+      return make_and(make_not(end()), f->left());
+    case Kind::kWeakNext:
+      // a·l ⊨ N φ  iff  l = ε or l ⊨ φ.
+      return make_or(end(), f->left());
+    case Kind::kUntil: {
+      // φ U ψ = ψ ∨ (φ ∧ X(φ U ψ)).
+      Formula keep_going =
+          make_and(progress(f->left(), a), make_and(make_not(end()), f));
+      return make_or(progress(f->right(), a), std::move(keep_going));
+    }
+    case Kind::kRelease: {
+      // φ R ψ = ψ ∧ (φ ∨ N(φ R ψ)).
+      Formula continuation = make_or(end(), f);
+      Formula release_now = make_or(progress(f->left(), a),
+                                    std::move(continuation));
+      return make_and(progress(f->right(), a), std::move(release_now));
+    }
+  }
+  return falsity();
+}
+
+}  // namespace shelley::ltlf

@@ -1,0 +1,31 @@
+// Direct finite-trace semantics of LTLf: a reference evaluator by structural
+// recursion over the formula at each trace position.  Quadratic and simple;
+// the automaton construction is cross-checked against this oracle.
+//
+// Evaluation at position `pos` interprets the suffix word[pos..); positions
+// may equal word.size(), in which case the suffix is the empty trace:
+//   ε ⊨ true, end, G φ, φ R ψ, N φ        (weak operators hold vacuously)
+//   ε ⊭ false, a, X φ, φ U ψ, F φ         (strong operators fail)
+#pragma once
+
+#include "ltlf/formula.hpp"
+#include "support/symbol.hpp"
+
+namespace shelley::ltlf {
+
+/// Does word[pos..) satisfy f?
+[[nodiscard]] bool eval_at(const Formula& f, const Word& word,
+                           std::size_t pos);
+
+/// Does the full word satisfy f?
+[[nodiscard]] bool eval(const Formula& f, const Word& word);
+
+/// Does the empty trace satisfy f?
+[[nodiscard]] bool eval_empty(const Formula& f);
+
+/// One-step progression: for a non-empty trace a·l,  a·l ⊨ f  iff
+/// l ⊨ progress(f, a).  The result is built with the normalizing
+/// constructors, so iterated progression visits a finite set of formulas.
+[[nodiscard]] Formula progress(const Formula& f, Symbol a);
+
+}  // namespace shelley::ltlf

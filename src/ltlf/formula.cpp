@@ -1,0 +1,503 @@
+#include "ltlf/formula.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <optional>
+#include <cassert>
+
+namespace shelley::ltlf {
+
+Node::Node(Kind kind, Symbol sym, Formula left, Formula right)
+    : kind_(kind), sym_(sym), left_(std::move(left)), right_(std::move(right)) {
+  size_ = 1;
+  if (left_) size_ += left_->size();
+  if (right_) size_ += right_->size();
+}
+
+namespace {
+
+Formula make(Kind kind, Symbol sym, Formula left, Formula right) {
+  return std::make_shared<const Node>(kind, sym, std::move(left),
+                                      std::move(right));
+}
+
+void flatten(Kind kind, const Formula& f, std::vector<Formula>& out) {
+  if (f->kind() == kind) {
+    flatten(kind, f->left(), out);
+    flatten(kind, f->right(), out);
+  } else {
+    out.push_back(f);
+  }
+}
+
+/// Builds a canonical n-ary &/| from operands: sorted, deduped, constants
+/// absorbed.  `unit` is the identity, `zero` the absorbing element.
+Formula normalize_nary(Kind kind, std::vector<Formula> operands, Kind unit,
+                       Kind zero) {
+  std::vector<Formula> flat;
+  for (const Formula& f : operands) flatten(kind, f, flat);
+  std::vector<Formula> kept;
+  for (const Formula& f : flat) {
+    if (f->kind() == zero) return f;      // x & false = false
+    if (f->kind() == unit) continue;      // x & true = x
+    kept.push_back(f);
+  }
+  std::sort(kept.begin(), kept.end(), [](const Formula& a, const Formula& b) {
+    return structural_compare(a, b) < 0;
+  });
+  kept.erase(std::unique(kept.begin(), kept.end(),
+                         [](const Formula& a, const Formula& b) {
+                           return structural_compare(a, b) == 0;
+                         }),
+             kept.end());
+  // Complementary pair: x & !x = false, x | !x = true.
+  for (const Formula& f : kept) {
+    if (f->kind() != Kind::kNot) continue;
+    for (const Formula& g : kept) {
+      if (structurally_equal(f->left(), g)) {
+        return kind == Kind::kAnd ? falsity() : truth();
+      }
+    }
+  }
+  // Absorption: A | (A & B) = A  and  A & (A | B) = A.  Without it the
+  // progression construction can produce unboundedly many structurally
+  // distinct but logically equal states (monotone-function blowup).
+  if (kept.size() > 1) {
+    const Kind inner = kind == Kind::kAnd ? Kind::kOr : Kind::kAnd;
+    // Terms of an operand at the dual level, sorted for subset tests.
+    const auto terms = [&](const Formula& f) {
+      std::vector<Formula> out;
+      flatten(inner, f, out);
+      std::sort(out.begin(), out.end(),
+                [](const Formula& a, const Formula& b) {
+                  return structural_compare(a, b) < 0;
+                });
+      return out;
+    };
+    const auto subset = [](const std::vector<Formula>& small,
+                           const std::vector<Formula>& big) {
+      return std::includes(big.begin(), big.end(), small.begin(),
+                           small.end(),
+                           [](const Formula& a, const Formula& b) {
+                             return structural_compare(a, b) < 0;
+                           });
+    };
+    std::vector<std::vector<Formula>> term_sets;
+    term_sets.reserve(kept.size());
+    for (const Formula& f : kept) term_sets.push_back(terms(f));
+    std::vector<bool> absorbed(kept.size(), false);
+    for (std::size_t i = 0; i < kept.size(); ++i) {
+      for (std::size_t j = 0; j < kept.size() && !absorbed[i]; ++j) {
+        if (i == j || absorbed[j]) continue;
+        // j absorbs i when j's term set is a strict-or-equal subset.
+        if (term_sets[j].size() <= term_sets[i].size() &&
+            !(term_sets[j].size() == term_sets[i].size()) &&
+            subset(term_sets[j], term_sets[i])) {
+          absorbed[i] = true;
+        }
+      }
+    }
+    std::vector<Formula> remaining;
+    for (std::size_t i = 0; i < kept.size(); ++i) {
+      if (!absorbed[i]) remaining.push_back(kept[i]);
+    }
+    kept = std::move(remaining);
+  }
+  if (kept.empty()) return kind == Kind::kAnd ? truth() : falsity();
+  Formula out = kept.back();
+  for (std::size_t i = kept.size() - 1; i-- > 0;) {
+    out = make(kind, Symbol{}, kept[i], std::move(out));
+  }
+  return out;
+}
+
+}  // namespace
+
+Formula truth() {
+  static const Formula instance = make(Kind::kTrue, Symbol{}, nullptr, nullptr);
+  return instance;
+}
+
+Formula falsity() {
+  static const Formula instance =
+      make(Kind::kFalse, Symbol{}, nullptr, nullptr);
+  return instance;
+}
+
+Formula end() {
+  static const Formula instance = make(Kind::kEnd, Symbol{}, nullptr, nullptr);
+  return instance;
+}
+
+Formula atom(Symbol s) {
+  assert(s.valid());
+  return make(Kind::kAtom, s, nullptr, nullptr);
+}
+
+Formula make_not(Formula f) {
+  // Negation normal form: push the negation through every connective so
+  // `!` only ever wraps atoms (and `end`).  Beyond being a tidy canonical
+  // form, this is what keeps the progression construction finite in
+  // practice: the ACI normalization of &/| can only merge states when
+  // negations sit at the leaves (an opaque ¬(φ U ψ) would hide boolean
+  // structure from it, and formulas like ¬((a U b) U F c) then generate
+  // unboundedly many distinct states).
+  switch (f->kind()) {
+    case Kind::kTrue:
+      return falsity();
+    case Kind::kFalse:
+      return truth();
+    case Kind::kNot:
+      return f->left();
+    case Kind::kAnd:
+      return make_or(make_not(f->left()), make_not(f->right()));
+    case Kind::kOr:
+      return make_and(make_not(f->left()), make_not(f->right()));
+    case Kind::kNext:
+      return make_weak_next(make_not(f->left()));
+    case Kind::kWeakNext:
+      return make_next(make_not(f->left()));
+    case Kind::kUntil:
+      return make_release(make_not(f->left()), make_not(f->right()));
+    case Kind::kRelease:
+      return make_until(make_not(f->left()), make_not(f->right()));
+    case Kind::kEnd:
+    case Kind::kAtom:
+      return make(Kind::kNot, Symbol{}, std::move(f), nullptr);
+  }
+  return make(Kind::kNot, Symbol{}, std::move(f), nullptr);
+}
+
+Formula make_and(Formula a, Formula b) {
+  return normalize_nary(Kind::kAnd, {std::move(a), std::move(b)},
+                        Kind::kTrue, Kind::kFalse);
+}
+
+Formula make_or(Formula a, Formula b) {
+  return normalize_nary(Kind::kOr, {std::move(a), std::move(b)},
+                        Kind::kFalse, Kind::kTrue);
+}
+
+Formula make_next(Formula f) {
+  if (f->kind() == Kind::kFalse) return falsity();  // X false never holds
+  return make(Kind::kNext, Symbol{}, std::move(f), nullptr);
+}
+
+Formula make_weak_next(Formula f) {
+  if (f->kind() == Kind::kTrue) return truth();  // N true always holds
+  return make(Kind::kWeakNext, Symbol{}, std::move(f), nullptr);
+}
+
+Formula make_until(Formula a, Formula b) {
+  if (b->kind() == Kind::kFalse) return falsity();
+  if (b->kind() == Kind::kTrue) return truth();
+  if (a->kind() == Kind::kFalse) return b;  // false U b = b
+  if (structurally_equal(a, b)) return b;
+  return make(Kind::kUntil, Symbol{}, std::move(a), std::move(b));
+}
+
+Formula make_release(Formula a, Formula b) {
+  if (b->kind() == Kind::kTrue) return truth();
+  if (b->kind() == Kind::kFalse) return falsity();
+  if (a->kind() == Kind::kTrue) return b;  // true R b = b
+  if (structurally_equal(a, b)) return b;
+  return make(Kind::kRelease, Symbol{}, std::move(a), std::move(b));
+}
+
+Formula make_finally(Formula f) { return make_until(truth(), std::move(f)); }
+
+Formula make_globally(Formula f) {
+  return make_release(falsity(), std::move(f));
+}
+
+Formula make_weak_until(Formula a, Formula b) {
+  // The paper: φ1 W φ2 = (φ1 U φ2) ∨ G φ1.
+  Formula until_part = make_until(a, b);
+  Formula globally_part = make_globally(a);
+  return make_or(std::move(until_part), std::move(globally_part));
+}
+
+Formula make_implies(Formula a, Formula b) {
+  return make_or(make_not(std::move(a)), std::move(b));
+}
+
+int structural_compare(const Formula& a, const Formula& b) {
+  if (a.get() == b.get()) return 0;
+  if (a->kind() != b->kind()) {
+    return static_cast<int>(a->kind()) < static_cast<int>(b->kind()) ? -1 : 1;
+  }
+  switch (a->kind()) {
+    case Kind::kTrue:
+    case Kind::kFalse:
+    case Kind::kEnd:
+      return 0;
+    case Kind::kAtom:
+      if (a->symbol() == b->symbol()) return 0;
+      return a->symbol() < b->symbol() ? -1 : 1;
+    case Kind::kNot:
+    case Kind::kNext:
+    case Kind::kWeakNext:
+      return structural_compare(a->left(), b->left());
+    case Kind::kAnd:
+    case Kind::kOr:
+    case Kind::kUntil:
+    case Kind::kRelease: {
+      const int c = structural_compare(a->left(), b->left());
+      if (c != 0) return c;
+      return structural_compare(a->right(), b->right());
+    }
+  }
+  return 0;
+}
+
+bool structurally_equal(const Formula& a, const Formula& b) {
+  return structural_compare(a, b) == 0;
+}
+
+namespace {
+
+Formula rewrite_once(const Formula& f) {
+  switch (f->kind()) {
+    case Kind::kTrue:
+    case Kind::kFalse:
+    case Kind::kEnd:
+    case Kind::kAtom:
+      return f;
+    case Kind::kNot:
+      return make_not(rewrite_once(f->left()));
+    case Kind::kAnd:
+      return make_and(rewrite_once(f->left()), rewrite_once(f->right()));
+    case Kind::kOr:
+      return make_or(rewrite_once(f->left()), rewrite_once(f->right()));
+    case Kind::kNext: {
+      Formula inner = rewrite_once(f->left());
+      // X (φ & ψ) = X φ & X ψ is valid but grows the tree; instead only
+      // collapse trivial cases here (constants are handled by make_next).
+      return make_next(std::move(inner));
+    }
+    case Kind::kWeakNext:
+      return make_weak_next(rewrite_once(f->left()));
+    case Kind::kUntil: {
+      Formula lhs = rewrite_once(f->left());
+      Formula rhs = rewrite_once(f->right());
+      // φ U (φ U ψ) = φ U ψ
+      if (rhs->kind() == Kind::kUntil &&
+          structurally_equal(lhs, rhs->left())) {
+        return rhs;
+      }
+      // F F ψ = F ψ  (left = true both levels)
+      if (lhs->kind() == Kind::kTrue && rhs->kind() == Kind::kUntil &&
+          rhs->left()->kind() == Kind::kTrue) {
+        return rhs;
+      }
+      return make_until(std::move(lhs), std::move(rhs));
+    }
+    case Kind::kRelease: {
+      Formula lhs = rewrite_once(f->left());
+      Formula rhs = rewrite_once(f->right());
+      // φ R (φ R ψ) = φ R ψ   and   G G ψ = G ψ
+      if (rhs->kind() == Kind::kRelease &&
+          structurally_equal(lhs, rhs->left())) {
+        return rhs;
+      }
+      return make_release(std::move(lhs), std::move(rhs));
+    }
+  }
+  return f;
+}
+
+}  // namespace
+
+Formula simplify(const Formula& f) {
+  Formula current = f;
+  for (int round = 0; round < 8; ++round) {  // defensive fixpoint bound
+    Formula next = rewrite_once(current);
+    if (structurally_equal(next, current)) return current;
+    current = std::move(next);
+  }
+  return current;
+}
+
+namespace {
+
+using Clause = std::vector<Formula>;  // conjunction of units, sorted
+
+/// Merges two sorted unit-sets; nullopt when a complementary pair makes
+/// the clause false.
+std::optional<Clause> merge_clauses(const Clause& a, const Clause& b) {
+  Clause out;
+  out.reserve(a.size() + b.size());
+  std::merge(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out),
+             [](const Formula& x, const Formula& y) {
+               return structural_compare(x, y) < 0;
+             });
+  out.erase(std::unique(out.begin(), out.end(),
+                        [](const Formula& x, const Formula& y) {
+                          return structural_compare(x, y) == 0;
+                        }),
+            out.end());
+  for (const Formula& f : out) {
+    if (f->kind() != Kind::kNot) continue;
+    for (const Formula& g : out) {
+      if (structurally_equal(f->left(), g)) return std::nullopt;
+    }
+  }
+  return out;
+}
+
+/// DNF clause sets; nullopt = clause budget exceeded.
+std::optional<std::vector<Clause>> dnf_clauses(const Formula& f,
+                                               std::size_t max_clauses) {
+  switch (f->kind()) {
+    case Kind::kOr: {
+      auto lhs = dnf_clauses(f->left(), max_clauses);
+      auto rhs = dnf_clauses(f->right(), max_clauses);
+      if (!lhs || !rhs) return std::nullopt;
+      lhs->insert(lhs->end(), rhs->begin(), rhs->end());
+      if (lhs->size() > max_clauses) return std::nullopt;
+      return lhs;
+    }
+    case Kind::kAnd: {
+      auto lhs = dnf_clauses(f->left(), max_clauses);
+      auto rhs = dnf_clauses(f->right(), max_clauses);
+      if (!lhs || !rhs) return std::nullopt;
+      std::vector<Clause> out;
+      for (const Clause& a : *lhs) {
+        for (const Clause& b : *rhs) {
+          if (auto merged = merge_clauses(a, b)) {
+            out.push_back(std::move(*merged));
+            if (out.size() > max_clauses) return std::nullopt;
+          }
+        }
+      }
+      return out;
+    }
+    case Kind::kTrue:
+      return std::vector<Clause>{{}};
+    case Kind::kFalse:
+      return std::vector<Clause>{};
+    default:
+      return std::vector<Clause>{{f}};
+  }
+}
+
+}  // namespace
+
+Formula to_dnf(const Formula& f, std::size_t max_clauses) {
+  const auto clauses = dnf_clauses(f, max_clauses);
+  if (!clauses) return f;  // budget exceeded: keep the original shape
+  Formula out = falsity();
+  for (const Clause& clause : *clauses) {
+    Formula conj = truth();
+    for (const Formula& unit : clause) {
+      conj = make_and(std::move(conj), unit);
+    }
+    out = make_or(std::move(out), std::move(conj));
+  }
+  return out;
+}
+
+std::set<Symbol> atoms(const Formula& f) {
+  std::set<Symbol> out;
+  const std::function<void(const Formula&)> walk = [&](const Formula& node) {
+    if (!node) return;
+    if (node->kind() == Kind::kAtom) out.insert(node->symbol());
+    walk(node->left());
+    walk(node->right());
+  };
+  walk(f);
+  return out;
+}
+
+namespace {
+
+// Precedence: binary temporal (1) < | (2) < & (3) < unary (4) < atom (5).
+void print(const Formula& f, const SymbolTable& table, int parent_level,
+           std::string& out) {
+  const auto wrap = [&](int level, auto&& body) {
+    const bool parens = level < parent_level;
+    if (parens) out += '(';
+    body();
+    if (parens) out += ')';
+  };
+  switch (f->kind()) {
+    case Kind::kTrue:
+      out += "true";
+      break;
+    case Kind::kFalse:
+      out += "false";
+      break;
+    case Kind::kEnd:
+      out += "end";
+      break;
+    case Kind::kAtom:
+      out += table.name(f->symbol());
+      break;
+    case Kind::kNot:
+      wrap(4, [&] {
+        out += '!';
+        print(f->left(), table, 5, out);
+      });
+      break;
+    case Kind::kNext:
+      wrap(4, [&] {
+        out += "X ";
+        print(f->left(), table, 5, out);
+      });
+      break;
+    case Kind::kWeakNext:
+      wrap(4, [&] {
+        out += "N ";
+        print(f->left(), table, 5, out);
+      });
+      break;
+    case Kind::kAnd:
+      wrap(3, [&] {
+        print(f->left(), table, 3, out);
+        out += " & ";
+        print(f->right(), table, 3, out);
+      });
+      break;
+    case Kind::kOr:
+      wrap(2, [&] {
+        print(f->left(), table, 2, out);
+        out += " | ";
+        print(f->right(), table, 2, out);
+      });
+      break;
+    case Kind::kUntil:
+      wrap(1, [&] {
+        if (f->left()->kind() == Kind::kTrue) {
+          out += "F ";
+          print(f->right(), table, 5, out);
+          return;
+        }
+        print(f->left(), table, 2, out);
+        out += " U ";
+        print(f->right(), table, 2, out);
+      });
+      break;
+    case Kind::kRelease:
+      wrap(1, [&] {
+        if (f->left()->kind() == Kind::kFalse) {
+          out += "G ";
+          print(f->right(), table, 5, out);
+          return;
+        }
+        print(f->left(), table, 2, out);
+        out += " R ";
+        print(f->right(), table, 2, out);
+      });
+      break;
+  }
+}
+
+}  // namespace
+
+std::string to_string(const Formula& f, const SymbolTable& table) {
+  std::string out;
+  print(f, table, 0, out);
+  return out;
+}
+
+}  // namespace shelley::ltlf

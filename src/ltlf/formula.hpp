@@ -1,0 +1,111 @@
+// Linear temporal logic on finite traces (LTLf), the claim language of
+// Shelley (§2.2).  Formulas are interpreted over finite words of event
+// symbols; an atom `a.open` holds at a position iff that position's event is
+// exactly `a.open`.
+//
+// Primitive connectives: true, false, End (holds exactly on the empty
+// remaining trace), atoms, !, &, |, X (strong next), N (weak next),
+// U (until), R (release).  Derived: F φ = true U φ;  G φ = false R φ;
+// φ W ψ = (φ U ψ) | G φ  (the paper's weak-until definition);  φ -> ψ.
+//
+// The `make_*` constructors normalize: flatten/sort/dedupe n-ary &,|,
+// absorb constants, cancel double negation.  Canonical structure makes the
+// progression construction (automaton.hpp) terminate with small state sets.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "support/symbol.hpp"
+
+namespace shelley::ltlf {
+
+enum class Kind : std::uint8_t {
+  kTrue,
+  kFalse,
+  kEnd,   // remaining trace is empty
+  kAtom,  // current event equals the symbol
+  kNot,
+  kAnd,
+  kOr,
+  kNext,      // strong X
+  kWeakNext,  // N
+  kUntil,     // U
+  kRelease,   // R
+};
+
+class Node;
+using Formula = std::shared_ptr<const Node>;
+
+class Node {
+ public:
+  Node(Kind kind, Symbol sym, Formula left, Formula right);
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] Symbol symbol() const { return sym_; }
+  [[nodiscard]] const Formula& left() const { return left_; }
+  [[nodiscard]] const Formula& right() const { return right_; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+ private:
+  Kind kind_;
+  Symbol sym_;
+  Formula left_;
+  Formula right_;
+  std::size_t size_;
+};
+
+// -- Normalizing constructors ------------------------------------------------
+
+[[nodiscard]] Formula truth();
+[[nodiscard]] Formula falsity();
+[[nodiscard]] Formula end();
+[[nodiscard]] Formula atom(Symbol s);
+[[nodiscard]] Formula make_not(Formula f);
+[[nodiscard]] Formula make_and(Formula a, Formula b);
+[[nodiscard]] Formula make_or(Formula a, Formula b);
+[[nodiscard]] Formula make_next(Formula f);
+[[nodiscard]] Formula make_weak_next(Formula f);
+[[nodiscard]] Formula make_until(Formula a, Formula b);
+[[nodiscard]] Formula make_release(Formula a, Formula b);
+
+// Derived forms.
+[[nodiscard]] Formula make_finally(Formula f);
+[[nodiscard]] Formula make_globally(Formula f);
+[[nodiscard]] Formula make_weak_until(Formula a, Formula b);
+[[nodiscard]] Formula make_implies(Formula a, Formula b);
+
+// -- Queries -----------------------------------------------------------------
+
+[[nodiscard]] int structural_compare(const Formula& a, const Formula& b);
+[[nodiscard]] bool structurally_equal(const Formula& a, const Formula& b);
+
+/// Atoms mentioned by the formula.
+[[nodiscard]] std::set<Symbol> atoms(const Formula& f);
+
+/// Equivalence-preserving rewriting beyond what the constructors do
+/// locally: idempotent/absorption laws on U and R
+/// (φ U (φ U ψ) = φ U ψ, G G φ = G φ, F F φ = F φ, X-distribution of &,|),
+/// applied bottom-up to a fixed point.  Shrinks progression state spaces.
+[[nodiscard]] Formula simplify(const Formula& f);
+
+/// Disjunctive normal form over "units" (anything that is not &/| at the
+/// top: literals, end, temporal operators).  The progression construction
+/// canonicalizes every state through this: combined with the constructors'
+/// absorption it makes logically equal states structurally equal, which is
+/// what bounds the state space (alternating &/| nests otherwise grow
+/// without ever becoming comparable).  Falls back to the input when the
+/// clause count would exceed `max_clauses`.
+[[nodiscard]] Formula to_dnf(const Formula& f,
+                             std::size_t max_clauses = 4096);
+
+/// Renders with the connective spellings of the paper: `(!a.open) W b.open`
+/// prints as `!a.open U b.open | G !a.open` after W-desugaring; parentheses
+/// are minimal.
+[[nodiscard]] std::string to_string(const Formula& f,
+                                    const SymbolTable& table);
+
+}  // namespace shelley::ltlf

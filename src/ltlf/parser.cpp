@@ -1,0 +1,225 @@
+#include "ltlf/parser.hpp"
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+namespace shelley::ltlf {
+namespace {
+
+enum class Tok {
+  kLParen,
+  kRParen,
+  kNot,
+  kAnd,
+  kOr,
+  kImplies,
+  kIff,
+  kName,  // identifiers, including single-letter operator names X N F G U W R
+  kEnd,
+};
+
+struct Token {
+  Tok kind;
+  std::string text;
+  std::uint32_t column;
+};
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::vector<Token> lex(std::string_view text) {
+  std::vector<Token> out;
+  std::size_t pos = 0;
+  const auto col = [&] { return static_cast<std::uint32_t>(pos + 1); };
+  while (pos < text.size()) {
+    const char c = text[pos];
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++pos;
+      continue;
+    }
+    if (c == '(') {
+      out.push_back({Tok::kLParen, "(", col()});
+      ++pos;
+    } else if (c == ')') {
+      out.push_back({Tok::kRParen, ")", col()});
+      ++pos;
+    } else if (c == '!') {
+      out.push_back({Tok::kNot, "!", col()});
+      ++pos;
+    } else if (text.substr(pos, 2) == "\xC2\xAC") {  // ¬
+      out.push_back({Tok::kNot, "¬", col()});
+      pos += 2;
+    } else if (c == '&') {
+      out.push_back({Tok::kAnd, "&", col()});
+      pos += text.substr(pos, 2) == "&&" ? 2 : 1;
+    } else if (c == '|') {
+      out.push_back({Tok::kOr, "|", col()});
+      pos += text.substr(pos, 2) == "||" ? 2 : 1;
+    } else if (text.substr(pos, 3) == "<->") {
+      out.push_back({Tok::kIff, "<->", col()});
+      pos += 3;
+    } else if (text.substr(pos, 2) == "->") {
+      out.push_back({Tok::kImplies, "->", col()});
+      pos += 2;
+    } else if (is_ident_start(c)) {
+      const std::uint32_t start = col();
+      std::string name;
+      while (pos < text.size()) {
+        while (pos < text.size() && is_ident_char(text[pos])) {
+          name += text[pos++];
+        }
+        if (pos + 1 < text.size() && text[pos] == '.' &&
+            is_ident_start(text[pos + 1])) {
+          name += text[pos++];
+          continue;
+        }
+        break;
+      }
+      out.push_back({Tok::kName, std::move(name), start});
+    } else {
+      throw ParseError({1, col()},
+                       std::string("unexpected character '") + c +
+                           "' in claim formula");
+    }
+  }
+  out.push_back({Tok::kEnd, "", col()});
+  return out;
+}
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, SymbolTable& table)
+      : tokens_(std::move(tokens)), table_(table) {}
+
+  Formula run() {
+    Formula f = parse_implies();
+    if (peek().kind != Tok::kEnd) {
+      throw ParseError({1, peek().column},
+                       "trailing input after claim formula: '" + peek().text +
+                           "'");
+    }
+    return f;
+  }
+
+ private:
+  [[nodiscard]] const Token& peek() const { return tokens_[index_]; }
+  const Token& advance() { return tokens_[index_++]; }
+
+  [[nodiscard]] bool at_name(std::string_view text) const {
+    return peek().kind == Tok::kName && peek().text == text;
+  }
+
+  Formula parse_implies() {
+    Formula left = parse_or();
+    if (peek().kind == Tok::kImplies) {
+      advance();
+      return make_implies(std::move(left), parse_implies());
+    }
+    if (peek().kind == Tok::kIff) {
+      advance();
+      Formula right = parse_implies();
+      return make_and(make_implies(left, right),
+                      make_implies(right, left));
+    }
+    return left;
+  }
+
+  Formula parse_or() {
+    Formula left = parse_and();
+    while (peek().kind == Tok::kOr || at_name("or")) {
+      advance();
+      left = make_or(std::move(left), parse_and());
+    }
+    return left;
+  }
+
+  Formula parse_and() {
+    Formula left = parse_temporal();
+    while (peek().kind == Tok::kAnd || at_name("and")) {
+      advance();
+      left = make_and(std::move(left), parse_temporal());
+    }
+    return left;
+  }
+
+  Formula parse_temporal() {
+    Formula left = parse_unary();
+    if (at_name("U")) {
+      advance();
+      return make_until(std::move(left), parse_temporal());
+    }
+    if (at_name("W")) {
+      advance();
+      return make_weak_until(std::move(left), parse_temporal());
+    }
+    if (at_name("R")) {
+      advance();
+      return make_release(std::move(left), parse_temporal());
+    }
+    return left;
+  }
+
+  Formula parse_unary() {
+    if (peek().kind == Tok::kNot || at_name("not")) {
+      advance();
+      return make_not(parse_unary());
+    }
+    if (at_name("X")) {
+      advance();
+      return make_next(parse_unary());
+    }
+    if (at_name("N")) {
+      advance();
+      return make_weak_next(parse_unary());
+    }
+    if (at_name("F")) {
+      advance();
+      return make_finally(parse_unary());
+    }
+    if (at_name("G")) {
+      advance();
+      return make_globally(parse_unary());
+    }
+    return parse_atom();
+  }
+
+  Formula parse_atom() {
+    const Token& token = peek();
+    if (token.kind == Tok::kLParen) {
+      advance();
+      Formula inner = parse_implies();
+      if (peek().kind != Tok::kRParen) {
+        throw ParseError({1, peek().column}, "expected ')' in claim formula");
+      }
+      advance();
+      return inner;
+    }
+    if (token.kind == Tok::kName) {
+      advance();
+      if (token.text == "true") return truth();
+      if (token.text == "false") return falsity();
+      if (token.text == "end") return end();
+      return atom(table_.intern(token.text));
+    }
+    throw ParseError({1, token.column},
+                     "expected an atom in claim formula, found '" +
+                         token.text + "'");
+  }
+
+  std::vector<Token> tokens_;
+  SymbolTable& table_;
+  std::size_t index_ = 0;
+};
+
+}  // namespace
+
+Formula parse(std::string_view text, SymbolTable& table) {
+  return Parser(lex(text), table).run();
+}
+
+}  // namespace shelley::ltlf

@@ -1,0 +1,25 @@
+// Parser for claim formulas, accepting the paper's syntax
+// (`(!a.open) W b.open`) plus the usual LTL spellings:
+//
+//   implies := or [('->' | '<->') implies]
+//   or      := and (('|' | '||' | 'or') and)*
+//   and     := temporal (('&' | '&&' | 'and') temporal)*
+//   temporal:= unary [('U' | 'W' | 'R') temporal]        (right-assoc)
+//   unary   := ('!' | '¬' | 'not' | 'X' | 'N' | 'F' | 'G') unary | atom
+//   atom    := '(' implies ')' | 'true' | 'false' | 'end' | dotted-name
+//
+// Atoms are dotted event names (`a.open`) interned into the given table.
+// Throws ParseError on malformed input.
+#pragma once
+
+#include <string_view>
+
+#include "ltlf/formula.hpp"
+#include "support/diagnostics.hpp"
+#include "support/symbol.hpp"
+
+namespace shelley::ltlf {
+
+[[nodiscard]] Formula parse(std::string_view text, SymbolTable& table);
+
+}  // namespace shelley::ltlf

@@ -1,0 +1,211 @@
+#include "rex/derivative.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+namespace shelley::rex {
+
+bool nullable(const Regex& r) {
+  switch (r->kind()) {
+    case Kind::kEmpty:
+    case Kind::kSymbol:
+      return false;
+    case Kind::kEpsilon:
+    case Kind::kStar:
+      return true;
+    case Kind::kConcat:
+      return nullable(r->left()) && nullable(r->right());
+    case Kind::kUnion:
+      return nullable(r->left()) || nullable(r->right());
+  }
+  return false;
+}
+
+bool is_empty_language(const Regex& r) {
+  switch (r->kind()) {
+    case Kind::kEmpty:
+      return true;
+    case Kind::kEpsilon:
+    case Kind::kSymbol:
+    case Kind::kStar:
+      return false;
+    case Kind::kConcat:
+      return is_empty_language(r->left()) || is_empty_language(r->right());
+    case Kind::kUnion:
+      return is_empty_language(r->left()) && is_empty_language(r->right());
+  }
+  return false;
+}
+
+namespace {
+
+void flatten_union(const Regex& r, std::vector<Regex>& out) {
+  if (r->kind() == Kind::kUnion) {
+    flatten_union(r->left(), out);
+    flatten_union(r->right(), out);
+  } else if (r->kind() != Kind::kEmpty) {
+    out.push_back(r);
+  }
+}
+
+}  // namespace
+
+Regex smart_concat(Regex a, Regex b) {
+  if (a->kind() == Kind::kEmpty || b->kind() == Kind::kEmpty) return empty();
+  if (a->kind() == Kind::kEpsilon) return b;
+  if (b->kind() == Kind::kEpsilon) return a;
+  // Right-associate: (x·y)·b => x·(y·b), so canonical concats are chains.
+  if (a->kind() == Kind::kConcat) {
+    return smart_concat(a->left(), smart_concat(a->right(), std::move(b)));
+  }
+  return concat(std::move(a), std::move(b));
+}
+
+Regex smart_alt(Regex a, Regex b) {
+  std::vector<Regex> alts;
+  flatten_union(a, alts);
+  flatten_union(b, alts);
+  if (alts.empty()) return empty();
+  std::sort(alts.begin(), alts.end(),
+            [](const Regex& x, const Regex& y) { return structural_compare(x, y) < 0; });
+  alts.erase(std::unique(alts.begin(), alts.end(),
+                         [](const Regex& x, const Regex& y) {
+                           return structural_compare(x, y) == 0;
+                         }),
+             alts.end());
+  Regex out = alts.back();
+  for (std::size_t i = alts.size() - 1; i-- > 0;) {
+    out = alt(alts[i], std::move(out));
+  }
+  return out;
+}
+
+Regex smart_star(Regex a) {
+  if (a->kind() == Kind::kEmpty || a->kind() == Kind::kEpsilon) {
+    return epsilon();
+  }
+  if (a->kind() == Kind::kStar) return a;
+  return star(std::move(a));
+}
+
+Regex simplify(const Regex& r) {
+  switch (r->kind()) {
+    case Kind::kEmpty:
+    case Kind::kEpsilon:
+    case Kind::kSymbol:
+      return r;
+    case Kind::kConcat:
+      return smart_concat(simplify(r->left()), simplify(r->right()));
+    case Kind::kUnion:
+      return smart_alt(simplify(r->left()), simplify(r->right()));
+    case Kind::kStar:
+      return smart_star(simplify(r->left()));
+  }
+  return r;
+}
+
+Regex derivative(const Regex& r, Symbol a) {
+  switch (r->kind()) {
+    case Kind::kEmpty:
+    case Kind::kEpsilon:
+      return empty();
+    case Kind::kSymbol:
+      return r->symbol() == a ? epsilon() : empty();
+    case Kind::kConcat: {
+      Regex head = smart_concat(derivative(r->left(), a), r->right());
+      if (nullable(r->left())) {
+        return smart_alt(std::move(head), derivative(r->right(), a));
+      }
+      return head;
+    }
+    case Kind::kUnion:
+      return smart_alt(derivative(r->left(), a), derivative(r->right(), a));
+    case Kind::kStar:
+      return smart_concat(derivative(r->left(), a), r);
+  }
+  return empty();
+}
+
+bool matches(const Regex& r, const Word& word) {
+  Regex current = simplify(r);
+  for (Symbol s : word) {
+    if (current->kind() == Kind::kEmpty) return false;
+    current = derivative(current, s);
+  }
+  return nullable(current);
+}
+
+namespace {
+
+bool shortlex_less(const Word& a, const Word& b) {
+  if (a.size() != b.size()) return a.size() < b.size();
+  return std::lexicographical_compare(a.begin(), a.end(), b.begin(), b.end());
+}
+
+using WordSet = std::set<Word>;
+
+WordSet enumerate(const Regex& r, std::size_t max_length) {
+  switch (r->kind()) {
+    case Kind::kEmpty:
+      return {};
+    case Kind::kEpsilon:
+      return {Word{}};
+    case Kind::kSymbol:
+      if (max_length == 0) return {};
+      return {Word{r->symbol()}};
+    case Kind::kUnion: {
+      WordSet out = enumerate(r->left(), max_length);
+      WordSet rhs = enumerate(r->right(), max_length);
+      out.insert(rhs.begin(), rhs.end());
+      return out;
+    }
+    case Kind::kConcat: {
+      const WordSet lhs = enumerate(r->left(), max_length);
+      WordSet out;
+      for (const Word& prefix : lhs) {
+        const std::size_t room = max_length - prefix.size();
+        for (const Word& suffix : enumerate(r->right(), room)) {
+          Word w = prefix;
+          w.insert(w.end(), suffix.begin(), suffix.end());
+          out.insert(std::move(w));
+        }
+      }
+      return out;
+    }
+    case Kind::kStar: {
+      WordSet out{Word{}};
+      // Iterate concatenation with non-empty body words until no new word
+      // fits under the length cap.
+      const WordSet body = enumerate(r->left(), max_length);
+      bool grew = true;
+      while (grew) {
+        grew = false;
+        WordSet next = out;
+        for (const Word& prefix : out) {
+          for (const Word& extension : body) {
+            if (extension.empty()) continue;
+            if (prefix.size() + extension.size() > max_length) continue;
+            Word w = prefix;
+            w.insert(w.end(), extension.begin(), extension.end());
+            if (next.insert(std::move(w)).second) grew = true;
+          }
+        }
+        out = std::move(next);
+      }
+      return out;
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+std::vector<Word> enumerate_language(const Regex& r, std::size_t max_length) {
+  const WordSet words = enumerate(r, max_length);
+  std::vector<Word> out(words.begin(), words.end());
+  std::sort(out.begin(), out.end(), shortlex_less);
+  return out;
+}
+
+}  // namespace shelley::rex

@@ -1,0 +1,45 @@
+// Brzozowski derivatives: nullability, word membership, and the algebraic
+// simplification ("smart constructor") layer that keeps derivative chains
+// finite modulo associativity/commutativity/idempotence of `+`.
+#pragma once
+
+#include "rex/regex.hpp"
+#include "support/symbol.hpp"
+
+namespace shelley::rex {
+
+/// True iff ε ∈ L(r).
+[[nodiscard]] bool nullable(const Regex& r);
+
+/// True iff L(r) = ∅.  (Purely syntactic bottom-up check; exact because
+/// the only emptiness sources are ∅ and concatenation with ∅.)
+[[nodiscard]] bool is_empty_language(const Regex& r);
+
+// -- Simplifying (smart) constructors ---------------------------------------
+// These apply the identities  ∅·r = r·∅ = ∅,  ε·r = r·ε = r,  ∅+r = r,
+// r+r = r,  (r*)* = r*,  ε* = ∅* = ε,  and flatten/sort/dedupe unions so
+// ACI-equal unions become structurally equal.
+
+[[nodiscard]] Regex smart_concat(Regex a, Regex b);
+[[nodiscard]] Regex smart_alt(Regex a, Regex b);
+[[nodiscard]] Regex smart_star(Regex a);
+
+/// Recursively rebuilds `r` with the smart constructors, yielding a
+/// normal form in which ACI-equivalent terms coincide structurally.
+/// Language-preserving: L(simplify(r)) = L(r).
+[[nodiscard]] Regex simplify(const Regex& r);
+
+/// The Brzozowski derivative d_a(r): the language { w | a·w ∈ L(r) }.
+/// The result is built with smart constructors.
+[[nodiscard]] Regex derivative(const Regex& r, Symbol a);
+
+/// Word membership via iterated derivatives: w ∈ L(r).
+[[nodiscard]] bool matches(const Regex& r, const Word& word);
+
+/// Enumerates every word of L(r) whose length is <= `max_length`.
+/// Intended for property tests on small regexes; the result is sorted
+/// (shortlex) and duplicate-free.
+[[nodiscard]] std::vector<Word> enumerate_language(const Regex& r,
+                                                   std::size_t max_length);
+
+}  // namespace shelley::rex

@@ -1,0 +1,73 @@
+#include "rex/equivalence.hpp"
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <set>
+#include <utility>
+
+#include "rex/derivative.hpp"
+
+namespace shelley::rex {
+namespace {
+
+struct PairLess {
+  bool operator()(const std::pair<Regex, Regex>& x,
+                  const std::pair<Regex, Regex>& y) const {
+    const int c = structural_compare(x.first, y.first);
+    if (c != 0) return c < 0;
+    return structural_compare(x.second, y.second) < 0;
+  }
+};
+
+std::set<Symbol> joint_alphabet(const Regex& a, const Regex& b) {
+  std::set<Symbol> sigma = alphabet(a);
+  const std::set<Symbol> rhs = alphabet(b);
+  sigma.insert(rhs.begin(), rhs.end());
+  return sigma;
+}
+
+}  // namespace
+
+std::optional<Word> distinguishing_word(const Regex& a, const Regex& b) {
+  const std::set<Symbol> sigma = joint_alphabet(a, b);
+
+  struct State {
+    Regex left;
+    Regex right;
+    Word path;
+  };
+
+  std::set<std::pair<Regex, Regex>, PairLess> visited;
+  std::deque<State> queue;
+  queue.push_back(State{simplify(a), simplify(b), {}});
+  visited.insert({queue.front().left, queue.front().right});
+
+  while (!queue.empty()) {
+    State state = std::move(queue.front());
+    queue.pop_front();
+    if (nullable(state.left) != nullable(state.right)) return state.path;
+    for (Symbol s : sigma) {
+      Regex dl = derivative(state.left, s);
+      Regex dr = derivative(state.right, s);
+      // Both dead: no word with this prefix distinguishes.
+      if (is_empty_language(dl) && is_empty_language(dr)) continue;
+      if (!visited.insert({dl, dr}).second) continue;
+      Word path = state.path;
+      path.push_back(s);
+      queue.push_back(State{std::move(dl), std::move(dr), std::move(path)});
+    }
+  }
+  return std::nullopt;
+}
+
+bool equivalent(const Regex& a, const Regex& b) {
+  return !distinguishing_word(a, b).has_value();
+}
+
+bool included(const Regex& a, const Regex& b) {
+  // L(a) ⊆ L(b)  iff  L(a + b) = L(b).
+  return equivalent(smart_alt(a, b), b);
+}
+
+}  // namespace shelley::rex

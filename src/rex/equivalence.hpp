@@ -1,0 +1,24 @@
+// Language equivalence and inclusion of regular expressions via
+// derivative-pair bisimulation (Antimirov/Brzozowski style).
+//
+// Termination: derivatives are normalized by the smart constructors, so the
+// set of reachable (simplified) derivative states is finite modulo ACI of
+// `+`; the visited-pair set therefore closes.
+#pragma once
+
+#include "rex/regex.hpp"
+
+namespace shelley::rex {
+
+/// True iff L(a) = L(b).
+[[nodiscard]] bool equivalent(const Regex& a, const Regex& b);
+
+/// True iff L(a) ⊆ L(b).
+[[nodiscard]] bool included(const Regex& a, const Regex& b);
+
+/// If L(a) != L(b), returns a word in exactly one of the two languages
+/// (a shortest distinguishing word found by BFS); std::nullopt otherwise.
+[[nodiscard]] std::optional<Word> distinguishing_word(const Regex& a,
+                                                      const Regex& b);
+
+}  // namespace shelley::rex

@@ -1,0 +1,179 @@
+#include "rex/parser.hpp"
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+namespace shelley::rex {
+namespace {
+
+enum class Tok { kLParen, kRParen, kPlus, kStar, kDotOp, kName, kEnd };
+
+struct Token {
+  Tok kind;
+  std::string text;
+  std::uint32_t column;
+};
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      const auto col = static_cast<std::uint32_t>(pos_ + 1);
+      if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+        ++pos_;
+        continue;
+      }
+      if (c == '(') {
+        out.push_back({Tok::kLParen, "(", col});
+        ++pos_;
+      } else if (c == ')') {
+        out.push_back({Tok::kRParen, ")", col});
+        ++pos_;
+      } else if (c == '+') {
+        out.push_back({Tok::kPlus, "+", col});
+        ++pos_;
+      } else if (c == '*') {
+        out.push_back({Tok::kStar, "*", col});
+        ++pos_;
+      } else if (consume_utf8("·")) {
+        out.push_back({Tok::kDotOp, "·", col});
+      } else if (consume_utf8("ε")) {
+        out.push_back({Tok::kName, "ε", col});
+      } else if (consume_utf8("∅")) {
+        out.push_back({Tok::kName, "∅", col});
+      } else if (is_ident_start(c)) {
+        out.push_back({Tok::kName, lex_dotted_name(), col});
+      } else {
+        throw ParseError({1, col}, std::string("unexpected character '") + c +
+                                       "' in regular expression");
+      }
+    }
+    out.push_back({Tok::kEnd, "", static_cast<std::uint32_t>(pos_ + 1)});
+    return out;
+  }
+
+ private:
+  bool consume_utf8(std::string_view utf8) {
+    if (text_.substr(pos_, utf8.size()) == utf8) {
+      pos_ += utf8.size();
+      return true;
+    }
+    return false;
+  }
+
+  std::string lex_dotted_name() {
+    std::string name;
+    while (true) {
+      while (pos_ < text_.size() && is_ident_char(text_[pos_])) {
+        name += text_[pos_++];
+      }
+      // A dot glued between identifier characters continues the name.
+      if (pos_ + 1 < text_.size() && text_[pos_] == '.' &&
+          is_ident_start(text_[pos_ + 1])) {
+        name += text_[pos_++];
+        continue;
+      }
+      return name;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, SymbolTable& table)
+      : tokens_(std::move(tokens)), table_(table) {}
+
+  Regex run() {
+    Regex r = parse_union();
+    expect(Tok::kEnd, "end of input");
+    return r;
+  }
+
+ private:
+  [[nodiscard]] const Token& peek() const { return tokens_[index_]; }
+  const Token& advance() { return tokens_[index_++]; }
+
+  void expect(Tok kind, std::string_view what) {
+    if (peek().kind != kind) {
+      throw ParseError({1, peek().column},
+                       "expected " + std::string(what) + ", found '" +
+                           peek().text + "'");
+    }
+    advance();
+  }
+
+  [[nodiscard]] bool at_atom_start() const {
+    return peek().kind == Tok::kLParen || peek().kind == Tok::kName;
+  }
+
+  Regex parse_union() {
+    Regex r = parse_concat();
+    while (peek().kind == Tok::kPlus) {
+      advance();
+      r = alt(std::move(r), parse_concat());
+    }
+    return r;
+  }
+
+  Regex parse_concat() {
+    Regex r = parse_postfix();
+    while (peek().kind == Tok::kDotOp || at_atom_start()) {
+      if (peek().kind == Tok::kDotOp) advance();
+      r = concat(std::move(r), parse_postfix());
+    }
+    return r;
+  }
+
+  Regex parse_postfix() {
+    Regex r = parse_atom();
+    while (peek().kind == Tok::kStar) {
+      advance();
+      r = star(std::move(r));
+    }
+    return r;
+  }
+
+  Regex parse_atom() {
+    if (peek().kind == Tok::kLParen) {
+      advance();
+      Regex r = parse_union();
+      expect(Tok::kRParen, "')'");
+      return r;
+    }
+    if (peek().kind == Tok::kName) {
+      const std::string name = advance().text;
+      if (name == "eps" || name == "ε") return epsilon();
+      if (name == "void" || name == "∅") return empty();
+      return symbol(table_.intern(name));
+    }
+    throw ParseError({1, peek().column},
+                     "expected an atom, found '" + peek().text + "'");
+  }
+
+  std::vector<Token> tokens_;
+  SymbolTable& table_;
+  std::size_t index_ = 0;
+};
+
+}  // namespace
+
+Regex parse(std::string_view text, SymbolTable& table) {
+  return Parser(Lexer(text).run(), table).run();
+}
+
+}  // namespace shelley::rex

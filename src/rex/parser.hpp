@@ -1,0 +1,24 @@
+// A small parser for regular expressions, used by tests and the CLI-style
+// examples.  Accepts both the paper's Unicode notation and an ASCII form:
+//
+//   union   := concat ('+' concat)*
+//   concat  := postfix (('·' | juxtaposition) postfix)*
+//   postfix := atom '*'*
+//   atom    := '(' union ')' | 'eps' | 'ε' | 'void' | '∅' | symbol
+//
+// Symbols are dotted identifiers (`a.open`); the dot binds tighter than any
+// operator and must not be surrounded by whitespace.  Symbols are interned
+// into the provided table.  Throws ParseError on malformed input.
+#pragma once
+
+#include <string_view>
+
+#include "rex/regex.hpp"
+#include "support/diagnostics.hpp"
+#include "support/symbol.hpp"
+
+namespace shelley::rex {
+
+[[nodiscard]] Regex parse(std::string_view text, SymbolTable& table);
+
+}  // namespace shelley::rex

@@ -1,0 +1,206 @@
+#include "rex/regex.hpp"
+
+#include <cassert>
+#include <functional>
+
+namespace shelley::rex {
+namespace {
+
+std::size_t combine(std::size_t seed, std::size_t value) {
+  return seed ^ (value + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2));
+}
+
+std::size_t node_hash(Kind kind, Symbol sym, const Regex& left,
+                      const Regex& right) {
+  std::size_t h = static_cast<std::size_t>(kind) * 0x100000001b3ull;
+  if (kind == Kind::kSymbol) h = combine(h, sym.id());
+  if (left) h = combine(h, left->hash());
+  if (right) h = combine(h, right->hash());
+  return h;
+}
+
+std::size_t node_size(const Regex& left, const Regex& right) {
+  std::size_t n = 1;
+  if (left) n += left->size();
+  if (right) n += right->size();
+  return n;
+}
+
+}  // namespace
+
+Node::Node(Kind kind, Symbol sym, Regex left, Regex right)
+    : kind_(kind),
+      sym_(sym),
+      left_(std::move(left)),
+      right_(std::move(right)),
+      hash_(node_hash(kind, sym, left_, right_)),
+      size_(node_size(left_, right_)) {}
+
+Regex empty() {
+  static const Regex instance =
+      std::make_shared<const Node>(Kind::kEmpty, Symbol{}, nullptr, nullptr);
+  return instance;
+}
+
+Regex epsilon() {
+  static const Regex instance =
+      std::make_shared<const Node>(Kind::kEpsilon, Symbol{}, nullptr, nullptr);
+  return instance;
+}
+
+Regex symbol(Symbol s) {
+  assert(s.valid());
+  return std::make_shared<const Node>(Kind::kSymbol, s, nullptr, nullptr);
+}
+
+Regex concat(Regex a, Regex b) {
+  assert(a && b);
+  return std::make_shared<const Node>(Kind::kConcat, Symbol{}, std::move(a),
+                                      std::move(b));
+}
+
+Regex alt(Regex a, Regex b) {
+  assert(a && b);
+  return std::make_shared<const Node>(Kind::kUnion, Symbol{}, std::move(a),
+                                      std::move(b));
+}
+
+Regex star(Regex a) {
+  assert(a);
+  return std::make_shared<const Node>(Kind::kStar, Symbol{}, std::move(a),
+                                      nullptr);
+}
+
+Regex alt_of(const std::vector<Regex>& alternatives) {
+  if (alternatives.empty()) return empty();
+  Regex out = alternatives.front();
+  for (std::size_t i = 1; i < alternatives.size(); ++i) {
+    out = alt(std::move(out), alternatives[i]);
+  }
+  return out;
+}
+
+Regex concat_of(const std::vector<Regex>& factors) {
+  if (factors.empty()) return epsilon();
+  Regex out = factors.front();
+  for (std::size_t i = 1; i < factors.size(); ++i) {
+    out = concat(std::move(out), factors[i]);
+  }
+  return out;
+}
+
+bool structurally_equal(const Regex& a, const Regex& b) {
+  if (a.get() == b.get()) return true;
+  if (!a || !b) return false;
+  if (a->hash() != b->hash() || a->kind() != b->kind()) return false;
+  switch (a->kind()) {
+    case Kind::kEmpty:
+    case Kind::kEpsilon:
+      return true;
+    case Kind::kSymbol:
+      return a->symbol() == b->symbol();
+    case Kind::kStar:
+      return structurally_equal(a->left(), b->left());
+    case Kind::kConcat:
+    case Kind::kUnion:
+      return structurally_equal(a->left(), b->left()) &&
+             structurally_equal(a->right(), b->right());
+  }
+  return false;
+}
+
+int structural_compare(const Regex& a, const Regex& b) {
+  if (a.get() == b.get()) return 0;
+  if (a->kind() != b->kind()) {
+    return static_cast<int>(a->kind()) < static_cast<int>(b->kind()) ? -1 : 1;
+  }
+  switch (a->kind()) {
+    case Kind::kEmpty:
+    case Kind::kEpsilon:
+      return 0;
+    case Kind::kSymbol:
+      if (a->symbol() == b->symbol()) return 0;
+      return a->symbol() < b->symbol() ? -1 : 1;
+    case Kind::kStar:
+      return structural_compare(a->left(), b->left());
+    case Kind::kConcat:
+    case Kind::kUnion: {
+      const int c = structural_compare(a->left(), b->left());
+      if (c != 0) return c;
+      return structural_compare(a->right(), b->right());
+    }
+  }
+  return 0;
+}
+
+std::set<Symbol> alphabet(const Regex& r) {
+  std::set<Symbol> out;
+  const std::function<void(const Regex&)> walk = [&](const Regex& node) {
+    if (!node) return;
+    if (node->kind() == Kind::kSymbol) out.insert(node->symbol());
+    walk(node->left());
+    walk(node->right());
+  };
+  walk(r);
+  return out;
+}
+
+namespace {
+
+// Precedence levels: union (1) < concat (2) < star/atom (3).
+void print(const Regex& r, const SymbolTable& table, int parent_level,
+           bool unicode, std::string& out) {
+  const auto wrap = [&](int level, auto&& body) {
+    const bool parens = level < parent_level;
+    if (parens) out += '(';
+    body();
+    if (parens) out += ')';
+  };
+  switch (r->kind()) {
+    case Kind::kEmpty:
+      out += unicode ? "∅" : "void";
+      break;
+    case Kind::kEpsilon:
+      out += unicode ? "ε" : "eps";
+      break;
+    case Kind::kSymbol:
+      out += table.name(r->symbol());
+      break;
+    case Kind::kUnion:
+      wrap(1, [&] {
+        print(r->left(), table, 1, unicode, out);
+        out += " + ";
+        print(r->right(), table, 1, unicode, out);
+      });
+      break;
+    case Kind::kConcat:
+      wrap(2, [&] {
+        print(r->left(), table, 2, unicode, out);
+        out += unicode ? " · " : " ";
+        print(r->right(), table, 2, unicode, out);
+      });
+      break;
+    case Kind::kStar:
+      wrap(3, [&] {
+        print(r->left(), table, 4, unicode, out);
+        out += '*';
+      });
+      break;
+  }
+}
+
+}  // namespace
+
+std::string to_string(const Regex& r, const SymbolTable& table) {
+  std::string out;
+  print(r, table, 0, /*unicode=*/true, out);
+  return out;
+}
+
+std::string to_ascii(const Regex& r, const SymbolTable& table) {
+  std::string out;
+  print(r, table, 0, /*unicode=*/false, out);
+  return out;
+}
+
+}  // namespace shelley::rex

@@ -1,0 +1,94 @@
+// Regular expressions over interned event symbols (paper §3.2):
+//
+//   r ::= ε | ∅ | f | r · r | r + r | r*
+//
+// Nodes are immutable and shared (value semantics via shared_ptr<const>).
+// The factory functions here build the *raw* structure with no algebraic
+// simplification -- the behavior-inference function of Figure 4 must produce
+// exactly the paper's shapes (e.g. Example 3 contains the subterm `b · ∅`).
+// Use rex::simplify (derivative.hpp) to normalize.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "support/symbol.hpp"
+
+namespace shelley::rex {
+
+enum class Kind : std::uint8_t {
+  kEmpty,    // ∅ : the empty language
+  kEpsilon,  // ε : the language {""}
+  kSymbol,   // f : the language {f}
+  kConcat,   // r1 · r2
+  kUnion,    // r1 + r2
+  kStar,     // r*
+};
+
+class Node;
+/// Shared immutable regex handle.  A default-constructed Regex is invalid;
+/// always build through the factories below.
+using Regex = std::shared_ptr<const Node>;
+
+class Node {
+ public:
+  Node(Kind kind, Symbol sym, Regex left, Regex right);
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] Symbol symbol() const { return sym_; }
+  [[nodiscard]] const Regex& left() const { return left_; }
+  [[nodiscard]] const Regex& right() const { return right_; }
+  [[nodiscard]] std::size_t hash() const { return hash_; }
+  /// Number of nodes in this subtree (counts every constructor).
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+ private:
+  Kind kind_;
+  Symbol sym_;
+  Regex left_;
+  Regex right_;
+  std::size_t hash_;
+  std::size_t size_;
+};
+
+// -- Raw factories (no simplification) --------------------------------------
+
+[[nodiscard]] Regex empty();
+[[nodiscard]] Regex epsilon();
+[[nodiscard]] Regex symbol(Symbol s);
+[[nodiscard]] Regex concat(Regex a, Regex b);
+[[nodiscard]] Regex alt(Regex a, Regex b);  // union; `alt` avoids the keyword
+[[nodiscard]] Regex star(Regex a);
+
+/// Folds a sequence of alternatives into r1 + r2 + ... + rn; empty input
+/// yields ∅ (the identity of +).
+[[nodiscard]] Regex alt_of(const std::vector<Regex>& alternatives);
+
+/// Folds a sequence into r1 · r2 · ... · rn; empty input yields ε.
+[[nodiscard]] Regex concat_of(const std::vector<Regex>& factors);
+
+// -- Structural queries ------------------------------------------------------
+
+/// Deep structural equality (exact tree shape, not language equality).
+[[nodiscard]] bool structurally_equal(const Regex& a, const Regex& b);
+
+/// Deterministic structural total order (-1/0/+1); used to canonicalize
+/// unions and to key memo tables.
+[[nodiscard]] int structural_compare(const Regex& a, const Regex& b);
+
+/// Collects every symbol appearing in `r`.
+[[nodiscard]] std::set<Symbol> alphabet(const Regex& r);
+
+/// Paper-style rendering: `∅`, `ε`, `f`, `a · b`, `a + b`, `a*`, with
+/// minimal parentheses (star > concat > union, both binops associative in
+/// print).  Symbols print via `table`.
+[[nodiscard]] std::string to_string(const Regex& r, const SymbolTable& table);
+
+/// ASCII rendering used by parsers/tests: `void`, `eps`, juxtaposition for
+/// concat, `+`, `*`.
+[[nodiscard]] std::string to_ascii(const Regex& r, const SymbolTable& table);
+
+}  // namespace shelley::rex

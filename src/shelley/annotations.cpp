@@ -1,0 +1,131 @@
+#include "shelley/annotations.hpp"
+
+namespace shelley::core {
+namespace {
+
+/// Extracts the strings of a literal list expression `["a", "b"]`;
+/// nullopt when the expression has a different shape.
+std::optional<std::vector<std::string>> string_list(const upy::ExprPtr& expr) {
+  const auto* list = upy::as<upy::ListExpr>(expr);
+  if (list == nullptr) return std::nullopt;
+  std::vector<std::string> out;
+  for (const upy::ExprPtr& element : list->elements) {
+    const auto* text = upy::as<upy::StringExpr>(element);
+    if (text == nullptr) return std::nullopt;
+    out.push_back(text->value);
+  }
+  return out;
+}
+
+}  // namespace
+
+bool is_initial(OpKind kind) {
+  return kind == OpKind::kInitial || kind == OpKind::kInitialFinal;
+}
+
+bool is_final(OpKind kind) {
+  return kind == OpKind::kFinal || kind == OpKind::kInitialFinal;
+}
+
+ClassAnnotations decode_class_annotations(const upy::ClassDef& cls,
+                                          DiagnosticEngine& diagnostics) {
+  ClassAnnotations out;
+  for (const upy::Decorator& decorator : cls.decorators) {
+    if (decorator.name == "sys") {
+      out.is_system = true;
+      if (!decorator.has_call) continue;
+      if (decorator.args.size() != 1) {
+        diagnostics.error(decorator.loc,
+                          "@sys takes exactly one argument: a list of "
+                          "subsystem field names");
+        continue;
+      }
+      const auto fields = string_list(decorator.args.front());
+      if (!fields) {
+        diagnostics.error(decorator.loc,
+                          "@sys argument must be a list of string literals, "
+                          "e.g. @sys([\"a\", \"b\"])");
+        continue;
+      }
+      out.is_composite = true;
+      out.subsystem_fields = *fields;
+    } else if (decorator.name == "claim") {
+      if (!decorator.has_call || decorator.args.size() != 1 ||
+          upy::as<upy::StringExpr>(decorator.args.front()) == nullptr) {
+        diagnostics.error(decorator.loc,
+                          "@claim takes exactly one string argument holding "
+                          "an LTLf formula");
+        continue;
+      }
+      out.claims.emplace_back(
+          upy::as<upy::StringExpr>(decorator.args.front())->value,
+          decorator.loc);
+    } else {
+      diagnostics.warning(decorator.loc, "unknown class decorator '@" +
+                                             decorator.name +
+                                             "' is ignored by the analysis");
+    }
+  }
+  return out;
+}
+
+OpKind decode_op_annotation(const upy::FunctionDef& method,
+                            DiagnosticEngine& diagnostics) {
+  OpKind kind = OpKind::kNotAnOperation;
+  for (const upy::Decorator& decorator : method.decorators) {
+    OpKind found = OpKind::kNotAnOperation;
+    if (decorator.name == "op") {
+      found = OpKind::kOperation;
+    } else if (decorator.name == "op_initial") {
+      found = OpKind::kInitial;
+    } else if (decorator.name == "op_final") {
+      found = OpKind::kFinal;
+    } else if (decorator.name == "op_initial_final") {
+      found = OpKind::kInitialFinal;
+    } else {
+      diagnostics.warning(decorator.loc, "unknown method decorator '@" +
+                                             decorator.name +
+                                             "' is ignored by the analysis");
+      continue;
+    }
+    if (kind != OpKind::kNotAnOperation) {
+      diagnostics.error(decorator.loc,
+                        "method '" + method.name +
+                            "' carries more than one @op* decorator");
+    }
+    kind = found;
+  }
+  return kind;
+}
+
+std::optional<std::vector<std::string>> decode_return_successors(
+    const upy::ExprPtr& value, SourceLoc loc, DiagnosticEngine& diagnostics) {
+  if (!value) {
+    diagnostics.error(loc,
+                      "operations must return their successor list, e.g. "
+                      "return [\"close\"] -- bare return is not allowed");
+    return std::nullopt;
+  }
+  // Tuple form: `return ["m"], value` -- the first element carries the
+  // successors, the rest is the user's return value (ignored).
+  upy::ExprPtr successor_expr = value;
+  if (const auto* tuple = upy::as<upy::TupleExpr>(value)) {
+    if (tuple->elements.empty()) {
+      diagnostics.error(loc, "a returned tuple must start with the "
+                             "successor list");
+      return std::nullopt;
+    }
+    successor_expr = tuple->elements.front();
+  }
+  const auto successors = string_list(successor_expr);
+  if (!successors) {
+    diagnostics.error(
+        loc,
+        "cannot decode the successor list of this return statement; "
+        "expected return [\"m1\", ...] or return [\"m1\", ...], value");
+    return std::nullopt;
+  }
+  return successors;
+}
+
+}  // namespace shelley::core

@@ -1,0 +1,59 @@
+// Decoding of Shelley's MicroPython annotations (Table 1) and of
+// return-statement shapes (Table 2).
+//
+//   @claim("...")            class   temporal requirement
+//   @sys                     class   base class
+//   @sys(["s1", ..., "sn"])  class   composite class with subsystem fields
+//   @op_initial              method  may be invoked first
+//   @op_final                method  may be invoked last
+//   @op_initial_final        method  both
+//   @op                      method  in between initial and final methods
+//
+//   return ["m1", ..., "mk"]        successors m1..mk
+//   return ["m1", ...], value       successors plus a user return value
+//   return []                       no successor may follow
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/diagnostics.hpp"
+#include "upy/ast.hpp"
+
+namespace shelley::core {
+
+struct ClassAnnotations {
+  bool is_system = false;           // carries @sys
+  bool is_composite = false;        // @sys had a subsystem list
+  std::vector<std::string> subsystem_fields;
+  std::vector<std::pair<std::string, SourceLoc>> claims;  // raw formula text
+};
+
+enum class OpKind {
+  kNotAnOperation,  // no @op* decorator: helper method, ignored by analysis
+  kOperation,       // @op
+  kInitial,         // @op_initial
+  kFinal,           // @op_final
+  kInitialFinal,    // @op_initial_final
+};
+
+[[nodiscard]] bool is_initial(OpKind kind);
+[[nodiscard]] bool is_final(OpKind kind);
+
+/// Decodes a class's decorators; unknown decorators produce warnings,
+/// malformed @sys/@claim arguments produce errors.
+[[nodiscard]] ClassAnnotations decode_class_annotations(
+    const upy::ClassDef& cls, DiagnosticEngine& diagnostics);
+
+/// Decodes a method's decorators.
+[[nodiscard]] OpKind decode_op_annotation(const upy::FunctionDef& method,
+                                          DiagnosticEngine& diagnostics);
+
+/// Decodes the successor list from the expression of a `return` statement
+/// (Table 2).  Returns std::nullopt when the expression is not one of the
+/// documented shapes (an error is reported).
+[[nodiscard]] std::optional<std::vector<std::string>> decode_return_successors(
+    const upy::ExprPtr& value, SourceLoc loc, DiagnosticEngine& diagnostics);
+
+}  // namespace shelley::core

@@ -1,0 +1,187 @@
+#include "shelley/automata.hpp"
+
+#include <algorithm>
+
+#include "fsm/thompson.hpp"
+#include "ir/lowering.hpp"
+#include "rex/derivative.hpp"
+
+namespace shelley::core {
+
+fsm::Nfa usage_nfa(const ClassSpec& spec, SymbolTable& table,
+                   std::string_view prefix) {
+  fsm::Nfa nfa;
+  const fsm::StateId fresh = nfa.add_state();
+  nfa.mark_initial(fresh);
+  nfa.mark_accepting(fresh);  // never using the instance is valid
+
+  // One state per exit point, one symbol per operation.
+  std::map<std::string, Symbol> symbols;
+  std::map<std::string, std::vector<fsm::StateId>> exit_states;
+  for (const Operation& op : spec.operations) {
+    symbols[op.name] = table.intern(std::string(prefix) + op.name);
+    auto& states = exit_states[op.name];
+    for (std::size_t i = 0; i < op.exits.size(); ++i) {
+      const fsm::StateId state = nfa.add_state();
+      states.push_back(state);
+      if (op.final) nfa.mark_accepting(state);
+    }
+  }
+
+  const auto connect = [&](fsm::StateId from, const std::string& op_name) {
+    const auto it = exit_states.find(op_name);
+    if (it == exit_states.end()) return;  // unresolved successor (reported
+                                          // by the dependency-graph pass)
+    for (fsm::StateId exit : it->second) {
+      nfa.add_transition(from, symbols.at(op_name), exit);
+    }
+  };
+
+  for (const Operation& op : spec.operations) {
+    if (op.initial) connect(fresh, op.name);
+  }
+  for (const Operation& op : spec.operations) {
+    for (std::size_t i = 0; i < op.exits.size(); ++i) {
+      const fsm::StateId from = exit_states.at(op.name)[i];
+      for (const std::string& successor : op.exits[i].successors) {
+        connect(from, successor);
+      }
+    }
+  }
+  return nfa;
+}
+
+std::map<std::string, OperationBehavior> extract_behaviors(
+    const ClassSpec& spec, SymbolTable& table,
+    DiagnosticEngine& diagnostics) {
+  ir::LoweringContext context;
+  for (const SubsystemDecl& subsystem : spec.subsystems) {
+    context.tracked_fields.insert(subsystem.field);
+  }
+  context.symbols = &table;
+  context.diagnostics = &diagnostics;
+
+  std::map<std::string, OperationBehavior> out;
+  for (const Operation& op : spec.operations) {
+    std::uint32_t next_return_id = 0;
+    context.next_return_id = &next_return_id;
+    OperationBehavior entry;
+    entry.program = ir::lower_block(op.body, context);
+    entry.behavior = ir::analyze(entry.program);
+    entry.inferred = ir::infer_simplified(entry.program);
+    entry.falls_off_end =
+        !rex::is_empty_language(rex::simplify(entry.behavior.ongoing));
+    out.emplace(op.name, std::move(entry));
+  }
+  return out;
+}
+
+std::vector<Symbol> SystemModel::full_alphabet() const {
+  std::vector<Symbol> out = op_symbols;
+  out.insert(out.end(), event_symbols.begin(), event_symbols.end());
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+SystemModel build_system_model(
+    const ClassSpec& spec,
+    const std::map<std::string, OperationBehavior>& behaviors,
+    SymbolTable& table, DiagnosticEngine& diagnostics) {
+  SystemModel model;
+  fsm::Nfa& nfa = model.nfa;
+
+  const fsm::StateId fresh = nfa.add_state();
+  nfa.mark_initial(fresh);
+  nfa.mark_accepting(fresh);
+
+  std::map<std::string, Symbol> op_symbols;
+  std::map<std::string, fsm::StateId> entries;
+  // Exit states by (operation, exit id); implicit fall-off exits keyed by
+  // the operation with id = npos.
+  std::map<std::string, std::map<std::size_t, fsm::StateId>> exits;
+  constexpr std::size_t kImplicitExit = static_cast<std::size_t>(-1);
+
+  std::set<Symbol> events;
+  for (const Operation& op : spec.operations) {
+    const Symbol symbol = table.intern(op.name);
+    op_symbols[op.name] = symbol;
+    model.op_symbols.push_back(symbol);
+
+    const auto it = behaviors.find(op.name);
+    if (it == behaviors.end()) continue;
+    const OperationBehavior& behavior = it->second;
+
+    const fsm::StateId entry = nfa.add_state();
+    entries[op.name] = entry;
+
+    // Route each returned behavior to its exit point's state.
+    for (const ExitPoint& exit : op.exits) {
+      std::vector<rex::Regex> parts;
+      for (const ir::ReturnedBehavior& returned : behavior.behavior.returned) {
+        if (returned.exit_id == exit.id) {
+          parts.push_back(rex::simplify(returned.regex));
+        }
+      }
+      rex::Regex combined = rex::empty();
+      for (const rex::Regex& part : parts) {
+        combined = rex::smart_alt(combined, part);
+      }
+      if (rex::is_empty_language(combined)) {
+        // No execution path reaches this return (e.g. the return was
+        // undecodable or dead code); the exit is unreachable.
+        continue;
+      }
+      const fsm::StateId exit_state = nfa.add_state();
+      exits[op.name][exit.id] = exit_state;
+      if (op.final) nfa.mark_accepting(exit_state);
+      const auto [frag_entry, frag_exit] = fsm::add_fragment(nfa, combined);
+      nfa.add_epsilon(entry, frag_entry);
+      nfa.add_epsilon(frag_exit, exit_state);
+      for (Symbol event : rex::alphabet(combined)) events.insert(event);
+    }
+
+    // Paths that fall off the end of the method body return None and allow
+    // no successor.
+    if (behavior.falls_off_end) {
+      const rex::Regex ongoing = rex::simplify(behavior.behavior.ongoing);
+      if (!op.exits.empty()) {
+        diagnostics.warning(
+            op.loc, "operation '" + op.name +
+                        "' can finish without executing a return statement; "
+                        "such executions allow no successor operation");
+      }
+      const fsm::StateId exit_state = nfa.add_state();
+      exits[op.name][kImplicitExit] = exit_state;
+      if (op.final) nfa.mark_accepting(exit_state);
+      const auto [frag_entry, frag_exit] = fsm::add_fragment(nfa, ongoing);
+      nfa.add_epsilon(entry, frag_entry);
+      nfa.add_epsilon(frag_exit, exit_state);
+      for (Symbol event : rex::alphabet(ongoing)) events.insert(event);
+    }
+  }
+
+  const auto connect = [&](fsm::StateId from, const std::string& op_name) {
+    const auto entry = entries.find(op_name);
+    if (entry == entries.end()) return;
+    nfa.add_transition(from, op_symbols.at(op_name), entry->second);
+  };
+
+  for (const Operation& op : spec.operations) {
+    if (op.initial) connect(fresh, op.name);
+    const auto exit_map = exits.find(op.name);
+    if (exit_map == exits.end()) continue;
+    for (const ExitPoint& exit : op.exits) {
+      const auto state = exit_map->second.find(exit.id);
+      if (state == exit_map->second.end()) continue;
+      for (const std::string& successor : exit.successors) {
+        connect(state->second, successor);
+      }
+    }
+  }
+
+  model.event_symbols.assign(events.begin(), events.end());
+  return model;
+}
+
+}  // namespace shelley::core

@@ -1,0 +1,69 @@
+// Compilation of class specifications into automata:
+//
+//  * usage_nfa    -- the valid-usage language of one instance: every word of
+//                    operation names that starts with an initial operation,
+//                    follows the successor sets of the exits taken, and ends
+//                    after a final operation (or is empty: an instance may
+//                    be constructed and never used).
+//
+//  * extract_behaviors -- per-operation method-behavior extraction (§3.2):
+//                    lower the body to the IR, run the inference of Fig. 4,
+//                    and keep the returned behaviors routed to their exits.
+//
+//  * build_system_model -- the composite-system automaton: each composite
+//                    operation contributes its own label followed by its
+//                    body behavior over subsystem events, so counterexamples
+//                    read like the paper's `open_a, a.test, a.open`.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "fsm/nfa.hpp"
+#include "ir/inference.hpp"
+#include "ir/program.hpp"
+#include "shelley/spec.hpp"
+#include "support/symbol.hpp"
+
+namespace shelley::core {
+
+/// Builds the valid-usage NFA of `spec` over symbols `<prefix><op>`.
+/// States: a fresh state (initial, accepting) and one state per exit point;
+/// invoking an operation consumes its symbol and lands nondeterministically
+/// on one of its exits; exits of final operations accept.
+[[nodiscard]] fsm::Nfa usage_nfa(const ClassSpec& spec, SymbolTable& table,
+                                 std::string_view prefix = "");
+
+/// The analyzed body of one operation.
+struct OperationBehavior {
+  ir::Program program;        // lowered IR with exit-tagged returns
+  ir::Behavior behavior;      // ⟦p⟧ = (ongoing, returned)
+  rex::Regex inferred;        // infer(p), simplified
+  bool falls_off_end = false; // L(ongoing) is non-empty: some path never
+                              // reaches a return statement
+};
+
+/// Lowers and analyzes every operation body of `spec`, tracking calls on
+/// the class's subsystem fields.
+[[nodiscard]] std::map<std::string, OperationBehavior> extract_behaviors(
+    const ClassSpec& spec, SymbolTable& table, DiagnosticEngine& diagnostics);
+
+/// The composite-system automaton and its split alphabet.
+struct SystemModel {
+  fsm::Nfa nfa;
+  std::vector<Symbol> op_symbols;     // labels of the composite's operations
+  std::vector<Symbol> event_symbols;  // subsystem calls `field.method`
+
+  [[nodiscard]] std::vector<Symbol> full_alphabet() const;
+};
+
+/// Builds the system model of a composite class from its spec and the
+/// extracted behaviors.  Operations that may fall off the end without
+/// returning get an implicit exit with no successors (and a warning).
+[[nodiscard]] SystemModel build_system_model(
+    const ClassSpec& spec,
+    const std::map<std::string, OperationBehavior>& behaviors,
+    SymbolTable& table, DiagnosticEngine& diagnostics);
+
+}  // namespace shelley::core

@@ -1,0 +1,222 @@
+#include "shelley/checker.hpp"
+
+#include <algorithm>
+
+#include "fsm/ops.hpp"
+#include "ltlf/automaton.hpp"
+#include "ltlf/parser.hpp"
+#include "support/strings.hpp"
+
+namespace shelley::core {
+
+std::string CheckResult::render(const SymbolTable& table) const {
+  std::string out;
+  for (const SubsystemError& error : subsystem_errors) {
+    if (!out.empty()) out += '\n';
+    out += "Error in specification: INVALID SUBSYSTEM USAGE\n";
+    out += "Counter example: " + to_string(error.counterexample, table) + "\n";
+    out += "Subsystems errors:\n";
+    out += "  * " + error.class_name + " '" + error.field +
+           "': " + error.detail + "\n";
+  }
+  for (const ClaimError& error : claim_errors) {
+    if (!out.empty()) out += '\n';
+    out += "Error in specification: FAIL TO MEET REQUIREMENT\n";
+    out += "Formula: " + error.formula + "\n";
+    out += "Counter example: " + to_string(error.counterexample, table) + "\n";
+  }
+  return out;
+}
+
+std::string diagnose_subsystem_usage(const ClassSpec& spec,
+                                     std::string_view field,
+                                     const Word& projected,
+                                     SymbolTable& table) {
+  const std::string prefix = std::string(field) + ".";
+  const fsm::Dfa usage =
+      fsm::minimize(fsm::determinize(usage_nfa(spec, table, prefix)));
+  const std::vector<bool> live = fsm::live_states(usage);
+
+  // Simulate step by step; mark the first step that kills the run, or the
+  // last step when the word ends in a non-accepting (but live) state.
+  std::vector<std::string> rendered;
+  fsm::StateId state = usage.initial();
+  std::optional<std::string> verdict;
+  for (std::size_t i = 0; i < projected.size(); ++i) {
+    const std::string& qualified = table.name(projected[i]);
+    std::string op = qualified;
+    if (op.starts_with(prefix)) op = op.substr(prefix.size());
+    const auto letter = usage.letter_index(projected[i]);
+    if (!letter) {
+      rendered.push_back(">" + op + "<");
+      verdict = "(undeclared operation)";
+      break;
+    }
+    state = usage.transition(state, *letter);
+    if (!live[state]) {
+      rendered.push_back(">" + op + "<");
+      verdict = "(not allowed)";
+      break;
+    }
+    rendered.push_back(op);
+  }
+  if (!verdict) {
+    if (usage.is_accepting(state)) return join(rendered, ", ");  // valid
+    if (!rendered.empty()) {
+      rendered.back() = ">" + rendered.back() + "<";
+    }
+    verdict = "(not final)";
+  }
+  return join(rendered, ", ") + " " + *verdict;
+}
+
+namespace {
+
+/// Projects `word` onto the symbols that start with `prefix`.
+Word project_word(const Word& word, std::string_view prefix,
+                  const SymbolTable& table) {
+  Word out;
+  for (Symbol s : word) {
+    if (starts_with(table.name(s), prefix)) out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::optional<Word> unrealizable_usage(const ClassSpec& composite,
+                                       const SystemModel& model,
+                                       SymbolTable& table) {
+  // Project the system language onto the composite's own op labels; by
+  // construction it is included in the declared usage language, so only
+  // the reverse inclusion needs a witness.
+  std::set<Symbol> op_labels(model.op_symbols.begin(),
+                             model.op_symbols.end());
+  const fsm::Nfa projected = fsm::map_labels(
+      model.nfa,
+      [&](Symbol s) { return op_labels.contains(s) ? s : Symbol{}; });
+  const fsm::Dfa realizable = fsm::determinize(
+      projected, std::vector<Symbol>(op_labels.begin(), op_labels.end()));
+  const fsm::Dfa declared =
+      fsm::determinize(usage_nfa(composite, table));
+  return fsm::inclusion_witness(declared, realizable);
+}
+
+CheckResult check_base_claims(const ClassSpec& spec, SymbolTable& table,
+                              DiagnosticEngine& diagnostics) {
+  CheckResult result;
+  if (spec.claims.empty()) return result;
+  const fsm::Dfa usage =
+      fsm::minimize(fsm::determinize(usage_nfa(spec, table)));
+  for (const Claim& claim : spec.claims) {
+    ltlf::Formula formula;
+    try {
+      formula = ltlf::parse(claim.text, table);
+    } catch (const ParseError& error) {
+      diagnostics.error(claim.loc, "class '" + spec.name +
+                                       "': cannot parse claim \"" +
+                                       claim.text + "\": " + error.what());
+      continue;
+    }
+    const auto witness = ltlf::counterexample(usage, formula);
+    if (!witness) continue;
+    result.claim_errors.push_back(ClaimError{claim.text, *witness});
+  }
+  return result;
+}
+
+CheckResult check_composite(const ClassSpec& composite,
+                            const ClassLookup& lookup, SymbolTable& table,
+                            DiagnosticEngine& diagnostics) {
+  CheckResult result;
+
+  const auto behaviors = extract_behaviors(composite, table, diagnostics);
+  const SystemModel model =
+      build_system_model(composite, behaviors, table, diagnostics);
+  const std::vector<Symbol> alphabet = model.full_alphabet();
+  const fsm::Dfa system =
+      fsm::minimize(fsm::determinize(model.nfa, alphabet));
+
+  // Realizability of the declared op-level contract (warning only).
+  if (const auto witness = unrealizable_usage(composite, model, table)) {
+    diagnostics.warning(
+        composite.loc,
+        "class '" + composite.name + "': the declared usage [" +
+            to_string(*witness, table) +
+            "] cannot be realized by any execution of the method bodies");
+  }
+
+  // -- Subsystem usage ---------------------------------------------------
+  for (const SubsystemDecl& subsystem : composite.subsystems) {
+    const ClassSpec* sub_spec = lookup(subsystem.class_name);
+    if (sub_spec == nullptr) {
+      diagnostics.error(subsystem.loc,
+                        "class '" + composite.name + "': subsystem '" +
+                            subsystem.field + "' has unknown class '" +
+                            subsystem.class_name + "'");
+      continue;
+    }
+    const std::string prefix = subsystem.field + ".";
+    const fsm::Dfa usage =
+        fsm::minimize(fsm::determinize(usage_nfa(*sub_spec, table, prefix)));
+    // Monitor: accepts system words whose projection onto this subsystem is
+    // a valid complete usage; foreign letters are ignored via self-loops.
+    const fsm::Dfa monitor = fsm::extend_alphabet_ignore(usage, alphabet);
+    const auto witness = fsm::inclusion_witness(system, monitor);
+    if (!witness) continue;
+    SubsystemError error;
+    error.field = subsystem.field;
+    error.class_name = subsystem.class_name;
+    error.counterexample = *witness;
+    error.detail = diagnose_subsystem_usage(
+        *sub_spec, subsystem.field,
+        project_word(*witness, prefix, table), table);
+    result.subsystem_errors.push_back(std::move(error));
+  }
+
+  // -- Temporal claims -----------------------------------------------------
+  if (!composite.claims.empty()) {
+    // Claims usually speak about subsystem events (`a.open`); claims whose
+    // atoms mention the composite's own operation labels are checked
+    // against the unprojected system language instead.
+    std::set<Symbol> op_labels(model.op_symbols.begin(),
+                               model.op_symbols.end());
+    const fsm::Nfa projected =
+        fsm::map_labels(model.nfa, [&](Symbol s) {
+          return op_labels.contains(s) ? Symbol{} : s;
+        });
+    const fsm::Dfa projected_dfa =
+        fsm::minimize(fsm::determinize(projected, model.event_symbols));
+    std::optional<fsm::Dfa> full_dfa;  // built lazily
+
+    for (const Claim& claim : composite.claims) {
+      ltlf::Formula formula;
+      try {
+        formula = ltlf::parse(claim.text, table);
+      } catch (const ParseError& error) {
+        diagnostics.error(claim.loc, "class '" + composite.name +
+                                         "': cannot parse claim \"" +
+                                         claim.text + "\": " + error.what());
+        continue;
+      }
+      bool mentions_ops = false;
+      for (Symbol atom : ltlf::atoms(formula)) {
+        if (op_labels.contains(atom)) mentions_ops = true;
+      }
+      const fsm::Dfa* target = &projected_dfa;
+      if (mentions_ops) {
+        if (!full_dfa) {
+          full_dfa = fsm::minimize(
+              fsm::determinize(model.nfa, model.full_alphabet()));
+        }
+        target = &*full_dfa;
+      }
+      const auto witness = ltlf::counterexample(*target, formula);
+      if (!witness) continue;
+      result.claim_errors.push_back(ClaimError{claim.text, *witness});
+    }
+  }
+  return result;
+}
+
+}  // namespace shelley::core

@@ -1,0 +1,82 @@
+// Verification of composite classes (§2.2):
+//
+//  * subsystem-usage checking -- every complete behavior of the composite,
+//    projected onto each subsystem, must be a valid complete usage of that
+//    subsystem's class specification;
+//
+//  * temporal-claim checking -- every complete behavior, projected onto
+//    subsystem events, must satisfy each @claim LTLf formula.
+//
+// Failures carry shortest counterexamples and render in the paper's report
+// format (INVALID SUBSYSTEM USAGE / FAIL TO MEET REQUIREMENT).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fsm/dfa.hpp"
+#include "shelley/automata.hpp"
+#include "shelley/spec.hpp"
+
+namespace shelley::core {
+
+struct SubsystemError {
+  std::string field;         // e.g. "a"
+  std::string class_name;    // e.g. "Valve"
+  Word counterexample;       // full system trace: open_a, a.test, a.open
+  std::string detail;        // e.g. "test, >open< (not final)"
+};
+
+struct ClaimError {
+  std::string formula;  // the claim's source text
+  Word counterexample;  // projected trace of subsystem events
+};
+
+struct CheckResult {
+  std::vector<SubsystemError> subsystem_errors;
+  std::vector<ClaimError> claim_errors;
+
+  [[nodiscard]] bool ok() const {
+    return subsystem_errors.empty() && claim_errors.empty();
+  }
+
+  /// Renders the paper-format report; empty string when ok().
+  [[nodiscard]] std::string render(const SymbolTable& table) const;
+};
+
+/// Resolves a class name to its specification (nullptr when unknown).
+using ClassLookup = std::function<const ClassSpec*(const std::string&)>;
+
+/// Runs both checks on a composite class.  `diagnostics` receives problems
+/// that prevent checking (unknown subsystem classes, unparsable claims).
+[[nodiscard]] CheckResult check_composite(const ClassSpec& composite,
+                                          const ClassLookup& lookup,
+                                          SymbolTable& table,
+                                          DiagnosticEngine& diagnostics);
+
+/// Checks the @claim annotations of a *base* class against its valid-usage
+/// language (atoms are bare operation names).  Composites are handled by
+/// check_composite, which sees subsystem events as well.
+[[nodiscard]] CheckResult check_base_claims(const ClassSpec& spec,
+                                            SymbolTable& table,
+                                            DiagnosticEngine& diagnostics);
+
+/// Explains why `projected` (a word over `<field>.<op>` symbols) is not a
+/// valid complete usage of `spec`: renders the op sequence with the
+/// offending call marked `>op<` plus "(not final)" or "(not allowed)".
+[[nodiscard]] std::string diagnose_subsystem_usage(
+    const ClassSpec& spec, std::string_view field, const Word& projected,
+    SymbolTable& table);
+
+/// Realizability: every usage declared by the composite's own annotations
+/// should be executable by some run of its method bodies.  Undecodable
+/// returns or unreachable exits silently shrink the realizable language;
+/// this detects the gap and returns a declared-but-unrealizable operation
+/// sequence (nullopt when every declared usage is realizable).
+[[nodiscard]] std::optional<Word> unrealizable_usage(
+    const ClassSpec& composite, const SystemModel& model,
+    SymbolTable& table);
+
+}  // namespace shelley::core

@@ -1,0 +1,24 @@
+// Specification comparison: decides whether two class specifications admit
+// exactly the same valid usages (refactoring support -- e.g. rewriting a
+// match-based implementation into if/elif must not change the contract).
+#pragma once
+
+#include <optional>
+
+#include "shelley/spec.hpp"
+#include "support/symbol.hpp"
+
+namespace shelley::core {
+
+struct SpecDifference {
+  Word witness;          // a complete usage accepted by exactly one spec
+  bool in_first = false; // true when `witness` is valid for the first spec
+};
+
+/// Compares the valid-usage languages of two specs over bare operation
+/// names.  Returns std::nullopt when the languages coincide; otherwise a
+/// shortest distinguishing usage.
+[[nodiscard]] std::optional<SpecDifference> compare_specs(
+    const ClassSpec& first, const ClassSpec& second, SymbolTable& table);
+
+}  // namespace shelley::core

@@ -1,0 +1,103 @@
+#include "shelley/graph.hpp"
+
+#include <deque>
+#include <map>
+#include <set>
+
+namespace shelley::core {
+
+std::string DependencyNode::label() const {
+  if (type == Type::kEntry) return operation;
+  return operation + "/exit" + std::to_string(exit_id);
+}
+
+DependencyGraph DependencyGraph::build(const ClassSpec& spec,
+                                       DiagnosticEngine& diagnostics) {
+  DependencyGraph graph;
+  std::map<std::string, std::size_t> entries;
+  std::map<std::pair<std::string, std::size_t>, std::size_t> exits;
+
+  for (const Operation& op : spec.operations) {
+    entries[op.name] = graph.nodes_.size();
+    graph.nodes_.push_back(
+        DependencyNode{DependencyNode::Type::kEntry, op.name, 0});
+    for (const ExitPoint& exit : op.exits) {
+      exits[{op.name, exit.id}] = graph.nodes_.size();
+      graph.nodes_.push_back(
+          DependencyNode{DependencyNode::Type::kExit, op.name, exit.id});
+    }
+  }
+
+  for (const Operation& op : spec.operations) {
+    const std::size_t entry = entries.at(op.name);
+    for (const ExitPoint& exit : op.exits) {
+      const std::size_t exit_node = exits.at({op.name, exit.id});
+      graph.edges_.push_back(DependencyEdge{entry, exit_node});
+      for (const std::string& successor : exit.successors) {
+        const auto it = entries.find(successor);
+        if (it == entries.end()) {
+          diagnostics.error(exit.loc,
+                            "class '" + spec.name + "', operation '" +
+                                op.name + "': return names successor '" +
+                                successor +
+                                "' which is not an operation of this class");
+          continue;
+        }
+        graph.edges_.push_back(DependencyEdge{exit_node, it->second});
+      }
+    }
+  }
+  return graph;
+}
+
+std::size_t DependencyGraph::entry_of(std::string_view operation) const {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].type == DependencyNode::Type::kEntry &&
+        nodes_[i].operation == operation) {
+      return i;
+    }
+  }
+  return npos;
+}
+
+std::vector<std::size_t> DependencyGraph::exits_of(
+    std::string_view operation) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].type == DependencyNode::Type::kExit &&
+        nodes_[i].operation == operation) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> DependencyGraph::reachable_operations(
+    const ClassSpec& spec) const {
+  std::set<std::size_t> visited;
+  std::deque<std::size_t> work;
+  for (const std::string& op : spec.initial_operations()) {
+    const std::size_t entry = entry_of(op);
+    if (entry != npos && visited.insert(entry).second) work.push_back(entry);
+  }
+  while (!work.empty()) {
+    const std::size_t node = work.front();
+    work.pop_front();
+    for (const DependencyEdge& edge : edges_) {
+      if (edge.from == node && visited.insert(edge.to).second) {
+        work.push_back(edge.to);
+      }
+    }
+  }
+  std::vector<std::string> out;
+  std::set<std::string> seen;
+  for (std::size_t node : visited) {
+    if (nodes_[node].type == DependencyNode::Type::kEntry &&
+        seen.insert(nodes_[node].operation).second) {
+      out.push_back(nodes_[node].operation);
+    }
+  }
+  return out;
+}
+
+}  // namespace shelley::core

@@ -1,0 +1,65 @@
+// Method-dependency extraction (§3.1): a directed graph whose nodes are the
+// entry point of each operation and every exit point (one per return), and
+// whose arcs are the ordering constraints:
+//
+//   * entry(op)   -> exit(op, k)          for each of op's exits
+//   * exit(op, k) -> entry(m)             for each successor m of that exit
+//
+// Figure 3 of the paper renders exactly this graph for class Sector.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "shelley/spec.hpp"
+
+namespace shelley::core {
+
+struct DependencyNode {
+  enum class Type { kEntry, kExit };
+  Type type = Type::kEntry;
+  std::string operation;
+  std::size_t exit_id = 0;  // meaningful for kExit
+
+  [[nodiscard]] std::string label() const;
+};
+
+struct DependencyEdge {
+  std::size_t from = 0;
+  std::size_t to = 0;
+};
+
+class DependencyGraph {
+ public:
+  /// Builds the graph for `spec`.  Successor names that do not resolve to an
+  /// operation of the class are reported and skipped.
+  static DependencyGraph build(const ClassSpec& spec,
+                               DiagnosticEngine& diagnostics);
+
+  [[nodiscard]] const std::vector<DependencyNode>& nodes() const {
+    return nodes_;
+  }
+  [[nodiscard]] const std::vector<DependencyEdge>& edges() const {
+    return edges_;
+  }
+
+  /// Index of the entry node of `operation`, or npos.
+  [[nodiscard]] std::size_t entry_of(std::string_view operation) const;
+
+  /// Indexes of all exit nodes of `operation`.
+  [[nodiscard]] std::vector<std::size_t> exits_of(
+      std::string_view operation) const;
+
+  /// Operations reachable (via arcs) from the initial operations.
+  [[nodiscard]] std::vector<std::string> reachable_operations(
+      const ClassSpec& spec) const;
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+ private:
+  std::vector<DependencyNode> nodes_;
+  std::vector<DependencyEdge> edges_;
+};
+
+}  // namespace shelley::core

@@ -1,0 +1,273 @@
+#include "shelley/invocation.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "support/strings.hpp"
+
+namespace shelley::core {
+namespace {
+
+/// A syntactic `self.<field>.<method>(...)` call site.
+struct TrackedCall {
+  std::string field;
+  std::string method;
+  SourceLoc loc;
+};
+
+/// If `expr` is a call on a subsystem field, decodes it.
+std::optional<TrackedCall> as_tracked_call(const upy::ExprPtr& expr,
+                                           const ClassSpec& spec) {
+  const auto* call = upy::as<upy::CallExpr>(expr);
+  if (call == nullptr) return std::nullopt;
+  const auto* method = upy::as<upy::AttributeExpr>(call->callee);
+  if (method == nullptr) return std::nullopt;
+  const auto* field = upy::as<upy::AttributeExpr>(method->value);
+  if (field == nullptr) return std::nullopt;
+  const auto* base = upy::as<upy::NameExpr>(field->value);
+  if (base == nullptr || base->id != "self") return std::nullopt;
+  if (spec.find_subsystem(field->attr) == nullptr) return std::nullopt;
+  return TrackedCall{field->attr, method->attr, expr->loc};
+}
+
+void collect_calls(const upy::ExprPtr& expr, const ClassSpec& spec,
+                   std::vector<TrackedCall>& out) {
+  if (!expr) return;
+  if (auto tracked = as_tracked_call(expr, spec)) {
+    out.push_back(*std::move(tracked));
+  }
+  std::visit(
+      [&](const auto& node) {
+        using T = std::decay_t<decltype(node)>;
+        if constexpr (std::is_same_v<T, upy::CallExpr>) {
+          collect_calls(node.callee, spec, out);
+          for (const upy::ExprPtr& arg : node.args) {
+            collect_calls(arg, spec, out);
+          }
+        } else if constexpr (std::is_same_v<T, upy::AttributeExpr>) {
+          collect_calls(node.value, spec, out);
+        } else if constexpr (std::is_same_v<T, upy::ListExpr> ||
+                             std::is_same_v<T, upy::TupleExpr>) {
+          for (const upy::ExprPtr& element : node.elements) {
+            collect_calls(element, spec, out);
+          }
+        } else if constexpr (std::is_same_v<T, upy::UnaryExpr>) {
+          collect_calls(node.operand, spec, out);
+        } else if constexpr (std::is_same_v<T, upy::BinaryExpr>) {
+          collect_calls(node.left, spec, out);
+          collect_calls(node.right, spec, out);
+        } else if constexpr (std::is_same_v<T, upy::SubscriptExpr>) {
+          collect_calls(node.value, spec, out);
+          collect_calls(node.index, spec, out);
+        }
+      },
+      expr->node);
+}
+
+/// Extracts the string-list of a case pattern, or nullopt for non-list
+/// patterns (including the wildcard, which has a null pattern).
+std::optional<std::vector<std::string>> pattern_strings(
+    const upy::ExprPtr& pattern) {
+  const auto* list = upy::as<upy::ListExpr>(pattern);
+  if (list == nullptr) return std::nullopt;
+  std::vector<std::string> out;
+  for (const upy::ExprPtr& element : list->elements) {
+    const auto* text = upy::as<upy::StringExpr>(element);
+    if (text == nullptr) return std::nullopt;
+    out.push_back(text->value);
+  }
+  return out;
+}
+
+std::string successors_text(const std::vector<std::string>& successors) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < successors.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += "\"" + successors[i] + "\"";
+  }
+  return out + "]";
+}
+
+class Analyzer {
+ public:
+  Analyzer(const ClassSpec& spec, const ClassLookup& lookup,
+           DiagnosticEngine& diagnostics)
+      : spec_(spec), lookup_(lookup), diagnostics_(diagnostics) {}
+
+  std::size_t run() {
+    const std::size_t before = diagnostics_.error_count();
+    for (const Operation& op : spec_.operations) {
+      analyze_block(op.body);
+    }
+    return diagnostics_.error_count() - before;
+  }
+
+ private:
+  void check_call_targets(const upy::ExprPtr& expr) {
+    std::vector<TrackedCall> calls;
+    collect_calls(expr, spec_, calls);
+    for (const TrackedCall& call : calls) {
+      const SubsystemDecl* subsystem = spec_.find_subsystem(call.field);
+      const ClassSpec* sub_spec = lookup_(subsystem->class_name);
+      if (sub_spec == nullptr) continue;  // reported by the checker
+      if (sub_spec->find_operation(call.method) == nullptr) {
+        diagnostics_.error(call.loc,
+                           "'" + call.method +
+                               "' is not an operation of class '" +
+                               sub_spec->name + "' (subsystem '" +
+                               call.field + "')");
+      }
+    }
+  }
+
+  /// Number of *distinct* successor sets among the operation's exits; an
+  /// operation whose exits all allow the same successors behaves like a
+  /// single-exit one.
+  static std::size_t effective_exits(const Operation& op) {
+    std::set<std::vector<std::string>> distinct;
+    for (const ExitPoint& exit : op.exits) distinct.insert(exit.successors);
+    return distinct.size();
+  }
+
+  /// The paper's exit-point rule (§2.2 "Matching exit points"): when an
+  /// operation has several exit points the caller must branch on its result
+  /// (match subject or if/while condition); a discarded result would make
+  /// the caller continue identically on every exit, which is unsound.
+  void require_single_exit(const upy::ExprPtr& expr) {
+    std::vector<TrackedCall> calls;
+    collect_calls(expr, spec_, calls);
+    for (const TrackedCall& call : calls) {
+      const SubsystemDecl* subsystem = spec_.find_subsystem(call.field);
+      const ClassSpec* sub_spec = lookup_(subsystem->class_name);
+      if (sub_spec == nullptr) continue;
+      const Operation* callee = sub_spec->find_operation(call.method);
+      if (callee == nullptr) continue;
+      const std::size_t exits = effective_exits(*callee);
+      if (exits > 1) {
+        diagnostics_.error(
+            call.loc, "'" + call.field + "." + call.method + "' has " +
+                          std::to_string(exits) +
+                          " exit points but its result is not tested; "
+                          "use a match statement to handle every exit");
+      }
+    }
+  }
+
+  void analyze_match(const upy::MatchStmt& match, SourceLoc loc) {
+    check_call_targets(match.subject);
+    // The subject itself is being tested, so a multi-exit call is exactly
+    // what match is for; calls nested deeper (e.g. in arguments) still need
+    // their own handling.
+    if (!as_tracked_call(match.subject, spec_)) {
+      require_single_exit(match.subject);
+    }
+    for (const upy::MatchCase& match_case : match.cases) {
+      analyze_block(match_case.body);
+    }
+
+    // Exhaustiveness only applies when the subject is a tracked call.
+    const auto tracked = as_tracked_call(match.subject, spec_);
+    if (!tracked) return;
+    const SubsystemDecl* subsystem = spec_.find_subsystem(tracked->field);
+    const ClassSpec* sub_spec = lookup_(subsystem->class_name);
+    if (sub_spec == nullptr) return;
+    const Operation* callee = sub_spec->find_operation(tracked->method);
+    if (callee == nullptr) return;
+
+    bool has_wildcard = false;
+    std::set<std::size_t> covered;
+    for (const upy::MatchCase& match_case : match.cases) {
+      if (!match_case.pattern) {
+        has_wildcard = true;
+        continue;
+      }
+      const auto strings = pattern_strings(match_case.pattern);
+      if (!strings) {
+        diagnostics_.warning(match_case.loc,
+                             "case pattern is not a list of operation names; "
+                             "exhaustiveness cannot be checked for it");
+        continue;
+      }
+      const ExitPoint* exit = callee->exit_with_successors(*strings);
+      if (exit == nullptr) {
+        diagnostics_.warning(
+            match_case.loc,
+            "case " + successors_text(*strings) + " matches no exit point of "
+                "'" + tracked->field + "." + tracked->method + "'");
+        continue;
+      }
+      covered.insert(exit->id);
+    }
+    if (has_wildcard) return;
+    for (const ExitPoint& exit : callee->exits) {
+      if (!covered.contains(exit.id)) {
+        diagnostics_.error(
+            loc, "non-exhaustive match on '" + tracked->field + "." +
+                     tracked->method + "': exit point " +
+                     successors_text(exit.successors) + " is not handled");
+      }
+    }
+  }
+
+  void analyze_stmt(const upy::StmtPtr& stmt) {
+    std::visit(
+        [&](const auto& node) {
+          using T = std::decay_t<decltype(node)>;
+          if constexpr (std::is_same_v<T, upy::ExprStmt>) {
+            check_call_targets(node.value);
+            require_single_exit(node.value);
+          } else if constexpr (std::is_same_v<T, upy::AssignStmt>) {
+            check_call_targets(node.value);
+            check_call_targets(node.target);
+            require_single_exit(node.value);
+            require_single_exit(node.target);
+          } else if constexpr (std::is_same_v<T, upy::ReturnStmt>) {
+            check_call_targets(node.value);
+            require_single_exit(node.value);
+          } else if constexpr (std::is_same_v<T, upy::IfStmt>) {
+            // An if/while condition inspects the result, so multi-exit
+            // calls are allowed here (§2: Shelley supports branching with
+            // if/elif/else and match/case).
+            check_call_targets(node.condition);
+            analyze_block(node.then_body);
+            analyze_block(node.else_body);
+          } else if constexpr (std::is_same_v<T, upy::WhileStmt>) {
+            check_call_targets(node.condition);
+            analyze_block(node.body);
+          } else if constexpr (std::is_same_v<T, upy::ForStmt>) {
+            check_call_targets(node.iterable);
+            require_single_exit(node.iterable);
+            analyze_block(node.body);
+          } else if constexpr (std::is_same_v<T, upy::MatchStmt>) {
+            analyze_match(node, stmt->loc);
+          } else if constexpr (std::is_same_v<T, upy::TryStmt>) {
+            analyze_block(node.body);
+            for (const upy::Block& handler : node.handlers) {
+              analyze_block(handler);
+            }
+            analyze_block(node.final_body);
+          } else if constexpr (std::is_same_v<T, upy::RaiseStmt>) {
+            check_call_targets(node.value);
+          }
+        },
+        stmt->node);
+  }
+
+  void analyze_block(const upy::Block& block) {
+    for (const upy::StmtPtr& stmt : block) analyze_stmt(stmt);
+  }
+
+  const ClassSpec& spec_;
+  const ClassLookup& lookup_;
+  DiagnosticEngine& diagnostics_;
+};
+
+}  // namespace
+
+std::size_t analyze_invocations(const ClassSpec& spec,
+                                const ClassLookup& lookup,
+                                DiagnosticEngine& diagnostics) {
+  return Analyzer(spec, lookup, diagnostics).run();
+}
+
+}  // namespace shelley::core

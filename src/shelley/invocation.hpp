@@ -1,0 +1,22 @@
+// Method-invocation analysis (§3, step 3):
+//
+//  * every call `self.<field>.<m>(...)` on a subsystem field must target an
+//    operation declared (with an @op* decorator) in the subsystem's class;
+//
+//  * a `match` whose subject is such a call must test *every* exit point of
+//    the callee exhaustively (each case pattern names one exit's successor
+//    list; a wildcard `case _:` covers the rest).
+#pragma once
+
+#include "shelley/checker.hpp"
+#include "shelley/spec.hpp"
+
+namespace shelley::core {
+
+/// Runs the invocation analysis on every operation body of `spec`.
+/// All findings go to `diagnostics`; returns the number of errors found.
+std::size_t analyze_invocations(const ClassSpec& spec,
+                                const ClassLookup& lookup,
+                                DiagnosticEngine& diagnostics);
+
+}  // namespace shelley::core

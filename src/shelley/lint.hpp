@@ -1,0 +1,26 @@
+// Specification lints: hygiene findings on a single class specification
+// that are not hard errors but almost always indicate a specification bug.
+//
+//   * unreachable operation     -- no chain of successors from any initial
+//                                  operation reaches it;
+//   * dead exit                 -- a non-final operation has an exit with no
+//                                  successors: any run taking it can never
+//                                  complete the instance's lifecycle;
+//   * no final operation        -- no instance can ever be disposed;
+//   * incompletable usage       -- some reachable state of the usage
+//                                  automaton cannot reach acceptance (with a
+//                                  shortest witness call sequence);
+//   * duplicate successor       -- a return lists the same operation twice.
+#pragma once
+
+#include "shelley/spec.hpp"
+#include "support/symbol.hpp"
+
+namespace shelley::core {
+
+/// Runs every lint on `spec`; findings are reported as warnings.  Returns
+/// the number of findings.
+std::size_t lint_class(const ClassSpec& spec, SymbolTable& table,
+                       DiagnosticEngine& diagnostics);
+
+}  // namespace shelley::core

@@ -1,0 +1,75 @@
+#include "shelley/monitor.hpp"
+
+#include "fsm/ops.hpp"
+#include "shelley/automata.hpp"
+
+namespace shelley::core {
+
+std::string_view to_string(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::kOk:
+      return "ok";
+    case Verdict::kDoomed:
+      return "doomed";
+    case Verdict::kViolation:
+      return "violation";
+  }
+  return "unknown";
+}
+
+Monitor::Monitor(const ClassSpec& spec, SymbolTable& table)
+    : table_(&table),
+      dfa_(fsm::minimize(fsm::determinize(usage_nfa(spec, table)))),
+      live_(fsm::live_states(dfa_)),
+      state_(dfa_.initial()) {}
+
+Verdict Monitor::feed(std::string_view operation) {
+  history_.emplace_back(operation);
+  if (violated_) return Verdict::kViolation;
+
+  const auto symbol = table_->lookup(operation);
+  const auto letter = symbol ? dfa_.letter_index(*symbol) : std::nullopt;
+  if (!letter) {
+    violated_ = true;
+    return Verdict::kViolation;
+  }
+  const fsm::StateId next = dfa_.transition(state_, *letter);
+  if (!live_[next]) {
+    // Entering a dead state: distinguish "this exact call was undeclared"
+    // from "allowed but now doomed".  In the usage DFA the only dead states
+    // come from undeclared sequences or stuck exits; both make every
+    // completion impossible, so the call is a violation either way for a
+    // latching monitor.
+    violated_ = true;
+    state_ = next;
+    return Verdict::kViolation;
+  }
+  state_ = next;
+  return can_complete() ? Verdict::kOk : Verdict::kDoomed;
+}
+
+bool Monitor::completed() const {
+  return !violated_ && dfa_.is_accepting(state_);
+}
+
+bool Monitor::can_complete() const { return !violated_ && live_[state_]; }
+
+std::vector<std::string> Monitor::allowed_next() const {
+  std::vector<std::string> out;
+  if (violated_) return out;
+  for (std::size_t letter = 0; letter < dfa_.alphabet().size(); ++letter) {
+    const fsm::StateId next = dfa_.transition(state_, letter);
+    if (live_[next]) {
+      out.push_back(table_->name(dfa_.alphabet()[letter]));
+    }
+  }
+  return out;
+}
+
+void Monitor::reset() {
+  state_ = dfa_.initial();
+  violated_ = false;
+  history_.clear();
+}
+
+}  // namespace shelley::core

@@ -1,0 +1,66 @@
+// Runtime monitoring: a Monitor enforces a class specification online, one
+// operation call at a time -- the dynamic counterpart of the static checker
+// (what Shelley's annotations would enforce if compiled into the firmware).
+//
+// The monitor is a DFA walk over the valid-usage language:
+//   * feed(op) advances; returns the verdict for this call;
+//   * can_complete() says whether the lifecycle can still reach a final
+//     operation; completed() whether stopping now is valid;
+//   * after a violation the monitor latches kViolation until reset().
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fsm/dfa.hpp"
+#include "shelley/spec.hpp"
+
+namespace shelley::core {
+
+enum class Verdict {
+  kOk,          // the call is allowed and the run is still completable
+  kDoomed,      // allowed, but no final operation is reachable any more
+  kViolation,   // the call is not allowed here
+};
+
+[[nodiscard]] std::string_view to_string(Verdict verdict);
+
+class Monitor {
+ public:
+  /// Builds a monitor for one instance of `spec`.  Symbols are interned
+  /// into `table` as bare operation names.
+  Monitor(const ClassSpec& spec, SymbolTable& table);
+
+  /// Feeds one operation call.
+  Verdict feed(std::string_view operation);
+
+  /// True iff stopping now is a valid complete usage.
+  [[nodiscard]] bool completed() const;
+
+  /// True iff some continuation can still complete the usage.
+  [[nodiscard]] bool can_complete() const;
+
+  /// True once any violation has been fed (until reset).
+  [[nodiscard]] bool violated() const { return violated_; }
+
+  /// The operations that may be called next (empty after a violation).
+  [[nodiscard]] std::vector<std::string> allowed_next() const;
+
+  /// The calls fed since the last reset (violating call included).
+  [[nodiscard]] const std::vector<std::string>& history() const {
+    return history_;
+  }
+
+  void reset();
+
+ private:
+  SymbolTable* table_;
+  fsm::Dfa dfa_;
+  std::vector<bool> live_;
+  fsm::StateId state_;
+  bool violated_ = false;
+  std::vector<std::string> history_;
+};
+
+}  // namespace shelley::core

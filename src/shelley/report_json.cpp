@@ -1,0 +1,113 @@
+#include "shelley/report_json.hpp"
+
+#include "support/json.hpp"
+
+namespace shelley::core {
+namespace {
+
+void write_word(JsonWriter& json, const Word& word,
+                const SymbolTable& table) {
+  json.begin_array();
+  for (Symbol s : word) json.value(table.name(s));
+  json.end_array();
+}
+
+void write_spec(JsonWriter& json, const ClassSpec& spec) {
+  json.begin_object();
+  json.key("name").value(spec.name);
+  json.key("is_system").value(spec.is_system);
+  json.key("is_composite").value(spec.is_composite);
+  json.key("subsystems").begin_array();
+  for (const SubsystemDecl& subsystem : spec.subsystems) {
+    json.begin_object();
+    json.key("field").value(subsystem.field);
+    json.key("class").value(subsystem.class_name);
+    json.end_object();
+  }
+  json.end_array();
+  json.key("claims").begin_array();
+  for (const Claim& claim : spec.claims) json.value(claim.text);
+  json.end_array();
+  json.key("operations").begin_array();
+  for (const Operation& op : spec.operations) {
+    json.begin_object();
+    json.key("name").value(op.name);
+    json.key("initial").value(op.initial);
+    json.key("final").value(op.final);
+    json.key("exits").begin_array();
+    for (const ExitPoint& exit : op.exits) {
+      json.begin_object();
+      json.key("id").value(exit.id);
+      json.key("successors").begin_array();
+      for (const std::string& successor : exit.successors) {
+        json.value(successor);
+      }
+      json.end_array();
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+}
+
+}  // namespace
+
+std::string spec_to_json(const ClassSpec& spec) {
+  JsonWriter json;
+  write_spec(json, spec);
+  return json.str();
+}
+
+std::string report_to_json(const Report& report, const Verifier& verifier) {
+  const SymbolTable& table = verifier.symbols();
+  JsonWriter json;
+  json.begin_object();
+  json.key("ok").value(report.ok());
+  json.key("classes").begin_array();
+  for (const ClassReport& cls : report.classes) {
+    json.begin_object();
+    json.key("name").value(cls.class_name);
+    json.key("ok").value(cls.ok());
+    json.key("is_composite").value(cls.is_composite);
+    json.key("invocation_errors").value(cls.invocation_errors);
+    json.key("lint_findings").value(cls.lint_findings);
+    json.key("subsystem_errors").begin_array();
+    for (const SubsystemError& error : cls.check.subsystem_errors) {
+      json.begin_object();
+      json.key("subsystem").value(error.field);
+      json.key("class").value(error.class_name);
+      json.key("counterexample");
+      write_word(json, error.counterexample, table);
+      json.key("detail").value(error.detail);
+      json.end_object();
+    }
+    json.end_array();
+    json.key("claim_errors").begin_array();
+    for (const ClaimError& error : cls.check.claim_errors) {
+      json.begin_object();
+      json.key("formula").value(error.formula);
+      json.key("counterexample");
+      write_word(json, error.counterexample, table);
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+  }
+  json.end_array();
+  json.key("diagnostics").begin_array();
+  for (const Diagnostic& diag : verifier.diagnostics().diagnostics()) {
+    json.begin_object();
+    json.key("severity").value(to_string(diag.severity));
+    json.key("line").value(static_cast<std::uint64_t>(diag.loc.line));
+    json.key("column").value(static_cast<std::uint64_t>(diag.loc.column));
+    json.key("message").value(diag.message);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  return json.str();
+}
+
+}  // namespace shelley::core

@@ -1,0 +1,20 @@
+// JSON export of verification reports and class specifications, for
+// integration with editors/CI (the CLI's --json mode).
+#pragma once
+
+#include <string>
+
+#include "shelley/verifier.hpp"
+
+namespace shelley::core {
+
+/// Serializes a full report: per-class verdicts, subsystem errors with
+/// counterexamples, claim errors, and all diagnostics.
+[[nodiscard]] std::string report_to_json(const Report& report,
+                                         const Verifier& verifier);
+
+/// Serializes one class specification (operations, exits, subsystems,
+/// claims).
+[[nodiscard]] std::string spec_to_json(const ClassSpec& spec);
+
+}  // namespace shelley::core

@@ -1,0 +1,37 @@
+// Trace sampling: random walks over a specification's valid-usage language.
+// Produces complete usages (ending at a final operation) -- useful for
+// generating test inputs for code that drives a constrained object, and as
+// a self-check (every sampled trace must satisfy the monitor).
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "fsm/dfa.hpp"
+#include "shelley/spec.hpp"
+
+namespace shelley::core {
+
+class TraceSampler {
+ public:
+  /// Builds a sampler for `spec`; symbols are interned as bare op names.
+  TraceSampler(const ClassSpec& spec, SymbolTable& table,
+               std::uint64_t seed);
+
+  /// Samples one complete usage of length <= `max_length` (the walk stops
+  /// early at accepting states with probability `stop_bias`).  Returns
+  /// operation names.  The empty trace is a valid sample (an instance that
+  /// is never used).
+  [[nodiscard]] std::vector<std::string> sample(std::size_t max_length = 32,
+                                                double stop_bias = 0.3);
+
+ private:
+  SymbolTable* table_;
+  fsm::Dfa dfa_;
+  std::vector<bool> live_;
+  std::mt19937_64 rng_;
+};
+
+}  // namespace shelley::core

@@ -1,0 +1,209 @@
+#include "shelley/spec.hpp"
+
+#include <algorithm>
+
+#include "shelley/annotations.hpp"
+
+namespace shelley::core {
+
+const ExitPoint* Operation::exit_with_successors(
+    const std::vector<std::string>& successors) const {
+  for (const ExitPoint& exit : exits) {
+    if (exit.successors == successors) return &exit;
+  }
+  return nullptr;
+}
+
+const Operation* ClassSpec::find_operation(std::string_view name) const {
+  for (const Operation& op : operations) {
+    if (op.name == name) return &op;
+  }
+  return nullptr;
+}
+
+const SubsystemDecl* ClassSpec::find_subsystem(std::string_view field) const {
+  for (const SubsystemDecl& subsystem : subsystems) {
+    if (subsystem.field == field) return &subsystem;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> ClassSpec::initial_operations() const {
+  std::vector<std::string> out;
+  for (const Operation& op : operations) {
+    if (op.initial) out.push_back(op.name);
+  }
+  return out;
+}
+
+std::vector<std::string> ClassSpec::final_operations() const {
+  std::vector<std::string> out;
+  for (const Operation& op : operations) {
+    if (op.final) out.push_back(op.name);
+  }
+  return out;
+}
+
+namespace {
+
+void collect_from_stmt(const upy::StmtPtr& stmt,
+                       std::vector<const upy::ReturnStmt*>& out,
+                       std::vector<SourceLoc>* locations) {
+  std::visit(
+      [&](const auto& node) {
+        using T = std::decay_t<decltype(node)>;
+        if constexpr (std::is_same_v<T, upy::ReturnStmt>) {
+          out.push_back(&node);
+          if (locations != nullptr) locations->push_back(stmt->loc);
+        } else if constexpr (std::is_same_v<T, upy::IfStmt>) {
+          for (const upy::StmtPtr& s : node.then_body) {
+            collect_from_stmt(s, out, locations);
+          }
+          for (const upy::StmtPtr& s : node.else_body) {
+            collect_from_stmt(s, out, locations);
+          }
+        } else if constexpr (std::is_same_v<T, upy::WhileStmt> ||
+                             std::is_same_v<T, upy::ForStmt>) {
+          for (const upy::StmtPtr& s : node.body) {
+            collect_from_stmt(s, out, locations);
+          }
+        } else if constexpr (std::is_same_v<T, upy::MatchStmt>) {
+          for (const upy::MatchCase& match_case : node.cases) {
+            for (const upy::StmtPtr& s : match_case.body) {
+              collect_from_stmt(s, out, locations);
+            }
+          }
+        } else if constexpr (std::is_same_v<T, upy::TryStmt>) {
+          for (const upy::StmtPtr& s : node.body) {
+            collect_from_stmt(s, out, locations);
+          }
+          for (const upy::Block& handler : node.handlers) {
+            for (const upy::StmtPtr& s : handler) {
+              collect_from_stmt(s, out, locations);
+            }
+          }
+          for (const upy::StmtPtr& s : node.final_body) {
+            collect_from_stmt(s, out, locations);
+          }
+        }
+      },
+      stmt->node);
+}
+
+/// Finds `self.<field> = ClassName(...)` bindings in __init__.
+std::vector<std::pair<std::string, std::string>> constructor_bindings(
+    const upy::FunctionDef& init) {
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const upy::StmtPtr& stmt : init.body) {
+    const auto* assign = upy::as<upy::AssignStmt>(stmt);
+    if (assign == nullptr) continue;
+    const auto* field = upy::as<upy::AttributeExpr>(assign->target);
+    if (field == nullptr) continue;
+    const auto* base = upy::as<upy::NameExpr>(field->value);
+    if (base == nullptr || base->id != "self") continue;
+    const auto* ctor = upy::as<upy::CallExpr>(assign->value);
+    if (ctor == nullptr) continue;
+    const auto* class_name = upy::as<upy::NameExpr>(ctor->callee);
+    if (class_name == nullptr) continue;
+    out.emplace_back(field->attr, class_name->id);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<const upy::ReturnStmt*> collect_returns(
+    const upy::Block& block, std::vector<SourceLoc>* locations) {
+  std::vector<const upy::ReturnStmt*> out;
+  for (const upy::StmtPtr& stmt : block) {
+    collect_from_stmt(stmt, out, locations);
+  }
+  return out;
+}
+
+ClassSpec extract_class_spec(const upy::ClassDef& cls,
+                             DiagnosticEngine& diagnostics) {
+  ClassSpec spec;
+  spec.name = cls.name;
+  spec.loc = cls.loc;
+
+  const ClassAnnotations annotations =
+      decode_class_annotations(cls, diagnostics);
+  spec.is_system = annotations.is_system;
+  spec.is_composite = annotations.is_composite;
+  for (const auto& [text, loc] : annotations.claims) {
+    spec.claims.push_back(Claim{text, loc});
+  }
+
+  // Subsystem bindings from __init__.
+  const upy::FunctionDef* init = nullptr;
+  for (const upy::FunctionDef& method : cls.methods) {
+    if (method.name == "__init__") init = &method;
+  }
+  std::vector<std::pair<std::string, std::string>> bindings;
+  if (init != nullptr) bindings = constructor_bindings(*init);
+  for (const std::string& field : annotations.subsystem_fields) {
+    const auto binding =
+        std::find_if(bindings.begin(), bindings.end(),
+                     [&](const auto& b) { return b.first == field; });
+    if (binding == bindings.end()) {
+      diagnostics.error(cls.loc,
+                        "class '" + cls.name + "': subsystem field '" + field +
+                            "' declared by @sys is never assigned a "
+                            "constructor call in __init__");
+      continue;
+    }
+    spec.subsystems.push_back(SubsystemDecl{
+        field, binding->second, init != nullptr ? init->loc : cls.loc});
+  }
+
+  // Operations.
+  for (const upy::FunctionDef& method : cls.methods) {
+    if (method.name == "__init__") continue;
+    const OpKind kind = decode_op_annotation(method, diagnostics);
+    if (kind == OpKind::kNotAnOperation) continue;
+
+    Operation op;
+    op.name = method.name;
+    op.loc = method.loc;
+    op.initial = is_initial(kind);
+    op.final = is_final(kind);
+    op.body = method.body;
+
+    std::vector<SourceLoc> locations;
+    const auto returns = collect_returns(method.body, &locations);
+    for (std::size_t i = 0; i < returns.size(); ++i) {
+      const auto successors = decode_return_successors(returns[i]->value,
+                                                       locations[i],
+                                                       diagnostics);
+      if (!successors) continue;
+      // The id is the return's index in source order, matching the ids the
+      // IR lowering assigns (undecodable returns keep their slot).
+      op.exits.push_back(ExitPoint{i, locations[i], *successors});
+    }
+    if (returns.empty()) {
+      diagnostics.warning(
+          method.loc,
+          "operation '" + method.name +
+              "' has no return statement; it is treated as having a single "
+              "exit that allows no successor");
+      op.exits.push_back(ExitPoint{0, method.loc, {}});
+    }
+    spec.operations.push_back(std::move(op));
+  }
+
+  if (spec.is_system && spec.operations.empty()) {
+    diagnostics.error(cls.loc, "class '" + cls.name +
+                                   "' is annotated @sys but declares no "
+                                   "@op* operations");
+  }
+  if (!spec.operations.empty() && spec.initial_operations().empty()) {
+    diagnostics.error(cls.loc,
+                      "class '" + cls.name +
+                          "' declares operations but none is @op_initial; "
+                          "no instance could ever be used");
+  }
+  return spec;
+}
+
+}  // namespace shelley::core

@@ -1,0 +1,78 @@
+// Class specifications: the structured form of an annotated MicroPython
+// class, the input to every later analysis stage (dependency graph,
+// behavior extraction, invocation analysis, usage checking).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/diagnostics.hpp"
+#include "upy/ast.hpp"
+
+namespace shelley::core {
+
+/// `self.<field> = <class_name>(...)` inside __init__, declared as a
+/// subsystem by @sys([...]).
+struct SubsystemDecl {
+  std::string field;
+  std::string class_name;
+  SourceLoc loc;
+};
+
+/// One `@claim("...")` annotation; the formula is parsed later (checker).
+struct Claim {
+  std::string text;
+  SourceLoc loc;
+};
+
+/// One return statement of an operation: its position in source order and
+/// the successor operations it allows (Table 2).
+struct ExitPoint {
+  std::size_t id = 0;
+  SourceLoc loc;
+  std::vector<std::string> successors;
+};
+
+/// An @op*-annotated method.
+struct Operation {
+  std::string name;
+  SourceLoc loc;
+  bool initial = false;
+  bool final = false;
+  std::vector<ExitPoint> exits;
+  upy::Block body;  // shared AST, used for behavior extraction & checks
+
+  [[nodiscard]] const ExitPoint* exit_with_successors(
+      const std::vector<std::string>& successors) const;
+};
+
+struct ClassSpec {
+  std::string name;
+  SourceLoc loc;
+  bool is_system = false;
+  bool is_composite = false;
+  std::vector<SubsystemDecl> subsystems;
+  std::vector<Claim> claims;
+  std::vector<Operation> operations;
+
+  [[nodiscard]] const Operation* find_operation(std::string_view name) const;
+  [[nodiscard]] const SubsystemDecl* find_subsystem(
+      std::string_view field) const;
+  [[nodiscard]] std::vector<std::string> initial_operations() const;
+  [[nodiscard]] std::vector<std::string> final_operations() const;
+};
+
+/// Builds the specification of one annotated class.  Emits diagnostics for
+/// malformed annotations, undecodable returns, missing subsystem bindings,
+/// and missing initial operations.  A spec is still produced on errors so
+/// later stages can report more problems.
+[[nodiscard]] ClassSpec extract_class_spec(const upy::ClassDef& cls,
+                                           DiagnosticEngine& diagnostics);
+
+/// Collects the return statements of a block in source order (recursing
+/// into every nested statement).
+[[nodiscard]] std::vector<const upy::ReturnStmt*> collect_returns(
+    const upy::Block& block, std::vector<SourceLoc>* locations = nullptr);
+
+}  // namespace shelley::core

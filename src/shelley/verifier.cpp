@@ -1,0 +1,104 @@
+#include "shelley/verifier.hpp"
+
+#include "shelley/graph.hpp"
+#include "shelley/invocation.hpp"
+#include "shelley/lint.hpp"
+#include "upy/parser.hpp"
+
+namespace shelley::core {
+
+bool Report::ok() const {
+  for (const ClassReport& report : classes) {
+    if (!report.ok()) return false;
+  }
+  return true;
+}
+
+std::string Report::render(const SymbolTable& table) const {
+  std::string out;
+  for (const ClassReport& report : classes) {
+    const std::string block = report.check.render(table);
+    if (block.empty()) continue;
+    if (!out.empty()) out += '\n';
+    out += block;
+  }
+  return out;
+}
+
+void Verifier::add_source(std::string_view source) {
+  const upy::Module module = upy::parse_module(source);
+  for (const upy::ClassDef& cls : module.classes) {
+    add_class(cls);
+  }
+}
+
+void Verifier::add_class(const upy::ClassDef& cls) {
+  if (find_class(cls.name) != nullptr) {
+    diagnostics_.error(cls.loc,
+                       "class '" + cls.name + "' is defined more than once");
+    return;
+  }
+  specs_.push_back(extract_class_spec(cls, diagnostics_));
+}
+
+const ClassSpec* Verifier::find_class(std::string_view name) const {
+  for (const ClassSpec& spec : specs_) {
+    if (spec.name == name) return &spec;
+  }
+  return nullptr;
+}
+
+ClassLookup Verifier::lookup() const {
+  return [this](const std::string& name) { return find_class(name); };
+}
+
+ClassReport Verifier::verify_spec(const ClassSpec& spec) {
+  ClassReport report;
+  report.class_name = spec.name;
+  report.is_composite = spec.is_composite;
+
+  // Step 1 -- method dependency extraction validates successor references.
+  (void)DependencyGraph::build(spec, diagnostics_);
+
+  // Step 3 -- method invocation analysis.
+  report.invocation_errors =
+      analyze_invocations(spec, lookup(), diagnostics_);
+
+  // Specification lints (warnings only).
+  report.lint_findings = lint_class(spec, table_, diagnostics_);
+
+  // Step 2 plus the composite checks of §2.2 (behavior extraction happens
+  // inside check_composite).  Base classes still get their claims checked
+  // against the valid-usage language.
+  if (spec.is_composite) {
+    report.check = check_composite(spec, lookup(), table_, diagnostics_);
+  } else {
+    report.check = check_base_claims(spec, table_, diagnostics_);
+  }
+  return report;
+}
+
+ClassReport Verifier::verify_class(std::string_view name) {
+  const ClassSpec* spec = find_class(name);
+  if (spec == nullptr) {
+    diagnostics_.error({},
+                       "cannot verify unknown class '" + std::string(name) +
+                           "'");
+    ClassReport report;
+    report.class_name = std::string(name);
+    report.invocation_errors = 1;
+    return report;
+  }
+  return verify_spec(*spec);
+}
+
+Report Verifier::verify_all() {
+  Report report;
+  for (const ClassSpec& spec : specs_) {
+    if (!spec.is_system) continue;
+    report.classes.push_back(verify_spec(spec));
+  }
+  return report;
+}
+
+}  // namespace shelley::core

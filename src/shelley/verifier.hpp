@@ -1,0 +1,78 @@
+// The end-to-end verification pipeline: parse MicroPython sources, extract
+// class specifications, and run all three analysis steps (§3) plus the
+// composite checks of §2.2.  This is the main entry point of the library.
+#pragma once
+
+#include <deque>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "shelley/checker.hpp"
+#include "shelley/spec.hpp"
+#include "support/diagnostics.hpp"
+#include "support/symbol.hpp"
+
+namespace shelley::core {
+
+/// Per-class verification outcome.
+struct ClassReport {
+  std::string class_name;
+  bool is_composite = false;
+  std::size_t invocation_errors = 0;
+  std::size_t lint_findings = 0;  // warnings; do not affect ok()
+  CheckResult check;  // subsystem + claim results (composites only)
+
+  [[nodiscard]] bool ok() const {
+    return invocation_errors == 0 && check.ok();
+  }
+};
+
+struct Report {
+  std::vector<ClassReport> classes;
+
+  [[nodiscard]] bool ok() const;
+  /// Paper-format error blocks for every failing class, concatenated.
+  [[nodiscard]] std::string render(const SymbolTable& table) const;
+};
+
+class Verifier {
+ public:
+  Verifier() = default;
+
+  /// Parses `source` and registers every class found.  Throws ParseError on
+  /// syntax errors; annotation/spec problems become diagnostics.
+  void add_source(std::string_view source);
+
+  /// Registers a single already-parsed class.
+  void add_class(const upy::ClassDef& cls);
+
+  [[nodiscard]] const ClassSpec* find_class(std::string_view name) const;
+  [[nodiscard]] const std::deque<ClassSpec>& classes() const {
+    return specs_;
+  }
+
+  /// Verifies one class (by name).  Unknown names produce a diagnostic and
+  /// an empty report entry.
+  [[nodiscard]] ClassReport verify_class(std::string_view name);
+
+  /// Verifies every registered @sys class.
+  [[nodiscard]] Report verify_all();
+
+  [[nodiscard]] SymbolTable& symbols() { return table_; }
+  [[nodiscard]] const SymbolTable& symbols() const { return table_; }
+  [[nodiscard]] DiagnosticEngine& diagnostics() { return diagnostics_; }
+  [[nodiscard]] const DiagnosticEngine& diagnostics() const {
+    return diagnostics_;
+  }
+
+ private:
+  [[nodiscard]] ClassReport verify_spec(const ClassSpec& spec);
+  [[nodiscard]] ClassLookup lookup() const;
+
+  SymbolTable table_;
+  DiagnosticEngine diagnostics_;
+  std::deque<ClassSpec> specs_;  // deque: stable addresses for ClassLookup
+};
+
+}  // namespace shelley::core

@@ -1,0 +1,199 @@
+#include "smv/parser.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+
+#include "support/strings.hpp"
+
+namespace shelley::smv {
+namespace {
+
+/// Splits `{a, b, c}` into its trimmed items.
+std::vector<std::string> parse_enum_body(std::string_view text,
+                                         SourceLoc loc) {
+  const std::size_t open = text.find('{');
+  const std::size_t close = text.find('}');
+  if (open == std::string_view::npos || close == std::string_view::npos ||
+      close < open) {
+    throw ParseError(loc, "expected '{...}' enumeration");
+  }
+  std::vector<std::string> out;
+  for (const std::string& item :
+       split(text.substr(open + 1, close - open - 1), ',')) {
+    const std::string_view trimmed = trim(item);
+    if (!trimmed.empty()) out.emplace_back(trimmed);
+  }
+  return out;
+}
+
+struct Line {
+  std::string text;
+  SourceLoc loc;
+};
+
+}  // namespace
+
+SmvModel parse_model(std::string_view text) {
+  SmvModel model;
+  std::map<std::string, std::string> label_of;  // mangled -> original
+
+  // Split into comment-stripped lines, keeping label annotations.
+  std::vector<Line> lines;
+  std::uint32_t line_number = 0;
+  for (const std::string& raw : split(text, '\n')) {
+    ++line_number;
+    std::string stripped = raw;
+    if (const std::size_t comment = stripped.find("--");
+        comment != std::string::npos) {
+      // `--@ label <mangled> <original>` annotations carry event labels.
+      const std::string_view comment_text =
+          trim(std::string_view(stripped).substr(comment + 2));
+      if (starts_with(comment_text, "@ label ")) {
+        const auto fields = split(comment_text.substr(8), ' ');
+        if (fields.size() == 2) label_of[fields[0]] = fields[1];
+      }
+      stripped.resize(comment);
+    }
+    const std::string_view trimmed = trim(stripped);
+    if (!trimmed.empty()) {
+      lines.push_back(Line{std::string(trimmed), {line_number, 1}});
+    }
+  }
+
+  std::map<std::string, std::uint32_t> state_index;
+  std::map<std::string, std::uint32_t> event_index;
+  bool saw_module = false;
+  bool saw_states = false;
+
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const Line& line = lines[i];
+    const std::string& t = line.text;
+
+    if (starts_with(t, "MODULE")) {
+      model.module_name = std::string(trim(std::string_view(t).substr(6)));
+      saw_module = true;
+    } else if (starts_with(t, "event :")) {
+      for (const std::string& name : parse_enum_body(t, line.loc)) {
+        if (name == "e__end") continue;
+        event_index[name] =
+            static_cast<std::uint32_t>(model.event_names.size());
+        model.event_names.push_back(name);
+        const auto label = label_of.find(name);
+        model.event_labels.push_back(
+            label != label_of.end() ? label->second : name);
+      }
+    } else if (starts_with(t, "state :")) {
+      for (const std::string& name : parse_enum_body(t, line.loc)) {
+        if (name == "s_end" || name == "s_dead") continue;
+        state_index[name] =
+            static_cast<std::uint32_t>(model.state_names.size());
+        model.state_names.push_back(name);
+      }
+      saw_states = true;
+      model.accepting.assign(model.state_names.size(), false);
+    } else if (starts_with(t, "accepting :=")) {
+      if (!saw_states) throw ParseError(line.loc, "accepting before VAR");
+      // accepting := (state = s0 | state = s3);  or  (FALSE);
+      for (std::size_t pos = t.find("state ="); pos != std::string::npos;
+           pos = t.find("state =", pos + 1)) {
+        std::size_t begin = pos + 7;
+        while (begin < t.size() && t[begin] == ' ') ++begin;
+        std::size_t end = begin;
+        while (end < t.size() && (std::isalnum(static_cast<unsigned char>(
+                                      t[end])) != 0 ||
+                                  t[end] == '_')) {
+          ++end;
+        }
+        const std::string name = t.substr(begin, end - begin);
+        const auto it = state_index.find(name);
+        if (it == state_index.end()) {
+          throw ParseError(line.loc, "unknown accepting state " + name);
+        }
+        model.accepting[it->second] = true;
+      }
+    } else if (starts_with(t, "init(state) :=")) {
+      std::string name(trim(std::string_view(t).substr(14)));
+      if (!name.empty() && name.back() == ';') name.pop_back();
+      name = std::string(trim(name));
+      const auto it = state_index.find(name);
+      if (it == state_index.end()) {
+        throw ParseError(line.loc, "unknown initial state " + name);
+      }
+      model.initial_state = it->second;
+    } else if (t.find("state =") != std::string::npos &&
+               t.find("& event =") != std::string::npos &&
+               t.find(':') != std::string::npos) {
+      // state = sX & event = eY : sZ;
+      if (model.transitions.empty()) {
+        model.transitions.assign(
+            model.state_names.size(),
+            std::vector<std::uint32_t>(model.event_names.size(), 0));
+      }
+      const auto grab = [&](std::string_view marker,
+                            std::size_t from) -> std::string {
+        const std::size_t pos = t.find(marker, from);
+        if (pos == std::string::npos) return {};
+        std::size_t begin = pos + marker.size();
+        while (begin < t.size() && t[begin] == ' ') ++begin;
+        std::size_t end = begin;
+        while (end < t.size() &&
+               (std::isalnum(static_cast<unsigned char>(t[end])) != 0 ||
+                t[end] == '_')) {
+          ++end;
+        }
+        return t.substr(begin, end - begin);
+      };
+      const std::string from_state = grab("state =", 0);
+      const std::string event = grab("event =", 0);
+      const std::size_t colon = t.rfind(':');
+      std::string to_state(trim(std::string_view(t).substr(colon + 1)));
+      if (!to_state.empty() && to_state.back() == ';') to_state.pop_back();
+      to_state = std::string(trim(to_state));
+
+      // Skip the reserved framing rules.
+      if (from_state == "s_end" || from_state == "s_dead" ||
+          event == "e__end" || to_state == "s_end" ||
+          to_state == "s_dead") {
+        continue;
+      }
+      const auto from_it = state_index.find(from_state);
+      const auto event_it = event_index.find(event);
+      const auto to_it = state_index.find(to_state);
+      if (from_it == state_index.end() || event_it == event_index.end() ||
+          to_it == state_index.end()) {
+        throw ParseError(line.loc, "malformed transition rule: " + t);
+      }
+      model.transitions[from_it->second][event_it->second] = to_it->second;
+    } else if (starts_with(t, "LTLSPEC")) {
+      // LTLSPEC (F is_end) -> (<spec>);
+      std::string spec(trim(std::string_view(t).substr(7)));
+      constexpr std::string_view kGuard = "(F is_end) -> (";
+      if (starts_with(spec, kGuard)) {
+        spec = spec.substr(kGuard.size());
+        // Strip the matching `);` tail.
+        if (spec.size() >= 2 && spec.substr(spec.size() - 2) == ");") {
+          spec.resize(spec.size() - 2);
+        }
+      } else if (!spec.empty() && spec.back() == ';') {
+        spec.pop_back();
+      }
+      model.ltlspecs.push_back(std::move(spec));
+    }
+    // IVAR/VAR/DEFINE/ASSIGN/JUSTICE headers, `is_end :=`, `next(state)`,
+    // `case`/`esac`, and the framing rules fall through intentionally.
+  }
+
+  if (!saw_module) throw ParseError({1, 1}, "missing MODULE header");
+  if (model.state_names.empty()) {
+    throw ParseError({1, 1}, "missing state enumeration");
+  }
+  if (model.transitions.empty()) {
+    model.transitions.assign(
+        model.state_names.size(),
+        std::vector<std::uint32_t>(model.event_names.size(), 0));
+  }
+  return model;
+}
+
+}  // namespace shelley::smv

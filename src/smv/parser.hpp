@@ -1,0 +1,32 @@
+// Parser for the NuSMV subset this project emits (smv::emit):
+//
+//   MODULE <name>
+//   IVAR   event : { e_1, ..., e_n, e__end };
+//   VAR    state : { s_0, ..., s_m, s_end, s_dead };
+//   DEFINE is_end := (state = s_end);
+//          accepting := (state = sA | ...);
+//   ASSIGN init(state) := s_i;
+//          next(state) := case ... esac;
+//   JUSTICE ...;
+//   LTLSPEC ...;
+//
+// This is the "other half" of the simulated NuSMV: the emitted text can be
+// loaded back and checked by smv::check_ltlspec / model_accepts, so the
+// whole delegation path of §5 round-trips through real .smv source.
+// Throws ParseError on text outside the subset.
+#pragma once
+
+#include <string_view>
+
+#include "smv/smv.hpp"
+#include "support/diagnostics.hpp"
+
+namespace shelley::smv {
+
+/// Parses emitted NuSMV text back into an SmvModel.  The reserved padding
+/// machinery (e__end, s_end, s_dead, the framing case rules) is recognized
+/// and stripped; LTLSPEC lines are preserved verbatim (without the
+/// `(F is_end) ->` guard).
+[[nodiscard]] SmvModel parse_model(std::string_view text);
+
+}  // namespace shelley::smv

@@ -1,0 +1,74 @@
+// NuSMV backend (§5 "Future work"): Shelley delegates model checking to
+// NuSMV by translating the behavioral NFA into a NuSMV model -- encoding the
+// regular language as an ω-regular one by padding finite words with a
+// designated `_end` event.
+//
+// A NuSMV binary is not available offline, so this module additionally
+// implements an *explicit-state evaluator* of the emitted model:
+// `to_dfa` reconstructs the automaton the model denotes, and
+// `check_ltlspec` decides the emitted LTLSPEC the way NuSMV would, returning
+// a counterexample trace.  Tests cross-validate the round trip
+// (dfa -> SmvModel -> dfa) and the checker against the direct pipeline.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fsm/dfa.hpp"
+#include "ltlf/formula.hpp"
+#include "support/symbol.hpp"
+
+namespace shelley::smv {
+
+/// An in-memory NuSMV model of a finite automaton over events.
+struct SmvModel {
+  std::string module_name = "main";
+  std::vector<std::string> state_names;            // s0, s1, ...
+  std::vector<std::string> event_names;            // mangled event ids
+  std::vector<std::string> event_labels;           // original labels
+  std::uint32_t initial_state = 0;
+  std::vector<bool> accepting;
+  /// transitions[state][event] = next state.
+  std::vector<std::vector<std::uint32_t>> transitions;
+  /// LTLSPEC lines (already translated to ω-LTL text).
+  std::vector<std::string> ltlspecs;
+};
+
+/// Builds a model from a complete DFA.
+[[nodiscard]] SmvModel from_dfa(const fsm::Dfa& dfa, const SymbolTable& table,
+                                std::string module_name = "main");
+
+/// Adds `LTLSPEC` for an LTLf claim using the standard finite-to-infinite
+/// translation over `_end`-padded traces, and returns the translated text:
+///   t(a)      = (event = a)
+///   t(X φ)    = X (!is_end & t(φ))
+///   t(N φ)    = X (is_end | t(φ))
+///   t(φ U ψ)  = (!is_end & t(φ)) U (!is_end & t(ψ))
+///   t(φ R ψ)  = (is_end | t(φ)) R (is_end | t(ψ))
+///   t(end)    = is_end
+std::string add_ltlspec(SmvModel& model, const ltlf::Formula& claim,
+                        const SymbolTable& table);
+
+/// Renders the model as NuSMV source text.
+[[nodiscard]] std::string emit(const SmvModel& model);
+
+/// Reconstructs the DFA denoted by the model (interning the original event
+/// labels into `table`).  Inverse of from_dfa up to state renaming.
+[[nodiscard]] fsm::Dfa to_dfa(const SmvModel& model, SymbolTable& table);
+
+/// Runs the finite word through the model.
+[[nodiscard]] bool model_accepts(const SmvModel& model,
+                                 const std::vector<std::string>& events);
+
+/// Decides a claim against the model's language, exactly as NuSMV would
+/// decide the corresponding LTLSPEC: returns a violating finite trace
+/// (event labels) or nullopt when the claim holds.
+[[nodiscard]] std::optional<std::vector<std::string>> check_ltlspec(
+    const SmvModel& model, const ltlf::Formula& claim, SymbolTable& table);
+
+/// Mangles an event label into a NuSMV-safe identifier (dots -> '_').
+[[nodiscard]] std::string mangle(std::string_view label);
+
+}  // namespace shelley::smv

@@ -1,0 +1,43 @@
+#include "support/diagnostics.hpp"
+
+namespace shelley {
+
+std::string_view to_string(Severity severity) {
+  switch (severity) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+void DiagnosticEngine::report(Severity severity, SourceLoc loc,
+                              std::string message) {
+  if (severity == Severity::kError) ++error_count_;
+  diagnostics_.push_back(Diagnostic{severity, loc, std::move(message)});
+}
+
+std::string DiagnosticEngine::render() const {
+  std::string out;
+  for (const auto& diag : diagnostics_) {
+    out += to_string(diag.severity);
+    if (diag.loc.known()) {
+      out += ' ';
+      out += to_string(diag.loc);
+    }
+    out += ": ";
+    out += diag.message;
+    out += '\n';
+  }
+  return out;
+}
+
+void DiagnosticEngine::clear() {
+  diagnostics_.clear();
+  error_count_ = 0;
+}
+
+}  // namespace shelley

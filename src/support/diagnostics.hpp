@@ -1,0 +1,69 @@
+// Diagnostic collection and rendering.
+//
+// Frontend errors (lex/parse) abort via ParseError; semantic checks collect
+// Diagnostics so a whole class can be analyzed in one pass and all problems
+// reported together, mirroring how Shelley prints its reports.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/source_location.hpp"
+
+namespace shelley {
+
+enum class Severity { kNote, kWarning, kError };
+
+[[nodiscard]] std::string_view to_string(Severity severity);
+
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  SourceLoc loc;
+  std::string message;
+};
+
+/// Accumulates diagnostics during analysis.
+class DiagnosticEngine {
+ public:
+  void report(Severity severity, SourceLoc loc, std::string message);
+  void error(SourceLoc loc, std::string message) {
+    report(Severity::kError, loc, std::move(message));
+  }
+  void warning(SourceLoc loc, std::string message) {
+    report(Severity::kWarning, loc, std::move(message));
+  }
+  void note(SourceLoc loc, std::string message) {
+    report(Severity::kNote, loc, std::move(message));
+  }
+
+  [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const {
+    return diagnostics_;
+  }
+  [[nodiscard]] bool has_errors() const { return error_count_ > 0; }
+  [[nodiscard]] std::size_t error_count() const { return error_count_; }
+
+  /// Renders every diagnostic, one per line: `error 3:4: message`.
+  [[nodiscard]] std::string render() const;
+
+  void clear();
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+  std::size_t error_count_ = 0;
+};
+
+/// Thrown by the lexer/parser on malformed input.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(SourceLoc loc, const std::string& message)
+      : std::runtime_error(to_string(loc) + ": " + message), loc_(loc) {}
+
+  [[nodiscard]] SourceLoc loc() const { return loc_; }
+
+ private:
+  SourceLoc loc_;
+};
+
+}  // namespace shelley

@@ -1,0 +1,114 @@
+#include "support/json.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace shelley {
+
+void JsonWriter::comma_if_needed() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // the key already wrote its separator
+  }
+  if (!has_elements_.empty()) {
+    if (has_elements_.back()) out_ += ',';
+    has_elements_.back() = true;
+  }
+}
+
+void JsonWriter::write_escaped(std::string_view text) {
+  out_ += '"';
+  for (char c : text) {
+    switch (c) {
+      case '"': out_ += "\\\""; break;
+      case '\\': out_ += "\\\\"; break;
+      case '\n': out_ += "\\n"; break;
+      case '\r': out_ += "\\r"; break;
+      case '\t': out_ += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          std::array<char, 8> buffer{};
+          std::snprintf(buffer.data(), buffer.size(), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out_ += buffer.data();
+        } else {
+          out_ += c;
+        }
+    }
+  }
+  out_ += '"';
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  comma_if_needed();
+  out_ += '{';
+  has_elements_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  has_elements_.pop_back();
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  comma_if_needed();
+  out_ += '[';
+  has_elements_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  has_elements_.pop_back();
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  comma_if_needed();
+  write_escaped(name);
+  out_ += ':';
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view text) {
+  comma_if_needed();
+  write_escaped(text);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool boolean) {
+  comma_if_needed();
+  out_ += boolean ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t number) {
+  comma_if_needed();
+  out_ += std::to_string(number);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t number) {
+  comma_if_needed();
+  out_ += std::to_string(number);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double number) {
+  comma_if_needed();
+  std::array<char, 32> buffer{};
+  std::snprintf(buffer.data(), buffer.size(), "%.17g", number);
+  out_ += buffer.data();
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  comma_if_needed();
+  out_ += "null";
+  return *this;
+}
+
+}  // namespace shelley

@@ -1,0 +1,44 @@
+// A minimal streaming JSON writer (objects, arrays, strings, numbers,
+// booleans, null) with correct string escaping.  Used by the report
+// exporter and the CLI's --json mode; deliberately tiny -- no parsing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace shelley {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Writes an object key; must be followed by exactly one value.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view text);
+  JsonWriter& value(const char* text) { return value(std::string_view(text)); }
+  JsonWriter& value(bool boolean);
+  JsonWriter& value(std::int64_t number);
+  JsonWriter& value(std::uint64_t number);
+  JsonWriter& value(double number);
+  JsonWriter& null();
+
+  /// The accumulated document.  Valid once every container is closed.
+  [[nodiscard]] const std::string& str() const { return out_; }
+
+ private:
+  void comma_if_needed();
+  void write_escaped(std::string_view text);
+
+  std::string out_;
+  // true = container already has at least one element.
+  std::vector<bool> has_elements_;
+  bool pending_key_ = false;
+};
+
+}  // namespace shelley

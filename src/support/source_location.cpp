@@ -1,0 +1,10 @@
+#include "support/source_location.hpp"
+
+namespace shelley {
+
+std::string to_string(SourceLoc loc) {
+  if (!loc.known()) return "<unknown>";
+  return std::to_string(loc.line) + ":" + std::to_string(loc.column);
+}
+
+}  // namespace shelley

@@ -1,0 +1,25 @@
+// Source positions for diagnostics emitted by the MicroPython frontend and
+// the verification pipeline.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace shelley {
+
+/// A 1-based (line, column) position in a source buffer.  Line 0 means
+/// "no location" (e.g. a synthetic diagnostic).
+struct SourceLoc {
+  std::uint32_t line = 0;
+  std::uint32_t column = 0;
+
+  [[nodiscard]] constexpr bool known() const { return line != 0; }
+
+  friend constexpr bool operator==(SourceLoc, SourceLoc) = default;
+  friend constexpr auto operator<=>(SourceLoc, SourceLoc) = default;
+};
+
+/// Renders `line:column`, or `<unknown>` when the location is absent.
+[[nodiscard]] std::string to_string(SourceLoc loc);
+
+}  // namespace shelley

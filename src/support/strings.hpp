@@ -1,0 +1,30 @@
+// Small string utilities shared across the project.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace shelley {
+
+/// Joins `parts` with `separator`.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view separator);
+
+/// Splits `text` on `separator` (single char); keeps empty fields.
+[[nodiscard]] std::vector<std::string> split(std::string_view text,
+                                             char separator);
+
+/// Strips leading and trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view text);
+
+/// True if `text` starts with `prefix`.
+[[nodiscard]] bool starts_with(std::string_view text, std::string_view prefix);
+
+/// Escapes `"` and `\` for embedding in DOT/SMV string literals.
+[[nodiscard]] std::string escape_quotes(std::string_view text);
+
+/// Indents every line of `text` by `spaces` spaces.
+[[nodiscard]] std::string indent(std::string_view text, int spaces);
+
+}  // namespace shelley

@@ -1,0 +1,43 @@
+#include "support/symbol.hpp"
+
+#include <cassert>
+#include <deque>
+#include <stdexcept>
+
+namespace shelley {
+
+Symbol SymbolTable::intern(std::string_view text) {
+  if (auto it = index_.find(text); it != index_.end()) {
+    return Symbol{it->second};
+  }
+  const auto id = static_cast<std::uint32_t>(names_.size());
+  names_.emplace_back(text);
+  index_.emplace(std::string_view{names_.back()}, id);
+  return Symbol{id};
+}
+
+std::optional<Symbol> SymbolTable::lookup(std::string_view text) const {
+  if (auto it = index_.find(text); it != index_.end()) {
+    return Symbol{it->second};
+  }
+  return std::nullopt;
+}
+
+const std::string& SymbolTable::name(Symbol sym) const {
+  if (!sym.valid() || sym.id() >= names_.size()) {
+    throw std::out_of_range("Symbol does not belong to this SymbolTable");
+  }
+  return names_[sym.id()];
+}
+
+std::string to_string(const Word& word, const SymbolTable& table,
+                      std::string_view separator) {
+  std::string out;
+  for (std::size_t i = 0; i < word.size(); ++i) {
+    if (i != 0) out += separator;
+    out += table.name(word[i]);
+  }
+  return out;
+}
+
+}  // namespace shelley

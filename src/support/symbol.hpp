@@ -1,0 +1,81 @@
+// Interned string symbols.
+//
+// Event labels (method names such as "a.open") appear millions of times in
+// automata transitions and regex nodes.  Interning them as dense 32-bit ids
+// makes comparisons O(1) and lets automata index transition tables by id.
+//
+// A SymbolTable is an explicit object (no global state); every component that
+// needs to print a symbol takes a `const SymbolTable&`.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace shelley {
+
+/// A lightweight handle to an interned string.  Only meaningful together
+/// with the SymbolTable that produced it.
+class Symbol {
+ public:
+  constexpr Symbol() = default;
+  constexpr explicit Symbol(std::uint32_t id) : id_(id) {}
+
+  [[nodiscard]] constexpr std::uint32_t id() const { return id_; }
+  [[nodiscard]] constexpr bool valid() const { return id_ != kInvalid; }
+
+  friend constexpr bool operator==(Symbol a, Symbol b) { return a.id_ == b.id_; }
+  friend constexpr bool operator!=(Symbol a, Symbol b) { return a.id_ != b.id_; }
+  friend constexpr bool operator<(Symbol a, Symbol b) { return a.id_ < b.id_; }
+
+  static constexpr std::uint32_t kInvalid = 0xffffffffu;
+
+ private:
+  std::uint32_t id_ = kInvalid;
+};
+
+/// Bidirectional string <-> Symbol map.  Not thread-safe; each verification
+/// pipeline owns exactly one table.
+class SymbolTable {
+ public:
+  SymbolTable() = default;
+
+  /// Returns the symbol for `text`, interning it on first use.
+  Symbol intern(std::string_view text);
+
+  /// Returns the symbol for `text` if already interned.
+  [[nodiscard]] std::optional<Symbol> lookup(std::string_view text) const;
+
+  /// Returns the text of an interned symbol.  Precondition: `sym` came from
+  /// this table.
+  [[nodiscard]] const std::string& name(Symbol sym) const;
+
+  [[nodiscard]] std::size_t size() const { return names_.size(); }
+
+ private:
+  // Deque keeps element addresses stable across growth, so index_ may key
+  // string_views into the stored strings.
+  std::deque<std::string> names_;
+  std::unordered_map<std::string_view, std::uint32_t> index_;
+};
+
+/// A finite word over interned symbols (a trace of events).
+using Word = std::vector<Symbol>;
+
+/// Renders a word as `a, b, c` using the given table.
+[[nodiscard]] std::string to_string(const Word& word, const SymbolTable& table,
+                                    std::string_view separator = ", ");
+
+}  // namespace shelley
+
+template <>
+struct std::hash<shelley::Symbol> {
+  std::size_t operator()(shelley::Symbol s) const noexcept {
+    return std::hash<std::uint32_t>{}(s.id());
+  }
+};

@@ -1,0 +1,160 @@
+#include "upy/ast.hpp"
+
+namespace shelley::upy {
+namespace {
+
+void render(const ExprPtr& expr, std::string& out);
+
+void render_list(const std::vector<ExprPtr>& items, std::string& out) {
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i != 0) out += ", ";
+    render(items[i], out);
+  }
+}
+
+void render(const ExprPtr& expr, std::string& out) {
+  if (!expr) {
+    out += "<null>";
+    return;
+  }
+  std::visit(
+      [&](const auto& node) {
+        using T = std::decay_t<decltype(node)>;
+        if constexpr (std::is_same_v<T, NameExpr>) {
+          out += node.id;
+        } else if constexpr (std::is_same_v<T, AttributeExpr>) {
+          render(node.value, out);
+          out += '.';
+          out += node.attr;
+        } else if constexpr (std::is_same_v<T, CallExpr>) {
+          render(node.callee, out);
+          out += '(';
+          render_list(node.args, out);
+          out += ')';
+        } else if constexpr (std::is_same_v<T, NumberExpr>) {
+          out += node.literal;
+        } else if constexpr (std::is_same_v<T, StringExpr>) {
+          out += '"';
+          out += node.value;
+          out += '"';
+        } else if constexpr (std::is_same_v<T, BoolExpr>) {
+          out += node.value ? "True" : "False";
+        } else if constexpr (std::is_same_v<T, NoneExpr>) {
+          out += "None";
+        } else if constexpr (std::is_same_v<T, ListExpr>) {
+          out += '[';
+          render_list(node.elements, out);
+          out += ']';
+        } else if constexpr (std::is_same_v<T, TupleExpr>) {
+          out += '(';
+          render_list(node.elements, out);
+          out += ')';
+        } else if constexpr (std::is_same_v<T, UnaryExpr>) {
+          out += node.op;
+          out += node.op == "not" ? " " : "";
+          render(node.operand, out);
+        } else if constexpr (std::is_same_v<T, BinaryExpr>) {
+          out += '(';
+          render(node.left, out);
+          out += ' ';
+          out += node.op;
+          out += ' ';
+          render(node.right, out);
+          out += ')';
+        } else if constexpr (std::is_same_v<T, SubscriptExpr>) {
+          render(node.value, out);
+          out += '[';
+          render(node.index, out);
+          out += ']';
+        }
+      },
+      expr->node);
+}
+
+void render_block(const Block& block, int level, std::string& out);
+
+void render_stmt(const StmtPtr& stmt, int level, std::string& out) {
+  const std::string pad(static_cast<std::size_t>(level) * 2, ' ');
+  std::visit(
+      [&](const auto& node) {
+        using T = std::decay_t<decltype(node)>;
+        if constexpr (std::is_same_v<T, ExprStmt>) {
+          out += pad + to_string(node.value) + "\n";
+        } else if constexpr (std::is_same_v<T, AssignStmt>) {
+          out += pad + to_string(node.target) + " = " + to_string(node.value) +
+                 "\n";
+        } else if constexpr (std::is_same_v<T, ReturnStmt>) {
+          out += pad + "return";
+          if (node.value) out += " " + to_string(node.value);
+          out += "\n";
+        } else if constexpr (std::is_same_v<T, PassStmt>) {
+          out += pad + "pass\n";
+        } else if constexpr (std::is_same_v<T, BreakStmt>) {
+          out += pad + "break\n";
+        } else if constexpr (std::is_same_v<T, ContinueStmt>) {
+          out += pad + "continue\n";
+        } else if constexpr (std::is_same_v<T, IfStmt>) {
+          out += pad + "if " + to_string(node.condition) + ":\n";
+          render_block(node.then_body, level + 1, out);
+          if (!node.else_body.empty()) {
+            out += pad + "else:\n";
+            render_block(node.else_body, level + 1, out);
+          }
+        } else if constexpr (std::is_same_v<T, WhileStmt>) {
+          out += pad + "while " + to_string(node.condition) + ":\n";
+          render_block(node.body, level + 1, out);
+        } else if constexpr (std::is_same_v<T, ForStmt>) {
+          out += pad + "for " + node.target + " in " +
+                 to_string(node.iterable) + ":\n";
+          render_block(node.body, level + 1, out);
+        } else if constexpr (std::is_same_v<T, TryStmt>) {
+          out += pad + "try:\n";
+          render_block(node.body, level + 1, out);
+          for (const Block& handler : node.handlers) {
+            out += pad + "except:\n";
+            render_block(handler, level + 1, out);
+          }
+          if (!node.final_body.empty()) {
+            out += pad + "finally:\n";
+            render_block(node.final_body, level + 1, out);
+          }
+        } else if constexpr (std::is_same_v<T, RaiseStmt>) {
+          out += pad + "raise";
+          if (node.value) out += " " + to_string(node.value);
+          out += "\n";
+        } else if constexpr (std::is_same_v<T, MatchStmt>) {
+          out += pad + "match " + to_string(node.subject) + ":\n";
+          for (const MatchCase& c : node.cases) {
+            out += pad + "  case " +
+                   (c.pattern ? to_string(c.pattern) : std::string("_")) +
+                   ":\n";
+            render_block(c.body, level + 2, out);
+          }
+        }
+      },
+      stmt->node);
+}
+
+void render_block(const Block& block, int level, std::string& out) {
+  if (block.empty()) {
+    out += std::string(static_cast<std::size_t>(level) * 2, ' ') + "pass\n";
+    return;
+  }
+  for (const StmtPtr& stmt : block) render_stmt(stmt, level, out);
+}
+
+}  // namespace
+
+std::string to_string(const ExprPtr& expr) {
+  std::string out;
+  render(expr, out);
+  return out;
+}
+
+std::string to_string(const Block& block, int indent_level) {
+  std::string out;
+  render_block(block, indent_level, out);
+  return out;
+}
+
+}  // namespace shelley::upy

@@ -1,0 +1,170 @@
+// Abstract syntax for the MicroPython subset (classes, methods, decorators,
+// the statement forms Shelley understands, and a small expression language).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "support/source_location.hpp"
+
+namespace shelley::upy {
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+struct NameExpr {
+  std::string id;
+};
+struct AttributeExpr {
+  ExprPtr value;
+  std::string attr;
+};
+struct CallExpr {
+  ExprPtr callee;
+  std::vector<ExprPtr> args;
+};
+struct NumberExpr {
+  std::string literal;
+};
+struct StringExpr {
+  std::string value;
+};
+struct BoolExpr {
+  bool value = false;
+};
+struct NoneExpr {};
+struct ListExpr {
+  std::vector<ExprPtr> elements;
+};
+struct TupleExpr {
+  std::vector<ExprPtr> elements;
+};
+struct UnaryExpr {
+  std::string op;  // "-", "+", "not"
+  ExprPtr operand;
+};
+struct BinaryExpr {
+  std::string op;  // arithmetic, comparison, "and", "or"
+  ExprPtr left;
+  ExprPtr right;
+};
+struct SubscriptExpr {
+  ExprPtr value;
+  ExprPtr index;
+};
+
+struct Expr {
+  SourceLoc loc;
+  std::variant<NameExpr, AttributeExpr, CallExpr, NumberExpr, StringExpr,
+               BoolExpr, NoneExpr, ListExpr, TupleExpr, UnaryExpr, BinaryExpr,
+               SubscriptExpr>
+      node;
+};
+
+struct Stmt;
+using StmtPtr = std::shared_ptr<const Stmt>;
+using Block = std::vector<StmtPtr>;
+
+struct ExprStmt {
+  ExprPtr value;
+};
+struct AssignStmt {
+  ExprPtr target;
+  ExprPtr value;
+};
+struct ReturnStmt {
+  ExprPtr value;  // null for a bare `return`
+};
+struct PassStmt {};
+struct BreakStmt {};
+struct ContinueStmt {};
+struct IfStmt {
+  ExprPtr condition;
+  Block then_body;
+  Block else_body;  // elif chains desugar to a nested IfStmt here
+};
+struct WhileStmt {
+  ExprPtr condition;
+  Block body;
+};
+struct ForStmt {
+  std::string target;
+  ExprPtr iterable;
+  Block body;
+};
+struct MatchCase {
+  SourceLoc loc;
+  ExprPtr pattern;         // null for the wildcard `case _:`
+  Block body;
+};
+struct MatchStmt {
+  ExprPtr subject;
+  std::vector<MatchCase> cases;
+};
+/// `try: ... except ...: ... finally: ...` -- parsed so real firmware
+/// sources load, but rejected by the analysis (§3.2: "our analysis does not
+/// model Python exceptions").
+struct TryStmt {
+  Block body;
+  std::vector<Block> handlers;  // one per except clause
+  Block final_body;
+};
+struct RaiseStmt {
+  ExprPtr value;  // may be null (bare raise)
+};
+
+struct Stmt {
+  SourceLoc loc;
+  std::variant<ExprStmt, AssignStmt, ReturnStmt, PassStmt, BreakStmt,
+               ContinueStmt, IfStmt, WhileStmt, ForStmt, MatchStmt, TryStmt,
+               RaiseStmt>
+      node;
+};
+
+/// `@name` or `@name(arg, ...)`.
+struct Decorator {
+  SourceLoc loc;
+  std::string name;
+  bool has_call = false;
+  std::vector<ExprPtr> args;
+};
+
+struct FunctionDef {
+  SourceLoc loc;
+  std::string name;
+  std::vector<std::string> params;  // includes `self`
+  std::vector<Decorator> decorators;
+  Block body;
+};
+
+struct ClassDef {
+  SourceLoc loc;
+  std::string name;
+  std::vector<Decorator> decorators;
+  std::vector<FunctionDef> methods;
+};
+
+struct Module {
+  std::vector<ClassDef> classes;
+};
+
+// -- Helpers -----------------------------------------------------------------
+
+template <typename T>
+[[nodiscard]] const T* as(const ExprPtr& expr) {
+  return expr ? std::get_if<T>(&expr->node) : nullptr;
+}
+template <typename T>
+[[nodiscard]] const T* as(const StmtPtr& stmt) {
+  return stmt ? std::get_if<T>(&stmt->node) : nullptr;
+}
+
+/// Compact single-line rendering of an expression (for tests/diagnostics).
+[[nodiscard]] std::string to_string(const ExprPtr& expr);
+
+/// Multi-line, indented rendering of a block (for tests/diagnostics).
+[[nodiscard]] std::string to_string(const Block& block, int indent_level = 0);
+
+}  // namespace shelley::upy

@@ -1,0 +1,350 @@
+#include "upy/lexer.hpp"
+
+#include <cctype>
+#include <unordered_map>
+
+namespace shelley::upy {
+namespace {
+
+const std::unordered_map<std::string_view, TokenKind>& keywords() {
+  static const std::unordered_map<std::string_view, TokenKind> map = {
+      {"class", TokenKind::kKwClass},   {"def", TokenKind::kKwDef},
+      {"return", TokenKind::kKwReturn}, {"if", TokenKind::kKwIf},
+      {"elif", TokenKind::kKwElif},     {"else", TokenKind::kKwElse},
+      {"while", TokenKind::kKwWhile},   {"for", TokenKind::kKwFor},
+      {"in", TokenKind::kKwIn},         {"match", TokenKind::kKwMatch},
+      {"case", TokenKind::kKwCase},     {"pass", TokenKind::kKwPass},
+      {"True", TokenKind::kKwTrue},     {"False", TokenKind::kKwFalse},
+      {"None", TokenKind::kKwNone},     {"and", TokenKind::kKwAnd},
+      {"or", TokenKind::kKwOr},         {"not", TokenKind::kKwNot},
+      {"break", TokenKind::kKwBreak},   {"continue", TokenKind::kKwContinue},
+      {"try", TokenKind::kKwTry},       {"except", TokenKind::kKwExcept},
+      {"finally", TokenKind::kKwFinally}, {"raise", TokenKind::kKwRaise},
+  };
+  return map;
+}
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view source) : source_(source) {}
+
+  std::vector<Token> run() {
+    indents_.push_back(0);
+    while (pos_ < source_.size()) {
+      if (at_line_start_ && bracket_depth_ == 0) {
+        handle_indentation();
+        if (pos_ >= source_.size()) break;
+      }
+      lex_one();
+    }
+    finish();
+    return tokens_;
+  }
+
+ private:
+  [[nodiscard]] SourceLoc here() const { return {line_, column_}; }
+  [[nodiscard]] char peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < source_.size() ? source_[pos_ + ahead] : '\0';
+  }
+  char advance() {
+    const char c = source_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  void emit(TokenKind kind, std::string text, SourceLoc loc) {
+    tokens_.push_back(Token{kind, std::move(text), loc});
+  }
+
+  // Measures the indentation of the line starting at pos_, skipping blank
+  // and comment-only lines entirely.  Emits INDENT/DEDENT as required.
+  void handle_indentation() {
+    while (pos_ < source_.size()) {
+      const std::size_t line_begin = pos_;
+      std::uint32_t width = 0;
+      while (pos_ < source_.size() && (peek() == ' ' || peek() == '\t')) {
+        width = peek() == '\t' ? (width / 8 + 1) * 8 : width + 1;
+        advance();
+      }
+      if (pos_ >= source_.size()) return;
+      if (peek() == '\n') {
+        advance();  // blank line
+        continue;
+      }
+      if (peek() == '#') {
+        while (pos_ < source_.size() && peek() != '\n') advance();
+        continue;  // comment-only line; the \n is consumed next iteration
+      }
+      (void)line_begin;
+      apply_indent(width);
+      at_line_start_ = false;
+      return;
+    }
+  }
+
+  void apply_indent(std::uint32_t width) {
+    if (width > indents_.back()) {
+      indents_.push_back(width);
+      emit(TokenKind::kIndent, "", here());
+      return;
+    }
+    while (width < indents_.back()) {
+      indents_.pop_back();
+      emit(TokenKind::kDedent, "", here());
+    }
+    if (width != indents_.back()) {
+      throw ParseError(here(), "inconsistent indentation");
+    }
+  }
+
+  void lex_one() {
+    const char c = peek();
+    const SourceLoc loc = here();
+
+    if (c == '\n') {
+      advance();
+      if (bracket_depth_ == 0) {
+        emit(TokenKind::kNewline, "", loc);
+        at_line_start_ = true;
+      }
+      return;
+    }
+    if (c == ' ' || c == '\t' || c == '\r') {
+      advance();
+      return;
+    }
+    if (c == '#') {
+      while (pos_ < source_.size() && peek() != '\n') advance();
+      return;
+    }
+    if (c == '\\' && peek(1) == '\n') {  // explicit line joining
+      advance();
+      advance();
+      return;
+    }
+    if (c == '"' || c == '\'') {
+      lex_string(loc);
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      lex_number(loc);
+      return;
+    }
+    if (is_ident_start(c)) {
+      lex_name(loc);
+      return;
+    }
+    lex_operator(loc);
+  }
+
+  void lex_string(SourceLoc loc) {
+    const char quote = advance();
+    std::string value;
+    while (true) {
+      if (pos_ >= source_.size() || peek() == '\n') {
+        throw ParseError(loc, "unterminated string literal");
+      }
+      const char c = advance();
+      if (c == quote) break;
+      if (c == '\\' && pos_ < source_.size()) {
+        const char escaped = advance();
+        switch (escaped) {
+          case 'n': value += '\n'; break;
+          case 't': value += '\t'; break;
+          case '\\': value += '\\'; break;
+          case '\'': value += '\''; break;
+          case '"': value += '"'; break;
+          default: value += escaped; break;
+        }
+        continue;
+      }
+      value += c;
+    }
+    emit(TokenKind::kString, std::move(value), loc);
+  }
+
+  void lex_number(SourceLoc loc) {
+    std::string text;
+    while (std::isdigit(static_cast<unsigned char>(peek())) != 0 ||
+           peek() == '.' || peek() == 'x' || peek() == 'X' ||
+           (std::isxdigit(static_cast<unsigned char>(peek())) != 0 &&
+            text.size() >= 2 && (text[1] == 'x' || text[1] == 'X'))) {
+      // Avoid swallowing attribute access after an integer: `1.foo` cannot
+      // occur in our subset, so a dot inside a number is always a float dot.
+      if (peek() == '.' &&
+          std::isdigit(static_cast<unsigned char>(peek(1))) == 0) {
+        break;
+      }
+      text += advance();
+    }
+    emit(TokenKind::kNumber, std::move(text), loc);
+  }
+
+  void lex_name(SourceLoc loc) {
+    std::string text;
+    while (is_ident_char(peek())) text += advance();
+    // String prefixes (f-strings, raw/byte strings): the analysis treats
+    // them as plain strings -- interpolation is a value-level feature.
+    if ((text == "f" || text == "r" || text == "b" || text == "rb" ||
+         text == "fr") &&
+        (peek() == '"' || peek() == '\'')) {
+      lex_string(loc);
+      return;
+    }
+    const auto it = keywords().find(text);
+    emit(it != keywords().end() ? it->second : TokenKind::kName,
+         std::move(text), loc);
+  }
+
+  void lex_operator(SourceLoc loc) {
+    const char c = advance();
+    switch (c) {
+      case '(':
+        ++bracket_depth_;
+        emit(TokenKind::kLParen, "(", loc);
+        return;
+      case ')':
+        if (bracket_depth_ > 0) --bracket_depth_;
+        emit(TokenKind::kRParen, ")", loc);
+        return;
+      case '[':
+        ++bracket_depth_;
+        emit(TokenKind::kLBracket, "[", loc);
+        return;
+      case ']':
+        if (bracket_depth_ > 0) --bracket_depth_;
+        emit(TokenKind::kRBracket, "]", loc);
+        return;
+      case ':':
+        emit(TokenKind::kColon, ":", loc);
+        return;
+      case ',':
+        emit(TokenKind::kComma, ",", loc);
+        return;
+      case '.':
+        emit(TokenKind::kDot, ".", loc);
+        return;
+      case '@':
+        emit(TokenKind::kAt, "@", loc);
+        return;
+      case ';':
+        emit(TokenKind::kSemicolon, ";", loc);
+        return;
+      case '=':
+        if (peek() == '=') {
+          advance();
+          emit(TokenKind::kEq, "==", loc);
+        } else {
+          emit(TokenKind::kAssign, "=", loc);
+        }
+        return;
+      case '!':
+        if (peek() == '=') {
+          advance();
+          emit(TokenKind::kNe, "!=", loc);
+          return;
+        }
+        throw ParseError(loc, "unexpected '!'");
+      case '<':
+        if (peek() == '=') {
+          advance();
+          emit(TokenKind::kLe, "<=", loc);
+        } else {
+          emit(TokenKind::kLt, "<", loc);
+        }
+        return;
+      case '>':
+        if (peek() == '=') {
+          advance();
+          emit(TokenKind::kGe, ">=", loc);
+        } else {
+          emit(TokenKind::kGt, ">", loc);
+        }
+        return;
+      case '+':
+        if (peek() == '=') {
+          advance();
+          emit(TokenKind::kAugAssign, "+=", loc);
+          return;
+        }
+        emit(TokenKind::kPlus, "+", loc);
+        return;
+      case '-':
+        if (peek() == '=') {
+          advance();
+          emit(TokenKind::kAugAssign, "-=", loc);
+          return;
+        }
+        emit(TokenKind::kMinus, "-", loc);
+        return;
+      case '*':
+        if (peek() == '=') {
+          advance();
+          emit(TokenKind::kAugAssign, "*=", loc);
+          return;
+        }
+        emit(TokenKind::kStarOp, "*", loc);
+        return;
+      case '/':
+        if (peek() == '=') {
+          advance();
+          emit(TokenKind::kAugAssign, "/=", loc);
+          return;
+        }
+        emit(TokenKind::kSlash, "/", loc);
+        return;
+      case '%':
+        if (peek() == '=') {
+          advance();
+          emit(TokenKind::kAugAssign, "%=", loc);
+          return;
+        }
+        emit(TokenKind::kPercent, "%", loc);
+        return;
+      default:
+        throw ParseError(loc, std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  void finish() {
+    // Terminate a trailing logical line that lacks '\n'.
+    if (!tokens_.empty() && tokens_.back().kind != TokenKind::kNewline &&
+        tokens_.back().kind != TokenKind::kDedent) {
+      emit(TokenKind::kNewline, "", here());
+    }
+    while (indents_.size() > 1) {
+      indents_.pop_back();
+      emit(TokenKind::kDedent, "", here());
+    }
+    emit(TokenKind::kEndOfFile, "", here());
+  }
+
+  std::string_view source_;
+  std::size_t pos_ = 0;
+  std::uint32_t line_ = 1;
+  std::uint32_t column_ = 1;
+  bool at_line_start_ = true;
+  int bracket_depth_ = 0;
+  std::vector<std::uint32_t> indents_;
+  std::vector<Token> tokens_;
+};
+
+}  // namespace
+
+std::vector<Token> lex(std::string_view source) {
+  return Lexer(source).run();
+}
+
+}  // namespace shelley::upy

@@ -1,0 +1,19 @@
+// Indentation-aware lexer for the MicroPython subset.
+//
+// Python layout rules implemented: INDENT/DEDENT from an indentation stack,
+// logical-line NEWLINE suppression inside (…) and […] (implicit joining),
+// blank-line and comment skipping, and tabs expanded to 8-column stops.
+// Throws ParseError on bad indentation or unterminated strings.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "support/diagnostics.hpp"
+#include "upy/token.hpp"
+
+namespace shelley::upy {
+
+[[nodiscard]] std::vector<Token> lex(std::string_view source);
+
+}  // namespace shelley::upy

@@ -1,0 +1,527 @@
+#include "upy/parser.hpp"
+
+#include <utility>
+
+#include "upy/lexer.hpp"
+
+namespace shelley::upy {
+namespace {
+
+template <typename Node>
+ExprPtr make_expr(SourceLoc loc, Node node) {
+  return std::make_shared<const Expr>(Expr{loc, std::move(node)});
+}
+
+template <typename Node>
+StmtPtr make_stmt(SourceLoc loc, Node node) {
+  return std::make_shared<const Stmt>(Stmt{loc, std::move(node)});
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Module parse_module() {
+    Module module;
+    while (!at(TokenKind::kEndOfFile)) {
+      if (accept(TokenKind::kNewline)) continue;
+      if (at(TokenKind::kName) &&
+          (peek().text == "import" || peek().text == "from")) {
+        skip_line();
+        continue;
+      }
+      module.classes.push_back(parse_classdef());
+    }
+    return module;
+  }
+
+  ExprPtr parse_single_expression() {
+    ExprPtr expr = parse_testlist();
+    if (!at(TokenKind::kNewline) && !at(TokenKind::kEndOfFile)) {
+      throw ParseError(peek().loc, "trailing input after expression");
+    }
+    return expr;
+  }
+
+ private:
+  // -- Token plumbing --------------------------------------------------------
+
+  [[nodiscard]] const Token& peek(std::size_t ahead = 0) const {
+    const std::size_t index = std::min(index_ + ahead, tokens_.size() - 1);
+    return tokens_[index];
+  }
+  [[nodiscard]] bool at(TokenKind kind) const { return peek().kind == kind; }
+  const Token& advance() { return tokens_[index_++]; }
+
+  bool accept(TokenKind kind) {
+    if (!at(kind)) return false;
+    advance();
+    return true;
+  }
+
+  const Token& expect(TokenKind kind) {
+    if (!at(kind)) {
+      throw ParseError(peek().loc, "expected " + std::string(to_string(kind)) +
+                                       ", found " +
+                                       std::string(to_string(peek().kind)));
+    }
+    return advance();
+  }
+
+  void skip_line() {
+    while (!at(TokenKind::kNewline) && !at(TokenKind::kEndOfFile)) advance();
+    accept(TokenKind::kNewline);
+  }
+
+  // -- Declarations ----------------------------------------------------------
+
+  std::vector<Decorator> parse_decorators() {
+    std::vector<Decorator> out;
+    while (at(TokenKind::kAt)) {
+      const SourceLoc loc = advance().loc;
+      Decorator decorator;
+      decorator.loc = loc;
+      decorator.name = expect(TokenKind::kName).text;
+      while (accept(TokenKind::kDot)) {
+        decorator.name += '.';
+        decorator.name += expect(TokenKind::kName).text;
+      }
+      if (accept(TokenKind::kLParen)) {
+        decorator.has_call = true;
+        if (!at(TokenKind::kRParen)) {
+          decorator.args.push_back(parse_test());
+          while (accept(TokenKind::kComma)) {
+            if (at(TokenKind::kRParen)) break;  // trailing comma
+            decorator.args.push_back(parse_test());
+          }
+        }
+        expect(TokenKind::kRParen);
+      }
+      expect(TokenKind::kNewline);
+      out.push_back(std::move(decorator));
+    }
+    return out;
+  }
+
+  ClassDef parse_classdef() {
+    ClassDef cls;
+    cls.decorators = parse_decorators();
+    cls.loc = expect(TokenKind::kKwClass).loc;
+    cls.name = expect(TokenKind::kName).text;
+    if (accept(TokenKind::kLParen)) {  // base-class list; names ignored
+      while (!at(TokenKind::kRParen)) advance();
+      expect(TokenKind::kRParen);
+    }
+    expect(TokenKind::kColon);
+    expect(TokenKind::kNewline);
+    expect(TokenKind::kIndent);
+    while (!accept(TokenKind::kDedent)) {
+      if (accept(TokenKind::kNewline)) continue;
+      if (accept(TokenKind::kKwPass)) {
+        expect(TokenKind::kNewline);
+        continue;
+      }
+      cls.methods.push_back(parse_funcdef());
+    }
+    return cls;
+  }
+
+  FunctionDef parse_funcdef() {
+    FunctionDef fn;
+    fn.decorators = parse_decorators();
+    fn.loc = expect(TokenKind::kKwDef).loc;
+    fn.name = expect(TokenKind::kName).text;
+    expect(TokenKind::kLParen);
+    if (!at(TokenKind::kRParen)) {
+      fn.params.push_back(expect(TokenKind::kName).text);
+      while (accept(TokenKind::kComma)) {
+        if (at(TokenKind::kRParen)) break;
+        fn.params.push_back(expect(TokenKind::kName).text);
+        // Default values: `x=1`.
+        if (accept(TokenKind::kAssign)) (void)parse_test();
+      }
+    }
+    expect(TokenKind::kRParen);
+    expect(TokenKind::kColon);
+    fn.body = parse_suite();
+    return fn;
+  }
+
+  // -- Statements ------------------------------------------------------------
+
+  Block parse_suite() {
+    if (accept(TokenKind::kNewline)) {
+      expect(TokenKind::kIndent);
+      Block block;
+      while (!accept(TokenKind::kDedent)) {
+        if (accept(TokenKind::kNewline)) continue;
+        parse_statement(block);
+      }
+      return block;
+    }
+    // One-line suite: `if x: a(); b()`
+    Block block;
+    parse_simple_statement_line(block);
+    return block;
+  }
+
+  void parse_statement(Block& block) {
+    switch (peek().kind) {
+      case TokenKind::kKwIf:
+        block.push_back(parse_if());
+        return;
+      case TokenKind::kKwWhile:
+        block.push_back(parse_while());
+        return;
+      case TokenKind::kKwFor:
+        block.push_back(parse_for());
+        return;
+      case TokenKind::kKwMatch:
+        block.push_back(parse_match());
+        return;
+      case TokenKind::kKwTry:
+        block.push_back(parse_try());
+        return;
+      default:
+        parse_simple_statement_line(block);
+        return;
+    }
+  }
+
+  StmtPtr parse_try() {
+    const SourceLoc loc = expect(TokenKind::kKwTry).loc;
+    expect(TokenKind::kColon);
+    TryStmt try_stmt;
+    try_stmt.body = parse_suite();
+    while (accept(TokenKind::kKwExcept)) {
+      // Optional exception spec: `except ValueError as e:`.
+      while (!at(TokenKind::kColon) && !at(TokenKind::kNewline) &&
+             !at(TokenKind::kEndOfFile)) {
+        advance();
+      }
+      expect(TokenKind::kColon);
+      try_stmt.handlers.push_back(parse_suite());
+    }
+    if (accept(TokenKind::kKwFinally)) {
+      expect(TokenKind::kColon);
+      try_stmt.final_body = parse_suite();
+    }
+    if (try_stmt.handlers.empty() && try_stmt.final_body.empty()) {
+      throw ParseError(loc, "try statement needs an except or finally block");
+    }
+    return make_stmt(loc, std::move(try_stmt));
+  }
+
+  void parse_simple_statement_line(Block& block) {
+    block.push_back(parse_simple_statement());
+    while (accept(TokenKind::kSemicolon)) {
+      if (at(TokenKind::kNewline)) break;
+      block.push_back(parse_simple_statement());
+    }
+    if (!accept(TokenKind::kNewline)) {
+      if (!at(TokenKind::kEndOfFile)) {
+        throw ParseError(peek().loc, "expected end of statement");
+      }
+    }
+  }
+
+  StmtPtr parse_simple_statement() {
+    const SourceLoc loc = peek().loc;
+    if (accept(TokenKind::kKwPass)) return make_stmt(loc, PassStmt{});
+    if (accept(TokenKind::kKwBreak)) return make_stmt(loc, BreakStmt{});
+    if (accept(TokenKind::kKwContinue)) return make_stmt(loc, ContinueStmt{});
+    if (accept(TokenKind::kKwReturn)) {
+      ExprPtr value;
+      if (!at(TokenKind::kNewline) && !at(TokenKind::kSemicolon) &&
+          !at(TokenKind::kEndOfFile)) {
+        value = parse_testlist();
+      }
+      return make_stmt(loc, ReturnStmt{std::move(value)});
+    }
+    if (accept(TokenKind::kKwRaise)) {
+      ExprPtr value;
+      if (!at(TokenKind::kNewline) && !at(TokenKind::kSemicolon) &&
+          !at(TokenKind::kEndOfFile)) {
+        value = parse_testlist();
+      }
+      return make_stmt(loc, RaiseStmt{std::move(value)});
+    }
+    ExprPtr first = parse_testlist();
+    if (accept(TokenKind::kAssign)) {
+      ExprPtr value = parse_testlist();
+      return make_stmt(loc, AssignStmt{std::move(first), std::move(value)});
+    }
+    if (at(TokenKind::kAugAssign)) {
+      // Desugar `x += e` into `x = x + e`.
+      const Token& op_token = advance();
+      const std::string op(1, op_token.text.front());
+      ExprPtr value = parse_testlist();
+      ExprPtr combined = make_expr(
+          op_token.loc, BinaryExpr{op, first, std::move(value)});
+      return make_stmt(loc, AssignStmt{std::move(first),
+                                       std::move(combined)});
+    }
+    return make_stmt(loc, ExprStmt{std::move(first)});
+  }
+
+  StmtPtr parse_if() {
+    const SourceLoc loc = expect(TokenKind::kKwIf).loc;
+    ExprPtr condition = parse_test();
+    expect(TokenKind::kColon);
+    Block then_body = parse_suite();
+    Block else_body;
+    if (at(TokenKind::kKwElif)) {
+      // Desugar `elif` into `else: if ...` by rewriting the token in place.
+      tokens_[index_].kind = TokenKind::kKwIf;
+      else_body.push_back(parse_if());
+    } else if (accept(TokenKind::kKwElse)) {
+      expect(TokenKind::kColon);
+      else_body = parse_suite();
+    }
+    return make_stmt(loc, IfStmt{std::move(condition), std::move(then_body),
+                                 std::move(else_body)});
+  }
+
+  StmtPtr parse_while() {
+    const SourceLoc loc = expect(TokenKind::kKwWhile).loc;
+    ExprPtr condition = parse_test();
+    expect(TokenKind::kColon);
+    Block body = parse_suite();
+    return make_stmt(loc, WhileStmt{std::move(condition), std::move(body)});
+  }
+
+  StmtPtr parse_for() {
+    const SourceLoc loc = expect(TokenKind::kKwFor).loc;
+    const std::string target = expect(TokenKind::kName).text;
+    expect(TokenKind::kKwIn);
+    ExprPtr iterable = parse_testlist();
+    expect(TokenKind::kColon);
+    Block body = parse_suite();
+    return make_stmt(loc,
+                     ForStmt{target, std::move(iterable), std::move(body)});
+  }
+
+  StmtPtr parse_match() {
+    const SourceLoc loc = expect(TokenKind::kKwMatch).loc;
+    ExprPtr subject = parse_testlist();
+    expect(TokenKind::kColon);
+    expect(TokenKind::kNewline);
+    expect(TokenKind::kIndent);
+    std::vector<MatchCase> cases;
+    while (!accept(TokenKind::kDedent)) {
+      if (accept(TokenKind::kNewline)) continue;
+      MatchCase match_case;
+      match_case.loc = expect(TokenKind::kKwCase).loc;
+      if (at(TokenKind::kName) && peek().text == "_") {
+        advance();  // wildcard; pattern stays null
+      } else {
+        match_case.pattern = parse_test();
+      }
+      expect(TokenKind::kColon);
+      match_case.body = parse_suite();
+      cases.push_back(std::move(match_case));
+    }
+    if (cases.empty()) {
+      throw ParseError(loc, "match statement requires at least one case");
+    }
+    return make_stmt(loc, MatchStmt{std::move(subject), std::move(cases)});
+  }
+
+  // -- Expressions -----------------------------------------------------------
+
+  // testlist := test (',' test)*  -- two or more become a tuple
+  ExprPtr parse_testlist() {
+    const SourceLoc loc = peek().loc;
+    ExprPtr first = parse_test();
+    if (!at(TokenKind::kComma)) return first;
+    TupleExpr tuple;
+    tuple.elements.push_back(std::move(first));
+    while (accept(TokenKind::kComma)) {
+      if (at(TokenKind::kNewline) || at(TokenKind::kRParen) ||
+          at(TokenKind::kRBracket) || at(TokenKind::kColon) ||
+          at(TokenKind::kEndOfFile)) {
+        break;  // trailing comma
+      }
+      tuple.elements.push_back(parse_test());
+    }
+    return make_expr(loc, std::move(tuple));
+  }
+
+  ExprPtr parse_test() { return parse_or(); }
+
+  ExprPtr parse_or() {
+    ExprPtr left = parse_and();
+    while (at(TokenKind::kKwOr)) {
+      const SourceLoc loc = advance().loc;
+      left = make_expr(loc, BinaryExpr{"or", std::move(left), parse_and()});
+    }
+    return left;
+  }
+
+  ExprPtr parse_and() {
+    ExprPtr left = parse_not();
+    while (at(TokenKind::kKwAnd)) {
+      const SourceLoc loc = advance().loc;
+      left = make_expr(loc, BinaryExpr{"and", std::move(left), parse_not()});
+    }
+    return left;
+  }
+
+  ExprPtr parse_not() {
+    if (at(TokenKind::kKwNot)) {
+      const SourceLoc loc = advance().loc;
+      return make_expr(loc, UnaryExpr{"not", parse_not()});
+    }
+    return parse_comparison();
+  }
+
+  ExprPtr parse_comparison() {
+    ExprPtr left = parse_arith();
+    while (true) {
+      std::string op;
+      switch (peek().kind) {
+        case TokenKind::kEq: op = "=="; break;
+        case TokenKind::kNe: op = "!="; break;
+        case TokenKind::kLt: op = "<"; break;
+        case TokenKind::kGt: op = ">"; break;
+        case TokenKind::kLe: op = "<="; break;
+        case TokenKind::kGe: op = ">="; break;
+        case TokenKind::kKwIn: op = "in"; break;
+        default: return left;
+      }
+      const SourceLoc loc = advance().loc;
+      left = make_expr(loc, BinaryExpr{op, std::move(left), parse_arith()});
+    }
+  }
+
+  ExprPtr parse_arith() {
+    ExprPtr left = parse_term();
+    while (at(TokenKind::kPlus) || at(TokenKind::kMinus)) {
+      const std::string op = peek().kind == TokenKind::kPlus ? "+" : "-";
+      const SourceLoc loc = advance().loc;
+      left = make_expr(loc, BinaryExpr{op, std::move(left), parse_term()});
+    }
+    return left;
+  }
+
+  ExprPtr parse_term() {
+    ExprPtr left = parse_factor();
+    while (at(TokenKind::kStarOp) || at(TokenKind::kSlash) ||
+           at(TokenKind::kPercent)) {
+      std::string op = "*";
+      if (peek().kind == TokenKind::kSlash) op = "/";
+      if (peek().kind == TokenKind::kPercent) op = "%";
+      const SourceLoc loc = advance().loc;
+      left = make_expr(loc, BinaryExpr{op, std::move(left), parse_factor()});
+    }
+    return left;
+  }
+
+  ExprPtr parse_factor() {
+    if (at(TokenKind::kMinus) || at(TokenKind::kPlus)) {
+      const std::string op = peek().kind == TokenKind::kMinus ? "-" : "+";
+      const SourceLoc loc = advance().loc;
+      return make_expr(loc, UnaryExpr{op, parse_factor()});
+    }
+    return parse_postfix();
+  }
+
+  ExprPtr parse_postfix() {
+    ExprPtr expr = parse_atom();
+    while (true) {
+      if (at(TokenKind::kDot)) {
+        const SourceLoc loc = advance().loc;
+        const std::string attr = expect(TokenKind::kName).text;
+        expr = make_expr(loc, AttributeExpr{std::move(expr), attr});
+      } else if (at(TokenKind::kLParen)) {
+        const SourceLoc loc = advance().loc;
+        std::vector<ExprPtr> args;
+        if (!at(TokenKind::kRParen)) {
+          args.push_back(parse_test());
+          while (accept(TokenKind::kComma)) {
+            if (at(TokenKind::kRParen)) break;
+            args.push_back(parse_test());
+          }
+        }
+        expect(TokenKind::kRParen);
+        expr = make_expr(loc, CallExpr{std::move(expr), std::move(args)});
+      } else if (at(TokenKind::kLBracket)) {
+        const SourceLoc loc = advance().loc;
+        ExprPtr index = parse_test();
+        expect(TokenKind::kRBracket);
+        expr =
+            make_expr(loc, SubscriptExpr{std::move(expr), std::move(index)});
+      } else {
+        return expr;
+      }
+    }
+  }
+
+  ExprPtr parse_atom() {
+    const Token& token = peek();
+    switch (token.kind) {
+      case TokenKind::kName: {
+        advance();
+        return make_expr(token.loc, NameExpr{token.text});
+      }
+      case TokenKind::kNumber: {
+        advance();
+        return make_expr(token.loc, NumberExpr{token.text});
+      }
+      case TokenKind::kString: {
+        advance();
+        return make_expr(token.loc, StringExpr{token.text});
+      }
+      case TokenKind::kKwTrue:
+        advance();
+        return make_expr(token.loc, BoolExpr{true});
+      case TokenKind::kKwFalse:
+        advance();
+        return make_expr(token.loc, BoolExpr{false});
+      case TokenKind::kKwNone:
+        advance();
+        return make_expr(token.loc, NoneExpr{});
+      case TokenKind::kLParen: {
+        advance();
+        if (accept(TokenKind::kRParen)) {
+          return make_expr(token.loc, TupleExpr{});
+        }
+        ExprPtr inner = parse_testlist();
+        expect(TokenKind::kRParen);
+        return inner;
+      }
+      case TokenKind::kLBracket: {
+        advance();
+        ListExpr list;
+        if (!at(TokenKind::kRBracket)) {
+          list.elements.push_back(parse_test());
+          while (accept(TokenKind::kComma)) {
+            if (at(TokenKind::kRBracket)) break;
+            list.elements.push_back(parse_test());
+          }
+        }
+        expect(TokenKind::kRBracket);
+        return make_expr(token.loc, std::move(list));
+      }
+      default:
+        throw ParseError(token.loc,
+                         "expected an expression, found " +
+                             std::string(to_string(token.kind)));
+    }
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t index_ = 0;
+};
+
+}  // namespace
+
+Module parse_module(std::string_view source) {
+  return Parser(lex(source)).parse_module();
+}
+
+ExprPtr parse_expression(std::string_view source) {
+  return Parser(lex(source)).parse_single_expression();
+}
+
+}  // namespace shelley::upy

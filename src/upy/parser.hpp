@@ -1,0 +1,23 @@
+// Recursive-descent parser for the MicroPython subset.
+//
+// Accepted shape: a module is a sequence of (possibly decorated) class
+// definitions; each class contains decorated method definitions; method
+// bodies use the statements of §2 (expression statements, assignments,
+// return, pass, if/elif/else, while, for, match/case) in both block and
+// one-line-suite form.  `import`/`from` lines are skipped.  Throws
+// ParseError with a source location on malformed input.
+#pragma once
+
+#include <string_view>
+
+#include "support/diagnostics.hpp"
+#include "upy/ast.hpp"
+
+namespace shelley::upy {
+
+[[nodiscard]] Module parse_module(std::string_view source);
+
+/// Parses a single expression (used by tests and the claim parser).
+[[nodiscard]] ExprPtr parse_expression(std::string_view source);
+
+}  // namespace shelley::upy

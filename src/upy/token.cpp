@@ -1,0 +1,64 @@
+#include "upy/token.hpp"
+
+namespace shelley::upy {
+
+std::string_view to_string(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kNewline: return "NEWLINE";
+    case TokenKind::kIndent: return "INDENT";
+    case TokenKind::kDedent: return "DEDENT";
+    case TokenKind::kEndOfFile: return "EOF";
+    case TokenKind::kName: return "NAME";
+    case TokenKind::kNumber: return "NUMBER";
+    case TokenKind::kString: return "STRING";
+    case TokenKind::kKwClass: return "'class'";
+    case TokenKind::kKwDef: return "'def'";
+    case TokenKind::kKwReturn: return "'return'";
+    case TokenKind::kKwIf: return "'if'";
+    case TokenKind::kKwElif: return "'elif'";
+    case TokenKind::kKwElse: return "'else'";
+    case TokenKind::kKwWhile: return "'while'";
+    case TokenKind::kKwFor: return "'for'";
+    case TokenKind::kKwIn: return "'in'";
+    case TokenKind::kKwMatch: return "'match'";
+    case TokenKind::kKwCase: return "'case'";
+    case TokenKind::kKwPass: return "'pass'";
+    case TokenKind::kKwTrue: return "'True'";
+    case TokenKind::kKwFalse: return "'False'";
+    case TokenKind::kKwNone: return "'None'";
+    case TokenKind::kKwAnd: return "'and'";
+    case TokenKind::kKwOr: return "'or'";
+    case TokenKind::kKwNot: return "'not'";
+    case TokenKind::kKwBreak: return "'break'";
+    case TokenKind::kKwContinue: return "'continue'";
+    case TokenKind::kKwTry: return "'try'";
+    case TokenKind::kKwExcept: return "'except'";
+    case TokenKind::kKwFinally: return "'finally'";
+    case TokenKind::kKwRaise: return "'raise'";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kLBracket: return "'['";
+    case TokenKind::kRBracket: return "']'";
+    case TokenKind::kColon: return "':'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kDot: return "'.'";
+    case TokenKind::kAt: return "'@'";
+    case TokenKind::kAssign: return "'='";
+    case TokenKind::kEq: return "'=='";
+    case TokenKind::kNe: return "'!='";
+    case TokenKind::kLt: return "'<'";
+    case TokenKind::kGt: return "'>'";
+    case TokenKind::kLe: return "'<='";
+    case TokenKind::kGe: return "'>='";
+    case TokenKind::kPlus: return "'+'";
+    case TokenKind::kMinus: return "'-'";
+    case TokenKind::kStarOp: return "'*'";
+    case TokenKind::kSlash: return "'/'";
+    case TokenKind::kPercent: return "'%'";
+    case TokenKind::kSemicolon: return "';'";
+    case TokenKind::kAugAssign: return "augmented assignment";
+  }
+  return "?";
+}
+
+}  // namespace shelley::upy

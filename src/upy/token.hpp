@@ -1,0 +1,80 @@
+// Token model for the MicroPython subset Shelley analyzes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "support/source_location.hpp"
+
+namespace shelley::upy {
+
+enum class TokenKind : std::uint8_t {
+  // Layout
+  kNewline,
+  kIndent,
+  kDedent,
+  kEndOfFile,
+  // Literals & names
+  kName,
+  kNumber,
+  kString,
+  // Keywords
+  kKwClass,
+  kKwDef,
+  kKwReturn,
+  kKwIf,
+  kKwElif,
+  kKwElse,
+  kKwWhile,
+  kKwFor,
+  kKwIn,
+  kKwMatch,
+  kKwCase,
+  kKwPass,
+  kKwTrue,
+  kKwFalse,
+  kKwNone,
+  kKwAnd,
+  kKwOr,
+  kKwNot,
+  kKwBreak,
+  kKwContinue,
+  kKwTry,
+  kKwExcept,
+  kKwFinally,
+  kKwRaise,
+  // Punctuation / operators
+  kLParen,
+  kRParen,
+  kLBracket,
+  kRBracket,
+  kColon,
+  kComma,
+  kDot,
+  kAt,
+  kAssign,
+  kEq,
+  kNe,
+  kLt,
+  kGt,
+  kLe,
+  kGe,
+  kPlus,
+  kMinus,
+  kStarOp,
+  kSlash,
+  kPercent,
+  kSemicolon,
+  kAugAssign,  // += -= *= /= %= ; spelling in Token::text
+};
+
+[[nodiscard]] std::string_view to_string(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEndOfFile;
+  std::string text;  // raw spelling; for kString, the *unquoted* contents
+  SourceLoc loc;
+};
+
+}  // namespace shelley::upy

@@ -1,0 +1,154 @@
+#include "viz/dot.hpp"
+
+#include <set>
+
+#include "support/strings.hpp"
+
+namespace shelley::viz {
+namespace {
+
+std::string quoted(std::string_view text) {
+  return "\"" + escape_quotes(text) + "\"";
+}
+
+}  // namespace
+
+std::string dot_class_diagram(const core::ClassSpec& spec) {
+  std::string out = "digraph " + spec.name + " {\n";
+  out += "  rankdir=LR;\n";
+  out += "  node [shape=circle, fontname=\"Helvetica\"];\n";
+  out += "  __start [shape=point];\n";
+
+  for (const core::Operation& op : spec.operations) {
+    std::string attrs = "shape=" +
+                        std::string(op.final ? "doublecircle" : "circle");
+    out += "  " + quoted(op.name) + " [" + attrs + "];\n";
+  }
+  for (const core::Operation& op : spec.operations) {
+    if (op.initial) {
+      out += "  __start -> " + quoted(op.name) + ";\n";
+    }
+  }
+  // One edge per (operation, successor) pair; exits sharing successors are
+  // merged for readability, like the paper's Figure 1.
+  for (const core::Operation& op : spec.operations) {
+    std::set<std::string> successors;
+    for (const core::ExitPoint& exit : op.exits) {
+      for (const std::string& successor : exit.successors) {
+        successors.insert(successor);
+      }
+    }
+    for (const std::string& successor : successors) {
+      out += "  " + quoted(op.name) + " -> " + quoted(successor) + ";\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string dot_dependency_graph(const core::ClassSpec& spec,
+                                 const core::DependencyGraph& graph) {
+  std::string out = "digraph " + spec.name + "_model {\n";
+  out += "  rankdir=LR;\n";
+  out += "  fontname=\"Helvetica\";\n";
+  const auto& nodes = graph.nodes();
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const core::DependencyNode& node = nodes[i];
+    if (node.type == core::DependencyNode::Type::kEntry) {
+      out += "  n" + std::to_string(i) + " [label=" + quoted(node.operation) +
+             ", shape=box];\n";
+    } else {
+      const core::Operation* op = spec.find_operation(node.operation);
+      std::string label = "exit " + std::to_string(node.exit_id);
+      if (op != nullptr && node.exit_id < op->exits.size()) {
+        std::vector<std::string> succ;
+        for (const std::string& s : op->exits[node.exit_id].successors) {
+          succ.push_back(s);
+        }
+        label = "return [" + join(succ, ", ") + "]";
+      }
+      out += "  n" + std::to_string(i) + " [label=" + quoted(label) +
+             ", shape=ellipse, style=dashed];\n";
+    }
+  }
+  for (const core::DependencyEdge& edge : graph.edges()) {
+    out += "  n" + std::to_string(edge.from) + " -> n" +
+           std::to_string(edge.to) + ";\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string dot_system_model(const core::SystemModel& model,
+                             const SymbolTable& table,
+                             const Word& highlight) {
+  std::set<Symbol> highlighted(highlight.begin(), highlight.end());
+  std::string out = "digraph system {\n";
+  out += "  rankdir=LR;\n";
+  out += "  node [shape=circle, fontname=\"Helvetica\"];\n";
+  const fsm::Nfa& nfa = model.nfa;
+  for (fsm::StateId s = 0; s < nfa.state_count(); ++s) {
+    std::string attrs;
+    if (nfa.is_accepting(s)) attrs = " [shape=doublecircle]";
+    out += "  s" + std::to_string(s) + attrs + ";\n";
+  }
+  for (fsm::StateId s : nfa.initial_states()) {
+    out += "  __start [shape=point];\n";
+    out += "  __start -> s" + std::to_string(s) + ";\n";
+  }
+  for (const fsm::Transition& t : nfa.transitions()) {
+    std::string label = t.is_epsilon() ? "ε" : table.name(t.symbol);
+    std::string attrs = "label=" + quoted(label);
+    if (!t.is_epsilon() && highlighted.contains(t.symbol)) {
+      attrs += ", color=red, penwidth=2";
+    }
+    out += "  s" + std::to_string(t.from) + " -> s" + std::to_string(t.to) +
+           " [" + attrs + "];\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string dot_nfa(const fsm::Nfa& nfa, const SymbolTable& table,
+                    std::string_view name) {
+  std::string out = "digraph " + std::string(name) + " {\n  rankdir=LR;\n";
+  for (fsm::StateId s = 0; s < nfa.state_count(); ++s) {
+    out += "  s" + std::to_string(s) +
+           (nfa.is_accepting(s) ? " [shape=doublecircle];\n"
+                                : " [shape=circle];\n");
+  }
+  out += "  __start [shape=point];\n";
+  for (fsm::StateId s : nfa.initial_states()) {
+    out += "  __start -> s" + std::to_string(s) + ";\n";
+  }
+  for (const fsm::Transition& t : nfa.transitions()) {
+    out += "  s" + std::to_string(t.from) + " -> s" + std::to_string(t.to) +
+           " [label=" +
+           quoted(t.is_epsilon() ? "ε" : table.name(t.symbol)) + "];\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string dot_dfa(const fsm::Dfa& dfa, const SymbolTable& table,
+                    std::string_view name) {
+  std::string out = "digraph " + std::string(name) + " {\n  rankdir=LR;\n";
+  for (fsm::StateId s = 0; s < dfa.state_count(); ++s) {
+    out += "  s" + std::to_string(s) +
+           (dfa.is_accepting(s) ? " [shape=doublecircle];\n"
+                                : " [shape=circle];\n");
+  }
+  out += "  __start [shape=point];\n";
+  out += "  __start -> s" + std::to_string(dfa.initial()) + ";\n";
+  for (fsm::StateId s = 0; s < dfa.state_count(); ++s) {
+    for (std::size_t letter = 0; letter < dfa.alphabet().size(); ++letter) {
+      out += "  s" + std::to_string(s) + " -> s" +
+             std::to_string(dfa.transition(s, letter)) + " [label=" +
+             quoted(table.name(dfa.alphabet()[letter])) + "];\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace shelley::viz

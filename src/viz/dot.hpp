@@ -1,0 +1,40 @@
+// Graphviz/DOT emitters -- the visualization tool of §2 ("Shelley includes a
+// visualization tool that automatically generates behavior diagrams based on
+// the code annotations and based on the control flow").
+//
+//   * dot_class_diagram      -- Figure 1: operations as nodes, successor
+//                               constraints as edges, initial/final marks.
+//   * dot_dependency_graph   -- Figure 3: entry/exit nodes and arcs (§3.1).
+//   * dot_system_model       -- Figure 2: the composite system automaton,
+//                               optionally highlighting a counterexample.
+//   * dot_nfa / dot_dfa      -- raw automata dumps for debugging.
+#pragma once
+
+#include <string>
+
+#include "fsm/dfa.hpp"
+#include "fsm/nfa.hpp"
+#include "shelley/automata.hpp"
+#include "shelley/graph.hpp"
+#include "shelley/spec.hpp"
+
+namespace shelley::viz {
+
+[[nodiscard]] std::string dot_class_diagram(const core::ClassSpec& spec);
+
+[[nodiscard]] std::string dot_dependency_graph(
+    const core::ClassSpec& spec, const core::DependencyGraph& graph);
+
+[[nodiscard]] std::string dot_system_model(const core::SystemModel& model,
+                                           const SymbolTable& table,
+                                           const Word& highlight = {});
+
+[[nodiscard]] std::string dot_nfa(const fsm::Nfa& nfa,
+                                  const SymbolTable& table,
+                                  std::string_view name = "nfa");
+
+[[nodiscard]] std::string dot_dfa(const fsm::Dfa& dfa,
+                                  const SymbolTable& table,
+                                  std::string_view name = "dfa");
+
+}  // namespace shelley::viz

@@ -1,0 +1,97 @@
+// Boolean-algebra laws of the DFA operations, checked on a corpus of
+// regular languages: De Morgan, double complement, distributivity,
+// inclusion antisymmetry, and consistency between product modes.
+#include <gtest/gtest.h>
+
+#include "fsm/ops.hpp"
+#include "fsm/thompson.hpp"
+#include "rex/parser.hpp"
+
+namespace shelley::fsm {
+namespace {
+
+struct LanguagePair {
+  const char* lhs;
+  const char* rhs;
+};
+
+class AlgebraTest : public ::testing::TestWithParam<LanguagePair> {
+ protected:
+  void SetUp() override {
+    // Build both machines over the *joint* alphabet so products are legal.
+    const rex::Regex left = rex::parse(GetParam().lhs, table_);
+    const rex::Regex right = rex::parse(GetParam().rhs, table_);
+    std::set<Symbol> sigma = rex::alphabet(left);
+    const auto rhs_sigma = rex::alphabet(right);
+    sigma.insert(rhs_sigma.begin(), rhs_sigma.end());
+    sigma.insert(table_.intern("z"));  // a letter outside both languages
+    const std::vector<Symbol> alphabet(sigma.begin(), sigma.end());
+    a_ = determinize(from_regex(left), alphabet);
+    b_ = determinize(from_regex(right), alphabet);
+  }
+
+  SymbolTable table_;
+  std::optional<Dfa> a_;
+  std::optional<Dfa> b_;
+};
+
+TEST_P(AlgebraTest, DoubleComplement) {
+  EXPECT_TRUE(equivalent(complement(complement(*a_)), *a_));
+}
+
+TEST_P(AlgebraTest, DeMorgan) {
+  // !(A ∪ B) = !A ∩ !B
+  const Dfa lhs = complement(product(*a_, *b_, ProductMode::kUnion));
+  const Dfa rhs =
+      product(complement(*a_), complement(*b_), ProductMode::kIntersection);
+  EXPECT_TRUE(equivalent(lhs, rhs));
+}
+
+TEST_P(AlgebraTest, DifferenceAsIntersectionWithComplement) {
+  const Dfa diff = product(*a_, *b_, ProductMode::kDifference);
+  const Dfa via_complement =
+      product(*a_, complement(*b_), ProductMode::kIntersection);
+  EXPECT_TRUE(equivalent(diff, via_complement));
+}
+
+TEST_P(AlgebraTest, UnionAbsorbsIntersection) {
+  // A ∪ (A ∩ B) = A
+  const Dfa inter = product(*a_, *b_, ProductMode::kIntersection);
+  const Dfa absorbed = product(*a_, inter, ProductMode::kUnion);
+  EXPECT_TRUE(equivalent(absorbed, *a_));
+}
+
+TEST_P(AlgebraTest, InclusionAntisymmetry) {
+  if (included(*a_, *b_) && included(*b_, *a_)) {
+    EXPECT_TRUE(equivalent(*a_, *b_));
+  }
+  // A ∩ B ⊆ A ⊆ A ∪ B  always.
+  const Dfa inter = product(*a_, *b_, ProductMode::kIntersection);
+  const Dfa uni = product(*a_, *b_, ProductMode::kUnion);
+  EXPECT_TRUE(included(inter, *a_));
+  EXPECT_TRUE(included(*a_, uni));
+}
+
+TEST_P(AlgebraTest, EmptinessOfDifferenceMatchesInclusion) {
+  EXPECT_EQ(is_empty(product(*a_, *b_, ProductMode::kDifference)),
+            included(*a_, *b_));
+}
+
+TEST_P(AlgebraTest, MinimizationCommutesWithComplement) {
+  // minimize(!A) and !minimize(A) recognize the same language.
+  EXPECT_TRUE(
+      equivalent(minimize(complement(*a_)), complement(minimize(*a_))));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, AlgebraTest,
+    ::testing::Values(LanguagePair{"a b", "a (b + c)"},
+                      LanguagePair{"(a + b)*", "a*"},
+                      LanguagePair{"(a b)* c", "a b c"},
+                      LanguagePair{"a* b", "b + a b"},
+                      LanguagePair{"eps", "a*"},
+                      LanguagePair{"void", "a"},
+                      LanguagePair{"(a + b)* a", "(a + b)* b"}));
+
+}  // namespace
+}  // namespace shelley::fsm

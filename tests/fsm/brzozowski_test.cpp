@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include "fsm/ops.hpp"
+#include "fsm/thompson.hpp"
+#include "rex/derivative.hpp"
+#include "rex/parser.hpp"
+
+namespace shelley::fsm {
+namespace {
+
+class BrzozowskiTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(BrzozowskiTest, AgreesWithMooreMinimization) {
+  SymbolTable table;
+  const rex::Regex r = rex::parse(GetParam(), table);
+  const Dfa dfa = determinize(from_regex(r));
+  const Dfa moore = minimize(dfa);
+  const Dfa brzozowski = minimize_brzozowski(dfa);
+  // Both are minimal for the same language: equal language, and the
+  // Brzozowski result (restricted to reachable states) has the same count.
+  EXPECT_TRUE(equivalent(moore, brzozowski)) << GetParam();
+  EXPECT_EQ(reachable_count(moore), reachable_count(brzozowski))
+      << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, BrzozowskiTest,
+    ::testing::Values("a", "a b", "(a b)* c", "a* b*", "(a + b)* a b",
+                      "(a a a)*", "a (b + eps)", "((a + b) c)*",
+                      "(a + b)* a (a + b)"));
+
+TEST(Reverse, ReversesLanguage) {
+  SymbolTable table;
+  const Symbol a = table.intern("a");
+  const Symbol b = table.intern("b");
+  const Symbol c = table.intern("c");
+  const Nfa nfa = from_regex(rex::parse("a b c", table));
+  const Nfa reversed = reverse(nfa);
+  EXPECT_TRUE(reversed.accepts({c, b, a}));
+  EXPECT_FALSE(reversed.accepts({a, b, c}));
+}
+
+TEST(Reverse, InvolutionPreservesLanguage) {
+  SymbolTable table;
+  const rex::Regex r = rex::parse("(a + b)* a b", table);
+  const Nfa nfa = from_regex(r);
+  const Nfa twice = reverse(reverse(nfa));
+  for (const Word& w : rex::enumerate_language(r, 5)) {
+    EXPECT_TRUE(twice.accepts(w));
+  }
+}
+
+TEST(Reverse, EmptyWordHandling) {
+  SymbolTable table;
+  const Nfa nfa = from_regex(rex::parse("a*", table));
+  EXPECT_TRUE(reverse(nfa).accepts({}));
+}
+
+}  // namespace
+}  // namespace shelley::fsm

@@ -1,0 +1,133 @@
+#include "fsm/nfa.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testing.hpp"
+
+namespace shelley::fsm {
+namespace {
+
+class NfaTest : public ::testing::Test {
+ protected:
+  SymbolTable table_;
+  Symbol a_ = table_.intern("a");
+  Symbol b_ = table_.intern("b");
+};
+
+TEST_F(NfaTest, AddStatesReturnsSequentialIds) {
+  Nfa nfa;
+  EXPECT_EQ(nfa.add_state(), 0u);
+  EXPECT_EQ(nfa.add_state(), 1u);
+  EXPECT_EQ(nfa.add_states(3), 2u);
+  EXPECT_EQ(nfa.state_count(), 5u);
+}
+
+TEST_F(NfaTest, TransitionBoundsChecked) {
+  Nfa nfa;
+  nfa.add_state();
+  EXPECT_THROW(nfa.add_transition(0, a_, 7), std::out_of_range);
+  EXPECT_THROW(nfa.add_transition(7, a_, 0), std::out_of_range);
+  EXPECT_THROW(nfa.mark_initial(9), std::out_of_range);
+  EXPECT_THROW(nfa.mark_accepting(9), std::out_of_range);
+}
+
+TEST_F(NfaTest, AcceptsSimpleChain) {
+  Nfa nfa;
+  const StateId s0 = nfa.add_state();
+  const StateId s1 = nfa.add_state();
+  const StateId s2 = nfa.add_state();
+  nfa.add_transition(s0, a_, s1);
+  nfa.add_transition(s1, b_, s2);
+  nfa.mark_initial(s0);
+  nfa.mark_accepting(s2);
+  EXPECT_TRUE(nfa.accepts({a_, b_}));
+  EXPECT_FALSE(nfa.accepts({a_}));
+  EXPECT_FALSE(nfa.accepts({b_, a_}));
+  EXPECT_FALSE(nfa.accepts({}));
+}
+
+TEST_F(NfaTest, EpsilonClosureIsTransitive) {
+  Nfa nfa;
+  nfa.add_states(4);
+  nfa.add_epsilon(0, 1);
+  nfa.add_epsilon(1, 2);
+  nfa.add_transition(2, a_, 3);
+  const auto closure = nfa.epsilon_closure({0});
+  EXPECT_EQ(closure, (std::set<StateId>{0, 1, 2}));
+}
+
+TEST_F(NfaTest, EpsilonClosureHandlesCycles) {
+  Nfa nfa;
+  nfa.add_states(2);
+  nfa.add_epsilon(0, 1);
+  nfa.add_epsilon(1, 0);
+  EXPECT_EQ(nfa.epsilon_closure({0}), (std::set<StateId>{0, 1}));
+}
+
+TEST_F(NfaTest, AcceptanceThroughEpsilon) {
+  Nfa nfa;
+  nfa.add_states(3);
+  nfa.mark_initial(0);
+  nfa.add_epsilon(0, 1);
+  nfa.add_transition(1, a_, 2);
+  nfa.mark_accepting(2);
+  EXPECT_TRUE(nfa.accepts({a_}));
+  EXPECT_FALSE(nfa.accepts({}));
+  nfa.mark_accepting(1);  // now ε-reachable accepting
+  EXPECT_TRUE(nfa.accepts({}));
+}
+
+TEST_F(NfaTest, NondeterministicBranching) {
+  Nfa nfa;
+  nfa.add_states(3);
+  nfa.mark_initial(0);
+  nfa.add_transition(0, a_, 1);
+  nfa.add_transition(0, a_, 2);
+  nfa.add_transition(1, a_, 1);
+  nfa.add_transition(2, b_, 2);
+  nfa.mark_accepting(1);
+  nfa.mark_accepting(2);
+  EXPECT_TRUE(nfa.accepts({a_, a_, a_}));
+  EXPECT_TRUE(nfa.accepts({a_, b_, b_}));
+  EXPECT_FALSE(nfa.accepts({a_, a_, b_}));
+}
+
+TEST_F(NfaTest, AlphabetExcludesEpsilon) {
+  Nfa nfa;
+  nfa.add_states(2);
+  nfa.add_transition(0, a_, 1);
+  nfa.add_epsilon(0, 1);
+  const auto sigma = nfa.alphabet();
+  EXPECT_EQ(sigma.size(), 1u);
+  EXPECT_TRUE(sigma.contains(a_));
+}
+
+TEST_F(NfaTest, ImportStatesOffsetsEverything) {
+  Nfa lhs;
+  lhs.add_states(2);
+  lhs.add_transition(0, a_, 1);
+  lhs.mark_initial(0);
+  lhs.mark_accepting(1);
+
+  Nfa rhs;
+  rhs.add_states(2);
+  rhs.add_transition(0, b_, 1);
+  rhs.mark_initial(0);
+  rhs.mark_accepting(1);
+
+  const StateId offset = lhs.import_states(rhs);
+  EXPECT_EQ(offset, 2u);
+  EXPECT_EQ(lhs.state_count(), 4u);
+  // Imported initial/accepting markings are NOT carried over.
+  EXPECT_EQ(lhs.initial_states().size(), 1u);
+  EXPECT_EQ(lhs.accepting_states().size(), 1u);
+  // But transitions are, shifted by the offset.
+  bool found = false;
+  for (const Transition& t : lhs.transitions()) {
+    if (t.from == offset && t.to == offset + 1 && t.symbol == b_) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace shelley::fsm

@@ -1,0 +1,117 @@
+#include "fsm/thompson.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "fsm/ops.hpp"
+#include "rex/derivative.hpp"
+#include "rex/parser.hpp"
+
+namespace shelley::fsm {
+namespace {
+
+class ThompsonTest : public ::testing::Test {
+ protected:
+  rex::Regex parse_(const char* text) { return rex::parse(text, table_); }
+  Word word_(std::initializer_list<const char*> names) {
+    Word out;
+    for (const char* name : names) out.push_back(table_.intern(name));
+    return out;
+  }
+  SymbolTable table_;
+};
+
+TEST_F(ThompsonTest, EmptyLanguageAcceptsNothing) {
+  const Nfa nfa = from_regex(rex::empty());
+  EXPECT_FALSE(nfa.accepts({}));
+  EXPECT_FALSE(nfa.accepts(word_({"a"})));
+}
+
+TEST_F(ThompsonTest, EpsilonAcceptsOnlyEmptyWord) {
+  const Nfa nfa = from_regex(rex::epsilon());
+  EXPECT_TRUE(nfa.accepts({}));
+  EXPECT_FALSE(nfa.accepts(word_({"a"})));
+}
+
+TEST_F(ThompsonTest, SymbolAcceptsExactlyThatSymbol) {
+  const Nfa nfa = from_regex(parse_("a"));
+  EXPECT_TRUE(nfa.accepts(word_({"a"})));
+  EXPECT_FALSE(nfa.accepts({}));
+  EXPECT_FALSE(nfa.accepts(word_({"b"})));
+  EXPECT_FALSE(nfa.accepts(word_({"a", "a"})));
+}
+
+TEST_F(ThompsonTest, ConcatUnionStar) {
+  const Nfa concat = from_regex(parse_("a b"));
+  EXPECT_TRUE(concat.accepts(word_({"a", "b"})));
+  EXPECT_FALSE(concat.accepts(word_({"a"})));
+
+  const Nfa alt = from_regex(parse_("a + b"));
+  EXPECT_TRUE(alt.accepts(word_({"a"})));
+  EXPECT_TRUE(alt.accepts(word_({"b"})));
+  EXPECT_FALSE(alt.accepts(word_({"a", "b"})));
+
+  const Nfa star = from_regex(parse_("a*"));
+  EXPECT_TRUE(star.accepts({}));
+  EXPECT_TRUE(star.accepts(word_({"a", "a", "a"})));
+  EXPECT_FALSE(star.accepts(word_({"b"})));
+}
+
+TEST_F(ThompsonTest, Example3RegexFromPaper) {
+  // ((a · ((b · ∅) + c))*  +  (a · ((b · ∅) + c))* · a · b  -- the full
+  // infer() output of Example 3; traces: (a c)^n  and  (a c)^n a b.
+  const Nfa nfa =
+      from_regex(parse_("(a (b void + c))* + (a (b void + c))* a b"));
+  EXPECT_TRUE(nfa.accepts({}));
+  EXPECT_TRUE(nfa.accepts(word_({"a", "c"})));
+  EXPECT_TRUE(nfa.accepts(word_({"a", "c", "a", "c"})));
+  EXPECT_TRUE(nfa.accepts(word_({"a", "b"})));
+  EXPECT_TRUE(nfa.accepts(word_({"a", "c", "a", "b"})));
+  EXPECT_FALSE(nfa.accepts(word_({"a"})));
+  EXPECT_FALSE(nfa.accepts(word_({"a", "b", "a", "c"})));
+  EXPECT_FALSE(nfa.accepts(word_({"b"})));
+}
+
+// Property: NFA membership agrees with derivative membership on every word
+// up to length 4 over the regex's alphabet, for a corpus of regexes.
+class ThompsonAgreement : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ThompsonAgreement, NfaMatchesDerivativeOracle) {
+  SymbolTable table;
+  const rex::Regex r = rex::parse(GetParam(), table);
+  const Nfa nfa = from_regex(r);
+
+  const std::set<Symbol> sigma_set = rex::alphabet(r);
+  const std::vector<Symbol> sigma(sigma_set.begin(), sigma_set.end());
+  // Enumerate all words of length <= 4.
+  std::vector<Word> words{{}};
+  for (int len = 0; len < 4; ++len) {
+    const std::size_t start = words.size();
+    std::vector<Word> next;
+    for (const Word& w : words) {
+      if (w.size() != static_cast<std::size_t>(len)) continue;
+      for (Symbol s : sigma) {
+        Word extended = w;
+        extended.push_back(s);
+        next.push_back(std::move(extended));
+      }
+    }
+    words.insert(words.end(), next.begin(), next.end());
+    (void)start;
+  }
+  for (const Word& w : words) {
+    EXPECT_EQ(nfa.accepts(w), rex::matches(r, w))
+        << GetParam() << " on word of length " << w.size();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, ThompsonAgreement,
+    ::testing::Values("a", "a b", "a + b", "a*", "(a b)*", "a* b*",
+                      "(a + b)* a", "a (b + eps)", "void", "eps",
+                      "(a (b void + c))*", "a b + a c", "((a + b) (a + b))*",
+                      "a* + b*", "(a* b)* a*"));
+
+}  // namespace
+}  // namespace shelley::fsm

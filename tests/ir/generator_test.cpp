@@ -1,0 +1,94 @@
+#include "ir/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ir/semantics.hpp"
+
+namespace shelley::ir {
+namespace {
+
+TEST(Generator, DeterministicUnderSeed) {
+  SymbolTable table_a;
+  SymbolTable table_b;
+  GeneratorOptions options;
+  ProgramGenerator first(123, options, table_a);
+  ProgramGenerator second(123, options, table_b);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(structurally_equal(first.next(), second.next()));
+  }
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  SymbolTable table;
+  GeneratorOptions options;
+  ProgramGenerator first(1, options, table);
+  ProgramGenerator second(2, options, table);
+  bool any_difference = false;
+  for (int i = 0; i < 20 && !any_difference; ++i) {
+    any_difference = !structurally_equal(first.next(), second.next());
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Generator, RespectsDepthBound) {
+  SymbolTable table;
+  GeneratorOptions options;
+  options.max_depth = 3;
+  ProgramGenerator generator(7, options, table);
+  const std::function<std::size_t(const Program&)> depth =
+      [&](const Program& p) -> std::size_t {
+    std::size_t below = 0;
+    if (p->left()) below = std::max(below, depth(p->left()));
+    if (p->right()) below = std::max(below, depth(p->right()));
+    return 1 + below;
+  };
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_LE(depth(generator.next()), 4u);  // max_depth interior + leaf
+  }
+}
+
+TEST(Generator, RespectsAlphabetSize) {
+  SymbolTable table;
+  GeneratorOptions options;
+  options.alphabet_size = 2;
+  ProgramGenerator generator(11, options, table);
+  for (int i = 0; i < 50; ++i) {
+    for (Symbol s : alphabet(generator.next())) {
+      const std::string& name = table.name(s);
+      EXPECT_TRUE(name == "f0" || name == "f1") << name;
+    }
+  }
+}
+
+TEST(Generator, ZeroWeightProductionsNeverAppear) {
+  SymbolTable table;
+  GeneratorOptions options;
+  options.loop_weight = 0;
+  options.return_weight = 0;
+  ProgramGenerator generator(13, options, table);
+  const std::function<void(const Program&)> check =
+      [&](const Program& p) {
+        EXPECT_NE(p->kind(), Kind::kLoop);
+        EXPECT_NE(p->kind(), Kind::kReturn);
+        if (p->left()) check(p->left());
+        if (p->right()) check(p->right());
+      };
+  for (int i = 0; i < 50; ++i) check(generator.next());
+}
+
+TEST(Generator, GeneratedProgramsAreWellFormed) {
+  SymbolTable table;
+  GeneratorOptions options;
+  ProgramGenerator generator(17, options, table);
+  for (int i = 0; i < 50; ++i) {
+    const Program p = generator.next();
+    // Exercise the semantics without crashing: enumerate a few traces.
+    const auto traces = enumerate_traces(p, {4, 2});
+    for (const Trace& trace : traces) {
+      EXPECT_TRUE(derives(p, trace.word, trace.status));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace shelley::ir

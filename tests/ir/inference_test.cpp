@@ -1,0 +1,163 @@
+#include "ir/inference.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rex/derivative.hpp"
+#include "rex/equivalence.hpp"
+#include "rex/parser.hpp"
+
+namespace shelley::ir {
+namespace {
+
+class InferenceTest : public ::testing::Test {
+ protected:
+  rex::Regex rex_(const char* text) { return rex::parse(text, table_); }
+
+  SymbolTable table_;
+  Symbol a_ = table_.intern("a");
+  Symbol b_ = table_.intern("b");
+  Symbol c_ = table_.intern("c");
+};
+
+// -- The defining equations of Figure 4, case by case ------------------------
+
+TEST_F(InferenceTest, CallCase) {
+  const Behavior b = analyze(call(a_));
+  EXPECT_TRUE(rex::structurally_equal(b.ongoing, rex::symbol(a_)));
+  EXPECT_TRUE(b.returned.empty());
+}
+
+TEST_F(InferenceTest, SkipCase) {
+  const Behavior b = analyze(skip());
+  EXPECT_EQ(b.ongoing->kind(), rex::Kind::kEpsilon);
+  EXPECT_TRUE(b.returned.empty());
+}
+
+TEST_F(InferenceTest, ReturnCase) {
+  const Behavior b = analyze(ret());
+  EXPECT_EQ(b.ongoing->kind(), rex::Kind::kEmpty);
+  ASSERT_EQ(b.returned.size(), 1u);
+  EXPECT_EQ(b.returned[0].regex->kind(), rex::Kind::kEpsilon);
+}
+
+TEST_F(InferenceTest, SeqCase) {
+  // ⟦a(); return⟧ = (a·∅, {a·ε})
+  const Behavior b = analyze(seq(call(a_), ret()));
+  EXPECT_TRUE(rex::structurally_equal(
+      b.ongoing, rex::concat(rex::symbol(a_), rex::empty())));
+  ASSERT_EQ(b.returned.size(), 1u);
+  EXPECT_TRUE(rex::structurally_equal(
+      b.returned[0].regex, rex::concat(rex::symbol(a_), rex::epsilon())));
+}
+
+TEST_F(InferenceTest, SeqCaseKeepsEarlyReturnsOfHead) {
+  // ⟦(if(★){return} else {skip}); b()⟧: s contains both the early ε and
+  // the prefixed returns of the tail (none here).
+  const Program p = seq(branch(ret(), skip()), call(b_));
+  const Behavior b = analyze(p);
+  ASSERT_EQ(b.returned.size(), 1u);
+  EXPECT_EQ(b.returned[0].regex->kind(), rex::Kind::kEpsilon);
+}
+
+TEST_F(InferenceTest, IfCase) {
+  // ⟦if(★){a()} else {b()}⟧ = (a+b, ∅)
+  const Behavior b = analyze(branch(call(a_), call(b_)));
+  EXPECT_TRUE(rex::structurally_equal(
+      b.ongoing, rex::alt(rex::symbol(a_), rex::symbol(b_))));
+  EXPECT_TRUE(b.returned.empty());
+}
+
+TEST_F(InferenceTest, LoopCase) {
+  // ⟦loop(★){a()}⟧ = (a*, ∅)
+  const Behavior b = analyze(loop(call(a_)));
+  EXPECT_TRUE(rex::structurally_equal(b.ongoing, rex::star(rex::symbol(a_))));
+  EXPECT_TRUE(b.returned.empty());
+}
+
+TEST_F(InferenceTest, LoopCasePrefixesReturnedBehaviors) {
+  // ⟦loop(★){a(); return}⟧ = ((a·∅)*, {(a·∅)*·(a·ε)})
+  const Behavior b = analyze(loop(seq(call(a_), ret())));
+  const rex::Regex a_empty = rex::concat(rex::symbol(a_), rex::empty());
+  EXPECT_TRUE(rex::structurally_equal(b.ongoing, rex::star(a_empty)));
+  ASSERT_EQ(b.returned.size(), 1u);
+  EXPECT_TRUE(rex::structurally_equal(
+      b.returned[0].regex,
+      rex::concat(rex::star(a_empty),
+                  rex::concat(rex::symbol(a_), rex::epsilon()))));
+}
+
+// -- Example 3, pinned to the exact structure printed in the paper ----------
+
+TEST_F(InferenceTest, PaperExample3ExactShape) {
+  // ⟦loop(★){a(); if(★){b(); return} else {c()}}⟧ =
+  //   ((a·((b·∅)+c))*, {(a·((b·∅)+c))*·a·b})
+  const Program p = loop(
+      seq(call(a_), branch(seq(call(b_), ret()), call(c_))));
+  const Behavior behavior = analyze(p);
+
+  // Note: our ⟦seq⟧ composes b1.ongoing with nested concat exactly as the
+  // rule states; the returned element is r1*·(a·(b·ε)) before any
+  // simplification, which the paper abbreviates to r1*·a·b.
+  const rex::Regex body_ongoing = rex::concat(
+      rex::symbol(a_),
+      rex::alt(rex::concat(rex::symbol(b_), rex::empty()), rex::symbol(c_)));
+  EXPECT_TRUE(rex::structurally_equal(behavior.ongoing,
+                                      rex::star(body_ongoing)));
+  EXPECT_EQ(rex::to_string(behavior.ongoing, table_), "(a · (b · ∅ + c))*");
+
+  ASSERT_EQ(behavior.returned.size(), 1u);
+  // Language-wise the returned behavior is exactly (a·((b·∅)+c))*·a·b.
+  EXPECT_TRUE(rex::equivalent(behavior.returned[0].regex,
+                              rex_("(a (b void + c))* a b")));
+  // And its printed form only differs from the paper by the ε the paper
+  // elides: (a · (b · ∅ + c))* · a · (b · ε).
+  EXPECT_EQ(rex::to_string(behavior.returned[0].regex, table_),
+            "(a · (b · ∅ + c))* · a · b · ε");
+}
+
+TEST_F(InferenceTest, PaperExample3InferMergesBothComponents) {
+  const Program p = loop(
+      seq(call(a_), branch(seq(call(b_), ret()), call(c_))));
+  EXPECT_TRUE(rex::equivalent(
+      infer(p), rex_("(a (b void + c))* + (a (b void + c))* a b")));
+  EXPECT_TRUE(rex::equivalent(
+      infer_simplified(p), rex_("(a c)* + (a c)* a b")));
+}
+
+// -- Exit-id routing ----------------------------------------------------------
+
+TEST_F(InferenceTest, ExitIdsSurviveAnalysis) {
+  // if(★){a(); return#0} else {b(); return#1}
+  const Program p = branch(seq(call(a_), ret_with_id(0)),
+                           seq(call(b_), ret_with_id(1)));
+  const Behavior behavior = analyze(p);
+  ASSERT_EQ(behavior.returned.size(), 2u);
+  EXPECT_EQ(behavior.returned[0].exit_id, 0u);
+  EXPECT_EQ(behavior.returned[1].exit_id, 1u);
+  EXPECT_TRUE(rex::equivalent(behavior.returned[0].regex, rex_("a")));
+  EXPECT_TRUE(rex::equivalent(behavior.returned[1].regex, rex_("b")));
+}
+
+TEST_F(InferenceTest, SameExitIdThroughLoopKeepsTag) {
+  const Program p = loop(seq(call(a_), ret_with_id(3)));
+  const Behavior behavior = analyze(p);
+  ASSERT_EQ(behavior.returned.size(), 1u);
+  EXPECT_EQ(behavior.returned[0].exit_id, 3u);
+}
+
+TEST_F(InferenceTest, DuplicateReturnedBehaviorsAreSetLike) {
+  // if(★){return#0} else {return#0}: the set s has one element.
+  const Program p = branch(ret_with_id(0), ret_with_id(0));
+  EXPECT_EQ(analyze(p).returned.size(), 1u);
+  // Distinct ids stay distinct even with equal regexes.
+  const Program q = branch(ret_with_id(0), ret_with_id(1));
+  EXPECT_EQ(analyze(q).returned.size(), 2u);
+}
+
+TEST_F(InferenceTest, InferOfProgramWithoutReturnsIsOngoingOnly) {
+  const Program p = seq(call(a_), loop(call(b_)));
+  EXPECT_TRUE(rex::equivalent(infer(p), rex_("a b*")));
+}
+
+}  // namespace
+}  // namespace shelley::ir

@@ -1,0 +1,228 @@
+#include "ir/lowering.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ir/inference.hpp"
+#include "rex/equivalence.hpp"
+#include "rex/parser.hpp"
+#include "upy/parser.hpp"
+
+namespace shelley::ir {
+namespace {
+
+class LoweringTest : public ::testing::Test {
+ protected:
+  /// Parses a method body (as statements of method m) and lowers it with
+  /// fields a and b tracked.
+  Program lower_(const std::string& body_lines) {
+    std::string source = "class C:\n    def m(self):\n";
+    source += body_lines;
+    module_ = upy::parse_module(source);
+    LoweringContext context;
+    context.tracked_fields = {"a", "b"};
+    context.symbols = &table_;
+    context.diagnostics = &diagnostics_;
+    next_id_ = 0;
+    context.next_return_id = &next_id_;
+    return lower_block(module_.classes.at(0).methods.at(0).body, context);
+  }
+
+  std::string text_(const Program& p) { return to_string(p, table_); }
+
+  bool behavior_is_(const Program& p, const char* expected_regex) {
+    return rex::equivalent(infer_simplified(p),
+                           rex::parse(expected_regex, table_));
+  }
+
+  upy::Module module_;
+  SymbolTable table_;
+  DiagnosticEngine diagnostics_;
+  std::uint32_t next_id_ = 0;
+};
+
+TEST_F(LoweringTest, TrackedCallBecomesEvent) {
+  const Program p = lower_("        self.a.open()\n");
+  EXPECT_EQ(text_(p), "a.open()");
+}
+
+TEST_F(LoweringTest, UntrackedStatementsBecomeSkip) {
+  const Program p = lower_(
+      "        x = 1\n"
+      "        print(\"hi\")\n"
+      "        self.led.on()\n"
+      "        pass\n");
+  EXPECT_EQ(p->kind(), Kind::kSkip);
+}
+
+TEST_F(LoweringTest, SequencesDropInterleavedSkips) {
+  const Program p = lower_(
+      "        x = 1\n"
+      "        self.a.open()\n"
+      "        y = 2\n"
+      "        self.b.close()\n");
+  EXPECT_EQ(text_(p), "a.open(); b.close()");
+}
+
+TEST_F(LoweringTest, EvaluationOrderArgsBeforeCall) {
+  // b.read() is an argument of a.write(): its event comes first.
+  const Program p = lower_("        self.a.write(self.b.read())\n");
+  EXPECT_EQ(text_(p), "b.read(); a.write()");
+}
+
+TEST_F(LoweringTest, AssignmentEvaluatesRhs) {
+  const Program p = lower_("        x = self.a.test()\n");
+  EXPECT_EQ(text_(p), "a.test()");
+}
+
+TEST_F(LoweringTest, ReturnWithoutEventsIsBareReturn) {
+  const Program p = lower_("        return [\"m\"]\n");
+  EXPECT_EQ(p->kind(), Kind::kReturn);
+}
+
+TEST_F(LoweringTest, ReturnWithCallEmitsEventThenReturn) {
+  const Program p = lower_("        return [\"m\"], self.a.test()\n");
+  EXPECT_EQ(text_(p), "a.test(); return");
+}
+
+TEST_F(LoweringTest, ReturnIdsFollowSourceOrder) {
+  const Program p = lower_(
+      "        if x:\n"
+      "            return [\"m\"]\n"
+      "        return []\n");
+  // p = if(★){return#0} else {skip}; return#1
+  const Behavior b = analyze(p);
+  ASSERT_EQ(b.returned.size(), 2u);
+  EXPECT_EQ(b.returned[0].exit_id, 1u);  // fall-through return, prefixed form
+  EXPECT_EQ(b.returned[1].exit_id, 0u);  // early return listed second by seq
+  EXPECT_EQ(next_id_, 2u);
+}
+
+TEST_F(LoweringTest, IfWithEventsInCondition) {
+  const Program p = lower_(
+      "        if self.a.test() == [\"open\"]:\n"
+      "            self.a.open()\n"
+      "        else:\n"
+      "            self.a.clean()\n");
+  EXPECT_EQ(text_(p),
+            "a.test(); if(★){ a.open() } else { a.clean() }");
+}
+
+TEST_F(LoweringTest, ElifChainsNest) {
+  const Program p = lower_(
+      "        if x:\n"
+      "            self.a.open()\n"
+      "        elif y:\n"
+      "            self.a.clean()\n"
+      "        else:\n"
+      "            self.a.close()\n");
+  EXPECT_EQ(text_(p),
+            "if(★){ a.open() } else { if(★){ a.clean() } else { a.close() } }");
+}
+
+TEST_F(LoweringTest, WhileWithoutConditionEventsIsPlainLoop) {
+  const Program p = lower_(
+      "        while x < 3:\n"
+      "            self.a.open()\n");
+  EXPECT_EQ(text_(p), "loop(★){ a.open() }");
+}
+
+TEST_F(LoweringTest, WhileWithConditionEventsReevaluatesPerIteration) {
+  const Program p = lower_(
+      "        while self.a.test():\n"
+      "            self.a.open()\n");
+  // cond; loop(★){ body; cond }
+  EXPECT_EQ(text_(p), "a.test(); loop(★){ a.open(); a.test() }");
+}
+
+TEST_F(LoweringTest, ForLoopIteratesBody) {
+  const Program p = lower_(
+      "        for i in range(10):\n"
+      "            self.b.step()\n");
+  EXPECT_EQ(text_(p), "loop(★){ b.step() }");
+}
+
+TEST_F(LoweringTest, ForLoopWithEventsInIterable) {
+  const Program p = lower_(
+      "        for i in self.a.items():\n"
+      "            self.b.step()\n");
+  EXPECT_EQ(text_(p), "a.items(); loop(★){ b.step() }");
+}
+
+TEST_F(LoweringTest, MatchBecomesSubjectThenBranches) {
+  const Program p = lower_(
+      "        match self.a.test():\n"
+      "            case [\"open\"]:\n"
+      "                self.a.open()\n"
+      "            case [\"clean\"]:\n"
+      "                self.a.clean()\n");
+  EXPECT_EQ(text_(p),
+            "a.test(); if(★){ a.open() } else { a.clean() }");
+}
+
+TEST_F(LoweringTest, MatchWithThreeCasesNestsBranches) {
+  const Program p = lower_(
+      "        match self.a.test():\n"
+      "            case [\"x\"]:\n"
+      "                self.a.x()\n"
+      "            case [\"y\"]:\n"
+      "                self.a.y()\n"
+      "            case _:\n"
+      "                self.a.z()\n");
+  EXPECT_EQ(text_(p),
+            "a.test(); if(★){ a.x() } else { if(★){ a.y() } else { a.z() } }");
+}
+
+TEST_F(LoweringTest, MatchWithSingleCaseIsJustTheBody) {
+  const Program p = lower_(
+      "        match self.a.test():\n"
+      "            case _:\n"
+      "                self.a.open()\n");
+  EXPECT_EQ(text_(p), "a.test(); a.open()");
+}
+
+TEST_F(LoweringTest, BreakIsReportedAndSkipped) {
+  const Program p = lower_(
+      "        while x:\n"
+      "            break\n");
+  EXPECT_EQ(text_(p), "loop(★){ skip }");
+  EXPECT_TRUE(diagnostics_.has_errors());
+}
+
+TEST_F(LoweringTest, EndToEndBehaviorOfValveUser) {
+  const Program p = lower_(
+      "        match self.a.test():\n"
+      "            case [\"open\"]:\n"
+      "                self.a.open()\n"
+      "                self.a.close()\n"
+      "            case [\"clean\"]:\n"
+      "                self.a.clean()\n"
+      "        return []\n");
+  EXPECT_TRUE(behavior_is_(
+      p, "a.test (a.open a.close + a.clean)"));
+}
+
+TEST_F(LoweringTest, NestedCallsOnlyTrackedReceiversCount) {
+  const Program p = lower_("        self.led.show(self.a.test())\n");
+  EXPECT_EQ(text_(p), "a.test()");
+}
+
+TEST_F(LoweringTest, TrackedCallEventDecoding) {
+  LoweringContext context;
+  context.tracked_fields = {"a"};
+  context.symbols = &table_;
+  const auto tracked =
+      tracked_call_event(upy::parse_expression("self.a.open()"), context);
+  ASSERT_TRUE(tracked.has_value());
+  EXPECT_EQ(table_.name(*tracked), "a.open");
+  EXPECT_FALSE(tracked_call_event(upy::parse_expression("self.x.open()"),
+                                  context)
+                   .has_value());
+  EXPECT_FALSE(tracked_call_event(upy::parse_expression("a.open()"), context)
+                   .has_value());
+  EXPECT_FALSE(
+      tracked_call_event(upy::parse_expression("self.a.open"), context)
+          .has_value());
+}
+
+}  // namespace
+}  // namespace shelley::ir

@@ -1,0 +1,75 @@
+#include "ir/program.hpp"
+
+#include <gtest/gtest.h>
+
+namespace shelley::ir {
+namespace {
+
+class IrProgramTest : public ::testing::Test {
+ protected:
+  SymbolTable table_;
+  Symbol a_ = table_.intern("a");
+  Symbol b_ = table_.intern("b");
+  Symbol c_ = table_.intern("c");
+};
+
+TEST_F(IrProgramTest, FactoryKinds) {
+  EXPECT_EQ(call(a_)->kind(), Kind::kCall);
+  EXPECT_EQ(skip()->kind(), Kind::kSkip);
+  EXPECT_EQ(ret()->kind(), Kind::kReturn);
+  EXPECT_EQ(seq(skip(), skip())->kind(), Kind::kSeq);
+  EXPECT_EQ(branch(skip(), skip())->kind(), Kind::kIf);
+  EXPECT_EQ(loop(skip())->kind(), Kind::kLoop);
+}
+
+TEST_F(IrProgramTest, ReturnExitIds) {
+  EXPECT_EQ(ret()->exit_id(), 0u);
+  EXPECT_EQ(ret_with_id(7)->exit_id(), 7u);
+  EXPECT_EQ(ret_with_id(7)->kind(), Kind::kReturn);
+}
+
+TEST_F(IrProgramTest, SeqOfFoldsRightNested) {
+  const Program p = seq_of({call(a_), call(b_), call(c_)});
+  ASSERT_EQ(p->kind(), Kind::kSeq);
+  EXPECT_EQ(p->left()->kind(), Kind::kCall);
+  EXPECT_EQ(p->right()->kind(), Kind::kSeq);
+  EXPECT_EQ(seq_of({})->kind(), Kind::kSkip);
+  EXPECT_EQ(seq_of({call(a_)})->kind(), Kind::kCall);
+}
+
+TEST_F(IrProgramTest, SizeCountsNodes) {
+  EXPECT_EQ(skip()->size(), 1u);
+  EXPECT_EQ(seq(call(a_), ret())->size(), 3u);
+  EXPECT_EQ(loop(branch(call(a_), skip()))->size(), 4u);
+}
+
+TEST_F(IrProgramTest, AlphabetCollectsCalls) {
+  const Program p = loop(seq(call(a_), branch(seq(call(b_), ret()),
+                                              call(c_))));
+  const auto sigma = alphabet(p);
+  EXPECT_EQ(sigma.size(), 3u);
+  EXPECT_TRUE(alphabet(skip()).empty());
+}
+
+TEST_F(IrProgramTest, StructuralEquality) {
+  EXPECT_TRUE(structurally_equal(call(a_), call(a_)));
+  EXPECT_FALSE(structurally_equal(call(a_), call(b_)));
+  EXPECT_TRUE(structurally_equal(seq(call(a_), ret()), seq(call(a_), ret())));
+  EXPECT_FALSE(structurally_equal(seq(call(a_), ret()),
+                                  seq(ret(), call(a_))));
+  EXPECT_FALSE(structurally_equal(branch(skip(), ret()), loop(skip())));
+}
+
+TEST_F(IrProgramTest, PrintingMatchesPaperNotation) {
+  // The Example 1 program.
+  const Program p = loop(
+      seq(call(a_), branch(seq(call(b_), ret()), call(c_))));
+  EXPECT_EQ(to_string(p, table_),
+            "loop(★){ a(); if(★){ b(); return } else { c() } }");
+  EXPECT_EQ(to_string(skip(), table_), "skip");
+  EXPECT_EQ(to_string(ret(), table_), "return");
+  EXPECT_EQ(to_string(call(a_), table_), "a()");
+}
+
+}  // namespace
+}  // namespace shelley::ir

@@ -1,0 +1,188 @@
+#include "ir/semantics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testing.hpp"
+
+namespace shelley::ir {
+namespace {
+
+class SemanticsTest : public ::testing::Test {
+ protected:
+  Word word_(std::initializer_list<const char*> names) {
+    return testing::word(table_, names);
+  }
+
+  SymbolTable table_;
+  Symbol a_ = table_.intern("a");
+  Symbol b_ = table_.intern("b");
+  Symbol c_ = table_.intern("c");
+  // The program of Examples 1 and 2:
+  //   loop(★){ a(); if(★){ b(); return } else { c() } }
+  Program example_ = loop(
+      seq(call(a_), branch(seq(call(b_), ret()), call(c_))));
+};
+
+// -- Leaf rules --------------------------------------------------------------
+
+TEST_F(SemanticsTest, RuleCall) {
+  EXPECT_TRUE(derives(call(a_), {a_}, Status::kOngoing));
+  EXPECT_FALSE(derives(call(a_), {a_}, Status::kReturned));
+  EXPECT_FALSE(derives(call(a_), {}, Status::kOngoing));
+  EXPECT_FALSE(derives(call(a_), {b_}, Status::kOngoing));
+  EXPECT_FALSE(derives(call(a_), {a_, a_}, Status::kOngoing));
+}
+
+TEST_F(SemanticsTest, RuleSkip) {
+  EXPECT_TRUE(derives(skip(), {}, Status::kOngoing));
+  EXPECT_FALSE(derives(skip(), {}, Status::kReturned));
+  EXPECT_FALSE(derives(skip(), {a_}, Status::kOngoing));
+}
+
+TEST_F(SemanticsTest, RuleReturn) {
+  EXPECT_TRUE(derives(ret(), {}, Status::kReturned));
+  EXPECT_FALSE(derives(ret(), {}, Status::kOngoing));
+  EXPECT_FALSE(derives(ret(), {a_}, Status::kReturned));
+}
+
+// -- Sequence ----------------------------------------------------------------
+
+TEST_F(SemanticsTest, RuleSeq2ConcatenatesOngoing) {
+  const Program p = seq(call(a_), call(b_));
+  EXPECT_TRUE(derives(p, {a_, b_}, Status::kOngoing));
+  EXPECT_FALSE(derives(p, {a_}, Status::kOngoing));
+  EXPECT_FALSE(derives(p, {b_, a_}, Status::kOngoing));
+}
+
+TEST_F(SemanticsTest, RuleSeq1EarlyReturnSkipsTail) {
+  // (return); b()  -- the return discards b entirely.
+  const Program p = seq(ret(), call(b_));
+  EXPECT_TRUE(derives(p, {}, Status::kReturned));
+  EXPECT_FALSE(derives(p, {b_}, Status::kReturned));
+  EXPECT_FALSE(derives(p, {}, Status::kOngoing));
+}
+
+TEST_F(SemanticsTest, SeqPropagatesReturnStatusOfTail) {
+  const Program p = seq(call(a_), ret());
+  EXPECT_TRUE(derives(p, {a_}, Status::kReturned));
+  EXPECT_FALSE(derives(p, {a_}, Status::kOngoing));
+}
+
+TEST_F(SemanticsTest, SeqWithBranchingEarlyReturn) {
+  // if(★){return} else {skip}; b()
+  const Program p = seq(branch(ret(), skip()), call(b_));
+  EXPECT_TRUE(derives(p, {}, Status::kReturned));   // took the return
+  EXPECT_TRUE(derives(p, {b_}, Status::kOngoing));  // took skip, then b
+  EXPECT_FALSE(derives(p, {b_}, Status::kReturned));
+}
+
+// -- Conditional -------------------------------------------------------------
+
+TEST_F(SemanticsTest, RuleIfTakesEitherBranch) {
+  const Program p = branch(call(a_), call(b_));
+  EXPECT_TRUE(derives(p, {a_}, Status::kOngoing));
+  EXPECT_TRUE(derives(p, {b_}, Status::kOngoing));
+  EXPECT_FALSE(derives(p, {a_, b_}, Status::kOngoing));
+  EXPECT_FALSE(derives(p, {}, Status::kOngoing));
+}
+
+TEST_F(SemanticsTest, IfPreservesStatusPerBranch) {
+  const Program p = branch(ret(), call(b_));
+  EXPECT_TRUE(derives(p, {}, Status::kReturned));
+  EXPECT_TRUE(derives(p, {b_}, Status::kOngoing));
+  EXPECT_FALSE(derives(p, {}, Status::kOngoing));
+  EXPECT_FALSE(derives(p, {b_}, Status::kReturned));
+}
+
+// -- Loop --------------------------------------------------------------------
+
+TEST_F(SemanticsTest, RuleLoop1EmptyTrace) {
+  EXPECT_TRUE(derives(loop(call(a_)), {}, Status::kOngoing));
+  EXPECT_FALSE(derives(loop(call(a_)), {}, Status::kReturned));
+}
+
+TEST_F(SemanticsTest, RuleLoop3Iterates) {
+  const Program p = loop(call(a_));
+  EXPECT_TRUE(derives(p, {a_}, Status::kOngoing));
+  EXPECT_TRUE(derives(p, {a_, a_, a_}, Status::kOngoing));
+  EXPECT_FALSE(derives(p, {a_, b_}, Status::kOngoing));
+}
+
+TEST_F(SemanticsTest, RuleLoop2ReturnInsideBody) {
+  const Program p = loop(seq(call(a_), ret()));
+  EXPECT_TRUE(derives(p, {a_}, Status::kReturned));
+  // Iterating is impossible: the body always returns after one a.
+  EXPECT_FALSE(derives(p, {a_, a_}, Status::kReturned));
+  EXPECT_TRUE(derives(p, {}, Status::kOngoing));
+}
+
+TEST_F(SemanticsTest, PaperExample1) {
+  // 0 ⊢ [a, c, a, c] ∈ loop(★){a(); if(★){b(); return} else {c()}}
+  EXPECT_TRUE(derives(example_, {a_, c_, a_, c_}, Status::kOngoing));
+}
+
+TEST_F(SemanticsTest, PaperExample2) {
+  // R ⊢ [a, c, a, b] ∈ the same program.
+  EXPECT_TRUE(derives(example_, {a_, c_, a_, b_}, Status::kReturned));
+}
+
+TEST_F(SemanticsTest, ExampleProgramNegativeCases) {
+  // After b the loop has returned: nothing may follow.
+  EXPECT_FALSE(derives(example_, {a_, b_, a_, c_}, Status::kOngoing));
+  EXPECT_FALSE(derives(example_, {a_, b_, a_, c_}, Status::kReturned));
+  // A trace ending mid-iteration is not derivable.
+  EXPECT_FALSE(derives(example_, {a_}, Status::kOngoing));
+  // The returned trace [a, b] is not an ongoing trace.
+  EXPECT_FALSE(derives(example_, {a_, b_}, Status::kOngoing));
+  EXPECT_TRUE(derives(example_, {a_, b_}, Status::kReturned));
+}
+
+TEST_F(SemanticsTest, InLanguageIsUnionOverStatuses) {
+  EXPECT_TRUE(in_language(example_, {}));
+  EXPECT_TRUE(in_language(example_, {a_, c_}));
+  EXPECT_TRUE(in_language(example_, {a_, b_}));
+  EXPECT_FALSE(in_language(example_, {b_}));
+}
+
+// -- Enumeration -------------------------------------------------------------
+
+TEST_F(SemanticsTest, EnumerateLeaves) {
+  EXPECT_EQ(enumerate_traces(skip(), {}),
+            (std::vector<Trace>{{{}, Status::kOngoing}}));
+  EXPECT_EQ(enumerate_traces(ret(), {}),
+            (std::vector<Trace>{{{}, Status::kReturned}}));
+  EXPECT_EQ(enumerate_traces(call(a_), {}),
+            (std::vector<Trace>{{{a_}, Status::kOngoing}}));
+}
+
+TEST_F(SemanticsTest, EnumerateExampleProgram) {
+  const auto traces = enumerate_traces(example_, {6, 3});
+  // Spot checks from the paper.
+  const Trace example1{{a_, c_, a_, c_}, Status::kOngoing};
+  const Trace example2{{a_, c_, a_, b_}, Status::kReturned};
+  EXPECT_NE(std::find(traces.begin(), traces.end(), example1), traces.end());
+  EXPECT_NE(std::find(traces.begin(), traces.end(), example2), traces.end());
+  // Everything enumerated must be derivable.
+  for (const Trace& trace : traces) {
+    EXPECT_TRUE(derives(example_, trace.word, trace.status))
+        << testing::str(trace.word, table_);
+  }
+}
+
+TEST_F(SemanticsTest, EnumerationRespectsLengthBound) {
+  for (const Trace& trace : enumerate_traces(example_, {4, 8})) {
+    EXPECT_LE(trace.word.size(), 4u);
+  }
+}
+
+TEST_F(SemanticsTest, EnumerationIsExactForLoopFreePrograms) {
+  // if(★){a(); return} else {b(); c()}
+  const Program p = branch(seq(call(a_), ret()), seq(call(b_), call(c_)));
+  const auto traces = enumerate_traces(p, {10, 1});
+  ASSERT_EQ(traces.size(), 2u);
+  EXPECT_EQ(traces[0], (Trace{{a_}, Status::kReturned}));
+  EXPECT_EQ(traces[1], (Trace{{b_, c_}, Status::kOngoing}));
+}
+
+}  // namespace
+}  // namespace shelley::ir

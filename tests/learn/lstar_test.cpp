@@ -1,0 +1,98 @@
+#include "learn/lstar.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fsm/ops.hpp"
+#include "fsm/thompson.hpp"
+#include "rex/parser.hpp"
+
+namespace shelley::learn {
+namespace {
+
+class LStarTest : public ::testing::Test {
+ protected:
+  fsm::Dfa target_(const char* regex_text) {
+    return fsm::minimize(
+        fsm::determinize(fsm::from_regex(rex::parse(regex_text, table_))));
+  }
+  std::vector<Symbol> sigma_(std::initializer_list<const char*> names) {
+    std::vector<Symbol> out;
+    for (const char* name : names) out.push_back(table_.intern(name));
+    return out;
+  }
+  SymbolTable table_;
+};
+
+TEST_F(LStarTest, LearnsSingleSymbolLanguage) {
+  DfaTeacher teacher(target_("a"));
+  const LearnResult result = learn_dfa(teacher, sigma_({"a"}));
+  EXPECT_TRUE(result.dfa.accepts({table_.intern("a")}));
+  EXPECT_FALSE(result.dfa.accepts({}));
+  EXPECT_FALSE(
+      result.dfa.accepts({table_.intern("a"), table_.intern("a")}));
+  // Minimal DFA for {a} over {a}: 3 states (start, accept, sink).
+  EXPECT_EQ(fsm::minimize(result.dfa).state_count(), 3u);
+}
+
+TEST_F(LStarTest, LearnsEmptyAndUniversalLanguages) {
+  DfaTeacher empty(target_("void"));
+  const LearnResult none = learn_dfa(empty, sigma_({"a"}));
+  EXPECT_TRUE(fsm::is_empty(none.dfa));
+
+  DfaTeacher universal(target_("(a + b)*"));
+  const LearnResult all = learn_dfa(universal, sigma_({"a", "b"}));
+  EXPECT_EQ(fsm::minimize(all.dfa).state_count(), 1u);
+}
+
+class LStarCorpus : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(LStarCorpus, LearnedModelIsExactlyTheTarget) {
+  SymbolTable table;
+  const fsm::Dfa target = fsm::minimize(
+      fsm::determinize(fsm::from_regex(rex::parse(GetParam(), table))));
+  DfaTeacher teacher(target);
+  const LearnResult result = learn_dfa(teacher, target.alphabet());
+  EXPECT_TRUE(fsm::equivalent(result.dfa, target)) << GetParam();
+  // L* learns the *minimal* machine: state counts match after trimming.
+  EXPECT_EQ(fsm::minimize(result.dfa).state_count(),
+            fsm::minimize(target).state_count())
+      << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, LStarCorpus,
+    ::testing::Values("a b", "(a b)* c", "a* b*", "(a + b)* a b",
+                      "(a a a)*", "a (b + eps)", "((a + b) c)*",
+                      "(a + b)* a (a + b)", "a b c + a c b"));
+
+TEST_F(LStarTest, QueryCountsAreReported) {
+  DfaTeacher teacher(target_("(a b)* c"));
+  const LearnResult result = learn_dfa(teacher, sigma_({"a", "b", "c"}));
+  EXPECT_GT(result.membership_queries, 0u);
+  EXPECT_GE(result.equivalence_queries, 1u);
+  EXPECT_GE(result.rounds, 1u);
+  EXPECT_EQ(result.equivalence_queries, teacher.equivalence_queries());
+}
+
+TEST_F(LStarTest, BlackBoxTeacherConformanceTesting) {
+  const fsm::Dfa target = target_("(a b)*");
+  BlackBoxTeacher teacher(
+      [&](const Word& word) { return target.accepts(word); },
+      sigma_({"a", "b"}), /*test_depth=*/6);
+  const LearnResult result = learn_dfa(teacher, sigma_({"a", "b"}));
+  EXPECT_TRUE(fsm::equivalent(result.dfa, target));
+}
+
+TEST_F(LStarTest, EmptyAlphabetRejected) {
+  DfaTeacher teacher(target_("a"));
+  EXPECT_THROW(learn_dfa(teacher, {}), std::invalid_argument);
+}
+
+TEST_F(LStarTest, StateBoundEnforced) {
+  DfaTeacher teacher(target_("(a + b)* a (a + b) (a + b) (a + b)"));
+  EXPECT_THROW(learn_dfa(teacher, sigma_({"a", "b"}), /*max_states=*/2),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace shelley::learn

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "fsm/ops.hpp"
+#include "fsm/thompson.hpp"
+#include "learn/lstar.hpp"
+#include "rex/parser.hpp"
+
+namespace shelley::learn {
+namespace {
+
+fsm::Dfa target_of(const char* text, SymbolTable& table) {
+  return fsm::minimize(
+      fsm::determinize(fsm::from_regex(rex::parse(text, table))));
+}
+
+TEST(CharacterizationSet, DistinguishesEveryStatePair) {
+  SymbolTable table;
+  const fsm::Dfa dfa = target_of("(a + b)* a b", table);
+  const std::vector<Word> w_set = characterization_set(dfa);
+  // Every pair of distinct states of a minimal DFA must be separated.
+  const auto signature = [&](fsm::StateId s) {
+    std::vector<bool> out;
+    for (const Word& suffix : w_set) {
+      fsm::StateId state = s;
+      for (Symbol sym : suffix) {
+        state = dfa.transition(state, *dfa.letter_index(sym));
+      }
+      out.push_back(dfa.is_accepting(state));
+    }
+    return out;
+  };
+  for (fsm::StateId a = 0; a < dfa.state_count(); ++a) {
+    for (fsm::StateId b = a + 1; b < dfa.state_count(); ++b) {
+      EXPECT_NE(signature(a), signature(b))
+          << "states " << a << " and " << b << " not distinguished";
+    }
+  }
+}
+
+TEST(CharacterizationSet, SingleStateMachineNeedsOnlyEpsilon) {
+  SymbolTable table;
+  const fsm::Dfa dfa = target_of("(a + b)*", table);
+  EXPECT_EQ(characterization_set(dfa).size(), 1u);
+}
+
+TEST(TransitionCover, CoversEveryReachableTransition) {
+  SymbolTable table;
+  const fsm::Dfa dfa = target_of("(a b)* c", table);
+  const std::vector<Word> cover = transition_cover(dfa);
+  // |cover| = reachable states * (1 + |Σ|).
+  EXPECT_EQ(cover.size(),
+            fsm::reachable_count(dfa) * (1 + dfa.alphabet().size()));
+  // The empty access word (initial state) is included.
+  EXPECT_NE(std::find(cover.begin(), cover.end(), Word{}), cover.end());
+}
+
+class WMethodCorpus : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(WMethodCorpus, LearnsExactTargetThroughWMethod) {
+  SymbolTable table;
+  const fsm::Dfa target = target_of(GetParam(), table);
+  WMethodTeacher teacher(
+      [&](const Word& word) { return target.accepts(word); },
+      target.alphabet(), /*extra_states=*/2);
+  const LearnResult result = learn_dfa(teacher, target.alphabet());
+  EXPECT_TRUE(fsm::equivalent(result.dfa, target)) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, WMethodCorpus,
+    ::testing::Values("a b", "(a b)* c", "a* b*", "(a + b)* a b",
+                      "(a a a)*", "((a + b) c)*", "a b c + a c b"));
+
+TEST(WMethod, CheaperThanExhaustiveAtEqualGuarantee) {
+  SymbolTable table;
+  const fsm::Dfa target = target_of("(a + b)* a (a + b)", table);
+
+  std::size_t exhaustive_queries = 0;
+  BlackBoxTeacher exhaustive(
+      [&](const Word& word) {
+        ++exhaustive_queries;
+        return target.accepts(word);
+      },
+      target.alphabet(), /*test_depth=*/8);
+  const LearnResult via_exhaustive = learn_dfa(exhaustive,
+                                               target.alphabet());
+
+  std::size_t wmethod_queries = 0;
+  WMethodTeacher wmethod(
+      [&](const Word& word) {
+        ++wmethod_queries;
+        return target.accepts(word);
+      },
+      target.alphabet(), /*extra_states=*/2);
+  const LearnResult via_wmethod = learn_dfa(wmethod, target.alphabet());
+
+  EXPECT_TRUE(fsm::equivalent(via_exhaustive.dfa, via_wmethod.dfa));
+  EXPECT_LT(wmethod_queries, exhaustive_queries);
+}
+
+TEST(WMethod, ReportsTestCount) {
+  SymbolTable table;
+  const fsm::Dfa target = target_of("a b", table);
+  WMethodTeacher teacher(
+      [&](const Word& word) { return target.accepts(word); },
+      target.alphabet(), 1);
+  (void)learn_dfa(teacher, target.alphabet());
+  EXPECT_GT(teacher.tests_executed(), 0u);
+}
+
+}  // namespace
+}  // namespace shelley::learn

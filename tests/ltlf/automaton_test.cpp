@@ -1,0 +1,124 @@
+#include "ltlf/automaton.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fsm/ops.hpp"
+#include "fsm/thompson.hpp"
+#include "ltlf/eval.hpp"
+#include "ltlf/parser.hpp"
+#include "rex/parser.hpp"
+
+namespace shelley::ltlf {
+namespace {
+
+std::vector<Word> all_words(const std::vector<Symbol>& sigma,
+                            std::size_t max_length) {
+  std::vector<Word> words{{}};
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    if (words[i].size() >= max_length) continue;
+    for (Symbol s : sigma) {
+      Word w = words[i];
+      w.push_back(s);
+      words.push_back(std::move(w));
+    }
+  }
+  return words;
+}
+
+// The defining property of the construction: the DFA accepts exactly the
+// words (over the joint alphabet) satisfying the formula.
+class ToDfaProperty : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ToDfaProperty, DfaAgreesWithEvalOracle) {
+  SymbolTable table;
+  const Formula f = parse(GetParam(), table);
+  const std::vector<Symbol> sigma{table.intern("a"), table.intern("b"),
+                                  table.intern("c")};
+  const fsm::Dfa dfa = to_dfa(f, sigma);
+  for (const Word& w : all_words(sigma, 4)) {
+    EXPECT_EQ(dfa.accepts(w), eval(f, w))
+        << GetParam() << " on " << to_string(w, table);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, ToDfaProperty,
+    ::testing::Values("a", "!a", "X a", "N a", "a U b", "a R b", "F a",
+                      "G a", "a W b", "G (a -> X b)", "G (a -> N b)",
+                      "F (a & X b)", "(a U b) & G !c", "end", "N end",
+                      "true", "false", "G (a -> F b)", "!a U (b & X c)"));
+
+TEST(ToDfa, AlphabetJoinsFormulaAtoms) {
+  SymbolTable table;
+  const Formula f = parse("x.err", table);
+  // System alphabet does not mention x.err; the DFA's alphabet must.
+  const fsm::Dfa dfa = to_dfa(f, {table.intern("a")});
+  EXPECT_EQ(dfa.alphabet().size(), 2u);
+}
+
+TEST(ToDfa, StateBoundEnforced) {
+  SymbolTable table;
+  const Formula f = parse("G (a -> X (b & X (c & X a)))", table);
+  EXPECT_THROW(
+      to_dfa(f, {table.intern("a"), table.intern("b"), table.intern("c")},
+             /*max_states=*/1),
+      std::runtime_error);
+}
+
+TEST(ToDfa, ProducesSmallAutomataForTypicalClaims) {
+  SymbolTable table;
+  const Formula f = parse("(!a.open) W b.open", table);
+  const fsm::Dfa dfa =
+      to_dfa(f, {table.intern("a.open"), table.intern("b.open"),
+                 table.intern("a.test")});
+  EXPECT_LE(dfa.state_count(), 8u);
+}
+
+class CounterexampleTest : public ::testing::Test {
+ protected:
+  fsm::Dfa system_(const char* regex_text) {
+    return fsm::determinize(
+        fsm::from_regex(rex::parse(regex_text, table_)));
+  }
+  SymbolTable table_;
+};
+
+TEST_F(CounterexampleTest, HoldsWhenAllTracesSatisfy) {
+  // System: a then b.  Claim: F b.
+  const auto witness = counterexample(system_("a b"), parse("F b", table_));
+  EXPECT_FALSE(witness.has_value());
+}
+
+TEST_F(CounterexampleTest, FindsShortestViolation) {
+  // System: (a + b) (a + b).  Claim: G !a -- violated by words containing a.
+  const auto witness =
+      counterexample(system_("(a + b) (a + b)"), parse("G !a", table_));
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_EQ(witness->size(), 2u);  // every system word has length 2
+  // The witness must actually violate the claim and be in the system.
+  EXPECT_FALSE(eval(parse("G !a", table_), *witness));
+}
+
+TEST_F(CounterexampleTest, PaperClaimOnOpenBeforeB) {
+  // System language: a.test a.open b.open  -- violates (!a.open) W b.open.
+  const auto witness = counterexample(
+      system_("a.test a.open b.open"), parse("(!a.open) W b.open", table_));
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_FALSE(eval(parse("(!a.open) W b.open", table_), *witness));
+}
+
+TEST_F(CounterexampleTest, EmptySystemSatisfiesEverything) {
+  const auto witness =
+      counterexample(system_("void"), parse("false", table_));
+  EXPECT_FALSE(witness.has_value());
+}
+
+TEST_F(CounterexampleTest, EmptyTraceCanViolate) {
+  // System contains ε; claim F a fails on ε.
+  const auto witness = counterexample(system_("a*"), parse("F a", table_));
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_TRUE(witness->empty());
+}
+
+}  // namespace
+}  // namespace shelley::ltlf

@@ -1,0 +1,198 @@
+#include "ltlf/eval.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "ltlf/parser.hpp"
+#include "testing.hpp"
+
+namespace shelley::ltlf {
+namespace {
+
+class EvalTest : public ::testing::Test {
+ protected:
+  Formula parse_(const char* text) { return parse(text, table_); }
+  Word word_(std::initializer_list<const char*> names) {
+    return testing::word(table_, names);
+  }
+  SymbolTable table_;
+};
+
+TEST_F(EvalTest, AtomsHoldAtMatchingPosition) {
+  EXPECT_TRUE(eval(parse_("a"), word_({"a"})));
+  EXPECT_TRUE(eval(parse_("a"), word_({"a", "b"})));
+  EXPECT_FALSE(eval(parse_("a"), word_({"b", "a"})));
+  EXPECT_FALSE(eval(parse_("a"), {}));
+}
+
+TEST_F(EvalTest, BooleanConnectives) {
+  EXPECT_TRUE(eval(parse_("a & X b"), word_({"a", "b"})));
+  EXPECT_FALSE(eval(parse_("a & X b"), word_({"a", "c"})));
+  EXPECT_TRUE(eval(parse_("a | b"), word_({"b"})));
+  EXPECT_TRUE(eval(parse_("!a"), word_({"b"})));
+  EXPECT_TRUE(eval(parse_("a -> b"), word_({"c"})));  // vacuous
+  EXPECT_FALSE(eval(parse_("a -> b"), word_({"a"})));
+}
+
+TEST_F(EvalTest, StrongVersusWeakNext) {
+  // At the last position X φ fails, N φ holds.
+  EXPECT_FALSE(eval(parse_("X true"), word_({"a"})));
+  EXPECT_TRUE(eval(parse_("N false"), word_({"a"})));
+  EXPECT_TRUE(eval(parse_("X b"), word_({"a", "b"})));
+  EXPECT_FALSE(eval(parse_("X b"), word_({"a", "c"})));
+  EXPECT_TRUE(eval(parse_("N b"), word_({"a", "b"})));
+}
+
+TEST_F(EvalTest, UntilRequiresWitness) {
+  EXPECT_TRUE(eval(parse_("a U b"), word_({"a", "a", "b"})));
+  EXPECT_TRUE(eval(parse_("a U b"), word_({"b"})));
+  EXPECT_FALSE(eval(parse_("a U b"), word_({"a", "a"})));  // b never happens
+  EXPECT_FALSE(eval(parse_("a U b"), word_({"a", "c", "b"})));
+  EXPECT_FALSE(eval(parse_("a U b"), {}));
+}
+
+TEST_F(EvalTest, FinallyAndGlobally) {
+  EXPECT_TRUE(eval(parse_("F b"), word_({"a", "a", "b"})));
+  EXPECT_FALSE(eval(parse_("F b"), word_({"a", "a"})));
+  EXPECT_FALSE(eval(parse_("F b"), {}));
+  EXPECT_TRUE(eval(parse_("G a"), word_({"a", "a", "a"})));
+  EXPECT_FALSE(eval(parse_("G a"), word_({"a", "b"})));
+  EXPECT_TRUE(eval(parse_("G a"), {}));  // vacuous on the empty trace
+}
+
+TEST_F(EvalTest, ReleaseSemantics) {
+  // b must hold up to and including the first a (or forever).
+  EXPECT_TRUE(eval(parse_("a R b"), word_({"b", "b", "b"})));
+  EXPECT_TRUE(eval(parse_("a R b"), word_({"b", "b"})));
+  Word w = word_({"b"});
+  w.push_back(table_.intern("ab"));
+  EXPECT_FALSE(eval(parse_("a R b"), word_({"b", "c"})));
+  EXPECT_TRUE(eval(parse_("a R b"), {}));
+}
+
+TEST_F(EvalTest, WeakUntilPaperDefinition) {
+  // (!a.open) W b.open: a.open must not happen until b.open does.
+  const Formula claim = parse_("(!a.open) W b.open");
+  EXPECT_TRUE(eval(claim, {}));
+  EXPECT_TRUE(eval(claim, word_({"a.test", "a.clean"})));
+  EXPECT_TRUE(eval(claim, word_({"b.open", "a.open"})));
+  EXPECT_FALSE(eval(claim, word_({"a.open"})));
+  EXPECT_FALSE(eval(claim, word_({"a.test", "a.open", "b.open"})));
+  // W does not require b.open to ever happen.
+  EXPECT_TRUE(eval(claim, word_({"a.test", "a.test"})));
+}
+
+TEST_F(EvalTest, EndAtomMarksTraceEnd) {
+  EXPECT_TRUE(eval(parse_("end"), {}));
+  EXPECT_FALSE(eval(parse_("end"), word_({"a"})));
+  // Positions range over events, and `end` never holds at an event
+  // position, so the strong F end fails on every trace -- including ε,
+  // where F has no position to use as a witness.
+  EXPECT_FALSE(eval(parse_("F end"), {}));
+  EXPECT_FALSE(eval(parse_("F end"), word_({"a"})));
+  // N end says "at most one event follows... i.e. we are at the last".
+  EXPECT_TRUE(eval(parse_("N end"), word_({"a"})));
+  EXPECT_FALSE(eval(parse_("N end"), word_({"a", "b"})));
+}
+
+TEST_F(EvalTest, EmptyTraceTable) {
+  EXPECT_TRUE(eval_empty(parse_("true")));
+  EXPECT_FALSE(eval_empty(parse_("false")));
+  EXPECT_FALSE(eval_empty(parse_("a")));
+  EXPECT_TRUE(eval_empty(parse_("!a")));
+  EXPECT_FALSE(eval_empty(parse_("X true")));
+  EXPECT_TRUE(eval_empty(parse_("N false")));
+  EXPECT_FALSE(eval_empty(parse_("a U b")));
+  EXPECT_TRUE(eval_empty(parse_("a R b")));
+  EXPECT_TRUE(eval_empty(parse_("G a")));
+  EXPECT_FALSE(eval_empty(parse_("F a")));
+}
+
+TEST_F(EvalTest, ProgressionBaseCases) {
+  const Symbol a = table_.intern("a");
+  EXPECT_EQ(progress(parse_("true"), a)->kind(), Kind::kTrue);
+  EXPECT_EQ(progress(parse_("false"), a)->kind(), Kind::kFalse);
+  EXPECT_EQ(progress(parse_("end"), a)->kind(), Kind::kFalse);
+  EXPECT_EQ(progress(parse_("a"), a)->kind(), Kind::kTrue);
+  EXPECT_EQ(progress(parse_("b"), a)->kind(), Kind::kFalse);
+}
+
+// The fundamental progression property:  a·l ⊨ φ  iff  l ⊨ progress(φ, a),
+// checked for a corpus of formulas over all words up to length 4.
+class ProgressionProperty : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ProgressionProperty, AgreesWithDirectEvaluation) {
+  SymbolTable table;
+  const Formula f = parse(GetParam(), table);
+  const Symbol sigma[] = {table.intern("a"), table.intern("b"),
+                          table.intern("c")};
+
+  std::vector<Word> words{{}};
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    if (words[i].size() >= 4) continue;
+    for (Symbol s : sigma) {
+      Word w = words[i];
+      w.push_back(s);
+      words.push_back(std::move(w));
+    }
+  }
+  for (const Word& w : words) {
+    if (w.empty()) {
+      EXPECT_EQ(eval(f, w), eval_empty(f));
+      continue;
+    }
+    const Word tail(w.begin() + 1, w.end());
+    EXPECT_EQ(eval(f, w), eval(progress(f, w.front()), tail))
+        << GetParam() << " on " << to_string(w, table);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, ProgressionProperty,
+    ::testing::Values("a", "!a", "a & b", "a | X b", "X a", "N a", "a U b",
+                      "a R b", "F a", "G a", "a W b", "G (a -> X b)",
+                      "F (a & X b)", "(a U b) & G !c", "G (a -> N b)",
+                      "end", "F end", "!end U a", "G (a -> F b)"));
+
+// Randomized deep-formula progression check.
+TEST(ProgressionRandom, RandomFormulasAgree) {
+  SymbolTable table;
+  const Symbol syms[] = {table.intern("a"), table.intern("b")};
+  std::mt19937_64 rng(42);
+
+  std::function<Formula(int)> gen = [&](int depth) -> Formula {
+    std::uniform_int_distribution<int> pick(0, depth == 0 ? 3 : 11);
+    switch (pick(rng)) {
+      case 0: return truth();
+      case 1: return falsity();
+      case 2: return atom(syms[rng() % 2]);
+      case 3: return end();
+      case 4: return make_not(gen(depth - 1));
+      case 5: return make_and(gen(depth - 1), gen(depth - 1));
+      case 6: return make_or(gen(depth - 1), gen(depth - 1));
+      case 7: return make_next(gen(depth - 1));
+      case 8: return make_weak_next(gen(depth - 1));
+      case 9: return make_until(gen(depth - 1), gen(depth - 1));
+      case 10: return make_release(gen(depth - 1), gen(depth - 1));
+      default: return make_weak_until(gen(depth - 1), gen(depth - 1));
+    }
+  };
+
+  for (int round = 0; round < 300; ++round) {
+    const Formula f = gen(3);
+    Word w;
+    const std::size_t length = rng() % 5;
+    for (std::size_t i = 0; i < length; ++i) w.push_back(syms[rng() % 2]);
+    if (w.empty()) {
+      EXPECT_EQ(eval(f, w), eval_empty(f));
+    } else {
+      const Word tail(w.begin() + 1, w.end());
+      EXPECT_EQ(eval(f, w), eval(progress(f, w.front()), tail))
+          << to_string(f, table);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace shelley::ltlf

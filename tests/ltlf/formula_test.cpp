@@ -1,0 +1,108 @@
+#include "ltlf/formula.hpp"
+
+#include <gtest/gtest.h>
+
+namespace shelley::ltlf {
+namespace {
+
+class FormulaTest : public ::testing::Test {
+ protected:
+  SymbolTable table_;
+  Formula a_ = atom(table_.intern("a"));
+  Formula b_ = atom(table_.intern("b"));
+  Formula c_ = atom(table_.intern("c"));
+};
+
+TEST_F(FormulaTest, ConstantFolding) {
+  EXPECT_EQ(make_not(truth())->kind(), Kind::kFalse);
+  EXPECT_EQ(make_not(falsity())->kind(), Kind::kTrue);
+  EXPECT_TRUE(structurally_equal(make_not(make_not(a_)), a_));
+  EXPECT_EQ(make_and(a_, falsity())->kind(), Kind::kFalse);
+  EXPECT_TRUE(structurally_equal(make_and(a_, truth()), a_));
+  EXPECT_EQ(make_or(a_, truth())->kind(), Kind::kTrue);
+  EXPECT_TRUE(structurally_equal(make_or(a_, falsity()), a_));
+}
+
+TEST_F(FormulaTest, AndOrAreACI) {
+  EXPECT_TRUE(structurally_equal(make_and(a_, b_), make_and(b_, a_)));
+  EXPECT_TRUE(structurally_equal(make_and(a_, make_and(b_, c_)),
+                                 make_and(make_and(a_, b_), c_)));
+  EXPECT_TRUE(structurally_equal(make_and(a_, a_), a_));
+  EXPECT_TRUE(structurally_equal(make_or(a_, make_or(a_, b_)),
+                                 make_or(b_, a_)));
+}
+
+TEST_F(FormulaTest, ComplementaryPairsCollapse) {
+  EXPECT_EQ(make_and(a_, make_not(a_))->kind(), Kind::kFalse);
+  EXPECT_EQ(make_or(a_, make_not(a_))->kind(), Kind::kTrue);
+  // Even nested inside an n-ary operand list.
+  EXPECT_EQ(make_and(make_and(a_, b_), make_not(a_))->kind(), Kind::kFalse);
+}
+
+TEST_F(FormulaTest, TemporalSimplifications) {
+  EXPECT_EQ(make_next(falsity())->kind(), Kind::kFalse);
+  EXPECT_EQ(make_weak_next(truth())->kind(), Kind::kTrue);
+  EXPECT_EQ(make_until(a_, falsity())->kind(), Kind::kFalse);
+  EXPECT_EQ(make_until(a_, truth())->kind(), Kind::kTrue);
+  EXPECT_TRUE(structurally_equal(make_until(falsity(), b_), b_));
+  EXPECT_TRUE(structurally_equal(make_release(truth(), b_), b_));
+  EXPECT_EQ(make_release(a_, truth())->kind(), Kind::kTrue);
+}
+
+TEST_F(FormulaTest, DerivedOperators) {
+  // F a = true U a
+  const Formula f = make_finally(a_);
+  ASSERT_EQ(f->kind(), Kind::kUntil);
+  EXPECT_EQ(f->left()->kind(), Kind::kTrue);
+  // G a = false R a
+  const Formula g = make_globally(a_);
+  ASSERT_EQ(g->kind(), Kind::kRelease);
+  EXPECT_EQ(g->left()->kind(), Kind::kFalse);
+  // a W b = (a U b) | G a  -- the paper's definition.
+  const Formula w = make_weak_until(a_, b_);
+  ASSERT_EQ(w->kind(), Kind::kOr);
+  // a -> b = !a | b
+  const Formula imp = make_implies(a_, b_);
+  ASSERT_EQ(imp->kind(), Kind::kOr);
+}
+
+TEST_F(FormulaTest, AtomsCollected) {
+  const Formula f =
+      make_until(a_, make_and(b_, make_globally(make_not(c_))));
+  EXPECT_EQ(atoms(f).size(), 3u);
+  EXPECT_TRUE(atoms(truth()).empty());
+}
+
+TEST_F(FormulaTest, StructuralCompareTotalOrder) {
+  const Formula items[] = {truth(),    falsity(),       end(),
+                           a_,         b_,              make_not(a_),
+                           make_and(a_, b_), make_next(a_),
+                           make_until(a_, b_)};
+  for (const Formula& x : items) {
+    EXPECT_EQ(structural_compare(x, x), 0);
+    for (const Formula& y : items) {
+      EXPECT_EQ(structural_compare(x, y), -structural_compare(y, x));
+    }
+  }
+}
+
+TEST_F(FormulaTest, Printing) {
+  EXPECT_EQ(to_string(a_, table_), "a");
+  EXPECT_EQ(to_string(make_not(a_), table_), "!a");
+  EXPECT_EQ(to_string(make_and(a_, b_), table_), "a & b");
+  EXPECT_EQ(to_string(make_next(a_), table_), "X a");
+  EXPECT_EQ(to_string(make_finally(a_), table_), "F a");
+  EXPECT_EQ(to_string(make_globally(a_), table_), "G a");
+  EXPECT_EQ(to_string(make_until(a_, b_), table_), "a U b");
+  // Or binds looser than and; note the normalizing constructors sort
+  // operands canonically (atoms before conjunctions).
+  EXPECT_EQ(to_string(make_or(make_and(a_, b_), c_), table_), "c | a & b");
+}
+
+TEST_F(FormulaTest, SizeAccountsForSharing) {
+  EXPECT_EQ(a_->size(), 1u);
+  EXPECT_EQ(make_and(a_, b_)->size(), 3u);
+}
+
+}  // namespace
+}  // namespace shelley::ltlf

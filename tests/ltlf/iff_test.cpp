@@ -1,0 +1,47 @@
+#include <gtest/gtest.h>
+
+#include "ltlf/eval.hpp"
+#include "ltlf/parser.hpp"
+#include "testing.hpp"
+
+namespace shelley::ltlf {
+namespace {
+
+class IffTest : public ::testing::Test {
+ protected:
+  Formula parse_(const char* text) { return parse(text, table_); }
+  Word word_(std::initializer_list<const char*> names) {
+    return testing::word(table_, names);
+  }
+  SymbolTable table_;
+};
+
+TEST_F(IffTest, DesugarsToConjunctionOfImplications) {
+  EXPECT_TRUE(structurally_equal(
+      parse_("a <-> b"), parse_("(a -> b) & (b -> a)")));
+}
+
+TEST_F(IffTest, SemanticsOnTraces) {
+  const Formula f = parse_("a <-> b");  // at position 0: both or neither
+  EXPECT_FALSE(eval(f, word_({"a"})));
+  EXPECT_FALSE(eval(f, word_({"b"})));
+  EXPECT_TRUE(eval(f, word_({"c"})));  // neither holds
+  EXPECT_TRUE(eval(f, {}));            // vacuously
+}
+
+TEST_F(IffTest, BindsLoosestLikeImplies) {
+  // a & b <-> c  ==  (a & b) <-> c
+  const Formula f = parse_("a & b <-> c");
+  EXPECT_TRUE(structurally_equal(
+      f, parse_("((a & b) -> c) & (c -> (a & b))")));
+}
+
+TEST_F(IffTest, TemporalOperandsWork) {
+  const Formula f = parse_("F a <-> F b");
+  EXPECT_TRUE(eval(f, word_({"c", "c"})));        // neither ever
+  EXPECT_TRUE(eval(f, word_({"a", "b"})));        // both eventually
+  EXPECT_FALSE(eval(f, word_({"a", "c"})));       // only a
+}
+
+}  // namespace
+}  // namespace shelley::ltlf

@@ -1,0 +1,147 @@
+// Negation normal form (make_not) and DNF state canonicalization (to_dnf):
+// the pair that keeps the progression construction finite.  Includes
+// regression cases that previously made to_dfa diverge.
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "ltlf/automaton.hpp"
+#include "ltlf/eval.hpp"
+#include "ltlf/parser.hpp"
+
+namespace shelley::ltlf {
+namespace {
+
+class NnfTest : public ::testing::Test {
+ protected:
+  Formula parse_(const char* text) { return parse(text, table_); }
+  SymbolTable table_;
+};
+
+TEST_F(NnfTest, NegationOnlyWrapsAtomsAndEnd) {
+  const Formula cases[] = {
+      make_not(parse_("a & b")),        make_not(parse_("a | b")),
+      make_not(parse_("X a")),          make_not(parse_("N a")),
+      make_not(parse_("a U b")),        make_not(parse_("a R b")),
+      make_not(parse_("G (a -> F b)")), make_not(parse_("(a U b) U F c")),
+  };
+  const std::function<void(const Formula&)> check =
+      [&](const Formula& f) {
+        if (f->kind() == Kind::kNot) {
+          EXPECT_TRUE(f->left()->kind() == Kind::kAtom ||
+                      f->left()->kind() == Kind::kEnd)
+              << to_string(f, table_);
+          return;
+        }
+        if (f->left()) check(f->left());
+        if (f->right()) check(f->right());
+      };
+  for (const Formula& f : cases) check(f);
+}
+
+TEST_F(NnfTest, DualizationLaws) {
+  // De Morgan.
+  EXPECT_TRUE(structurally_equal(make_not(parse_("a & b")),
+                                 parse_("!a | !b")));
+  EXPECT_TRUE(structurally_equal(make_not(parse_("a | b")),
+                                 parse_("!a & !b")));
+  // Temporal duals.
+  EXPECT_TRUE(structurally_equal(make_not(parse_("X a")), parse_("N !a")));
+  EXPECT_TRUE(structurally_equal(make_not(parse_("N a")), parse_("X !a")));
+  EXPECT_TRUE(structurally_equal(make_not(parse_("a U b")),
+                                 parse_("!a R !b")));
+  EXPECT_TRUE(structurally_equal(make_not(parse_("a R b")),
+                                 parse_("!a U !b")));
+  // Involution.
+  const Formula f = parse_("G (a -> F b)");
+  EXPECT_TRUE(structurally_equal(make_not(make_not(f)), f));
+}
+
+TEST_F(NnfTest, NegationIsSemanticComplement) {
+  const char* cases[] = {"a & b", "X a", "N a", "a U b", "a R b",
+                         "G (a -> F b)", "(a U b) U F c", "a W b"};
+  const Symbol sigma[] = {table_.intern("a"), table_.intern("b"),
+                          table_.intern("c")};
+  std::vector<Word> words{{}};
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    if (words[i].size() >= 4) continue;
+    for (Symbol s : sigma) {
+      Word w = words[i];
+      w.push_back(s);
+      words.push_back(std::move(w));
+    }
+  }
+  for (const char* text : cases) {
+    const Formula f = parse(text, table_);
+    const Formula negated = make_not(f);
+    for (const Word& w : words) {
+      EXPECT_NE(eval(f, w), eval(negated, w))
+          << text << " on word of length " << w.size();
+    }
+  }
+}
+
+TEST_F(NnfTest, DnfIsSemanticallyEqual) {
+  const char* cases[] = {"(a | b) & (c | a)", "a & (b | c) & (a | c)",
+                        "G a & (F b | X c)", "(a & b) | (a & b & c)"};
+  const Symbol sigma[] = {table_.intern("a"), table_.intern("b"),
+                          table_.intern("c")};
+  std::vector<Word> words{{}};
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    if (words[i].size() >= 3) continue;
+    for (Symbol s : sigma) {
+      Word w = words[i];
+      w.push_back(s);
+      words.push_back(std::move(w));
+    }
+  }
+  for (const char* text : cases) {
+    const Formula f = parse(text, table_);
+    const Formula dnf = to_dnf(f);
+    for (const Word& w : words) {
+      EXPECT_EQ(eval(f, w), eval(dnf, w)) << text;
+    }
+  }
+}
+
+TEST_F(NnfTest, AbsorptionCollapses) {
+  // A | (A & B) = A;  A & (A | B) = A.
+  const Formula a = parse_("a");
+  const Formula ab = parse_("a & b");
+  EXPECT_TRUE(structurally_equal(make_or(a, ab), a));
+  const Formula a_or_b = parse_("a | b");
+  EXPECT_TRUE(structurally_equal(make_and(a, a_or_b), a));
+}
+
+// Regression: these negated nested-until formulas previously generated
+// unboundedly many structurally distinct progression states.
+class ProgressionConvergence : public ::testing::TestWithParam<const char*> {
+};
+
+TEST_P(ProgressionConvergence, ToDfaTerminatesQuicklyOnNegation) {
+  SymbolTable table;
+  const Formula f = parse(GetParam(), table);
+  std::vector<Symbol> sigma{table.intern("a"), table.intern("b"),
+                            table.intern("c")};
+  const auto start = std::chrono::steady_clock::now();
+  const fsm::Dfa dfa = to_dfa(make_not(f), sigma);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::seconds>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_LT(dfa.state_count(), 64u) << GetParam();
+  EXPECT_LT(elapsed.count(), 10) << GetParam();
+  // And the automaton is still correct (spot-check against the evaluator).
+  for (const Word w : {Word{}, Word{table.intern("a")},
+                       Word{table.intern("a"), table.intern("b")}}) {
+    EXPECT_EQ(dfa.accepts(w), eval(make_not(f), w)) << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Regressions, ProgressionConvergence,
+    ::testing::Values("(a U b) U (F c)",
+                      "((a U b) | (G a) U (F c)) | (G ((a U b) | (G a)))",
+                      "(a U b) R (c U a)", "G ((a U b) U c)",
+                      "F ((a R b) R c)"));
+
+}  // namespace
+}  // namespace shelley::ltlf

@@ -1,0 +1,99 @@
+#include "ltlf/parser.hpp"
+
+#include <gtest/gtest.h>
+
+namespace shelley::ltlf {
+namespace {
+
+class LtlfParserTest : public ::testing::Test {
+ protected:
+  Formula parse_(const char* text) { return parse(text, table_); }
+  SymbolTable table_;
+};
+
+TEST_F(LtlfParserTest, AtomsAndConstants) {
+  EXPECT_EQ(parse_("true")->kind(), Kind::kTrue);
+  EXPECT_EQ(parse_("false")->kind(), Kind::kFalse);
+  EXPECT_EQ(parse_("end")->kind(), Kind::kEnd);
+  const Formula a = parse_("a.open");
+  ASSERT_EQ(a->kind(), Kind::kAtom);
+  EXPECT_EQ(table_.name(a->symbol()), "a.open");
+}
+
+TEST_F(LtlfParserTest, PaperClaimParses) {
+  // (!a.open) W b.open  desugars to  (!a.open U b.open) | G !a.open.
+  const Formula claim = parse_("(!a.open) W b.open");
+  ASSERT_EQ(claim->kind(), Kind::kOr);
+  EXPECT_TRUE(structurally_equal(
+      claim, make_weak_until(make_not(atom(*table_.lookup("a.open"))),
+                             atom(*table_.lookup("b.open")))));
+}
+
+TEST_F(LtlfParserTest, UnarySpellings) {
+  EXPECT_TRUE(structurally_equal(parse_("!a"), parse_("not a")));
+  EXPECT_TRUE(structurally_equal(parse_("!a"), parse_("¬a")));
+  EXPECT_EQ(parse_("X a")->kind(), Kind::kNext);
+  EXPECT_EQ(parse_("N a")->kind(), Kind::kWeakNext);
+  EXPECT_EQ(parse_("F a")->kind(), Kind::kUntil);   // F a = true U a
+  EXPECT_EQ(parse_("G a")->kind(), Kind::kRelease); // G a = false R a
+}
+
+TEST_F(LtlfParserTest, BinarySpellings) {
+  EXPECT_TRUE(structurally_equal(parse_("a & b"), parse_("a && b")));
+  EXPECT_TRUE(structurally_equal(parse_("a & b"), parse_("a and b")));
+  EXPECT_TRUE(structurally_equal(parse_("a | b"), parse_("a || b")));
+  EXPECT_TRUE(structurally_equal(parse_("a | b"), parse_("a or b")));
+}
+
+TEST_F(LtlfParserTest, PrecedenceUnaryOverAndOverOrOverTemporal) {
+  // !a & b  ==  (!a) & b
+  const Formula f1 = parse_("!a & b");
+  ASSERT_EQ(f1->kind(), Kind::kAnd);
+  // a & b | c  ==  (a & b) | c
+  const Formula f2 = parse_("a & b | c");
+  ASSERT_EQ(f2->kind(), Kind::kOr);
+  // a | b U c  ==  a | (b U c)   (temporal binds tighter than | and &)
+  const Formula f3 = parse_("a | b U c");
+  ASSERT_EQ(f3->kind(), Kind::kOr);
+}
+
+TEST_F(LtlfParserTest, TemporalRightAssociative) {
+  // a U b U c  ==  a U (b U c)
+  const Formula f = parse_("a U b U c");
+  ASSERT_EQ(f->kind(), Kind::kUntil);
+  EXPECT_EQ(f->right()->kind(), Kind::kUntil);
+}
+
+TEST_F(LtlfParserTest, ImpliesIsRightAssociativeAndLoosest) {
+  // a -> b -> c  ==  a -> (b -> c)  ==  !a | (!b | c)
+  const Formula f = parse_("a -> b -> c");
+  ASSERT_EQ(f->kind(), Kind::kOr);
+}
+
+TEST_F(LtlfParserTest, NestedTemporal) {
+  const Formula f = parse_("G (request -> F grant)");
+  ASSERT_EQ(f->kind(), Kind::kRelease);
+  EXPECT_EQ(f->left()->kind(), Kind::kFalse);
+}
+
+TEST_F(LtlfParserTest, Errors) {
+  EXPECT_THROW(parse_(""), ParseError);
+  EXPECT_THROW(parse_("a &"), ParseError);
+  EXPECT_THROW(parse_("(a"), ParseError);
+  EXPECT_THROW(parse_("a b"), ParseError);  // juxtaposition is not valid
+  EXPECT_THROW(parse_("U a"), ParseError);
+  EXPECT_THROW(parse_("a # b"), ParseError);
+}
+
+TEST_F(LtlfParserTest, RoundTripThroughPrinter) {
+  const char* cases[] = {"a U b", "G a", "F a", "!a & b | c",
+                         "G (a.open -> F a.close)", "N a", "X a"};
+  for (const char* text : cases) {
+    const Formula first = parse(text, table_);
+    const Formula second = parse(to_string(first, table_), table_);
+    EXPECT_TRUE(structurally_equal(first, second)) << text;
+  }
+}
+
+}  // namespace
+}  // namespace shelley::ltlf

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "ltlf/eval.hpp"
+#include "ltlf/formula.hpp"
+#include "ltlf/parser.hpp"
+
+namespace shelley::ltlf {
+namespace {
+
+class SimplifyTest : public ::testing::Test {
+ protected:
+  Formula parse_(const char* text) { return parse(text, table_); }
+  SymbolTable table_;
+};
+
+TEST_F(SimplifyTest, UntilIdempotence) {
+  EXPECT_TRUE(structurally_equal(simplify(parse_("a U (a U b)")),
+                                 parse_("a U b")));
+}
+
+TEST_F(SimplifyTest, NestedFinally) {
+  EXPECT_TRUE(structurally_equal(simplify(parse_("F F a")), parse_("F a")));
+}
+
+TEST_F(SimplifyTest, NestedGlobally) {
+  EXPECT_TRUE(structurally_equal(simplify(parse_("G G a")), parse_("G a")));
+}
+
+TEST_F(SimplifyTest, ReleaseIdempotence) {
+  EXPECT_TRUE(structurally_equal(simplify(parse_("a R (a R b)")),
+                                 parse_("a R b")));
+}
+
+TEST_F(SimplifyTest, DeepNestsCollapse) {
+  EXPECT_TRUE(
+      structurally_equal(simplify(parse_("F F F F a")), parse_("F a")));
+  EXPECT_TRUE(structurally_equal(simplify(parse_("G (G (G a))")),
+                                 parse_("G a")));
+}
+
+TEST_F(SimplifyTest, SimplificationInsideConnectives) {
+  EXPECT_TRUE(structurally_equal(simplify(parse_("F F a & G G b")),
+                                 parse_("F a & G b")));
+  EXPECT_TRUE(structurally_equal(simplify(parse_("!(F F a)")),
+                                 parse_("!(F a)")));
+  EXPECT_TRUE(structurally_equal(simplify(parse_("X (F F a)")),
+                                 parse_("X (F a)")));
+}
+
+TEST_F(SimplifyTest, IrreducibleFormulasUnchanged) {
+  const char* cases[] = {"a", "a U b", "G (a -> F b)", "N a", "a W b"};
+  for (const char* text : cases) {
+    const Formula f = parse(text, table_);
+    EXPECT_TRUE(structurally_equal(simplify(f), f)) << text;
+  }
+}
+
+// The critical property: simplification preserves the finite-trace
+// semantics on every word up to length 4.
+class SimplifyPreservation : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SimplifyPreservation, SameSemantics) {
+  SymbolTable table;
+  const Formula original = parse(GetParam(), table);
+  const Formula simplified = simplify(original);
+  const Symbol sigma[] = {table.intern("a"), table.intern("b")};
+
+  std::vector<Word> words{{}};
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    if (words[i].size() >= 4) continue;
+    for (Symbol s : sigma) {
+      Word w = words[i];
+      w.push_back(s);
+      words.push_back(std::move(w));
+    }
+  }
+  for (const Word& w : words) {
+    EXPECT_EQ(eval(original, w), eval(simplified, w)) << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, SimplifyPreservation,
+    ::testing::Values("F F a", "G G a", "a U (a U b)", "a R (a R b)",
+                      "F F a | G G b", "G (a -> F F b)", "X F F a",
+                      "!(G G a)", "(a U (a U b)) & G G a", "N (F F a)"));
+
+}  // namespace
+}  // namespace shelley::ltlf

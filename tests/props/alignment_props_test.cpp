@@ -1,0 +1,155 @@
+// Differential fuzzing of the trickiest cross-module invariant: the exit
+// ids assigned by the spec extraction (source-order numbering of return
+// statements, shelley/spec) must coincide with the ids the IR lowering tags
+// returns with (ir/lowering) -- across arbitrary nesting of returns inside
+// if/elif, loops, matches, and try blocks.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "ir/inference.hpp"
+#include "ir/lowering.hpp"
+#include "shelley/spec.hpp"
+#include "upy/parser.hpp"
+
+namespace shelley {
+namespace {
+
+/// Generates a random method body with returns sprinkled at every nesting
+/// construct.  Returns the body text (indented at depth 2) and the number
+/// of return statements emitted.
+class BodyGenerator {
+ public:
+  explicit BodyGenerator(std::uint64_t seed) : rng_(seed) {}
+
+  std::pair<std::string, std::size_t> generate() {
+    returns_ = 0;
+    std::string out = block(2, 3);
+    // Guarantee at least one statement.
+    if (out.empty()) {
+      out = indent(2) + "return []\n";
+      returns_ = 1;
+    }
+    return {out, returns_};
+  }
+
+ private:
+  static std::string indent(int depth) {
+    return std::string(static_cast<std::size_t>(depth) * 4, ' ');
+  }
+
+  std::string return_stmt(int depth) {
+    ++returns_;
+    switch (rng_() % 3) {
+      case 0: return indent(depth) + "return []\n";
+      case 1: return indent(depth) + "return [\"m\"]\n";
+      default: return indent(depth) + "return [\"m\"], 1\n";
+    }
+  }
+
+  std::string statement(int depth, int budget) {
+    switch (rng_() % (budget > 0 ? 7 : 3)) {
+      case 0:
+        return indent(depth) + "x = 1\n";
+      case 1:
+        return indent(depth) + "self.a.ping()\n";
+      case 2:
+        return return_stmt(depth);
+      case 3: {  // if/else with bodies
+        std::string out = indent(depth) + "if x:\n";
+        out += block(depth + 1, budget - 1);
+        out += indent(depth) + "else:\n";
+        out += block(depth + 1, budget - 1);
+        return out;
+      }
+      case 4: {  // while
+        std::string out = indent(depth) + "while x:\n";
+        out += block(depth + 1, budget - 1);
+        return out;
+      }
+      case 5: {  // match
+        std::string out = indent(depth) + "match self.a.ping():\n";
+        out += indent(depth + 1) + "case [\"m\"]:\n";
+        out += block(depth + 2, budget - 1);
+        out += indent(depth + 1) + "case _:\n";
+        out += block(depth + 2, budget - 1);
+        return out;
+      }
+      default: {  // try/except/finally
+        std::string out = indent(depth) + "try:\n";
+        out += block(depth + 1, budget - 1);
+        out += indent(depth) + "except:\n";
+        out += block(depth + 1, budget - 1);
+        out += indent(depth) + "finally:\n";
+        out += block(depth + 1, budget - 1);
+        return out;
+      }
+    }
+  }
+
+  std::string block(int depth, int budget) {
+    std::string out;
+    const std::size_t statements = 1 + rng_() % 3;
+    for (std::size_t i = 0; i < statements; ++i) {
+      out += statement(depth, budget);
+    }
+    return out;
+  }
+
+  std::mt19937_64 rng_;
+  std::size_t returns_ = 0;
+};
+
+class AlignmentFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(AlignmentFuzz, SpecExitIdsMatchLoweringIds) {
+  BodyGenerator generator(static_cast<std::uint64_t>(GetParam()) * 977 + 5);
+  const auto [body, return_count] = generator.generate();
+  const std::string source =
+      "@sys([\"a\"])\nclass C:\n"
+      "    def __init__(self):\n        self.a = Thing()\n"
+      "    @op_initial_final\n    def m(self):\n" + body;
+
+  const upy::Module module = upy::parse_module(source);
+  DiagnosticEngine diagnostics;
+  const core::ClassSpec spec =
+      core::extract_class_spec(module.classes.at(0), diagnostics);
+  const core::Operation* op = spec.find_operation("m");
+  ASSERT_NE(op, nullptr);
+
+  // Lower with id tagging; the counter must agree with the total number of
+  // returns, and every spec exit id must appear among the tagged returns.
+  SymbolTable table;
+  ir::LoweringContext context;
+  context.tracked_fields = {"a"};
+  context.symbols = &table;
+  std::uint32_t next_id = 0;
+  context.next_return_id = &next_id;
+  const ir::Program program = ir::lower_block(op->body, context);
+  EXPECT_EQ(next_id, return_count) << source;
+
+  // Exit ids visible in the spec are exactly the source-order indexes of
+  // decodable returns; they must form a subset of [0, return_count).  A
+  // body with no returns at all gets the documented implicit exit (id 0).
+  if (return_count == 0) {
+    ASSERT_EQ(op->exits.size(), 1u) << source;
+    EXPECT_EQ(op->exits[0].id, 0u) << source;
+    EXPECT_TRUE(op->exits[0].successors.empty()) << source;
+  } else {
+    for (const core::ExitPoint& exit : op->exits) {
+      EXPECT_LT(exit.id, return_count) << source;
+    }
+  }
+
+  // Every returned behavior of the analysis carries an id the spec knows
+  // (or a dead/undecodable slot, which the spec intentionally skips).
+  const ir::Behavior behavior = ir::analyze(program);
+  for (const auto& returned : behavior.returned) {
+    EXPECT_LT(returned.exit_id, return_count) << source;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AlignmentFuzz, ::testing::Range(0, 60));
+
+}  // namespace
+}  // namespace shelley

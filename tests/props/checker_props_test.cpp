@@ -1,0 +1,149 @@
+// Differential validation of the composite checker itself: on randomly
+// generated composites over Valve,
+//
+//   * when check_composite reports INVALID SUBSYSTEM USAGE, its
+//     counterexample must really be a complete system behavior whose
+//     projection is rejected by the subsystem's usage automaton;
+//
+//   * when it reports no subsystem error, every complete system behavior
+//     (enumerated up to a length bound) must project to a valid usage.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "fsm/ops.hpp"
+#include "paper_sources.hpp"
+#include "shelley/checker.hpp"
+#include "support/strings.hpp"
+#include "upy/parser.hpp"
+
+namespace shelley::core {
+namespace {
+
+/// Generates a composite class over one Valve whose single operation makes
+/// a random (possibly invalid) sequence of valve calls.
+std::string random_composite(std::mt19937_64& rng) {
+  std::string body;
+  const std::size_t calls = 1 + rng() % 4;
+  for (std::size_t i = 0; i < calls; ++i) {
+    switch (rng() % 4) {
+      case 0:
+        // The only legal way to test: branch on the result.
+        body +=
+            "        match self.a.test():\n"
+            "            case [\"open\"]:\n"
+            "                self.a.open()\n"
+            "                self.a.close()\n"
+            "            case [\"clean\"]:\n"
+            "                self.a.clean()\n";
+        break;
+      case 1:
+        body += "        self.a.open()\n";
+        break;
+      case 2:
+        body += "        self.a.close()\n";
+        break;
+      default:
+        body += "        self.a.clean()\n";
+        break;
+    }
+  }
+  const bool repeatable = rng() % 2 == 0;
+  body += repeatable ? "        return [\"run\"]\n"
+                     : "        return []\n";
+  return "@sys([\"a\"])\nclass Rand:\n"
+         "    def __init__(self):\n        self.a = Valve()\n"
+         "    @op_initial_final\n    def run(self):\n" +
+         body;
+}
+
+/// Enumerates accepted words of `dfa` with length <= max_length (BFS).
+std::vector<Word> accepted_words(const fsm::Dfa& dfa,
+                                 std::size_t max_length) {
+  std::vector<Word> out;
+  std::vector<std::pair<fsm::StateId, Word>> frontier{{dfa.initial(), {}}};
+  for (std::size_t length = 0; length <= max_length; ++length) {
+    std::vector<std::pair<fsm::StateId, Word>> next;
+    for (const auto& [state, word] : frontier) {
+      if (dfa.is_accepting(state)) out.push_back(word);
+      if (word.size() == length && length < max_length) {
+        for (std::size_t letter = 0; letter < dfa.alphabet().size();
+             ++letter) {
+          Word extended = word;
+          extended.push_back(dfa.alphabet()[letter]);
+          next.emplace_back(dfa.transition(state, letter),
+                            std::move(extended));
+        }
+      }
+    }
+    frontier = std::move(next);
+    if (frontier.empty()) break;
+  }
+  return out;
+}
+
+class CheckerDifferential : public ::testing::TestWithParam<int> {};
+
+TEST_P(CheckerDifferential, VerdictMatchesBruteForce) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * 6151 + 11);
+
+  std::deque<ClassSpec> specs;
+  DiagnosticEngine diagnostics;
+  SymbolTable table;
+  const upy::Module valve = upy::parse_module(examples::kValveSource);
+  specs.push_back(extract_class_spec(valve.classes.at(0), diagnostics));
+  const upy::Module composite =
+      upy::parse_module(random_composite(rng));
+  specs.push_back(
+      extract_class_spec(composite.classes.at(0), diagnostics));
+  const ClassLookup lookup = [&](const std::string& name) ->
+      const ClassSpec* {
+    for (const ClassSpec& spec : specs) {
+      if (spec.name == name) return &spec;
+    }
+    return nullptr;
+  };
+
+  const CheckResult result =
+      check_composite(specs.back(), lookup, table, diagnostics);
+
+  // Ground truth machinery.
+  const auto behaviors = extract_behaviors(specs.back(), table, diagnostics);
+  const SystemModel model =
+      build_system_model(specs.back(), behaviors, table, diagnostics);
+  const fsm::Dfa system =
+      fsm::determinize(model.nfa, model.full_alphabet());
+  const fsm::Nfa valve_usage = usage_nfa(specs.front(), table, "a.");
+
+  const auto project = [&](const Word& word) {
+    Word out;
+    for (Symbol s : word) {
+      if (starts_with(table.name(s), "a.")) out.push_back(s);
+    }
+    return out;
+  };
+
+  if (result.subsystem_errors.empty()) {
+    // Every complete behavior up to length 8 must project validly.
+    for (const Word& word : accepted_words(system, 8)) {
+      EXPECT_TRUE(valve_usage.accepts(project(word)))
+          << "checker missed invalid usage on trace ["
+          << to_string(word, table) << "] of:\n"
+          << random_composite(rng);
+    }
+  } else {
+    // The counterexample must be a real complete behavior with an invalid
+    // projection.
+    const Word& cex = result.subsystem_errors[0].counterexample;
+    EXPECT_TRUE(system.accepts(cex))
+        << "counterexample is not a system behavior";
+    EXPECT_FALSE(valve_usage.accepts(project(cex)))
+        << "counterexample's projection is actually valid";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CheckerDifferential,
+                         ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace shelley::core

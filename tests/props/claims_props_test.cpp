@@ -1,0 +1,117 @@
+// Differential validation of claim checking: random LTLf claims over
+// valve events, checked two ways --
+//
+//   * the pipeline (ltlf::counterexample over the projected system DFA);
+//   * brute force (direct evaluation of the formula on every complete
+//     behavior up to a length bound).
+//
+// A reported counterexample must be a real behavior violating the formula;
+// a clean verdict must survive the brute-force sweep.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "fsm/ops.hpp"
+#include "ltlf/automaton.hpp"
+#include "ltlf/eval.hpp"
+#include "paper_sources.hpp"
+#include "shelley/automata.hpp"
+#include "upy/parser.hpp"
+
+namespace shelley::core {
+namespace {
+
+ltlf::Formula random_claim(std::mt19937_64& rng, SymbolTable& table,
+                           int depth) {
+  const char* events[] = {"a.test", "a.open", "a.close", "a.clean"};
+  if (depth == 0) {
+    const ltlf::Formula a = ltlf::atom(table.intern(events[rng() % 4]));
+    return rng() % 3 == 0 ? ltlf::make_not(a) : a;
+  }
+  switch (rng() % 8) {
+    case 0:
+      // Negation over arbitrary temporal subformulas: the NNF constructors
+      // plus DNF state canonicalization keep progression finite even here.
+      return ltlf::make_not(random_claim(rng, table, depth - 1));
+    case 1:
+      return ltlf::make_and(random_claim(rng, table, depth - 1),
+                            random_claim(rng, table, depth - 1));
+    case 2:
+      return ltlf::make_or(random_claim(rng, table, depth - 1),
+                           random_claim(rng, table, depth - 1));
+    case 3:
+      return ltlf::make_next(random_claim(rng, table, depth - 1));
+    case 4:
+      return ltlf::make_finally(random_claim(rng, table, depth - 1));
+    case 5:
+      return ltlf::make_globally(random_claim(rng, table, depth - 1));
+    case 6:
+      return ltlf::make_until(random_claim(rng, table, depth - 1),
+                              random_claim(rng, table, depth - 1));
+    default:
+      return ltlf::make_weak_until(random_claim(rng, table, depth - 1),
+                                   random_claim(rng, table, depth - 1));
+  }
+}
+
+std::vector<Word> accepted_words(const fsm::Dfa& dfa,
+                                 std::size_t max_length) {
+  std::vector<Word> out;
+  std::vector<std::pair<fsm::StateId, Word>> frontier{{dfa.initial(), {}}};
+  for (std::size_t length = 0; length <= max_length; ++length) {
+    std::vector<std::pair<fsm::StateId, Word>> next;
+    for (const auto& [state, word] : frontier) {
+      if (dfa.is_accepting(state)) out.push_back(word);
+      if (word.size() == length && length < max_length) {
+        for (std::size_t letter = 0; letter < dfa.alphabet().size();
+             ++letter) {
+          Word extended = word;
+          extended.push_back(dfa.alphabet()[letter]);
+          next.emplace_back(dfa.transition(state, letter),
+                            std::move(extended));
+        }
+      }
+    }
+    frontier = std::move(next);
+    if (frontier.empty()) break;
+  }
+  return out;
+}
+
+class ClaimDifferential : public ::testing::TestWithParam<int> {};
+
+TEST_P(ClaimDifferential, PipelineAgreesWithBruteForce) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * 2347 + 9);
+  SymbolTable table;
+  DiagnosticEngine diagnostics;
+
+  // The behavior language: GoodSector's projected subsystem events for
+  // valve `a` only (a compact but non-trivial language).
+  const upy::Module valve = upy::parse_module(examples::kValveSource);
+  const ClassSpec spec =
+      extract_class_spec(valve.classes.at(0), diagnostics);
+  const fsm::Dfa behavior = fsm::minimize(
+      fsm::determinize(usage_nfa(spec, table, "a.")));
+
+  for (int round = 0; round < 5; ++round) {
+    const ltlf::Formula claim = random_claim(rng, table, 2);
+    const auto witness = ltlf::counterexample(behavior, claim);
+    if (witness) {
+      EXPECT_TRUE(behavior.accepts(*witness))
+          << ltlf::to_string(claim, table);
+      EXPECT_FALSE(ltlf::eval(claim, *witness))
+          << ltlf::to_string(claim, table);
+    } else {
+      for (const Word& word : accepted_words(behavior, 7)) {
+        EXPECT_TRUE(ltlf::eval(claim, word))
+            << ltlf::to_string(claim, table) << " fails on ["
+            << to_string(word, table) << "]";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClaimDifferential, ::testing::Range(0, 30));
+
+}  // namespace
+}  // namespace shelley::core

@@ -1,0 +1,144 @@
+// Property sweeps over *randomly generated class specifications*: the
+// static pipeline (usage automaton), the runtime layer (monitor, sampler),
+// and the comparison/lint utilities must all agree with each other on every
+// generated spec.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "fsm/ops.hpp"
+#include "fsm/to_regex.hpp"
+#include "rex/derivative.hpp"
+#include "shelley/automata.hpp"
+#include "shelley/compare.hpp"
+#include "shelley/lint.hpp"
+#include "shelley/monitor.hpp"
+#include "shelley/sampler.hpp"
+#include "upy/parser.hpp"
+
+namespace shelley::core {
+namespace {
+
+/// Generates the MicroPython source of a random @sys class: `ops`
+/// operations with random initial/final flags and 1-3 exits, each naming
+/// 0-2 random successors.
+std::string random_class_source(std::mt19937_64& rng, std::size_t ops) {
+  const auto op_name = [](std::size_t i) {
+    return "op" + std::to_string(i);
+  };
+  std::string out = "@sys\nclass Random:\n";
+  bool any_initial = false;
+  bool any_final = false;
+  for (std::size_t i = 0; i < ops; ++i) {
+    bool initial = rng() % 3 == 0;
+    bool final = rng() % 3 == 0;
+    if (i + 1 == ops && !any_initial) initial = true;
+    if (i + 1 == ops && !any_final) final = true;
+    any_initial = any_initial || initial;
+    any_final = any_final || final;
+    out += initial && final ? "    @op_initial_final\n"
+           : initial        ? "    @op_initial\n"
+           : final          ? "    @op_final\n"
+                            : "    @op\n";
+    out += "    def " + op_name(i) + "(self):\n";
+    const std::size_t exits = 1 + rng() % 3;
+    for (std::size_t e = 0; e < exits; ++e) {
+      std::string successors;
+      const std::size_t count = rng() % 3;
+      for (std::size_t s = 0; s < count; ++s) {
+        if (!successors.empty()) successors += ", ";
+        successors += "\"" + op_name(rng() % ops) + "\"";
+      }
+      if (e + 1 < exits) {
+        out += "        if x" + std::to_string(e) + ":\n";
+        out += "            return [" + successors + "]\n";
+      } else {
+        out += "        return [" + successors + "]\n";
+      }
+    }
+  }
+  return out;
+}
+
+class RandomSpecProperties : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override {
+    std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * 31337 + 1);
+    const std::string source = random_class_source(rng, 2 + rng() % 5);
+    const upy::Module module = upy::parse_module(source);
+    spec_ = extract_class_spec(module.classes.at(0), diagnostics_);
+  }
+
+  ClassSpec spec_;
+  SymbolTable table_;
+  DiagnosticEngine diagnostics_;
+};
+
+TEST_P(RandomSpecProperties, MonitorAgreesWithUsageAutomaton) {
+  const fsm::Nfa usage = usage_nfa(spec_, table_);
+  Monitor monitor(spec_, table_);
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()));
+
+  std::vector<std::string> op_names;
+  for (const Operation& op : spec_.operations) op_names.push_back(op.name);
+  ASSERT_FALSE(op_names.empty());
+
+  for (int round = 0; round < 50; ++round) {
+    monitor.reset();
+    Word word;
+    bool monitor_ok = true;
+    const std::size_t length = rng() % 6;
+    for (std::size_t i = 0; i < length && monitor_ok; ++i) {
+      const std::string& op = op_names[rng() % op_names.size()];
+      word.push_back(table_.intern(op));
+      monitor_ok = monitor.feed(op) != Verdict::kViolation;
+    }
+    if (monitor_ok) {
+      // The monitor says the word is a viable prefix and `completed()`
+      // decides full acceptance -- which must agree with the NFA.
+      EXPECT_EQ(monitor.completed(), usage.accepts(word));
+    } else {
+      // A violating prefix must not be extendable into ANY accepted word;
+      // in particular the word itself is rejected.
+      EXPECT_FALSE(usage.accepts(word));
+    }
+  }
+}
+
+TEST_P(RandomSpecProperties, SampledTracesAreAccepted) {
+  const fsm::Nfa usage = usage_nfa(spec_, table_);
+  // Specs whose language is empty beyond ε still sample the empty trace.
+  TraceSampler sampler(spec_, table_,
+                       static_cast<std::uint64_t>(GetParam()));
+  for (int round = 0; round < 20; ++round) {
+    const auto trace = sampler.sample(12);
+    Word word;
+    for (const std::string& op : trace) word.push_back(table_.intern(op));
+    EXPECT_TRUE(usage.accepts(word))
+        << "sampled trace rejected: " << to_string(word, table_);
+  }
+}
+
+TEST_P(RandomSpecProperties, CompareIsReflexive) {
+  EXPECT_FALSE(compare_specs(spec_, spec_, table_).has_value());
+}
+
+TEST_P(RandomSpecProperties, UsageRegexRoundTrip) {
+  const fsm::Nfa usage = usage_nfa(spec_, table_);
+  const rex::Regex regex = fsm::to_regex(usage);
+  for (const Word& w : rex::enumerate_language(regex, 4)) {
+    EXPECT_TRUE(usage.accepts(w));
+  }
+}
+
+TEST_P(RandomSpecProperties, LintNeverCrashesAndOnlyWarns) {
+  const std::size_t errors_before = diagnostics_.error_count();
+  (void)lint_class(spec_, table_, diagnostics_);
+  EXPECT_EQ(diagnostics_.error_count(), errors_before);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomSpecProperties,
+                         ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace shelley::core

@@ -1,0 +1,197 @@
+// Mechanization of the paper's theoretical results as property tests.
+//
+//   Theorem 1 (Soundness):     l ∈ L(p)      =>  l ∈ infer(p)
+//   Theorem 2 (Completeness):  l ∈ infer(p)  =>  l ∈ L(p)
+//   Corollary 1 (Regularity):  L(p) is regular -- checked by compiling
+//       infer(p) to a DFA and cross-validating membership against the
+//       trace semantics.
+//
+// The quantification over traces is discharged two ways:
+//   * forward: enumerate derivable traces (loops unrolled to a bound) and
+//     check each against the inferred regex (soundness direction);
+//   * backward: enumerate the regex language up to a length bound and check
+//     each word against the exact decision procedure `derives`
+//     (completeness direction).
+// For loop-free programs the trace set is finite and the check is exact.
+#include <gtest/gtest.h>
+
+#include "fsm/ops.hpp"
+#include "fsm/thompson.hpp"
+#include "ir/generator.hpp"
+#include "ir/inference.hpp"
+#include "ir/semantics.hpp"
+#include "rex/derivative.hpp"
+
+namespace shelley::ir {
+namespace {
+
+struct TheoremCheck {
+  std::size_t traces_checked = 0;
+  std::size_t words_checked = 0;
+};
+
+/// Runs both theorem directions on one program; EXPECTs inside.
+TheoremCheck check_program(const Program& p, const SymbolTable& table,
+                           std::size_t max_length) {
+  TheoremCheck stats;
+  const rex::Regex inferred = infer(p);
+  const rex::Regex simplified = rex::simplify(inferred);
+
+  // Theorem 1: every derivable trace is in the inferred language.
+  const auto traces = enumerate_traces(p, {max_length, 4});
+  for (const Trace& trace : traces) {
+    EXPECT_TRUE(rex::matches(inferred, trace.word))
+        << "soundness violated on trace '" << to_string(trace.word, table)
+        << "' of program " << to_string(p, table);
+    ++stats.traces_checked;
+  }
+
+  // Theorem 2: every word of the inferred language is derivable.
+  for (const Word& w : rex::enumerate_language(simplified, max_length)) {
+    EXPECT_TRUE(in_language(p, w))
+        << "completeness violated on word '" << to_string(w, table)
+        << "' of program " << to_string(p, table);
+    ++stats.words_checked;
+  }
+
+  // Corollary 1: infer(p) compiles to a finite automaton recognizing the
+  // same language (checked on all enumerated traces).
+  const fsm::Dfa dfa = fsm::determinize(fsm::from_regex(simplified));
+  for (const Trace& trace : traces) {
+    EXPECT_TRUE(dfa.accepts(trace.word)) << to_string(p, table);
+  }
+  return stats;
+}
+
+class HandPickedPrograms : public ::testing::Test {
+ protected:
+  SymbolTable table_;
+  Symbol a_ = table_.intern("a");
+  Symbol b_ = table_.intern("b");
+  Symbol c_ = table_.intern("c");
+};
+
+TEST_F(HandPickedPrograms, Leaves) {
+  check_program(call(a_), table_, 4);
+  check_program(skip(), table_, 4);
+  check_program(ret(), table_, 4);
+}
+
+TEST_F(HandPickedPrograms, PaperExampleProgram) {
+  const Program p = loop(
+      seq(call(a_), branch(seq(call(b_), ret()), call(c_))));
+  const auto stats = check_program(p, table_, 8);
+  EXPECT_GE(stats.traces_checked, 9u);
+  EXPECT_GE(stats.words_checked, 9u);
+}
+
+TEST_F(HandPickedPrograms, EarlyReturnCutsSequence) {
+  check_program(seq(ret(), call(a_)), table_, 4);
+  check_program(seq(branch(ret(), skip()), call(a_)), table_, 4);
+}
+
+TEST_F(HandPickedPrograms, NestedLoops) {
+  check_program(loop(loop(call(a_))), table_, 5);
+  check_program(loop(seq(call(a_), loop(call(b_)))), table_, 5);
+}
+
+TEST_F(HandPickedPrograms, ReturnInsideNestedLoop) {
+  check_program(loop(seq(call(a_), loop(seq(call(b_), ret())))), table_, 6);
+}
+
+TEST_F(HandPickedPrograms, BranchingOverReturnStatuses) {
+  check_program(branch(ret(), branch(skip(), seq(call(a_), ret()))), table_,
+                4);
+}
+
+// Exhaustive sweep over every loop-free program of a small grammar: for
+// these the enumeration is the entire trace set, so Theorems 1 and 2 are
+// checked exactly.
+class ExhaustiveSmallPrograms : public ::testing::Test {
+ protected:
+  void enumerate_programs(std::size_t depth, std::vector<Program>& out) {
+    if (depth == 0) {
+      out.push_back(call(a_));
+      out.push_back(skip());
+      out.push_back(ret());
+      return;
+    }
+    std::vector<Program> smaller;
+    enumerate_programs(depth - 1, smaller);
+    out = smaller;
+    for (const Program& lhs : smaller) {
+      for (const Program& rhs : smaller) {
+        out.push_back(seq(lhs, rhs));
+        out.push_back(branch(lhs, rhs));
+      }
+    }
+    for (const Program& body : smaller) {
+      out.push_back(loop(body));
+    }
+  }
+
+  SymbolTable table_;
+  Symbol a_ = table_.intern("a");
+};
+
+TEST_F(ExhaustiveSmallPrograms, AllDepthTwoPrograms) {
+  std::vector<Program> programs;
+  enumerate_programs(2, programs);
+  ASSERT_GT(programs.size(), 100u);
+  for (const Program& p : programs) {
+    check_program(p, table_, 5);
+  }
+}
+
+// Randomized sweep over deeper programs.
+class RandomProgramTheorems : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomProgramTheorems, SoundAndComplete) {
+  SymbolTable table;
+  GeneratorOptions options;
+  options.max_depth = 5;
+  options.alphabet_size = 3;
+  ProgramGenerator generator(static_cast<std::uint64_t>(GetParam()) * 7919,
+                             options, table);
+  for (int i = 0; i < 5; ++i) {
+    check_program(generator.next(), table, 6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgramTheorems,
+                         ::testing::Range(0, 40));
+
+// The two membership deciders (derivatives on infer(p) and the DFA compiled
+// from it) agree on arbitrary words, including words NOT in the language.
+class NegativeAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(NegativeAgreement, DerivesAgreesWithRegexOnArbitraryWords) {
+  SymbolTable table;
+  GeneratorOptions options;
+  options.max_depth = 4;
+  options.alphabet_size = 2;
+  ProgramGenerator generator(static_cast<std::uint64_t>(GetParam()) * 104729,
+                             options, table);
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()));
+  const Symbol f0 = table.intern("f0");
+  const Symbol f1 = table.intern("f1");
+
+  for (int round = 0; round < 3; ++round) {
+    const Program p = generator.next();
+    const rex::Regex inferred = infer(p);
+    for (int i = 0; i < 30; ++i) {
+      Word w;
+      const std::size_t length = rng() % 6;
+      for (std::size_t j = 0; j < length; ++j) {
+        w.push_back(rng() % 2 == 0 ? f0 : f1);
+      }
+      EXPECT_EQ(in_language(p, w), rex::matches(inferred, w))
+          << to_string(p, table) << " on " << to_string(w, table);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NegativeAgreement, ::testing::Range(0, 30));
+
+}  // namespace
+}  // namespace shelley::ir

@@ -1,0 +1,149 @@
+#include "rex/derivative.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rex/parser.hpp"
+
+namespace shelley::rex {
+namespace {
+
+class DerivativeTest : public ::testing::Test {
+ protected:
+  Regex parse_(const char* text) { return parse(text, table_); }
+  Word word_(std::initializer_list<const char*> names) {
+    Word out;
+    for (const char* name : names) out.push_back(table_.intern(name));
+    return out;
+  }
+
+  SymbolTable table_;
+  Symbol a_ = table_.intern("a");
+  Symbol b_ = table_.intern("b");
+};
+
+TEST_F(DerivativeTest, Nullable) {
+  EXPECT_FALSE(nullable(empty()));
+  EXPECT_TRUE(nullable(epsilon()));
+  EXPECT_FALSE(nullable(symbol(a_)));
+  EXPECT_TRUE(nullable(star(symbol(a_))));
+  EXPECT_TRUE(nullable(concat(epsilon(), star(symbol(a_)))));
+  EXPECT_FALSE(nullable(concat(symbol(a_), star(symbol(a_)))));
+  EXPECT_TRUE(nullable(alt(symbol(a_), epsilon())));
+  EXPECT_FALSE(nullable(alt(symbol(a_), symbol(b_))));
+}
+
+TEST_F(DerivativeTest, IsEmptyLanguage) {
+  EXPECT_TRUE(is_empty_language(empty()));
+  EXPECT_FALSE(is_empty_language(epsilon()));
+  EXPECT_FALSE(is_empty_language(symbol(a_)));
+  EXPECT_TRUE(is_empty_language(concat(symbol(a_), empty())));
+  EXPECT_TRUE(is_empty_language(concat(empty(), symbol(a_))));
+  EXPECT_FALSE(is_empty_language(alt(empty(), symbol(a_))));
+  EXPECT_TRUE(is_empty_language(alt(empty(), empty())));
+  // L(∅*) = {ε} is not empty.
+  EXPECT_FALSE(is_empty_language(star(empty())));
+}
+
+TEST_F(DerivativeTest, SmartConstructorIdentities) {
+  // ∅ annihilates concat, ε is its unit.
+  EXPECT_EQ(smart_concat(empty(), symbol(a_))->kind(), Kind::kEmpty);
+  EXPECT_EQ(smart_concat(symbol(a_), empty())->kind(), Kind::kEmpty);
+  EXPECT_TRUE(structurally_equal(smart_concat(epsilon(), symbol(a_)),
+                                 symbol(a_)));
+  EXPECT_TRUE(structurally_equal(smart_concat(symbol(a_), epsilon()),
+                                 symbol(a_)));
+  // ∅ is union's unit; idempotence.
+  EXPECT_TRUE(structurally_equal(smart_alt(empty(), symbol(a_)), symbol(a_)));
+  EXPECT_TRUE(
+      structurally_equal(smart_alt(symbol(a_), symbol(a_)), symbol(a_)));
+  // Star collapses.
+  EXPECT_EQ(smart_star(empty())->kind(), Kind::kEpsilon);
+  EXPECT_EQ(smart_star(epsilon())->kind(), Kind::kEpsilon);
+  EXPECT_TRUE(structurally_equal(smart_star(star(symbol(a_))),
+                                 star(symbol(a_))));
+}
+
+TEST_F(DerivativeTest, SmartAltCanonicalizesACI) {
+  const Regex x = smart_alt(symbol(a_), smart_alt(symbol(b_), symbol(a_)));
+  const Regex y = smart_alt(smart_alt(symbol(b_), symbol(a_)), symbol(b_));
+  EXPECT_TRUE(structurally_equal(x, y));
+}
+
+TEST_F(DerivativeTest, SimplifyPreservesLanguageOnExamples) {
+  const Regex raw = parse_("(a (b void + c))*");
+  const Regex simple = simplify(raw);
+  for (std::size_t len = 0; len <= 6; ++len) {
+    EXPECT_EQ(enumerate_language(raw, len), enumerate_language(simple, len))
+        << "length " << len;
+  }
+}
+
+TEST_F(DerivativeTest, DerivativeBasics) {
+  EXPECT_EQ(derivative(empty(), a_)->kind(), Kind::kEmpty);
+  EXPECT_EQ(derivative(epsilon(), a_)->kind(), Kind::kEmpty);
+  EXPECT_EQ(derivative(symbol(a_), a_)->kind(), Kind::kEpsilon);
+  EXPECT_EQ(derivative(symbol(a_), b_)->kind(), Kind::kEmpty);
+}
+
+TEST_F(DerivativeTest, DerivativeOfConcatHandlesNullableHead) {
+  // d_a(a* · b) = a*·b + d_a(b) = a*·b  (plus ∅)
+  const Regex r = concat(star(symbol(a_)), symbol(b_));
+  EXPECT_TRUE(matches(r, word_({"a", "a", "b"})));
+  EXPECT_TRUE(matches(r, word_({"b"})));
+  EXPECT_FALSE(matches(r, word_({"a"})));
+  const Regex db = derivative(simplify(r), b_);
+  EXPECT_TRUE(nullable(db));
+}
+
+TEST_F(DerivativeTest, MatchesAgainstHandWrittenCases) {
+  const Regex r = parse_("(a b)* + c");
+  EXPECT_TRUE(matches(r, {}));
+  EXPECT_TRUE(matches(r, word_({"a", "b"})));
+  EXPECT_TRUE(matches(r, word_({"a", "b", "a", "b"})));
+  EXPECT_TRUE(matches(r, word_({"c"})));
+  EXPECT_FALSE(matches(r, word_({"a"})));
+  EXPECT_FALSE(matches(r, word_({"b", "a"})));
+  EXPECT_FALSE(matches(r, word_({"c", "c"})));
+}
+
+TEST_F(DerivativeTest, MatchesEmptyRegexRejectsEverything) {
+  EXPECT_FALSE(matches(empty(), {}));
+  EXPECT_FALSE(matches(empty(), word_({"a"})));
+}
+
+TEST_F(DerivativeTest, EnumerateLanguageOfFiniteRegex) {
+  const Regex r = parse_("a (b + c)");
+  const auto words = enumerate_language(r, 5);
+  ASSERT_EQ(words.size(), 2u);
+  EXPECT_EQ(words[0], word_({"a", "b"}));
+  EXPECT_EQ(words[1], word_({"a", "c"}));
+}
+
+TEST_F(DerivativeTest, EnumerateLanguageRespectsLengthBound) {
+  const Regex r = parse_("a*");
+  EXPECT_EQ(enumerate_language(r, 0).size(), 1u);  // ε
+  EXPECT_EQ(enumerate_language(r, 3).size(), 4u);  // ε, a, aa, aaa
+}
+
+TEST_F(DerivativeTest, EnumerateLanguageIsShortlexSorted) {
+  const Regex r = parse_("(a + b)*");
+  const auto words = enumerate_language(r, 2);
+  ASSERT_EQ(words.size(), 7u);  // ε, a, b, aa, ab, ba, bb
+  for (std::size_t i = 1; i < words.size(); ++i) {
+    EXPECT_LE(words[i - 1].size(), words[i].size());
+  }
+}
+
+TEST_F(DerivativeTest, EnumerationAgreesWithMatches) {
+  const char* cases[] = {"(a b)* c",     "a* b*",        "(a + b) (a + b)",
+                         "(a (b + c))*", "a b c + a c b", "(a* + b)*"};
+  for (const char* text : cases) {
+    const Regex r = parse(text, table_);
+    for (const Word& w : enumerate_language(r, 5)) {
+      EXPECT_TRUE(matches(r, w)) << text;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace shelley::rex

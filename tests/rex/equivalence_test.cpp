@@ -1,0 +1,118 @@
+#include "rex/equivalence.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "rex/derivative.hpp"
+#include "rex/parser.hpp"
+
+namespace shelley::rex {
+namespace {
+
+class EquivalenceTest : public ::testing::Test {
+ protected:
+  Regex parse_(const char* text) { return parse(text, table_); }
+  SymbolTable table_;
+};
+
+TEST_F(EquivalenceTest, AlgebraicLaws) {
+  EXPECT_TRUE(equivalent(parse_("a + b"), parse_("b + a")));
+  EXPECT_TRUE(equivalent(parse_("(a + b) + c"), parse_("a + (b + c)")));
+  EXPECT_TRUE(equivalent(parse_("a + a"), parse_("a")));
+  EXPECT_TRUE(equivalent(parse_("(a b) c"), parse_("a (b c)")));
+  EXPECT_TRUE(equivalent(parse_("eps a"), parse_("a")));
+  EXPECT_TRUE(equivalent(parse_("void + a"), parse_("a")));
+  EXPECT_TRUE(equivalent(parse_("void a"), parse_("void")));
+  EXPECT_TRUE(equivalent(parse_("(a*)*"), parse_("a*")));
+  EXPECT_TRUE(equivalent(parse_("a* a*"), parse_("a*")));
+  EXPECT_TRUE(equivalent(parse_("(a + b)*"), parse_("(a* b*)*")));
+  EXPECT_TRUE(equivalent(parse_("eps + a a*"), parse_("a*")));
+}
+
+TEST_F(EquivalenceTest, Inequivalences) {
+  EXPECT_FALSE(equivalent(parse_("a b"), parse_("b a")));
+  EXPECT_FALSE(equivalent(parse_("a*"), parse_("a a*")));
+  EXPECT_FALSE(equivalent(parse_("(a b)*"), parse_("a* b*")));
+  EXPECT_FALSE(equivalent(parse_("a"), parse_("a + b")));
+  EXPECT_FALSE(equivalent(parse_("eps"), parse_("void")));
+}
+
+TEST_F(EquivalenceTest, Inclusion) {
+  EXPECT_TRUE(included(parse_("a"), parse_("a + b")));
+  EXPECT_TRUE(included(parse_("a a"), parse_("a*")));
+  EXPECT_TRUE(included(parse_("void"), parse_("a")));
+  EXPECT_FALSE(included(parse_("a + b"), parse_("a")));
+  EXPECT_FALSE(included(parse_("a*"), parse_("a a*")));
+}
+
+TEST_F(EquivalenceTest, DistinguishingWordIsShortestWitness) {
+  const auto w1 = distinguishing_word(parse_("a*"), parse_("a a*"));
+  ASSERT_TRUE(w1.has_value());
+  EXPECT_TRUE(w1->empty());  // ε is in a* but not in a·a*
+
+  const auto w2 = distinguishing_word(parse_("a b c"), parse_("a b d"));
+  ASSERT_TRUE(w2.has_value());
+  EXPECT_EQ(w2->size(), 3u);
+
+  EXPECT_FALSE(distinguishing_word(parse_("a + b"), parse_("b + a")));
+}
+
+TEST_F(EquivalenceTest, DistinguishingWordIsInExactlyOneLanguage) {
+  const Regex lhs = parse_("(a b)* (c + eps)");
+  const Regex rhs = parse_("(a b c)*");
+  const auto witness = distinguishing_word(lhs, rhs);
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_NE(matches(lhs, *witness), matches(rhs, *witness));
+}
+
+// Property: equivalence decided by derivatives agrees with bounded
+// enumeration on randomly generated regexes.
+class RandomRegexEquivalence : public ::testing::TestWithParam<int> {};
+
+Regex random_regex(std::mt19937_64& rng, SymbolTable& table, int depth) {
+  std::uniform_int_distribution<int> pick(0, depth == 0 ? 2 : 5);
+  switch (pick(rng)) {
+    case 0:
+      return epsilon();
+    case 1:
+      return symbol(table.intern(std::string(1, static_cast<char>(
+                                                    'a' + rng() % 3))));
+    case 2:
+      return rng() % 8 == 0 ? empty()
+                            : symbol(table.intern(std::string(
+                                  1, static_cast<char>('a' + rng() % 3))));
+    case 3:
+      return concat(random_regex(rng, table, depth - 1),
+                    random_regex(rng, table, depth - 1));
+    case 4:
+      return alt(random_regex(rng, table, depth - 1),
+                 random_regex(rng, table, depth - 1));
+    default:
+      return star(random_regex(rng, table, depth - 1));
+  }
+}
+
+TEST_P(RandomRegexEquivalence, AgreesWithBoundedEnumeration) {
+  SymbolTable table;
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()));
+  const Regex lhs = random_regex(rng, table, 3);
+  const Regex rhs = random_regex(rng, table, 3);
+
+  const bool claimed_equal = equivalent(lhs, rhs);
+  const auto lhs_words = enumerate_language(lhs, 5);
+  const auto rhs_words = enumerate_language(rhs, 5);
+  if (claimed_equal) {
+    EXPECT_EQ(lhs_words, rhs_words);
+  } else {
+    const auto witness = distinguishing_word(lhs, rhs);
+    ASSERT_TRUE(witness.has_value());
+    EXPECT_NE(matches(lhs, *witness), matches(rhs, *witness));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomRegexEquivalence,
+                         ::testing::Range(0, 60));
+
+}  // namespace
+}  // namespace shelley::rex

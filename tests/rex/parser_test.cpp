@@ -1,0 +1,95 @@
+#include "rex/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rex/derivative.hpp"
+#include "rex/equivalence.hpp"
+
+namespace shelley::rex {
+namespace {
+
+class RexParserTest : public ::testing::Test {
+ protected:
+  Regex parse_(const char* text) { return parse(text, table_); }
+  SymbolTable table_;
+};
+
+TEST_F(RexParserTest, Atoms) {
+  EXPECT_EQ(parse_("eps")->kind(), Kind::kEpsilon);
+  EXPECT_EQ(parse_("void")->kind(), Kind::kEmpty);
+  EXPECT_EQ(parse_("ε")->kind(), Kind::kEpsilon);
+  EXPECT_EQ(parse_("∅")->kind(), Kind::kEmpty);
+  const Regex sym = parse_("foo");
+  ASSERT_EQ(sym->kind(), Kind::kSymbol);
+  EXPECT_EQ(table_.name(sym->symbol()), "foo");
+}
+
+TEST_F(RexParserTest, DottedNamesAreSingleSymbols) {
+  const Regex r = parse_("a.open");
+  ASSERT_EQ(r->kind(), Kind::kSymbol);
+  EXPECT_EQ(table_.name(r->symbol()), "a.open");
+}
+
+TEST_F(RexParserTest, JuxtapositionAndExplicitDotAreConcat) {
+  const Regex juxt = parse_("a b c");
+  const Regex dotted = parse_("a · b · c");
+  EXPECT_TRUE(structurally_equal(juxt, dotted));
+  ASSERT_EQ(juxt->kind(), Kind::kConcat);
+}
+
+TEST_F(RexParserTest, PrecedenceStarOverConcatOverUnion) {
+  // a b* + c  parses as  (a · (b*)) + c
+  const Regex r = parse_("a b* + c");
+  ASSERT_EQ(r->kind(), Kind::kUnion);
+  ASSERT_EQ(r->left()->kind(), Kind::kConcat);
+  EXPECT_EQ(r->left()->right()->kind(), Kind::kStar);
+  EXPECT_EQ(r->right()->kind(), Kind::kSymbol);
+}
+
+TEST_F(RexParserTest, ParenthesesOverride) {
+  const Regex r = parse_("(a + b)*");
+  ASSERT_EQ(r->kind(), Kind::kStar);
+  EXPECT_EQ(r->left()->kind(), Kind::kUnion);
+}
+
+TEST_F(RexParserTest, DoubleStar) {
+  const Regex r = parse_("a**");
+  ASSERT_EQ(r->kind(), Kind::kStar);
+  EXPECT_EQ(r->left()->kind(), Kind::kStar);
+}
+
+TEST_F(RexParserTest, RoundTripThroughPrinter) {
+  const char* cases[] = {"a · b + c", "(a + b) · c", "a*", "(a · b)*",
+                         "a.open · a.close + b.test"};
+  for (const char* text : cases) {
+    const Regex first = parse(text, table_);
+    const Regex second = parse(to_string(first, table_), table_);
+    EXPECT_TRUE(structurally_equal(first, second)) << text;
+  }
+}
+
+TEST_F(RexParserTest, AsciiRoundTripPreservesLanguage) {
+  const char* cases[] = {"a b + c", "(a + b) c", "(a (b void + c))*"};
+  for (const char* text : cases) {
+    const Regex first = parse(text, table_);
+    const Regex second = parse(to_ascii(first, table_), table_);
+    EXPECT_TRUE(equivalent(first, second)) << text;
+  }
+}
+
+TEST_F(RexParserTest, Errors) {
+  EXPECT_THROW(parse_(""), ParseError);
+  EXPECT_THROW(parse_("a +"), ParseError);
+  EXPECT_THROW(parse_("(a"), ParseError);
+  EXPECT_THROW(parse_("a)"), ParseError);
+  EXPECT_THROW(parse_("*a"), ParseError);
+  EXPECT_THROW(parse_("a ? b"), ParseError);
+}
+
+TEST_F(RexParserTest, WhitespaceIsInsignificantAroundOperators) {
+  EXPECT_TRUE(structurally_equal(parse_("a+b"), parse_("a + b")));
+  EXPECT_TRUE(structurally_equal(parse_("a*"), parse_(" a * ")));
+}
+
+}  // namespace
+}  // namespace shelley::rex

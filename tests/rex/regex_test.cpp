@@ -1,0 +1,118 @@
+#include "rex/regex.hpp"
+
+#include <gtest/gtest.h>
+
+namespace shelley::rex {
+namespace {
+
+class RegexTest : public ::testing::Test {
+ protected:
+  SymbolTable table_;
+  Symbol a_ = table_.intern("a");
+  Symbol b_ = table_.intern("b");
+  Symbol c_ = table_.intern("c");
+};
+
+TEST_F(RegexTest, FactoriesProduceExpectedKinds) {
+  EXPECT_EQ(empty()->kind(), Kind::kEmpty);
+  EXPECT_EQ(epsilon()->kind(), Kind::kEpsilon);
+  EXPECT_EQ(symbol(a_)->kind(), Kind::kSymbol);
+  EXPECT_EQ(concat(symbol(a_), symbol(b_))->kind(), Kind::kConcat);
+  EXPECT_EQ(alt(symbol(a_), symbol(b_))->kind(), Kind::kUnion);
+  EXPECT_EQ(star(symbol(a_))->kind(), Kind::kStar);
+}
+
+TEST_F(RegexTest, RawConstructorsDoNotSimplify) {
+  // The inference of Figure 4 needs exact structure: b·∅ must stay b·∅.
+  const Regex r = concat(symbol(b_), empty());
+  EXPECT_EQ(r->kind(), Kind::kConcat);
+  EXPECT_EQ(r->right()->kind(), Kind::kEmpty);
+}
+
+TEST_F(RegexTest, StructuralEqualityIsExact) {
+  EXPECT_TRUE(structurally_equal(symbol(a_), symbol(a_)));
+  EXPECT_FALSE(structurally_equal(symbol(a_), symbol(b_)));
+  EXPECT_TRUE(structurally_equal(concat(symbol(a_), symbol(b_)),
+                                 concat(symbol(a_), symbol(b_))));
+  // Associativity is NOT structural equality.
+  EXPECT_FALSE(structurally_equal(
+      concat(concat(symbol(a_), symbol(b_)), symbol(c_)),
+      concat(symbol(a_), concat(symbol(b_), symbol(c_)))));
+  EXPECT_FALSE(structurally_equal(alt(symbol(a_), symbol(b_)),
+                                  alt(symbol(b_), symbol(a_))));
+}
+
+TEST_F(RegexTest, StructuralCompareIsATotalOrder) {
+  const Regex items[] = {empty(), epsilon(), symbol(a_), symbol(b_),
+                         concat(symbol(a_), symbol(b_)),
+                         alt(symbol(a_), symbol(b_)), star(symbol(a_))};
+  for (const Regex& x : items) {
+    EXPECT_EQ(structural_compare(x, x), 0);
+    for (const Regex& y : items) {
+      EXPECT_EQ(structural_compare(x, y), -structural_compare(y, x));
+    }
+  }
+}
+
+TEST_F(RegexTest, SizeCountsEveryConstructor) {
+  EXPECT_EQ(symbol(a_)->size(), 1u);
+  EXPECT_EQ(concat(symbol(a_), symbol(b_))->size(), 3u);
+  EXPECT_EQ(star(alt(symbol(a_), symbol(b_)))->size(), 4u);
+}
+
+TEST_F(RegexTest, AlphabetCollectsSymbols) {
+  const Regex r = alt(concat(symbol(a_), symbol(b_)), star(symbol(a_)));
+  const std::set<Symbol> sigma = alphabet(r);
+  EXPECT_EQ(sigma.size(), 2u);
+  EXPECT_TRUE(sigma.contains(a_));
+  EXPECT_TRUE(sigma.contains(b_));
+  EXPECT_TRUE(alphabet(epsilon()).empty());
+  EXPECT_TRUE(alphabet(empty()).empty());
+}
+
+TEST_F(RegexTest, AltOfAndConcatOfFolds) {
+  EXPECT_EQ(alt_of({})->kind(), Kind::kEmpty);
+  EXPECT_EQ(concat_of({})->kind(), Kind::kEpsilon);
+  EXPECT_TRUE(structurally_equal(alt_of({symbol(a_)}), symbol(a_)));
+  EXPECT_TRUE(structurally_equal(
+      alt_of({symbol(a_), symbol(b_), symbol(c_)}),
+      alt(alt(symbol(a_), symbol(b_)), symbol(c_))));
+  EXPECT_TRUE(structurally_equal(
+      concat_of({symbol(a_), symbol(b_), symbol(c_)}),
+      concat(concat(symbol(a_), symbol(b_)), symbol(c_))));
+}
+
+TEST_F(RegexTest, PaperStylePrinting) {
+  EXPECT_EQ(to_string(empty(), table_), "∅");
+  EXPECT_EQ(to_string(epsilon(), table_), "ε");
+  EXPECT_EQ(to_string(symbol(a_), table_), "a");
+  EXPECT_EQ(to_string(concat(symbol(a_), symbol(b_)), table_), "a · b");
+  EXPECT_EQ(to_string(alt(symbol(a_), symbol(b_)), table_), "a + b");
+  EXPECT_EQ(to_string(star(symbol(a_)), table_), "a*");
+}
+
+TEST_F(RegexTest, PrintingUsesMinimalParentheses) {
+  // union < concat < star
+  EXPECT_EQ(to_string(concat(alt(symbol(a_), symbol(b_)), symbol(c_)),
+                      table_),
+            "(a + b) · c");
+  EXPECT_EQ(to_string(alt(concat(symbol(a_), symbol(b_)), symbol(c_)),
+                      table_),
+            "a · b + c");
+  EXPECT_EQ(to_string(star(alt(symbol(a_), symbol(b_))), table_), "(a + b)*");
+  EXPECT_EQ(to_string(star(concat(symbol(a_), symbol(b_))), table_),
+            "(a · b)*");
+  // Example 3's shape renders faithfully.
+  const Regex example3 =
+      star(concat(symbol(a_), alt(concat(symbol(b_), empty()), symbol(c_))));
+  EXPECT_EQ(to_string(example3, table_), "(a · (b · ∅ + c))*");
+}
+
+TEST_F(RegexTest, AsciiPrinting) {
+  EXPECT_EQ(to_ascii(empty(), table_), "void");
+  EXPECT_EQ(to_ascii(epsilon(), table_), "eps");
+  EXPECT_EQ(to_ascii(concat(symbol(a_), symbol(b_)), table_), "a b");
+}
+
+}  // namespace
+}  // namespace shelley::rex

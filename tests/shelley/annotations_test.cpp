@@ -1,0 +1,201 @@
+#include "shelley/annotations.hpp"
+
+#include <gtest/gtest.h>
+
+#include "upy/parser.hpp"
+
+namespace shelley::core {
+namespace {
+
+class AnnotationsTest : public ::testing::Test {
+ protected:
+  upy::ClassDef class_(const std::string& source) {
+    module_ = upy::parse_module(source);
+    return module_.classes.at(0);
+  }
+  upy::FunctionDef method_(const std::string& decorators) {
+    const upy::ClassDef cls = class_("class C:\n" + decorators +
+                                     "    def m(self):\n        pass\n");
+    return cls.methods.at(0);
+  }
+  upy::ExprPtr return_value_(const std::string& text) {
+    const upy::ClassDef cls =
+        class_("class C:\n    def m(self):\n        return " + text + "\n");
+    const auto* stmt =
+        upy::as<upy::ReturnStmt>(cls.methods.at(0).body.at(0));
+    return stmt->value;
+  }
+
+  upy::Module module_;
+  DiagnosticEngine diagnostics_;
+};
+
+// -- Table 1: class annotations ----------------------------------------------
+
+TEST_F(AnnotationsTest, BareSysIsBaseClass) {
+  const auto annotations =
+      decode_class_annotations(class_("@sys\nclass C:\n    pass\n"),
+                               diagnostics_);
+  EXPECT_TRUE(annotations.is_system);
+  EXPECT_FALSE(annotations.is_composite);
+  EXPECT_TRUE(annotations.subsystem_fields.empty());
+  EXPECT_FALSE(diagnostics_.has_errors());
+}
+
+TEST_F(AnnotationsTest, SysWithListIsComposite) {
+  const auto annotations = decode_class_annotations(
+      class_("@sys([\"a\", \"b\"])\nclass C:\n    pass\n"), diagnostics_);
+  EXPECT_TRUE(annotations.is_system);
+  EXPECT_TRUE(annotations.is_composite);
+  EXPECT_EQ(annotations.subsystem_fields,
+            (std::vector<std::string>{"a", "b"}));
+}
+
+TEST_F(AnnotationsTest, ClaimCollectsFormulaText) {
+  const auto annotations = decode_class_annotations(
+      class_("@claim(\"(!a.open) W b.open\")\n@sys([\"a\"])\n"
+             "class C:\n    pass\n"),
+      diagnostics_);
+  ASSERT_EQ(annotations.claims.size(), 1u);
+  EXPECT_EQ(annotations.claims[0].first, "(!a.open) W b.open");
+}
+
+TEST_F(AnnotationsTest, MultipleClaims) {
+  const auto annotations = decode_class_annotations(
+      class_("@claim(\"G a\")\n@claim(\"F b\")\nclass C:\n    pass\n"),
+      diagnostics_);
+  EXPECT_EQ(annotations.claims.size(), 2u);
+}
+
+TEST_F(AnnotationsTest, MalformedSysArgumentIsError) {
+  (void)decode_class_annotations(class_("@sys([1, 2])\nclass C:\n    pass\n"),
+                           diagnostics_);
+  EXPECT_TRUE(diagnostics_.has_errors());
+}
+
+TEST_F(AnnotationsTest, SysWithTwoArgumentsIsError) {
+  (void)decode_class_annotations(
+      class_("@sys([\"a\"], [\"b\"])\nclass C:\n    pass\n"), diagnostics_);
+  EXPECT_TRUE(diagnostics_.has_errors());
+}
+
+TEST_F(AnnotationsTest, ClaimWithoutStringIsError) {
+  (void)decode_class_annotations(class_("@claim(42)\nclass C:\n    pass\n"),
+                           diagnostics_);
+  EXPECT_TRUE(diagnostics_.has_errors());
+}
+
+TEST_F(AnnotationsTest, UnknownClassDecoratorIsWarningOnly) {
+  const auto annotations = decode_class_annotations(
+      class_("@dataclass\nclass C:\n    pass\n"), diagnostics_);
+  EXPECT_FALSE(annotations.is_system);
+  EXPECT_FALSE(diagnostics_.has_errors());
+  EXPECT_EQ(diagnostics_.diagnostics().size(), 1u);
+}
+
+// -- Table 1: method annotations ----------------------------------------------
+
+TEST_F(AnnotationsTest, OpKinds) {
+  EXPECT_EQ(decode_op_annotation(method_("    @op\n"), diagnostics_),
+            OpKind::kOperation);
+  EXPECT_EQ(decode_op_annotation(method_("    @op_initial\n"), diagnostics_),
+            OpKind::kInitial);
+  EXPECT_EQ(decode_op_annotation(method_("    @op_final\n"), diagnostics_),
+            OpKind::kFinal);
+  EXPECT_EQ(
+      decode_op_annotation(method_("    @op_initial_final\n"), diagnostics_),
+      OpKind::kInitialFinal);
+  EXPECT_EQ(decode_op_annotation(method_(""), diagnostics_),
+            OpKind::kNotAnOperation);
+  EXPECT_FALSE(diagnostics_.has_errors());
+}
+
+TEST_F(AnnotationsTest, InitialFinalPredicates) {
+  EXPECT_TRUE(is_initial(OpKind::kInitial));
+  EXPECT_TRUE(is_initial(OpKind::kInitialFinal));
+  EXPECT_FALSE(is_initial(OpKind::kFinal));
+  EXPECT_FALSE(is_initial(OpKind::kOperation));
+  EXPECT_TRUE(is_final(OpKind::kFinal));
+  EXPECT_TRUE(is_final(OpKind::kInitialFinal));
+  EXPECT_FALSE(is_final(OpKind::kInitial));
+}
+
+TEST_F(AnnotationsTest, DuplicateOpDecoratorsError) {
+  (void)decode_op_annotation(method_("    @op\n    @op_final\n"), diagnostics_);
+  EXPECT_TRUE(diagnostics_.has_errors());
+}
+
+// -- Table 2: return statements ----------------------------------------------
+
+TEST_F(AnnotationsTest, ReturnSingleSuccessor) {
+  const auto successors =
+      decode_return_successors(return_value_("[\"close\"]"), {}, diagnostics_);
+  ASSERT_TRUE(successors.has_value());
+  EXPECT_EQ(*successors, (std::vector<std::string>{"close"}));
+}
+
+TEST_F(AnnotationsTest, ReturnMultipleSuccessors) {
+  const auto successors = decode_return_successors(
+      return_value_("[\"open\", \"clean\"]"), {}, diagnostics_);
+  ASSERT_TRUE(successors.has_value());
+  EXPECT_EQ(*successors, (std::vector<std::string>{"open", "clean"}));
+}
+
+TEST_F(AnnotationsTest, ReturnWithIntValue) {
+  const auto successors = decode_return_successors(
+      return_value_("[\"close\"], 2"), {}, diagnostics_);
+  ASSERT_TRUE(successors.has_value());
+  EXPECT_EQ(*successors, (std::vector<std::string>{"close"}));
+}
+
+TEST_F(AnnotationsTest, ReturnWithBoolValue) {
+  const auto successors = decode_return_successors(
+      return_value_("[\"close\"], True"), {}, diagnostics_);
+  ASSERT_TRUE(successors.has_value());
+  EXPECT_EQ(*successors, (std::vector<std::string>{"close"}));
+}
+
+TEST_F(AnnotationsTest, ReturnMultipleSuccessorsWithValue) {
+  const auto successors = decode_return_successors(
+      return_value_("[\"open\", \"clean\"], 2"), {}, diagnostics_);
+  ASSERT_TRUE(successors.has_value());
+  EXPECT_EQ(*successors, (std::vector<std::string>{"open", "clean"}));
+}
+
+TEST_F(AnnotationsTest, ReturnEmptyList) {
+  const auto successors =
+      decode_return_successors(return_value_("[]"), {}, diagnostics_);
+  ASSERT_TRUE(successors.has_value());
+  EXPECT_TRUE(successors->empty());
+}
+
+TEST_F(AnnotationsTest, BareReturnIsError) {
+  const auto successors = decode_return_successors(nullptr, {}, diagnostics_);
+  EXPECT_FALSE(successors.has_value());
+  EXPECT_TRUE(diagnostics_.has_errors());
+}
+
+TEST_F(AnnotationsTest, ReturnNonListIsError) {
+  const auto successors =
+      decode_return_successors(return_value_("42"), {}, diagnostics_);
+  EXPECT_FALSE(successors.has_value());
+  EXPECT_TRUE(diagnostics_.has_errors());
+}
+
+TEST_F(AnnotationsTest, ReturnListOfNonStringsIsError) {
+  const auto successors =
+      decode_return_successors(return_value_("[1, 2]"), {}, diagnostics_);
+  EXPECT_FALSE(successors.has_value());
+  EXPECT_TRUE(diagnostics_.has_errors());
+}
+
+TEST_F(AnnotationsTest, ReturnEmptyTupleIsError) {
+  // `return ()` -- no successor list at all.
+  const auto successors =
+      decode_return_successors(return_value_("()"), {}, diagnostics_);
+  EXPECT_FALSE(successors.has_value());
+  EXPECT_TRUE(diagnostics_.has_errors());
+}
+
+}  // namespace
+}  // namespace shelley::core

@@ -1,0 +1,123 @@
+// @claim on *base* classes: checked against the valid-usage language over
+// bare operation names.
+#include <gtest/gtest.h>
+
+#include "ltlf/eval.hpp"
+#include "ltlf/parser.hpp"
+#include "shelley/verifier.hpp"
+
+namespace shelley::core {
+namespace {
+
+TEST(BaseClaims, HoldingClaimPasses) {
+  Verifier verifier;
+  verifier.add_source(R"py(
+@claim("G (open -> F close)")
+@sys
+class Valve:
+    @op_initial
+    def test(self):
+        if x:
+            return ["open"]
+        else:
+            return ["clean"]
+
+    @op
+    def open(self):
+        return ["close"]
+
+    @op_final
+    def close(self):
+        return ["test"]
+
+    @op_final
+    def clean(self):
+        return ["test"]
+)py");
+  const Report report = verifier.verify_all();
+  EXPECT_TRUE(report.ok()) << report.render(verifier.symbols());
+}
+
+TEST(BaseClaims, ViolatedClaimIsReportedWithCounterexample) {
+  Verifier verifier;
+  verifier.add_source(R"py(
+@claim("F open")
+@sys
+class Valve:
+    @op_initial
+    def test(self):
+        if x:
+            return ["open"]
+        else:
+            return ["clean"]
+
+    @op
+    def open(self):
+        return ["close"]
+
+    @op_final
+    def close(self):
+        return ["test"]
+
+    @op_final
+    def clean(self):
+        return ["test"]
+)py");
+  const Report report = verifier.verify_all();
+  ASSERT_EQ(report.classes.size(), 1u);
+  ASSERT_EQ(report.classes[0].check.claim_errors.size(), 1u);
+  // The empty usage (or test,clean) never opens: a genuine violation.
+  const ltlf::Formula claim = ltlf::parse("F open", verifier.symbols());
+  EXPECT_FALSE(
+      ltlf::eval(claim, report.classes[0].check.claim_errors[0]
+                            .counterexample));
+  EXPECT_NE(report.render(verifier.symbols())
+                .find("FAIL TO MEET REQUIREMENT"),
+            std::string::npos);
+}
+
+TEST(BaseClaims, UnparsableClaimIsDiagnosed) {
+  Verifier verifier;
+  verifier.add_source(R"py(
+@claim(")) bad ((")
+@sys
+class C:
+    @op_initial_final
+    def m(self):
+        return []
+)py");
+  (void)verifier.verify_all();
+  EXPECT_TRUE(verifier.diagnostics().has_errors());
+}
+
+TEST(BaseClaims, OrderingClaimOnLifecycle) {
+  // "close never happens before open" as a base-class claim.
+  Verifier verifier;
+  verifier.add_source(R"py(
+@claim("(!close) W open")
+@sys
+class Valve:
+    @op_initial
+    def test(self):
+        if x:
+            return ["open"]
+        else:
+            return ["clean"]
+
+    @op
+    def open(self):
+        return ["close"]
+
+    @op_final
+    def close(self):
+        return ["test"]
+
+    @op_final
+    def clean(self):
+        return ["test"]
+)py");
+  EXPECT_TRUE(verifier.verify_all().ok());
+}
+
+}  // namespace
+}  // namespace shelley::core

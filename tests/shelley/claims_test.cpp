@@ -1,0 +1,158 @@
+// Claim checking beyond the paper's example: multiple claims, claims over
+// composite-operation labels, and the full LTLf connective set in claims.
+#include <gtest/gtest.h>
+
+#include "paper_sources.hpp"
+#include "shelley/verifier.hpp"
+
+namespace shelley::core {
+namespace {
+
+class ClaimsTest : public ::testing::Test {
+ protected:
+  Report verify_(const char* extra) {
+    verifier_.add_source(examples::kValveSource);
+    verifier_.add_source(extra);
+    return verifier_.verify_all();
+  }
+  Verifier verifier_;
+};
+
+TEST_F(ClaimsTest, MultipleClaimsCheckedIndependently) {
+  const Report report = verify_(R"py(
+@claim("G (a.open -> F a.close)")
+@claim("F a.open")
+@sys(["a"])
+class TwoClaims:
+    def __init__(self):
+        self.a = Valve()
+
+    @op_initial_final
+    def go(self):
+        match self.a.test():
+            case ["open"]:
+                self.a.open()
+                self.a.close()
+                return []
+            case ["clean"]:
+                self.a.clean()
+                return []
+)py");
+  // First claim holds on every trace; the second fails (the clean path and
+  // the empty trace never open the valve).
+  const ClassReport& cls = report.classes.back();
+  ASSERT_EQ(cls.check.claim_errors.size(), 1u);
+  EXPECT_EQ(cls.check.claim_errors[0].formula, "F a.open");
+}
+
+TEST_F(ClaimsTest, ClaimOverOperationLabels) {
+  // Atoms name the composite's own operations: checked against the
+  // unprojected system language, so `go` appears in the trace.
+  const Report report = verify_(R"py(
+@claim("F go")
+@sys(["a"])
+class OpClaim:
+    def __init__(self):
+        self.a = Valve()
+
+    @op_initial_final
+    def go(self):
+        match self.a.test():
+            case ["open"]:
+                self.a.open()
+                self.a.close()
+                return []
+            case ["clean"]:
+                self.a.clean()
+                return []
+)py");
+  const ClassReport& cls = report.classes.back();
+  // The empty usage violates F go.
+  ASSERT_EQ(cls.check.claim_errors.size(), 1u);
+  EXPECT_TRUE(cls.check.claim_errors[0].counterexample.empty());
+}
+
+TEST_F(ClaimsTest, MixedOpAndEventAtoms) {
+  const Report report = verify_(R"py(
+@claim("G (go -> X a.test)")
+@sys(["a"])
+class Mixed:
+    def __init__(self):
+        self.a = Valve()
+
+    @op_initial_final
+    def go(self):
+        match self.a.test():
+            case ["open"]:
+                self.a.open()
+                self.a.close()
+                return []
+            case ["clean"]:
+                self.a.clean()
+                return []
+)py");
+  // Every go is immediately followed by a.test: holds.
+  EXPECT_TRUE(report.classes.back().check.claim_errors.empty());
+}
+
+TEST_F(ClaimsTest, WeakNextClaimAboutTermination) {
+  const Report report = verify_(R"py(
+@claim("G (a.clean -> N false)")
+@sys(["a"])
+class CleanIsLast:
+    def __init__(self):
+        self.a = Valve()
+
+    @op_initial_final
+    def go(self):
+        match self.a.test():
+            case ["open"]:
+                self.a.open()
+                self.a.close()
+                return []
+            case ["clean"]:
+                self.a.clean()
+                return []
+)py");
+  // a.clean is always the last event of a trace: N false holds only at the
+  // final position, which is exactly where a.clean occurs.
+  EXPECT_TRUE(report.classes.back().check.claim_errors.empty())
+      << report.render(verifier_.symbols());
+}
+
+TEST_F(ClaimsTest, UntilClaim) {
+  const Report report = verify_(R"py(
+@claim("(!a.open) U a.test")
+@sys(["a"])
+class TestBeforeOpen:
+    def __init__(self):
+        self.a = Valve()
+
+    @op_initial_final
+    def go(self):
+        match self.a.test():
+            case ["open"]:
+                self.a.open()
+                self.a.close()
+                return []
+            case ["clean"]:
+                self.a.clean()
+                return []
+)py");
+  // The strong until requires a.test to eventually hold -- the empty trace
+  // violates it.
+  const ClassReport& cls = report.classes.back();
+  ASSERT_EQ(cls.check.claim_errors.size(), 1u);
+  EXPECT_TRUE(cls.check.claim_errors[0].counterexample.empty());
+}
+
+TEST_F(ClaimsTest, BadSectorBothClaimStylesAgree) {
+  verifier_.add_source(examples::kBadSectorSource);
+  verifier_.add_source(examples::kValveSource);
+  const Report report = verifier_.verify_all();
+  const ClassReport& bad = report.classes.front();
+  ASSERT_EQ(bad.check.claim_errors.size(), 1u);
+}
+
+}  // namespace
+}  // namespace shelley::core

@@ -1,0 +1,129 @@
+#include "shelley/compare.hpp"
+
+#include <gtest/gtest.h>
+
+#include "paper_sources.hpp"
+#include "upy/parser.hpp"
+
+namespace shelley::core {
+namespace {
+
+class CompareTest : public ::testing::Test {
+ protected:
+  ClassSpec extract_(const char* source) {
+    const upy::Module module = upy::parse_module(source);
+    return extract_class_spec(module.classes.at(0), diagnostics_);
+  }
+
+  SymbolTable table_;
+  DiagnosticEngine diagnostics_;
+};
+
+TEST_F(CompareTest, SpecEqualsItself) {
+  const ClassSpec valve = extract_(examples::kValveSource);
+  EXPECT_FALSE(compare_specs(valve, valve, table_).has_value());
+}
+
+TEST_F(CompareTest, StructurallyDifferentButLanguageEqual) {
+  // Two exits with the same successor list vs a single exit: same usages.
+  const ClassSpec split = extract_(R"py(
+@sys
+class A:
+    @op_initial
+    def go(self):
+        if x:
+            return ["stop"]
+        else:
+            return ["stop"]
+
+    @op_final
+    def stop(self):
+        return []
+)py");
+  const ClassSpec merged = extract_(R"py(
+@sys
+class B:
+    @op_initial
+    def go(self):
+        return ["stop"]
+
+    @op_final
+    def stop(self):
+        return []
+)py");
+  EXPECT_FALSE(compare_specs(split, merged, table_).has_value());
+}
+
+TEST_F(CompareTest, FinalityDifferenceDetected) {
+  const ClassSpec strict = extract_(R"py(
+@sys
+class A:
+    @op_initial
+    def go(self):
+        return ["stop"]
+
+    @op_final
+    def stop(self):
+        return []
+)py");
+  const ClassSpec lax = extract_(R"py(
+@sys
+class B:
+    @op_initial_final
+    def go(self):
+        return ["stop"]
+
+    @op_final
+    def stop(self):
+        return []
+)py");
+  const auto difference = compare_specs(strict, lax, table_);
+  ASSERT_TRUE(difference.has_value());
+  // [go] alone is valid only for the lax spec.
+  EXPECT_FALSE(difference->in_first);
+  EXPECT_EQ(to_string(difference->witness, table_), "go");
+}
+
+TEST_F(CompareTest, ExtraSuccessorDetectedWithShortestWitness) {
+  const ClassSpec narrow = extract_(R"py(
+@sys
+class A:
+    @op_initial_final
+    def go(self):
+        return []
+)py");
+  const ClassSpec wide = extract_(R"py(
+@sys
+class B:
+    @op_initial_final
+    def go(self):
+        return ["go"]
+)py");
+  const auto difference = compare_specs(narrow, wide, table_);
+  ASSERT_TRUE(difference.has_value());
+  EXPECT_FALSE(difference->in_first);
+  EXPECT_EQ(to_string(difference->witness, table_), "go, go");
+}
+
+TEST_F(CompareTest, WitnessDirectionFlagIsCorrect) {
+  const ClassSpec wide = extract_(R"py(
+@sys
+class B:
+    @op_initial_final
+    def go(self):
+        return ["go"]
+)py");
+  const ClassSpec narrow = extract_(R"py(
+@sys
+class A:
+    @op_initial_final
+    def go(self):
+        return []
+)py");
+  const auto difference = compare_specs(wide, narrow, table_);
+  ASSERT_TRUE(difference.has_value());
+  EXPECT_TRUE(difference->in_first);
+}
+
+}  // namespace
+}  // namespace shelley::core

@@ -1,0 +1,109 @@
+#include "shelley/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "paper_sources.hpp"
+#include "upy/parser.hpp"
+
+namespace shelley::core {
+namespace {
+
+class GraphTest : public ::testing::Test {
+ protected:
+  ClassSpec extract_(const char* source, std::size_t index = 0) {
+    const upy::Module module = upy::parse_module(source);
+    return extract_class_spec(module.classes.at(index), diagnostics_);
+  }
+  DiagnosticEngine diagnostics_;
+};
+
+// Section 3.1 spells out the graph for Listing 3.1 (class Sector) in full:
+// 4 entry nodes; open_a has 2 exit nodes; exits link to the entries of the
+// methods they return.
+TEST_F(GraphTest, SectorGraphMatchesSection31) {
+  const ClassSpec spec = extract_(examples::kSectorSource);
+  const DependencyGraph graph = DependencyGraph::build(spec, diagnostics_);
+  EXPECT_FALSE(diagnostics_.has_errors());
+
+  // 4 entries + exits: open_a 2, clean_a 1, close_a 1, open_b 2 = 10 nodes.
+  EXPECT_EQ(graph.nodes().size(), 10u);
+  std::size_t entries = 0;
+  for (const DependencyNode& node : graph.nodes()) {
+    if (node.type == DependencyNode::Type::kEntry) ++entries;
+  }
+  EXPECT_EQ(entries, 4u);
+
+  // Edges: entry->exit one per exit (6) plus exit->entry per successor:
+  // open_a/0 -> close_a, open_b (2); open_a/1 -> clean_a (1);
+  // clean_a/0 -> open_a (1); close_a/0 -> open_a (1); open_b exits: none.
+  EXPECT_EQ(graph.edges().size(), 6u + 5u);
+
+  // Exit node (A) of open_a links to close_a and open_b, exactly as in the
+  // paper's §3.1 walkthrough.
+  const std::size_t exit_a = graph.exits_of("open_a").at(0);
+  const std::size_t close_entry = graph.entry_of("close_a");
+  const std::size_t open_b_entry = graph.entry_of("open_b");
+  bool links_close = false;
+  bool links_open_b = false;
+  for (const DependencyEdge& edge : graph.edges()) {
+    if (edge.from == exit_a && edge.to == close_entry) links_close = true;
+    if (edge.from == exit_a && edge.to == open_b_entry) links_open_b = true;
+  }
+  EXPECT_TRUE(links_close);
+  EXPECT_TRUE(links_open_b);
+}
+
+TEST_F(GraphTest, SingleEntryNodePerMethod) {
+  const ClassSpec spec = extract_(examples::kValveSource);
+  const DependencyGraph graph = DependencyGraph::build(spec, diagnostics_);
+  for (const Operation& op : spec.operations) {
+    EXPECT_NE(graph.entry_of(op.name), DependencyGraph::npos);
+    EXPECT_EQ(graph.exits_of(op.name).size(), op.exits.size());
+  }
+}
+
+TEST_F(GraphTest, UnknownSuccessorReportsError) {
+  const ClassSpec spec = extract_(R"py(
+@sys
+class C:
+    @op_initial_final
+    def m(self):
+        return ["nonexistent"]
+)py");
+  DependencyGraph::build(spec, diagnostics_);
+  EXPECT_TRUE(diagnostics_.has_errors());
+}
+
+TEST_F(GraphTest, ReachableOperationsFromInitial) {
+  const ClassSpec spec = extract_(examples::kValveSource);
+  const DependencyGraph graph = DependencyGraph::build(spec, diagnostics_);
+  const auto reachable = graph.reachable_operations(spec);
+  EXPECT_EQ(reachable.size(), 4u);  // all valve ops are reachable
+}
+
+TEST_F(GraphTest, UnreachableOperationIsNotListed) {
+  const ClassSpec spec = extract_(R"py(
+@sys
+class C:
+    @op_initial_final
+    def m(self):
+        return ["m"]
+
+    @op_final
+    def orphan(self):
+        return []
+)py");
+  const DependencyGraph graph = DependencyGraph::build(spec, diagnostics_);
+  const auto reachable = graph.reachable_operations(spec);
+  EXPECT_EQ(reachable, (std::vector<std::string>{"m"}));
+}
+
+TEST_F(GraphTest, NodeLabels) {
+  const ClassSpec spec = extract_(examples::kValveSource);
+  const DependencyGraph graph = DependencyGraph::build(spec, diagnostics_);
+  EXPECT_EQ(graph.nodes()[graph.entry_of("test")].label(), "test");
+  EXPECT_EQ(graph.nodes()[graph.exits_of("test")[1]].label(), "test/exit1");
+}
+
+}  // namespace
+}  // namespace shelley::core

@@ -1,0 +1,305 @@
+#include "shelley/invocation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "paper_sources.hpp"
+#include "upy/parser.hpp"
+
+namespace shelley::core {
+namespace {
+
+class InvocationTest : public ::testing::Test {
+ protected:
+  /// Registers Valve plus `source`, then runs the invocation analysis on
+  /// the LAST class of `source`.
+  std::size_t analyze_(const char* source) {
+    upy::Module valve = upy::parse_module(examples::kValveSource);
+    specs_.push_back(extract_class_spec(valve.classes.at(0), diagnostics_));
+    const upy::Module module = upy::parse_module(source);
+    for (const upy::ClassDef& cls : module.classes) {
+      specs_.push_back(extract_class_spec(cls, diagnostics_));
+    }
+    const ClassLookup lookup = [this](const std::string& name) ->
+        const ClassSpec* {
+      for (const ClassSpec& spec : specs_) {
+        if (spec.name == name) return &spec;
+      }
+      return nullptr;
+    };
+    return analyze_invocations(specs_.back(), lookup, diagnostics_);
+  }
+
+  std::deque<ClassSpec> specs_;
+  DiagnosticEngine diagnostics_;
+};
+
+TEST_F(InvocationTest, BadSectorPassesInvocationAnalysis) {
+  // BadSector's bug is behavioral, not syntactic: invocation analysis is
+  // clean; the usage checker finds the problem.
+  EXPECT_EQ(analyze_(examples::kBadSectorSource), 0u);
+}
+
+TEST_F(InvocationTest, UndeclaredMethodIsError) {
+  const std::size_t errors = analyze_(R"py(
+@sys(["a"])
+class C:
+    def __init__(self):
+        self.a = Valve()
+
+    @op_initial_final
+    def m(self):
+        self.a.explode()
+        return []
+)py");
+  EXPECT_EQ(errors, 1u);
+}
+
+TEST_F(InvocationTest, HelperMethodCallIsError) {
+  // __init__-only helpers are not @op operations; calling them is an error.
+  const std::size_t errors = analyze_(R"py(
+@sys(["a"])
+class C:
+    def __init__(self):
+        self.a = Valve()
+
+    @op_initial_final
+    def m(self):
+        self.a.__init__()
+        return []
+)py");
+  EXPECT_EQ(errors, 1u);
+}
+
+TEST_F(InvocationTest, CallsOnUntrackedFieldsAreIgnored) {
+  const std::size_t errors = analyze_(R"py(
+@sys(["a"])
+class C:
+    def __init__(self):
+        self.a = Valve()
+        self.led = Pin(5, OUT)
+
+    @op_initial_final
+    def m(self):
+        self.led.whatever()
+        return []
+)py");
+  EXPECT_EQ(errors, 0u);
+}
+
+TEST_F(InvocationTest, ExhaustiveMatchIsClean) {
+  const std::size_t errors = analyze_(R"py(
+@sys(["a"])
+class C:
+    def __init__(self):
+        self.a = Valve()
+
+    @op_initial_final
+    def m(self):
+        match self.a.test():
+            case ["open"]:
+                self.a.open()
+                self.a.close()
+            case ["clean"]:
+                self.a.clean()
+        return []
+)py");
+  EXPECT_EQ(errors, 0u);
+}
+
+TEST_F(InvocationTest, NonExhaustiveMatchIsError) {
+  const std::size_t errors = analyze_(R"py(
+@sys(["a"])
+class C:
+    def __init__(self):
+        self.a = Valve()
+
+    @op_initial_final
+    def m(self):
+        match self.a.test():
+            case ["open"]:
+                self.a.open()
+                self.a.close()
+        return []
+)py");
+  EXPECT_EQ(errors, 1u);  // the ["clean"] exit is unhandled
+}
+
+TEST_F(InvocationTest, WildcardCoversRemainingExits) {
+  const std::size_t errors = analyze_(R"py(
+@sys(["a"])
+class C:
+    def __init__(self):
+        self.a = Valve()
+
+    @op_initial_final
+    def m(self):
+        match self.a.test():
+            case ["open"]:
+                self.a.open()
+                self.a.close()
+            case _:
+                self.a.clean()
+        return []
+)py");
+  EXPECT_EQ(errors, 0u);
+}
+
+TEST_F(InvocationTest, UnknownCasePatternIsWarningNotError) {
+  const std::size_t errors = analyze_(R"py(
+@sys(["a"])
+class C:
+    def __init__(self):
+        self.a = Valve()
+
+    @op_initial_final
+    def m(self):
+        match self.a.test():
+            case ["open"]:
+                self.a.open()
+                self.a.close()
+            case ["banana"]:
+                pass
+            case _:
+                self.a.clean()
+        return []
+)py");
+  EXPECT_EQ(errors, 0u);
+  bool warned = false;
+  for (const Diagnostic& diag : diagnostics_.diagnostics()) {
+    if (diag.severity == Severity::kWarning &&
+        diag.message.find("matches no exit point") != std::string::npos) {
+      warned = true;
+    }
+  }
+  EXPECT_TRUE(warned);
+}
+
+TEST_F(InvocationTest, DiscardedMultiExitCallIsError) {
+  // §2.2 "Matching exit points": test has two exits; discarding its result
+  // means neither exit is handled.
+  const std::size_t errors = analyze_(R"py(
+@sys(["a"])
+class C:
+    def __init__(self):
+        self.a = Valve()
+
+    @op_initial_final
+    def m(self):
+        self.a.test()
+        self.a.open()
+        self.a.close()
+        return []
+)py");
+  EXPECT_EQ(errors, 1u);
+}
+
+TEST_F(InvocationTest, MultiExitCallInIfConditionIsAllowed) {
+  const std::size_t errors = analyze_(R"py(
+@sys(["a"])
+class C:
+    def __init__(self):
+        self.a = Valve()
+
+    @op_initial_final
+    def m(self):
+        if self.a.test() == ["open"]:
+            self.a.open()
+            self.a.close()
+        else:
+            self.a.clean()
+        return []
+)py");
+  EXPECT_EQ(errors, 0u);
+}
+
+TEST_F(InvocationTest, SingleExitCallsMayBeDiscarded) {
+  const std::size_t errors = analyze_(R"py(
+@sys(["a"])
+class C:
+    def __init__(self):
+        self.a = Valve()
+
+    @op_initial_final
+    def m(self):
+        if self.a.test() == ["open"]:
+            self.a.open()
+            self.a.close()
+        else:
+            self.a.clean()
+        return []
+)py");
+  EXPECT_EQ(errors, 0u);
+}
+
+TEST_F(InvocationTest, MatchesInsideCaseBodiesAreAnalyzed) {
+  const std::size_t errors = analyze_(R"py(
+@sys(["a", "b"])
+class C:
+    def __init__(self):
+        self.a = Valve()
+        self.b = Valve()
+
+    @op_initial_final
+    def m(self):
+        match self.a.test():
+            case ["open"]:
+                self.a.open()
+                self.a.close()
+                match self.b.test():
+                    case ["open"]:
+                        self.b.open()
+                        self.b.close()
+            case ["clean"]:
+                self.a.clean()
+        return []
+)py");
+  EXPECT_EQ(errors, 1u);  // inner match misses b's ["clean"] exit
+}
+
+TEST_F(InvocationTest, ErrorsInsideLoopsAreFound) {
+  const std::size_t errors = analyze_(R"py(
+@sys(["a"])
+class C:
+    def __init__(self):
+        self.a = Valve()
+
+    @op_initial_final
+    def m(self):
+        while x:
+            self.a.bogus()
+        return []
+)py");
+  EXPECT_EQ(errors, 1u);
+}
+
+TEST_F(InvocationTest, OperationsWithEquivalentExitsCountAsSingleExit) {
+  // Both exits of `pulse` return ["stop"]; a discarded call is fine.
+  const std::size_t errors = analyze_(R"py(
+@sys
+class Pulser:
+    @op_initial
+    def pulse(self):
+        if x:
+            return ["stop"]
+        return ["stop"]
+
+    @op_final
+    def stop(self):
+        return []
+
+@sys(["p"])
+class C:
+    def __init__(self):
+        self.p = Pulser()
+
+    @op_initial_final
+    def m(self):
+        self.p.pulse()
+        self.p.stop()
+        return []
+)py");
+  EXPECT_EQ(errors, 0u);
+}
+
+}  // namespace
+}  // namespace shelley::core

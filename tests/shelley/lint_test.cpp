@@ -1,0 +1,155 @@
+#include "shelley/lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include "paper_sources.hpp"
+#include "upy/parser.hpp"
+
+namespace shelley::core {
+namespace {
+
+class LintTest : public ::testing::Test {
+ protected:
+  std::size_t lint_(const char* source, std::size_t index = 0) {
+    const upy::Module module = upy::parse_module(source);
+    const ClassSpec spec =
+        extract_class_spec(module.classes.at(index), diagnostics_);
+    return lint_class(spec, table_, diagnostics_);
+  }
+
+  bool has_warning_(std::string_view fragment) {
+    for (const Diagnostic& diag : diagnostics_.diagnostics()) {
+      if (diag.severity == Severity::kWarning &&
+          diag.message.find(fragment) != std::string::npos) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  SymbolTable table_;
+  DiagnosticEngine diagnostics_;
+};
+
+TEST_F(LintTest, ValveIsClean) {
+  EXPECT_EQ(lint_(examples::kValveSource), 0u);
+}
+
+TEST_F(LintTest, GoodSectorIsClean) {
+  EXPECT_EQ(lint_(examples::kGoodSectorSource), 0u);
+}
+
+TEST_F(LintTest, UnreachableOperation) {
+  const std::size_t findings = lint_(R"py(
+@sys
+class C:
+    @op_initial_final
+    def m(self):
+        return ["m"]
+
+    @op_final
+    def orphan(self):
+        return []
+)py");
+  EXPECT_GE(findings, 1u);
+  EXPECT_TRUE(has_warning_("unreachable"));
+}
+
+TEST_F(LintTest, DeadExitOnNonFinalOperation) {
+  const std::size_t findings = lint_(R"py(
+@sys
+class C:
+    @op_initial
+    def m(self):
+        if x:
+            return ["stop"]
+        return []
+
+    @op_final
+    def stop(self):
+        return []
+)py");
+  EXPECT_GE(findings, 1u);
+  EXPECT_TRUE(has_warning_("can never complete"));
+}
+
+TEST_F(LintTest, NoFinalOperation) {
+  const std::size_t findings = lint_(R"py(
+@sys
+class C:
+    @op_initial
+    def m(self):
+        return ["m"]
+)py");
+  EXPECT_GE(findings, 1u);
+  EXPECT_TRUE(has_warning_("no @op_final"));
+}
+
+TEST_F(LintTest, IncompletableUsageWithWitness) {
+  // After `enter`, only `spin` is reachable and spin never leads to a final
+  // op -- the call sequence [enter] can never complete.
+  const std::size_t findings = lint_(R"py(
+@sys
+class C:
+    @op_initial_final
+    def once(self):
+        return []
+
+    @op_initial
+    def enter(self):
+        return ["spin"]
+
+    @op
+    def spin(self):
+        return ["spin"]
+)py");
+  EXPECT_GE(findings, 1u);
+  EXPECT_TRUE(has_warning_("can never be completed"));
+  EXPECT_TRUE(has_warning_("[enter]"));
+}
+
+TEST_F(LintTest, DuplicateSuccessor) {
+  const std::size_t findings = lint_(R"py(
+@sys
+class C:
+    @op_initial_final
+    def m(self):
+        return ["m", "m"]
+)py");
+  EXPECT_GE(findings, 1u);
+  EXPECT_TRUE(has_warning_("listed more than once"));
+}
+
+TEST_F(LintTest, ValidLoopingSpecHasNoCompletabilityFinding) {
+  // Every state can reach the final op: no finding.
+  const std::size_t findings = lint_(R"py(
+@sys
+class C:
+    @op_initial
+    def a(self):
+        return ["b"]
+
+    @op
+    def b(self):
+        return ["a", "stop"]
+
+    @op_final
+    def stop(self):
+        return []
+)py");
+  EXPECT_EQ(findings, 0u);
+}
+
+TEST_F(LintTest, LintsAreWarningsNotErrors) {
+  lint_(R"py(
+@sys
+class C:
+    @op_initial
+    def m(self):
+        return ["m"]
+)py");
+  EXPECT_FALSE(diagnostics_.has_errors());
+}
+
+}  // namespace
+}  // namespace shelley::core

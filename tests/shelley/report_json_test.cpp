@@ -1,0 +1,70 @@
+#include "shelley/report_json.hpp"
+
+#include <gtest/gtest.h>
+
+#include "paper_sources.hpp"
+
+namespace shelley::core {
+namespace {
+
+TEST(ReportJson, PassingReport) {
+  Verifier verifier;
+  verifier.add_source(examples::kValveSource);
+  const Report report = verifier.verify_all();
+  const std::string json = report_to_json(report, verifier);
+  EXPECT_NE(json.find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"Valve\""), std::string::npos);
+  EXPECT_NE(json.find("\"subsystem_errors\":[]"), std::string::npos);
+}
+
+TEST(ReportJson, FailingReportCarriesCounterexamples) {
+  Verifier verifier;
+  verifier.add_source(examples::kValveSource);
+  verifier.add_source(examples::kBadSectorSource);
+  const Report report = verifier.verify_all();
+  const std::string json = report_to_json(report, verifier);
+  EXPECT_NE(json.find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(json.find("\"counterexample\":[\"open_a\",\"a.test\",\"a.open\"]"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"detail\":\"test, >open< (not final)\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"formula\":\"(!a.open) W b.open\""),
+            std::string::npos);
+}
+
+TEST(ReportJson, DiagnosticsSerialized) {
+  Verifier verifier;
+  verifier.add_source("@sys\nclass C:\n    @op\n    def m(self):\n"
+                      "        return []\n");
+  const Report report = verifier.verify_all();
+  const std::string json = report_to_json(report, verifier);
+  EXPECT_NE(json.find("\"severity\":\"error\""), std::string::npos);
+  EXPECT_NE(json.find("\"message\":"), std::string::npos);
+}
+
+TEST(SpecJson, ValveSpecStructure) {
+  Verifier verifier;
+  verifier.add_source(examples::kValveSource);
+  const std::string json = spec_to_json(*verifier.find_class("Valve"));
+  EXPECT_NE(json.find("\"name\":\"Valve\""), std::string::npos);
+  EXPECT_NE(json.find("\"is_system\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"is_composite\":false"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"test\""), std::string::npos);
+  EXPECT_NE(json.find("\"initial\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"successors\":[\"open\"]"), std::string::npos);
+  EXPECT_NE(json.find("\"successors\":[\"clean\"]"), std::string::npos);
+}
+
+TEST(SpecJson, CompositeListsSubsystemsAndClaims) {
+  Verifier verifier;
+  verifier.add_source(examples::kValveSource);
+  verifier.add_source(examples::kBadSectorSource);
+  const std::string json = spec_to_json(*verifier.find_class("BadSector"));
+  EXPECT_NE(json.find("\"field\":\"a\""), std::string::npos);
+  EXPECT_NE(json.find("\"class\":\"Valve\""), std::string::npos);
+  EXPECT_NE(json.find("\"claims\":[\"(!a.open) W b.open\"]"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace shelley::core

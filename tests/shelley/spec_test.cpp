@@ -1,0 +1,205 @@
+#include "shelley/spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "paper_sources.hpp"
+#include "upy/parser.hpp"
+
+namespace shelley::core {
+namespace {
+
+class SpecTest : public ::testing::Test {
+ protected:
+  ClassSpec extract_(const std::string& source, std::size_t index = 0) {
+    const upy::Module module = upy::parse_module(source);
+    return extract_class_spec(module.classes.at(index), diagnostics_);
+  }
+  DiagnosticEngine diagnostics_;
+};
+
+TEST_F(SpecTest, ValveSpecFromListing21) {
+  const ClassSpec spec = extract_(examples::kValveSource);
+  EXPECT_EQ(spec.name, "Valve");
+  EXPECT_TRUE(spec.is_system);
+  EXPECT_FALSE(spec.is_composite);
+  EXPECT_TRUE(spec.subsystems.empty());
+  ASSERT_EQ(spec.operations.size(), 4u);
+
+  const Operation* test = spec.find_operation("test");
+  ASSERT_NE(test, nullptr);
+  EXPECT_TRUE(test->initial);
+  EXPECT_FALSE(test->final);
+  ASSERT_EQ(test->exits.size(), 2u);
+  EXPECT_EQ(test->exits[0].successors, (std::vector<std::string>{"open"}));
+  EXPECT_EQ(test->exits[1].successors, (std::vector<std::string>{"clean"}));
+
+  const Operation* open = spec.find_operation("open");
+  ASSERT_NE(open, nullptr);
+  EXPECT_FALSE(open->initial);
+  EXPECT_FALSE(open->final);
+  ASSERT_EQ(open->exits.size(), 1u);
+  EXPECT_EQ(open->exits[0].successors, (std::vector<std::string>{"close"}));
+
+  EXPECT_TRUE(spec.find_operation("close")->final);
+  EXPECT_TRUE(spec.find_operation("clean")->final);
+  EXPECT_EQ(spec.initial_operations(), (std::vector<std::string>{"test"}));
+  EXPECT_EQ(spec.final_operations(),
+            (std::vector<std::string>{"close", "clean"}));
+  EXPECT_FALSE(diagnostics_.has_errors());
+}
+
+TEST_F(SpecTest, BadSectorSpecFromListing22) {
+  const ClassSpec spec = extract_(examples::kBadSectorSource);
+  EXPECT_EQ(spec.name, "BadSector");
+  EXPECT_TRUE(spec.is_composite);
+  ASSERT_EQ(spec.subsystems.size(), 2u);
+  EXPECT_EQ(spec.subsystems[0].field, "a");
+  EXPECT_EQ(spec.subsystems[0].class_name, "Valve");
+  EXPECT_EQ(spec.subsystems[1].field, "b");
+  EXPECT_EQ(spec.subsystems[1].class_name, "Valve");
+  ASSERT_EQ(spec.claims.size(), 1u);
+  EXPECT_EQ(spec.claims[0].text, "(!a.open) W b.open");
+
+  const Operation* open_a = spec.find_operation("open_a");
+  ASSERT_NE(open_a, nullptr);
+  EXPECT_TRUE(open_a->initial);
+  EXPECT_TRUE(open_a->final);
+  ASSERT_EQ(open_a->exits.size(), 2u);
+  EXPECT_EQ(open_a->exits[0].successors,
+            (std::vector<std::string>{"open_b"}));
+  EXPECT_TRUE(open_a->exits[1].successors.empty());
+  EXPECT_FALSE(diagnostics_.has_errors());
+}
+
+TEST_F(SpecTest, ExitIdsFollowSourceOrderOfReturns) {
+  const ClassSpec spec = extract_(R"py(
+@sys
+class C:
+    @op_initial_final
+    def m(self):
+        if x:
+            return ["m"]
+        else:
+            return []
+)py");
+  const Operation* m = spec.find_operation("m");
+  ASSERT_NE(m, nullptr);
+  ASSERT_EQ(m->exits.size(), 2u);
+  EXPECT_EQ(m->exits[0].id, 0u);
+  EXPECT_EQ(m->exits[1].id, 1u);
+}
+
+TEST_F(SpecTest, ReturnsInsideLoopsAndMatchesAreFound) {
+  const ClassSpec spec = extract_(R"py(
+@sys
+class C:
+    @op_initial_final
+    def m(self):
+        while x:
+            if y:
+                return ["m"]
+        match z:
+            case ["p"]:
+                return []
+            case _:
+                return ["m"], 3
+)py");
+  EXPECT_EQ(spec.find_operation("m")->exits.size(), 3u);
+}
+
+TEST_F(SpecTest, MethodWithoutOpDecoratorIsNotAnOperation) {
+  const ClassSpec spec = extract_(R"py(
+@sys
+class C:
+    def helper(self):
+        return 42
+
+    @op_initial_final
+    def m(self):
+        return []
+)py");
+  EXPECT_EQ(spec.operations.size(), 1u);
+  EXPECT_EQ(spec.find_operation("helper"), nullptr);
+}
+
+TEST_F(SpecTest, OperationWithoutReturnGetsImplicitExitAndWarning) {
+  const ClassSpec spec = extract_(R"py(
+@sys
+class C:
+    @op_initial_final
+    def m(self):
+        pass
+)py");
+  const Operation* m = spec.find_operation("m");
+  ASSERT_EQ(m->exits.size(), 1u);
+  EXPECT_TRUE(m->exits[0].successors.empty());
+  EXPECT_FALSE(diagnostics_.has_errors());
+  EXPECT_FALSE(diagnostics_.diagnostics().empty());  // the warning
+}
+
+TEST_F(SpecTest, MissingSubsystemBindingIsError) {
+  extract_(R"py(
+@sys(["a"])
+class C:
+    def __init__(self):
+        self.b = Valve()
+
+    @op_initial_final
+    def m(self):
+        return []
+)py");
+  EXPECT_TRUE(diagnostics_.has_errors());
+}
+
+TEST_F(SpecTest, SysWithoutOperationsIsError) {
+  extract_("@sys\nclass C:\n    def helper(self):\n        return 1\n");
+  EXPECT_TRUE(diagnostics_.has_errors());
+}
+
+TEST_F(SpecTest, NoInitialOperationIsError) {
+  extract_(R"py(
+@sys
+class C:
+    @op
+    def m(self):
+        return []
+)py");
+  EXPECT_TRUE(diagnostics_.has_errors());
+}
+
+TEST_F(SpecTest, UndecodableReturnKeepsItsExitSlot) {
+  // First return is malformed; the second must still get id 1, matching
+  // the ids the IR lowering assigns.
+  const ClassSpec spec = extract_(R"py(
+@sys
+class C:
+    @op_initial_final
+    def m(self):
+        if x:
+            return 42
+        return []
+)py");
+  const Operation* m = spec.find_operation("m");
+  ASSERT_EQ(m->exits.size(), 1u);
+  EXPECT_EQ(m->exits[0].id, 1u);
+  EXPECT_TRUE(diagnostics_.has_errors());
+}
+
+TEST_F(SpecTest, ExitWithSuccessorsLookup) {
+  const ClassSpec spec = extract_(examples::kValveSource);
+  const Operation* test = spec.find_operation("test");
+  EXPECT_NE(test->exit_with_successors({"open"}), nullptr);
+  EXPECT_NE(test->exit_with_successors({"clean"}), nullptr);
+  EXPECT_EQ(test->exit_with_successors({"close"}), nullptr);
+  EXPECT_EQ(test->exit_with_successors({}), nullptr);
+}
+
+TEST_F(SpecTest, NonSystemClassIsExtractedButUnverified) {
+  const ClassSpec spec = extract_("class Plain:\n    pass\n");
+  EXPECT_FALSE(spec.is_system);
+  EXPECT_TRUE(spec.operations.empty());
+  EXPECT_FALSE(diagnostics_.has_errors());
+}
+
+}  // namespace
+}  // namespace shelley::core

@@ -1,0 +1,140 @@
+#include "shelley/verifier.hpp"
+
+#include <gtest/gtest.h>
+
+#include "paper_sources.hpp"
+
+namespace shelley::core {
+namespace {
+
+TEST(VerifierTest, ValveAloneVerifies) {
+  Verifier verifier;
+  verifier.add_source(examples::kValveSource);
+  const Report report = verifier.verify_all();
+  ASSERT_EQ(report.classes.size(), 1u);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.classes[0].class_name, "Valve");
+  EXPECT_FALSE(report.classes[0].is_composite);
+}
+
+TEST(VerifierTest, BadSectorEndToEnd) {
+  Verifier verifier;
+  verifier.add_source(examples::kValveSource);
+  verifier.add_source(examples::kBadSectorSource);
+  const Report report = verifier.verify_all();
+  ASSERT_EQ(report.classes.size(), 2u);
+  EXPECT_FALSE(report.ok());
+  // Valve itself is fine; BadSector carries the errors.
+  EXPECT_TRUE(report.classes[0].ok());
+  EXPECT_FALSE(report.classes[1].ok());
+  EXPECT_EQ(report.classes[1].check.subsystem_errors.size(), 1u);
+  EXPECT_EQ(report.classes[1].check.claim_errors.size(), 1u);
+
+  const std::string rendered = report.render(verifier.symbols());
+  EXPECT_NE(rendered.find("INVALID SUBSYSTEM USAGE"), std::string::npos);
+  EXPECT_NE(rendered.find("FAIL TO MEET REQUIREMENT"), std::string::npos);
+}
+
+TEST(VerifierTest, GoodSectorEndToEnd) {
+  Verifier verifier;
+  verifier.add_source(examples::kValveSource);
+  verifier.add_source(examples::kGoodSectorSource);
+  const Report report = verifier.verify_all();
+  EXPECT_TRUE(report.ok());
+  EXPECT_TRUE(report.render(verifier.symbols()).empty());
+}
+
+TEST(VerifierTest, VerifySingleClassByName) {
+  Verifier verifier;
+  verifier.add_source(examples::kValveSource);
+  verifier.add_source(examples::kBadSectorSource);
+  const ClassReport report = verifier.verify_class("BadSector");
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.is_composite);
+}
+
+TEST(VerifierTest, VerifyUnknownClassReportsDiagnostic) {
+  Verifier verifier;
+  const ClassReport report = verifier.verify_class("Ghost");
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(verifier.diagnostics().has_errors());
+}
+
+TEST(VerifierTest, DuplicateClassIsError) {
+  Verifier verifier;
+  verifier.add_source("@sys\nclass C:\n    @op_initial_final\n"
+                      "    def m(self):\n        return []\n");
+  verifier.add_source("@sys\nclass C:\n    @op_initial_final\n"
+                      "    def m(self):\n        return []\n");
+  EXPECT_TRUE(verifier.diagnostics().has_errors());
+  EXPECT_EQ(verifier.classes().size(), 1u);
+}
+
+TEST(VerifierTest, SyntaxErrorsPropagateAsParseError) {
+  Verifier verifier;
+  EXPECT_THROW(verifier.add_source("class C\n    pass\n"), ParseError);
+}
+
+TEST(VerifierTest, NonSystemClassesAreRegisteredButNotVerified) {
+  Verifier verifier;
+  verifier.add_source("class Helper:\n    pass\n");
+  verifier.add_source(examples::kValveSource);
+  const Report report = verifier.verify_all();
+  EXPECT_EQ(report.classes.size(), 1u);  // only Valve
+  EXPECT_NE(verifier.find_class("Helper"), nullptr);
+}
+
+TEST(VerifierTest, FindClass) {
+  Verifier verifier;
+  verifier.add_source(examples::kValveSource);
+  EXPECT_NE(verifier.find_class("Valve"), nullptr);
+  EXPECT_EQ(verifier.find_class("Nope"), nullptr);
+}
+
+TEST(VerifierTest, InvocationErrorsCountTowardsFailure) {
+  Verifier verifier;
+  verifier.add_source(examples::kValveSource);
+  verifier.add_source(R"py(
+@sys(["a"])
+class BadCall:
+    def __init__(self):
+        self.a = Valve()
+
+    @op_initial_final
+    def go(self):
+        self.a.explode()
+        return []
+)py");
+  const Report report = verifier.verify_all();
+  EXPECT_FALSE(report.ok());
+  const ClassReport& bad = report.classes.back();
+  EXPECT_GE(bad.invocation_errors, 1u);
+}
+
+TEST(VerifierTest, ThreeLevelHierarchyVerifies) {
+  Verifier verifier;
+  verifier.add_source(examples::kValveSource);
+  verifier.add_source(examples::kGoodSectorSource);
+  verifier.add_source(R"py(
+@sys(["s"])
+class Plant:
+    def __init__(self):
+        self.s = GoodSector()
+
+    @op_initial_final
+    def run(self):
+        match self.s.open_b():
+            case ["open_a"]:
+                self.s.open_a()
+                return ["run"]
+            case ["fail"]:
+                self.s.fail()
+                return ["run"]
+)py");
+  const Report report = verifier.verify_all();
+  EXPECT_TRUE(report.ok()) << report.render(verifier.symbols())
+                           << verifier.diagnostics().render();
+}
+
+}  // namespace
+}  // namespace shelley::core

@@ -1,0 +1,103 @@
+#include "smv/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fsm/ops.hpp"
+#include "fsm/thompson.hpp"
+#include "ltlf/eval.hpp"
+#include "ltlf/parser.hpp"
+#include "rex/parser.hpp"
+
+namespace shelley::smv {
+namespace {
+
+class SmvParserTest : public ::testing::Test {
+ protected:
+  fsm::Dfa dfa_(const char* regex_text) {
+    return fsm::minimize(
+        fsm::determinize(fsm::from_regex(rex::parse(regex_text, table_))));
+  }
+  SymbolTable table_;
+};
+
+TEST_F(SmvParserTest, EmitParseRoundTripPreservesEverything) {
+  const char* cases[] = {"a.x b.y", "(a.x + b.y)* a.x", "a.x* b.y*"};
+  for (const char* text : cases) {
+    const fsm::Dfa original = dfa_(text);
+    SmvModel before = from_dfa(original, table_, "roundtrip");
+    add_ltlspec(before, ltlf::parse("F a.x", table_), table_);
+
+    const SmvModel after = parse_model(emit(before));
+    EXPECT_EQ(after.module_name, "roundtrip") << text;
+    EXPECT_EQ(after.state_names, before.state_names) << text;
+    EXPECT_EQ(after.event_names, before.event_names) << text;
+    EXPECT_EQ(after.event_labels, before.event_labels) << text;
+    EXPECT_EQ(after.initial_state, before.initial_state) << text;
+    EXPECT_EQ(after.accepting, before.accepting) << text;
+    EXPECT_EQ(after.transitions, before.transitions) << text;
+    EXPECT_EQ(after.ltlspecs, before.ltlspecs) << text;
+  }
+}
+
+TEST_F(SmvParserTest, RoundTripPreservesLanguage) {
+  const fsm::Dfa original = dfa_("(a.open a.close)*");
+  const SmvModel model = parse_model(emit(from_dfa(original, table_, "m")));
+  SymbolTable fresh;
+  const fsm::Dfa recovered = to_dfa(model, fresh);
+  // Compare via acceptance of sampled words rendered through labels.
+  EXPECT_TRUE(model_accepts(model, {}));
+  EXPECT_TRUE(model_accepts(model, {"a.open", "a.close"}));
+  EXPECT_FALSE(model_accepts(model, {"a.open"}));
+  EXPECT_FALSE(model_accepts(model, {"a.close", "a.open"}));
+  EXPECT_EQ(recovered.state_count(), original.state_count());
+}
+
+TEST_F(SmvParserTest, ParsedModelChecksClaims) {
+  const fsm::Dfa system = dfa_("a.test a.open b.open");
+  SmvModel before = from_dfa(system, table_, "m");
+  const ltlf::Formula claim = ltlf::parse("(!a.open) W b.open", table_);
+  add_ltlspec(before, claim, table_);
+
+  const SmvModel after = parse_model(emit(before));
+  SymbolTable fresh;
+  const auto witness = check_ltlspec(after, ltlf::parse("(!a.open) W b.open",
+                                                        fresh),
+                                     fresh);
+  ASSERT_TRUE(witness.has_value());
+  Word word;
+  for (const std::string& label : *witness) {
+    word.push_back(fresh.intern(label));
+  }
+  EXPECT_FALSE(ltlf::eval(ltlf::parse("(!a.open) W b.open", fresh), word));
+}
+
+TEST_F(SmvParserTest, AcceptingFalseParses) {
+  // A DFA with no accepting state emits `accepting := (FALSE)`.
+  SymbolTable t;
+  const Symbol a = t.intern("a");
+  fsm::Dfa dfa(1, {a});
+  dfa.set_transition(0, 0, 0);
+  const SmvModel model = parse_model(emit(from_dfa(dfa, t, "m")));
+  EXPECT_FALSE(model.accepting.at(0));
+}
+
+TEST_F(SmvParserTest, MalformedInputsThrow) {
+  EXPECT_THROW(parse_model(""), ParseError);
+  EXPECT_THROW(parse_model("MODULE m\n"), ParseError);
+  EXPECT_THROW(parse_model("VAR\n  state : {s0};\n"), ParseError);
+  EXPECT_THROW(parse_model("MODULE m\nASSIGN\n  init(state) := s9;\n"
+                           "VAR\n  state : {s0};\n"),
+               ParseError);
+}
+
+TEST_F(SmvParserTest, CommentsAndBlankLinesIgnored) {
+  const fsm::Dfa original = dfa_("x y");
+  std::string text = emit(from_dfa(original, table_, "m"));
+  text = "-- a leading comment\n\n" + text + "\n-- trailing\n";
+  const SmvModel model = parse_model(text);
+  EXPECT_EQ(model.module_name, "m");
+  EXPECT_TRUE(model_accepts(model, {"x", "y"}));
+}
+
+}  // namespace
+}  // namespace shelley::smv

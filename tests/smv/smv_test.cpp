@@ -1,0 +1,127 @@
+#include "smv/smv.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fsm/ops.hpp"
+#include "fsm/thompson.hpp"
+#include "ltlf/automaton.hpp"
+#include "ltlf/eval.hpp"
+#include "ltlf/parser.hpp"
+#include "rex/parser.hpp"
+
+namespace shelley::smv {
+namespace {
+
+class SmvTest : public ::testing::Test {
+ protected:
+  fsm::Dfa dfa_(const char* regex_text) {
+    return fsm::minimize(
+        fsm::determinize(fsm::from_regex(rex::parse(regex_text, table_))));
+  }
+  SymbolTable table_;
+};
+
+TEST_F(SmvTest, MangleIsNuSmvSafe) {
+  EXPECT_EQ(mangle("a.open"), "e_a_open");
+  EXPECT_EQ(mangle("plain"), "e_plain");
+  EXPECT_EQ(mangle("x-y z"), "e_x_y_z");
+}
+
+TEST_F(SmvTest, FromDfaCapturesStructure) {
+  const fsm::Dfa dfa = dfa_("a.open a.close");
+  const SmvModel model = from_dfa(dfa, table_, "m");
+  EXPECT_EQ(model.module_name, "m");
+  EXPECT_EQ(model.state_names.size(), dfa.state_count());
+  EXPECT_EQ(model.event_labels.size(), 2u);
+  EXPECT_EQ(model.initial_state, dfa.initial());
+}
+
+TEST_F(SmvTest, EmitProducesWellFormedNuSmvText) {
+  SmvModel model = from_dfa(dfa_("a b"), table_, "main");
+  const ltlf::Formula claim = ltlf::parse("F b", table_);
+  add_ltlspec(model, claim, table_);
+  const std::string text = emit(model);
+  EXPECT_NE(text.find("MODULE main"), std::string::npos);
+  EXPECT_NE(text.find("IVAR"), std::string::npos);
+  EXPECT_NE(text.find("e__end"), std::string::npos);
+  EXPECT_NE(text.find("init(state)"), std::string::npos);
+  EXPECT_NE(text.find("next(state) := case"), std::string::npos);
+  EXPECT_NE(text.find("LTLSPEC"), std::string::npos);
+  EXPECT_NE(text.find("esac"), std::string::npos);
+  // The finite-to-infinite guard: claims only constrain completed words.
+  EXPECT_NE(text.find("(F is_end) ->"), std::string::npos);
+}
+
+TEST_F(SmvTest, LtlspecTranslationShapes) {
+  SmvModel model = from_dfa(dfa_("a b"), table_, "main");
+  EXPECT_EQ(add_ltlspec(model, ltlf::parse("a", table_), table_),
+            "(event = e_a)");
+  EXPECT_EQ(add_ltlspec(model, ltlf::parse("X a", table_), table_),
+            "X (!is_end & (event = e_a))");
+  EXPECT_EQ(add_ltlspec(model, ltlf::parse("N a", table_), table_),
+            "X (is_end | (event = e_a))");
+  EXPECT_EQ(add_ltlspec(model, ltlf::parse("a U b", table_), table_),
+            "((!is_end & (event = e_a)) U (!is_end & (event = e_b)))");
+  EXPECT_EQ(add_ltlspec(model, ltlf::parse("end", table_), table_),
+            "is_end");
+}
+
+TEST_F(SmvTest, RoundTripPreservesLanguage) {
+  const char* cases[] = {"a b", "(a + b)* a", "a* b*", "(a.x b.y)* + a.x"};
+  for (const char* text : cases) {
+    const fsm::Dfa original = dfa_(text);
+    const SmvModel model = from_dfa(original, table_, "m");
+    const fsm::Dfa back = to_dfa(model, table_);
+    EXPECT_TRUE(fsm::equivalent(original, back)) << text;
+  }
+}
+
+TEST_F(SmvTest, ModelAcceptsRunsWords) {
+  const SmvModel model = from_dfa(dfa_("a b + c"), table_, "m");
+  EXPECT_TRUE(model_accepts(model, {"a", "b"}));
+  EXPECT_TRUE(model_accepts(model, {"c"}));
+  EXPECT_FALSE(model_accepts(model, {"a"}));
+  EXPECT_FALSE(model_accepts(model, {"b", "a"}));
+  EXPECT_FALSE(model_accepts(model, {"unknown_event"}));
+}
+
+TEST_F(SmvTest, CheckLtlspecAgreesWithDirectPipeline) {
+  const fsm::Dfa system = dfa_("a.test a.open b.open");
+  const SmvModel model = from_dfa(system, table_, "m");
+  const ltlf::Formula claim = ltlf::parse("(!a.open) W b.open", table_);
+
+  const auto via_smv = check_ltlspec(model, claim, table_);
+  const auto direct = ltlf::counterexample(system, claim);
+  ASSERT_EQ(via_smv.has_value(), direct.has_value());
+  ASSERT_TRUE(via_smv.has_value());
+  // Both counterexamples must violate the claim.
+  Word witness;
+  for (const std::string& label : *via_smv) {
+    witness.push_back(table_.intern(label));
+  }
+  EXPECT_FALSE(ltlf::eval(claim, witness));
+}
+
+TEST_F(SmvTest, CheckLtlspecHoldsOnSatisfyingSystem) {
+  const fsm::Dfa system = dfa_("b.open a.open");
+  const SmvModel model = from_dfa(system, table_, "m");
+  const ltlf::Formula claim = ltlf::parse("(!a.open) W b.open", table_);
+  EXPECT_FALSE(check_ltlspec(model, claim, table_).has_value());
+}
+
+TEST_F(SmvTest, EmittedTransitionTableIsTotal) {
+  const SmvModel model = from_dfa(dfa_("a b"), table_, "m");
+  const std::string text = emit(model);
+  // One case line per (state, event) pair plus the four framing rules and
+  // the TRUE fallback.
+  std::size_t case_lines = 0;
+  for (std::size_t pos = 0; (pos = text.find(" : ", pos)) != std::string::npos;
+       ++pos) {
+    ++case_lines;
+  }
+  EXPECT_GE(case_lines,
+            model.state_names.size() * model.event_names.size() + 5);
+}
+
+}  // namespace
+}  // namespace shelley::smv

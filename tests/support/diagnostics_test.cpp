@@ -1,0 +1,55 @@
+#include "support/diagnostics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace shelley {
+namespace {
+
+TEST(DiagnosticEngine, CountsOnlyErrors) {
+  DiagnosticEngine engine;
+  engine.warning({1, 1}, "w");
+  engine.note({2, 1}, "n");
+  EXPECT_FALSE(engine.has_errors());
+  engine.error({3, 1}, "e");
+  EXPECT_TRUE(engine.has_errors());
+  EXPECT_EQ(engine.error_count(), 1u);
+  EXPECT_EQ(engine.diagnostics().size(), 3u);
+}
+
+TEST(DiagnosticEngine, RenderFormat) {
+  DiagnosticEngine engine;
+  engine.error({3, 7}, "bad thing");
+  engine.warning({}, "no location");
+  EXPECT_EQ(engine.render(), "error 3:7: bad thing\nwarning: no location\n");
+}
+
+TEST(DiagnosticEngine, ClearResets) {
+  DiagnosticEngine engine;
+  engine.error({1, 1}, "e");
+  engine.clear();
+  EXPECT_FALSE(engine.has_errors());
+  EXPECT_TRUE(engine.diagnostics().empty());
+  EXPECT_EQ(engine.render(), "");
+}
+
+TEST(SourceLoc, KnownAndFormatting) {
+  EXPECT_FALSE(SourceLoc{}.known());
+  EXPECT_TRUE((SourceLoc{1, 1}).known());
+  EXPECT_EQ(to_string(SourceLoc{12, 34}), "12:34");
+  EXPECT_EQ(to_string(SourceLoc{}), "<unknown>");
+}
+
+TEST(ParseError, CarriesLocationInMessage) {
+  const ParseError error({5, 2}, "unexpected token");
+  EXPECT_EQ(std::string(error.what()), "5:2: unexpected token");
+  EXPECT_EQ(error.loc(), (SourceLoc{5, 2}));
+}
+
+TEST(Severity, Names) {
+  EXPECT_EQ(to_string(Severity::kError), "error");
+  EXPECT_EQ(to_string(Severity::kWarning), "warning");
+  EXPECT_EQ(to_string(Severity::kNote), "note");
+}
+
+}  // namespace
+}  // namespace shelley

@@ -1,0 +1,71 @@
+#include "support/json.hpp"
+
+#include <gtest/gtest.h>
+
+namespace shelley {
+namespace {
+
+TEST(JsonWriter, EmptyObjectAndArray) {
+  EXPECT_EQ(JsonWriter().begin_object().end_object().str(), "{}");
+  EXPECT_EQ(JsonWriter().begin_array().end_array().str(), "[]");
+}
+
+TEST(JsonWriter, FlatObject) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("name").value("valve");
+  json.key("ops").value(std::uint64_t{4});
+  json.key("ok").value(true);
+  json.key("owner").null();
+  json.end_object();
+  EXPECT_EQ(json.str(),
+            R"({"name":"valve","ops":4,"ok":true,"owner":null})");
+}
+
+TEST(JsonWriter, NestedContainers) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("items").begin_array();
+  json.value("a");
+  json.begin_object().key("x").value(std::int64_t{-1}).end_object();
+  json.begin_array().value(false).end_array();
+  json.end_array();
+  json.end_object();
+  EXPECT_EQ(json.str(), R"({"items":["a",{"x":-1},[false]]})");
+}
+
+TEST(JsonWriter, ArrayOfScalars) {
+  JsonWriter json;
+  json.begin_array();
+  json.value(std::uint64_t{1});
+  json.value(std::uint64_t{2});
+  json.value(std::uint64_t{3});
+  json.end_array();
+  EXPECT_EQ(json.str(), "[1,2,3]");
+}
+
+TEST(JsonWriter, StringEscaping) {
+  JsonWriter json;
+  json.begin_array();
+  json.value("quote:\" backslash:\\ newline:\n tab:\t");
+  json.value(std::string_view("control:\x01", 9));
+  json.end_array();
+  EXPECT_EQ(json.str(),
+            "[\"quote:\\\" backslash:\\\\ newline:\\n tab:\\t\","
+            "\"control:\\u0001\"]");
+}
+
+TEST(JsonWriter, Doubles) {
+  JsonWriter json;
+  json.begin_array();
+  json.value(0.5);
+  json.end_array();
+  EXPECT_EQ(json.str(), "[0.5]");
+}
+
+TEST(JsonWriter, TopLevelScalar) {
+  EXPECT_EQ(JsonWriter().value("x").str(), "\"x\"");
+}
+
+}  // namespace
+}  // namespace shelley

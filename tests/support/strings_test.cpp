@@ -1,0 +1,47 @@
+#include "support/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace shelley {
+namespace {
+
+TEST(Join, BasicAndEmpty) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({"solo"}, ", "), "solo");
+  EXPECT_EQ(join({}, ", "), "");
+}
+
+TEST(Split, KeepsEmptyFields) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(Trim, StripsBothEnds) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("\t\nx"), "x");
+  EXPECT_EQ(trim("x"), "x");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(StartsWith, Basics) {
+  EXPECT_TRUE(starts_with("a.open", "a."));
+  EXPECT_FALSE(starts_with("a", "a."));
+  EXPECT_TRUE(starts_with("anything", ""));
+}
+
+TEST(EscapeQuotes, EscapesQuoteAndBackslash) {
+  EXPECT_EQ(escape_quotes(R"(say "hi")"), R"(say \"hi\")");
+  EXPECT_EQ(escape_quotes(R"(a\b)"), R"(a\\b)");
+  EXPECT_EQ(escape_quotes("plain"), "plain");
+}
+
+TEST(Indent, IndentsNonEmptyLines) {
+  EXPECT_EQ(indent("a\nb\n", 2), "  a\n  b\n");
+  EXPECT_EQ(indent("a\n\nb", 2), "  a\n\n  b");
+}
+
+}  // namespace
+}  // namespace shelley

@@ -1,0 +1,86 @@
+#include "support/symbol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+namespace shelley {
+namespace {
+
+TEST(SymbolTable, InternReturnsSameSymbolForSameText) {
+  SymbolTable table;
+  const Symbol a1 = table.intern("a.open");
+  const Symbol a2 = table.intern("a.open");
+  EXPECT_EQ(a1, a2);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(SymbolTable, DistinctTextsGetDistinctSymbols) {
+  SymbolTable table;
+  const Symbol a = table.intern("a");
+  const Symbol b = table.intern("b");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(SymbolTable, NameRoundTrips) {
+  SymbolTable table;
+  const Symbol s = table.intern("valve.close");
+  EXPECT_EQ(table.name(s), "valve.close");
+}
+
+TEST(SymbolTable, LookupFindsInternedOnly) {
+  SymbolTable table;
+  table.intern("present");
+  EXPECT_TRUE(table.lookup("present").has_value());
+  EXPECT_FALSE(table.lookup("absent").has_value());
+  EXPECT_EQ(table.size(), 1u);  // lookup must not intern
+}
+
+TEST(SymbolTable, NameOfForeignSymbolThrows) {
+  SymbolTable table;
+  EXPECT_THROW((void)table.name(Symbol{42}), std::out_of_range);
+  EXPECT_THROW((void)table.name(Symbol{}), std::out_of_range);
+}
+
+TEST(SymbolTable, StableUnderGrowth) {
+  SymbolTable table;
+  std::vector<Symbol> symbols;
+  for (int i = 0; i < 10000; ++i) {
+    symbols.push_back(table.intern("sym" + std::to_string(i)));
+  }
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_EQ(table.name(symbols[i]), "sym" + std::to_string(i));
+    EXPECT_EQ(table.intern("sym" + std::to_string(i)), symbols[i]);
+  }
+}
+
+TEST(Symbol, DefaultConstructedIsInvalid) {
+  EXPECT_FALSE(Symbol{}.valid());
+  EXPECT_TRUE(Symbol{0}.valid());
+}
+
+TEST(Symbol, OrderingFollowsIds) {
+  EXPECT_LT(Symbol{1}, Symbol{2});
+  EXPECT_FALSE(Symbol{2} < Symbol{1});
+}
+
+TEST(Symbol, HashableInUnorderedContainers) {
+  std::unordered_set<Symbol> set;
+  set.insert(Symbol{1});
+  set.insert(Symbol{1});
+  set.insert(Symbol{2});
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(Word, ToStringJoinsWithSeparator) {
+  SymbolTable table;
+  const Word w{table.intern("a.test"), table.intern("a.open")};
+  EXPECT_EQ(to_string(w, table), "a.test, a.open");
+  EXPECT_EQ(to_string(w, table, " -> "), "a.test -> a.open");
+  EXPECT_EQ(to_string(Word{}, table), "");
+}
+
+}  // namespace
+}  // namespace shelley

@@ -1,0 +1,25 @@
+// Shared helpers for the test suite.
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "support/symbol.hpp"
+
+namespace shelley::testing {
+
+/// Interns each name and builds a word.
+inline Word word(SymbolTable& table,
+                 std::initializer_list<const char*> names) {
+  Word out;
+  for (const char* name : names) out.push_back(table.intern(name));
+  return out;
+}
+
+/// Renders a word for readable assertion failures.
+inline std::string str(const Word& w, const SymbolTable& table) {
+  return to_string(w, table);
+}
+
+}  // namespace shelley::testing

@@ -1,0 +1,202 @@
+#include "upy/lexer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace shelley::upy {
+namespace {
+
+std::vector<TokenKind> kinds(std::string_view source) {
+  std::vector<TokenKind> out;
+  for (const Token& token : lex(source)) out.push_back(token.kind);
+  return out;
+}
+
+TEST(Lexer, EmptySourceYieldsEof) {
+  EXPECT_EQ(kinds(""), (std::vector<TokenKind>{TokenKind::kEndOfFile}));
+}
+
+TEST(Lexer, SimpleStatement) {
+  EXPECT_EQ(kinds("x = 1\n"),
+            (std::vector<TokenKind>{TokenKind::kName, TokenKind::kAssign,
+                                    TokenKind::kNumber, TokenKind::kNewline,
+                                    TokenKind::kEndOfFile}));
+}
+
+TEST(Lexer, KeywordsAreRecognized) {
+  const auto tokens = lex("class def return if elif else while for in "
+                          "match case pass True False None and or not\n");
+  const TokenKind expected[] = {
+      TokenKind::kKwClass, TokenKind::kKwDef,   TokenKind::kKwReturn,
+      TokenKind::kKwIf,    TokenKind::kKwElif,  TokenKind::kKwElse,
+      TokenKind::kKwWhile, TokenKind::kKwFor,   TokenKind::kKwIn,
+      TokenKind::kKwMatch, TokenKind::kKwCase,  TokenKind::kKwPass,
+      TokenKind::kKwTrue,  TokenKind::kKwFalse, TokenKind::kKwNone,
+      TokenKind::kKwAnd,   TokenKind::kKwOr,    TokenKind::kKwNot,
+  };
+  ASSERT_GE(tokens.size(), std::size(expected));
+  for (std::size_t i = 0; i < std::size(expected); ++i) {
+    EXPECT_EQ(tokens[i].kind, expected[i]) << i;
+  }
+}
+
+TEST(Lexer, IndentDedent) {
+  const auto k = kinds("if x:\n    y\nz\n");
+  const std::vector<TokenKind> expected{
+      TokenKind::kKwIf,   TokenKind::kName,    TokenKind::kColon,
+      TokenKind::kNewline, TokenKind::kIndent, TokenKind::kName,
+      TokenKind::kNewline, TokenKind::kDedent, TokenKind::kName,
+      TokenKind::kNewline, TokenKind::kEndOfFile};
+  EXPECT_EQ(k, expected);
+}
+
+TEST(Lexer, NestedDedentsEmittedTogether) {
+  const auto k = kinds("if a:\n  if b:\n    c\nd\n");
+  std::size_t dedents = 0;
+  for (TokenKind kind : k) {
+    if (kind == TokenKind::kDedent) ++dedents;
+  }
+  EXPECT_EQ(dedents, 2u);
+}
+
+TEST(Lexer, DanglingIndentClosedAtEof) {
+  const auto k = kinds("if a:\n  b");
+  std::size_t dedents = 0;
+  for (TokenKind kind : k) {
+    if (kind == TokenKind::kDedent) ++dedents;
+  }
+  EXPECT_EQ(dedents, 1u);
+  EXPECT_EQ(k.back(), TokenKind::kEndOfFile);
+}
+
+TEST(Lexer, BlankAndCommentLinesDoNotAffectIndentation) {
+  const auto k = kinds("if a:\n    b\n\n    # comment only\n    c\n");
+  std::size_t indents = 0;
+  for (TokenKind kind : k) {
+    if (kind == TokenKind::kIndent) ++indents;
+  }
+  EXPECT_EQ(indents, 1u);
+}
+
+TEST(Lexer, TrailingCommentStripped) {
+  const auto k = kinds("x = 1  # set x\n");
+  EXPECT_EQ(k, (std::vector<TokenKind>{TokenKind::kName, TokenKind::kAssign,
+                                       TokenKind::kNumber,
+                                       TokenKind::kNewline,
+                                       TokenKind::kEndOfFile}));
+}
+
+TEST(Lexer, InconsistentIndentationThrows) {
+  EXPECT_THROW(lex("if a:\n        b\n    c\n"), ParseError);
+}
+
+TEST(Lexer, StringsSingleAndDoubleQuoted) {
+  const auto tokens = lex("\"hello\" 'world'\n");
+  ASSERT_GE(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[0].text, "hello");
+  EXPECT_EQ(tokens[1].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[1].text, "world");
+}
+
+TEST(Lexer, StringEscapes) {
+  const auto tokens = lex(R"("a\nb\t\"q\"")" "\n");
+  EXPECT_EQ(tokens[0].text, "a\nb\t\"q\"");
+}
+
+TEST(Lexer, UnterminatedStringThrows) {
+  EXPECT_THROW(lex("\"oops\n"), ParseError);
+  EXPECT_THROW(lex("\"oops"), ParseError);
+}
+
+TEST(Lexer, NumbersIncludingFloatsAndHex) {
+  const auto tokens = lex("1 23 4.5 0x1f\n");
+  EXPECT_EQ(tokens[0].text, "1");
+  EXPECT_EQ(tokens[1].text, "23");
+  EXPECT_EQ(tokens[2].text, "4.5");
+  EXPECT_EQ(tokens[3].text, "0x1f");
+}
+
+TEST(Lexer, ImplicitLineJoiningInsideBrackets) {
+  const auto k = kinds("f(a,\n  b)\nc\n");
+  // No NEWLINE between a, and b; exactly two NEWLINEs total.
+  std::size_t newlines = 0;
+  for (TokenKind kind : k) {
+    if (kind == TokenKind::kNewline) ++newlines;
+  }
+  EXPECT_EQ(newlines, 2u);
+  // And no INDENT from the continuation line.
+  for (TokenKind kind : k) {
+    EXPECT_NE(kind, TokenKind::kIndent);
+  }
+}
+
+TEST(Lexer, OperatorsTwoChar) {
+  const auto k = kinds("a == b != c <= d >= e\n");
+  EXPECT_EQ(k[1], TokenKind::kEq);
+  EXPECT_EQ(k[3], TokenKind::kNe);
+  EXPECT_EQ(k[5], TokenKind::kLe);
+  EXPECT_EQ(k[7], TokenKind::kGe);
+}
+
+TEST(Lexer, DecoratorTokens) {
+  const auto k = kinds("@sys([\"a\"])\n");
+  EXPECT_EQ(k[0], TokenKind::kAt);
+  EXPECT_EQ(k[1], TokenKind::kName);
+  EXPECT_EQ(k[2], TokenKind::kLParen);
+  EXPECT_EQ(k[3], TokenKind::kLBracket);
+  EXPECT_EQ(k[4], TokenKind::kString);
+}
+
+TEST(Lexer, SourceLocationsAreOneBased) {
+  const auto tokens = lex("ab\n  cd\n");
+  EXPECT_EQ(tokens[0].loc, (SourceLoc{1, 1}));
+  // cd is at line 2, column 3.
+  const Token* cd = nullptr;
+  for (const Token& t : tokens) {
+    if (t.text == "cd") cd = &t;
+  }
+  ASSERT_NE(cd, nullptr);
+  EXPECT_EQ(cd->loc, (SourceLoc{2, 3}));
+}
+
+TEST(Lexer, UnexpectedCharacterThrows) {
+  EXPECT_THROW(lex("a $ b\n"), ParseError);
+  EXPECT_THROW(lex("a ! b\n"), ParseError);  // bare ! is not an operator
+}
+
+TEST(Lexer, StringPrefixesLexAsPlainStrings) {
+  const auto tokens = lex("f\"hello {x}\" r'raw' b\"bytes\"\n");
+  ASSERT_GE(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[0].text, "hello {x}");
+  EXPECT_EQ(tokens[1].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[1].text, "raw");
+  EXPECT_EQ(tokens[2].kind, TokenKind::kString);
+}
+
+TEST(Lexer, PrefixLikeNamesAreStillNames) {
+  const auto tokens = lex("f r b fr\n");
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(tokens[i].kind, TokenKind::kName) << i;
+  }
+}
+
+TEST(Lexer, AugmentedAssignTokens) {
+  const auto tokens = lex("x += 1\ny -= 2\nz *= 3\n");
+  std::size_t augmented = 0;
+  for (const Token& token : tokens) {
+    if (token.kind == TokenKind::kAugAssign) ++augmented;
+  }
+  EXPECT_EQ(augmented, 3u);
+}
+
+TEST(Lexer, MissingTrailingNewlineStillTerminatesStatement) {
+  const auto k = kinds("x = 1");
+  EXPECT_EQ(k, (std::vector<TokenKind>{TokenKind::kName, TokenKind::kAssign,
+                                       TokenKind::kNumber,
+                                       TokenKind::kNewline,
+                                       TokenKind::kEndOfFile}));
+}
+
+}  // namespace
+}  // namespace shelley::upy

@@ -1,0 +1,234 @@
+#include "upy/parser.hpp"
+
+#include <gtest/gtest.h>
+
+namespace shelley::upy {
+namespace {
+
+TEST(UpyParser, EmptyModule) {
+  EXPECT_TRUE(parse_module("").classes.empty());
+  EXPECT_TRUE(parse_module("\n\n# just a comment\n").classes.empty());
+}
+
+TEST(UpyParser, ImportsAreSkipped) {
+  const Module module = parse_module(
+      "import machine\nfrom machine import Pin\n\nclass A:\n    pass\n");
+  ASSERT_EQ(module.classes.size(), 1u);
+  EXPECT_EQ(module.classes[0].name, "A");
+}
+
+TEST(UpyParser, ClassWithDecoratorsAndMethods) {
+  const Module module = parse_module(R"py(
+@sys
+class Valve:
+    def __init__(self):
+        self.control = Pin(27, OUT)
+
+    @op_initial
+    def test(self):
+        return ["open"]
+)py");
+  ASSERT_EQ(module.classes.size(), 1u);
+  const ClassDef& cls = module.classes[0];
+  EXPECT_EQ(cls.name, "Valve");
+  ASSERT_EQ(cls.decorators.size(), 1u);
+  EXPECT_EQ(cls.decorators[0].name, "sys");
+  EXPECT_FALSE(cls.decorators[0].has_call);
+  ASSERT_EQ(cls.methods.size(), 2u);
+  EXPECT_EQ(cls.methods[0].name, "__init__");
+  EXPECT_EQ(cls.methods[1].name, "test");
+  ASSERT_EQ(cls.methods[1].decorators.size(), 1u);
+  EXPECT_EQ(cls.methods[1].decorators[0].name, "op_initial");
+}
+
+TEST(UpyParser, DecoratorWithArguments) {
+  const Module module = parse_module(
+      "@sys([\"a\", \"b\"])\n@claim(\"G x\")\nclass C:\n    pass\n");
+  const ClassDef& cls = module.classes[0];
+  ASSERT_EQ(cls.decorators.size(), 2u);
+  EXPECT_TRUE(cls.decorators[0].has_call);
+  ASSERT_EQ(cls.decorators[0].args.size(), 1u);
+  const auto* list = as<ListExpr>(cls.decorators[0].args[0]);
+  ASSERT_NE(list, nullptr);
+  EXPECT_EQ(list->elements.size(), 2u);
+  const auto* claim = as<StringExpr>(cls.decorators[1].args[0]);
+  ASSERT_NE(claim, nullptr);
+  EXPECT_EQ(claim->value, "G x");
+}
+
+TEST(UpyParser, MethodParameters) {
+  const Module module = parse_module(
+      "class C:\n    def m(self, a, b=3):\n        pass\n");
+  const FunctionDef& fn = module.classes[0].methods[0];
+  EXPECT_EQ(fn.params, (std::vector<std::string>{"self", "a", "b"}));
+}
+
+Block body_of(std::string_view method_source) {
+  std::string source = "class C:\n    def m(self):\n";
+  for (const auto& line : std::string(method_source)) {
+    (void)line;
+  }
+  source += std::string(method_source);
+  const Module module = parse_module(source);
+  return module.classes.at(0).methods.at(0).body;
+}
+
+TEST(UpyParser, ReturnForms) {
+  const Block block = body_of(
+      "        return\n"
+      "        return [\"a\"]\n"
+      "        return [\"a\", \"b\"], 2\n"
+      "        return []\n");
+  ASSERT_EQ(block.size(), 4u);
+  EXPECT_EQ(as<ReturnStmt>(block[0])->value, nullptr);
+  EXPECT_NE(as<ReturnStmt>(block[1])->value, nullptr);
+  const auto* tuple = as<TupleExpr>(as<ReturnStmt>(block[2])->value);
+  ASSERT_NE(tuple, nullptr);
+  EXPECT_EQ(tuple->elements.size(), 2u);
+  const auto* empty_list = as<ListExpr>(as<ReturnStmt>(block[3])->value);
+  ASSERT_NE(empty_list, nullptr);
+  EXPECT_TRUE(empty_list->elements.empty());
+}
+
+TEST(UpyParser, IfElifElseDesugarsToNestedIf) {
+  const Block block = body_of(
+      "        if a:\n"
+      "            x = 1\n"
+      "        elif b:\n"
+      "            x = 2\n"
+      "        else:\n"
+      "            x = 3\n");
+  ASSERT_EQ(block.size(), 1u);
+  const auto* outer = as<IfStmt>(block[0]);
+  ASSERT_NE(outer, nullptr);
+  ASSERT_EQ(outer->else_body.size(), 1u);
+  const auto* inner = as<IfStmt>(outer->else_body[0]);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(inner->then_body.size(), 1u);
+  EXPECT_EQ(inner->else_body.size(), 1u);
+}
+
+TEST(UpyParser, WhileAndForLoops) {
+  const Block block = body_of(
+      "        while x < 3:\n"
+      "            x = x + 1\n"
+      "        for i in range(10):\n"
+      "            y = i\n");
+  ASSERT_EQ(block.size(), 2u);
+  ASSERT_NE(as<WhileStmt>(block[0]), nullptr);
+  const auto* loop = as<ForStmt>(block[1]);
+  ASSERT_NE(loop, nullptr);
+  EXPECT_EQ(loop->target, "i");
+}
+
+TEST(UpyParser, MatchWithCasesAndWildcard) {
+  const Block block = body_of(
+      "        match self.a.test():\n"
+      "            case [\"open\"]:\n"
+      "                x = 1\n"
+      "            case [\"clean\"]:\n"
+      "                x = 2\n"
+      "            case _:\n"
+      "                x = 3\n");
+  const auto* match = as<MatchStmt>(block[0]);
+  ASSERT_NE(match, nullptr);
+  ASSERT_EQ(match->cases.size(), 3u);
+  EXPECT_NE(match->cases[0].pattern, nullptr);
+  EXPECT_NE(match->cases[1].pattern, nullptr);
+  EXPECT_EQ(match->cases[2].pattern, nullptr);  // wildcard
+}
+
+TEST(UpyParser, MatchRequiresAtLeastOneCase) {
+  EXPECT_THROW(parse_module("class C:\n    def m(self):\n"
+                            "        match x:\n            pass\n"),
+               ParseError);
+}
+
+TEST(UpyParser, OneLineSuites) {
+  const Block block = body_of("        if a: x = 1; y = 2\n");
+  const auto* branch = as<IfStmt>(block[0]);
+  ASSERT_NE(branch, nullptr);
+  EXPECT_EQ(branch->then_body.size(), 2u);
+}
+
+TEST(UpyParser, ExpressionPrecedence) {
+  const ExprPtr expr = parse_expression("1 + 2 * 3");
+  const auto* add = as<BinaryExpr>(expr);
+  ASSERT_NE(add, nullptr);
+  EXPECT_EQ(add->op, "+");
+  const auto* mul = as<BinaryExpr>(add->right);
+  ASSERT_NE(mul, nullptr);
+  EXPECT_EQ(mul->op, "*");
+}
+
+TEST(UpyParser, BooleanPrecedence) {
+  // not a or b and c  ==  (not a) or (b and c)
+  const ExprPtr expr = parse_expression("not a or b and c");
+  const auto* disj = as<BinaryExpr>(expr);
+  ASSERT_NE(disj, nullptr);
+  EXPECT_EQ(disj->op, "or");
+  EXPECT_NE(as<UnaryExpr>(disj->left), nullptr);
+  const auto* conj = as<BinaryExpr>(disj->right);
+  ASSERT_NE(conj, nullptr);
+  EXPECT_EQ(conj->op, "and");
+}
+
+TEST(UpyParser, AttributeCallChains) {
+  const ExprPtr expr = parse_expression("self.a.test()");
+  const auto* call = as<CallExpr>(expr);
+  ASSERT_NE(call, nullptr);
+  const auto* method = as<AttributeExpr>(call->callee);
+  ASSERT_NE(method, nullptr);
+  EXPECT_EQ(method->attr, "test");
+  const auto* field = as<AttributeExpr>(method->value);
+  ASSERT_NE(field, nullptr);
+  EXPECT_EQ(field->attr, "a");
+  const auto* base = as<NameExpr>(field->value);
+  ASSERT_NE(base, nullptr);
+  EXPECT_EQ(base->id, "self");
+}
+
+TEST(UpyParser, SubscriptsAndLiterals) {
+  const ExprPtr expr = parse_expression("xs[0] + (1, \"two\", True, None)");
+  const auto* add = as<BinaryExpr>(expr);
+  ASSERT_NE(add, nullptr);
+  EXPECT_NE(as<SubscriptExpr>(add->left), nullptr);
+  const auto* tuple = as<TupleExpr>(add->right);
+  ASSERT_NE(tuple, nullptr);
+  EXPECT_EQ(tuple->elements.size(), 4u);
+}
+
+TEST(UpyParser, ComparisonIn) {
+  const ExprPtr expr = parse_expression("x in [1, 2]");
+  const auto* cmp = as<BinaryExpr>(expr);
+  ASSERT_NE(cmp, nullptr);
+  EXPECT_EQ(cmp->op, "in");
+}
+
+TEST(UpyParser, ToStringRendersExpressions) {
+  EXPECT_EQ(to_string(parse_expression("self.a.test()")), "self.a.test()");
+  EXPECT_EQ(to_string(parse_expression("[\"a\", \"b\"]")), "[\"a\", \"b\"]");
+  EXPECT_EQ(to_string(parse_expression("1 + 2")), "(1 + 2)");
+}
+
+TEST(UpyParser, ErrorsCarryLocations) {
+  try {
+    (void)parse_module("class C:\n    def m(self)\n        pass\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& error) {
+    EXPECT_EQ(error.loc().line, 2u);
+  }
+}
+
+TEST(UpyParser, RejectsGarbageAtTopLevel) {
+  EXPECT_THROW(parse_module("x = 1\n"), ParseError);
+  EXPECT_THROW(parse_module("def f():\n    pass\n"), ParseError);
+}
+
+TEST(UpyParser, BaseClassListIsIgnored) {
+  const Module module = parse_module("class C(Base, Other):\n    pass\n");
+  EXPECT_EQ(module.classes[0].name, "C");
+}
+
+}  // namespace
+}  // namespace shelley::upy

@@ -1,0 +1,122 @@
+// Parser robustness: arbitrary byte soup must either parse or raise
+// ParseError -- never crash, hang, or corrupt state.  Seeds cover random
+// printable garbage, random token-shaped text, and mutations of valid
+// sources.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+
+#include "upy/lexer.hpp"
+#include "upy/parser.hpp"
+
+namespace shelley::upy {
+namespace {
+
+constexpr const char* kValidSource = R"py(
+@sys
+class Valve:
+    @op_initial
+    def test(self):
+        if self.status.value():
+            return ["open"]
+        else:
+            return ["clean"]
+
+    @op_final
+    def close(self):
+        return ["test"]
+)py";
+
+void expect_no_crash(const std::string& source) {
+  try {
+    (void)parse_module(source);
+  } catch (const ParseError&) {
+    // fine -- rejected cleanly
+  }
+}
+
+class RandomGarbage : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomGarbage, PrintableNoise) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()));
+  std::string source;
+  const std::size_t length = 20 + rng() % 300;
+  for (std::size_t i = 0; i < length; ++i) {
+    const int kind = static_cast<int>(rng() % 10);
+    if (kind < 5) {
+      source += static_cast<char>('a' + rng() % 26);
+    } else if (kind < 7) {
+      source += static_cast<char>(" \n:()[]@.,\"'="[rng() % 13]);
+    } else {
+      source += static_cast<char>('0' + rng() % 10);
+    }
+  }
+  expect_no_crash(source);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomGarbage, ::testing::Range(0, 50));
+
+class MutatedValid : public ::testing::TestWithParam<int> {};
+
+TEST_P(MutatedValid, SingleByteMutations) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * 7 + 3);
+  std::string source = kValidSource;
+  // Apply 1-4 random single-byte mutations.
+  const std::size_t mutations = 1 + rng() % 4;
+  for (std::size_t i = 0; i < mutations; ++i) {
+    const std::size_t pos = rng() % source.size();
+    switch (rng() % 3) {
+      case 0:
+        source[pos] = static_cast<char>(32 + rng() % 95);
+        break;
+      case 1:
+        source.erase(pos, 1);
+        break;
+      default:
+        source.insert(pos, 1, static_cast<char>(32 + rng() % 95));
+        break;
+    }
+  }
+  expect_no_crash(source);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MutatedValid, ::testing::Range(0, 80));
+
+TEST(Robustness, PathologicalInputs) {
+  expect_no_crash("");
+  expect_no_crash("\n\n\n");
+  expect_no_crash(std::string(10000, ' '));
+  expect_no_crash(std::string(10000, '('));
+  expect_no_crash(std::string(1000, '@'));
+  expect_no_crash("class C:\n" + std::string(500, ' ') + "pass\n");
+  expect_no_crash("\"" + std::string(5000, 'x'));       // unterminated
+  expect_no_crash(std::string(2000, '#') + "\n");       // giant comment
+  // Deep nesting.
+  std::string deep = "class C:\n    def m(self):\n";
+  std::string indent = "        ";
+  for (int i = 0; i < 60; ++i) {
+    deep += indent + "if x:\n";
+    indent += "    ";
+  }
+  deep += indent + "pass\n";
+  expect_no_crash(deep);
+}
+
+TEST(Robustness, LexerNeverCrashesOnBinaryBytes) {
+  std::mt19937_64 rng(99);
+  for (int round = 0; round < 50; ++round) {
+    std::string source;
+    const std::size_t length = rng() % 200;
+    for (std::size_t i = 0; i < length; ++i) {
+      source += static_cast<char>(rng() % 256);
+    }
+    try {
+      (void)lex(source);
+    } catch (const ParseError&) {
+    }
+  }
+}
+
+}  // namespace
+}  // namespace shelley::upy

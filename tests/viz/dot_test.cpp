@@ -1,0 +1,109 @@
+#include "viz/dot.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fsm/ops.hpp"
+#include "fsm/thompson.hpp"
+#include "paper_sources.hpp"
+#include "rex/parser.hpp"
+#include "upy/parser.hpp"
+
+namespace shelley::viz {
+namespace {
+
+class DotTest : public ::testing::Test {
+ protected:
+  core::ClassSpec extract_(const char* source) {
+    const upy::Module module = upy::parse_module(source);
+    return core::extract_class_spec(module.classes.at(0), diagnostics_);
+  }
+  SymbolTable table_;
+  DiagnosticEngine diagnostics_;
+};
+
+TEST_F(DotTest, ValveDiagramMatchesFigure1Structure) {
+  const core::ClassSpec valve = extract_(examples::kValveSource);
+  const std::string dot = dot_class_diagram(valve);
+
+  // Figure 1: test is the initial op (arrow from the start point); close
+  // and clean are final (double circles); edges follow the return lists.
+  EXPECT_NE(dot.find("digraph Valve"), std::string::npos);
+  EXPECT_NE(dot.find("__start -> \"test\""), std::string::npos);
+  EXPECT_NE(dot.find("\"close\" [shape=doublecircle]"), std::string::npos);
+  EXPECT_NE(dot.find("\"clean\" [shape=doublecircle]"), std::string::npos);
+  EXPECT_NE(dot.find("\"open\" [shape=circle]"), std::string::npos);
+  EXPECT_NE(dot.find("\"test\" -> \"open\""), std::string::npos);
+  EXPECT_NE(dot.find("\"test\" -> \"clean\""), std::string::npos);
+  EXPECT_NE(dot.find("\"open\" -> \"close\""), std::string::npos);
+  EXPECT_NE(dot.find("\"close\" -> \"test\""), std::string::npos);
+  EXPECT_NE(dot.find("\"clean\" -> \"test\""), std::string::npos);
+  // No invented edges.
+  EXPECT_EQ(dot.find("\"open\" -> \"clean\""), std::string::npos);
+}
+
+TEST_F(DotTest, SectorModelMatchesFigure3Structure) {
+  const core::ClassSpec sector = extract_(examples::kSectorSource);
+  const core::DependencyGraph graph =
+      core::DependencyGraph::build(sector, diagnostics_);
+  const std::string dot = dot_dependency_graph(sector, graph);
+
+  EXPECT_NE(dot.find("digraph Sector_model"), std::string::npos);
+  // Entry nodes are boxes labelled with the method name.
+  EXPECT_NE(dot.find("label=\"open_a\", shape=box"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"open_b\", shape=box"), std::string::npos);
+  // Exit nodes show their successor lists.
+  EXPECT_NE(dot.find("return [close_a, open_b]"), std::string::npos);
+  EXPECT_NE(dot.find("return [clean_a]"), std::string::npos);
+  EXPECT_NE(dot.find("return []"), std::string::npos);
+}
+
+TEST_F(DotTest, SystemModelRendersStatesAndEdges) {
+  const core::ClassSpec sector = extract_(examples::kBadSectorSource);
+  const auto behaviors =
+      core::extract_behaviors(sector, table_, diagnostics_);
+  const core::SystemModel model =
+      core::build_system_model(sector, behaviors, table_, diagnostics_);
+  const std::string dot = dot_system_model(model, table_);
+  EXPECT_NE(dot.find("digraph system"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"open_a\""), std::string::npos);
+  EXPECT_NE(dot.find("label=\"a.test\""), std::string::npos);
+  EXPECT_NE(dot.find("doublecircle"), std::string::npos);
+  EXPECT_NE(dot.find("__start"), std::string::npos);
+}
+
+TEST_F(DotTest, SystemModelHighlightsCounterexampleEdges) {
+  const core::ClassSpec sector = extract_(examples::kBadSectorSource);
+  const auto behaviors =
+      core::extract_behaviors(sector, table_, diagnostics_);
+  const core::SystemModel model =
+      core::build_system_model(sector, behaviors, table_, diagnostics_);
+  const Word highlight{table_.intern("open_a"), table_.intern("a.test"),
+                       table_.intern("a.open")};
+  const std::string dot = dot_system_model(model, table_, highlight);
+  EXPECT_NE(dot.find("color=red"), std::string::npos);
+}
+
+TEST_F(DotTest, NfaAndDfaDumps) {
+  const rex::Regex r = rex::parse("a b + c", table_);
+  const fsm::Nfa nfa = fsm::from_regex(r);
+  const std::string nfa_dot = dot_nfa(nfa, table_, "g");
+  EXPECT_NE(nfa_dot.find("digraph g"), std::string::npos);
+  EXPECT_NE(nfa_dot.find("label=\"ε\""), std::string::npos);
+  EXPECT_NE(nfa_dot.find("label=\"a\""), std::string::npos);
+
+  const fsm::Dfa dfa = fsm::determinize(nfa);
+  const std::string dfa_dot = dot_dfa(dfa, table_, "g");
+  EXPECT_NE(dfa_dot.find("digraph g"), std::string::npos);
+  EXPECT_EQ(dfa_dot.find("label=\"ε\""), std::string::npos);
+  EXPECT_NE(dfa_dot.find("doublecircle"), std::string::npos);
+}
+
+TEST_F(DotTest, QuotesAreEscaped) {
+  const core::ClassSpec valve = extract_(examples::kValveSource);
+  // No raw quote-in-quote sequences that would break DOT.
+  const std::string dot = dot_class_diagram(valve);
+  EXPECT_EQ(dot.find("\"\"\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace shelley::viz

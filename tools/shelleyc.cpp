@@ -1,0 +1,288 @@
+// shelleyc -- the command-line front door of Shelley-MP.
+//
+//   shelleyc file.py...                  verify every @sys class
+//   shelleyc --class NAME file.py...     verify one class
+//   shelleyc --json file.py...           machine-readable report
+//   shelleyc --dot-class NAME ...        Figure-1 style diagram (DOT)
+//   shelleyc --dot-model NAME ...        dependency-graph model (Figure 3)
+//   shelleyc --dot-system NAME ...       composite system automaton
+//   shelleyc --usage-regex NAME ...      valid-usage language as a regex
+//   shelleyc --smv NAME ...              NuSMV model of the system behavior
+//
+// Exit status: 0 when verification passed, 1 on findings, 2 on usage or
+// input errors.
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <random>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fsm/ops.hpp"
+#include "fsm/to_regex.hpp"
+#include "ltlf/parser.hpp"
+#include "shelley/automata.hpp"
+#include "shelley/graph.hpp"
+#include "shelley/monitor.hpp"
+#include "shelley/sampler.hpp"
+#include "shelley/report_json.hpp"
+#include "shelley/verifier.hpp"
+#include "smv/smv.hpp"
+#include "viz/dot.hpp"
+
+namespace {
+
+using namespace shelley;
+
+struct Options {
+  std::vector<std::string> files;
+  std::optional<std::string> verify_class;
+  std::optional<std::string> dot_class;
+  std::optional<std::string> dot_model;
+  std::optional<std::string> dot_system;
+  std::optional<std::string> dot_usage;
+  std::optional<std::string> usage_regex;
+  std::optional<std::string> smv;
+  std::optional<std::string> monitor;
+  std::optional<std::string> sample;
+  int sample_count = 5;
+  bool json = false;
+  bool quiet = false;
+};
+
+void print_usage(std::ostream& out) {
+  out << "usage: shelleyc [options] <file.py>...\n"
+         "  --class NAME        verify only NAME\n"
+         "  --json              print a JSON report\n"
+         "  --quiet             suppress the text report\n"
+         "  --dot-class NAME    emit the class behavior diagram (DOT)\n"
+         "  --dot-model NAME    emit the dependency-graph model (DOT)\n"
+         "  --dot-system NAME   emit the composite system automaton (DOT)\n"
+         "  --dot-usage NAME    emit the minimal valid-usage DFA (DOT)\n"
+         "  --usage-regex NAME  print the valid-usage language as a regex\n"
+         "  --smv NAME          emit a NuSMV model of the system behavior\n"
+         "  --monitor NAME      read operation calls from stdin, one per\n"
+         "                      line, and report a verdict for each\n"
+         "  --sample NAME [N]   print N (default 5) valid complete usages\n";
+}
+
+std::optional<Options> parse_args(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::optional<std::string> {
+      if (i + 1 >= argc) return std::nullopt;
+      return std::string(argv[++i]);
+    };
+    if (arg == "--help" || arg == "-h") {
+      print_usage(std::cout);
+      std::exit(0);
+    } else if (arg == "--json") {
+      options.json = true;
+    } else if (arg == "--quiet") {
+      options.quiet = true;
+    } else if (arg == "--class") {
+      options.verify_class = next();
+      if (!options.verify_class) return std::nullopt;
+    } else if (arg == "--dot-class") {
+      options.dot_class = next();
+      if (!options.dot_class) return std::nullopt;
+    } else if (arg == "--dot-model") {
+      options.dot_model = next();
+      if (!options.dot_model) return std::nullopt;
+    } else if (arg == "--dot-system") {
+      options.dot_system = next();
+      if (!options.dot_system) return std::nullopt;
+    } else if (arg == "--dot-usage") {
+      options.dot_usage = next();
+      if (!options.dot_usage) return std::nullopt;
+    } else if (arg == "--usage-regex") {
+      options.usage_regex = next();
+      if (!options.usage_regex) return std::nullopt;
+    } else if (arg == "--smv") {
+      options.smv = next();
+      if (!options.smv) return std::nullopt;
+    } else if (arg == "--monitor") {
+      options.monitor = next();
+      if (!options.monitor) return std::nullopt;
+    } else if (arg == "--sample") {
+      options.sample = next();
+      if (!options.sample) return std::nullopt;
+      // Optional count argument.
+      if (i + 1 < argc && std::isdigit(static_cast<unsigned char>(
+                              argv[i + 1][0])) != 0) {
+        options.sample_count = std::atoi(argv[++i]);
+      }
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "shelleyc: unknown option '" << arg << "'\n";
+      return std::nullopt;
+    } else {
+      options.files.push_back(arg);
+    }
+  }
+  if (options.files.empty()) return std::nullopt;
+  return options;
+}
+
+const core::ClassSpec* require_class(const core::Verifier& verifier,
+                                     const std::string& name) {
+  const core::ClassSpec* spec = verifier.find_class(name);
+  if (spec == nullptr) {
+    std::cerr << "shelleyc: unknown class '" << name << "'\n";
+  }
+  return spec;
+}
+
+core::SystemModel build_model(core::Verifier& verifier,
+                              const core::ClassSpec& spec) {
+  const auto behaviors = core::extract_behaviors(
+      spec, verifier.symbols(), verifier.diagnostics());
+  return core::build_system_model(spec, behaviors, verifier.symbols(),
+                                  verifier.diagnostics());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto options = parse_args(argc, argv);
+  if (!options) {
+    print_usage(std::cerr);
+    return 2;
+  }
+
+  core::Verifier verifier;
+  for (const std::string& path : options->files) {
+    std::ifstream file(path);
+    if (!file) {
+      std::cerr << "shelleyc: cannot open '" << path << "'\n";
+      return 2;
+    }
+    std::stringstream buffer;
+    buffer << file.rdbuf();
+    try {
+      verifier.add_source(buffer.str());
+    } catch (const ParseError& error) {
+      std::cerr << path << ":" << error.what() << "\n";
+      return 2;
+    }
+  }
+
+  // Artifact emission modes short-circuit verification.
+  if (options->dot_class) {
+    const auto* spec = require_class(verifier, *options->dot_class);
+    if (spec == nullptr) return 2;
+    std::cout << viz::dot_class_diagram(*spec);
+    return 0;
+  }
+  if (options->dot_model) {
+    const auto* spec = require_class(verifier, *options->dot_model);
+    if (spec == nullptr) return 2;
+    const core::DependencyGraph graph =
+        core::DependencyGraph::build(*spec, verifier.diagnostics());
+    std::cout << viz::dot_dependency_graph(*spec, graph);
+    return 0;
+  }
+  if (options->dot_system) {
+    const auto* spec = require_class(verifier, *options->dot_system);
+    if (spec == nullptr) return 2;
+    const core::SystemModel model = build_model(verifier, *spec);
+    std::cout << viz::dot_system_model(model, verifier.symbols());
+    return 0;
+  }
+  if (options->dot_usage) {
+    const auto* spec = require_class(verifier, *options->dot_usage);
+    if (spec == nullptr) return 2;
+    const fsm::Dfa usage = fsm::minimize(fsm::determinize(
+        core::usage_nfa(*spec, verifier.symbols())));
+    std::cout << viz::dot_dfa(usage, verifier.symbols(),
+                              spec->name + "_usage");
+    return 0;
+  }
+  if (options->monitor) {
+    const auto* spec = require_class(verifier, *options->monitor);
+    if (spec == nullptr) return 2;
+    core::Monitor monitor(*spec, verifier.symbols());
+    std::string op;
+    bool any_violation = false;
+    while (std::cin >> op) {
+      const core::Verdict verdict = monitor.feed(op);
+      std::cout << op << ": " << core::to_string(verdict) << "\n";
+      any_violation = any_violation ||
+                      verdict == core::Verdict::kViolation;
+    }
+    std::cout << (monitor.completed() ? "complete" : "incomplete") << "\n";
+    return any_violation || !monitor.completed() ? 1 : 0;
+  }
+  if (options->sample) {
+    const auto* spec = require_class(verifier, *options->sample);
+    if (spec == nullptr) return 2;
+    core::TraceSampler sampler(*spec, verifier.symbols(),
+                               std::random_device{}());
+    for (int i = 0; i < options->sample_count; ++i) {
+      const auto trace = sampler.sample(16);
+      if (trace.empty()) {
+        std::cout << "(empty usage)\n";
+        continue;
+      }
+      for (std::size_t j = 0; j < trace.size(); ++j) {
+        std::cout << (j == 0 ? "" : ", ") << trace[j];
+      }
+      std::cout << "\n";
+    }
+    return 0;
+  }
+  if (options->usage_regex) {
+    const auto* spec = require_class(verifier, *options->usage_regex);
+    if (spec == nullptr) return 2;
+    const fsm::Nfa usage = core::usage_nfa(*spec, verifier.symbols());
+    const rex::Regex regex = fsm::to_regex(usage);
+    std::cout << rex::to_string(regex, verifier.symbols()) << "\n";
+    return 0;
+  }
+  if (options->smv) {
+    const auto* spec = require_class(verifier, *options->smv);
+    if (spec == nullptr) return 2;
+    const core::SystemModel model = build_model(verifier, *spec);
+    const fsm::Dfa dfa = fsm::minimize(
+        fsm::determinize(model.nfa, model.full_alphabet()));
+    smv::SmvModel smv_model =
+        smv::from_dfa(dfa, verifier.symbols(), spec->name);
+    for (const core::Claim& claim : spec->claims) {
+      try {
+        smv::add_ltlspec(smv_model,
+                         ltlf::parse(claim.text, verifier.symbols()),
+                         verifier.symbols());
+      } catch (const ParseError&) {
+        std::cerr << "shelleyc: skipping unparsable claim: " << claim.text
+                  << "\n";
+      }
+    }
+    std::cout << smv::emit(smv_model);
+    return 0;
+  }
+
+  // Verification.
+  core::Report report;
+  if (options->verify_class) {
+    report.classes.push_back(verifier.verify_class(*options->verify_class));
+  } else {
+    report = verifier.verify_all();
+  }
+
+  if (options->json) {
+    std::cout << core::report_to_json(report, verifier) << "\n";
+  } else if (!options->quiet) {
+    for (const core::ClassReport& cls : report.classes) {
+      std::cout << cls.class_name << ": " << (cls.ok() ? "ok" : "FAILED")
+                << "\n";
+    }
+    const std::string errors = report.render(verifier.symbols());
+    if (!errors.empty()) std::cout << "\n" << errors;
+    const std::string diagnostics = verifier.diagnostics().render();
+    if (!diagnostics.empty()) std::cout << "\n" << diagnostics;
+  }
+  return report.ok() && !verifier.diagnostics().has_errors() ? 0 : 1;
+}
