@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_badsector.dir/bench_fig2_badsector.cpp.o"
+  "CMakeFiles/bench_fig2_badsector.dir/bench_fig2_badsector.cpp.o.d"
+  "bench_fig2_badsector"
+  "bench_fig2_badsector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_badsector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

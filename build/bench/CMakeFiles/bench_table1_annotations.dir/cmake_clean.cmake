@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_annotations.dir/bench_table1_annotations.cpp.o"
+  "CMakeFiles/bench_table1_annotations.dir/bench_table1_annotations.cpp.o.d"
+  "bench_table1_annotations"
+  "bench_table1_annotations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_annotations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_returns.dir/bench_table2_returns.cpp.o"
+  "CMakeFiles/bench_table2_returns.dir/bench_table2_returns.cpp.o.d"
+  "bench_table2_returns"
+  "bench_table2_returns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_returns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

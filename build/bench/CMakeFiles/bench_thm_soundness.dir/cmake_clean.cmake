@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm_soundness.dir/bench_thm_soundness.cpp.o"
+  "CMakeFiles/bench_thm_soundness.dir/bench_thm_soundness.cpp.o.d"
+  "bench_thm_soundness"
+  "bench_thm_soundness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm_soundness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

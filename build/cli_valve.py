@@ -1,0 +1,20 @@
+@sys
+class Valve:
+    @op_initial
+    def test(self):
+        if x:
+            return ["open"]
+        else:
+            return ["clean"]
+
+    @op
+    def open(self):
+        return ["close"]
+
+    @op_final
+    def close(self):
+        return ["test"]
+
+    @op_final
+    def clean(self):
+        return ["test"]

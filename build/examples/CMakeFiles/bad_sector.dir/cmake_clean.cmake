@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bad_sector.dir/bad_sector.cpp.o"
+  "CMakeFiles/bad_sector.dir/bad_sector.cpp.o.d"
+  "bad_sector"
+  "bad_sector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bad_sector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

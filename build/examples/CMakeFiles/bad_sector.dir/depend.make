@@ -1,0 +1,2 @@
+# Empty dependencies file for bad_sector.
+# This may be replaced when dependencies are built.

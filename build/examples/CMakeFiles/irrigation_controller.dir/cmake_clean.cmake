@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irrigation_controller.dir/irrigation_controller.cpp.o"
+  "CMakeFiles/irrigation_controller.dir/irrigation_controller.cpp.o.d"
+  "irrigation_controller"
+  "irrigation_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irrigation_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_learning.dir/model_learning.cpp.o"
+  "CMakeFiles/model_learning.dir/model_learning.cpp.o.d"
+  "model_learning"
+  "model_learning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_learning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

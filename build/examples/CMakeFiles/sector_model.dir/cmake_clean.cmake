@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sector_model.dir/sector_model.cpp.o"
+  "CMakeFiles/sector_model.dir/sector_model.cpp.o.d"
+  "sector_model"
+  "sector_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sector_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

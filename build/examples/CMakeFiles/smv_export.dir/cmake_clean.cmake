@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smv_export.dir/smv_export.cpp.o"
+  "CMakeFiles/smv_export.dir/smv_export.cpp.o.d"
+  "smv_export"
+  "smv_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smv_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spec_refactor.dir/spec_refactor.cpp.o"
+  "CMakeFiles/spec_refactor.dir/spec_refactor.cpp.o.d"
+  "spec_refactor"
+  "spec_refactor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spec_refactor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

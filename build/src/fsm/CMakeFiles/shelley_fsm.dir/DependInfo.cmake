@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fsm/dfa.cpp" "src/fsm/CMakeFiles/shelley_fsm.dir/dfa.cpp.o" "gcc" "src/fsm/CMakeFiles/shelley_fsm.dir/dfa.cpp.o.d"
+  "/root/repo/src/fsm/nfa.cpp" "src/fsm/CMakeFiles/shelley_fsm.dir/nfa.cpp.o" "gcc" "src/fsm/CMakeFiles/shelley_fsm.dir/nfa.cpp.o.d"
+  "/root/repo/src/fsm/ops.cpp" "src/fsm/CMakeFiles/shelley_fsm.dir/ops.cpp.o" "gcc" "src/fsm/CMakeFiles/shelley_fsm.dir/ops.cpp.o.d"
+  "/root/repo/src/fsm/thompson.cpp" "src/fsm/CMakeFiles/shelley_fsm.dir/thompson.cpp.o" "gcc" "src/fsm/CMakeFiles/shelley_fsm.dir/thompson.cpp.o.d"
+  "/root/repo/src/fsm/to_regex.cpp" "src/fsm/CMakeFiles/shelley_fsm.dir/to_regex.cpp.o" "gcc" "src/fsm/CMakeFiles/shelley_fsm.dir/to_regex.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/shelley_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/rex/CMakeFiles/shelley_rex.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shelley_fsm.dir/dfa.cpp.o"
+  "CMakeFiles/shelley_fsm.dir/dfa.cpp.o.d"
+  "CMakeFiles/shelley_fsm.dir/nfa.cpp.o"
+  "CMakeFiles/shelley_fsm.dir/nfa.cpp.o.d"
+  "CMakeFiles/shelley_fsm.dir/ops.cpp.o"
+  "CMakeFiles/shelley_fsm.dir/ops.cpp.o.d"
+  "CMakeFiles/shelley_fsm.dir/thompson.cpp.o"
+  "CMakeFiles/shelley_fsm.dir/thompson.cpp.o.d"
+  "CMakeFiles/shelley_fsm.dir/to_regex.cpp.o"
+  "CMakeFiles/shelley_fsm.dir/to_regex.cpp.o.d"
+  "libshelley_fsm.a"
+  "libshelley_fsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shelley_fsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/generator.cpp" "src/ir/CMakeFiles/shelley_ir.dir/generator.cpp.o" "gcc" "src/ir/CMakeFiles/shelley_ir.dir/generator.cpp.o.d"
+  "/root/repo/src/ir/inference.cpp" "src/ir/CMakeFiles/shelley_ir.dir/inference.cpp.o" "gcc" "src/ir/CMakeFiles/shelley_ir.dir/inference.cpp.o.d"
+  "/root/repo/src/ir/lowering.cpp" "src/ir/CMakeFiles/shelley_ir.dir/lowering.cpp.o" "gcc" "src/ir/CMakeFiles/shelley_ir.dir/lowering.cpp.o.d"
+  "/root/repo/src/ir/program.cpp" "src/ir/CMakeFiles/shelley_ir.dir/program.cpp.o" "gcc" "src/ir/CMakeFiles/shelley_ir.dir/program.cpp.o.d"
+  "/root/repo/src/ir/semantics.cpp" "src/ir/CMakeFiles/shelley_ir.dir/semantics.cpp.o" "gcc" "src/ir/CMakeFiles/shelley_ir.dir/semantics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/shelley_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/rex/CMakeFiles/shelley_rex.dir/DependInfo.cmake"
+  "/root/repo/build/src/upy/CMakeFiles/shelley_upy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shelley_ir.dir/generator.cpp.o"
+  "CMakeFiles/shelley_ir.dir/generator.cpp.o.d"
+  "CMakeFiles/shelley_ir.dir/inference.cpp.o"
+  "CMakeFiles/shelley_ir.dir/inference.cpp.o.d"
+  "CMakeFiles/shelley_ir.dir/lowering.cpp.o"
+  "CMakeFiles/shelley_ir.dir/lowering.cpp.o.d"
+  "CMakeFiles/shelley_ir.dir/program.cpp.o"
+  "CMakeFiles/shelley_ir.dir/program.cpp.o.d"
+  "CMakeFiles/shelley_ir.dir/semantics.cpp.o"
+  "CMakeFiles/shelley_ir.dir/semantics.cpp.o.d"
+  "libshelley_ir.a"
+  "libshelley_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shelley_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

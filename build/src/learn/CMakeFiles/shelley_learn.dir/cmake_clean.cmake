@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shelley_learn.dir/lstar.cpp.o"
+  "CMakeFiles/shelley_learn.dir/lstar.cpp.o.d"
+  "libshelley_learn.a"
+  "libshelley_learn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shelley_learn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ltlf/automaton.cpp" "src/ltlf/CMakeFiles/shelley_ltlf.dir/automaton.cpp.o" "gcc" "src/ltlf/CMakeFiles/shelley_ltlf.dir/automaton.cpp.o.d"
+  "/root/repo/src/ltlf/eval.cpp" "src/ltlf/CMakeFiles/shelley_ltlf.dir/eval.cpp.o" "gcc" "src/ltlf/CMakeFiles/shelley_ltlf.dir/eval.cpp.o.d"
+  "/root/repo/src/ltlf/formula.cpp" "src/ltlf/CMakeFiles/shelley_ltlf.dir/formula.cpp.o" "gcc" "src/ltlf/CMakeFiles/shelley_ltlf.dir/formula.cpp.o.d"
+  "/root/repo/src/ltlf/parser.cpp" "src/ltlf/CMakeFiles/shelley_ltlf.dir/parser.cpp.o" "gcc" "src/ltlf/CMakeFiles/shelley_ltlf.dir/parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/shelley_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsm/CMakeFiles/shelley_fsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/rex/CMakeFiles/shelley_rex.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

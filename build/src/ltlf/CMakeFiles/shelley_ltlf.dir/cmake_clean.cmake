@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shelley_ltlf.dir/automaton.cpp.o"
+  "CMakeFiles/shelley_ltlf.dir/automaton.cpp.o.d"
+  "CMakeFiles/shelley_ltlf.dir/eval.cpp.o"
+  "CMakeFiles/shelley_ltlf.dir/eval.cpp.o.d"
+  "CMakeFiles/shelley_ltlf.dir/formula.cpp.o"
+  "CMakeFiles/shelley_ltlf.dir/formula.cpp.o.d"
+  "CMakeFiles/shelley_ltlf.dir/parser.cpp.o"
+  "CMakeFiles/shelley_ltlf.dir/parser.cpp.o.d"
+  "libshelley_ltlf.a"
+  "libshelley_ltlf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shelley_ltlf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rex/derivative.cpp" "src/rex/CMakeFiles/shelley_rex.dir/derivative.cpp.o" "gcc" "src/rex/CMakeFiles/shelley_rex.dir/derivative.cpp.o.d"
+  "/root/repo/src/rex/equivalence.cpp" "src/rex/CMakeFiles/shelley_rex.dir/equivalence.cpp.o" "gcc" "src/rex/CMakeFiles/shelley_rex.dir/equivalence.cpp.o.d"
+  "/root/repo/src/rex/parser.cpp" "src/rex/CMakeFiles/shelley_rex.dir/parser.cpp.o" "gcc" "src/rex/CMakeFiles/shelley_rex.dir/parser.cpp.o.d"
+  "/root/repo/src/rex/regex.cpp" "src/rex/CMakeFiles/shelley_rex.dir/regex.cpp.o" "gcc" "src/rex/CMakeFiles/shelley_rex.dir/regex.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/shelley_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

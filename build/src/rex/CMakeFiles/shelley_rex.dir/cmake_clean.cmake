@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shelley_rex.dir/derivative.cpp.o"
+  "CMakeFiles/shelley_rex.dir/derivative.cpp.o.d"
+  "CMakeFiles/shelley_rex.dir/equivalence.cpp.o"
+  "CMakeFiles/shelley_rex.dir/equivalence.cpp.o.d"
+  "CMakeFiles/shelley_rex.dir/parser.cpp.o"
+  "CMakeFiles/shelley_rex.dir/parser.cpp.o.d"
+  "CMakeFiles/shelley_rex.dir/regex.cpp.o"
+  "CMakeFiles/shelley_rex.dir/regex.cpp.o.d"
+  "libshelley_rex.a"
+  "libshelley_rex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shelley_rex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for shelley_rex.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/shelley/annotations.cpp" "src/shelley/CMakeFiles/shelley_core.dir/annotations.cpp.o" "gcc" "src/shelley/CMakeFiles/shelley_core.dir/annotations.cpp.o.d"
+  "/root/repo/src/shelley/automata.cpp" "src/shelley/CMakeFiles/shelley_core.dir/automata.cpp.o" "gcc" "src/shelley/CMakeFiles/shelley_core.dir/automata.cpp.o.d"
+  "/root/repo/src/shelley/checker.cpp" "src/shelley/CMakeFiles/shelley_core.dir/checker.cpp.o" "gcc" "src/shelley/CMakeFiles/shelley_core.dir/checker.cpp.o.d"
+  "/root/repo/src/shelley/compare.cpp" "src/shelley/CMakeFiles/shelley_core.dir/compare.cpp.o" "gcc" "src/shelley/CMakeFiles/shelley_core.dir/compare.cpp.o.d"
+  "/root/repo/src/shelley/graph.cpp" "src/shelley/CMakeFiles/shelley_core.dir/graph.cpp.o" "gcc" "src/shelley/CMakeFiles/shelley_core.dir/graph.cpp.o.d"
+  "/root/repo/src/shelley/invocation.cpp" "src/shelley/CMakeFiles/shelley_core.dir/invocation.cpp.o" "gcc" "src/shelley/CMakeFiles/shelley_core.dir/invocation.cpp.o.d"
+  "/root/repo/src/shelley/lint.cpp" "src/shelley/CMakeFiles/shelley_core.dir/lint.cpp.o" "gcc" "src/shelley/CMakeFiles/shelley_core.dir/lint.cpp.o.d"
+  "/root/repo/src/shelley/monitor.cpp" "src/shelley/CMakeFiles/shelley_core.dir/monitor.cpp.o" "gcc" "src/shelley/CMakeFiles/shelley_core.dir/monitor.cpp.o.d"
+  "/root/repo/src/shelley/report_json.cpp" "src/shelley/CMakeFiles/shelley_core.dir/report_json.cpp.o" "gcc" "src/shelley/CMakeFiles/shelley_core.dir/report_json.cpp.o.d"
+  "/root/repo/src/shelley/sampler.cpp" "src/shelley/CMakeFiles/shelley_core.dir/sampler.cpp.o" "gcc" "src/shelley/CMakeFiles/shelley_core.dir/sampler.cpp.o.d"
+  "/root/repo/src/shelley/spec.cpp" "src/shelley/CMakeFiles/shelley_core.dir/spec.cpp.o" "gcc" "src/shelley/CMakeFiles/shelley_core.dir/spec.cpp.o.d"
+  "/root/repo/src/shelley/verifier.cpp" "src/shelley/CMakeFiles/shelley_core.dir/verifier.cpp.o" "gcc" "src/shelley/CMakeFiles/shelley_core.dir/verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/shelley_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/rex/CMakeFiles/shelley_rex.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsm/CMakeFiles/shelley_fsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/upy/CMakeFiles/shelley_upy.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/shelley_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/ltlf/CMakeFiles/shelley_ltlf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

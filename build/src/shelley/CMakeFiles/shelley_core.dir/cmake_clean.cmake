@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shelley_core.dir/annotations.cpp.o"
+  "CMakeFiles/shelley_core.dir/annotations.cpp.o.d"
+  "CMakeFiles/shelley_core.dir/automata.cpp.o"
+  "CMakeFiles/shelley_core.dir/automata.cpp.o.d"
+  "CMakeFiles/shelley_core.dir/checker.cpp.o"
+  "CMakeFiles/shelley_core.dir/checker.cpp.o.d"
+  "CMakeFiles/shelley_core.dir/compare.cpp.o"
+  "CMakeFiles/shelley_core.dir/compare.cpp.o.d"
+  "CMakeFiles/shelley_core.dir/graph.cpp.o"
+  "CMakeFiles/shelley_core.dir/graph.cpp.o.d"
+  "CMakeFiles/shelley_core.dir/invocation.cpp.o"
+  "CMakeFiles/shelley_core.dir/invocation.cpp.o.d"
+  "CMakeFiles/shelley_core.dir/lint.cpp.o"
+  "CMakeFiles/shelley_core.dir/lint.cpp.o.d"
+  "CMakeFiles/shelley_core.dir/monitor.cpp.o"
+  "CMakeFiles/shelley_core.dir/monitor.cpp.o.d"
+  "CMakeFiles/shelley_core.dir/report_json.cpp.o"
+  "CMakeFiles/shelley_core.dir/report_json.cpp.o.d"
+  "CMakeFiles/shelley_core.dir/sampler.cpp.o"
+  "CMakeFiles/shelley_core.dir/sampler.cpp.o.d"
+  "CMakeFiles/shelley_core.dir/spec.cpp.o"
+  "CMakeFiles/shelley_core.dir/spec.cpp.o.d"
+  "CMakeFiles/shelley_core.dir/verifier.cpp.o"
+  "CMakeFiles/shelley_core.dir/verifier.cpp.o.d"
+  "libshelley_core.a"
+  "libshelley_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shelley_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/smv/parser.cpp" "src/smv/CMakeFiles/shelley_smv.dir/parser.cpp.o" "gcc" "src/smv/CMakeFiles/shelley_smv.dir/parser.cpp.o.d"
+  "/root/repo/src/smv/smv.cpp" "src/smv/CMakeFiles/shelley_smv.dir/smv.cpp.o" "gcc" "src/smv/CMakeFiles/shelley_smv.dir/smv.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fsm/CMakeFiles/shelley_fsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/ltlf/CMakeFiles/shelley_ltlf.dir/DependInfo.cmake"
+  "/root/repo/build/src/rex/CMakeFiles/shelley_rex.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/shelley_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

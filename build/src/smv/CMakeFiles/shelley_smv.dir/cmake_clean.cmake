@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shelley_smv.dir/parser.cpp.o"
+  "CMakeFiles/shelley_smv.dir/parser.cpp.o.d"
+  "CMakeFiles/shelley_smv.dir/smv.cpp.o"
+  "CMakeFiles/shelley_smv.dir/smv.cpp.o.d"
+  "libshelley_smv.a"
+  "libshelley_smv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shelley_smv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

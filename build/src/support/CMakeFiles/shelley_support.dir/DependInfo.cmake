@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/diagnostics.cpp" "src/support/CMakeFiles/shelley_support.dir/diagnostics.cpp.o" "gcc" "src/support/CMakeFiles/shelley_support.dir/diagnostics.cpp.o.d"
+  "/root/repo/src/support/json.cpp" "src/support/CMakeFiles/shelley_support.dir/json.cpp.o" "gcc" "src/support/CMakeFiles/shelley_support.dir/json.cpp.o.d"
+  "/root/repo/src/support/source_location.cpp" "src/support/CMakeFiles/shelley_support.dir/source_location.cpp.o" "gcc" "src/support/CMakeFiles/shelley_support.dir/source_location.cpp.o.d"
+  "/root/repo/src/support/strings.cpp" "src/support/CMakeFiles/shelley_support.dir/strings.cpp.o" "gcc" "src/support/CMakeFiles/shelley_support.dir/strings.cpp.o.d"
+  "/root/repo/src/support/symbol.cpp" "src/support/CMakeFiles/shelley_support.dir/symbol.cpp.o" "gcc" "src/support/CMakeFiles/shelley_support.dir/symbol.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shelley_support.dir/diagnostics.cpp.o"
+  "CMakeFiles/shelley_support.dir/diagnostics.cpp.o.d"
+  "CMakeFiles/shelley_support.dir/json.cpp.o"
+  "CMakeFiles/shelley_support.dir/json.cpp.o.d"
+  "CMakeFiles/shelley_support.dir/source_location.cpp.o"
+  "CMakeFiles/shelley_support.dir/source_location.cpp.o.d"
+  "CMakeFiles/shelley_support.dir/strings.cpp.o"
+  "CMakeFiles/shelley_support.dir/strings.cpp.o.d"
+  "CMakeFiles/shelley_support.dir/symbol.cpp.o"
+  "CMakeFiles/shelley_support.dir/symbol.cpp.o.d"
+  "libshelley_support.a"
+  "libshelley_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shelley_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/upy/ast.cpp" "src/upy/CMakeFiles/shelley_upy.dir/ast.cpp.o" "gcc" "src/upy/CMakeFiles/shelley_upy.dir/ast.cpp.o.d"
+  "/root/repo/src/upy/lexer.cpp" "src/upy/CMakeFiles/shelley_upy.dir/lexer.cpp.o" "gcc" "src/upy/CMakeFiles/shelley_upy.dir/lexer.cpp.o.d"
+  "/root/repo/src/upy/parser.cpp" "src/upy/CMakeFiles/shelley_upy.dir/parser.cpp.o" "gcc" "src/upy/CMakeFiles/shelley_upy.dir/parser.cpp.o.d"
+  "/root/repo/src/upy/token.cpp" "src/upy/CMakeFiles/shelley_upy.dir/token.cpp.o" "gcc" "src/upy/CMakeFiles/shelley_upy.dir/token.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/shelley_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

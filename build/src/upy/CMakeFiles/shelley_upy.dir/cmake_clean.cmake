@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shelley_upy.dir/ast.cpp.o"
+  "CMakeFiles/shelley_upy.dir/ast.cpp.o.d"
+  "CMakeFiles/shelley_upy.dir/lexer.cpp.o"
+  "CMakeFiles/shelley_upy.dir/lexer.cpp.o.d"
+  "CMakeFiles/shelley_upy.dir/parser.cpp.o"
+  "CMakeFiles/shelley_upy.dir/parser.cpp.o.d"
+  "CMakeFiles/shelley_upy.dir/token.cpp.o"
+  "CMakeFiles/shelley_upy.dir/token.cpp.o.d"
+  "libshelley_upy.a"
+  "libshelley_upy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shelley_upy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shelley_viz.dir/dot.cpp.o"
+  "CMakeFiles/shelley_viz.dir/dot.cpp.o.d"
+  "libshelley_viz.a"
+  "libshelley_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shelley_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

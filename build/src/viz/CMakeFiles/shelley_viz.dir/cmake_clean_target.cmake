@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libshelley_viz.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_annotations_test.dir/shelley/annotations_test.cpp.o"
+  "CMakeFiles/core_annotations_test.dir/shelley/annotations_test.cpp.o.d"
+  "core_annotations_test"
+  "core_annotations_test.pdb"
+  "core_annotations_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_annotations_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_automata_test.dir/shelley/automata_test.cpp.o"
+  "CMakeFiles/core_automata_test.dir/shelley/automata_test.cpp.o.d"
+  "core_automata_test"
+  "core_automata_test.pdb"
+  "core_automata_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_automata_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_base_claims_test.dir/shelley/base_claims_test.cpp.o"
+  "CMakeFiles/core_base_claims_test.dir/shelley/base_claims_test.cpp.o.d"
+  "core_base_claims_test"
+  "core_base_claims_test.pdb"
+  "core_base_claims_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_base_claims_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_claims_test.dir/shelley/claims_test.cpp.o"
+  "CMakeFiles/core_claims_test.dir/shelley/claims_test.cpp.o.d"
+  "core_claims_test"
+  "core_claims_test.pdb"
+  "core_claims_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_claims_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_compare_test.dir/shelley/compare_test.cpp.o"
+  "CMakeFiles/core_compare_test.dir/shelley/compare_test.cpp.o.d"
+  "core_compare_test"
+  "core_compare_test.pdb"
+  "core_compare_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_compare_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_invocation_test.dir/shelley/invocation_test.cpp.o"
+  "CMakeFiles/core_invocation_test.dir/shelley/invocation_test.cpp.o.d"
+  "core_invocation_test"
+  "core_invocation_test.pdb"
+  "core_invocation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_invocation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

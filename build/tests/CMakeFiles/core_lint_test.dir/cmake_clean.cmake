@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_lint_test.dir/shelley/lint_test.cpp.o"
+  "CMakeFiles/core_lint_test.dir/shelley/lint_test.cpp.o.d"
+  "core_lint_test"
+  "core_lint_test.pdb"
+  "core_lint_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_lint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

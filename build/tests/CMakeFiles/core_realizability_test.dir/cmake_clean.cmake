@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_realizability_test.dir/shelley/realizability_test.cpp.o"
+  "CMakeFiles/core_realizability_test.dir/shelley/realizability_test.cpp.o.d"
+  "core_realizability_test"
+  "core_realizability_test.pdb"
+  "core_realizability_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_realizability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

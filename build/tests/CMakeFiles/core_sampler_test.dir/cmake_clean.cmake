@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_sampler_test.dir/shelley/sampler_test.cpp.o"
+  "CMakeFiles/core_sampler_test.dir/shelley/sampler_test.cpp.o.d"
+  "core_sampler_test"
+  "core_sampler_test.pdb"
+  "core_sampler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_sampler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_verifier_test.dir/shelley/verifier_test.cpp.o"
+  "CMakeFiles/core_verifier_test.dir/shelley/verifier_test.cpp.o.d"
+  "core_verifier_test"
+  "core_verifier_test.pdb"
+  "core_verifier_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_verifier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsm_algebra_test.dir/fsm/algebra_test.cpp.o"
+  "CMakeFiles/fsm_algebra_test.dir/fsm/algebra_test.cpp.o.d"
+  "fsm_algebra_test"
+  "fsm_algebra_test.pdb"
+  "fsm_algebra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsm_algebra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsm_brzozowski_test.dir/fsm/brzozowski_test.cpp.o"
+  "CMakeFiles/fsm_brzozowski_test.dir/fsm/brzozowski_test.cpp.o.d"
+  "fsm_brzozowski_test"
+  "fsm_brzozowski_test.pdb"
+  "fsm_brzozowski_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsm_brzozowski_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsm_dfa_test.dir/fsm/dfa_test.cpp.o"
+  "CMakeFiles/fsm_dfa_test.dir/fsm/dfa_test.cpp.o.d"
+  "fsm_dfa_test"
+  "fsm_dfa_test.pdb"
+  "fsm_dfa_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsm_dfa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

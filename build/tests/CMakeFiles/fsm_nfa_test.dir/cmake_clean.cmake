@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsm_nfa_test.dir/fsm/nfa_test.cpp.o"
+  "CMakeFiles/fsm_nfa_test.dir/fsm/nfa_test.cpp.o.d"
+  "fsm_nfa_test"
+  "fsm_nfa_test.pdb"
+  "fsm_nfa_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsm_nfa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsm_thompson_test.dir/fsm/thompson_test.cpp.o"
+  "CMakeFiles/fsm_thompson_test.dir/fsm/thompson_test.cpp.o.d"
+  "fsm_thompson_test"
+  "fsm_thompson_test.pdb"
+  "fsm_thompson_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsm_thompson_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsm_to_regex_test.dir/fsm/to_regex_test.cpp.o"
+  "CMakeFiles/fsm_to_regex_test.dir/fsm/to_regex_test.cpp.o.d"
+  "fsm_to_regex_test"
+  "fsm_to_regex_test.pdb"
+  "fsm_to_regex_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsm_to_regex_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

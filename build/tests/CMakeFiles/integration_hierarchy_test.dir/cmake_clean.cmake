@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_hierarchy_test.dir/integration/hierarchy_test.cpp.o"
+  "CMakeFiles/integration_hierarchy_test.dir/integration/hierarchy_test.cpp.o.d"
+  "integration_hierarchy_test"
+  "integration_hierarchy_test.pdb"
+  "integration_hierarchy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_hierarchy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

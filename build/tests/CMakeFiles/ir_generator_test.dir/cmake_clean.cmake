@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_generator_test.dir/ir/generator_test.cpp.o"
+  "CMakeFiles/ir_generator_test.dir/ir/generator_test.cpp.o.d"
+  "ir_generator_test"
+  "ir_generator_test.pdb"
+  "ir_generator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

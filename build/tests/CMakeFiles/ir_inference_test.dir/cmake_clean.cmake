@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_inference_test.dir/ir/inference_test.cpp.o"
+  "CMakeFiles/ir_inference_test.dir/ir/inference_test.cpp.o.d"
+  "ir_inference_test"
+  "ir_inference_test.pdb"
+  "ir_inference_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_inference_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

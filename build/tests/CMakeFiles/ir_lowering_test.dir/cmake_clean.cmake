@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_lowering_test.dir/ir/lowering_test.cpp.o"
+  "CMakeFiles/ir_lowering_test.dir/ir/lowering_test.cpp.o.d"
+  "ir_lowering_test"
+  "ir_lowering_test.pdb"
+  "ir_lowering_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_lowering_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_program_test.dir/ir/program_test.cpp.o"
+  "CMakeFiles/ir_program_test.dir/ir/program_test.cpp.o.d"
+  "ir_program_test"
+  "ir_program_test.pdb"
+  "ir_program_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_program_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

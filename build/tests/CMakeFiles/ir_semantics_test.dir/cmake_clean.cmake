@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_semantics_test.dir/ir/semantics_test.cpp.o"
+  "CMakeFiles/ir_semantics_test.dir/ir/semantics_test.cpp.o.d"
+  "ir_semantics_test"
+  "ir_semantics_test.pdb"
+  "ir_semantics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

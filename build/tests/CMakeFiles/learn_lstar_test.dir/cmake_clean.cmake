@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/learn_lstar_test.dir/learn/lstar_test.cpp.o"
+  "CMakeFiles/learn_lstar_test.dir/learn/lstar_test.cpp.o.d"
+  "learn_lstar_test"
+  "learn_lstar_test.pdb"
+  "learn_lstar_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/learn_lstar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

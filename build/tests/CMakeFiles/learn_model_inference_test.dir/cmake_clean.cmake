@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/learn_model_inference_test.dir/learn/model_inference_test.cpp.o"
+  "CMakeFiles/learn_model_inference_test.dir/learn/model_inference_test.cpp.o.d"
+  "learn_model_inference_test"
+  "learn_model_inference_test.pdb"
+  "learn_model_inference_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/learn_model_inference_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/learn_rivest_schapire_test.dir/learn/rivest_schapire_test.cpp.o"
+  "CMakeFiles/learn_rivest_schapire_test.dir/learn/rivest_schapire_test.cpp.o.d"
+  "learn_rivest_schapire_test"
+  "learn_rivest_schapire_test.pdb"
+  "learn_rivest_schapire_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/learn_rivest_schapire_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/learn_wmethod_test.dir/learn/wmethod_test.cpp.o"
+  "CMakeFiles/learn_wmethod_test.dir/learn/wmethod_test.cpp.o.d"
+  "learn_wmethod_test"
+  "learn_wmethod_test.pdb"
+  "learn_wmethod_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/learn_wmethod_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ltlf_automaton_test.dir/ltlf/automaton_test.cpp.o"
+  "CMakeFiles/ltlf_automaton_test.dir/ltlf/automaton_test.cpp.o.d"
+  "ltlf_automaton_test"
+  "ltlf_automaton_test.pdb"
+  "ltlf_automaton_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ltlf_automaton_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ltlf_eval_test.dir/ltlf/eval_test.cpp.o"
+  "CMakeFiles/ltlf_eval_test.dir/ltlf/eval_test.cpp.o.d"
+  "ltlf_eval_test"
+  "ltlf_eval_test.pdb"
+  "ltlf_eval_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ltlf_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

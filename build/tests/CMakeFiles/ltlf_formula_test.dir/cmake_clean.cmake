@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ltlf_formula_test.dir/ltlf/formula_test.cpp.o"
+  "CMakeFiles/ltlf_formula_test.dir/ltlf/formula_test.cpp.o.d"
+  "ltlf_formula_test"
+  "ltlf_formula_test.pdb"
+  "ltlf_formula_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ltlf_formula_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

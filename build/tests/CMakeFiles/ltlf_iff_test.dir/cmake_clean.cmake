@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ltlf_iff_test.dir/ltlf/iff_test.cpp.o"
+  "CMakeFiles/ltlf_iff_test.dir/ltlf/iff_test.cpp.o.d"
+  "ltlf_iff_test"
+  "ltlf_iff_test.pdb"
+  "ltlf_iff_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ltlf_iff_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ltlf_iff_test.
+# This may be replaced when dependencies are built.

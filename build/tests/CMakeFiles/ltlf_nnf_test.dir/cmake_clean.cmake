@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ltlf_nnf_test.dir/ltlf/nnf_test.cpp.o"
+  "CMakeFiles/ltlf_nnf_test.dir/ltlf/nnf_test.cpp.o.d"
+  "ltlf_nnf_test"
+  "ltlf_nnf_test.pdb"
+  "ltlf_nnf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ltlf_nnf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

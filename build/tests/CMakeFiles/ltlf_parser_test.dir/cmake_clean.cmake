@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ltlf_parser_test.dir/ltlf/parser_test.cpp.o"
+  "CMakeFiles/ltlf_parser_test.dir/ltlf/parser_test.cpp.o.d"
+  "ltlf_parser_test"
+  "ltlf_parser_test.pdb"
+  "ltlf_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ltlf_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

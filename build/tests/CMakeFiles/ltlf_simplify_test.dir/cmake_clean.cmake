@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ltlf_simplify_test.dir/ltlf/simplify_test.cpp.o"
+  "CMakeFiles/ltlf_simplify_test.dir/ltlf/simplify_test.cpp.o.d"
+  "ltlf_simplify_test"
+  "ltlf_simplify_test.pdb"
+  "ltlf_simplify_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ltlf_simplify_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/props_alignment_test.dir/props/alignment_props_test.cpp.o"
+  "CMakeFiles/props_alignment_test.dir/props/alignment_props_test.cpp.o.d"
+  "props_alignment_test"
+  "props_alignment_test.pdb"
+  "props_alignment_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/props_alignment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/props_checker_test.dir/props/checker_props_test.cpp.o"
+  "CMakeFiles/props_checker_test.dir/props/checker_props_test.cpp.o.d"
+  "props_checker_test"
+  "props_checker_test.pdb"
+  "props_checker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/props_checker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/props_claims_props_test.dir/props/claims_props_test.cpp.o"
+  "CMakeFiles/props_claims_props_test.dir/props/claims_props_test.cpp.o.d"
+  "props_claims_props_test"
+  "props_claims_props_test.pdb"
+  "props_claims_props_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/props_claims_props_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/props_theorems_test.dir/props/theorems_test.cpp.o"
+  "CMakeFiles/props_theorems_test.dir/props/theorems_test.cpp.o.d"
+  "props_theorems_test"
+  "props_theorems_test.pdb"
+  "props_theorems_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/props_theorems_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

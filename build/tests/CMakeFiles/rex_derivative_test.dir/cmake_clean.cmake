@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rex_derivative_test.dir/rex/derivative_test.cpp.o"
+  "CMakeFiles/rex_derivative_test.dir/rex/derivative_test.cpp.o.d"
+  "rex_derivative_test"
+  "rex_derivative_test.pdb"
+  "rex_derivative_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rex_derivative_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

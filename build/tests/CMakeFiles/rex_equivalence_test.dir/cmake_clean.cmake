@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rex_equivalence_test.dir/rex/equivalence_test.cpp.o"
+  "CMakeFiles/rex_equivalence_test.dir/rex/equivalence_test.cpp.o.d"
+  "rex_equivalence_test"
+  "rex_equivalence_test.pdb"
+  "rex_equivalence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rex_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rex_parser_test.dir/rex/parser_test.cpp.o"
+  "CMakeFiles/rex_parser_test.dir/rex/parser_test.cpp.o.d"
+  "rex_parser_test"
+  "rex_parser_test.pdb"
+  "rex_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rex_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

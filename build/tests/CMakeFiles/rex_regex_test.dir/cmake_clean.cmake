@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rex_regex_test.dir/rex/regex_test.cpp.o"
+  "CMakeFiles/rex_regex_test.dir/rex/regex_test.cpp.o.d"
+  "rex_regex_test"
+  "rex_regex_test.pdb"
+  "rex_regex_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rex_regex_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

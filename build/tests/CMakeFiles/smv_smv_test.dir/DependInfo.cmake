@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/smv/smv_test.cpp" "tests/CMakeFiles/smv_smv_test.dir/smv/smv_test.cpp.o" "gcc" "tests/CMakeFiles/smv_smv_test.dir/smv/smv_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/shelley/CMakeFiles/shelley_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/viz/CMakeFiles/shelley_viz.dir/DependInfo.cmake"
+  "/root/repo/build/src/smv/CMakeFiles/shelley_smv.dir/DependInfo.cmake"
+  "/root/repo/build/src/learn/CMakeFiles/shelley_learn.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/shelley_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/upy/CMakeFiles/shelley_upy.dir/DependInfo.cmake"
+  "/root/repo/build/src/ltlf/CMakeFiles/shelley_ltlf.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsm/CMakeFiles/shelley_fsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/rex/CMakeFiles/shelley_rex.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/shelley_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smv_smv_test.dir/smv/smv_test.cpp.o"
+  "CMakeFiles/smv_smv_test.dir/smv/smv_test.cpp.o.d"
+  "smv_smv_test"
+  "smv_smv_test.pdb"
+  "smv_smv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smv_smv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_diagnostics_test.dir/support/diagnostics_test.cpp.o"
+  "CMakeFiles/support_diagnostics_test.dir/support/diagnostics_test.cpp.o.d"
+  "support_diagnostics_test"
+  "support_diagnostics_test.pdb"
+  "support_diagnostics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_diagnostics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

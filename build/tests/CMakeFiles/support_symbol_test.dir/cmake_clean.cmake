@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_symbol_test.dir/support/symbol_test.cpp.o"
+  "CMakeFiles/support_symbol_test.dir/support/symbol_test.cpp.o.d"
+  "support_symbol_test"
+  "support_symbol_test.pdb"
+  "support_symbol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_symbol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

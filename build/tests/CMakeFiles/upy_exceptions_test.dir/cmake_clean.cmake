@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upy_exceptions_test.dir/upy/exceptions_test.cpp.o"
+  "CMakeFiles/upy_exceptions_test.dir/upy/exceptions_test.cpp.o.d"
+  "upy_exceptions_test"
+  "upy_exceptions_test.pdb"
+  "upy_exceptions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upy_exceptions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upy_lexer_test.dir/upy/lexer_test.cpp.o"
+  "CMakeFiles/upy_lexer_test.dir/upy/lexer_test.cpp.o.d"
+  "upy_lexer_test"
+  "upy_lexer_test.pdb"
+  "upy_lexer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upy_lexer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upy_parser_test.dir/upy/parser_test.cpp.o"
+  "CMakeFiles/upy_parser_test.dir/upy/parser_test.cpp.o.d"
+  "upy_parser_test"
+  "upy_parser_test.pdb"
+  "upy_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upy_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upy_robustness_test.dir/upy/robustness_test.cpp.o"
+  "CMakeFiles/upy_robustness_test.dir/upy/robustness_test.cpp.o.d"
+  "upy_robustness_test"
+  "upy_robustness_test.pdb"
+  "upy_robustness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upy_robustness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

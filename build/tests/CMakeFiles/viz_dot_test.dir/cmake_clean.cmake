@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viz_dot_test.dir/viz/dot_test.cpp.o"
+  "CMakeFiles/viz_dot_test.dir/viz/dot_test.cpp.o.d"
+  "viz_dot_test"
+  "viz_dot_test.pdb"
+  "viz_dot_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viz_dot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

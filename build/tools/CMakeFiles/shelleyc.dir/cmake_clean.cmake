@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shelleyc.dir/shelleyc.cpp.o"
+  "CMakeFiles/shelleyc.dir/shelleyc.cpp.o.d"
+  "shelleyc"
+  "shelleyc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shelleyc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for shelleyc.
+# This may be replaced when dependencies are built.
