@@ -229,7 +229,7 @@ fsm::Dfa ring_dfa(std::size_t ops) {
 void BM_Ablation_MinimizeMoore(benchmark::State& state) {
   const fsm::Dfa dfa = ring_dfa(static_cast<std::size_t>(state.range(0)));
   for (auto _ : state) {
-    benchmark::DoNotOptimize(fsm::minimize(dfa));
+    benchmark::DoNotOptimize(fsm::minimize_moore(dfa));
   }
   state.SetComplexityN(state.range(0));
 }
@@ -244,6 +244,92 @@ void BM_Ablation_MinimizeBrzozowski(benchmark::State& state) {
   state.SetComplexityN(state.range(0));
 }
 BENCHMARK(BM_Ablation_MinimizeBrzozowski)->RangeMultiplier(2)->Range(4, 64)
+    ->Complexity();
+
+// -- Automata-kernel micro-benchmarks (minimize / inclusion / equivalence) -----
+//
+// The production-sized rings the verifier meets in practice: 50..400
+// operations, i.e. DFAs with ~100..800 states over alphabets of the same
+// order.  Each new algorithm is benchmarked against the eager reference it
+// replaced; the eager product references stop at 200 ops because the
+// materialized n·m product at 400 ops costs ~1 GB.
+
+/// The seed's eager inclusion check: full difference product + BFS.
+std::optional<Word> eager_inclusion(const fsm::Dfa& a, const fsm::Dfa& b) {
+  std::vector<Symbol> joined = a.alphabet();
+  joined.insert(joined.end(), b.alphabet().begin(), b.alphabet().end());
+  std::sort(joined.begin(), joined.end());
+  joined.erase(std::unique(joined.begin(), joined.end()), joined.end());
+  return fsm::shortest_word(fsm::product(fsm::extend_alphabet(a, joined),
+                                         fsm::extend_alphabet(b, joined),
+                                         fsm::ProductMode::kDifference));
+}
+
+void BM_Minimize_Hopcroft(benchmark::State& state) {
+  const fsm::Dfa dfa = ring_dfa(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fsm::minimize_hopcroft(dfa));
+  }
+  state.counters["states"] = static_cast<double>(dfa.state_count());
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Minimize_Hopcroft)->Arg(50)->Arg(100)->Arg(200)->Arg(400)
+    ->Complexity();
+
+void BM_Minimize_Moore(benchmark::State& state) {
+  const fsm::Dfa dfa = ring_dfa(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fsm::minimize_moore(dfa));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Minimize_Moore)->Arg(50)->Arg(100)->Arg(200)->Arg(400)
+    ->Complexity();
+
+void BM_Inclusion_Lazy(benchmark::State& state) {
+  const fsm::Dfa dfa = ring_dfa(static_cast<std::size_t>(state.range(0)));
+  const fsm::Dfa minimal = fsm::minimize(dfa);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fsm::inclusion_witness(dfa, minimal));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Inclusion_Lazy)->Arg(50)->Arg(100)->Arg(200)->Arg(400)
+    ->Complexity();
+
+void BM_Inclusion_EagerProduct(benchmark::State& state) {
+  const fsm::Dfa dfa = ring_dfa(static_cast<std::size_t>(state.range(0)));
+  const fsm::Dfa minimal = fsm::minimize(dfa);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eager_inclusion(dfa, minimal));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Inclusion_EagerProduct)->Arg(50)->Arg(100)->Arg(200)
+    ->Complexity();
+
+void BM_Equivalence_UnionFind(benchmark::State& state) {
+  const fsm::Dfa dfa = ring_dfa(static_cast<std::size_t>(state.range(0)));
+  const fsm::Dfa minimal = fsm::minimize(dfa);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fsm::equivalent(dfa, minimal));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Equivalence_UnionFind)->Arg(50)->Arg(100)->Arg(200)->Arg(400)
+    ->Complexity();
+
+void BM_Equivalence_EagerProduct(benchmark::State& state) {
+  const fsm::Dfa dfa = ring_dfa(static_cast<std::size_t>(state.range(0)));
+  const fsm::Dfa minimal = fsm::minimize(dfa);
+  for (auto _ : state) {
+    const bool eq = !eager_inclusion(dfa, minimal).has_value() &&
+                    !eager_inclusion(minimal, dfa).has_value();
+    benchmark::DoNotOptimize(eq);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Equivalence_EagerProduct)->Arg(50)->Arg(100)->Arg(200)
     ->Complexity();
 
 // -- Usage language back to a regex (Kleene round trip) -------------------------

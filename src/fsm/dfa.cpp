@@ -18,6 +18,24 @@ Dfa::Dfa(std::size_t state_count, std::vector<Symbol> alphabet)
   }
 }
 
+Dfa Dfa::from_table(std::vector<Symbol> alphabet, std::vector<StateId> table,
+                    std::vector<bool> accepting, StateId initial) {
+  Dfa out(accepting.size(), std::move(alphabet));
+  if (table.size() != accepting.size() * out.alphabet_.size()) {
+    throw std::invalid_argument("Dfa::from_table: table size mismatch");
+  }
+  const auto n = static_cast<StateId>(accepting.size());
+  if (initial >= n ||
+      std::any_of(table.begin(), table.end(),
+                  [n](StateId target) { return target >= n; })) {
+    throw std::out_of_range("Dfa::from_table: state out of range");
+  }
+  out.table_ = std::move(table);
+  out.accepting_ = std::move(accepting);
+  out.initial_ = initial;
+  return out;
+}
+
 std::optional<std::size_t> Dfa::letter_index(Symbol symbol) const {
   const auto it =
       std::lower_bound(alphabet_.begin(), alphabet_.end(), symbol);

@@ -22,6 +22,14 @@ class Dfa {
   /// the initial state unless changed.
   Dfa(std::size_t state_count, std::vector<Symbol> alphabet);
 
+  /// Builds a DFA from a fully materialized dense table (state-major,
+  /// `accepting.size() * alphabet.size()` entries).  Validates that every
+  /// target is in range; lets batch algorithms (minimization) skip the
+  /// per-cell `set_transition` calls.
+  static Dfa from_table(std::vector<Symbol> alphabet,
+                        std::vector<StateId> table, std::vector<bool> accepting,
+                        StateId initial);
+
   [[nodiscard]] std::size_t state_count() const { return accepting_.size(); }
   [[nodiscard]] const std::vector<Symbol>& alphabet() const {
     return alphabet_;
@@ -40,6 +48,13 @@ class Dfa {
 
   void set_transition(StateId from, std::size_t letter, StateId to);
   [[nodiscard]] StateId transition(StateId from, std::size_t letter) const;
+
+  /// Read-only view of the dense table (state-major).  The automata-kernel
+  /// fast paths iterate this directly instead of paying an out-of-line
+  /// `transition()` call per cell.
+  [[nodiscard]] const std::vector<StateId>& transition_table() const {
+    return table_;
+  }
 
   /// Runs the word; symbols outside the alphabet reject.
   [[nodiscard]] bool accepts(const Word& word) const;

@@ -7,6 +7,7 @@ namespace shelley::fsm {
 
 StateId Nfa::add_state() {
   out_edges_.emplace_back();
+  closures_dirty_ = true;
   return static_cast<StateId>(state_count_++);
 }
 
@@ -28,6 +29,7 @@ void Nfa::add_transition(StateId from, Symbol symbol, StateId to) {
   const auto index = static_cast<std::uint32_t>(transitions_.size());
   transitions_.push_back(Transition{from, symbol, to});
   out_edges_[from].push_back(index);
+  if (!symbol.valid()) closures_dirty_ = true;
 }
 
 void Nfa::add_epsilon(StateId from, StateId to) {
@@ -52,20 +54,68 @@ std::set<Symbol> Nfa::alphabet() const {
   return out;
 }
 
-std::set<StateId> Nfa::epsilon_closure(const std::set<StateId>& states) const {
-  std::set<StateId> closure = states;
-  std::deque<StateId> work(states.begin(), states.end());
-  while (!work.empty()) {
-    const StateId state = work.front();
-    work.pop_front();
-    for (std::uint32_t edge : out_edges_[state]) {
-      const Transition& t = transitions_[edge];
-      if (t.is_epsilon() && closure.insert(t.to).second) {
-        work.push_back(t.to);
+void Nfa::ensure_closures() const {
+  if (!closures_dirty_) return;
+  closures_.assign(state_count_, StateSet(state_count_));
+  for (StateId s = 0; s < state_count_; ++s) closures_[s].insert(s);
+  // Fixpoint over ε-edges: closure(s) ⊇ closure(t) for every s --ε--> t.
+  // Handles ε-cycles without an SCC pass; converges in O(diameter) sweeps.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Transition& t : transitions_) {
+      if (t.is_epsilon() && closures_[t.from].unite(closures_[t.to])) {
+        changed = true;
       }
     }
   }
-  return closure;
+  closures_dirty_ = false;
+}
+
+const StateSet& Nfa::state_closure(StateId state) const {
+  check_state(state);
+  ensure_closures();
+  return closures_[state];
+}
+
+StateSet Nfa::epsilon_closure(const StateSet& states) const {
+  ensure_closures();
+  StateSet out(state_count_);
+  states.for_each([&](StateId s) { out.unite(closures_[s]); });
+  return out;
+}
+
+StateSet Nfa::initial_closure() const {
+  StateSet seed(state_count_);
+  for (StateId s : initial_) seed.insert(s);
+  return epsilon_closure(seed);
+}
+
+StateSet Nfa::step(const StateSet& states, Symbol symbol) const {
+  StateSet out(state_count_);
+  states.for_each([&](StateId s) {
+    for (std::uint32_t edge : out_edges_[s]) {
+      const Transition& t = transitions_[edge];
+      if (!t.is_epsilon() && t.symbol == symbol) out.insert(t.to);
+    }
+  });
+  return out;
+}
+
+bool Nfa::any_accepting(const StateSet& states) const {
+  for (StateId s : accepting_) {
+    if (states.contains(s)) return true;
+  }
+  return false;
+}
+
+std::set<StateId> Nfa::epsilon_closure(const std::set<StateId>& states) const {
+  StateSet seed(state_count_);
+  for (StateId s : states) seed.insert(s);
+  const StateSet closed = epsilon_closure(seed);
+  std::set<StateId> out;
+  closed.for_each([&](StateId s) { out.insert(s); });
+  return out;
 }
 
 std::set<StateId> Nfa::step(const std::set<StateId>& states,
@@ -81,15 +131,12 @@ std::set<StateId> Nfa::step(const std::set<StateId>& states,
 }
 
 bool Nfa::accepts(const Word& word) const {
-  std::set<StateId> current = epsilon_closure(initial_);
+  StateSet current = initial_closure();
   for (Symbol s : word) {
     current = epsilon_closure(step(current, s));
     if (current.empty()) return false;
   }
-  for (StateId state : current) {
-    if (accepting_.contains(state)) return true;
-  }
-  return false;
+  return any_accepting(current);
 }
 
 StateId Nfa::import_states(const Nfa& other) {

@@ -10,11 +10,10 @@
 #include <string>
 #include <vector>
 
+#include "fsm/state_set.hpp"
 #include "support/symbol.hpp"
 
 namespace shelley::fsm {
-
-using StateId = std::uint32_t;
 
 struct Transition {
   StateId from = 0;
@@ -64,6 +63,27 @@ class Nfa {
   [[nodiscard]] std::set<StateId> step(const std::set<StateId>& states,
                                        Symbol symbol) const;
 
+  // Bitset variants of the set operations above (see state_set.hpp), used by
+  // subset construction and word simulation.  Per-state ε-closures are
+  // computed once per automaton and cached; the cache is invalidated by any
+  // structural mutation, so interleaving mutation with closure queries is
+  // valid but wasteful.  Not thread-safe.
+
+  /// ε-closure of a single state, from the per-state cache.
+  [[nodiscard]] const StateSet& state_closure(StateId state) const;
+
+  /// ε-closure of a bitset of states.
+  [[nodiscard]] StateSet epsilon_closure(const StateSet& states) const;
+
+  /// The ε-closed set of initial states.
+  [[nodiscard]] StateSet initial_closure() const;
+
+  /// One-symbol successors of a bitset of states (no closure).
+  [[nodiscard]] StateSet step(const StateSet& states, Symbol symbol) const;
+
+  /// True when `states` contains an accepting state.
+  [[nodiscard]] bool any_accepting(const StateSet& states) const;
+
   /// Word membership by on-the-fly subset simulation.
   [[nodiscard]] bool accepts(const Word& word) const;
 
@@ -74,6 +94,7 @@ class Nfa {
 
  private:
   void check_state(StateId state) const;
+  void ensure_closures() const;
 
   std::size_t state_count_ = 0;
   std::vector<Transition> transitions_;
@@ -81,6 +102,9 @@ class Nfa {
   std::vector<std::vector<std::uint32_t>> out_edges_;
   std::set<StateId> initial_;
   std::set<StateId> accepting_;
+  // Lazily computed per-state ε-closures (see state_closure).
+  mutable std::vector<StateSet> closures_;
+  mutable bool closures_dirty_ = true;
 };
 
 }  // namespace shelley::fsm

@@ -1,10 +1,14 @@
 #include "fsm/ops.hpp"
 
 #include <algorithm>
+#include <array>
 #include <deque>
 #include <map>
 #include <numeric>
 #include <stdexcept>
+#include <unordered_map>
+
+#include "fsm/state_set.hpp"
 
 namespace shelley::fsm {
 namespace {
@@ -29,24 +33,53 @@ Dfa determinize(const Nfa& nfa, std::vector<Symbol> alphabet) {
           "determinize: alphabet does not cover the NFA's labels");
     }
   }
+  const std::size_t n = nfa.state_count();
+  const std::size_t k = alphabet.size();
+  const auto letter_of = [&](Symbol s) {
+    return static_cast<std::size_t>(
+        std::lower_bound(alphabet.begin(), alphabet.end(), s) -
+        alphabet.begin());
+  };
 
-  // Map from NFA state-set to DFA state id; state sets are ε-closed.
-  std::map<std::set<StateId>, StateId> ids;
-  std::vector<std::set<StateId>> sets;
-  const auto get_id = [&](std::set<StateId> set) {
+  // Per-NFA-state moves bucketed by letter, so each subset is expanded with
+  // one scan over its members' edges instead of one scan per letter.
+  std::vector<std::vector<std::pair<std::uint32_t, StateId>>> moves(n);
+  for (const Transition& t : nfa.transitions()) {
+    if (t.is_epsilon()) continue;
+    moves[t.from].emplace_back(
+        static_cast<std::uint32_t>(letter_of(t.symbol)), t.to);
+  }
+
+  // Hash-cons ε-closed subsets; ids are assigned in discovery order, which
+  // matches the order the seed's std::map-based construction explored.
+  std::unordered_map<StateSet, StateId, StateSetHash> ids;
+  std::vector<const StateSet*> sets;  // id -> key (map nodes are stable)
+  const auto get_id = [&](StateSet set) {
     const auto [it, inserted] =
         ids.emplace(std::move(set), static_cast<StateId>(sets.size()));
-    if (inserted) sets.push_back(it->first);
+    if (inserted) sets.push_back(&it->first);
     return it->second;
   };
 
-  const StateId start = get_id(nfa.epsilon_closure(nfa.initial_states()));
+  const StateId start = get_id(nfa.initial_closure());
   std::vector<std::vector<StateId>> rows;  // per DFA state, per letter
+  std::vector<StateSet> succ(k, StateSet(n));
+  std::vector<bool> touched(k, false);
   for (StateId current = 0; current < sets.size(); ++current) {
-    std::vector<StateId> row(alphabet.size(), 0);
-    for (std::size_t letter = 0; letter < alphabet.size(); ++letter) {
-      row[letter] =
-          get_id(nfa.epsilon_closure(nfa.step(sets[current], alphabet[letter])));
+    const StateSet& subset = *sets[current];
+    subset.for_each([&](StateId s) {
+      for (const auto& [letter, to] : moves[s]) {
+        succ[letter].unite(nfa.state_closure(to));
+        touched[letter] = true;
+      }
+    });
+    std::vector<StateId> row(k, 0);
+    for (std::size_t letter = 0; letter < k; ++letter) {
+      row[letter] = get_id(touched[letter] ? succ[letter] : StateSet(n));
+      if (touched[letter]) {
+        succ[letter].clear();
+        touched[letter] = false;
+      }
     }
     rows.push_back(std::move(row));
   }
@@ -54,15 +87,10 @@ Dfa determinize(const Nfa& nfa, std::vector<Symbol> alphabet) {
   Dfa dfa(sets.size(), alphabet);
   dfa.set_initial(start);
   for (StateId state = 0; state < sets.size(); ++state) {
-    for (std::size_t letter = 0; letter < alphabet.size(); ++letter) {
+    for (std::size_t letter = 0; letter < k; ++letter) {
       dfa.set_transition(state, letter, rows[state][letter]);
     }
-    for (StateId nfa_state : sets[state]) {
-      if (nfa.is_accepting(nfa_state)) {
-        dfa.set_accepting(state, true);
-        break;
-      }
-    }
+    if (nfa.any_accepting(*sets[state])) dfa.set_accepting(state, true);
   }
   return dfa;
 }
@@ -72,7 +100,9 @@ Dfa determinize(const Nfa& nfa) {
   return determinize(nfa, std::vector<Symbol>(sigma.begin(), sigma.end()));
 }
 
-Dfa minimize(const Dfa& dfa) {
+Dfa minimize(const Dfa& dfa) { return minimize_hopcroft(dfa); }
+
+Dfa minimize_moore(const Dfa& dfa) {
   const std::size_t n = dfa.state_count();
   const std::size_t k = dfa.alphabet().size();
 
@@ -138,6 +168,270 @@ Dfa minimize(const Dfa& dfa) {
     }
   }
   return out;
+}
+
+Dfa minimize_hopcroft(const Dfa& dfa) {
+  const std::size_t k = dfa.alphabet().size();
+  const StateId* raw = dfa.transition_table().data();
+
+  // Per-target in-degree counts, kept in four stripes: a high in-degree
+  // target (the rejecting sink absorbs almost every edge of a usage
+  // automaton) would otherwise serialize the counting pass on one
+  // store-to-load-forwarded counter.  Counted during the reachability BFS,
+  // which reads every reachable row exactly once anyway; thrown away and
+  // redone only if the BFS order turns out not to be the identity.
+  std::array<std::vector<std::uint32_t>, 4> stripe;
+  for (auto& counts : stripe) counts.assign(dfa.state_count(), 0);
+
+  // Restrict to reachable states, remapped densely in BFS discovery order.
+  std::vector<StateId> order;  // new id -> old id
+  std::vector<StateId> remap(dfa.state_count(), 0);
+  {
+    std::vector<bool> seen(dfa.state_count(), false);
+    std::deque<StateId> work{dfa.initial()};
+    seen[dfa.initial()] = true;
+    while (!work.empty()) {
+      const StateId s = work.front();
+      work.pop_front();
+      remap[s] = static_cast<StateId>(order.size());
+      order.push_back(s);
+      const std::size_t base = static_cast<std::size_t>(s) * k;
+      const StateId* row = raw + base;
+      for (std::size_t letter = 0; letter < k; ++letter) {
+        const StateId t = row[letter];
+        // Stripe by flat edge id, matching the CSR fill loop's stripe
+        // choice -- the cursors derived from these counts must agree with
+        // the fill pass entry for entry.
+        ++stripe[(base + letter) & 3][t];
+        if (!seen[t]) {
+          seen[t] = true;
+          work.push_back(t);
+        }
+      }
+    }
+  }
+  const std::size_t n = order.size();
+
+  // Subset construction already numbers states in BFS discovery order, so
+  // the remap is usually the identity -- alias the input table instead of
+  // copying it.
+  bool identity = n == dfa.state_count();
+  for (std::size_t s = 0; identity && s < n; ++s) identity = order[s] == s;
+  std::vector<StateId> trans_store;
+  if (!identity) {
+    trans_store.resize(n * k);
+    for (std::size_t s = 0; s < n; ++s) {
+      const StateId* row = raw + static_cast<std::size_t>(order[s]) * k;
+      for (std::size_t letter = 0; letter < k; ++letter) {
+        trans_store[s * k + letter] = remap[row[letter]];
+      }
+    }
+  }
+  const StateId* trans = identity ? raw : trans_store.data();
+  std::vector<bool> acc(n, false);
+  for (std::size_t s = 0; s < n; ++s) acc[s] = dfa.is_accepting(order[s]);
+
+  // Inverse transitions in CSR form, bucketed by target state.  An entry is
+  // the flat edge id `from * k + letter` (n·k always fits: a table with 2^32
+  // cells would be 16 GB), so one scan over a block's in-edges can group the
+  // preimages of *all* letters at once at half the memory traffic of a
+  // (from, letter) pair.
+  std::vector<std::uint32_t> in_off(n + 1, 0);
+  std::vector<std::uint32_t> in_data(n * k);
+  {
+    if (!identity) {
+      // The BFS counted raw state ids; redo the counts in remapped space.
+      for (auto& counts : stripe) counts.assign(n, 0);
+      for (std::size_t i = 0; i < n * k; ++i) ++stripe[i & 3][trans[i]];
+    }
+    for (std::size_t t = 0; t < n; ++t) {
+      // Turn the per-stripe counts into per-stripe write cursors.
+      std::uint32_t base = in_off[t];
+      for (auto& counts : stripe) {
+        const std::uint32_t count = counts[t];
+        counts[t] = base;
+        base += count;
+      }
+      in_off[t + 1] = base;
+    }
+    for (std::size_t i = 0; i < n * k; ++i) {
+      in_data[stripe[i & 3][trans[i]]++] = static_cast<std::uint32_t>(i);
+    }
+  }
+
+  // Refinable partition: states grouped contiguously in `elems`, one
+  // [begin, end) range per block, marks swapped to the front of a block.
+  std::vector<int> blk(n, 0);
+  std::vector<StateId> elems(n);
+  std::vector<std::uint32_t> loc(n);
+  std::vector<std::uint32_t> begin_of{0};
+  std::vector<std::uint32_t> end_of;
+  std::vector<std::uint32_t> marks{0};
+
+  const std::size_t accepting_count =
+      static_cast<std::size_t>(std::count(acc.begin(), acc.end(), true));
+  if (accepting_count == 0 || accepting_count == n) {
+    // A single block: already minimal with respect to acceptance.
+    std::iota(elems.begin(), elems.end(), 0);
+    end_of.push_back(static_cast<std::uint32_t>(n));
+  } else {
+    // Block 0 = accepting, block 1 = rejecting, members in state order.
+    std::uint32_t next_acc = 0;
+    std::uint32_t next_rej = static_cast<std::uint32_t>(accepting_count);
+    for (std::size_t s = 0; s < n; ++s) {
+      const std::uint32_t pos = acc[s] ? next_acc++ : next_rej++;
+      elems[pos] = static_cast<StateId>(s);
+      blk[s] = acc[s] ? 0 : 1;
+    }
+    end_of.push_back(static_cast<std::uint32_t>(accepting_count));
+    begin_of.push_back(static_cast<std::uint32_t>(accepting_count));
+    end_of.push_back(static_cast<std::uint32_t>(n));
+    marks.push_back(0);
+  }
+  for (std::size_t i = 0; i < n; ++i) loc[elems[i]] = i;
+
+  // The cost of popping a splitter is the number of transitions *into* it,
+  // not its member count, so "smaller half" is measured in in-edge mass:
+  // weight(B) = Σ_{s∈B} indegree(s).  Either half of a split is a valid
+  // pending splitter, and a block's weight at least halves every time it is
+  // re-queued, so every edge is scanned O(log E) times.  The cardinality
+  // rule is pathological for usage automata: the rejecting sink is a
+  // 1-state block carrying ~all of the edges, and seeding with it costs a
+  // full Θ(n·k) scan before any refinement happens.
+  const auto block_weight = [&](int b) {
+    std::uint64_t w = 0;
+    for (std::uint32_t i = begin_of[b]; i < end_of[b]; ++i) {
+      const StateId s = elems[i];
+      w += in_off[s + 1] - in_off[s];
+    }
+    return w;
+  };
+  std::vector<std::uint64_t> weight;
+  weight.reserve(begin_of.size());
+  for (std::size_t b = 0; b < begin_of.size(); ++b) {
+    weight.push_back(block_weight(static_cast<int>(b)));
+  }
+
+  // Block-level splitter worklist: popping a block processes *all* letters
+  // at once by scanning the block's in-edges and bucketing the sources per
+  // letter.  Equivalent to the per-(block, letter) formulation but with a
+  // k-fold smaller queue -- decisive when the alphabet is as large as the
+  // state count (usage automata have one letter per operation) and most
+  // letters have an empty preimage at any given block.
+  std::vector<int> worklist;
+  std::vector<char> in_worklist{0, 0};
+  const auto push_splitter = [&](int b) {
+    if (in_worklist[b] != 0) return;
+    in_worklist[b] = 1;
+    worklist.push_back(b);
+  };
+  if (begin_of.size() == 2) {
+    push_splitter(weight[0] <= weight[1] ? 0 : 1);  // the lighter half
+  }
+
+  std::vector<std::vector<StateId>> letter_preimage(k);
+  std::vector<std::uint32_t> touched_letters;
+  std::vector<int> touched;
+  while (!worklist.empty()) {
+    const int splitter = worklist.back();
+    worklist.pop_back();
+    in_worklist[splitter] = 0;
+
+    // Snapshot δ⁻¹(splitter, ·) grouped by letter before any swap moves the
+    // splitter's members.
+    touched_letters.clear();
+    for (std::uint32_t i = begin_of[splitter]; i < end_of[splitter]; ++i) {
+      const StateId target = elems[i];
+      for (std::uint32_t j = in_off[target]; j < in_off[target + 1]; ++j) {
+        const std::uint32_t edge = in_data[j];
+        const auto letter = static_cast<std::uint32_t>(edge % k);
+        std::vector<StateId>& bucket = letter_preimage[letter];
+        if (bucket.empty()) touched_letters.push_back(letter);
+        bucket.push_back(static_cast<StateId>(edge / k));
+      }
+    }
+
+    for (const std::uint32_t letter : touched_letters) {
+      std::vector<StateId>& preimage = letter_preimage[letter];
+      touched.clear();
+      for (const StateId s : preimage) {
+        const int b = blk[s];
+        if (end_of[b] - begin_of[b] == 1) continue;  // singletons never split
+        if (marks[b] == 0) touched.push_back(b);
+        const std::uint32_t dest = begin_of[b] + marks[b];
+        const std::uint32_t pos = loc[s];
+        if (pos < dest) continue;  // already marked
+        std::swap(elems[pos], elems[dest]);
+        loc[elems[pos]] = pos;
+        loc[elems[dest]] = dest;
+        ++marks[b];
+      }
+      preimage.clear();
+
+      for (const int b : touched) {
+        const std::uint32_t m = marks[b];
+        marks[b] = 0;
+        const std::uint32_t size = end_of[b] - begin_of[b];
+        if (m == size) continue;  // every member hit: no split
+        // The marked front half becomes a fresh block; b keeps the rest.
+        const int fresh = static_cast<int>(begin_of.size());
+        begin_of.push_back(begin_of[b]);
+        end_of.push_back(begin_of[b] + m);
+        marks.push_back(0);
+        in_worklist.push_back(0);
+        begin_of[b] += m;
+        std::uint64_t fresh_weight = 0;
+        for (std::uint32_t i = begin_of[fresh]; i < end_of[fresh]; ++i) {
+          const StateId moved = elems[i];
+          blk[moved] = fresh;
+          fresh_weight += in_off[moved + 1] - in_off[moved];
+        }
+        weight.push_back(fresh_weight);
+        weight[b] -= fresh_weight;
+        // Hopcroft's rule: if b is still queued the (shrunk) b remains a
+        // pending splitter and the fresh half must join it; otherwise the
+        // lighter half alone suffices.
+        if (in_worklist[b] != 0) {
+          push_splitter(fresh);
+        } else {
+          push_splitter(weight[fresh] <= weight[b] ? fresh : b);
+        }
+      }
+    }
+  }
+
+  // Renumber blocks by first appearance in (reachability-BFS) state order,
+  // so the initial state's block is 0 -- mirroring Moore's numbering scheme.
+  // One representative per block supplies its row; members are equivalent.
+  const std::size_t block_count = begin_of.size();
+  std::vector<int> out_id(block_count, -1);
+  std::vector<StateId> rep(block_count, 0);
+  int next_id = 0;
+  for (std::size_t s = 0; s < n; ++s) {
+    if (out_id[blk[s]] < 0) {
+      out_id[blk[s]] = next_id;
+      rep[next_id] = static_cast<StateId>(s);
+      ++next_id;
+    }
+  }
+  // Per-state output id, precomposed so the row-copy loop below gathers
+  // once per cell instead of twice (out_id[blk[t]]).
+  std::vector<StateId> new_id(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    new_id[s] = static_cast<StateId>(out_id[blk[s]]);
+  }
+  std::vector<StateId> out_table(block_count * k);
+  std::vector<bool> out_acc(block_count, false);
+  for (std::size_t b = 0; b < block_count; ++b) {
+    const StateId r = rep[b];
+    out_acc[b] = acc[r];
+    const StateId* row = trans + static_cast<std::size_t>(r) * k;
+    for (std::size_t letter = 0; letter < k; ++letter) {
+      out_table[b * k + letter] = new_id[row[letter]];
+    }
+  }
+  return Dfa::from_table(dfa.alphabet(), std::move(out_table),
+                         std::move(out_acc), new_id[0]);
 }
 
 Nfa reverse(const Nfa& nfa) {
@@ -252,7 +546,26 @@ Dfa complement(const Dfa& dfa) {
   return out;
 }
 
-bool is_empty(const Dfa& dfa) { return !shortest_word(dfa).has_value(); }
+bool is_empty(const Dfa& dfa) {
+  // Plain reachability with early exit; no parent bookkeeping.
+  if (dfa.is_accepting(dfa.initial())) return false;
+  const std::size_t k = dfa.alphabet().size();
+  std::vector<bool> visited(dfa.state_count(), false);
+  std::deque<StateId> work{dfa.initial()};
+  visited[dfa.initial()] = true;
+  while (!work.empty()) {
+    const StateId s = work.front();
+    work.pop_front();
+    for (std::size_t letter = 0; letter < k; ++letter) {
+      const StateId t = dfa.transition(s, letter);
+      if (visited[t]) continue;
+      if (dfa.is_accepting(t)) return false;
+      visited[t] = true;
+      work.push_back(t);
+    }
+  }
+  return true;
+}
 
 std::optional<Word> shortest_word(const Dfa& dfa) {
   const std::size_t k = dfa.alphabet().size();
@@ -292,11 +605,71 @@ std::optional<Word> shortest_word(const Dfa& dfa) {
   return word;
 }
 
+namespace {
+
+/// Lazy difference-emptiness: BFS over reachable (a, b) pair states looking
+/// for a pair accepted by `a` but not by `b`.  Discovery order matches
+/// shortest_word(product(a, b, kDifference)) letter for letter, so the
+/// returned witness is identical to the eager pipeline's -- it just never
+/// materializes the n·m product table.  Both inputs must share an alphabet.
+std::optional<Word> lazy_difference_witness(const Dfa& a, const Dfa& b) {
+  const std::size_t k = a.alphabet().size();
+  const std::uint64_t m = b.state_count();
+  const auto key = [m](StateId x, StateId y) {
+    return static_cast<std::uint64_t>(x) * m + y;
+  };
+  constexpr std::uint32_t kRoot = 0xffffffffu;
+  struct Prev {
+    std::uint64_t from = 0;
+    std::uint32_t letter = kRoot;
+  };
+  // Doubles as the visited set; ~O(reachable pairs) memory.
+  std::unordered_map<std::uint64_t, Prev> parents;
+  std::deque<std::pair<StateId, StateId>> work;
+
+  const auto is_goal = [&](StateId x, StateId y) {
+    return a.is_accepting(x) && !b.is_accepting(y);
+  };
+  const std::uint64_t start = key(a.initial(), b.initial());
+  parents.emplace(start, Prev{});
+  work.emplace_back(a.initial(), b.initial());
+
+  std::optional<std::uint64_t> goal;
+  if (is_goal(a.initial(), b.initial())) goal = start;
+  while (!goal && !work.empty()) {
+    const auto [x, y] = work.front();
+    work.pop_front();
+    const std::uint64_t from = key(x, y);
+    for (std::size_t letter = 0; letter < k && !goal; ++letter) {
+      const StateId tx = a.transition(x, letter);
+      const StateId ty = b.transition(y, letter);
+      const std::uint64_t to = key(tx, ty);
+      const auto [it, inserted] = parents.emplace(
+          to, Prev{from, static_cast<std::uint32_t>(letter)});
+      if (!inserted) continue;
+      if (is_goal(tx, ty)) goal = to;
+      work.emplace_back(tx, ty);
+    }
+  }
+  if (!goal) return std::nullopt;
+
+  Word word;
+  std::uint64_t at = *goal;
+  for (Prev prev = parents.at(at); prev.letter != kRoot;
+       at = prev.from, prev = parents.at(at)) {
+    word.push_back(a.alphabet()[prev.letter]);
+  }
+  std::reverse(word.begin(), word.end());
+  return word;
+}
+
+}  // namespace
+
 std::optional<Word> inclusion_witness(const Dfa& a, const Dfa& b) {
   const std::vector<Symbol> joined = sorted_union(a.alphabet(), b.alphabet());
   const Dfa ax = extend_alphabet(a, joined);
   const Dfa bx = extend_alphabet(b, joined);
-  return shortest_word(product(ax, bx, ProductMode::kDifference));
+  return lazy_difference_witness(ax, bx);
 }
 
 bool included(const Dfa& a, const Dfa& b) {
@@ -304,7 +677,47 @@ bool included(const Dfa& a, const Dfa& b) {
 }
 
 bool equivalent(const Dfa& a, const Dfa& b) {
-  return included(a, b) && included(b, a);
+  const std::vector<Symbol> joined = sorted_union(a.alphabet(), b.alphabet());
+  const Dfa ax = extend_alphabet(a, joined);
+  const Dfa bx = extend_alphabet(b, joined);
+  const std::size_t k = joined.size();
+  const std::size_t offset = ax.state_count();
+
+  // Hopcroft–Karp: merge the initial pair, then propagate successor merges;
+  // the languages differ iff some merged pair disagrees on acceptance.
+  std::vector<std::uint32_t> parent(offset + bx.state_count());
+  std::iota(parent.begin(), parent.end(), 0);
+  const auto find = [&](std::uint32_t s) {
+    while (parent[s] != s) {
+      parent[s] = parent[parent[s]];  // path halving
+      s = parent[s];
+    }
+    return s;
+  };
+  const auto unite = [&](std::uint32_t p, std::uint32_t q) {
+    p = find(p);
+    q = find(q);
+    if (p == q) return false;
+    parent[p] = q;
+    return true;
+  };
+
+  std::vector<std::pair<StateId, StateId>> stack;
+  unite(ax.initial(), static_cast<std::uint32_t>(offset) + bx.initial());
+  stack.emplace_back(ax.initial(), bx.initial());
+  while (!stack.empty()) {
+    const auto [x, y] = stack.back();
+    stack.pop_back();
+    if (ax.is_accepting(x) != bx.is_accepting(y)) return false;
+    for (std::size_t letter = 0; letter < k; ++letter) {
+      const StateId tx = ax.transition(x, letter);
+      const StateId ty = bx.transition(y, letter);
+      if (unite(tx, static_cast<std::uint32_t>(offset) + ty)) {
+        stack.emplace_back(tx, ty);
+      }
+    }
+  }
+  return true;
 }
 
 Nfa map_labels(const Nfa& nfa, const std::function<Symbol(Symbol)>& map) {

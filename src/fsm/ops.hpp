@@ -1,6 +1,8 @@
-// Automata algorithms: subset construction, Moore minimization, boolean
-// products, complement, emptiness, shortest witnesses, language inclusion /
-// equivalence, alphabet extension, and label homomorphisms (projection).
+// Automata algorithms: subset construction (bitset-based, hash-consed),
+// minimization (Hopcroft by default; Moore and Brzozowski as differential
+// oracles), boolean products, complement, emptiness, shortest witnesses,
+// lazy on-the-fly language inclusion, union-find equivalence, alphabet
+// extension, and label homomorphisms (projection).
 #pragma once
 
 #include <functional>
@@ -19,8 +21,17 @@ namespace shelley::fsm {
 /// Determinizes over the NFA's own alphabet.
 [[nodiscard]] Dfa determinize(const Nfa& nfa);
 
-/// Moore partition-refinement minimization (keeps the alphabet).
+/// Minimization (keeps the alphabet).  Dispatches to minimize_hopcroft.
 [[nodiscard]] Dfa minimize(const Dfa& dfa);
+
+/// Hopcroft's O(n·k·log n) partition refinement with the "smaller half"
+/// splitter queue.  The default minimizer.
+[[nodiscard]] Dfa minimize_hopcroft(const Dfa& dfa);
+
+/// Moore's O(n²·k) partition refinement.  Kept as an independently
+/// implemented oracle for differential testing (tests/props) and as the
+/// ablation baseline in bench_scaling.
+[[nodiscard]] Dfa minimize_moore(const Dfa& dfa);
 
 /// Brzozowski's minimization: reverse -> determinize -> reverse ->
 /// determinize.  Same result as `minimize` up to isomorphism; kept as an
@@ -60,13 +71,19 @@ enum class ProductMode { kIntersection, kUnion, kDifference };
 
 /// A shortest word in L(a) \ L(b), i.e. a witness that L(a) ⊄ L(b);
 /// nullopt when L(a) ⊆ L(b).  Alphabets are joined automatically.
+/// Runs a lazy on-the-fly BFS over *reachable* pair states only (early exit
+/// on the first witness) instead of materializing the n·m product; the
+/// witness is identical to what `shortest_word(product(...))` would return.
 [[nodiscard]] std::optional<Word> inclusion_witness(const Dfa& a,
                                                     const Dfa& b);
 
 /// True iff L(a) ⊆ L(b).
 [[nodiscard]] bool included(const Dfa& a, const Dfa& b);
 
-/// True iff L(a) = L(b).
+/// True iff L(a) = L(b).  Hopcroft–Karp union-find bisimulation check:
+/// near-linear in the number of reachable pair states, with no product
+/// automaton and no witness bookkeeping (use inclusion_witness when a
+/// counterexample is needed).
 [[nodiscard]] bool equivalent(const Dfa& a, const Dfa& b);
 
 /// Rewrites transition labels.  The map returns: the replacement symbol, or

@@ -1,0 +1,117 @@
+// Fixed-capacity bitset over NFA state ids.
+//
+// Subset construction and ε-closure manipulate sets of states millions of
+// times; a packed word array makes union / membership O(n/64) and gives the
+// sets a cheap hash so closed subsets can be hash-consed in an unordered_map
+// (the seed implementation keyed a std::map on std::set<StateId>).
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace shelley::fsm {
+
+using StateId = std::uint32_t;
+
+class StateSet {
+ public:
+  StateSet() = default;
+  /// An empty set able to hold states 0..capacity-1.
+  explicit StateSet(std::size_t capacity)
+      : words_((capacity + kBits - 1) / kBits, 0) {}
+
+  /// Number of states this set can hold (a multiple of 64).
+  [[nodiscard]] std::size_t capacity() const { return words_.size() * kBits; }
+
+  /// Adds `state`; returns true when it was not present yet.
+  bool insert(StateId state) {
+    std::uint64_t& word = words_[state / kBits];
+    const std::uint64_t bit = std::uint64_t{1} << (state % kBits);
+    const bool fresh = (word & bit) == 0;
+    word |= bit;
+    return fresh;
+  }
+
+  [[nodiscard]] bool contains(StateId state) const {
+    const std::size_t index = state / kBits;
+    if (index >= words_.size()) return false;
+    return (words_[index] >> (state % kBits)) & 1;
+  }
+
+  /// In-place union; returns true when any bit was added.  Both sets must
+  /// have the same capacity.
+  bool unite(const StateSet& other) {
+    bool changed = false;
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      const std::uint64_t merged = words_[i] | other.words_[i];
+      changed = changed || merged != words_[i];
+      words_[i] = merged;
+    }
+    return changed;
+  }
+
+  /// Removes every member; capacity is unchanged.
+  void clear() { std::fill(words_.begin(), words_.end(), 0); }
+
+  [[nodiscard]] bool empty() const {
+    for (std::uint64_t word : words_) {
+      if (word != 0) return false;
+    }
+    return true;
+  }
+
+  /// True when the two sets share at least one state.
+  [[nodiscard]] bool intersects(const StateSet& other) const {
+    const std::size_t n = std::min(words_.size(), other.words_.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      if ((words_[i] & other.words_[i]) != 0) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::size_t count() const {
+    std::size_t total = 0;
+    for (std::uint64_t word : words_) total += std::popcount(word);
+    return total;
+  }
+
+  /// Calls `fn(StateId)` for every member in ascending order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      std::uint64_t word = words_[i];
+      while (word != 0) {
+        const int bit = std::countr_zero(word);
+        fn(static_cast<StateId>(i * kBits + static_cast<std::size_t>(bit)));
+        word &= word - 1;
+      }
+    }
+  }
+
+  friend bool operator==(const StateSet& a, const StateSet& b) {
+    return a.words_ == b.words_;
+  }
+
+  [[nodiscard]] std::size_t hash() const {
+    // FNV-1a over the words; good enough to keep the hash-cons map flat.
+    std::size_t h = 1469598103934665603ull;
+    for (std::uint64_t word : words_) {
+      h ^= static_cast<std::size_t>(word);
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+
+ private:
+  static constexpr std::size_t kBits = 64;
+  std::vector<std::uint64_t> words_;
+};
+
+struct StateSetHash {
+  std::size_t operator()(const StateSet& set) const { return set.hash(); }
+};
+
+}  // namespace shelley::fsm

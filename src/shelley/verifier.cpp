@@ -1,8 +1,14 @@
 #include "shelley/verifier.hpp"
 
+#include <exception>
+#include <vector>
+
+#include "ir/lowering.hpp"
+#include "ltlf/parser.hpp"
 #include "shelley/graph.hpp"
 #include "shelley/invocation.hpp"
 #include "shelley/lint.hpp"
+#include "support/thread_pool.hpp"
 #include "upy/parser.hpp"
 
 namespace shelley::core {
@@ -39,13 +45,13 @@ void Verifier::add_class(const upy::ClassDef& cls) {
     return;
   }
   specs_.push_back(extract_class_spec(cls, diagnostics_));
+  index_.emplace(specs_.back().name, specs_.size() - 1);
 }
 
 const ClassSpec* Verifier::find_class(std::string_view name) const {
-  for (const ClassSpec& spec : specs_) {
-    if (spec.name == name) return &spec;
-  }
-  return nullptr;
+  const auto it = index_.find(std::string(name));
+  if (it == index_.end()) return nullptr;
+  return &specs_[it->second];
 }
 
 ClassLookup Verifier::lookup() const {
@@ -53,29 +59,81 @@ ClassLookup Verifier::lookup() const {
 }
 
 ClassReport Verifier::verify_spec(const ClassSpec& spec) {
+  return verify_spec(spec, diagnostics_);
+}
+
+ClassReport Verifier::verify_spec(const ClassSpec& spec,
+                                  DiagnosticEngine& sink) {
   ClassReport report;
   report.class_name = spec.name;
   report.is_composite = spec.is_composite;
 
   // Step 1 -- method dependency extraction validates successor references.
-  (void)DependencyGraph::build(spec, diagnostics_);
+  (void)DependencyGraph::build(spec, sink);
 
   // Step 3 -- method invocation analysis.
-  report.invocation_errors =
-      analyze_invocations(spec, lookup(), diagnostics_);
+  report.invocation_errors = analyze_invocations(spec, lookup(), sink);
 
   // Specification lints (warnings only).
-  report.lint_findings = lint_class(spec, table_, diagnostics_);
+  report.lint_findings = lint_class(spec, table_, sink);
 
   // Step 2 plus the composite checks of §2.2 (behavior extraction happens
   // inside check_composite).  Base classes still get their claims checked
   // against the valid-usage language.
   if (spec.is_composite) {
-    report.check = check_composite(spec, lookup(), table_, diagnostics_);
+    report.check = check_composite(spec, lookup(), table_, sink);
   } else {
-    report.check = check_base_claims(spec, table_, diagnostics_);
+    report.check = check_base_claims(spec, table_, sink);
   }
   return report;
+}
+
+void Verifier::warm_symbols(const ClassSpec& spec) {
+  // Mirrors the intern calls of verify_spec exactly, in order.  The first
+  // table touch is lint_completability's usage_nfa(spec, table): one bare
+  // operation name per operation.
+  if (!spec.operations.empty()) {
+    for (const Operation& op : spec.operations) {
+      (void)table_.intern(op.name);
+    }
+  }
+
+  if (spec.is_composite) {
+    // check_composite: extract_behaviors lowers every operation body and
+    // interns one `field.method` symbol per tracked call, in source order.
+    ir::LoweringContext context;
+    for (const SubsystemDecl& subsystem : spec.subsystems) {
+      context.tracked_fields.insert(subsystem.field);
+    }
+    context.symbols = &table_;  // diagnostics/next_return_id stay null
+    for (const Operation& op : spec.operations) {
+      (void)ir::lower_block(op.body, context);
+    }
+    // build_system_model + unrealizable_usage re-intern the bare operation
+    // names (no-ops by now); the per-subsystem monitors intern the
+    // prefix-qualified names of each subsystem class's operations.
+    for (const SubsystemDecl& subsystem : spec.subsystems) {
+      const ClassSpec* sub_spec = find_class(subsystem.class_name);
+      if (sub_spec == nullptr) continue;
+      const std::string prefix = subsystem.field + ".";
+      for (const Operation& op : sub_spec->operations) {
+        (void)table_.intern(prefix + op.name);
+      }
+    }
+  } else if (spec.claims.empty()) {
+    return;  // check_base_claims bails out before touching the table
+  }
+
+  // Claim atoms are interned while parsing, left to right.  Malformed
+  // claims intern whatever atoms precede the error, then throw; the real
+  // verification pass reports that error into its own sink.
+  for (const Claim& claim : spec.claims) {
+    try {
+      (void)ltlf::parse(claim.text, table_);
+    } catch (const ParseError&) {
+      // ignored here; verify_spec diagnoses it
+    }
+  }
 }
 
 ClassReport Verifier::verify_class(std::string_view name) {
@@ -97,6 +155,44 @@ Report Verifier::verify_all() {
   for (const ClassSpec& spec : specs_) {
     if (!spec.is_system) continue;
     report.classes.push_back(verify_spec(spec));
+  }
+  return report;
+}
+
+Report Verifier::verify_all(std::size_t jobs) {
+  if (jobs <= 1) return verify_all();  // the serial path, untouched
+
+  std::vector<const ClassSpec*> work;
+  for (const ClassSpec& spec : specs_) {
+    if (spec.is_system) work.push_back(&spec);
+  }
+  if (work.size() <= 1) return verify_all();
+
+  // Symbol ids leak into the output: alphabets are sorted by id and witness
+  // searches break ties in alphabet order.  Pre-intern every symbol in the
+  // order the serial pass would create it, so worker-side interning (under
+  // the table's lock) only ever *finds* symbols and ids are identical to a
+  // serial run.
+  for (const ClassSpec* spec : work) warm_symbols(*spec);
+
+  std::vector<ClassReport> reports(work.size());
+  std::vector<DiagnosticEngine> sinks(work.size());
+  std::vector<std::exception_ptr> errors(work.size());
+  support::parallel_for(work.size(), jobs, [&](std::size_t i) {
+    try {
+      reports[i] = verify_spec(*work[i], sinks[i]);
+    } catch (...) {
+      errors[i] = std::current_exception();
+    }
+  });
+
+  // Merge in registration order so diagnostics and the report are stable
+  // regardless of worker scheduling.
+  Report report;
+  for (std::size_t i = 0; i < work.size(); ++i) {
+    diagnostics_.append(sinks[i]);
+    if (errors[i]) std::rethrow_exception(errors[i]);
+    report.classes.push_back(std::move(reports[i]));
   }
   return report;
 }

@@ -3,9 +3,11 @@
 // composite checks of §2.2.  This is the main entry point of the library.
 #pragma once
 
+#include <cstddef>
 #include <deque>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "shelley/checker.hpp"
@@ -56,8 +58,16 @@ class Verifier {
   /// an empty report entry.
   [[nodiscard]] ClassReport verify_class(std::string_view name);
 
-  /// Verifies every registered @sys class.
+  /// Verifies every registered @sys class, serially (jobs = 1).
   [[nodiscard]] Report verify_all();
+
+  /// Verifies every registered @sys class on up to `jobs` worker threads.
+  /// `jobs == 1` is exactly the serial path.  With more jobs, classes are
+  /// verified independently, each into its own diagnostics sink; sinks and
+  /// report entries are merged in registration order, and the symbols every
+  /// class needs are pre-interned in the serial order first, so the output
+  /// is deterministic (and byte-identical to the serial path).
+  [[nodiscard]] Report verify_all(std::size_t jobs);
 
   [[nodiscard]] SymbolTable& symbols() { return table_; }
   [[nodiscard]] const SymbolTable& symbols() const { return table_; }
@@ -68,11 +78,19 @@ class Verifier {
 
  private:
   [[nodiscard]] ClassReport verify_spec(const ClassSpec& spec);
+  [[nodiscard]] ClassReport verify_spec(const ClassSpec& spec,
+                                        DiagnosticEngine& sink);
   [[nodiscard]] ClassLookup lookup() const;
+  /// Interns every symbol verifying `spec` will touch, in the same order the
+  /// serial verification path interns them (see verify_all(jobs)).
+  void warm_symbols(const ClassSpec& spec);
 
   SymbolTable table_;
   DiagnosticEngine diagnostics_;
   std::deque<ClassSpec> specs_;  // deque: stable addresses for ClassLookup
+  // Name -> index into specs_; keeps find_class O(1) (it is called once per
+  // analyzed invocation).
+  std::unordered_map<std::string, std::size_t> index_;
 };
 
 }  // namespace shelley::core

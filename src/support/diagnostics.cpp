@@ -20,6 +20,12 @@ void DiagnosticEngine::report(Severity severity, SourceLoc loc,
   diagnostics_.push_back(Diagnostic{severity, loc, std::move(message)});
 }
 
+void DiagnosticEngine::append(const DiagnosticEngine& other) {
+  diagnostics_.insert(diagnostics_.end(), other.diagnostics_.begin(),
+                      other.diagnostics_.end());
+  error_count_ += other.error_count_;
+}
+
 std::string DiagnosticEngine::render() const {
   std::string out;
   for (const auto& diag : diagnostics_) {

@@ -38,6 +38,10 @@ class DiagnosticEngine {
     report(Severity::kNote, loc, std::move(message));
   }
 
+  /// Appends every diagnostic of `other`, preserving order.  Used to merge
+  /// per-worker sinks deterministically after parallel verification.
+  void append(const DiagnosticEngine& other);
+
   [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const {
     return diagnostics_;
   }

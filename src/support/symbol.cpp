@@ -2,13 +2,42 @@
 
 #include <cassert>
 #include <deque>
+#include <mutex>
 #include <stdexcept>
 
 namespace shelley {
 
+SymbolTable::SymbolTable(const SymbolTable& other) {
+  const std::shared_lock<std::shared_mutex> lock(other.mutex_);
+  names_ = other.names_;
+  // Rebuild the index over *this* table's strings -- copying it verbatim
+  // would leave its string_view keys pointing into `other`.
+  index_.reserve(names_.size());
+  for (std::uint32_t id = 0; id < names_.size(); ++id) {
+    index_.emplace(std::string_view{names_[id]}, id);
+  }
+}
+
+SymbolTable& SymbolTable::operator=(const SymbolTable& other) {
+  if (this == &other) return *this;
+  SymbolTable copy(other);
+  const std::unique_lock<std::shared_mutex> lock(mutex_);
+  names_ = std::move(copy.names_);
+  index_ = std::move(copy.index_);
+  return *this;
+}
+
 Symbol SymbolTable::intern(std::string_view text) {
+  {
+    // Fast path: already interned, shared lock only.
+    const std::shared_lock<std::shared_mutex> lock(mutex_);
+    if (auto it = index_.find(text); it != index_.end()) {
+      return Symbol{it->second};
+    }
+  }
+  const std::unique_lock<std::shared_mutex> lock(mutex_);
   if (auto it = index_.find(text); it != index_.end()) {
-    return Symbol{it->second};
+    return Symbol{it->second};  // raced with another intern of `text`
   }
   const auto id = static_cast<std::uint32_t>(names_.size());
   names_.emplace_back(text);
@@ -17,6 +46,7 @@ Symbol SymbolTable::intern(std::string_view text) {
 }
 
 std::optional<Symbol> SymbolTable::lookup(std::string_view text) const {
+  const std::shared_lock<std::shared_mutex> lock(mutex_);
   if (auto it = index_.find(text); it != index_.end()) {
     return Symbol{it->second};
   }
@@ -24,10 +54,18 @@ std::optional<Symbol> SymbolTable::lookup(std::string_view text) const {
 }
 
 const std::string& SymbolTable::name(Symbol sym) const {
+  const std::shared_lock<std::shared_mutex> lock(mutex_);
   if (!sym.valid() || sym.id() >= names_.size()) {
     throw std::out_of_range("Symbol does not belong to this SymbolTable");
   }
+  // Safe to return after unlocking: deque elements are address-stable and
+  // interned strings are immutable.
   return names_[sym.id()];
+}
+
+std::size_t SymbolTable::size() const {
+  const std::shared_lock<std::shared_mutex> lock(mutex_);
+  return names_.size();
 }
 
 std::string to_string(const Word& word, const SymbolTable& table,

@@ -12,6 +12,7 @@
 #include <deque>
 #include <functional>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -39,11 +40,16 @@ class Symbol {
   std::uint32_t id_ = kInvalid;
 };
 
-/// Bidirectional string <-> Symbol map.  Not thread-safe; each verification
-/// pipeline owns exactly one table.
+/// Bidirectional string <-> Symbol map.  Each verification pipeline owns
+/// exactly one table.  Internally synchronized (a shared mutex around the
+/// index) so the parallel verifier's workers may share it; note that symbol
+/// *ids* still depend on interning order, which is why the parallel path
+/// pre-interns deterministically (see Verifier::verify_all).
 class SymbolTable {
  public:
   SymbolTable() = default;
+  SymbolTable(const SymbolTable& other);
+  SymbolTable& operator=(const SymbolTable& other);
 
   /// Returns the symbol for `text`, interning it on first use.
   Symbol intern(std::string_view text);
@@ -52,12 +58,13 @@ class SymbolTable {
   [[nodiscard]] std::optional<Symbol> lookup(std::string_view text) const;
 
   /// Returns the text of an interned symbol.  Precondition: `sym` came from
-  /// this table.
+  /// this table.  The reference stays valid for the table's lifetime.
   [[nodiscard]] const std::string& name(Symbol sym) const;
 
-  [[nodiscard]] std::size_t size() const { return names_.size(); }
+  [[nodiscard]] std::size_t size() const;
 
  private:
+  mutable std::shared_mutex mutex_;
   // Deque keeps element addresses stable across growth, so index_ may key
   // string_views into the stored strings.
   std::deque<std::string> names_;

@@ -1,0 +1,60 @@
+// A small fixed-size worker pool for coarse-grained parallelism (one task ≈
+// one class verification).  Tasks are plain std::function<void()>; error
+// handling, result collection, and ordering are the caller's business --
+// the verifier keeps determinism by indexing results and merging in a
+// stable order, not by relying on scheduling.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace shelley::support {
+
+class ThreadPool {
+ public:
+  /// Starts `workers` threads (at least one).
+  explicit ThreadPool(std::size_t workers);
+
+  /// Waits for every submitted task, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task.  Must not be called after shutdown began.
+  void submit(std::function<void()> task);
+
+  /// Blocks until the queue is drained and every worker is idle.
+  void wait();
+
+  [[nodiscard]] std::size_t worker_count() const { return threads_.size(); }
+
+  /// std::thread::hardware_concurrency with a floor of 1 (the standard
+  /// allows it to report 0 when unknown).
+  [[nodiscard]] static std::size_t hardware_default();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  std::size_t active_ = 0;
+  bool stopping_ = false;
+};
+
+/// Runs fn(0) .. fn(count - 1) on up to `jobs` workers.  Indices are handed
+/// out atomically in ascending order; `jobs <= 1` (or `count <= 1`) runs
+/// everything on the calling thread.  `fn` must be safe to call concurrently
+/// for distinct indices.
+void parallel_for(std::size_t count, std::size_t jobs,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace shelley::support

@@ -33,6 +33,29 @@ TEST_F(DfaTest, ConstructorValidatesAlphabet) {
   EXPECT_EQ(dfa.alphabet().size(), 1u);
 }
 
+TEST_F(DfaTest, FromTableBuildsAndValidates) {
+  const Symbol a = table_.intern("a");
+  const Symbol b = table_.intern("b");
+  std::vector<Symbol> sigma{a, b};
+  std::sort(sigma.begin(), sigma.end());
+  // Two states over two letters: flip state on the first letter, stay on
+  // the second; only state 1 accepts.
+  const Dfa dfa =
+      Dfa::from_table(sigma, {1, 0, 0, 1}, {false, true}, 0);
+  EXPECT_EQ(dfa.state_count(), 2u);
+  EXPECT_EQ(dfa.initial(), 0u);
+  EXPECT_TRUE(dfa.is_accepting(1));
+  EXPECT_EQ(dfa.transition(0, 0), 1u);
+  EXPECT_EQ(dfa.transition(1, 1), 1u);
+
+  EXPECT_THROW(Dfa::from_table(sigma, {1, 0, 0}, {false, true}, 0),
+               std::invalid_argument);  // table size mismatch
+  EXPECT_THROW(Dfa::from_table(sigma, {1, 0, 0, 2}, {false, true}, 0),
+               std::out_of_range);  // target out of range
+  EXPECT_THROW(Dfa::from_table(sigma, {1, 0, 0, 1}, {false, true}, 2),
+               std::out_of_range);  // initial out of range
+}
+
 TEST_F(DfaTest, LetterIndexBinarySearch) {
   const Symbol a = table_.intern("a");
   const Symbol b = table_.intern("b");

@@ -52,7 +52,7 @@ TEST_F(NfaTest, EpsilonClosureIsTransitive) {
   nfa.add_epsilon(0, 1);
   nfa.add_epsilon(1, 2);
   nfa.add_transition(2, a_, 3);
-  const auto closure = nfa.epsilon_closure({0});
+  const auto closure = nfa.epsilon_closure(std::set<StateId>{0});
   EXPECT_EQ(closure, (std::set<StateId>{0, 1, 2}));
 }
 
@@ -61,7 +61,8 @@ TEST_F(NfaTest, EpsilonClosureHandlesCycles) {
   nfa.add_states(2);
   nfa.add_epsilon(0, 1);
   nfa.add_epsilon(1, 0);
-  EXPECT_EQ(nfa.epsilon_closure({0}), (std::set<StateId>{0, 1}));
+  EXPECT_EQ(nfa.epsilon_closure(std::set<StateId>{0}),
+            (std::set<StateId>{0, 1}));
 }
 
 TEST_F(NfaTest, AcceptanceThroughEpsilon) {

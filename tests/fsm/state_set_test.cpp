@@ -1,0 +1,75 @@
+#include "fsm/state_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace shelley::fsm {
+namespace {
+
+TEST(StateSet, StartsEmpty) {
+  StateSet set(100);
+  EXPECT_TRUE(set.empty());
+  EXPECT_EQ(set.count(), 0u);
+  EXPECT_FALSE(set.contains(0));
+  EXPECT_FALSE(set.contains(99));
+}
+
+TEST(StateSet, InsertReportsNovelty) {
+  StateSet set(70);
+  EXPECT_TRUE(set.insert(3));
+  EXPECT_FALSE(set.insert(3));
+  EXPECT_TRUE(set.insert(64));  // second word
+  EXPECT_TRUE(set.contains(3));
+  EXPECT_TRUE(set.contains(64));
+  EXPECT_EQ(set.count(), 2u);
+}
+
+TEST(StateSet, ForEachVisitsAscending) {
+  StateSet set(200);
+  for (StateId s : {199u, 0u, 63u, 64u, 65u, 128u}) set.insert(s);
+  std::vector<StateId> seen;
+  set.for_each([&](StateId s) { seen.push_back(s); });
+  EXPECT_EQ(seen, (std::vector<StateId>{0, 63, 64, 65, 128, 199}));
+}
+
+TEST(StateSet, UniteReportsChange) {
+  StateSet a(128);
+  StateSet b(128);
+  a.insert(1);
+  b.insert(1);
+  b.insert(100);
+  EXPECT_TRUE(a.unite(b));
+  EXPECT_FALSE(a.unite(b));  // already a superset
+  EXPECT_TRUE(a.contains(100));
+  EXPECT_EQ(a.count(), 2u);
+}
+
+TEST(StateSet, EqualityAndHashAgree) {
+  StateSet a(90);
+  StateSet b(90);
+  a.insert(7);
+  a.insert(80);
+  b.insert(80);
+  b.insert(7);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.hash(), b.hash());
+  b.insert(8);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(StateSet, IntersectsAndClear) {
+  StateSet a(64);
+  StateSet b(64);
+  a.insert(10);
+  b.insert(11);
+  EXPECT_FALSE(a.intersects(b));
+  b.insert(10);
+  EXPECT_TRUE(a.intersects(b));
+  a.clear();
+  EXPECT_TRUE(a.empty());
+  EXPECT_FALSE(a.intersects(b));
+}
+
+}  // namespace
+}  // namespace shelley::fsm

@@ -1,0 +1,91 @@
+// The parallel verifier must be observationally identical to the serial
+// one: same report, same diagnostics text, and -- because symbol ids leak
+// into alphabet order and witness tie-breaking -- the exact same symbol
+// table contents, regardless of the worker count or scheduling.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "paper_sources.hpp"
+#include "shelley/verifier.hpp"
+
+namespace shelley::core {
+namespace {
+
+struct Observed {
+  std::vector<std::string> class_lines;  // "name:ok" per report entry
+  std::string report_render;
+  std::string diagnostics_render;
+  std::vector<std::string> symbols;  // interned strings, in id order
+  bool ok = false;
+};
+
+Observed run_verification(std::size_t jobs) {
+  Verifier verifier;
+  verifier.add_source(examples::kValveSource);
+  verifier.add_source(examples::kBadSectorSource);
+  verifier.add_source(examples::kSectorSource);
+  verifier.add_source(examples::kGoodSectorSource);
+  const Report report =
+      jobs == 0 ? verifier.verify_all() : verifier.verify_all(jobs);
+
+  Observed out;
+  for (const ClassReport& cls : report.classes) {
+    out.class_lines.push_back(cls.class_name +
+                              (cls.ok() ? ":ok" : ":failed"));
+  }
+  out.report_render = report.render(verifier.symbols());
+  out.diagnostics_render = verifier.diagnostics().render();
+  for (std::uint32_t id = 0; id < verifier.symbols().size(); ++id) {
+    out.symbols.push_back(verifier.symbols().name(Symbol{id}));
+  }
+  out.ok = report.ok();
+  return out;
+}
+
+void expect_identical(const Observed& a, const Observed& b) {
+  EXPECT_EQ(a.class_lines, b.class_lines);
+  EXPECT_EQ(a.report_render, b.report_render);
+  EXPECT_EQ(a.diagnostics_render, b.diagnostics_render);
+  EXPECT_EQ(a.symbols, b.symbols);
+  EXPECT_EQ(a.ok, b.ok);
+}
+
+TEST(ParallelVerifier, SerialEntryPointsAgree) {
+  expect_identical(run_verification(0), run_verification(1));
+}
+
+TEST(ParallelVerifier, ParallelMatchesSerialByteForByte) {
+  const Observed serial = run_verification(0);
+  expect_identical(serial, run_verification(2));
+  expect_identical(serial, run_verification(4));
+}
+
+TEST(ParallelVerifier, MoreJobsThanClasses) {
+  expect_identical(run_verification(0), run_verification(64));
+}
+
+TEST(ParallelVerifier, DeterministicAcrossRuns) {
+  const Observed first = run_verification(4);
+  for (int round = 0; round < 8; ++round) {
+    expect_identical(first, run_verification(4));
+  }
+}
+
+TEST(ParallelVerifier, ReportsFailuresFromWorkers) {
+  const Observed parallel = run_verification(4);
+  // BadSector must fail (the paper's invalid example); Sector and
+  // GoodSector pass.
+  ASSERT_EQ(parallel.class_lines.size(), 4u);
+  EXPECT_EQ(parallel.class_lines[0], "Valve:ok");
+  EXPECT_EQ(parallel.class_lines[1], "BadSector:failed");
+  EXPECT_EQ(parallel.class_lines[2], "Sector:ok");
+  EXPECT_EQ(parallel.class_lines[3], "GoodSector:ok");
+  EXPECT_FALSE(parallel.ok);
+  EXPECT_NE(parallel.report_render.find("INVALID SUBSYSTEM USAGE"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace shelley::core

@@ -1,0 +1,32 @@
+#!/usr/bin/env sh
+# Runs the automata-kernel micro-benchmarks (minimize / inclusion /
+# equivalence, bench_scaling) and writes the results as google-benchmark
+# JSON to BENCH_automata.json at the repository root.
+#
+#   tools/bench_to_json.sh [build-dir]
+#
+# The build directory defaults to ./build and must already contain the
+# bench_scaling binary (cmake --build build --target bench_scaling).
+set -eu
+
+root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$root/build"}
+bench="$build_dir/bench/bench_scaling"
+
+if [ ! -x "$bench" ]; then
+    echo "bench_to_json.sh: $bench not found; build it first:" >&2
+    echo "  cmake --build $build_dir --target bench_scaling" >&2
+    exit 1
+fi
+
+# --benchmark_out keeps the JSON clean: the binary prints a human-readable
+# artifact banner on stdout first.
+# min_time well above the default: the 50-state points finish in tens of
+# microseconds and need the longer window for stable medians.
+"$bench" \
+    --benchmark_filter='Minimize|Inclusion|Equivalence' \
+    --benchmark_min_time=0.3s \
+    --benchmark_out="$root/BENCH_automata.json" \
+    --benchmark_out_format=json
+
+echo "wrote $root/BENCH_automata.json"

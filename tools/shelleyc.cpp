@@ -31,6 +31,7 @@
 #include "shelley/report_json.hpp"
 #include "shelley/verifier.hpp"
 #include "smv/smv.hpp"
+#include "support/thread_pool.hpp"
 #include "viz/dot.hpp"
 
 namespace {
@@ -49,6 +50,7 @@ struct Options {
   std::optional<std::string> monitor;
   std::optional<std::string> sample;
   int sample_count = 5;
+  std::size_t jobs = shelley::support::ThreadPool::hardware_default();
   bool json = false;
   bool quiet = false;
 };
@@ -66,7 +68,9 @@ void print_usage(std::ostream& out) {
          "  --smv NAME          emit a NuSMV model of the system behavior\n"
          "  --monitor NAME      read operation calls from stdin, one per\n"
          "                      line, and report a verdict for each\n"
-         "  --sample NAME [N]   print N (default 5) valid complete usages\n";
+         "  --sample NAME [N]   print N (default 5) valid complete usages\n"
+         "  --jobs N            verify classes on up to N threads (default:\n"
+         "                      hardware concurrency; 1 = serial)\n";
 }
 
 std::optional<Options> parse_args(int argc, char** argv) {
@@ -108,6 +112,15 @@ std::optional<Options> parse_args(int argc, char** argv) {
     } else if (arg == "--monitor") {
       options.monitor = next();
       if (!options.monitor) return std::nullopt;
+    } else if (arg == "--jobs" || arg == "-j") {
+      const auto value = next();
+      if (!value) return std::nullopt;
+      const long parsed = std::atol(value->c_str());
+      if (parsed < 1) {
+        std::cerr << "shelleyc: --jobs needs a positive integer\n";
+        return std::nullopt;
+      }
+      options.jobs = static_cast<std::size_t>(parsed);
     } else if (arg == "--sample") {
       options.sample = next();
       if (!options.sample) return std::nullopt;
@@ -269,7 +282,7 @@ int main(int argc, char** argv) {
   if (options->verify_class) {
     report.classes.push_back(verifier.verify_class(*options->verify_class));
   } else {
-    report = verifier.verify_all();
+    report = verifier.verify_all(options->jobs);
   }
 
   if (options->json) {
