@@ -9,6 +9,8 @@
 #include <unordered_map>
 
 #include "fsm/state_set.hpp"
+#include "support/metrics.hpp"
+#include "support/trace.hpp"
 
 namespace shelley::fsm {
 namespace {
@@ -24,6 +26,7 @@ std::vector<Symbol> sorted_union(const std::vector<Symbol>& a,
 }  // namespace
 
 Dfa determinize(const Nfa& nfa, std::vector<Symbol> alphabet) {
+  support::trace::Span span("fsm.determinize");
   std::sort(alphabet.begin(), alphabet.end());
   alphabet.erase(std::unique(alphabet.begin(), alphabet.end()),
                  alphabet.end());
@@ -92,6 +95,9 @@ Dfa determinize(const Nfa& nfa, std::vector<Symbol> alphabet) {
     }
     if (nfa.any_accepting(*sets[state])) dfa.set_accepting(state, true);
   }
+  support::metrics::record_determinize(n, dfa.state_count());
+  span.arg("nfa_states", static_cast<std::uint64_t>(n));
+  span.arg("dfa_states", static_cast<std::uint64_t>(dfa.state_count()));
   return dfa;
 }
 
@@ -171,6 +177,7 @@ Dfa minimize_moore(const Dfa& dfa) {
 }
 
 Dfa minimize_hopcroft(const Dfa& dfa) {
+  support::trace::Span span("fsm.minimize");
   const std::size_t k = dfa.alphabet().size();
   const StateId* raw = dfa.transition_table().data();
 
@@ -430,6 +437,9 @@ Dfa minimize_hopcroft(const Dfa& dfa) {
       out_table[b * k + letter] = new_id[row[letter]];
     }
   }
+  support::metrics::record_minimize(dfa.state_count(), block_count);
+  span.arg("states_in", static_cast<std::uint64_t>(dfa.state_count()));
+  span.arg("states_out", static_cast<std::uint64_t>(block_count));
   return Dfa::from_table(dfa.alphabet(), std::move(out_table),
                          std::move(out_acc), new_id[0]);
 }
@@ -651,6 +661,7 @@ std::optional<Word> lazy_difference_witness(const Dfa& a, const Dfa& b) {
       work.emplace_back(tx, ty);
     }
   }
+  support::metrics::record_product_pairs(parents.size());
   if (!goal) return std::nullopt;
 
   Word word;
@@ -660,16 +671,24 @@ std::optional<Word> lazy_difference_witness(const Dfa& a, const Dfa& b) {
     word.push_back(a.alphabet()[prev.letter]);
   }
   std::reverse(word.begin(), word.end());
+  support::metrics::record_counterexample(word.size());
   return word;
 }
 
 }  // namespace
 
 std::optional<Word> inclusion_witness(const Dfa& a, const Dfa& b) {
+  support::trace::Span span("fsm.inclusion");
   const std::vector<Symbol> joined = sorted_union(a.alphabet(), b.alphabet());
   const Dfa ax = extend_alphabet(a, joined);
   const Dfa bx = extend_alphabet(b, joined);
-  return lazy_difference_witness(ax, bx);
+  std::optional<Word> witness = lazy_difference_witness(ax, bx);
+  span.arg("included", witness ? std::string_view("false")
+                               : std::string_view("true"));
+  if (witness) {
+    span.arg("witness_len", static_cast<std::uint64_t>(witness->size()));
+  }
+  return witness;
 }
 
 bool included(const Dfa& a, const Dfa& b) {
@@ -677,6 +696,7 @@ bool included(const Dfa& a, const Dfa& b) {
 }
 
 bool equivalent(const Dfa& a, const Dfa& b) {
+  support::trace::Span span("fsm.equivalence");
   const std::vector<Symbol> joined = sorted_union(a.alphabet(), b.alphabet());
   const Dfa ax = extend_alphabet(a, joined);
   const Dfa bx = extend_alphabet(b, joined);
@@ -703,20 +723,28 @@ bool equivalent(const Dfa& a, const Dfa& b) {
   };
 
   std::vector<std::pair<StateId, StateId>> stack;
+  std::uint64_t pairs = 1;
   unite(ax.initial(), static_cast<std::uint32_t>(offset) + bx.initial());
   stack.emplace_back(ax.initial(), bx.initial());
   while (!stack.empty()) {
     const auto [x, y] = stack.back();
     stack.pop_back();
-    if (ax.is_accepting(x) != bx.is_accepting(y)) return false;
+    if (ax.is_accepting(x) != bx.is_accepting(y)) {
+      support::metrics::record_product_pairs(pairs);
+      span.arg("pairs", pairs);
+      return false;
+    }
     for (std::size_t letter = 0; letter < k; ++letter) {
       const StateId tx = ax.transition(x, letter);
       const StateId ty = bx.transition(y, letter);
       if (unite(tx, static_cast<std::uint32_t>(offset) + ty)) {
+        ++pairs;
         stack.emplace_back(tx, ty);
       }
     }
   }
+  support::metrics::record_product_pairs(pairs);
+  span.arg("pairs", pairs);
   return true;
 }
 

@@ -1,5 +1,8 @@
 #include "fsm/thompson.hpp"
 
+#include "support/metrics.hpp"
+#include "support/trace.hpp"
+
 namespace shelley::fsm {
 
 std::pair<StateId, StateId> add_fragment(Nfa& nfa, const rex::Regex& r) {
@@ -57,10 +60,14 @@ std::pair<StateId, StateId> add_fragment(Nfa& nfa, const rex::Regex& r) {
 }
 
 Nfa from_regex(const rex::Regex& r) {
+  support::trace::Span span("fsm.thompson");
   Nfa nfa;
   const auto [entry, exit] = add_fragment(nfa, r);
   nfa.mark_initial(entry);
   nfa.mark_accepting(exit);
+  support::metrics::record_nfa_states(nfa.state_count());
+  span.arg("regex_nodes", static_cast<std::uint64_t>(r->size()));
+  span.arg("nfa_states", static_cast<std::uint64_t>(nfa.state_count()));
   return nfa;
 }
 

@@ -1,6 +1,7 @@
 #include "ir/inference.hpp"
 
 #include "rex/derivative.hpp"
+#include "support/trace.hpp"
 
 namespace shelley::ir {
 namespace {
@@ -78,7 +79,10 @@ rex::Regex infer(const Program& p) {
 }
 
 rex::Regex infer_simplified(const Program& p) {
-  return rex::simplify(infer(p));
+  support::trace::Span span("ir.infer");
+  rex::Regex out = rex::simplify(infer(p));
+  span.arg("regex_nodes", static_cast<std::uint64_t>(out->size()));
+  return out;
 }
 
 }  // namespace shelley::ir

@@ -6,11 +6,14 @@
 
 #include "fsm/ops.hpp"
 #include "ltlf/eval.hpp"
+#include "support/metrics.hpp"
+#include "support/trace.hpp"
 
 namespace shelley::ltlf {
 
 fsm::Dfa to_dfa(const Formula& formula, std::vector<Symbol> alphabet,
                 std::size_t max_states) {
+  support::trace::Span span("ltlf.to_dfa");
   // Global rewrites (F F φ = F φ, ...) shrink the progression state space;
   // language preservation is covered by the simplify tests.
   const Formula rewritten = simplify(formula);
@@ -61,14 +64,22 @@ fsm::Dfa to_dfa(const Formula& formula, std::vector<Symbol> alphabet,
       dfa.set_transition(state, letter, rows[state][letter]);
     }
   }
+  support::metrics::record_ltlf_states(states.size());
+  span.arg("states", static_cast<std::uint64_t>(states.size()));
+  span.arg("alphabet", static_cast<std::uint64_t>(alphabet.size()));
   return dfa;
 }
 
 std::optional<Word> counterexample(const fsm::Dfa& system,
                                    const Formula& formula) {
+  support::trace::Span span("ltlf.check");
   // A violation is a word of the system language satisfying ¬φ.
   const fsm::Dfa violations = to_dfa(make_not(formula), system.alphabet());
-  return fsm::inclusion_witness(system, fsm::complement(violations));
+  std::optional<Word> witness =
+      fsm::inclusion_witness(system, fsm::complement(violations));
+  span.arg("violated", witness ? std::string_view("true")
+                               : std::string_view("false"));
+  return witness;
 }
 
 }  // namespace shelley::ltlf

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <set>
 
+#include "support/metrics.hpp"
+
 namespace shelley::rex {
 
 bool nullable(const Regex& r) {
@@ -89,20 +91,31 @@ Regex smart_star(Regex a) {
   return star(std::move(a));
 }
 
-Regex simplify(const Regex& r) {
+namespace {
+
+Regex simplify_impl(const Regex& r) {
   switch (r->kind()) {
     case Kind::kEmpty:
     case Kind::kEpsilon:
     case Kind::kSymbol:
       return r;
     case Kind::kConcat:
-      return smart_concat(simplify(r->left()), simplify(r->right()));
+      return smart_concat(simplify_impl(r->left()),
+                          simplify_impl(r->right()));
     case Kind::kUnion:
-      return smart_alt(simplify(r->left()), simplify(r->right()));
+      return smart_alt(simplify_impl(r->left()), simplify_impl(r->right()));
     case Kind::kStar:
-      return smart_star(simplify(r->left()));
+      return smart_star(simplify_impl(r->left()));
   }
   return r;
+}
+
+}  // namespace
+
+Regex simplify(const Regex& r) {
+  Regex out = simplify_impl(r);
+  support::metrics::record_regex_simplify(r->size(), out->size());
+  return out;
 }
 
 Regex derivative(const Regex& r, Symbol a) {

@@ -5,11 +5,14 @@
 #include "fsm/thompson.hpp"
 #include "ir/lowering.hpp"
 #include "rex/derivative.hpp"
+#include "support/trace.hpp"
 
 namespace shelley::core {
 
 fsm::Nfa usage_nfa(const ClassSpec& spec, SymbolTable& table,
                    std::string_view prefix) {
+  support::trace::Span span("shelley.usage_nfa");
+  span.arg("class", spec.name);
   fsm::Nfa nfa;
   const fsm::StateId fresh = nfa.add_state();
   nfa.mark_initial(fresh);
@@ -54,6 +57,8 @@ fsm::Nfa usage_nfa(const ClassSpec& spec, SymbolTable& table,
 std::map<std::string, OperationBehavior> extract_behaviors(
     const ClassSpec& spec, SymbolTable& table,
     DiagnosticEngine& diagnostics) {
+  support::trace::Span span("shelley.extract_behaviors");
+  span.arg("class", spec.name);
   ir::LoweringContext context;
   for (const SubsystemDecl& subsystem : spec.subsystems) {
     context.tracked_fields.insert(subsystem.field);
@@ -63,10 +68,15 @@ std::map<std::string, OperationBehavior> extract_behaviors(
 
   std::map<std::string, OperationBehavior> out;
   for (const Operation& op : spec.operations) {
+    support::trace::Span op_span("shelley.operation");
+    op_span.arg("op", op.name);
     std::uint32_t next_return_id = 0;
     context.next_return_id = &next_return_id;
     OperationBehavior entry;
-    entry.program = ir::lower_block(op.body, context);
+    {
+      support::trace::Span lower_span("ir.lower");
+      entry.program = ir::lower_block(op.body, context);
+    }
     entry.behavior = ir::analyze(entry.program);
     entry.inferred = ir::infer_simplified(entry.program);
     entry.falls_off_end =
@@ -88,6 +98,8 @@ SystemModel build_system_model(
     const ClassSpec& spec,
     const std::map<std::string, OperationBehavior>& behaviors,
     SymbolTable& table, DiagnosticEngine& diagnostics) {
+  support::trace::Span span("shelley.build_system_model");
+  span.arg("class", spec.name);
   SystemModel model;
   fsm::Nfa& nfa = model.nfa;
 
@@ -181,6 +193,8 @@ SystemModel build_system_model(
   }
 
   model.event_symbols.assign(events.begin(), events.end());
+  span.arg("nfa_states", static_cast<std::uint64_t>(nfa.state_count()));
+  span.arg("events", static_cast<std::uint64_t>(model.event_symbols.size()));
   return model;
 }
 

@@ -6,6 +6,7 @@
 #include "ltlf/automaton.hpp"
 #include "ltlf/parser.hpp"
 #include "support/strings.hpp"
+#include "support/trace.hpp"
 
 namespace shelley::core {
 
@@ -106,9 +107,14 @@ CheckResult check_base_claims(const ClassSpec& spec, SymbolTable& table,
                               DiagnosticEngine& diagnostics) {
   CheckResult result;
   if (spec.claims.empty()) return result;
+  support::trace::Span span("shelley.check_base_claims");
+  span.arg("class", spec.name);
+  span.arg("claims", static_cast<std::uint64_t>(spec.claims.size()));
   const fsm::Dfa usage =
       fsm::minimize(fsm::determinize(usage_nfa(spec, table)));
   for (const Claim& claim : spec.claims) {
+    support::trace::Span claim_span("shelley.claim");
+    claim_span.arg("formula", claim.text);
     ltlf::Formula formula;
     try {
       formula = ltlf::parse(claim.text, table);
@@ -129,6 +135,8 @@ CheckResult check_composite(const ClassSpec& composite,
                             const ClassLookup& lookup, SymbolTable& table,
                             DiagnosticEngine& diagnostics) {
   CheckResult result;
+  support::trace::Span span("shelley.check_composite");
+  span.arg("class", composite.name);
 
   const auto behaviors = extract_behaviors(composite, table, diagnostics);
   const SystemModel model =
@@ -148,6 +156,9 @@ CheckResult check_composite(const ClassSpec& composite,
 
   // -- Subsystem usage ---------------------------------------------------
   for (const SubsystemDecl& subsystem : composite.subsystems) {
+    support::trace::Span sub_span("shelley.subsystem");
+    sub_span.arg("field", subsystem.field);
+    sub_span.arg("class", subsystem.class_name);
     const ClassSpec* sub_spec = lookup(subsystem.class_name);
     if (sub_spec == nullptr) {
       diagnostics.error(subsystem.loc,
@@ -190,6 +201,8 @@ CheckResult check_composite(const ClassSpec& composite,
     std::optional<fsm::Dfa> full_dfa;  // built lazily
 
     for (const Claim& claim : composite.claims) {
+      support::trace::Span claim_span("shelley.claim");
+      claim_span.arg("formula", claim.text);
       ltlf::Formula formula;
       try {
         formula = ltlf::parse(claim.text, table);

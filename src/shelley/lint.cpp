@@ -148,4 +148,25 @@ std::size_t lint_class(const ClassSpec& spec, SymbolTable& table,
   return findings;
 }
 
+std::size_t lint_state_budget(const ClassSpec& spec,
+                              const support::metrics::AutomataStats& stats,
+                              const LintOptions& options,
+                              DiagnosticEngine& diagnostics) {
+  if (options.dfa_state_budget == 0 || !stats.collected) return 0;
+  // dfa_states_after is the largest minimized DFA seen while verifying the
+  // class; fall back to the raw subset-construction size when no minimizer
+  // ran (base classes without claims never minimize).
+  const std::uint64_t states = stats.dfa_states_after != 0
+                                   ? stats.dfa_states_after
+                                   : stats.dfa_states_before;
+  if (states <= options.dfa_state_budget) return 0;
+  diagnostics.warning(
+      spec.loc, "class '" + spec.name + "': inferred automaton has " +
+                    std::to_string(states) +
+                    " states, exceeding the configured budget of " +
+                    std::to_string(options.dfa_state_budget) +
+                    " (consider splitting the specification)");
+  return 1;
+}
+
 }  // namespace shelley::core

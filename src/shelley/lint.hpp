@@ -14,13 +14,31 @@
 #pragma once
 
 #include "shelley/spec.hpp"
+#include "support/metrics.hpp"
 #include "support/symbol.hpp"
 
 namespace shelley::core {
+
+/// Tunable lint thresholds.  Everything defaults to "off"/permissive so a
+/// default-constructed value reproduces the historical behavior exactly.
+struct LintOptions {
+  /// Warn when a class's minimized DFA exceeds this many states; 0 disables
+  /// the budget lint.
+  std::size_t dfa_state_budget = 0;
+};
 
 /// Runs every lint on `spec`; findings are reported as warnings.  Returns
 /// the number of findings.
 std::size_t lint_class(const ClassSpec& spec, SymbolTable& table,
                        DiagnosticEngine& diagnostics);
+
+/// Budget lint: fires when the largest minimized DFA built while verifying
+/// `spec` (as observed by the metrics sink) exceeds the configured budget.
+/// Runs after the checks, because that is when the statistics exist.
+/// Returns the number of findings (0 or 1).
+std::size_t lint_state_budget(const ClassSpec& spec,
+                              const support::metrics::AutomataStats& stats,
+                              const LintOptions& options,
+                              DiagnosticEngine& diagnostics);
 
 }  // namespace shelley::core

@@ -1,6 +1,7 @@
 #include "shelley/report_json.hpp"
 
 #include "support/json.hpp"
+#include "support/metrics.hpp"
 
 namespace shelley::core {
 namespace {
@@ -10,6 +11,42 @@ void write_word(JsonWriter& json, const Word& word,
   json.begin_array();
   for (Symbol s : word) json.value(table.name(s));
   json.end_array();
+}
+
+void write_class_stats(JsonWriter& json,
+                       const support::metrics::AutomataStats& stats) {
+  json.key("stats").begin_object();
+  json.key("nfa_states").value(stats.nfa_states);
+  json.key("dfa_states_before").value(stats.dfa_states_before);
+  json.key("dfa_states_after").value(stats.dfa_states_after);
+  json.key("determinize_calls").value(stats.determinize_calls);
+  json.key("minimize_calls").value(stats.minimize_calls);
+  json.key("product_pairs").value(stats.product_pairs);
+  json.key("ltlf_states").value(stats.ltlf_states);
+  json.key("counterexample_len").value(stats.counterexample_len);
+  json.key("elapsed_ms").value(stats.elapsed_ms);
+  json.end_object();
+}
+
+void write_global_stats(JsonWriter& json) {
+  json.key("stats").begin_object();
+  json.key("counters").begin_object();
+  for (const auto& [name, value] : support::metrics::counter_snapshot()) {
+    json.key(name).value(value);
+  }
+  json.end_object();
+  json.key("distributions").begin_object();
+  for (const auto& [name, snap] :
+       support::metrics::distribution_snapshot()) {
+    json.key(name).begin_object();
+    json.key("count").value(snap.count);
+    json.key("sum").value(snap.sum);
+    json.key("min").value(snap.min);
+    json.key("max").value(snap.max);
+    json.end_object();
+  }
+  json.end_object();
+  json.end_object();
 }
 
 void write_spec(JsonWriter& json, const ClassSpec& spec) {
@@ -60,7 +97,8 @@ std::string spec_to_json(const ClassSpec& spec) {
   return json.str();
 }
 
-std::string report_to_json(const Report& report, const Verifier& verifier) {
+std::string report_to_json(const Report& report, const Verifier& verifier,
+                           bool include_stats) {
   const SymbolTable& table = verifier.symbols();
   JsonWriter json;
   json.begin_object();
@@ -93,6 +131,9 @@ std::string report_to_json(const Report& report, const Verifier& verifier) {
       json.end_object();
     }
     json.end_array();
+    if (include_stats && cls.stats.collected) {
+      write_class_stats(json, cls.stats);
+    }
     json.end_object();
   }
   json.end_array();
@@ -106,6 +147,7 @@ std::string report_to_json(const Report& report, const Verifier& verifier) {
     json.end_object();
   }
   json.end_array();
+  if (include_stats) write_global_stats(json);
   json.end_object();
   return json.str();
 }

@@ -9,9 +9,14 @@
 namespace shelley::core {
 
 /// Serializes a full report: per-class verdicts, subsystem errors with
-/// counterexamples, claim errors, and all diagnostics.
+/// counterexamples, claim errors, and all diagnostics.  With
+/// `include_stats`, each class additionally carries a "stats" object of
+/// automata sizes and a top-level "stats" object holds the global metric
+/// counters/distributions; without it the output is byte-identical to the
+/// historical format.
 [[nodiscard]] std::string report_to_json(const Report& report,
-                                         const Verifier& verifier);
+                                         const Verifier& verifier,
+                                         bool include_stats = false);
 
 /// Serializes one class specification (operations, exits, subsystems,
 /// claims).

@@ -1,6 +1,8 @@
 #include "shelley/verifier.hpp"
 
+#include <chrono>
 #include <exception>
+#include <optional>
 #include <vector>
 
 #include "ir/lowering.hpp"
@@ -9,6 +11,7 @@
 #include "shelley/invocation.hpp"
 #include "shelley/lint.hpp"
 #include "support/thread_pool.hpp"
+#include "support/trace.hpp"
 #include "upy/parser.hpp"
 
 namespace shelley::core {
@@ -68,6 +71,20 @@ ClassReport Verifier::verify_spec(const ClassSpec& spec,
   report.class_name = spec.name;
   report.is_composite = spec.is_composite;
 
+  support::trace::Span span("shelley.verify");
+  span.arg("class", spec.name);
+  const std::size_t diags_before = sink.diagnostics().size();
+
+  // Collect per-class automata statistics when anyone will consume them:
+  // the metrics registry (--stats / --trace-out / SHELLEY_TRACE=1) or the
+  // DFA state-budget lint.  Otherwise the sink stays unset and every
+  // record_* call in the pipeline below stays on its two-load fast path.
+  std::optional<support::metrics::ScopedSink> stats_guard;
+  const bool want_stats = support::metrics::enabled() ||
+                          lint_options_.dfa_state_budget > 0;
+  if (want_stats) stats_guard.emplace(&report.stats);
+  const auto started = std::chrono::steady_clock::now();
+
   // Step 1 -- method dependency extraction validates successor references.
   (void)DependencyGraph::build(spec, sink);
 
@@ -84,6 +101,44 @@ ClassReport Verifier::verify_spec(const ClassSpec& spec,
     report.check = check_composite(spec, lookup(), table_, sink);
   } else {
     report.check = check_base_claims(spec, table_, sink);
+  }
+
+  if (want_stats) {
+    report.stats.elapsed_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - started)
+            .count();
+    stats_guard.reset();  // stop attributing before the lint reads stats
+    report.lint_findings +=
+        lint_state_budget(spec, report.stats, lint_options_, sink);
+  }
+
+  span.arg("ok", report.ok() ? std::string_view("true")
+                             : std::string_view("false"));
+  if (support::trace::enabled()) {
+    // Surface the first diagnostic this class produced as span metadata, so
+    // a red span in the trace viewer explains itself.
+    const auto& diags = sink.diagnostics();
+    if (diags.size() > diags_before) {
+      const Diagnostic& first = diags[diags_before];
+      span.arg("first_diagnostic", first.message);
+      span.arg("first_diagnostic_loc", to_string(first.loc));
+    }
+    if (report.stats.collected) {
+      span.arg("dfa_states", report.stats.dfa_states_after);
+      support::trace::counter(
+          "automata/" + spec.name,
+          {support::trace::Arg("nfa_states", report.stats.nfa_states),
+           support::trace::Arg("dfa_states_before",
+                               report.stats.dfa_states_before),
+           support::trace::Arg("dfa_states_after",
+                               report.stats.dfa_states_after),
+           support::trace::Arg("product_pairs",
+                               report.stats.product_pairs),
+           support::trace::Arg("ltlf_states", report.stats.ltlf_states),
+           support::trace::Arg("counterexample_len",
+                               report.stats.counterexample_len)});
+    }
   }
   return report;
 }

@@ -11,8 +11,10 @@
 #include <vector>
 
 #include "shelley/checker.hpp"
+#include "shelley/lint.hpp"
 #include "shelley/spec.hpp"
 #include "support/diagnostics.hpp"
+#include "support/metrics.hpp"
 #include "support/symbol.hpp"
 
 namespace shelley::core {
@@ -24,6 +26,10 @@ struct ClassReport {
   std::size_t invocation_errors = 0;
   std::size_t lint_findings = 0;  // warnings; do not affect ok()
   CheckResult check;  // subsystem + claim results (composites only)
+  /// Automata statistics collected while verifying this class.  Only
+  /// populated (`stats.collected == true`) when metrics are enabled or a
+  /// stats-consuming lint is configured; never affects ok() or render().
+  support::metrics::AutomataStats stats;
 
   [[nodiscard]] bool ok() const {
     return invocation_errors == 0 && check.ok();
@@ -69,6 +75,14 @@ class Verifier {
   /// is deterministic (and byte-identical to the serial path).
   [[nodiscard]] Report verify_all(std::size_t jobs);
 
+  /// Lint thresholds applied to every subsequently verified class.
+  void set_lint_options(const LintOptions& options) {
+    lint_options_ = options;
+  }
+  [[nodiscard]] const LintOptions& lint_options() const {
+    return lint_options_;
+  }
+
   [[nodiscard]] SymbolTable& symbols() { return table_; }
   [[nodiscard]] const SymbolTable& symbols() const { return table_; }
   [[nodiscard]] DiagnosticEngine& diagnostics() { return diagnostics_; }
@@ -87,6 +101,7 @@ class Verifier {
 
   SymbolTable table_;
   DiagnosticEngine diagnostics_;
+  LintOptions lint_options_;
   std::deque<ClassSpec> specs_;  // deque: stable addresses for ClassLookup
   // Name -> index into specs_; keeps find_class O(1) (it is called once per
   // analyzed invocation).

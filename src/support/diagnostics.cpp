@@ -1,5 +1,7 @@
 #include "support/diagnostics.hpp"
 
+#include "support/trace.hpp"
+
 namespace shelley {
 
 std::string_view to_string(Severity severity) {
@@ -17,6 +19,14 @@ std::string_view to_string(Severity severity) {
 void DiagnosticEngine::report(Severity severity, SourceLoc loc,
                               std::string message) {
   if (severity == Severity::kError) ++error_count_;
+  if (support::trace::enabled()) {
+    // Each diagnostic becomes a timestamped instant event, so its source
+    // location lines up with the pipeline span that produced it.
+    support::trace::instant(
+        "diagnostic", {support::trace::Arg("severity", to_string(severity)),
+                       support::trace::Arg("loc", to_string(loc)),
+                       support::trace::Arg("message", message)});
+  }
   diagnostics_.push_back(Diagnostic{severity, loc, std::move(message)});
 }
 

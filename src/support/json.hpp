@@ -1,11 +1,14 @@
 // A minimal streaming JSON writer (objects, arrays, strings, numbers,
-// booleans, null) with correct string escaping.  Used by the report
-// exporter and the CLI's --json mode; deliberately tiny -- no parsing.
+// booleans, null) with correct string escaping, plus a small recursive-
+// descent parser (JsonValue / parse_json).  Used by the report exporter,
+// the CLI's --json mode, and the trace exporter's round-trip tests.
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace shelley {
@@ -40,5 +43,61 @@ class JsonWriter {
   std::vector<bool> has_elements_;
   bool pending_key_ = false;
 };
+
+/// Thrown by parse_json on malformed input.
+class JsonParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A parsed JSON document.  Objects preserve key order (they are small in
+/// every document this project produces; lookup is a linear scan).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  using Array = std::vector<JsonValue>;
+  using Object = std::vector<std::pair<std::string, JsonValue>>;
+
+  JsonValue() = default;
+  static JsonValue make_bool(bool b);
+  static JsonValue make_number(double n);
+  static JsonValue make_string(std::string s);
+  static JsonValue make_array(Array a);
+  static JsonValue make_object(Object o);
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const { return kind_ == Kind::kBool; }
+  [[nodiscard]] bool is_number() const { return kind_ == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::kString; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
+
+  // Typed accessors; each throws JsonParseError on a kind mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+
+  /// First value stored under `key`, or nullptr (objects only; returns
+  /// nullptr for non-objects as well, so lookups chain safely).
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+
+  /// find(), but throws JsonParseError when the key is absent.
+  [[nodiscard]] const JsonValue& at(std::string_view key) const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+/// Parses one JSON document (any value type at the root).  Throws
+/// JsonParseError on malformed input or trailing non-whitespace.
+[[nodiscard]] JsonValue parse_json(std::string_view text);
 
 }  // namespace shelley

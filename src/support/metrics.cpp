@@ -1,0 +1,247 @@
+#include "support/metrics.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace shelley::support::metrics {
+namespace {
+
+bool env_enabled() {
+  const char* value = std::getenv("SHELLEY_TRACE");
+  return value != nullptr && *value != '\0' &&
+         std::string_view(value) != "0";
+}
+
+std::atomic<bool> g_enabled{env_enabled()};
+
+// Heterogeneous-lookup map: counter()/distribution() take string_views and
+// only allocate a key on first registration.
+template <typename T>
+struct SeriesRegistry {
+  std::mutex mutex;
+  std::map<std::string, std::unique_ptr<T>, std::less<>> series;
+
+  T& get(std::string_view name) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    const auto it = series.find(name);
+    if (it != series.end()) return *it->second;
+    return *series.emplace(std::string(name), std::make_unique<T>())
+                .first->second;
+  }
+};
+
+SeriesRegistry<Counter>& counters() {
+  static SeriesRegistry<Counter> instance;
+  return instance;
+}
+
+SeriesRegistry<Distribution>& distributions() {
+  static SeriesRegistry<Distribution> instance;
+  return instance;
+}
+
+thread_local AutomataStats* t_sink = nullptr;
+
+void fetch_max(std::atomic<std::uint64_t>& slot, std::uint64_t value) {
+  std::uint64_t current = slot.load(std::memory_order_relaxed);
+  while (current < value &&
+         !slot.compare_exchange_weak(current, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+void fetch_min(std::atomic<std::uint64_t>& slot, std::uint64_t value) {
+  std::uint64_t current = slot.load(std::memory_order_relaxed);
+  while (current > value &&
+         !slot.compare_exchange_weak(current, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+// The common fast path of every record_* helper: attribution off and
+// registry off means return after two loads and a branch.
+bool idle() { return t_sink == nullptr && !enabled(); }
+
+}  // namespace
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void Distribution::record(std::uint64_t value) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  fetch_min(min_, value);
+  fetch_max(max_, value);
+}
+
+void Distribution::reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(~std::uint64_t{0}, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+Distribution::Snapshot Distribution::snapshot() const {
+  Snapshot out;
+  out.count = count_.load(std::memory_order_relaxed);
+  out.sum = sum_.load(std::memory_order_relaxed);
+  out.max = max_.load(std::memory_order_relaxed);
+  const std::uint64_t min = min_.load(std::memory_order_relaxed);
+  out.min = out.count == 0 ? 0 : min;
+  return out;
+}
+
+Counter& counter(std::string_view name) { return counters().get(name); }
+
+Distribution& distribution(std::string_view name) {
+  return distributions().get(name);
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> counter_snapshot() {
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  SeriesRegistry<Counter>& reg = counters();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  out.reserve(reg.series.size());
+  for (const auto& [name, series] : reg.series) {
+    out.emplace_back(name, series->value());
+  }
+  return out;  // std::map iteration is already name-sorted
+}
+
+std::vector<std::pair<std::string, Distribution::Snapshot>>
+distribution_snapshot() {
+  std::vector<std::pair<std::string, Distribution::Snapshot>> out;
+  SeriesRegistry<Distribution>& reg = distributions();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  out.reserve(reg.series.size());
+  for (const auto& [name, series] : reg.series) {
+    out.emplace_back(name, series->snapshot());
+  }
+  return out;
+}
+
+void reset() {
+  {
+    SeriesRegistry<Counter>& reg = counters();
+    const std::lock_guard<std::mutex> lock(reg.mutex);
+    for (auto& [name, series] : reg.series) series->reset();
+  }
+  {
+    SeriesRegistry<Distribution>& reg = distributions();
+    const std::lock_guard<std::mutex> lock(reg.mutex);
+    for (auto& [name, series] : reg.series) series->reset();
+  }
+}
+
+void AutomataStats::merge(const AutomataStats& other) {
+  nfa_states = std::max(nfa_states, other.nfa_states);
+  dfa_states_before = std::max(dfa_states_before, other.dfa_states_before);
+  dfa_states_after = std::max(dfa_states_after, other.dfa_states_after);
+  determinize_calls += other.determinize_calls;
+  minimize_calls += other.minimize_calls;
+  product_pairs += other.product_pairs;
+  ltlf_states = std::max(ltlf_states, other.ltlf_states);
+  counterexample_len = std::max(counterexample_len, other.counterexample_len);
+  regex_nodes = std::max(regex_nodes, other.regex_nodes);
+  elapsed_ms += other.elapsed_ms;
+  collected = collected || other.collected;
+}
+
+AutomataStats* sink() { return t_sink; }
+
+ScopedSink::ScopedSink(AutomataStats* stats) : previous_(t_sink) {
+  t_sink = stats;
+  if (stats != nullptr) stats->collected = true;
+}
+
+ScopedSink::~ScopedSink() { t_sink = previous_; }
+
+void record_nfa_states(std::uint64_t states) {
+  if (idle()) return;
+  if (t_sink != nullptr) {
+    t_sink->nfa_states = std::max(t_sink->nfa_states, states);
+  }
+  if (enabled()) distribution("fsm.nfa.states").record(states);
+}
+
+void record_determinize(std::uint64_t nfa_states,
+                        std::uint64_t dfa_states) {
+  if (idle()) return;
+  if (t_sink != nullptr) {
+    t_sink->nfa_states = std::max(t_sink->nfa_states, nfa_states);
+    t_sink->dfa_states_before =
+        std::max(t_sink->dfa_states_before, dfa_states);
+    ++t_sink->determinize_calls;
+  }
+  if (enabled()) {
+    counter("fsm.determinize.calls").add();
+    distribution("fsm.dfa.states").record(dfa_states);
+  }
+}
+
+void record_minimize(std::uint64_t before, std::uint64_t after) {
+  if (idle()) return;
+  if (t_sink != nullptr) {
+    t_sink->dfa_states_before = std::max(t_sink->dfa_states_before, before);
+    t_sink->dfa_states_after = std::max(t_sink->dfa_states_after, after);
+    ++t_sink->minimize_calls;
+  }
+  if (enabled()) {
+    counter("fsm.minimize.calls").add();
+    distribution("fsm.minimize.states").record(after);
+  }
+}
+
+void record_product_pairs(std::uint64_t pairs) {
+  if (idle()) return;
+  if (t_sink != nullptr) t_sink->product_pairs += pairs;
+  if (enabled()) {
+    counter("fsm.product.pairs").add(pairs);
+    distribution("fsm.product.pairs").record(pairs);
+  }
+}
+
+void record_ltlf_states(std::uint64_t states) {
+  if (idle()) return;
+  if (t_sink != nullptr) {
+    t_sink->ltlf_states = std::max(t_sink->ltlf_states, states);
+  }
+  if (enabled()) {
+    counter("ltlf.to_dfa.calls").add();
+    distribution("ltlf.states").record(states);
+  }
+}
+
+void record_counterexample(std::uint64_t length) {
+  if (idle()) return;
+  if (t_sink != nullptr) {
+    t_sink->counterexample_len =
+        std::max(t_sink->counterexample_len, length);
+  }
+  if (enabled()) distribution("fsm.counterexample.len").record(length);
+}
+
+void record_regex_simplify(std::uint64_t before, std::uint64_t after) {
+  if (idle()) return;
+  if (t_sink != nullptr) {
+    t_sink->regex_nodes = std::max(t_sink->regex_nodes, after);
+  }
+  if (enabled()) {
+    counter("rex.simplify.calls").add();
+    distribution("rex.simplify.nodes.in").record(before);
+    distribution("rex.simplify.nodes.out").record(after);
+  }
+}
+
+void record_tokens(std::uint64_t count) {
+  if (idle()) return;
+  if (enabled()) distribution("upy.tokens").record(count);
+}
+
+}  // namespace shelley::support::metrics

@@ -1,0 +1,130 @@
+// Named monotonic counters, value distributions, and per-class automata
+// statistics for the verification pipeline.
+//
+// Two collection surfaces:
+//
+//  * a process-wide registry of named Counters (atomic adds) and
+//    Distributions (count/sum/min/max, atomic CAS) -- race-free aggregation
+//    across Verifier worker threads, gated on one atomic enabled flag;
+//
+//  * a thread-local AutomataStats sink: the verifier installs one per class
+//    (each class's pipeline runs entirely on one worker thread), so the
+//    fsm/ltlf/rex layers can attribute sizes to the class being verified
+//    without threading a context object through every call.
+//
+// Cost model: when metrics are disabled and no sink is installed, every
+// record_* helper is one thread-local load plus one relaxed atomic load and
+// a branch.  SHELLEY_TRACE (any value but "0") force-enables collection at
+// startup, together with tracing.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace shelley::support::metrics {
+
+/// True while registry collection is on.  A single relaxed atomic load.
+[[nodiscard]] bool enabled();
+void set_enabled(bool on);
+
+/// A monotonic counter.  add() is wait-free.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// A value distribution: count, sum, min, max.  record() is lock-free.
+class Distribution {
+ public:
+  struct Snapshot {
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t min = 0;
+    std::uint64_t max = 0;
+  };
+
+  void record(std::uint64_t value);
+  [[nodiscard]] Snapshot snapshot() const;
+  void reset();
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{~std::uint64_t{0}};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+/// Returns the counter/distribution registered under `name`, creating it on
+/// first use.  References stay valid for the process lifetime.
+[[nodiscard]] Counter& counter(std::string_view name);
+[[nodiscard]] Distribution& distribution(std::string_view name);
+
+/// Name-sorted snapshots of every registered series.
+[[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>>
+counter_snapshot();
+[[nodiscard]] std::vector<std::pair<std::string, Distribution::Snapshot>>
+distribution_snapshot();
+
+/// Zeroes every registered series (the series themselves stay registered).
+void reset();
+
+/// Automata statistics attributed to one pipeline run (one class).
+struct AutomataStats {
+  std::uint64_t nfa_states = 0;          // largest NFA built (max)
+  std::uint64_t dfa_states_before = 0;   // largest subset construction (max)
+  std::uint64_t dfa_states_after = 0;    // largest minimized DFA (max)
+  std::uint64_t determinize_calls = 0;   // (sum)
+  std::uint64_t minimize_calls = 0;      // (sum)
+  std::uint64_t product_pairs = 0;       // pair states explored (sum)
+  std::uint64_t ltlf_states = 0;         // largest LTLf progression DFA (max)
+  std::uint64_t counterexample_len = 0;  // longest witness found (max)
+  std::uint64_t regex_nodes = 0;         // largest simplified regex (max)
+  double elapsed_ms = 0;                 // filled by the verifier
+  bool collected = false;                // true once a sink was installed
+
+  void merge(const AutomataStats& other);
+};
+
+/// The calling thread's active stats sink, or nullptr.
+[[nodiscard]] AutomataStats* sink();
+
+/// Installs `stats` as the calling thread's sink for the current scope,
+/// restoring the previous sink on destruction.  Passing nullptr suspends
+/// attribution inside the scope.  Works independently of enabled().
+class ScopedSink {
+ public:
+  explicit ScopedSink(AutomataStats* stats);
+  ~ScopedSink();
+
+  ScopedSink(const ScopedSink&) = delete;
+  ScopedSink& operator=(const ScopedSink&) = delete;
+
+ private:
+  AutomataStats* previous_;
+};
+
+// Recording helpers called from the pipeline layers.  Each updates the
+// thread's sink (if any) and the global registry (if enabled).
+void record_nfa_states(std::uint64_t states);
+void record_determinize(std::uint64_t nfa_states, std::uint64_t dfa_states);
+void record_minimize(std::uint64_t before, std::uint64_t after);
+void record_product_pairs(std::uint64_t pairs);
+void record_ltlf_states(std::uint64_t states);
+void record_counterexample(std::uint64_t length);
+void record_regex_simplify(std::uint64_t before, std::uint64_t after);
+void record_tokens(std::uint64_t count);
+
+}  // namespace shelley::support::metrics

@@ -1,0 +1,247 @@
+#include "support/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <mutex>
+
+#include "support/json.hpp"
+
+namespace shelley::support::trace {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+bool env_enabled() {
+  const char* value = std::getenv("SHELLEY_TRACE");
+  return value != nullptr && *value != '\0' &&
+         std::string_view(value) != "0";
+}
+
+std::atomic<bool> g_enabled{env_enabled()};
+
+struct FullEvent {
+  std::string name;
+  char phase = 'X';
+  std::uint32_t tid = 0;
+  double ts_us = 0;
+  double dur_us = 0;
+  std::vector<Arg> args;
+};
+
+// Per-thread buffer.  The owner thread appends under the buffer's own mutex
+// (uncontended in steady state); the exporter takes the same mutex when
+// copying, so export during concurrent recording is safe.
+struct ThreadBuffer {
+  explicit ThreadBuffer(std::uint32_t id) : tid(id) {}
+  std::uint32_t tid;
+  std::mutex mutex;
+  std::vector<FullEvent> events;
+  std::uint64_t dropped = 0;
+};
+
+// More events than any realistic pipeline run produces; a backstop so a
+// force-enabled long test run cannot grow without bound.
+constexpr std::size_t kMaxEventsPerThread = 1u << 20;
+
+struct Registry {
+  std::mutex mutex;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers;
+  Clock::time_point epoch = Clock::now();
+};
+
+Registry& registry() {
+  static Registry instance;
+  return instance;
+}
+
+// reset() bumps the generation so cached thread-local buffer pointers from
+// the previous trace are re-acquired instead of dangling.
+std::atomic<std::uint64_t> g_generation{1};
+
+ThreadBuffer& local_buffer() {
+  thread_local ThreadBuffer* cached = nullptr;
+  thread_local std::uint64_t cached_generation = 0;
+  const std::uint64_t generation =
+      g_generation.load(std::memory_order_acquire);
+  if (cached == nullptr || cached_generation != generation) {
+    Registry& reg = registry();
+    const std::lock_guard<std::mutex> lock(reg.mutex);
+    reg.buffers.push_back(std::make_unique<ThreadBuffer>(
+        static_cast<std::uint32_t>(reg.buffers.size())));
+    cached = reg.buffers.back().get();
+    cached_generation = generation;
+  }
+  return *cached;
+}
+
+double now_us() {
+  Registry& reg = registry();
+  return std::chrono::duration<double, std::micro>(Clock::now() - reg.epoch)
+      .count();
+}
+
+void record(FullEvent event) {
+  ThreadBuffer& buffer = local_buffer();
+  event.tid = buffer.tid;
+  const std::lock_guard<std::mutex> lock(buffer.mutex);
+  if (buffer.events.size() >= kMaxEventsPerThread) {
+    ++buffer.dropped;
+    return;
+  }
+  buffer.events.push_back(std::move(event));
+}
+
+void write_args(JsonWriter& json, const std::vector<Arg>& args) {
+  json.key("args").begin_object();
+  for (const Arg& arg : args) {
+    json.key(arg.key);
+    if (arg.numeric) {
+      json.value(arg.num);
+    } else {
+      json.value(arg.text);
+    }
+  }
+  json.end_object();
+}
+
+}  // namespace
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void reset() {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  reg.buffers.clear();
+  reg.epoch = Clock::now();
+  g_generation.fetch_add(1, std::memory_order_acq_rel);
+}
+
+Span::Span(std::string_view name) {
+  if (!enabled()) return;
+  active_ = true;
+  name_ = name;
+  start_us_ = now_us();
+}
+
+Span::~Span() {
+  if (!active_) return;
+  FullEvent event;
+  event.name = std::move(name_);
+  event.phase = 'X';
+  event.ts_us = start_us_;
+  event.dur_us = now_us() - start_us_;
+  event.args = std::move(args_);
+  record(std::move(event));
+}
+
+void Span::arg(std::string_view key, std::string_view value) {
+  if (!active_) return;
+  args_.emplace_back(key, value);
+}
+
+void Span::arg(std::string_view key, std::uint64_t value) {
+  if (!active_) return;
+  args_.emplace_back(key, value);
+}
+
+void instant(std::string_view name, std::vector<Arg> args) {
+  if (!enabled()) return;
+  FullEvent event;
+  event.name = std::string(name);
+  event.phase = 'i';
+  event.ts_us = now_us();
+  event.args = std::move(args);
+  record(std::move(event));
+}
+
+void counter(std::string_view name, std::vector<Arg> args) {
+  if (!enabled()) return;
+  FullEvent event;
+  event.name = std::string(name);
+  event.phase = 'C';
+  event.ts_us = now_us();
+  event.args = std::move(args);
+  record(std::move(event));
+}
+
+std::size_t event_count() {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  std::size_t count = 0;
+  for (const auto& buffer : reg.buffers) {
+    const std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    count += buffer->events.size();
+  }
+  return count;
+}
+
+std::string to_chrome_json() {
+  // Snapshot under the locks, render outside them.
+  std::vector<FullEvent> events;
+  std::size_t thread_count = 0;
+  {
+    Registry& reg = registry();
+    const std::lock_guard<std::mutex> lock(reg.mutex);
+    thread_count = reg.buffers.size();
+    for (const auto& buffer : reg.buffers) {
+      const std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+      events.insert(events.end(), buffer->events.begin(),
+                    buffer->events.end());
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const FullEvent& a, const FullEvent& b) {
+                     if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+                     return a.tid < b.tid;
+                   });
+
+  JsonWriter json;
+  json.begin_object();
+  json.key("displayTimeUnit").value("ms");
+  json.key("traceEvents").begin_array();
+  for (std::size_t tid = 0; tid < thread_count; ++tid) {
+    json.begin_object();
+    json.key("name").value("thread_name");
+    json.key("ph").value("M");
+    json.key("pid").value(std::uint64_t{1});
+    json.key("tid").value(static_cast<std::uint64_t>(tid));
+    json.key("args").begin_object();
+    json.key("name").value("shelley-" + std::to_string(tid));
+    json.end_object();
+    json.end_object();
+  }
+  for (const FullEvent& event : events) {
+    json.begin_object();
+    json.key("name").value(event.name);
+    json.key("ph").value(std::string_view(&event.phase, 1));
+    json.key("pid").value(std::uint64_t{1});
+    json.key("tid").value(static_cast<std::uint64_t>(event.tid));
+    json.key("ts").value(event.ts_us);
+    if (event.phase == 'X') json.key("dur").value(event.dur_us);
+    if (event.phase == 'i') json.key("s").value("t");  // thread-scoped
+    if (!event.args.empty() || event.phase == 'C') {
+      write_args(json, event.args);
+    }
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  return json.str();
+}
+
+bool write_chrome_json(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << to_chrome_json() << "\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace shelley::support::trace

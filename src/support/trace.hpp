@@ -1,0 +1,88 @@
+// Zero-dependency hierarchical tracing for the verification pipeline.
+//
+// RAII spans record wall-clock intervals (steady clock) into per-thread
+// buffers; instant events mark points in time (diagnostics); counter events
+// sample numeric series.  Everything is thread-aware: events carry a stable
+// small thread id, buffers are appended without cross-thread contention, and
+// the exporter merges them into one Chrome trace-event JSON document that
+// loads in Perfetto / chrome://tracing.
+//
+// Cost model: when tracing is disabled (the default) constructing a Span is
+// a single relaxed atomic load and a branch -- no allocation, no clock read.
+// Set the SHELLEY_TRACE environment variable (any value but "0") to force
+// tracing on at startup, e.g. to run the test suite fully instrumented.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace shelley::support::trace {
+
+/// True while trace collection is on.  A single relaxed atomic load.
+[[nodiscard]] bool enabled();
+
+/// Turns collection on or off.  Spans already open keep recording.
+void set_enabled(bool on);
+
+/// Drops every buffered event and restarts the trace clock at zero.  Must
+/// not race with recording: call it only while no instrumented code runs on
+/// other threads (e.g. between pipeline runs, after worker pools joined).
+void reset();
+
+/// One key/value annotation on an event ("args" in the Chrome format).
+struct Arg {
+  std::string key;
+  std::string text;         // used when !numeric
+  std::uint64_t num = 0;    // used when numeric
+  bool numeric = false;
+
+  Arg(std::string_view k, std::string_view v)
+      : key(k), text(v) {}
+  Arg(std::string_view k, std::uint64_t v) : key(k), num(v), numeric(true) {}
+};
+
+/// A hierarchical timed span ("X" complete event).  Nesting is positional:
+/// spans opened while another span is live on the same thread render as its
+/// children.  Inactive spans (tracing disabled at construction) cost nothing
+/// and ignore arg().
+class Span {
+ public:
+  explicit Span(std::string_view name);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attaches metadata shown in the trace viewer's args pane.
+  void arg(std::string_view key, std::string_view value);
+  void arg(std::string_view key, std::uint64_t value);
+
+  [[nodiscard]] bool active() const { return active_; }
+
+ private:
+  bool active_ = false;
+  double start_us_ = 0;
+  std::string name_;
+  std::vector<Arg> args_;
+};
+
+/// A point-in-time event ("i" instant event).  No-op while disabled.
+void instant(std::string_view name, std::vector<Arg> args = {});
+
+/// A counter sample ("C" event): every numeric arg becomes one series of the
+/// counter track `name`.  No-op while disabled.
+void counter(std::string_view name, std::vector<Arg> args);
+
+/// Number of buffered events (all threads).
+[[nodiscard]] std::size_t event_count();
+
+/// Renders every buffered event as a Chrome trace-event JSON document
+/// ({"traceEvents": [...]}), including thread-name metadata.
+[[nodiscard]] std::string to_chrome_json();
+
+/// Writes to_chrome_json() to `path`.  Returns false on I/O failure.
+bool write_chrome_json(const std::string& path);
+
+}  // namespace shelley::support::trace

@@ -3,6 +3,9 @@
 #include <cctype>
 #include <unordered_map>
 
+#include "support/metrics.hpp"
+#include "support/trace.hpp"
+
 namespace shelley::upy {
 namespace {
 
@@ -344,7 +347,11 @@ class Lexer {
 }  // namespace
 
 std::vector<Token> lex(std::string_view source) {
-  return Lexer(source).run();
+  support::trace::Span span("upy.lex");
+  std::vector<Token> tokens = Lexer(source).run();
+  support::metrics::record_tokens(tokens.size());
+  span.arg("tokens", static_cast<std::uint64_t>(tokens.size()));
+  return tokens;
 }
 
 }  // namespace shelley::upy

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "support/trace.hpp"
 #include "upy/lexer.hpp"
 
 namespace shelley::upy {
@@ -517,7 +518,10 @@ class Parser {
 }  // namespace
 
 Module parse_module(std::string_view source) {
-  return Parser(lex(source)).parse_module();
+  support::trace::Span span("upy.parse");
+  Module module = Parser(lex(source)).parse_module();
+  span.arg("classes", static_cast<std::uint64_t>(module.classes.size()));
+  return module;
 }
 
 ExprPtr parse_expression(std::string_view source) {

@@ -67,5 +67,77 @@ TEST(JsonWriter, TopLevelScalar) {
   EXPECT_EQ(JsonWriter().value("x").str(), "\"x\"");
 }
 
+TEST(JsonParser, Scalars) {
+  EXPECT_TRUE(parse_json("null").is_null());
+  EXPECT_EQ(parse_json("true").as_bool(), true);
+  EXPECT_EQ(parse_json("false").as_bool(), false);
+  EXPECT_DOUBLE_EQ(parse_json("42").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(parse_json("-0.5").as_number(), -0.5);
+  EXPECT_DOUBLE_EQ(parse_json("1e3").as_number(), 1000.0);
+  EXPECT_EQ(parse_json("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonParser, ObjectsPreserveKeyOrderAndChainLookups) {
+  const JsonValue doc =
+      parse_json(R"({"b":1,"a":{"nested":[1,2,3]},"b":2})");
+  const JsonValue::Object& object = doc.as_object();
+  ASSERT_EQ(object.size(), 3u);
+  EXPECT_EQ(object[0].first, "b");
+  EXPECT_EQ(object[1].first, "a");
+  // at()/find() return the FIRST match for duplicate keys.
+  EXPECT_DOUBLE_EQ(doc.at("b").as_number(), 1.0);
+  ASSERT_NE(doc.find("a"), nullptr);
+  EXPECT_EQ(doc.at("a").at("nested").as_array().size(), 3u);
+  // find() on absent keys and on non-objects chains safely.
+  EXPECT_EQ(doc.find("zzz"), nullptr);
+  EXPECT_EQ(doc.at("b").find("anything"), nullptr);
+  EXPECT_THROW((void)doc.at("zzz"), JsonParseError);
+}
+
+TEST(JsonParser, StringEscapes) {
+  EXPECT_EQ(parse_json(R"("a\"b\\c\/d\n\t\r\f\b")").as_string(),
+            "a\"b\\c/d\n\t\r\f\b");
+  EXPECT_EQ(parse_json(R"("Aé")").as_string(), "A\xc3\xa9");
+  // Surrogate pair: U+1F600 encodes as 😀.
+  EXPECT_EQ(parse_json(R"("😀")").as_string(),
+            "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonParser, MalformedInputThrows) {
+  EXPECT_THROW((void)parse_json(""), JsonParseError);
+  EXPECT_THROW((void)parse_json("{"), JsonParseError);
+  EXPECT_THROW((void)parse_json("[1,]"), JsonParseError);
+  EXPECT_THROW((void)parse_json("{\"a\":}"), JsonParseError);
+  EXPECT_THROW((void)parse_json("\"unterminated"), JsonParseError);
+  EXPECT_THROW((void)parse_json("nul"), JsonParseError);
+  EXPECT_THROW((void)parse_json("1 trailing"), JsonParseError);
+  EXPECT_THROW((void)parse_json(R"("\ud800")"), JsonParseError);
+  EXPECT_THROW((void)parse_json(R"("\uZZZZ")"), JsonParseError);
+}
+
+TEST(JsonParser, KindMismatchThrows) {
+  const JsonValue doc = parse_json("[1]");
+  EXPECT_THROW((void)doc.as_object(), JsonParseError);
+  EXPECT_THROW((void)doc.as_string(), JsonParseError);
+  EXPECT_THROW((void)doc.as_array()[0].as_bool(), JsonParseError);
+}
+
+TEST(JsonParser, RoundTripsWriterOutput) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("name").value("tr\"icky\n");
+  json.key("count").value(std::uint64_t{7});
+  json.key("ratio").value(0.25);
+  json.key("flags").begin_array().value(true).null().end_array();
+  json.end_object();
+
+  const JsonValue doc = parse_json(json.str());
+  EXPECT_EQ(doc.at("name").as_string(), "tr\"icky\n");
+  EXPECT_DOUBLE_EQ(doc.at("count").as_number(), 7.0);
+  EXPECT_DOUBLE_EQ(doc.at("ratio").as_number(), 0.25);
+  EXPECT_TRUE(doc.at("flags").as_array()[0].as_bool());
+  EXPECT_TRUE(doc.at("flags").as_array()[1].is_null());
+}
+
 }  // namespace
 }  // namespace shelley

@@ -1,0 +1,219 @@
+// The metrics registry: counters and distributions aggregate correctly
+// under concurrent recording, the thread-local stats sink attributes
+// automata sizes to the class being verified, and the disabled fast path
+// records nothing.
+#include "support/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace shelley::support::metrics {
+namespace {
+
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_enabled(true);
+    reset();
+  }
+  void TearDown() override {
+    set_enabled(false);
+    reset();
+  }
+};
+
+TEST_F(MetricsTest, CounterAggregatesAcrossThreads) {
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 10000;
+  Counter& series = counter("test.counter");
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&series] {
+      for (int i = 0; i < kIncrements; ++i) series.add();
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  EXPECT_EQ(series.value(),
+            static_cast<std::uint64_t>(kThreads) * kIncrements);
+}
+
+TEST_F(MetricsTest, DistributionTracksCountSumMinMax) {
+  Distribution& series = distribution("test.dist");
+  series.record(5);
+  series.record(1);
+  series.record(9);
+  const Distribution::Snapshot snap = series.snapshot();
+  EXPECT_EQ(snap.count, 3u);
+  EXPECT_EQ(snap.sum, 15u);
+  EXPECT_EQ(snap.min, 1u);
+  EXPECT_EQ(snap.max, 9u);
+}
+
+TEST_F(MetricsTest, EmptyDistributionSnapshotsToZeros) {
+  const Distribution::Snapshot snap = distribution("test.empty").snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.sum, 0u);
+  EXPECT_EQ(snap.min, 0u);
+  EXPECT_EQ(snap.max, 0u);
+}
+
+TEST_F(MetricsTest, DistributionAggregatesAcrossThreads) {
+  constexpr int kThreads = 8;
+  constexpr int kRecords = 5000;
+  Distribution& series = distribution("test.dist.mt");
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&series, t] {
+      for (int i = 0; i < kRecords; ++i) {
+        series.record(static_cast<std::uint64_t>(t + 1));
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  const Distribution::Snapshot snap = series.snapshot();
+  EXPECT_EQ(snap.count, static_cast<std::uint64_t>(kThreads) * kRecords);
+  EXPECT_EQ(snap.min, 1u);
+  EXPECT_EQ(snap.max, static_cast<std::uint64_t>(kThreads));
+}
+
+TEST_F(MetricsTest, RecordHelpersFeedBothSinkAndRegistry) {
+  AutomataStats stats;
+  {
+    ScopedSink guard(&stats);
+    record_nfa_states(12);
+    record_determinize(12, 30);
+    record_minimize(30, 7);
+    record_product_pairs(100);
+    record_product_pairs(50);
+    record_ltlf_states(5);
+    record_counterexample(3);
+  }
+  EXPECT_TRUE(stats.collected);
+  EXPECT_EQ(stats.nfa_states, 12u);
+  EXPECT_EQ(stats.dfa_states_before, 30u);
+  EXPECT_EQ(stats.dfa_states_after, 7u);
+  EXPECT_EQ(stats.determinize_calls, 1u);
+  EXPECT_EQ(stats.minimize_calls, 1u);
+  EXPECT_EQ(stats.product_pairs, 150u);
+  EXPECT_EQ(stats.ltlf_states, 5u);
+  EXPECT_EQ(stats.counterexample_len, 3u);
+  // The registry saw the same values.
+  EXPECT_EQ(counter("fsm.determinize.calls").value(), 1u);
+  EXPECT_EQ(counter("fsm.minimize.calls").value(), 1u);
+  EXPECT_EQ(counter("fsm.product.pairs").value(), 150u);
+  EXPECT_EQ(distribution("fsm.dfa.states").snapshot().max, 30u);
+}
+
+TEST_F(MetricsTest, ScopedSinkWorksWhileRegistryDisabled) {
+  // The DFA budget lint needs per-class attribution even when --stats was
+  // not requested; the global registry must stay untouched.
+  set_enabled(false);
+  AutomataStats stats;
+  {
+    ScopedSink guard(&stats);
+    record_determinize(4, 10);
+    record_minimize(10, 2);
+  }
+  set_enabled(true);
+  EXPECT_TRUE(stats.collected);
+  EXPECT_EQ(stats.dfa_states_after, 2u);
+  EXPECT_EQ(counter("fsm.determinize.calls").value(), 0u);
+  EXPECT_EQ(distribution("fsm.dfa.states").snapshot().count, 0u);
+}
+
+TEST_F(MetricsTest, ScopedSinkNestsAndRestores) {
+  AutomataStats outer_stats;
+  AutomataStats inner_stats;
+  ScopedSink outer(&outer_stats);
+  record_nfa_states(3);
+  {
+    ScopedSink inner(&inner_stats);
+    record_nfa_states(8);
+  }
+  record_determinize(3, 6);
+  EXPECT_EQ(outer_stats.nfa_states, 3u);  // inner recording didn't leak out
+  EXPECT_EQ(inner_stats.nfa_states, 8u);
+  EXPECT_EQ(outer_stats.determinize_calls, 1u);
+  EXPECT_EQ(inner_stats.determinize_calls, 0u);
+}
+
+TEST_F(MetricsTest, DisabledAndSinklessRecordsNothing) {
+  set_enabled(false);
+  record_nfa_states(99);
+  record_determinize(99, 99);
+  record_product_pairs(99);
+  set_enabled(true);
+  EXPECT_EQ(counter("fsm.determinize.calls").value(), 0u);
+  EXPECT_EQ(distribution("fsm.nfa.states").snapshot().count, 0u);
+}
+
+TEST_F(MetricsTest, SinksAreThreadLocal) {
+  // Concurrent ScopedSinks on different threads must not cross-attribute:
+  // this is exactly the parallel verifier's usage pattern.
+  constexpr int kThreads = 8;
+  std::vector<AutomataStats> stats(kThreads);
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&stats, t] {
+      ScopedSink guard(&stats[t]);
+      for (int i = 0; i < 1000; ++i) {
+        record_determinize(static_cast<std::uint64_t>(t + 1),
+                           static_cast<std::uint64_t>(10 * (t + 1)));
+        record_product_pairs(1);
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(stats[t].nfa_states, static_cast<std::uint64_t>(t + 1));
+    EXPECT_EQ(stats[t].dfa_states_before,
+              static_cast<std::uint64_t>(10 * (t + 1)));
+    EXPECT_EQ(stats[t].determinize_calls, 1000u);
+    EXPECT_EQ(stats[t].product_pairs, 1000u);
+  }
+  EXPECT_EQ(counter("fsm.determinize.calls").value(),
+            static_cast<std::uint64_t>(kThreads) * 1000u);
+}
+
+TEST_F(MetricsTest, MergeTakesMaxOfSizesAndSumOfWork) {
+  AutomataStats a;
+  a.nfa_states = 10;
+  a.dfa_states_after = 4;
+  a.determinize_calls = 2;
+  a.product_pairs = 30;
+  a.elapsed_ms = 1.5;
+  a.collected = true;
+  AutomataStats b;
+  b.nfa_states = 7;
+  b.dfa_states_after = 9;
+  b.determinize_calls = 1;
+  b.product_pairs = 12;
+  b.elapsed_ms = 0.5;
+  b.collected = true;
+  a.merge(b);
+  EXPECT_EQ(a.nfa_states, 10u);
+  EXPECT_EQ(a.dfa_states_after, 9u);
+  EXPECT_EQ(a.determinize_calls, 3u);
+  EXPECT_EQ(a.product_pairs, 42u);
+  EXPECT_DOUBLE_EQ(a.elapsed_ms, 2.0);
+  EXPECT_TRUE(a.collected);
+}
+
+TEST_F(MetricsTest, SnapshotsAreNameSorted) {
+  counter("zeta").add();
+  counter("alpha").add();
+  counter("mid").add();
+  const auto counters = counter_snapshot();
+  ASSERT_GE(counters.size(), 3u);
+  for (std::size_t i = 1; i < counters.size(); ++i) {
+    EXPECT_LT(counters[i - 1].first, counters[i].first);
+  }
+}
+
+}  // namespace
+}  // namespace shelley::support::metrics

@@ -1,0 +1,189 @@
+// The tracing subsystem: span nesting within a thread, interleaving across
+// threads, instant/counter events, the disabled fast path, and that the
+// exporter emits a Chrome trace-event document our own parser accepts.
+#include "support/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "support/json.hpp"
+
+namespace shelley::support::trace {
+namespace {
+
+/// Every test runs with a clean buffer and restores the disabled default,
+/// so ordering between tests (and other suites) cannot matter.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_enabled(true);
+    reset();
+  }
+  void TearDown() override {
+    set_enabled(false);
+    reset();
+  }
+};
+
+const JsonValue::Array& events_of(const JsonValue& doc) {
+  return doc.at("traceEvents").as_array();
+}
+
+/// Non-metadata events ("M" rows carry thread names, not timing).
+std::vector<const JsonValue*> timed_events(const JsonValue& doc) {
+  std::vector<const JsonValue*> out;
+  for (const JsonValue& event : events_of(doc)) {
+    if (event.at("ph").as_string() != "M") out.push_back(&event);
+  }
+  return out;
+}
+
+TEST_F(TraceTest, DisabledSpansRecordNothing) {
+  set_enabled(false);
+  {
+    Span span("outer");
+    span.arg("ignored", std::uint64_t{1});
+    Span inner("inner");
+    instant("point");
+    counter("series", {Arg("value", std::uint64_t{7})});
+  }
+  EXPECT_EQ(event_count(), 0u);
+  EXPECT_FALSE(Span("post").active());
+}
+
+TEST_F(TraceTest, SpanNestingWithinAThread) {
+  {
+    Span outer("outer");
+    {
+      Span inner("inner");
+      inner.arg("detail", "x");
+    }
+    outer.arg("children", std::uint64_t{1});
+  }
+  ASSERT_EQ(event_count(), 2u);
+
+  const JsonValue doc = parse_json(to_chrome_json());
+  const auto events = timed_events(doc);
+  ASSERT_EQ(events.size(), 2u);
+  // Events are ts-sorted: outer opened first.
+  const JsonValue& outer = *events[0];
+  const JsonValue& inner = *events[1];
+  EXPECT_EQ(outer.at("name").as_string(), "outer");
+  EXPECT_EQ(inner.at("name").as_string(), "inner");
+  EXPECT_EQ(outer.at("ph").as_string(), "X");
+  // Same thread, and the inner interval is contained in the outer one --
+  // that containment is exactly what the viewer renders as nesting.
+  EXPECT_EQ(outer.at("tid").as_number(), inner.at("tid").as_number());
+  const double outer_start = outer.at("ts").as_number();
+  const double outer_end = outer_start + outer.at("dur").as_number();
+  const double inner_start = inner.at("ts").as_number();
+  const double inner_end = inner_start + inner.at("dur").as_number();
+  EXPECT_GE(inner_start, outer_start);
+  EXPECT_LE(inner_end, outer_end);
+  EXPECT_EQ(inner.at("args").at("detail").as_string(), "x");
+  EXPECT_EQ(outer.at("args").at("children").as_number(), 1.0);
+}
+
+TEST_F(TraceTest, ThreadsGetDistinctIdsAndStayNested) {
+  constexpr int kThreads = 4;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([t] {
+      Span outer("worker");
+      outer.arg("index", static_cast<std::uint64_t>(t));
+      Span inner("step");
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  EXPECT_EQ(event_count(), 2u * kThreads);
+
+  const JsonValue doc = parse_json(to_chrome_json());
+  // One thread_name metadata row per participating thread.
+  std::size_t names = 0;
+  for (const JsonValue& event : events_of(doc)) {
+    if (event.at("ph").as_string() == "M") ++names;
+  }
+  EXPECT_EQ(names, static_cast<std::size_t>(kThreads));
+
+  // Per thread: exactly one worker span containing one step span.
+  for (int tid_target = 0; tid_target < kThreads; ++tid_target) {
+    std::vector<const JsonValue*> own;
+    for (const JsonValue* event : timed_events(doc)) {
+      if (static_cast<int>(event->at("tid").as_number()) == tid_target) {
+        own.push_back(event);
+      }
+    }
+    ASSERT_EQ(own.size(), 2u) << "thread " << tid_target;
+    const JsonValue& outer = *own[0];
+    const JsonValue& inner = *own[1];
+    EXPECT_EQ(outer.at("name").as_string(), "worker");
+    EXPECT_EQ(inner.at("name").as_string(), "step");
+    EXPECT_GE(inner.at("ts").as_number(), outer.at("ts").as_number());
+    EXPECT_LE(inner.at("ts").as_number() + inner.at("dur").as_number(),
+              outer.at("ts").as_number() + outer.at("dur").as_number());
+  }
+}
+
+TEST_F(TraceTest, InstantAndCounterEvents) {
+  instant("diagnostic", {Arg("message", "boom"), Arg("line", std::uint64_t{3})});
+  counter("automata/Valve", {Arg("dfa_states", std::uint64_t{4})});
+  const JsonValue doc = parse_json(to_chrome_json());
+  const auto events = timed_events(doc);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0]->at("ph").as_string(), "i");
+  EXPECT_EQ(events[0]->at("s").as_string(), "t");
+  EXPECT_EQ(events[0]->at("args").at("message").as_string(), "boom");
+  EXPECT_EQ(events[0]->at("args").at("line").as_number(), 3.0);
+  EXPECT_EQ(events[1]->at("ph").as_string(), "C");
+  EXPECT_EQ(events[1]->at("args").at("dfa_states").as_number(), 4.0);
+}
+
+TEST_F(TraceTest, ResetDropsEventsAndRestartsClock) {
+  { Span span("before"); }
+  ASSERT_GT(event_count(), 0u);
+  reset();
+  EXPECT_EQ(event_count(), 0u);
+  { Span span("after"); }
+  const JsonValue doc = parse_json(to_chrome_json());
+  const auto events = timed_events(doc);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0]->at("name").as_string(), "after");
+}
+
+TEST_F(TraceTest, ArgStringsAreEscapedIntoValidJson) {
+  {
+    Span span("tricky");
+    span.arg("text", "quote:\" backslash:\\ newline:\n");
+  }
+  const JsonValue doc = parse_json(to_chrome_json());  // must not throw
+  const auto events = timed_events(doc);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0]->at("args").at("text").as_string(),
+            "quote:\" backslash:\\ newline:\n");
+}
+
+TEST_F(TraceTest, ConcurrentRecordingProducesEveryEvent) {
+  constexpr int kThreads = 8;
+  constexpr int kSpansPerThread = 200;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        Span span("hot");
+        span.arg("i", static_cast<std::uint64_t>(i));
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  EXPECT_EQ(event_count(),
+            static_cast<std::size_t>(kThreads) * kSpansPerThread);
+  // And the merged document still parses.
+  EXPECT_NO_THROW((void)parse_json(to_chrome_json()));
+}
+
+}  // namespace
+}  // namespace shelley::support::trace

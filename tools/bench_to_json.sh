@@ -1,7 +1,10 @@
 #!/usr/bin/env sh
 # Runs the automata-kernel micro-benchmarks (minimize / inclusion /
 # equivalence, bench_scaling) and writes the results as google-benchmark
-# JSON to BENCH_automata.json at the repository root.
+# JSON to BENCH_automata.json at the repository root, augmented with the
+# per-stage pipeline statistics of a full `shelleyc --stats --json` run
+# (per-class automata sizes plus the global stage counters/distributions)
+# under a top-level "pipeline_stats" key.
 #
 #   tools/bench_to_json.sh [build-dir]
 #
@@ -28,5 +31,49 @@ fi
     --benchmark_min_time=0.3s \
     --benchmark_out="$root/BENCH_automata.json" \
     --benchmark_out_format=json
+
+# Merge per-stage pipeline statistics into the benchmark document.  The
+# stats come from verifying the paper's valve spec with the instrumented
+# pipeline; shelleyc emits the whole report (including the "stats" object)
+# as one line of JSON, so a trailing-brace splice keeps this POSIX-pure.
+shelleyc="$build_dir/tools/shelleyc"
+if [ -x "$shelleyc" ]; then
+    spec=$(mktemp "${TMPDIR:-/tmp}/bench_valve.XXXXXX.py")
+    trap 'rm -f "$spec"' EXIT
+    cat > "$spec" <<'EOF'
+@sys
+class Valve:
+    @op_initial
+    def test(self):
+        if x:
+            return ["open"]
+        else:
+            return ["clean"]
+
+    @op
+    def open(self):
+        return ["close"]
+
+    @op_final
+    def close(self):
+        return ["test"]
+
+    @op_final
+    def clean(self):
+        return ["test"]
+EOF
+    stats=$("$shelleyc" --stats --json "$spec")
+    # Drop the benchmark document's final "}" (and trailing blank lines),
+    # then splice the report in as one more top-level key.
+    out="$root/BENCH_automata.json"
+    tmp="$out.tmp"
+    awk 'NR > 1 { print prev }
+         { prev = $0 }
+         END { sub(/}[[:space:]]*$/, "", prev); print prev }' "$out" > "$tmp"
+    printf ',"pipeline_stats":%s}\n' "$stats" >> "$tmp"
+    mv "$tmp" "$out"
+else
+    echo "bench_to_json.sh: $shelleyc not found; skipping pipeline_stats" >&2
+fi
 
 echo "wrote $root/BENCH_automata.json"

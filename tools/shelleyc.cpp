@@ -21,6 +21,8 @@
 #include <string>
 #include <vector>
 
+#include <iomanip>
+
 #include "fsm/ops.hpp"
 #include "fsm/to_regex.hpp"
 #include "ltlf/parser.hpp"
@@ -31,7 +33,9 @@
 #include "shelley/report_json.hpp"
 #include "shelley/verifier.hpp"
 #include "smv/smv.hpp"
+#include "support/metrics.hpp"
 #include "support/thread_pool.hpp"
+#include "support/trace.hpp"
 #include "viz/dot.hpp"
 
 namespace {
@@ -53,6 +57,9 @@ struct Options {
   std::size_t jobs = shelley::support::ThreadPool::hardware_default();
   bool json = false;
   bool quiet = false;
+  bool stats = false;
+  std::optional<std::string> trace_out;
+  std::size_t dfa_budget = 0;
 };
 
 void print_usage(std::ostream& out) {
@@ -70,7 +77,13 @@ void print_usage(std::ostream& out) {
          "                      line, and report a verdict for each\n"
          "  --sample NAME [N]   print N (default 5) valid complete usages\n"
          "  --jobs N            verify classes on up to N threads (default:\n"
-         "                      hardware concurrency; 1 = serial)\n";
+         "                      hardware concurrency; 1 = serial)\n"
+         "  --stats             print per-class automata statistics and\n"
+         "                      pipeline counters (with --json: embed them)\n"
+         "  --trace-out FILE    write a Chrome trace-event JSON timeline of\n"
+         "                      the whole run (load in Perfetto)\n"
+         "  --dfa-budget N      warn when a class's minimized DFA exceeds\n"
+         "                      N states (0 = off)\n";
 }
 
 std::optional<Options> parse_args(int argc, char** argv) {
@@ -121,6 +134,20 @@ std::optional<Options> parse_args(int argc, char** argv) {
         return std::nullopt;
       }
       options.jobs = static_cast<std::size_t>(parsed);
+    } else if (arg == "--stats") {
+      options.stats = true;
+    } else if (arg == "--trace-out") {
+      options.trace_out = next();
+      if (!options.trace_out) return std::nullopt;
+    } else if (arg == "--dfa-budget") {
+      const auto value = next();
+      if (!value) return std::nullopt;
+      const long parsed = std::atol(value->c_str());
+      if (parsed < 0) {
+        std::cerr << "shelleyc: --dfa-budget needs a non-negative integer\n";
+        return std::nullopt;
+      }
+      options.dfa_budget = static_cast<std::size_t>(parsed);
     } else if (arg == "--sample") {
       options.sample = next();
       if (!options.sample) return std::nullopt;
@@ -157,17 +184,51 @@ core::SystemModel build_model(core::Verifier& verifier,
                                   verifier.diagnostics());
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const auto options = parse_args(argc, argv);
-  if (!options) {
-    print_usage(std::cerr);
-    return 2;
+/// The --stats summary: one row of automata sizes per verified class, then
+/// the global pipeline counters and distributions.
+void print_stats(const core::Report& report, std::ostream& out) {
+  out << "\nautomata statistics\n";
+  out << std::left << std::setw(24) << "  class" << std::right
+      << std::setw(8) << "nfa" << std::setw(10) << "dfa.raw"
+      << std::setw(10) << "dfa.min" << std::setw(10) << "pairs"
+      << std::setw(8) << "ltlf" << std::setw(6) << "cex"
+      << std::setw(10) << "ms" << "\n";
+  for (const core::ClassReport& cls : report.classes) {
+    if (!cls.stats.collected) continue;
+    out << "  " << std::left << std::setw(22) << cls.class_name
+        << std::right << std::setw(8) << cls.stats.nfa_states
+        << std::setw(10) << cls.stats.dfa_states_before
+        << std::setw(10) << cls.stats.dfa_states_after
+        << std::setw(10) << cls.stats.product_pairs
+        << std::setw(8) << cls.stats.ltlf_states
+        << std::setw(6) << cls.stats.counterexample_len
+        << std::setw(10) << std::fixed << std::setprecision(2)
+        << cls.stats.elapsed_ms << "\n";
   }
+  const auto counters = shelley::support::metrics::counter_snapshot();
+  if (!counters.empty()) {
+    out << "\npipeline counters\n";
+    for (const auto& [name, value] : counters) {
+      out << "  " << std::left << std::setw(30) << name << std::right
+          << std::setw(12) << value << "\n";
+    }
+  }
+  const auto distributions =
+      shelley::support::metrics::distribution_snapshot();
+  if (!distributions.empty()) {
+    out << "\npipeline distributions (count/min/max/sum)\n";
+    for (const auto& [name, snap] : distributions) {
+      out << "  " << std::left << std::setw(30) << name << std::right
+          << std::setw(8) << snap.count << std::setw(8) << snap.min
+          << std::setw(8) << snap.max << std::setw(12) << snap.sum << "\n";
+    }
+  }
+}
 
+int run(const Options& options) {
   core::Verifier verifier;
-  for (const std::string& path : options->files) {
+  verifier.set_lint_options(core::LintOptions{options.dfa_budget});
+  for (const std::string& path : options.files) {
     std::ifstream file(path);
     if (!file) {
       std::cerr << "shelleyc: cannot open '" << path << "'\n";
@@ -184,29 +245,29 @@ int main(int argc, char** argv) {
   }
 
   // Artifact emission modes short-circuit verification.
-  if (options->dot_class) {
-    const auto* spec = require_class(verifier, *options->dot_class);
+  if (options.dot_class) {
+    const auto* spec = require_class(verifier, *options.dot_class);
     if (spec == nullptr) return 2;
     std::cout << viz::dot_class_diagram(*spec);
     return 0;
   }
-  if (options->dot_model) {
-    const auto* spec = require_class(verifier, *options->dot_model);
+  if (options.dot_model) {
+    const auto* spec = require_class(verifier, *options.dot_model);
     if (spec == nullptr) return 2;
     const core::DependencyGraph graph =
         core::DependencyGraph::build(*spec, verifier.diagnostics());
     std::cout << viz::dot_dependency_graph(*spec, graph);
     return 0;
   }
-  if (options->dot_system) {
-    const auto* spec = require_class(verifier, *options->dot_system);
+  if (options.dot_system) {
+    const auto* spec = require_class(verifier, *options.dot_system);
     if (spec == nullptr) return 2;
     const core::SystemModel model = build_model(verifier, *spec);
     std::cout << viz::dot_system_model(model, verifier.symbols());
     return 0;
   }
-  if (options->dot_usage) {
-    const auto* spec = require_class(verifier, *options->dot_usage);
+  if (options.dot_usage) {
+    const auto* spec = require_class(verifier, *options.dot_usage);
     if (spec == nullptr) return 2;
     const fsm::Dfa usage = fsm::minimize(fsm::determinize(
         core::usage_nfa(*spec, verifier.symbols())));
@@ -214,8 +275,8 @@ int main(int argc, char** argv) {
                               spec->name + "_usage");
     return 0;
   }
-  if (options->monitor) {
-    const auto* spec = require_class(verifier, *options->monitor);
+  if (options.monitor) {
+    const auto* spec = require_class(verifier, *options.monitor);
     if (spec == nullptr) return 2;
     core::Monitor monitor(*spec, verifier.symbols());
     std::string op;
@@ -229,12 +290,12 @@ int main(int argc, char** argv) {
     std::cout << (monitor.completed() ? "complete" : "incomplete") << "\n";
     return any_violation || !monitor.completed() ? 1 : 0;
   }
-  if (options->sample) {
-    const auto* spec = require_class(verifier, *options->sample);
+  if (options.sample) {
+    const auto* spec = require_class(verifier, *options.sample);
     if (spec == nullptr) return 2;
     core::TraceSampler sampler(*spec, verifier.symbols(),
                                std::random_device{}());
-    for (int i = 0; i < options->sample_count; ++i) {
+    for (int i = 0; i < options.sample_count; ++i) {
       const auto trace = sampler.sample(16);
       if (trace.empty()) {
         std::cout << "(empty usage)\n";
@@ -247,16 +308,16 @@ int main(int argc, char** argv) {
     }
     return 0;
   }
-  if (options->usage_regex) {
-    const auto* spec = require_class(verifier, *options->usage_regex);
+  if (options.usage_regex) {
+    const auto* spec = require_class(verifier, *options.usage_regex);
     if (spec == nullptr) return 2;
     const fsm::Nfa usage = core::usage_nfa(*spec, verifier.symbols());
     const rex::Regex regex = fsm::to_regex(usage);
     std::cout << rex::to_string(regex, verifier.symbols()) << "\n";
     return 0;
   }
-  if (options->smv) {
-    const auto* spec = require_class(verifier, *options->smv);
+  if (options.smv) {
+    const auto* spec = require_class(verifier, *options.smv);
     if (spec == nullptr) return 2;
     const core::SystemModel model = build_model(verifier, *spec);
     const fsm::Dfa dfa = fsm::minimize(
@@ -279,15 +340,16 @@ int main(int argc, char** argv) {
 
   // Verification.
   core::Report report;
-  if (options->verify_class) {
-    report.classes.push_back(verifier.verify_class(*options->verify_class));
+  if (options.verify_class) {
+    report.classes.push_back(verifier.verify_class(*options.verify_class));
   } else {
-    report = verifier.verify_all(options->jobs);
+    report = verifier.verify_all(options.jobs);
   }
 
-  if (options->json) {
-    std::cout << core::report_to_json(report, verifier) << "\n";
-  } else if (!options->quiet) {
+  if (options.json) {
+    std::cout << core::report_to_json(report, verifier, options.stats)
+              << "\n";
+  } else if (!options.quiet) {
     for (const core::ClassReport& cls : report.classes) {
       std::cout << cls.class_name << ": " << (cls.ok() ? "ok" : "FAILED")
                 << "\n";
@@ -297,5 +359,36 @@ int main(int argc, char** argv) {
     const std::string diagnostics = verifier.diagnostics().render();
     if (!diagnostics.empty()) std::cout << "\n" << diagnostics;
   }
+  if (options.stats && !options.json) print_stats(report, std::cout);
   return report.ok() && !verifier.diagnostics().has_errors() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto parsed = parse_args(argc, argv);
+  if (!parsed) {
+    print_usage(std::cerr);
+    return 2;
+  }
+  // Flip the instrumentation switches before any pipeline code runs, so the
+  // trace covers lexing/parsing too.  --stats needs the metrics registry;
+  // --trace-out needs both (counters feed the per-class trace tracks).
+  if (parsed->trace_out) {
+    support::trace::set_enabled(true);
+    support::metrics::set_enabled(true);
+  }
+  if (parsed->stats) support::metrics::set_enabled(true);
+
+  const int status = run(*parsed);
+
+  // Written on every exit path of run(), including artifact modes and
+  // verification failures -- a failing run's timeline is the one you want.
+  if (parsed->trace_out &&
+      !support::trace::write_chrome_json(*parsed->trace_out)) {
+    std::cerr << "shelleyc: cannot write trace file '" << *parsed->trace_out
+              << "'\n";
+    return 2;
+  }
+  return status;
 }
