@@ -9,6 +9,7 @@
 #include <unordered_map>
 
 #include "fsm/state_set.hpp"
+#include "support/guard.hpp"
 #include "support/metrics.hpp"
 #include "support/trace.hpp"
 
@@ -69,6 +70,10 @@ Dfa determinize(const Nfa& nfa, std::vector<Symbol> alphabet) {
   std::vector<StateSet> succ(k, StateSet(n));
   std::vector<bool> touched(k, false);
   for (StateId current = 0; current < sets.size(); ++current) {
+    support::guard::check_states(sets.size(), "determinization");
+    if ((current & 0x3FF) == 0) {
+      support::guard::check_deadline("fsm.determinize");
+    }
     const StateSet& subset = *sets[current];
     subset.for_each([&](StateId s) {
       for (const auto& [letter, to] : moves[s]) {
@@ -646,7 +651,11 @@ std::optional<Word> lazy_difference_witness(const Dfa& a, const Dfa& b) {
 
   std::optional<std::uint64_t> goal;
   if (is_goal(a.initial(), b.initial())) goal = start;
+  std::size_t popped = 0;
   while (!goal && !work.empty()) {
+    if ((++popped & 0xFFF) == 0) {
+      support::guard::check_deadline("fsm.inclusion");
+    }
     const auto [x, y] = work.front();
     work.pop_front();
     const std::uint64_t from = key(x, y);

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "support/guard.hpp"
+
 namespace shelley::ir {
 namespace {
 
@@ -21,6 +23,7 @@ void collect_from_list(const std::vector<upy::ExprPtr>& items,
 void collect_events(const upy::ExprPtr& expr, const LoweringContext& context,
                     std::vector<Symbol>& out) {
   if (!expr) return;
+  support::guard::DepthGuard depth(expr->loc);
   std::visit(
       [&](const auto& node) {
         using T = std::decay_t<decltype(node)>;
@@ -89,6 +92,7 @@ Program fold_branches(std::vector<Program> branches) {
 }
 
 Program lower_stmt(const upy::StmtPtr& stmt, const LoweringContext& context) {
+  support::guard::DepthGuard depth(stmt->loc);
   return std::visit(
       [&](const auto& node) -> Program {
         using T = std::decay_t<decltype(node)>;

@@ -6,6 +6,7 @@
 
 #include "fsm/ops.hpp"
 #include "ltlf/eval.hpp"
+#include "support/guard.hpp"
 #include "support/metrics.hpp"
 #include "support/trace.hpp"
 
@@ -35,8 +36,10 @@ fsm::Dfa to_dfa(const Formula& formula, std::vector<Symbol> alphabet,
         ids.emplace(f, static_cast<fsm::StateId>(states.size()));
     if (inserted) {
       states.push_back(f);
+      support::guard::check_states(states.size(), "LTLf progression");
       if (states.size() > max_states) {
-        throw std::runtime_error(
+        throw support::guard::ResourceError(
+            support::guard::Resource::kStateBudget, {},
             "ltlf::to_dfa: progression exceeded the state bound");
       }
     }
@@ -46,6 +49,7 @@ fsm::Dfa to_dfa(const Formula& formula, std::vector<Symbol> alphabet,
   const fsm::StateId start = get_id(to_dnf(rewritten));
   std::vector<std::vector<fsm::StateId>> rows;
   for (fsm::StateId current = 0; current < states.size(); ++current) {
+    if ((current & 0xFF) == 0) support::guard::check_deadline("ltlf.to_dfa");
     const Formula state = states[current];
     std::vector<fsm::StateId> row(alphabet.size(), 0);
     for (std::size_t letter = 0; letter < alphabet.size(); ++letter) {

@@ -4,6 +4,8 @@
 #include <string>
 #include <vector>
 
+#include "support/guard.hpp"
+
 namespace shelley::ltlf {
 namespace {
 
@@ -32,10 +34,15 @@ bool is_ident_char(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
 }
 
-std::vector<Token> lex(std::string_view text) {
+std::vector<Token> lex(std::string_view text, SourceLoc origin) {
   std::vector<Token> out;
   std::size_t pos = 0;
   const auto col = [&] { return static_cast<std::uint32_t>(pos + 1); };
+  // Error positions are offset by the origin of the embedded formula so
+  // they point into the enclosing .py file.
+  const auto at = [&](std::uint32_t column) {
+    return SourceLoc{origin.line, origin.column + column - 1};
+  };
   while (pos < text.size()) {
     const char c = text[pos];
     if (std::isspace(static_cast<unsigned char>(c)) != 0) {
@@ -82,7 +89,7 @@ std::vector<Token> lex(std::string_view text) {
       }
       out.push_back({Tok::kName, std::move(name), start});
     } else {
-      throw ParseError({1, col()},
+      throw ParseError(at(col()),
                        std::string("unexpected character '") + c +
                            "' in claim formula");
     }
@@ -93,15 +100,14 @@ std::vector<Token> lex(std::string_view text) {
 
 class Parser {
  public:
-  Parser(std::vector<Token> tokens, SymbolTable& table)
-      : tokens_(std::move(tokens)), table_(table) {}
+  Parser(std::vector<Token> tokens, SymbolTable& table, SourceLoc origin)
+      : tokens_(std::move(tokens)), table_(table), origin_(origin) {}
 
   Formula run() {
     Formula f = parse_implies();
     if (peek().kind != Tok::kEnd) {
-      throw ParseError({1, peek().column},
-                       "trailing input after claim formula: '" + peek().text +
-                           "'");
+      throw ParseError(here(), "trailing input after claim formula: '" +
+                                   peek().text + "'");
     }
     return f;
   }
@@ -110,11 +116,16 @@ class Parser {
   [[nodiscard]] const Token& peek() const { return tokens_[index_]; }
   const Token& advance() { return tokens_[index_++]; }
 
+  [[nodiscard]] SourceLoc here() const {
+    return {origin_.line, origin_.column + peek().column - 1};
+  }
+
   [[nodiscard]] bool at_name(std::string_view text) const {
     return peek().kind == Tok::kName && peek().text == text;
   }
 
   Formula parse_implies() {
+    support::guard::DepthGuard depth(here());
     Formula left = parse_or();
     if (peek().kind == Tok::kImplies) {
       advance();
@@ -165,6 +176,7 @@ class Parser {
   }
 
   Formula parse_unary() {
+    support::guard::DepthGuard depth(here());
     if (peek().kind == Tok::kNot || at_name("not")) {
       advance();
       return make_not(parse_unary());
@@ -194,7 +206,7 @@ class Parser {
       advance();
       Formula inner = parse_implies();
       if (peek().kind != Tok::kRParen) {
-        throw ParseError({1, peek().column}, "expected ')' in claim formula");
+        throw ParseError(here(), "expected ')' in claim formula");
       }
       advance();
       return inner;
@@ -206,20 +218,22 @@ class Parser {
       if (token.text == "end") return end();
       return atom(table_.intern(token.text));
     }
-    throw ParseError({1, token.column},
+    throw ParseError({origin_.line, origin_.column + token.column - 1},
                      "expected an atom in claim formula, found '" +
                          token.text + "'");
   }
 
   std::vector<Token> tokens_;
   SymbolTable& table_;
+  SourceLoc origin_;
   std::size_t index_ = 0;
 };
 
 }  // namespace
 
-Formula parse(std::string_view text, SymbolTable& table) {
-  return Parser(lex(text), table).run();
+Formula parse(std::string_view text, SymbolTable& table, SourceLoc origin) {
+  support::guard::check_input_size(text.size(), origin);
+  return Parser(lex(text, origin), table, origin).run();
 }
 
 }  // namespace shelley::ltlf

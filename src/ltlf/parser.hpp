@@ -20,6 +20,10 @@
 
 namespace shelley::ltlf {
 
-[[nodiscard]] Formula parse(std::string_view text, SymbolTable& table);
+/// `origin` is the position of `text` inside its enclosing file (the
+/// @claim annotation that carried it); error locations are reported
+/// relative to it, so a claim on line 12 reports line 12.
+[[nodiscard]] Formula parse(std::string_view text, SymbolTable& table,
+                            SourceLoc origin = {1, 1});
 
 }  // namespace shelley::ltlf

@@ -4,6 +4,8 @@
 #include <string>
 #include <vector>
 
+#include "support/guard.hpp"
+
 namespace shelley::rex {
 namespace {
 
@@ -24,7 +26,8 @@ bool is_ident_char(char c) {
 
 class Lexer {
  public:
-  explicit Lexer(std::string_view text) : text_(text) {}
+  Lexer(std::string_view text, SourceLoc origin)
+      : text_(text), origin_(origin) {}
 
   std::vector<Token> run() {
     std::vector<Token> out;
@@ -56,8 +59,9 @@ class Lexer {
       } else if (is_ident_start(c)) {
         out.push_back({Tok::kName, lex_dotted_name(), col});
       } else {
-        throw ParseError({1, col}, std::string("unexpected character '") + c +
-                                       "' in regular expression");
+          throw ParseError(at(col),
+                         std::string("unexpected character '") + c +
+                             "' in regular expression");
       }
     }
     out.push_back({Tok::kEnd, "", static_cast<std::uint32_t>(pos_ + 1)});
@@ -65,6 +69,12 @@ class Lexer {
   }
 
  private:
+  // Offsets the 1-based in-text column by the origin of the embedded
+  // expression, so errors point into the enclosing .py file.
+  [[nodiscard]] SourceLoc at(std::uint32_t column) const {
+    return {origin_.line, origin_.column + column - 1};
+  }
+
   bool consume_utf8(std::string_view utf8) {
     if (text_.substr(pos_, utf8.size()) == utf8) {
       pos_ += utf8.size();
@@ -90,13 +100,14 @@ class Lexer {
   }
 
   std::string_view text_;
+  SourceLoc origin_;
   std::size_t pos_ = 0;
 };
 
 class Parser {
  public:
-  Parser(std::vector<Token> tokens, SymbolTable& table)
-      : tokens_(std::move(tokens)), table_(table) {}
+  Parser(std::vector<Token> tokens, SymbolTable& table, SourceLoc origin)
+      : tokens_(std::move(tokens)), table_(table), origin_(origin) {}
 
   Regex run() {
     Regex r = parse_union();
@@ -108,11 +119,14 @@ class Parser {
   [[nodiscard]] const Token& peek() const { return tokens_[index_]; }
   const Token& advance() { return tokens_[index_++]; }
 
+  [[nodiscard]] SourceLoc here() const {
+    return {origin_.line, origin_.column + peek().column - 1};
+  }
+
   void expect(Tok kind, std::string_view what) {
     if (peek().kind != kind) {
-      throw ParseError({1, peek().column},
-                       "expected " + std::string(what) + ", found '" +
-                           peek().text + "'");
+      throw ParseError(here(), "expected " + std::string(what) +
+                                   ", found '" + peek().text + "'");
     }
     advance();
   }
@@ -122,6 +136,7 @@ class Parser {
   }
 
   Regex parse_union() {
+    support::guard::DepthGuard depth(here());
     Regex r = parse_concat();
     while (peek().kind == Tok::kPlus) {
       advance();
@@ -161,19 +176,21 @@ class Parser {
       if (name == "void" || name == "∅") return empty();
       return symbol(table_.intern(name));
     }
-    throw ParseError({1, peek().column},
+    throw ParseError(here(),
                      "expected an atom, found '" + peek().text + "'");
   }
 
   std::vector<Token> tokens_;
   SymbolTable& table_;
+  SourceLoc origin_;
   std::size_t index_ = 0;
 };
 
 }  // namespace
 
-Regex parse(std::string_view text, SymbolTable& table) {
-  return Parser(Lexer(text).run(), table).run();
+Regex parse(std::string_view text, SymbolTable& table, SourceLoc origin) {
+  support::guard::check_input_size(text.size(), origin);
+  return Parser(Lexer(text, origin).run(), table, origin).run();
 }
 
 }  // namespace shelley::rex

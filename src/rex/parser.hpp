@@ -19,6 +19,10 @@
 
 namespace shelley::rex {
 
-[[nodiscard]] Regex parse(std::string_view text, SymbolTable& table);
+/// `origin` is the position of `text` inside its enclosing file (e.g. the
+/// annotation that carried the expression); error locations are reported
+/// relative to it, so a regex embedded on line 12 reports line 12.
+[[nodiscard]] Regex parse(std::string_view text, SymbolTable& table,
+                          SourceLoc origin = {1, 1});
 
 }  // namespace shelley::rex

@@ -117,9 +117,9 @@ CheckResult check_base_claims(const ClassSpec& spec, SymbolTable& table,
     claim_span.arg("formula", claim.text);
     ltlf::Formula formula;
     try {
-      formula = ltlf::parse(claim.text, table);
+      formula = ltlf::parse(claim.text, table, claim.loc);
     } catch (const ParseError& error) {
-      diagnostics.error(claim.loc, "class '" + spec.name +
+      diagnostics.error(error.loc(), "class '" + spec.name +
                                        "': cannot parse claim \"" +
                                        claim.text + "\": " + error.what());
       continue;
@@ -205,9 +205,9 @@ CheckResult check_composite(const ClassSpec& composite,
       claim_span.arg("formula", claim.text);
       ltlf::Formula formula;
       try {
-        formula = ltlf::parse(claim.text, table);
+        formula = ltlf::parse(claim.text, table, claim.loc);
       } catch (const ParseError& error) {
-        diagnostics.error(claim.loc, "class '" + composite.name +
+        diagnostics.error(error.loc(), "class '" + composite.name +
                                          "': cannot parse claim \"" +
                                          claim.text + "\": " + error.what());
         continue;

@@ -98,11 +98,20 @@ std::string spec_to_json(const ClassSpec& spec) {
 }
 
 std::string report_to_json(const Report& report, const Verifier& verifier,
-                           bool include_stats) {
+                           bool include_stats,
+                           const std::vector<FileSummary>* files) {
   const SymbolTable& table = verifier.symbols();
+  // A batch where any input failed to load or parse is not ok, even when
+  // every class that survived verifies (matches the CLI's exit-code rule).
+  bool inputs_ok = true;
+  if (files != nullptr) {
+    for (const FileSummary& file : *files) {
+      inputs_ok = inputs_ok && file.loaded && file.parse_errors == 0;
+    }
+  }
   JsonWriter json;
   json.begin_object();
-  json.key("ok").value(report.ok());
+  json.key("ok").value(report.ok() && inputs_ok);
   json.key("classes").begin_array();
   for (const ClassReport& cls : report.classes) {
     json.begin_object();
@@ -111,6 +120,7 @@ std::string report_to_json(const Report& report, const Verifier& verifier,
     json.key("is_composite").value(cls.is_composite);
     json.key("invocation_errors").value(cls.invocation_errors);
     json.key("lint_findings").value(cls.lint_findings);
+    json.key("resource_errors").value(cls.resource_errors);
     json.key("subsystem_errors").begin_array();
     for (const SubsystemError& error : cls.check.subsystem_errors) {
       json.begin_object();
@@ -147,6 +157,18 @@ std::string report_to_json(const Report& report, const Verifier& verifier,
     json.end_object();
   }
   json.end_array();
+  if (files != nullptr) {
+    json.key("files").begin_array();
+    for (const FileSummary& file : *files) {
+      json.begin_object();
+      json.key("path").value(file.path);
+      json.key("loaded").value(file.loaded);
+      json.key("parse_errors").value(file.parse_errors);
+      if (!file.failure.empty()) json.key("failure").value(file.failure);
+      json.end_object();
+    }
+    json.end_array();
+  }
   if (include_stats) write_global_stats(json);
   json.end_object();
   return json.str();

@@ -3,20 +3,32 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "shelley/verifier.hpp"
 
 namespace shelley::core {
 
+/// Outcome of loading one input file in batch mode (shelleyc with several
+/// sources): how many parse errors recovery collected, or why the file
+/// failed outright.
+struct FileSummary {
+  std::string path;
+  bool loaded = false;           ///< file was read and (re)parsed
+  std::size_t parse_errors = 0;  ///< error diagnostics from this file
+  std::string failure;           ///< non-empty: I/O or resource failure
+};
+
 /// Serializes a full report: per-class verdicts, subsystem errors with
 /// counterexamples, claim errors, and all diagnostics.  With
 /// `include_stats`, each class additionally carries a "stats" object of
 /// automata sizes and a top-level "stats" object holds the global metric
-/// counters/distributions; without it the output is byte-identical to the
-/// historical format.
-[[nodiscard]] std::string report_to_json(const Report& report,
-                                         const Verifier& verifier,
-                                         bool include_stats = false);
+/// counters/distributions.  A non-null `files` adds a "files" array of
+/// per-input load outcomes (batch mode).
+[[nodiscard]] std::string report_to_json(
+    const Report& report, const Verifier& verifier,
+    bool include_stats = false,
+    const std::vector<FileSummary>* files = nullptr);
 
 /// Serializes one class specification (operations, exits, subsystems,
 /// claims).

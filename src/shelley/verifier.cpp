@@ -10,6 +10,7 @@
 #include "shelley/graph.hpp"
 #include "shelley/invocation.hpp"
 #include "shelley/lint.hpp"
+#include "support/guard.hpp"
 #include "support/thread_pool.hpp"
 #include "support/trace.hpp"
 #include "upy/parser.hpp"
@@ -39,6 +40,21 @@ void Verifier::add_source(std::string_view source) {
   for (const upy::ClassDef& cls : module.classes) {
     add_class(cls);
   }
+}
+
+std::size_t Verifier::add_source_recover(std::string_view source) {
+  const std::size_t errors_before = diagnostics_.error_count();
+  try {
+    const upy::Module module = upy::parse_module(source, diagnostics_);
+    for (const upy::ClassDef& cls : module.classes) {
+      add_class(cls);
+    }
+  } catch (const support::guard::ResourceError& error) {
+    // Resource limits abort the whole source (the parse state is gone),
+    // but they still land as a diagnostic rather than an exception.
+    diagnostics_.error(error.loc(), error.message());
+  }
+  return diagnostics_.error_count() - errors_before;
 }
 
 void Verifier::add_class(const upy::ClassDef& cls) {
@@ -85,22 +101,33 @@ ClassReport Verifier::verify_spec(const ClassSpec& spec,
   if (want_stats) stats_guard.emplace(&report.stats);
   const auto started = std::chrono::steady_clock::now();
 
-  // Step 1 -- method dependency extraction validates successor references.
-  (void)DependencyGraph::build(spec, sink);
+  try {
+    // Step 1 -- method dependency extraction validates successor references.
+    support::guard::check_deadline("verify.dependencies");
+    (void)DependencyGraph::build(spec, sink);
 
-  // Step 3 -- method invocation analysis.
-  report.invocation_errors = analyze_invocations(spec, lookup(), sink);
+    // Step 3 -- method invocation analysis.
+    support::guard::check_deadline("verify.invocations");
+    report.invocation_errors = analyze_invocations(spec, lookup(), sink);
 
-  // Specification lints (warnings only).
-  report.lint_findings = lint_class(spec, table_, sink);
+    // Specification lints (warnings only).
+    report.lint_findings = lint_class(spec, table_, sink);
 
-  // Step 2 plus the composite checks of §2.2 (behavior extraction happens
-  // inside check_composite).  Base classes still get their claims checked
-  // against the valid-usage language.
-  if (spec.is_composite) {
-    report.check = check_composite(spec, lookup(), table_, sink);
-  } else {
-    report.check = check_base_claims(spec, table_, sink);
+    // Step 2 plus the composite checks of §2.2 (behavior extraction happens
+    // inside check_composite).  Base classes still get their claims checked
+    // against the valid-usage language.
+    support::guard::check_deadline("verify.check");
+    if (spec.is_composite) {
+      report.check = check_composite(spec, lookup(), table_, sink);
+    } else {
+      report.check = check_base_claims(spec, table_, sink);
+    }
+  } catch (const support::guard::ResourceError& error) {
+    // One class blowing its state budget / deadline must not take down the
+    // whole run: record it (fails ok()) and let verify_all keep going.
+    ++report.resource_errors;
+    sink.error(error.loc(), "verification of '" + spec.name +
+                                "' aborted: " + error.message());
   }
 
   if (want_stats) {

@@ -25,6 +25,10 @@ struct ClassReport {
   bool is_composite = false;
   std::size_t invocation_errors = 0;
   std::size_t lint_findings = 0;  // warnings; do not affect ok()
+  /// Resource-limit violations (state budget, timeout, recursion cap) that
+  /// aborted this class's verification; surfaced as diagnostics and they
+  /// fail ok() -- an unverified class is not a verified one.
+  std::size_t resource_errors = 0;
   CheckResult check;  // subsystem + claim results (composites only)
   /// Automata statistics collected while verifying this class.  Only
   /// populated (`stats.collected == true`) when metrics are enabled or a
@@ -32,7 +36,7 @@ struct ClassReport {
   support::metrics::AutomataStats stats;
 
   [[nodiscard]] bool ok() const {
-    return invocation_errors == 0 && check.ok();
+    return invocation_errors == 0 && resource_errors == 0 && check.ok();
   }
 };
 
@@ -51,6 +55,14 @@ class Verifier {
   /// Parses `source` and registers every class found.  Throws ParseError on
   /// syntax errors; annotation/spec problems become diagnostics.
   void add_source(std::string_view source);
+
+  /// Parses `source` with error recovery: every syntax error becomes a
+  /// diagnostic (multiple per file, in source order) and classes that
+  /// survive recovery are still registered, so one malformed method does
+  /// not hide a whole file.  Resource limits (support::guard) are reported
+  /// as diagnostics too, aborting only this source.  Returns the number of
+  /// error diagnostics this call produced.
+  std::size_t add_source_recover(std::string_view source);
 
   /// Registers a single already-parsed class.
   void add_class(const upy::ClassDef& cls);

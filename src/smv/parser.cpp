@@ -4,6 +4,7 @@
 #include <cctype>
 #include <map>
 
+#include "support/guard.hpp"
 #include "support/strings.hpp"
 
 namespace shelley::smv {
@@ -35,6 +36,7 @@ struct Line {
 }  // namespace
 
 SmvModel parse_model(std::string_view text) {
+  support::guard::check_input_size(text.size());
   SmvModel model;
   std::map<std::string, std::string> label_of;  // mangled -> original
 
@@ -125,10 +127,16 @@ SmvModel parse_model(std::string_view text) {
                t.find("& event =") != std::string::npos &&
                t.find(':') != std::string::npos) {
       // state = sX & event = eY : sZ;
-      if (model.transitions.empty()) {
-        model.transitions.assign(
-            model.state_names.size(),
-            std::vector<std::uint32_t>(model.event_names.size(), 0));
+      // Size the grid to the declarations seen so far.  Enum lines may
+      // appear *between* transition rules in malformed input; growing the
+      // grid (instead of sizing it once) keeps every index in bounds.
+      if (model.transitions.size() < model.state_names.size()) {
+        model.transitions.resize(model.state_names.size());
+      }
+      for (std::vector<std::uint32_t>& row : model.transitions) {
+        if (row.size() < model.event_names.size()) {
+          row.resize(model.event_names.size(), 0);
+        }
       }
       const auto grab = [&](std::string_view marker,
                             std::size_t from) -> std::string {

@@ -62,12 +62,18 @@ class DiagnosticEngine {
 class ParseError : public std::runtime_error {
  public:
   ParseError(SourceLoc loc, const std::string& message)
-      : std::runtime_error(to_string(loc) + ": " + message), loc_(loc) {}
+      : std::runtime_error(to_string(loc) + ": " + message),
+        loc_(loc),
+        message_(message) {}
 
   [[nodiscard]] SourceLoc loc() const { return loc_; }
+  /// The bare message, without the `line:column: ` prefix of what() --
+  /// recovery boundaries turn it into a Diagnostic at loc().
+  [[nodiscard]] const std::string& message() const { return message_; }
 
  private:
   SourceLoc loc_;
+  std::string message_;
 };
 
 }  // namespace shelley

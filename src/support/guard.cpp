@@ -1,0 +1,122 @@
+#include "support/guard.hpp"
+
+#include <atomic>
+#include <chrono>
+
+namespace shelley::support::guard {
+namespace {
+
+// The installed limits, readable from any verifier worker thread.  Plain
+// relaxed atomics: limits are set before work starts and only torn down
+// after it ends, so readers never observe a half-written configuration in
+// any meaningful run.
+std::atomic<std::size_t> g_max_depth{Limits{}.max_recursion_depth};
+std::atomic<std::size_t> g_max_input{Limits{}.max_input_bytes};
+std::atomic<std::size_t> g_max_states{Limits{}.max_states};
+std::atomic<std::uint64_t> g_timeout_ms{Limits{}.timeout_ms};
+
+// Deadline as steady_clock ticks since epoch; 0 = disarmed.
+std::atomic<std::int64_t> g_deadline{0};
+
+thread_local std::size_t t_depth = 0;
+
+std::int64_t now_ticks() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace
+
+std::string_view to_string(Resource resource) {
+  switch (resource) {
+    case Resource::kRecursionDepth: return "recursion depth";
+    case Resource::kInputSize: return "input size";
+    case Resource::kStateBudget: return "state budget";
+    case Resource::kTimeout: return "timeout";
+  }
+  return "resource";
+}
+
+Limits limits() {
+  Limits out;
+  out.max_recursion_depth = g_max_depth.load(std::memory_order_relaxed);
+  out.max_input_bytes = g_max_input.load(std::memory_order_relaxed);
+  out.max_states = g_max_states.load(std::memory_order_relaxed);
+  out.timeout_ms = g_timeout_ms.load(std::memory_order_relaxed);
+  return out;
+}
+
+ScopedLimits::ScopedLimits(const Limits& limits)
+    : previous_(guard::limits()),
+      previous_deadline_(g_deadline.load(std::memory_order_relaxed)) {
+  const Limits defaults;
+  g_max_depth.store(limits.max_recursion_depth != 0
+                        ? limits.max_recursion_depth
+                        : defaults.max_recursion_depth,
+                    std::memory_order_relaxed);
+  g_max_input.store(limits.max_input_bytes != 0 ? limits.max_input_bytes
+                                                : defaults.max_input_bytes,
+                    std::memory_order_relaxed);
+  g_max_states.store(limits.max_states, std::memory_order_relaxed);
+  g_timeout_ms.store(limits.timeout_ms, std::memory_order_relaxed);
+  g_deadline.store(
+      limits.timeout_ms != 0
+          ? now_ticks() + std::chrono::duration_cast<
+                              std::chrono::steady_clock::duration>(
+                              std::chrono::milliseconds(limits.timeout_ms))
+                              .count()
+          : 0,
+      std::memory_order_relaxed);
+}
+
+ScopedLimits::~ScopedLimits() {
+  g_max_depth.store(previous_.max_recursion_depth,
+                    std::memory_order_relaxed);
+  g_max_input.store(previous_.max_input_bytes, std::memory_order_relaxed);
+  g_max_states.store(previous_.max_states, std::memory_order_relaxed);
+  g_timeout_ms.store(previous_.timeout_ms, std::memory_order_relaxed);
+  g_deadline.store(previous_deadline_, std::memory_order_relaxed);
+}
+
+DepthGuard::DepthGuard(SourceLoc loc) {
+  const std::size_t cap = g_max_depth.load(std::memory_order_relaxed);
+  if (t_depth >= cap) {
+    throw ResourceError(Resource::kRecursionDepth, loc,
+                        "nesting exceeds the recursion limit (" +
+                            std::to_string(cap) + " levels)");
+  }
+  ++t_depth;
+}
+
+DepthGuard::~DepthGuard() { --t_depth; }
+
+void check_input_size(std::size_t bytes, SourceLoc loc) {
+  const std::size_t cap = g_max_input.load(std::memory_order_relaxed);
+  if (bytes > cap) {
+    throw ResourceError(Resource::kInputSize, loc,
+                        "input of " + std::to_string(bytes) +
+                            " bytes exceeds the limit of " +
+                            std::to_string(cap) + " bytes");
+  }
+}
+
+void check_states(std::size_t states, std::string_view what) {
+  const std::size_t cap = g_max_states.load(std::memory_order_relaxed);
+  if (cap != 0 && states > cap) {
+    throw ResourceError(Resource::kStateBudget, {},
+                        std::string(what) + " exceeds the state budget of " +
+                            std::to_string(cap) + " states");
+  }
+}
+
+void check_deadline(std::string_view phase) {
+  const std::int64_t deadline = g_deadline.load(std::memory_order_relaxed);
+  if (deadline != 0 && now_ticks() > deadline) {
+    throw ResourceError(
+        Resource::kTimeout, {},
+        "deadline of " +
+            std::to_string(g_timeout_ms.load(std::memory_order_relaxed)) +
+            " ms exceeded during " + std::string(phase));
+  }
+}
+
+}  // namespace shelley::support::guard

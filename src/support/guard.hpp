@@ -1,0 +1,110 @@
+// Hard resource limits for the frontends and the automata pipeline.
+//
+// Every recursive-descent parser, IR visitor, and automaton construction in
+// the tree consults this module so that adversarial input (100k nested
+// parentheses, multi-megabyte files, state-space blowups, pathological
+// claim formulas) fails with a structured ResourceError -- a ParseError
+// subclass carrying the exhausted resource -- instead of a stack overflow,
+// an OOM kill, or an unbounded run.
+//
+// Limits are process-global (set once at startup, read by every worker
+// thread of the parallel verifier); the recursion-depth counter is
+// thread-local because it measures the current thread's stack.  The
+// defaults are generous enough that no legitimate specification ever hits
+// them; `ScopedLimits` installs stricter ones (CLI flags, fuzzing) and
+// restores the previous limits on scope exit.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "support/diagnostics.hpp"
+
+namespace shelley::support::guard {
+
+/// The tunable budgets.  A zero disables the corresponding check except for
+/// `max_recursion_depth` and `max_input_bytes`, whose zeros mean "use the
+/// built-in default" -- an unbounded recursion cap would defeat the point.
+struct Limits {
+  /// Nested parser/visitor frames per thread (default 256).
+  std::size_t max_recursion_depth = 256;
+  /// Size of one source buffer handed to a frontend (default 8 MiB).
+  std::size_t max_input_bytes = 8u << 20;
+  /// States of any single constructed automaton; 0 = unlimited.
+  std::size_t max_states = 0;
+  /// Wall-clock budget for the whole run, armed by ScopedLimits; 0 = none.
+  std::uint64_t timeout_ms = 0;
+};
+
+enum class Resource : std::uint8_t {
+  kRecursionDepth,
+  kInputSize,
+  kStateBudget,
+  kTimeout,
+};
+
+[[nodiscard]] std::string_view to_string(Resource resource);
+
+/// Thrown when a budget is exhausted.  Derives from ParseError so every
+/// existing recovery boundary (shelleyc's file loop, the fuzz harness, the
+/// robustness tests) already catches it; `resource()` identifies which
+/// limit fired for structured reporting.
+class ResourceError : public ParseError {
+ public:
+  ResourceError(Resource resource, SourceLoc loc, const std::string& message)
+      : ParseError(loc, message), resource_(resource) {}
+
+  [[nodiscard]] Resource resource() const { return resource_; }
+
+ private:
+  Resource resource_;
+};
+
+/// The currently installed limits.
+[[nodiscard]] Limits limits();
+
+/// Installs `limits` process-wide and arms the deadline from `timeout_ms`
+/// (measured from construction).  Restores the previous limits and deadline
+/// on destruction.  Not reentrancy-safe across threads -- install once near
+/// main(), or serially in tests.
+class ScopedLimits {
+ public:
+  explicit ScopedLimits(const Limits& limits);
+  ~ScopedLimits();
+
+  ScopedLimits(const ScopedLimits&) = delete;
+  ScopedLimits& operator=(const ScopedLimits&) = delete;
+
+ private:
+  Limits previous_;
+  std::int64_t previous_deadline_;
+};
+
+/// One recursion frame of a parser or visitor.  Construction throws
+/// ResourceError(kRecursionDepth) at `loc` when the per-thread nesting
+/// exceeds the cap; destruction pops the frame.
+class DepthGuard {
+ public:
+  explicit DepthGuard(SourceLoc loc = {});
+  ~DepthGuard();
+
+  DepthGuard(const DepthGuard&) = delete;
+  DepthGuard& operator=(const DepthGuard&) = delete;
+};
+
+/// Rejects a source buffer larger than the input budget.
+void check_input_size(std::size_t bytes, SourceLoc loc = {});
+
+/// Rejects an automaton that grew beyond the state budget (no-op when the
+/// budget is 0).  `what` names the construction for the diagnostic.
+void check_states(std::size_t states, std::string_view what);
+
+/// Throws ResourceError(kTimeout) once the armed deadline has passed.
+/// Called at phase boundaries (per file, per class, per automaton pass) and
+/// periodically inside state-space loops; `phase` names the interrupted
+/// work.  No-op while no deadline is armed.
+void check_deadline(std::string_view phase);
+
+}  // namespace shelley::support::guard

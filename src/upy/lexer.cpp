@@ -3,6 +3,7 @@
 #include <cctype>
 #include <unordered_map>
 
+#include "support/guard.hpp"
 #include "support/metrics.hpp"
 #include "support/trace.hpp"
 
@@ -36,7 +37,9 @@ bool is_ident_char(char c) {
 
 class Lexer {
  public:
-  explicit Lexer(std::string_view source) : source_(source) {}
+  explicit Lexer(std::string_view source,
+                 DiagnosticEngine* diagnostics = nullptr)
+      : source_(source), diagnostics_(diagnostics) {}
 
   std::vector<Token> run() {
     indents_.push_back(0);
@@ -71,6 +74,19 @@ class Lexer {
     tokens_.push_back(Token{kind, std::move(text), loc});
   }
 
+  // Reports a lexical error.  Without a diagnostics sink this throws (the
+  // historical contract); with one it records the error so the caller's
+  // recovery action can resynchronize and keep producing tokens.
+  void fail(SourceLoc loc, std::string message) {
+    if (diagnostics_ == nullptr) throw ParseError(loc, message);
+    diagnostics_->error(loc, std::move(message));
+  }
+
+  // True at a line terminator: '\n' or the '\r' of a "\r\n" pair.
+  [[nodiscard]] bool at_eol() const {
+    return peek() == '\n' || (peek() == '\r' && peek(1) == '\n');
+  }
+
   // Measures the indentation of the line starting at pos_, skipping blank
   // and comment-only lines entirely.  Emits INDENT/DEDENT as required.
   void handle_indentation() {
@@ -82,8 +98,9 @@ class Lexer {
         advance();
       }
       if (pos_ >= source_.size()) return;
-      if (peek() == '\n') {
-        advance();  // blank line
+      if (at_eol()) {
+        if (peek() == '\r') advance();
+        advance();  // blank line (LF or CRLF)
         continue;
       }
       if (peek() == '#') {
@@ -108,7 +125,9 @@ class Lexer {
       emit(TokenKind::kDedent, "", here());
     }
     if (width != indents_.back()) {
-      throw ParseError(here(), "inconsistent indentation");
+      // Recovery: treat the line as if it matched the enclosing level, so
+      // one bad indent yields one diagnostic instead of a cascade.
+      fail(here(), "inconsistent indentation");
     }
   }
 
@@ -132,8 +151,10 @@ class Lexer {
       while (pos_ < source_.size() && peek() != '\n') advance();
       return;
     }
-    if (c == '\\' && peek(1) == '\n') {  // explicit line joining
-      advance();
+    if (c == '\\' &&
+        (peek(1) == '\n' || (peek(1) == '\r' && peek(2) == '\n'))) {
+      advance();  // explicit line joining, LF or CRLF
+      if (peek() == '\r') advance();
       advance();
       return;
     }
@@ -156,8 +177,10 @@ class Lexer {
     const char quote = advance();
     std::string value;
     while (true) {
-      if (pos_ >= source_.size() || peek() == '\n') {
-        throw ParseError(loc, "unterminated string literal");
+      if (pos_ >= source_.size() || at_eol()) {
+        // Recovery: emit what was scanned so the parser can keep going.
+        fail(loc, "unterminated string literal");
+        break;
       }
       const char c = advance();
       if (c == quote) break;
@@ -259,7 +282,8 @@ class Lexer {
           emit(TokenKind::kNe, "!=", loc);
           return;
         }
-        throw ParseError(loc, "unexpected '!'");
+        fail(loc, "unexpected '!'");  // recovery: drop the character
+        return;
       case '<':
         if (peek() == '=') {
           advance();
@@ -317,7 +341,8 @@ class Lexer {
         emit(TokenKind::kPercent, "%", loc);
         return;
       default:
-        throw ParseError(loc, std::string("unexpected character '") + c + "'");
+        fail(loc, std::string("unexpected character '") + c + "'");
+        return;  // recovery: drop the character
     }
   }
 
@@ -335,6 +360,7 @@ class Lexer {
   }
 
   std::string_view source_;
+  DiagnosticEngine* diagnostics_;  // non-null = recovery mode
   std::size_t pos_ = 0;
   std::uint32_t line_ = 1;
   std::uint32_t column_ = 1;
@@ -348,7 +374,18 @@ class Lexer {
 
 std::vector<Token> lex(std::string_view source) {
   support::trace::Span span("upy.lex");
+  support::guard::check_input_size(source.size());
   std::vector<Token> tokens = Lexer(source).run();
+  support::metrics::record_tokens(tokens.size());
+  span.arg("tokens", static_cast<std::uint64_t>(tokens.size()));
+  return tokens;
+}
+
+std::vector<Token> lex(std::string_view source,
+                       DiagnosticEngine& diagnostics) {
+  support::trace::Span span("upy.lex");
+  support::guard::check_input_size(source.size());
+  std::vector<Token> tokens = Lexer(source, &diagnostics).run();
   support::metrics::record_tokens(tokens.size());
   span.arg("tokens", static_cast<std::uint64_t>(tokens.size()));
   return tokens;

@@ -16,4 +16,12 @@ namespace shelley::upy {
 
 [[nodiscard]] std::vector<Token> lex(std::string_view source);
 
+/// Recovery mode: lexical errors (bad characters, unterminated strings,
+/// inconsistent indentation) are reported into `diagnostics` and the lexer
+/// resynchronizes, so one malformed construct yields one diagnostic and the
+/// rest of the file still produces tokens.  Resource limits (input size)
+/// still throw support::guard::ResourceError.
+[[nodiscard]] std::vector<Token> lex(std::string_view source,
+                                     DiagnosticEngine& diagnostics);
+
 }  // namespace shelley::upy

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "support/guard.hpp"
 #include "support/trace.hpp"
 #include "upy/lexer.hpp"
 
@@ -20,7 +21,9 @@ StmtPtr make_stmt(SourceLoc loc, Node node) {
 
 class Parser {
  public:
-  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+  explicit Parser(std::vector<Token> tokens,
+                  DiagnosticEngine* diagnostics = nullptr)
+      : tokens_(std::move(tokens)), diagnostics_(diagnostics) {}
 
   Module parse_module() {
     Module module;
@@ -31,7 +34,19 @@ class Parser {
         skip_line();
         continue;
       }
-      module.classes.push_back(parse_classdef());
+      if (!recovering()) {
+        module.classes.push_back(parse_classdef());
+        continue;
+      }
+      try {
+        module.classes.push_back(parse_classdef());
+      } catch (const ParseError& error) {
+        recover(error);
+        // A class that broke mid-body leaves its closing DEDENTs behind;
+        // they mean nothing at module level.
+        while (accept(TokenKind::kDedent)) {
+        }
+      }
     }
     return module;
   }
@@ -52,7 +67,13 @@ class Parser {
     return tokens_[index];
   }
   [[nodiscard]] bool at(TokenKind kind) const { return peek().kind == kind; }
-  const Token& advance() { return tokens_[index_++]; }
+  // Sticks at the trailing EOF token: advancing past the end must not walk
+  // off the vector, whatever a skip loop above gets wrong.
+  const Token& advance() {
+    const Token& token = tokens_[index_];
+    if (index_ + 1 < tokens_.size()) ++index_;
+    return token;
+  }
 
   bool accept(TokenKind kind) {
     if (!at(kind)) return false;
@@ -72,6 +93,72 @@ class Parser {
   void skip_line() {
     while (!at(TokenKind::kNewline) && !at(TokenKind::kEndOfFile)) advance();
     accept(TokenKind::kNewline);
+  }
+
+  // -- Error recovery --------------------------------------------------------
+  //
+  // With a diagnostics sink installed, syntax errors are caught at the
+  // nearest enclosing statement/member/class loop, recorded, and the token
+  // stream is resynchronized to the next logical line at the same nesting
+  // level, so one malformed construct yields one diagnostic and parsing
+  // continues.  Resource errors always propagate: a file that hits a hard
+  // limit is not worth enumerating further.
+
+  [[nodiscard]] bool recovering() const { return diagnostics_ != nullptr; }
+
+  void recover(const ParseError& error) {
+    if (dynamic_cast<const support::guard::ResourceError*>(&error) !=
+        nullptr) {
+      throw;
+    }
+    // After many errors the rest of the file is noise (fuzzed inputs);
+    // cap the cascade and skip to the end.
+    if (++reported_errors_ <= kMaxParseErrors) {
+      diagnostics_->error(error.loc(), error.message());
+    }
+    if (reported_errors_ == kMaxParseErrors) {
+      diagnostics_->note(error.loc(),
+                         "too many syntax errors; giving up on this file");
+    }
+    if (reported_errors_ >= kMaxParseErrors) {
+      while (!at(TokenKind::kEndOfFile)) advance();
+      return;
+    }
+    synchronize();
+  }
+
+  // Skips to the start of the next logical line at the nesting level of the
+  // enclosing statement loop: consumes tokens through the next NEWLINE
+  // (plus a whole INDENT...DEDENT suite the broken statement may have
+  // opened), and stops *before* a DEDENT that closes the current block so
+  // the enclosing loop sees it.
+  void synchronize() {
+    int depth = 0;
+    while (!at(TokenKind::kEndOfFile)) {
+      switch (peek().kind) {
+        case TokenKind::kIndent:
+          ++depth;
+          advance();
+          break;
+        case TokenKind::kDedent:
+          if (depth == 0) return;  // the caller's loop handles this one
+          --depth;
+          advance();
+          if (depth == 0) return;
+          break;
+        case TokenKind::kNewline:
+          advance();
+          if (depth == 0) {
+            // The erroring construct may have opened a suite (`if x ==:`
+            // followed by an indented body); swallow it whole.
+            if (!at(TokenKind::kIndent)) return;
+          }
+          break;
+        default:
+          advance();
+          break;
+      }
+    }
   }
 
   // -- Declarations ----------------------------------------------------------
@@ -110,19 +197,28 @@ class Parser {
     cls.loc = expect(TokenKind::kKwClass).loc;
     cls.name = expect(TokenKind::kName).text;
     if (accept(TokenKind::kLParen)) {  // base-class list; names ignored
-      while (!at(TokenKind::kRParen)) advance();
+      while (!at(TokenKind::kRParen) && !at(TokenKind::kEndOfFile)) advance();
       expect(TokenKind::kRParen);
     }
     expect(TokenKind::kColon);
     expect(TokenKind::kNewline);
     expect(TokenKind::kIndent);
     while (!accept(TokenKind::kDedent)) {
+      if (recovering() && at(TokenKind::kEndOfFile)) break;
       if (accept(TokenKind::kNewline)) continue;
       if (accept(TokenKind::kKwPass)) {
         expect(TokenKind::kNewline);
         continue;
       }
-      cls.methods.push_back(parse_funcdef());
+      if (!recovering()) {
+        cls.methods.push_back(parse_funcdef());
+        continue;
+      }
+      try {
+        cls.methods.push_back(parse_funcdef());
+      } catch (const ParseError& error) {
+        recover(error);
+      }
     }
     return cls;
   }
@@ -155,8 +251,17 @@ class Parser {
       expect(TokenKind::kIndent);
       Block block;
       while (!accept(TokenKind::kDedent)) {
+        if (recovering() && at(TokenKind::kEndOfFile)) break;
         if (accept(TokenKind::kNewline)) continue;
-        parse_statement(block);
+        if (!recovering()) {
+          parse_statement(block);
+          continue;
+        }
+        try {
+          parse_statement(block);
+        } catch (const ParseError& error) {
+          recover(error);
+        }
       }
       return block;
     }
@@ -167,6 +272,7 @@ class Parser {
   }
 
   void parse_statement(Block& block) {
+    support::guard::DepthGuard depth(peek().loc);
     switch (peek().kind) {
       case TokenKind::kKwIf:
         block.push_back(parse_if());
@@ -348,7 +454,10 @@ class Parser {
     return make_expr(loc, std::move(tuple));
   }
 
-  ExprPtr parse_test() { return parse_or(); }
+  ExprPtr parse_test() {
+    support::guard::DepthGuard depth(peek().loc);
+    return parse_or();
+  }
 
   ExprPtr parse_or() {
     ExprPtr left = parse_and();
@@ -369,6 +478,7 @@ class Parser {
   }
 
   ExprPtr parse_not() {
+    support::guard::DepthGuard depth(peek().loc);
     if (at(TokenKind::kKwNot)) {
       const SourceLoc loc = advance().loc;
       return make_expr(loc, UnaryExpr{"not", parse_not()});
@@ -419,6 +529,7 @@ class Parser {
   }
 
   ExprPtr parse_factor() {
+    support::guard::DepthGuard depth(peek().loc);
     if (at(TokenKind::kMinus) || at(TokenKind::kPlus)) {
       const std::string op = peek().kind == TokenKind::kMinus ? "-" : "+";
       const SourceLoc loc = advance().loc;
@@ -511,8 +622,12 @@ class Parser {
     }
   }
 
+  static constexpr std::size_t kMaxParseErrors = 100;
+
   std::vector<Token> tokens_;
+  DiagnosticEngine* diagnostics_;  // non-null = recovery mode
   std::size_t index_ = 0;
+  std::size_t reported_errors_ = 0;
 };
 
 }  // namespace
@@ -520,6 +635,15 @@ class Parser {
 Module parse_module(std::string_view source) {
   support::trace::Span span("upy.parse");
   Module module = Parser(lex(source)).parse_module();
+  span.arg("classes", static_cast<std::uint64_t>(module.classes.size()));
+  return module;
+}
+
+Module parse_module(std::string_view source,
+                    DiagnosticEngine& diagnostics) {
+  support::trace::Span span("upy.parse");
+  Module module =
+      Parser(lex(source, diagnostics), &diagnostics).parse_module();
   span.arg("classes", static_cast<std::uint64_t>(module.classes.size()));
   return module;
 }

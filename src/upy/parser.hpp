@@ -17,6 +17,14 @@ namespace shelley::upy {
 
 [[nodiscard]] Module parse_module(std::string_view source);
 
+/// Recovery mode: instead of throwing on the first syntax error, reports
+/// every error into `diagnostics` (in source order, one per malformed
+/// construct, synchronizing on NEWLINE/DEDENT) and returns whatever parsed
+/// cleanly -- a class with one broken method keeps its other methods.
+/// Resource limits (support::guard) still throw ResourceError.
+[[nodiscard]] Module parse_module(std::string_view source,
+                                  DiagnosticEngine& diagnostics);
+
 /// Parses a single expression (used by tests and the claim parser).
 [[nodiscard]] ExprPtr parse_expression(std::string_view source);
 

@@ -1,0 +1,9 @@
+@sys
+class Crlf:
+    @op_initial_final
+    def ping(self):
+        return ["ping"]
+
+    @op
+    def pong(self):
+        return ["ping"]

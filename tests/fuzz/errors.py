@@ -1,0 +1,13 @@
+@sys
+class Broken:
+    @op_initial
+    def test(self:
+        return ["open"
+
+    @op
+    def open(self)
+        return "close"]
+
+    @op_final
+    def close(self):
+        return ["test"]

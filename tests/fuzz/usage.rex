@@ -1,0 +1,1 @@
+(test (open close + clean))* test

@@ -5,6 +5,7 @@
 #include "ir/inference.hpp"
 #include "rex/equivalence.hpp"
 #include "rex/parser.hpp"
+#include "support/guard.hpp"
 #include "upy/parser.hpp"
 
 namespace shelley::ir {
@@ -222,6 +223,42 @@ TEST_F(LoweringTest, TrackedCallEventDecoding) {
   EXPECT_FALSE(
       tracked_call_event(upy::parse_expression("self.a.open"), context)
           .has_value());
+}
+
+TEST_F(LoweringTest, DeepExpressionTreeFailsWithDiagnosticNotCrash) {
+  // A hand-built AST deeper than the recursion cap (the parser's own guard
+  // keeps parsed trees shallower, so construct one directly): the lowering
+  // visitor must throw a structured ResourceError, not smash the stack.
+  // 4096 levels: safely past the 256-frame guard, but shallow enough that
+  // the shared_ptr chain's own (recursive) destruction stays in bounds.
+  upy::ExprPtr expr = std::make_shared<const upy::Expr>(
+      upy::Expr{{1, 1}, upy::NameExpr{"x"}});
+  for (int i = 0; i < 4096; ++i) {
+    expr = std::make_shared<const upy::Expr>(
+        upy::Expr{{1, 1}, upy::UnaryExpr{"-", std::move(expr)}});
+  }
+  LoweringContext context;
+  context.tracked_fields = {"a"};
+  context.symbols = &table_;
+  EXPECT_THROW((void)events_in_expr(expr, context),
+               support::guard::ResourceError);
+}
+
+TEST_F(LoweringTest, DeepStatementTreeFailsWithDiagnosticNotCrash) {
+  upy::Block body;
+  body.push_back(std::make_shared<const upy::Stmt>(
+      upy::Stmt{{1, 1}, upy::PassStmt{}}));
+  for (int i = 0; i < 4096; ++i) {
+    upy::Block outer;
+    outer.push_back(std::make_shared<const upy::Stmt>(upy::Stmt{
+        {1, 1}, upy::WhileStmt{nullptr, std::move(body)}}));
+    body = std::move(outer);
+  }
+  LoweringContext context;
+  context.tracked_fields = {"a"};
+  context.symbols = &table_;
+  EXPECT_THROW((void)lower_block(body, context),
+               support::guard::ResourceError);
 }
 
 }  // namespace

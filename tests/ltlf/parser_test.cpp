@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
+#include "support/guard.hpp"
+
 namespace shelley::ltlf {
 namespace {
 
@@ -83,6 +87,65 @@ TEST_F(LtlfParserTest, Errors) {
   EXPECT_THROW(parse_("a b"), ParseError);  // juxtaposition is not valid
   EXPECT_THROW(parse_("U a"), ParseError);
   EXPECT_THROW(parse_("a # b"), ParseError);
+}
+
+TEST_F(LtlfParserTest, ErrorsCarryTheColumnWithinTheFormula) {
+  // Regression: every error used to claim line 1, regardless of where the
+  // claim annotation lives in its file.
+  try {
+    (void)parse_("a # b");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& error) {
+    EXPECT_EQ(error.loc(), (SourceLoc{1, 3}));
+  }
+}
+
+TEST_F(LtlfParserTest, ErrorsAreOffsetByTheAnnotationOrigin) {
+  // A claim embedded at line 12, column 8 of a .py file reports errors in
+  // that file's coordinates.
+  try {
+    (void)parse("a # b", table_, {12, 8});
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& error) {
+    EXPECT_EQ(error.loc(), (SourceLoc{12, 10}));
+  }
+  try {
+    (void)parse("a &", table_, {33, 5});
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& error) {
+    EXPECT_EQ(error.loc().line, 33u);
+  }
+}
+
+TEST_F(LtlfParserTest, OriginDoesNotChangeTheParse) {
+  EXPECT_TRUE(structurally_equal(parse("G (a -> F b)", table_, {99, 42}),
+                                 parse_("G (a -> F b)")));
+}
+
+TEST_F(LtlfParserTest, DeepNestingFailsWithDiagnosticNotCrash) {
+  std::string text(100000, '(');
+  text += "a";
+  text += std::string(100000, ')');
+  try {
+    (void)parse(text, table_);
+    FAIL() << "expected ResourceError";
+  } catch (const support::guard::ResourceError& error) {
+    EXPECT_EQ(error.resource(), support::guard::Resource::kRecursionDepth);
+  }
+}
+
+TEST_F(LtlfParserTest, DeepNotChainAlsoGuarded) {
+  std::string text;
+  for (int i = 0; i < 100000; ++i) text += "!";
+  text += "a";
+  EXPECT_THROW((void)parse(text, table_), support::guard::ResourceError);
+}
+
+TEST_F(LtlfParserTest, NestingBelowTheCapStillParses) {
+  std::string text(100, '(');
+  text += "a";
+  text += std::string(100, ')');
+  EXPECT_NO_THROW((void)parse(text, table_));
 }
 
 TEST_F(LtlfParserTest, RoundTripThroughPrinter) {

@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "rex/derivative.hpp"
 #include "rex/equivalence.hpp"
+#include "support/guard.hpp"
 
 namespace shelley::rex {
 namespace {
@@ -89,6 +92,56 @@ TEST_F(RexParserTest, Errors) {
 TEST_F(RexParserTest, WhitespaceIsInsignificantAroundOperators) {
   EXPECT_TRUE(structurally_equal(parse_("a+b"), parse_("a + b")));
   EXPECT_TRUE(structurally_equal(parse_("a*"), parse_(" a * ")));
+}
+
+TEST_F(RexParserTest, ErrorsCarryTheColumnWithinTheExpression) {
+  // Regression: every error used to claim line 1, column of the lexer's
+  // in-text position, even for expressions embedded in a larger file.
+  try {
+    (void)parse_("a + ?");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& error) {
+    EXPECT_EQ(error.loc(), (SourceLoc{1, 5}));
+  }
+}
+
+TEST_F(RexParserTest, ErrorsAreOffsetByTheAnnotationOrigin) {
+  // An expression embedded at line 42, column 10 of a .py file must report
+  // errors in that file's coordinates.
+  try {
+    (void)parse("a + ?", table_, {42, 10});
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& error) {
+    EXPECT_EQ(error.loc(), (SourceLoc{42, 14}));
+  }
+  try {
+    (void)parse("(a", table_, {7, 3});
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& error) {
+    EXPECT_EQ(error.loc().line, 7u);
+    EXPECT_EQ(error.loc().column, 3u + 2u);  // at the end-of-input token
+  }
+}
+
+TEST_F(RexParserTest, DeepNestingFailsWithDiagnosticNotCrash) {
+  // 100k nested parentheses: the recursion guard must turn this into a
+  // structured error instead of a stack overflow.
+  std::string text(100000, '(');
+  text += "a";
+  text += std::string(100000, ')');
+  try {
+    (void)parse(text, table_);
+    FAIL() << "expected ResourceError";
+  } catch (const support::guard::ResourceError& error) {
+    EXPECT_EQ(error.resource(), support::guard::Resource::kRecursionDepth);
+  }
+}
+
+TEST_F(RexParserTest, NestingBelowTheCapStillParses) {
+  std::string text(100, '(');
+  text += "a";
+  text += std::string(100, ')');
+  EXPECT_NO_THROW((void)parse(text, table_));
 }
 
 }  // namespace

@@ -90,6 +90,29 @@ TEST_F(SmvParserTest, MalformedInputsThrow) {
                ParseError);
 }
 
+TEST_F(SmvParserTest, EnumLinesAfterTransitionsStayInBounds) {
+  // Regression (found by fuzz_frontend): a duplicated model body declares
+  // extra states/events *after* the first transition rule sized the grid,
+  // so later rules indexed out of bounds and crashed.  The grid must grow
+  // with the declarations instead.
+  const char* text =
+      "MODULE main\n"
+      "IVAR\n  event : {e_a};\n"
+      "VAR\n  state : {s_0};\n"
+      "ASSIGN\n"
+      "  init(state) := s_0;\n"
+      "  state = s_0 & event = e_a : s_0;\n"
+      "IVAR\n  event : {e_a, e_b, e_c};\n"
+      "VAR\n  state : {s_0, s_1, s_2};\n"
+      "  state = s_2 & event = e_c : s_1;\n";
+  const SmvModel model = parse_model(text);
+  ASSERT_EQ(model.state_names.size(), 4u);  // s_0 declared twice
+  ASSERT_EQ(model.transitions.size(), model.state_names.size());
+  for (const auto& row : model.transitions) {
+    EXPECT_EQ(row.size(), model.event_names.size());
+  }
+}
+
 TEST_F(SmvParserTest, CommentsAndBlankLinesIgnored) {
   const fsm::Dfa original = dfa_("x y");
   std::string text = emit(from_dfa(original, table_, "m"));

@@ -1,0 +1,145 @@
+#include "support/guard.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace shelley::support::guard {
+namespace {
+
+TEST(Guard, DefaultsAreGenerous) {
+  const Limits current = limits();
+  EXPECT_GE(current.max_recursion_depth, 256u);
+  EXPECT_GE(current.max_input_bytes, 8u << 20);
+  EXPECT_EQ(current.max_states, 0u);
+  EXPECT_EQ(current.timeout_ms, 0u);
+}
+
+TEST(Guard, ScopedLimitsInstallAndRestore) {
+  const Limits before = limits();
+  {
+    Limits strict;
+    strict.max_recursion_depth = 8;
+    strict.max_input_bytes = 128;
+    strict.max_states = 16;
+    ScopedLimits scoped(strict);
+    EXPECT_EQ(limits().max_recursion_depth, 8u);
+    EXPECT_EQ(limits().max_input_bytes, 128u);
+    EXPECT_EQ(limits().max_states, 16u);
+  }
+  EXPECT_EQ(limits().max_recursion_depth, before.max_recursion_depth);
+  EXPECT_EQ(limits().max_input_bytes, before.max_input_bytes);
+  EXPECT_EQ(limits().max_states, before.max_states);
+}
+
+TEST(Guard, ZeroDepthAndInputKeepDefaults) {
+  Limits zeros;
+  zeros.max_recursion_depth = 0;
+  zeros.max_input_bytes = 0;
+  ScopedLimits scoped(zeros);
+  // An unbounded recursion cap would defeat the point: zeros fall back to
+  // the built-in defaults instead of disabling the checks.
+  EXPECT_NO_THROW(DepthGuard{});
+  EXPECT_NO_THROW(check_input_size(1024));
+}
+
+TEST(Guard, DepthGuardThrowsAtTheCap) {
+  Limits strict;
+  strict.max_recursion_depth = 4;
+  ScopedLimits scoped(strict);
+  std::vector<DepthGuard*> frames;
+  for (int i = 0; i < 4; ++i) frames.push_back(new DepthGuard({1, 1}));
+  try {
+    DepthGuard one_too_many({7, 3});
+    FAIL() << "expected ResourceError";
+  } catch (const ResourceError& error) {
+    EXPECT_EQ(error.resource(), Resource::kRecursionDepth);
+    EXPECT_EQ(error.loc(), (SourceLoc{7, 3}));
+  }
+  for (DepthGuard* frame : frames) delete frame;
+  // All frames popped: the full depth is available again.
+  EXPECT_NO_THROW((DepthGuard{}));
+}
+
+TEST(Guard, DepthGuardIsResourceAndParseError) {
+  Limits strict;
+  strict.max_recursion_depth = 1;
+  ScopedLimits scoped(strict);
+  DepthGuard first;
+  // Existing recovery boundaries catch ParseError; ResourceError must pass
+  // through them unchanged.
+  EXPECT_THROW(DepthGuard{}, ParseError);
+}
+
+TEST(Guard, InputSizeBudget) {
+  Limits strict;
+  strict.max_input_bytes = 64;
+  ScopedLimits scoped(strict);
+  EXPECT_NO_THROW(check_input_size(64));
+  try {
+    check_input_size(65);
+    FAIL() << "expected ResourceError";
+  } catch (const ResourceError& error) {
+    EXPECT_EQ(error.resource(), Resource::kInputSize);
+  }
+}
+
+TEST(Guard, StateBudgetDisabledByDefault) {
+  EXPECT_NO_THROW(check_states(1u << 30, "test"));
+}
+
+TEST(Guard, StateBudgetEnforced) {
+  Limits strict;
+  strict.max_states = 100;
+  ScopedLimits scoped(strict);
+  EXPECT_NO_THROW(check_states(100, "test"));
+  try {
+    check_states(101, "determinization");
+    FAIL() << "expected ResourceError";
+  } catch (const ResourceError& error) {
+    EXPECT_EQ(error.resource(), Resource::kStateBudget);
+    EXPECT_NE(std::string(error.what()).find("determinization"),
+              std::string::npos);
+  }
+}
+
+TEST(Guard, DeadlineDisarmedByDefault) {
+  EXPECT_NO_THROW(check_deadline("test"));
+}
+
+TEST(Guard, DeadlineFiresAfterTimeout) {
+  Limits strict;
+  strict.timeout_ms = 1;
+  ScopedLimits scoped(strict);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  try {
+    check_deadline("fsm.determinize");
+    FAIL() << "expected ResourceError";
+  } catch (const ResourceError& error) {
+    EXPECT_EQ(error.resource(), Resource::kTimeout);
+    EXPECT_NE(std::string(error.what()).find("fsm.determinize"),
+              std::string::npos);
+  }
+}
+
+TEST(Guard, DeadlineDisarmedAgainAfterScopeExit) {
+  {
+    Limits strict;
+    strict.timeout_ms = 1;
+    ScopedLimits scoped(strict);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_NO_THROW(check_deadline("test"));
+}
+
+TEST(Guard, ResourceNamesForDiagnostics) {
+  EXPECT_EQ(to_string(Resource::kRecursionDepth), "recursion depth");
+  EXPECT_EQ(to_string(Resource::kInputSize), "input size");
+  EXPECT_EQ(to_string(Resource::kStateBudget), "state budget");
+  EXPECT_EQ(to_string(Resource::kTimeout), "timeout");
+}
+
+}  // namespace
+}  // namespace shelley::support::guard

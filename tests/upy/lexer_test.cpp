@@ -198,5 +198,59 @@ TEST(Lexer, MissingTrailingNewlineStillTerminatesStatement) {
                                        TokenKind::kEndOfFile}));
 }
 
+TEST(Lexer, CrlfLineEndingsMatchLf) {
+  EXPECT_EQ(kinds("x = 1\r\ny = 2\r\n"), kinds("x = 1\ny = 2\n"));
+}
+
+TEST(Lexer, CrlfIndentDedentMatchesLf) {
+  EXPECT_EQ(kinds("if x:\r\n    y\r\nz\r\n"), kinds("if x:\n    y\nz\n"));
+}
+
+TEST(Lexer, CrlfBlankLineDoesNotAffectIndentation) {
+  // Regression: a blank CRLF line inside a suite used to be treated as a
+  // zero-indent code line, dedenting the whole suite.
+  EXPECT_EQ(kinds("if a:\r\n    b\r\n\r\n    c\r\n"),
+            kinds("if a:\n    b\n\n    c\n"));
+}
+
+TEST(Lexer, CrlfCommentOnlyLineIgnored) {
+  EXPECT_EQ(kinds("if a:\r\n    b\r\n# note\r\n    c\r\n"),
+            kinds("if a:\n    b\n# note\n    c\n"));
+}
+
+TEST(Lexer, MixedLineEndingsLexConsistently) {
+  EXPECT_EQ(kinds("if a:\r\n    b\n    c\r\nd\n"),
+            kinds("if a:\n    b\n    c\nd\n"));
+}
+
+TEST(Lexer, ExplicitLineJoiningAcceptsCrlf) {
+  // Regression: `\` followed by CRLF used to reject the `\r`.
+  EXPECT_EQ(kinds("x = 1 + \\\r\n    2\r\n"), kinds("x = 1 + \\\n    2\n"));
+}
+
+TEST(Lexer, CrlfSourceLocationsMatchLf) {
+  const auto crlf = lex("ab\r\n  cd\r\n");
+  const auto lf = lex("ab\n  cd\n");
+  ASSERT_EQ(crlf.size(), lf.size());
+  for (std::size_t i = 0; i < crlf.size(); ++i) {
+    EXPECT_EQ(crlf[i].kind, lf[i].kind) << i;
+    // Synthetic tokens (NEWLINE) sit at the line terminator, whose column
+    // differs by the '\r'; real tokens must agree exactly.
+    if (!crlf[i].text.empty()) {
+      EXPECT_EQ(crlf[i].loc, lf[i].loc) << i;
+    }
+  }
+  const Token* cd = nullptr;
+  for (const Token& t : crlf) {
+    if (t.text == "cd") cd = &t;
+  }
+  ASSERT_NE(cd, nullptr);
+  EXPECT_EQ(cd->loc, (SourceLoc{2, 3}));
+}
+
+TEST(Lexer, UnterminatedStringAtCrlfThrows) {
+  EXPECT_THROW(lex("\"oops\r\n"), ParseError);
+}
+
 }  // namespace
 }  // namespace shelley::upy

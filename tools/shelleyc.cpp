@@ -10,8 +10,10 @@
 //   shelleyc --smv NAME ...              NuSMV model of the system behavior
 //
 // Exit status: 0 when verification passed, 1 on findings, 2 on usage or
-// input errors.
+// input errors (a file that cannot be opened or parsed; other inputs are
+// still verified -- per-file fault isolation).
 #include <cctype>
+#include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -33,6 +35,7 @@
 #include "shelley/report_json.hpp"
 #include "shelley/verifier.hpp"
 #include "smv/smv.hpp"
+#include "support/guard.hpp"
 #include "support/metrics.hpp"
 #include "support/thread_pool.hpp"
 #include "support/trace.hpp"
@@ -60,6 +63,12 @@ struct Options {
   bool stats = false;
   std::optional<std::string> trace_out;
   std::size_t dfa_budget = 0;
+  // Resource guards (support::guard); zeros keep the built-in defaults /
+  // leave the check disabled.
+  std::size_t max_states = 0;
+  std::uint64_t timeout_ms = 0;
+  std::size_t max_input_bytes = 0;
+  std::size_t max_depth = 0;
 };
 
 void print_usage(std::ostream& out) {
@@ -83,7 +92,16 @@ void print_usage(std::ostream& out) {
          "  --trace-out FILE    write a Chrome trace-event JSON timeline of\n"
          "                      the whole run (load in Perfetto)\n"
          "  --dfa-budget N      warn when a class's minimized DFA exceeds\n"
-         "                      N states (0 = off)\n";
+         "                      N states (0 = off)\n"
+         "  --max-states N      abort (as an error, not a crash) any\n"
+         "                      automaton construction exceeding N states\n"
+         "                      (0 = unlimited)\n"
+         "  --timeout-ms N      abort verification once N ms of wall clock\n"
+         "                      have elapsed (0 = no deadline)\n"
+         "  --max-input-bytes N reject source files larger than N bytes\n"
+         "                      (0 = default, 8 MiB)\n"
+         "  --max-depth N       cap parser/visitor recursion depth\n"
+         "                      (0 = default, 256)\n";
 }
 
 std::optional<Options> parse_args(int argc, char** argv) {
@@ -139,15 +157,29 @@ std::optional<Options> parse_args(int argc, char** argv) {
     } else if (arg == "--trace-out") {
       options.trace_out = next();
       if (!options.trace_out) return std::nullopt;
-    } else if (arg == "--dfa-budget") {
+    } else if (arg == "--dfa-budget" || arg == "--max-states" ||
+               arg == "--timeout-ms" || arg == "--max-input-bytes" ||
+               arg == "--max-depth") {
       const auto value = next();
       if (!value) return std::nullopt;
       const long parsed = std::atol(value->c_str());
       if (parsed < 0) {
-        std::cerr << "shelleyc: --dfa-budget needs a non-negative integer\n";
+        std::cerr << "shelleyc: " << arg
+                  << " needs a non-negative integer\n";
         return std::nullopt;
       }
-      options.dfa_budget = static_cast<std::size_t>(parsed);
+      const auto count = static_cast<std::size_t>(parsed);
+      if (arg == "--dfa-budget") {
+        options.dfa_budget = count;
+      } else if (arg == "--max-states") {
+        options.max_states = count;
+      } else if (arg == "--timeout-ms") {
+        options.timeout_ms = static_cast<std::uint64_t>(parsed);
+      } else if (arg == "--max-input-bytes") {
+        options.max_input_bytes = count;
+      } else {
+        options.max_depth = count;
+      }
     } else if (arg == "--sample") {
       options.sample = next();
       if (!options.sample) return std::nullopt;
@@ -225,31 +257,103 @@ void print_stats(const core::Report& report, std::ostream& out) {
   }
 }
 
+/// One formatted diagnostic line; `path` (when non-empty) prefixes the
+/// location so batch-mode output says which file each error lives in.
+std::string format_diagnostic(const Diagnostic& diag,
+                              const std::string& path) {
+  std::string out;
+  if (!path.empty()) out += path + ":";
+  out += std::string(to_string(diag.severity)) + " " + to_string(diag.loc) +
+         ": " + diag.message + "\n";
+  return out;
+}
+
+/// Batch-mode epilogue: one line per input file.
+void print_file_summaries(const std::vector<core::FileSummary>& files,
+                          std::ostream& out) {
+  out << "\ninputs:\n";
+  for (const core::FileSummary& file : files) {
+    out << "  " << file.path << ": ";
+    if (!file.failure.empty()) {
+      out << "FAILED (" << file.failure << ")";
+    } else if (file.parse_errors > 0) {
+      out << file.parse_errors << " parse error"
+          << (file.parse_errors == 1 ? "" : "s");
+    } else {
+      out << "ok";
+    }
+    out << "\n";
+  }
+}
+
 int run(const Options& options) {
+  // Install the resource guards before any frontend code runs; the deadline
+  // (--timeout-ms) is armed here and covers loading and verification.
+  support::guard::Limits limits;
+  if (options.max_depth > 0) limits.max_recursion_depth = options.max_depth;
+  if (options.max_input_bytes > 0) {
+    limits.max_input_bytes = options.max_input_bytes;
+  }
+  limits.max_states = options.max_states;
+  limits.timeout_ms = options.timeout_ms;
+  support::guard::ScopedLimits guard(limits);
+
   core::Verifier verifier;
   verifier.set_lint_options(core::LintOptions{options.dfa_budget});
+
+  // Load every input with per-file fault isolation: recovery collects all
+  // syntax errors of a file, and a file that fails outright (unreadable,
+  // over the input budget, internal error) is reported and skipped while
+  // the remaining files are still parsed and verified.
+  std::vector<core::FileSummary> summaries;
+  summaries.reserve(options.files.size());
+  bool load_failed = false;
   for (const std::string& path : options.files) {
+    core::FileSummary summary;
+    summary.path = path;
+    const std::size_t diags_before =
+        verifier.diagnostics().diagnostics().size();
     std::ifstream file(path);
     if (!file) {
+      summary.failure = "cannot open file";
       std::cerr << "shelleyc: cannot open '" << path << "'\n";
-      return 2;
+    } else {
+      std::stringstream buffer;
+      buffer << file.rdbuf();
+      try {
+        summary.parse_errors = verifier.add_source_recover(buffer.str());
+        summary.loaded = true;
+      } catch (const std::exception& error) {
+        summary.failure = error.what();
+      }
     }
-    std::stringstream buffer;
-    buffer << file.rdbuf();
-    try {
-      verifier.add_source(buffer.str());
-    } catch (const ParseError& error) {
-      std::cerr << path << ":" << error.what() << "\n";
-      return 2;
+    const auto& diags = verifier.diagnostics().diagnostics();
+    for (std::size_t i = diags_before; i < diags.size(); ++i) {
+      std::cerr << format_diagnostic(diags[i], path);
     }
+    if (!summary.failure.empty() && file) {
+      // Open failures already printed their own message above.
+      std::cerr << "shelleyc: " << path << ": " << summary.failure << "\n";
+    }
+    load_failed = load_failed || !summary.loaded || summary.parse_errors > 0;
+    summaries.push_back(std::move(summary));
   }
+  // Everything recorded past this point comes from verification, not
+  // loading; the text report below prints only those, because the loader
+  // already printed its own (path-prefixed).
+  const std::size_t load_diag_end =
+      verifier.diagnostics().diagnostics().size();
+  // Input problems dominate the exit status: even when an artifact mode or
+  // the verification below succeeds on the surviving files, a failed input
+  // makes the run exit 2.
+  const int load_status = load_failed ? 2 : 0;
 
   // Artifact emission modes short-circuit verification.
   if (options.dot_class) {
     const auto* spec = require_class(verifier, *options.dot_class);
     if (spec == nullptr) return 2;
     std::cout << viz::dot_class_diagram(*spec);
-    return 0;
+    return load_status;
   }
   if (options.dot_model) {
     const auto* spec = require_class(verifier, *options.dot_model);
@@ -257,14 +361,14 @@ int run(const Options& options) {
     const core::DependencyGraph graph =
         core::DependencyGraph::build(*spec, verifier.diagnostics());
     std::cout << viz::dot_dependency_graph(*spec, graph);
-    return 0;
+    return load_status;
   }
   if (options.dot_system) {
     const auto* spec = require_class(verifier, *options.dot_system);
     if (spec == nullptr) return 2;
     const core::SystemModel model = build_model(verifier, *spec);
     std::cout << viz::dot_system_model(model, verifier.symbols());
-    return 0;
+    return load_status;
   }
   if (options.dot_usage) {
     const auto* spec = require_class(verifier, *options.dot_usage);
@@ -273,7 +377,7 @@ int run(const Options& options) {
         core::usage_nfa(*spec, verifier.symbols())));
     std::cout << viz::dot_dfa(usage, verifier.symbols(),
                               spec->name + "_usage");
-    return 0;
+    return load_status;
   }
   if (options.monitor) {
     const auto* spec = require_class(verifier, *options.monitor);
@@ -288,6 +392,7 @@ int run(const Options& options) {
                       verdict == core::Verdict::kViolation;
     }
     std::cout << (monitor.completed() ? "complete" : "incomplete") << "\n";
+    if (load_failed) return 2;
     return any_violation || !monitor.completed() ? 1 : 0;
   }
   if (options.sample) {
@@ -306,7 +411,7 @@ int run(const Options& options) {
       }
       std::cout << "\n";
     }
-    return 0;
+    return load_status;
   }
   if (options.usage_regex) {
     const auto* spec = require_class(verifier, *options.usage_regex);
@@ -314,7 +419,7 @@ int run(const Options& options) {
     const fsm::Nfa usage = core::usage_nfa(*spec, verifier.symbols());
     const rex::Regex regex = fsm::to_regex(usage);
     std::cout << rex::to_string(regex, verifier.symbols()) << "\n";
-    return 0;
+    return load_status;
   }
   if (options.smv) {
     const auto* spec = require_class(verifier, *options.smv);
@@ -326,16 +431,17 @@ int run(const Options& options) {
         smv::from_dfa(dfa, verifier.symbols(), spec->name);
     for (const core::Claim& claim : spec->claims) {
       try {
-        smv::add_ltlspec(smv_model,
-                         ltlf::parse(claim.text, verifier.symbols()),
-                         verifier.symbols());
+        smv::add_ltlspec(
+            smv_model,
+            ltlf::parse(claim.text, verifier.symbols(), claim.loc),
+            verifier.symbols());
       } catch (const ParseError&) {
         std::cerr << "shelleyc: skipping unparsable claim: " << claim.text
                   << "\n";
       }
     }
     std::cout << smv::emit(smv_model);
-    return 0;
+    return load_status;
   }
 
   // Verification.
@@ -347,7 +453,8 @@ int run(const Options& options) {
   }
 
   if (options.json) {
-    std::cout << core::report_to_json(report, verifier, options.stats)
+    std::cout << core::report_to_json(report, verifier, options.stats,
+                                      &summaries)
               << "\n";
   } else if (!options.quiet) {
     for (const core::ClassReport& cls : report.classes) {
@@ -356,10 +463,20 @@ int run(const Options& options) {
     }
     const std::string errors = report.render(verifier.symbols());
     if (!errors.empty()) std::cout << "\n" << errors;
-    const std::string diagnostics = verifier.diagnostics().render();
+    // Loading already printed its diagnostics (path-prefixed); print only
+    // what verification added.
+    std::string diagnostics;
+    const auto& diags = verifier.diagnostics().diagnostics();
+    for (std::size_t i = load_diag_end; i < diags.size(); ++i) {
+      diagnostics += format_diagnostic(diags[i], "");
+    }
     if (!diagnostics.empty()) std::cout << "\n" << diagnostics;
+    if (options.files.size() >= 2 || load_failed) {
+      print_file_summaries(summaries, std::cout);
+    }
   }
   if (options.stats && !options.json) print_stats(report, std::cout);
+  if (load_failed) return 2;
   return report.ok() && !verifier.diagnostics().has_errors() ? 0 : 1;
 }
 
@@ -380,7 +497,16 @@ int main(int argc, char** argv) {
   }
   if (parsed->stats) support::metrics::set_enabled(true);
 
-  const int status = run(*parsed);
+  // Last-resort boundary: whatever goes wrong inside the pipeline, the CLI
+  // reports it and exits with a status instead of crashing.
+  int status = 2;
+  try {
+    status = run(*parsed);
+  } catch (const std::exception& error) {
+    std::cerr << "shelleyc: internal error: " << error.what() << "\n";
+  } catch (...) {
+    std::cerr << "shelleyc: internal error\n";
+  }
 
   // Written on every exit path of run(), including artifact modes and
   // verification failures -- a failing run's timeline is the one you want.
