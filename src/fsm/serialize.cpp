@@ -1,0 +1,116 @@
+#include "fsm/serialize.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+#include <vector>
+
+namespace shelley::fsm {
+
+namespace {
+
+// Caps keep a corrupted size field from allocating gigabytes before the
+// bounds checks notice the buffer is short.  Real automata in this pipeline
+// are far below both.
+constexpr std::uint64_t kMaxStates = 1u << 24;
+constexpr std::uint64_t kMaxAlphabet = 1u << 20;
+
+}  // namespace
+
+void write_dfa(const Dfa& dfa, const SymbolTable& table,
+               support::BinaryWriter& writer) {
+  writer.u64(dfa.alphabet().size());
+  for (const Symbol symbol : dfa.alphabet()) {
+    writer.str(table.name(symbol));
+  }
+  writer.u64(dfa.state_count());
+  writer.u32(dfa.initial());
+  for (StateId s = 0; s < dfa.state_count(); ++s) {
+    writer.u8(dfa.is_accepting(s) ? 1 : 0);
+  }
+  for (const StateId target : dfa.transition_table()) {
+    writer.u32(target);
+  }
+}
+
+std::string dfa_to_bytes(const Dfa& dfa, const SymbolTable& table) {
+  support::BinaryWriter writer;
+  write_dfa(dfa, table, writer);
+  return writer.take();
+}
+
+Dfa read_dfa(support::BinaryReader& reader, SymbolTable& table) {
+  const std::uint64_t letters = reader.u64();
+  if (letters > kMaxAlphabet) {
+    throw support::BinaryFormatError("DFA alphabet size implausible");
+  }
+  std::vector<Symbol> stored_alphabet;
+  stored_alphabet.reserve(letters);
+  std::unordered_set<std::uint32_t> seen;
+  for (std::uint64_t i = 0; i < letters; ++i) {
+    const Symbol symbol = table.intern(reader.str());
+    if (!seen.insert(symbol.id()).second) {
+      throw support::BinaryFormatError("DFA alphabet has duplicate symbols");
+    }
+    stored_alphabet.push_back(symbol);
+  }
+
+  const std::uint64_t states = reader.u64();
+  if (states == 0 || states > kMaxStates) {
+    throw support::BinaryFormatError("DFA state count implausible");
+  }
+  const std::uint32_t initial = reader.u32();
+  if (initial >= states) {
+    throw support::BinaryFormatError("DFA initial state out of range");
+  }
+  std::vector<bool> accepting(states);
+  for (std::uint64_t s = 0; s < states; ++s) {
+    const std::uint8_t flag = reader.u8();
+    if (flag > 1) {
+      throw support::BinaryFormatError("DFA accepting flag malformed");
+    }
+    accepting[s] = flag != 0;
+  }
+
+  // The destination table may hand the names ids in any relative order, but
+  // Dfa requires its alphabet sorted by id: read columns in stored order,
+  // then permute them into sorted position.
+  std::vector<std::size_t> order(stored_alphabet.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return stored_alphabet[a] < stored_alphabet[b];
+  });
+
+  std::vector<StateId> table_cells(states * stored_alphabet.size());
+  for (std::uint64_t s = 0; s < states; ++s) {
+    for (std::size_t stored = 0; stored < stored_alphabet.size(); ++stored) {
+      const std::uint32_t target = reader.u32();
+      if (target >= states) {
+        throw support::BinaryFormatError("DFA transition out of range");
+      }
+      table_cells[s * stored_alphabet.size() + stored] = target;
+    }
+  }
+
+  std::vector<Symbol> alphabet(stored_alphabet.size());
+  std::vector<StateId> sorted_cells(table_cells.size());
+  for (std::size_t letter = 0; letter < order.size(); ++letter) {
+    alphabet[letter] = stored_alphabet[order[letter]];
+    for (std::uint64_t s = 0; s < states; ++s) {
+      sorted_cells[s * order.size() + letter] =
+          table_cells[s * order.size() + order[letter]];
+    }
+  }
+
+  return Dfa::from_table(std::move(alphabet), std::move(sorted_cells),
+                         std::move(accepting), initial);
+}
+
+Dfa dfa_from_bytes(std::string_view bytes, SymbolTable& table) {
+  support::BinaryReader reader(bytes);
+  Dfa dfa = read_dfa(reader, table);
+  reader.expect_end();
+  return dfa;
+}
+
+}  // namespace shelley::fsm

@@ -1,0 +1,34 @@
+// Binary round-trip of DFAs for the behavior cache: symbols are stored by
+// *name* (ids are table-local and never leave the process), and the reader
+// restores the Dfa invariant that the alphabet is sorted by symbol id even
+// when the destination table interns the names in a different order.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "fsm/dfa.hpp"
+#include "support/binary.hpp"
+#include "support/symbol.hpp"
+
+namespace shelley::fsm {
+
+/// Appends a self-contained encoding of `dfa` to `writer`: alphabet size,
+/// symbol names (alphabet order), state count, initial state, accepting
+/// set, and the dense transition table.
+void write_dfa(const Dfa& dfa, const SymbolTable& table,
+               support::BinaryWriter& writer);
+
+/// One-shot encode.
+[[nodiscard]] std::string dfa_to_bytes(const Dfa& dfa,
+                                       const SymbolTable& table);
+
+/// Reads one DFA, interning its symbol names into `table`.  Throws
+/// support::BinaryFormatError on truncated/malformed input (out-of-range
+/// states, duplicate alphabet names, impossible sizes).
+[[nodiscard]] Dfa read_dfa(support::BinaryReader& reader, SymbolTable& table);
+
+/// One-shot decode; requires `bytes` to contain exactly one DFA.
+[[nodiscard]] Dfa dfa_from_bytes(std::string_view bytes, SymbolTable& table);
+
+}  // namespace shelley::fsm

@@ -1,0 +1,217 @@
+#include "shelley/fingerprint.hpp"
+
+#include <variant>
+#include <vector>
+
+#include "upy/ast.hpp"
+
+namespace shelley::core {
+
+namespace {
+
+using support::Hasher;
+
+void hash_loc(Hasher& hasher, SourceLoc loc) {
+  hasher.update_u32(loc.line);
+  hasher.update_u32(loc.column);
+}
+
+void hash_expr(Hasher& hasher, const upy::ExprPtr& expr);
+
+void hash_expr_list(Hasher& hasher, const std::vector<upy::ExprPtr>& exprs) {
+  hasher.update_u64(exprs.size());
+  for (const upy::ExprPtr& expr : exprs) hash_expr(hasher, expr);
+}
+
+void hash_expr(Hasher& hasher, const upy::ExprPtr& expr) {
+  if (expr == nullptr) {
+    hasher.update_u8(0xff);  // distinct from every variant index
+    return;
+  }
+  hash_loc(hasher, expr->loc);
+  hasher.update_u8(static_cast<std::uint8_t>(expr->node.index()));
+  std::visit(
+      [&](const auto& node) {
+        using T = std::decay_t<decltype(node)>;
+        if constexpr (std::is_same_v<T, upy::NameExpr>) {
+          hasher.update_sized(node.id);
+        } else if constexpr (std::is_same_v<T, upy::AttributeExpr>) {
+          hash_expr(hasher, node.value);
+          hasher.update_sized(node.attr);
+        } else if constexpr (std::is_same_v<T, upy::CallExpr>) {
+          hash_expr(hasher, node.callee);
+          hash_expr_list(hasher, node.args);
+        } else if constexpr (std::is_same_v<T, upy::NumberExpr>) {
+          hasher.update_sized(node.literal);
+        } else if constexpr (std::is_same_v<T, upy::StringExpr>) {
+          hasher.update_sized(node.value);
+        } else if constexpr (std::is_same_v<T, upy::BoolExpr>) {
+          hasher.update_u8(node.value ? 1 : 0);
+        } else if constexpr (std::is_same_v<T, upy::NoneExpr>) {
+          // tag alone suffices
+        } else if constexpr (std::is_same_v<T, upy::ListExpr>) {
+          hash_expr_list(hasher, node.elements);
+        } else if constexpr (std::is_same_v<T, upy::TupleExpr>) {
+          hash_expr_list(hasher, node.elements);
+        } else if constexpr (std::is_same_v<T, upy::UnaryExpr>) {
+          hasher.update_sized(node.op);
+          hash_expr(hasher, node.operand);
+        } else if constexpr (std::is_same_v<T, upy::BinaryExpr>) {
+          hasher.update_sized(node.op);
+          hash_expr(hasher, node.left);
+          hash_expr(hasher, node.right);
+        } else if constexpr (std::is_same_v<T, upy::SubscriptExpr>) {
+          hash_expr(hasher, node.value);
+          hash_expr(hasher, node.index);
+        }
+      },
+      expr->node);
+}
+
+void hash_stmt(Hasher& hasher, const upy::StmtPtr& stmt);
+
+void hash_block(Hasher& hasher, const upy::Block& block) {
+  hasher.update_u64(block.size());
+  for (const upy::StmtPtr& stmt : block) hash_stmt(hasher, stmt);
+}
+
+void hash_stmt(Hasher& hasher, const upy::StmtPtr& stmt) {
+  if (stmt == nullptr) {
+    hasher.update_u8(0xff);
+    return;
+  }
+  hash_loc(hasher, stmt->loc);
+  hasher.update_u8(static_cast<std::uint8_t>(stmt->node.index()));
+  std::visit(
+      [&](const auto& node) {
+        using T = std::decay_t<decltype(node)>;
+        if constexpr (std::is_same_v<T, upy::ExprStmt>) {
+          hash_expr(hasher, node.value);
+        } else if constexpr (std::is_same_v<T, upy::AssignStmt>) {
+          hash_expr(hasher, node.target);
+          hash_expr(hasher, node.value);
+        } else if constexpr (std::is_same_v<T, upy::ReturnStmt>) {
+          hash_expr(hasher, node.value);
+        } else if constexpr (std::is_same_v<T, upy::PassStmt> ||
+                             std::is_same_v<T, upy::BreakStmt> ||
+                             std::is_same_v<T, upy::ContinueStmt>) {
+          // tag alone suffices
+        } else if constexpr (std::is_same_v<T, upy::IfStmt>) {
+          hash_expr(hasher, node.condition);
+          hash_block(hasher, node.then_body);
+          hash_block(hasher, node.else_body);
+        } else if constexpr (std::is_same_v<T, upy::WhileStmt>) {
+          hash_expr(hasher, node.condition);
+          hash_block(hasher, node.body);
+        } else if constexpr (std::is_same_v<T, upy::ForStmt>) {
+          hasher.update_sized(node.target);
+          hash_expr(hasher, node.iterable);
+          hash_block(hasher, node.body);
+        } else if constexpr (std::is_same_v<T, upy::MatchStmt>) {
+          hash_expr(hasher, node.subject);
+          hasher.update_u64(node.cases.size());
+          for (const upy::MatchCase& match_case : node.cases) {
+            hash_loc(hasher, match_case.loc);
+            hash_expr(hasher, match_case.pattern);
+            hash_block(hasher, match_case.body);
+          }
+        } else if constexpr (std::is_same_v<T, upy::TryStmt>) {
+          hash_block(hasher, node.body);
+          hasher.update_u64(node.handlers.size());
+          for (const upy::Block& handler : node.handlers) {
+            hash_block(hasher, handler);
+          }
+          hash_block(hasher, node.final_body);
+        } else if constexpr (std::is_same_v<T, upy::RaiseStmt>) {
+          hash_expr(hasher, node.value);
+        }
+      },
+      stmt->node);
+}
+
+void hash_spec(Hasher& hasher, const ClassSpec& spec) {
+  hasher.update_sized(spec.name);
+  hash_loc(hasher, spec.loc);
+  hasher.update_u8(spec.is_system ? 1 : 0);
+  hasher.update_u8(spec.is_composite ? 1 : 0);
+
+  hasher.update_u64(spec.subsystems.size());
+  for (const SubsystemDecl& subsystem : spec.subsystems) {
+    hasher.update_sized(subsystem.field);
+    hasher.update_sized(subsystem.class_name);
+    hash_loc(hasher, subsystem.loc);
+  }
+
+  hasher.update_u64(spec.claims.size());
+  for (const Claim& claim : spec.claims) {
+    hasher.update_sized(claim.text);
+    hash_loc(hasher, claim.loc);
+  }
+
+  hasher.update_u64(spec.operations.size());
+  for (const Operation& op : spec.operations) {
+    hasher.update_sized(op.name);
+    hash_loc(hasher, op.loc);
+    hasher.update_u8(op.initial ? 1 : 0);
+    hasher.update_u8(op.final ? 1 : 0);
+    hasher.update_u64(op.exits.size());
+    for (const ExitPoint& exit : op.exits) {
+      hasher.update_u64(exit.id);
+      hash_loc(hasher, exit.loc);
+      hasher.update_u64(exit.successors.size());
+      for (const std::string& successor : exit.successors) {
+        hasher.update_sized(successor);
+      }
+    }
+    hash_block(hasher, op.body);
+  }
+}
+
+void fold_key(Hasher& hasher, const ClassSpec& spec,
+              const ClassLookup& lookup,
+              std::vector<const ClassSpec*>& in_progress) {
+  for (const ClassSpec* ancestor : in_progress) {
+    if (ancestor == &spec) {
+      // A subsystem cycle (malformed input the frontend diagnoses anyway):
+      // fold a back-reference instead of recursing.
+      hasher.update_u8(0x02);
+      return;
+    }
+  }
+  in_progress.push_back(&spec);
+  hasher.update_u8(0x01);  // present-class marker
+  hash_spec(hasher, spec);
+  hasher.update_u64(spec.subsystems.size());
+  for (const SubsystemDecl& subsystem : spec.subsystems) {
+    const ClassSpec* sub_spec =
+        lookup ? lookup(subsystem.class_name) : nullptr;
+    if (sub_spec == nullptr) {
+      hasher.update_u8(0x00);  // missing-class marker
+      hasher.update_sized(subsystem.class_name);
+    } else {
+      fold_key(hasher, *sub_spec, lookup, in_progress);
+    }
+  }
+  in_progress.pop_back();
+}
+
+}  // namespace
+
+support::Digest128 spec_fingerprint(const ClassSpec& spec) {
+  Hasher hasher;
+  hash_spec(hasher, spec);
+  return hasher.digest();
+}
+
+support::Digest128 class_key(const ClassSpec& spec, const ClassLookup& lookup,
+                             const FingerprintOptions& options) {
+  Hasher hasher;
+  hasher.update_sized(kToolchainVersion);
+  hasher.update_u64(options.dfa_state_budget);
+  hasher.update_u64(options.max_states);
+  std::vector<const ClassSpec*> in_progress;
+  fold_key(hasher, spec, lookup, in_progress);
+  return hasher.digest();
+}
+
+}  // namespace shelley::core

@@ -1,0 +1,52 @@
+// Content-addressed cache keys for class specifications (§3.2: infer(p) is
+// a pure function of the annotated AST, so per-class verification results
+// are memoizable by content).
+//
+// Two layers:
+//
+//  * spec_fingerprint -- a canonical 128-bit hash of ONE class: its name,
+//    annotation set (@sys/@claim/@op* with exits and successors), and every
+//    operation body walked node-by-node, source locations included (cached
+//    diagnostics replay verbatim, so a class whose text moved must miss);
+//
+//  * class_key -- the full dependency closure: a composite's key folds in
+//    the keys of its subsystem classes recursively, plus the toolchain
+//    version and every option that can change verification output.  Editing
+//    a base class therefore invalidates exactly its own entry and every
+//    composite that (transitively) uses it.
+#pragma once
+
+#include <string_view>
+
+#include "shelley/checker.hpp"
+#include "shelley/spec.hpp"
+#include "support/hash.hpp"
+
+namespace shelley::core {
+
+/// Folded into every class_key: bump the format half whenever the cache
+/// entry encoding or the verification pipeline's observable output changes.
+inline constexpr std::string_view kToolchainVersion =
+    "shelley-mp/1.0.0 cache-format/1";
+
+/// Options that change what verification emits, and therefore must key the
+/// cache.  Wall-clock limits (timeout) are deliberately absent: classes
+/// aborted by a resource limit are never stored (cache.hpp).
+struct FingerprintOptions {
+  std::uint64_t dfa_state_budget = 0;  ///< the --dfa-budget lint threshold
+  std::uint64_t max_states = 0;        ///< the --max-states guard
+};
+
+/// Canonical hash of one class specification in isolation.
+[[nodiscard]] support::Digest128 spec_fingerprint(const ClassSpec& spec);
+
+/// The cache key of `spec`: toolchain version + options + its own
+/// fingerprint + the class_key of every subsystem class, in declaration
+/// order.  Unknown subsystem classes fold in a distinct missing marker (so
+/// later defining the class changes the key); cyclic subsystem references
+/// are cut with a back-reference marker instead of recursing forever.
+[[nodiscard]] support::Digest128 class_key(const ClassSpec& spec,
+                                           const ClassLookup& lookup,
+                                           const FingerprintOptions& options);
+
+}  // namespace shelley::core

@@ -23,6 +23,12 @@ Monitor::Monitor(const ClassSpec& spec, SymbolTable& table)
       live_(fsm::live_states(dfa_)),
       state_(dfa_.initial()) {}
 
+Monitor::Monitor(SymbolTable& table, fsm::Dfa dfa)
+    : table_(&table),
+      dfa_(std::move(dfa)),
+      live_(fsm::live_states(dfa_)),
+      state_(dfa_.initial()) {}
+
 Verdict Monitor::feed(std::string_view operation) {
   history_.emplace_back(operation);
   if (violated_) return Verdict::kViolation;

@@ -32,6 +32,15 @@ class Monitor {
   /// into `table` as bare operation names.
   Monitor(const ClassSpec& spec, SymbolTable& table);
 
+  /// Builds a monitor directly from a previously constructed (or cached --
+  /// see shelley/cache.hpp) minimal usage DFA, skipping the
+  /// usage_nfa/determinize/minimize pipeline.  `dfa` must recognize the
+  /// valid-usage language of the class being monitored.
+  Monitor(SymbolTable& table, fsm::Dfa dfa);
+
+  /// The minimal valid-usage DFA the monitor walks (for cache stores).
+  [[nodiscard]] const fsm::Dfa& dfa() const { return dfa_; }
+
   /// Feeds one operation call.
   Verdict feed(std::string_view operation);
 

@@ -7,6 +7,8 @@
 
 #include "ir/lowering.hpp"
 #include "ltlf/parser.hpp"
+#include "shelley/cache.hpp"
+#include "shelley/fingerprint.hpp"
 #include "shelley/graph.hpp"
 #include "shelley/invocation.hpp"
 #include "shelley/lint.hpp"
@@ -75,10 +77,6 @@ const ClassSpec* Verifier::find_class(std::string_view name) const {
 
 ClassLookup Verifier::lookup() const {
   return [this](const std::string& name) { return find_class(name); };
-}
-
-ClassReport Verifier::verify_spec(const ClassSpec& spec) {
-  return verify_spec(spec, diagnostics_);
 }
 
 ClassReport Verifier::verify_spec(const ClassSpec& spec,
@@ -218,6 +216,97 @@ void Verifier::warm_symbols(const ClassSpec& spec) {
   }
 }
 
+support::Digest128 Verifier::cache_key(const ClassSpec& spec) const {
+  FingerprintOptions options;
+  options.dfa_state_budget = lint_options_.dfa_state_budget;
+  options.max_states = support::guard::limits().max_states;
+  return class_key(spec, lookup(), options);
+}
+
+ClassReport Verifier::verify_or_replay(const ClassSpec& spec,
+                                       DiagnosticEngine& sink) {
+  if (cache_ == nullptr) return verify_spec(spec, sink);
+
+  const support::Digest128 key = cache_key(spec);
+  std::optional<CachedVerdict> cached = cache_->load_verdict(key);
+  // The key embeds the class name, so a mismatch means a colliding or
+  // tampered entry: discard it rather than replaying a foreign verdict.
+  if (cached && cached->class_name != spec.name) cached.reset();
+  if (cached) {
+    // Intern everything the real verification would intern, in the same
+    // order, so downstream (missing) classes see identical symbol ids and
+    // produce byte-identical witnesses.  Every counterexample symbol below
+    // is part of that warmed set.
+    warm_symbols(spec);
+    ClassReport report;
+    report.class_name = spec.name;
+    report.is_composite = cached->is_composite;
+    report.invocation_errors = cached->invocation_errors;
+    report.lint_findings = cached->lint_findings;
+    for (CachedSubsystemError& error : cached->subsystem_errors) {
+      report.check.subsystem_errors.push_back(SubsystemError{
+          std::move(error.field), std::move(error.class_name),
+          intern_word(error.counterexample, table_),
+          std::move(error.detail)});
+    }
+    for (CachedClaimError& error : cached->claim_errors) {
+      report.check.claim_errors.push_back(
+          ClaimError{std::move(error.formula),
+                     intern_word(error.counterexample, table_)});
+    }
+    for (CachedDiagnostic& diag : cached->diagnostics) {
+      sink.report(static_cast<Severity>(diag.severity),
+                  SourceLoc{diag.line, diag.column},
+                  std::move(diag.message));
+    }
+    if (support::trace::enabled()) {
+      support::trace::instant("cache.hit/" + spec.name);
+    }
+    return report;
+  }
+
+  // Miss: verify into a private sink so exactly this class's diagnostics
+  // can be stored alongside the verdict, then merge them back (appending
+  // preserves the serial order).
+  DiagnosticEngine local;
+  const std::size_t diags_before = local.diagnostics().size();
+  ClassReport report = verify_spec(spec, local);
+  sink.append(local);
+  if (report.resource_errors > 0) return report;  // aborted, not a result
+
+  CachedVerdict verdict;
+  verdict.class_name = report.class_name;
+  verdict.is_composite = report.is_composite;
+  verdict.invocation_errors = report.invocation_errors;
+  verdict.lint_findings = report.lint_findings;
+  for (const SubsystemError& error : report.check.subsystem_errors) {
+    CachedSubsystemError cached_error;
+    cached_error.field = error.field;
+    cached_error.class_name = error.class_name;
+    for (const Symbol symbol : error.counterexample) {
+      cached_error.counterexample.push_back(table_.name(symbol));
+    }
+    cached_error.detail = error.detail;
+    verdict.subsystem_errors.push_back(std::move(cached_error));
+  }
+  for (const ClaimError& error : report.check.claim_errors) {
+    CachedClaimError cached_error;
+    cached_error.formula = error.formula;
+    for (const Symbol symbol : error.counterexample) {
+      cached_error.counterexample.push_back(table_.name(symbol));
+    }
+    verdict.claim_errors.push_back(std::move(cached_error));
+  }
+  const auto& diags = local.diagnostics();
+  for (std::size_t i = diags_before; i < diags.size(); ++i) {
+    verdict.diagnostics.push_back(CachedDiagnostic{
+        static_cast<std::uint8_t>(diags[i].severity), diags[i].loc.line,
+        diags[i].loc.column, diags[i].message});
+  }
+  cache_->store_verdict(key, verdict);
+  return report;
+}
+
 ClassReport Verifier::verify_class(std::string_view name) {
   const ClassSpec* spec = find_class(name);
   if (spec == nullptr) {
@@ -229,14 +318,14 @@ ClassReport Verifier::verify_class(std::string_view name) {
     report.invocation_errors = 1;
     return report;
   }
-  return verify_spec(*spec);
+  return verify_or_replay(*spec, diagnostics_);
 }
 
 Report Verifier::verify_all() {
   Report report;
   for (const ClassSpec& spec : specs_) {
     if (!spec.is_system) continue;
-    report.classes.push_back(verify_spec(spec));
+    report.classes.push_back(verify_or_replay(spec, diagnostics_));
   }
   return report;
 }
@@ -262,7 +351,7 @@ Report Verifier::verify_all(std::size_t jobs) {
   std::vector<std::exception_ptr> errors(work.size());
   support::parallel_for(work.size(), jobs, [&](std::size_t i) {
     try {
-      reports[i] = verify_spec(*work[i], sinks[i]);
+      reports[i] = verify_or_replay(*work[i], sinks[i]);
     } catch (...) {
       errors[i] = std::current_exception();
     }

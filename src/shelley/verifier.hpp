@@ -14,10 +14,13 @@
 #include "shelley/lint.hpp"
 #include "shelley/spec.hpp"
 #include "support/diagnostics.hpp"
+#include "support/hash.hpp"
 #include "support/metrics.hpp"
 #include "support/symbol.hpp"
 
 namespace shelley::core {
+
+class BehaviorCache;
 
 /// Per-class verification outcome.
 struct ClassReport {
@@ -87,6 +90,21 @@ class Verifier {
   /// is deterministic (and byte-identical to the serial path).
   [[nodiscard]] Report verify_all(std::size_t jobs);
 
+  /// Installs an on-disk behavior cache (not owned; nullptr detaches).
+  /// Every verification entry point then consults it before running the
+  /// extract_behaviors/check_* pipeline: a hit replays the stored verdict
+  /// and diagnostics byte-for-byte (the symbol table is pre-warmed in the
+  /// serial interning order first, so downstream classes see identical
+  /// symbol ids); a miss verifies as usual and stores the result, unless a
+  /// resource limit aborted the class.
+  void set_cache(BehaviorCache* cache) { cache_ = cache; }
+  [[nodiscard]] BehaviorCache* cache() const { return cache_; }
+
+  /// The content-addressed cache key of one registered class: toolchain
+  /// version, output-affecting options, the canonical class AST, and the
+  /// keys of its full subsystem closure (shelley/fingerprint.hpp).
+  [[nodiscard]] support::Digest128 cache_key(const ClassSpec& spec) const;
+
   /// Lint thresholds applied to every subsequently verified class.
   void set_lint_options(const LintOptions& options) {
     lint_options_ = options;
@@ -103,9 +121,12 @@ class Verifier {
   }
 
  private:
-  [[nodiscard]] ClassReport verify_spec(const ClassSpec& spec);
   [[nodiscard]] ClassReport verify_spec(const ClassSpec& spec,
                                         DiagnosticEngine& sink);
+  /// verify_spec wrapped in the cache protocol: replay on hit, verify and
+  /// store on miss.  Exactly verify_spec when no cache is installed.
+  [[nodiscard]] ClassReport verify_or_replay(const ClassSpec& spec,
+                                             DiagnosticEngine& sink);
   [[nodiscard]] ClassLookup lookup() const;
   /// Interns every symbol verifying `spec` will touch, in the same order the
   /// serial verification path interns them (see verify_all(jobs)).
@@ -114,6 +135,7 @@ class Verifier {
   SymbolTable table_;
   DiagnosticEngine diagnostics_;
   LintOptions lint_options_;
+  BehaviorCache* cache_ = nullptr;
   std::deque<ClassSpec> specs_;  // deque: stable addresses for ClassLookup
   // Name -> index into specs_; keeps find_class O(1) (it is called once per
   // analyzed invocation).

@@ -1,0 +1,71 @@
+#include "support/hash.hpp"
+
+namespace shelley::support {
+
+namespace {
+
+__extension__ typedef unsigned __int128 u128;
+
+// FNV 128-bit prime: 2^88 + 2^8 + 0x3b.
+constexpr u128 kPrime = (static_cast<u128>(1) << 88) | (1u << 8) | 0x3b;
+
+}  // namespace
+
+void Hasher::update(const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  u128 state = state_;
+  for (std::size_t i = 0; i < size; ++i) {
+    state ^= bytes[i];
+    state *= kPrime;
+  }
+  state_ = state;
+}
+
+void Hasher::update_sized(std::string_view bytes) {
+  update_u64(bytes.size());
+  update(bytes);
+}
+
+void Hasher::update_u8(std::uint8_t value) { update(&value, 1); }
+
+void Hasher::update_u32(std::uint32_t value) {
+  unsigned char buffer[4];
+  for (int i = 0; i < 4; ++i) {
+    buffer[i] = static_cast<unsigned char>(value >> (8 * i));
+  }
+  update(buffer, sizeof(buffer));
+}
+
+void Hasher::update_u64(std::uint64_t value) {
+  unsigned char buffer[8];
+  for (int i = 0; i < 8; ++i) {
+    buffer[i] = static_cast<unsigned char>(value >> (8 * i));
+  }
+  update(buffer, sizeof(buffer));
+}
+
+Digest128 Hasher::digest() const {
+  return Digest128{static_cast<std::uint64_t>(state_),
+                   static_cast<std::uint64_t>(state_ >> 64)};
+}
+
+std::string to_hex(const Digest128& digest) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out(32, '0');
+  for (int i = 0; i < 16; ++i) {
+    const std::uint64_t half = i < 8 ? digest.hi : digest.lo;
+    const int shift = 8 * (7 - (i % 8));
+    const auto byte = static_cast<unsigned char>(half >> shift);
+    out[2 * static_cast<std::size_t>(i)] = kHex[byte >> 4];
+    out[2 * static_cast<std::size_t>(i) + 1] = kHex[byte & 0xf];
+  }
+  return out;
+}
+
+Digest128 hash_bytes(std::string_view bytes) {
+  Hasher hasher;
+  hasher.update(bytes);
+  return hasher.digest();
+}
+
+}  // namespace shelley::support

@@ -1,0 +1,68 @@
+// Content-addressed hashing for the incremental-verification cache: a
+// streaming 128-bit FNV-1a hasher over bytes, with length-prefixed helpers
+// so that concatenated fields never collide by reassociation ("ab"+"c" vs
+// "a"+"bc" hash differently).
+//
+// 128 bits keeps accidental collisions out of reach for any realistic
+// corpus (birthday bound ~2^64 classes); the hash is NOT cryptographic and
+// the cache must never be shared with untrusted writers (docs/CACHING.md).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace shelley::support {
+
+/// A 128-bit digest.  Ordered and hashable so it can key maps.
+struct Digest128 {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+
+  friend bool operator==(const Digest128& a, const Digest128& b) {
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+  friend bool operator!=(const Digest128& a, const Digest128& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const Digest128& a, const Digest128& b) {
+    return a.hi != b.hi ? a.hi < b.hi : a.lo < b.lo;
+  }
+};
+
+/// 32 lowercase hex characters, most-significant first (stable across
+/// platforms; used as the cache file name).
+[[nodiscard]] std::string to_hex(const Digest128& digest);
+
+/// Streaming FNV-1a over 2^128: state = (state ^ byte) * kPrime mod 2^128.
+class Hasher {
+ public:
+  Hasher() = default;
+
+  void update(const void* data, std::size_t size);
+  void update(std::string_view bytes) { update(bytes.data(), bytes.size()); }
+
+  /// Length-prefixed string: hashes the size, then the bytes.
+  void update_sized(std::string_view bytes);
+
+  /// Fixed-width little-endian integer updates (canonical across hosts).
+  void update_u8(std::uint8_t value);
+  void update_u32(std::uint32_t value);
+  void update_u64(std::uint64_t value);
+
+  [[nodiscard]] Digest128 digest() const;
+
+ private:
+  // GCC/Clang 128-bit integer; __extension__ keeps -Wpedantic quiet.
+  __extension__ typedef unsigned __int128 State;
+
+  // FNV-1a 128-bit offset basis, split into 64-bit halves.
+  State state_ = (static_cast<State>(0x6c62272e07bb0142ULL) << 64) |
+                 0x62b821756295c58dULL;
+};
+
+/// One-shot convenience.
+[[nodiscard]] Digest128 hash_bytes(std::string_view bytes);
+
+}  // namespace shelley::support

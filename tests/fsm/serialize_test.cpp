@@ -1,0 +1,150 @@
+// DFA binary round-trip (fsm/serialize.hpp): language preservation across
+// symbol tables with different interning orders, and structured rejection of
+// every malformed encoding.
+#include "fsm/serialize.hpp"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fsm/dfa.hpp"
+#include "support/binary.hpp"
+#include "testing.hpp"
+
+namespace shelley::fsm {
+namespace {
+
+using shelley::testing::word;
+
+/// A 3-state DFA over {open, close}: accepts (open close)*.
+Dfa sample_dfa(SymbolTable& table) {
+  const Symbol open = table.intern("open");
+  const Symbol close = table.intern("close");
+  std::vector<Symbol> alphabet{open, close};
+  if (alphabet[1] < alphabet[0]) std::swap(alphabet[0], alphabet[1]);
+  Dfa dfa(3, alphabet);
+  const std::size_t o = *dfa.letter_index(open);
+  const std::size_t c = *dfa.letter_index(close);
+  // 0 -open-> 1 -close-> 0; everything else -> sink 2.
+  dfa.set_transition(0, o, 1);
+  dfa.set_transition(0, c, 2);
+  dfa.set_transition(1, o, 2);
+  dfa.set_transition(1, c, 0);
+  dfa.set_transition(2, o, 2);
+  dfa.set_transition(2, c, 2);
+  dfa.set_accepting(0, true);
+  return dfa;
+}
+
+TEST(Serialize, RoundTripSameTable) {
+  SymbolTable table;
+  const Dfa dfa = sample_dfa(table);
+  const Dfa back = dfa_from_bytes(dfa_to_bytes(dfa, table), table);
+
+  EXPECT_EQ(back.state_count(), dfa.state_count());
+  EXPECT_EQ(back.initial(), dfa.initial());
+  EXPECT_EQ(back.alphabet(), dfa.alphabet());
+  EXPECT_EQ(back.transition_table(), dfa.transition_table());
+  EXPECT_TRUE(back.accepts(word(table, {"open", "close"})));
+  EXPECT_FALSE(back.accepts(word(table, {"close"})));
+}
+
+TEST(Serialize, RoundTripAcrossTablesWithDifferentInterningOrder) {
+  SymbolTable source;
+  const Dfa dfa = sample_dfa(source);  // interns open then close
+
+  // The destination table interns in the opposite relative order (and with
+  // extra symbols in between), so the raw symbol ids all differ; only the
+  // names carry over.  The language must survive.
+  SymbolTable dest;
+  dest.intern("unrelated");
+  dest.intern("close");
+  dest.intern("padding");
+  dest.intern("open");
+  const Dfa back = dfa_from_bytes(dfa_to_bytes(dfa, source), dest);
+
+  // The Dfa invariant: alphabet sorted by (destination) symbol id.
+  ASSERT_EQ(back.alphabet().size(), 2u);
+  EXPECT_LT(back.alphabet()[0], back.alphabet()[1]);
+
+  EXPECT_TRUE(back.accepts(word(dest, {"open", "close"})));
+  EXPECT_TRUE(back.accepts(word(dest, {"open", "close", "open", "close"})));
+  EXPECT_TRUE(back.accepts(word(dest, {})));
+  EXPECT_FALSE(back.accepts(word(dest, {"open", "open"})));
+  EXPECT_FALSE(back.accepts(word(dest, {"close"})));
+}
+
+TEST(Serialize, TruncationAtEveryPrefixThrows) {
+  SymbolTable table;
+  const std::string bytes = dfa_to_bytes(sample_dfa(table), table);
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    SymbolTable fresh;
+    EXPECT_THROW(
+        { (void)dfa_from_bytes(bytes.substr(0, cut), fresh); },
+        support::BinaryFormatError)
+        << "prefix of " << cut << " bytes decoded";
+  }
+}
+
+TEST(Serialize, TrailingGarbageThrows) {
+  SymbolTable table;
+  const std::string bytes = dfa_to_bytes(sample_dfa(table), table) + "x";
+  SymbolTable fresh;
+  EXPECT_THROW({ (void)dfa_from_bytes(bytes, fresh); },
+               support::BinaryFormatError);
+}
+
+TEST(Serialize, RejectsImplausibleSizes) {
+  // A huge alphabet count must be rejected before any allocation happens.
+  support::BinaryWriter writer;
+  writer.u64(std::uint64_t{1} << 40);
+  SymbolTable table;
+  EXPECT_THROW({ (void)dfa_from_bytes(writer.take(), table); },
+               support::BinaryFormatError);
+}
+
+TEST(Serialize, RejectsDuplicateAlphabetNames) {
+  support::BinaryWriter writer;
+  writer.u64(2);  // alphabet size
+  writer.str("open");
+  writer.str("open");
+  writer.u64(1);  // states
+  writer.u32(0);  // initial
+  writer.u8(1);   // accepting
+  writer.u32(0);  // cells
+  writer.u32(0);
+  SymbolTable table;
+  EXPECT_THROW({ (void)dfa_from_bytes(writer.take(), table); },
+               support::BinaryFormatError);
+}
+
+TEST(Serialize, RejectsOutOfRangeTransition) {
+  SymbolTable table;
+  std::string bytes = dfa_to_bytes(sample_dfa(table), table);
+  // The last u32 is a transition target; 0xffffffff is out of range for a
+  // 3-state automaton.
+  bytes[bytes.size() - 1] = '\xff';
+  bytes[bytes.size() - 2] = '\xff';
+  bytes[bytes.size() - 3] = '\xff';
+  bytes[bytes.size() - 4] = '\xff';
+  SymbolTable fresh;
+  EXPECT_THROW({ (void)dfa_from_bytes(bytes, fresh); },
+               support::BinaryFormatError);
+}
+
+TEST(Serialize, RejectsOutOfRangeInitialState) {
+  support::BinaryWriter writer;
+  writer.u64(1);  // alphabet
+  writer.str("a");
+  writer.u64(1);   // states
+  writer.u32(99);  // initial out of range
+  writer.u8(0);
+  writer.u32(0);
+  SymbolTable table;
+  EXPECT_THROW({ (void)dfa_from_bytes(writer.take(), table); },
+               support::BinaryFormatError);
+}
+
+}  // namespace
+}  // namespace shelley::fsm

@@ -1,0 +1,91 @@
+// The 128-bit FNV-1a hasher behind cache keys: determinism, sensitivity,
+// and the reassociation defence of length-prefixed updates.
+#include "support/hash.hpp"
+
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace shelley::support {
+namespace {
+
+TEST(Hash, EmptyInputMatchesOffsetBasis) {
+  // FNV-1a of nothing is the offset basis.
+  const Digest128 digest = hash_bytes("");
+  EXPECT_EQ(digest.hi, 0x6c62272e07bb0142ULL);
+  EXPECT_EQ(digest.lo, 0x62b821756295c58dULL);
+}
+
+TEST(Hash, DeterministicAcrossInstances) {
+  Hasher a;
+  Hasher b;
+  a.update("class Valve");
+  b.update("class Valve");
+  EXPECT_EQ(a.digest(), b.digest());
+  EXPECT_EQ(hash_bytes("class Valve"), a.digest());
+}
+
+TEST(Hash, StreamingEqualsOneShot) {
+  Hasher streamed;
+  streamed.update("abc");
+  streamed.update("def");
+  EXPECT_EQ(streamed.digest(), hash_bytes("abcdef"));
+}
+
+TEST(Hash, SingleBitSensitivity) {
+  EXPECT_NE(hash_bytes("abc"), hash_bytes("abd"));
+  EXPECT_NE(hash_bytes("abc"), hash_bytes("Abc"));
+  // Embedded NUL counts as a byte (sized constructor; the literal one
+  // would truncate).
+  EXPECT_NE(hash_bytes("abc"), hash_bytes(std::string_view("abc\0", 4)));
+}
+
+TEST(Hash, SizedUpdatesPreventReassociation) {
+  // Without length prefixes "ab"+"c" and "a"+"bc" would hash identically.
+  Hasher left;
+  left.update_sized("ab");
+  left.update_sized("c");
+  Hasher right;
+  right.update_sized("a");
+  right.update_sized("bc");
+  EXPECT_NE(left.digest(), right.digest());
+}
+
+TEST(Hash, IntegerUpdatesAreWidthDistinct) {
+  Hasher as_u8;
+  as_u8.update_u8(7);
+  Hasher as_u32;
+  as_u32.update_u32(7);
+  Hasher as_u64;
+  as_u64.update_u64(7);
+  EXPECT_NE(as_u8.digest(), as_u32.digest());
+  EXPECT_NE(as_u32.digest(), as_u64.digest());
+}
+
+TEST(Hash, NoCollisionsOverSmallCorpus) {
+  std::set<std::string> seen;
+  for (int i = 0; i < 10000; ++i) {
+    seen.insert(to_hex(hash_bytes("input-" + std::to_string(i))));
+  }
+  EXPECT_EQ(seen.size(), 10000u);
+}
+
+TEST(Hash, HexIsStable) {
+  // Pin the rendering (hi half first, lowercase) so cache file names never
+  // silently change across platforms or refactors.
+  EXPECT_EQ(to_hex(hash_bytes("")), "6c62272e07bb014262b821756295c58d");
+  EXPECT_EQ(to_hex(Digest128{0x1ULL, 0xabcdef0012345678ULL}),
+            "abcdef00123456780000000000000001");
+}
+
+TEST(Hash, DigestOrdering) {
+  const Digest128 small{1, 0};
+  const Digest128 large{0, 1};  // hi dominates
+  EXPECT_LT(small, large);
+  EXPECT_NE(small, large);
+  EXPECT_EQ(small, (Digest128{1, 0}));
+}
+
+}  // namespace
+}  // namespace shelley::support

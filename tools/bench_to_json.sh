@@ -76,4 +76,84 @@ else
     echo "bench_to_json.sh: $shelleyc not found; skipping pipeline_stats" >&2
 fi
 
+# Incremental verification: time the ring-200 class cold (cache miss + full
+# pipeline + store) and warm (pure replay) through bench_incremental, check
+# via the CLI that a warm `shelleyc --cache` run reproduces the cold run's
+# --json report, diagnostics, and SMV model byte for byte, and splice the
+# numbers in as "incremental_verify".
+bench_inc="$build_dir/bench/bench_incremental"
+if [ -x "$bench_inc" ] && [ -x "$shelleyc" ]; then
+    work=$(mktemp -d "${TMPDIR:-/tmp}/bench_inc.XXXXXX")
+    inc_json="$work/incremental.json"
+    "$bench_inc" \
+        --benchmark_min_time=0.3s \
+        --benchmark_out="$inc_json" \
+        --benchmark_out_format=json > /dev/null
+
+    # google-benchmark reports real_time already in ms (Unit(kMillisecond)).
+    bench_ms() {
+        awk -F'[:,]' -v name="$1" '
+            index($0, "\"" name "\"") { found = 1 }
+            found && /"real_time"/ {
+                gsub(/[ "]/, "", $2); print $2; exit
+            }' "$inc_json"
+    }
+    cold_ms=$(bench_ms BM_VerifyRing200_Cold)
+    warm_ms=$(bench_ms BM_VerifyRing200_Warm)
+    speedup=$(awk -v c="$cold_ms" -v w="$warm_ms" \
+        'BEGIN { printf "%.2f", c / w }')
+
+    # The same ring-200 class the bench verifies (bench_common.hpp's
+    # synthetic_class(200, 8)), regenerated here for the CLI check.
+    ring="$work/ring200.py"
+    awk 'BEGIN {
+        ops = 200; exits = 8;
+        print "@sys"; print "class Ring:";
+        for (i = 0; i < ops; i++) {
+            print (i == 0 ? "    @op_initial_final" : "    @op_final");
+            printf "    def op%d(self):\n", i;
+            print "        if x:";
+            for (e = 0; e + 1 < exits; e++) {
+                printf "            return [\"op%d\"]\n", (i + 1 + e) % ops;
+                if (e + 2 < exits) print "        elif y:";
+            }
+            print "        else:";
+            printf "            return [\"op%d\"]\n", (i + 1) % ops;
+        }
+    }' > "$ring"
+
+    cache="$work/cache"
+    run_cli() {
+        "$shelleyc" --cache "$cache" --json "$ring" \
+            > "$work/$1.json" 2> "$work/$1.err"
+        "$shelleyc" --cache "$cache" --smv Ring "$ring" \
+            > "$work/$1.smv" 2>> "$work/$1.err"
+    }
+    t0=$(date +%s%N); run_cli cold; t1=$(date +%s%N); run_cli warm
+    t2=$(date +%s%N)
+    cli_cold_ms=$(( (t1 - t0) / 1000000 ))
+    cli_warm_ms=$(( (t2 - t1) / 1000000 ))
+    byte_identical=true
+    for kind in json err smv; do
+        if ! cmp -s "$work/cold.$kind" "$work/warm.$kind"; then
+            echo "bench_to_json.sh: warm $kind output diverged from cold" >&2
+            byte_identical=false
+        fi
+    done
+
+    awk 'NR > 1 { print prev }
+         { prev = $0 }
+         END { sub(/}[[:space:]]*$/, "", prev); print prev }' "$out" > "$tmp"
+    printf ',"incremental_verify":{"ring_ops":200,"ring_exits":8,%s}}\n' \
+        "\"cold_ms\":$cold_ms,\"warm_ms\":$warm_ms,\"speedup\":$speedup,\
+\"cli_cold_ms\":$cli_cold_ms,\"cli_warm_ms\":$cli_warm_ms,\
+\"byte_identical\":$byte_identical" >> "$tmp"
+    mv "$tmp" "$out"
+    rm -rf "$work"
+    echo "incremental_verify: cold ${cold_ms}ms warm ${warm_ms}ms" \
+        "(speedup ${speedup}x, byte-identical: $byte_identical)"
+else
+    echo "bench_to_json.sh: bench_incremental not built; skipping" >&2
+fi
+
 echo "wrote $root/BENCH_automata.json"

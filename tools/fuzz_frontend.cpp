@@ -10,6 +10,7 @@
 //   .rex          rex::parse
 //   .ltlf         ltlf::parse -> to_dfa (under a tight state budget)
 //   .smv          smv::parse_model
+//   .shc          cache entry decode (framing + verdict payload + DFA)
 //
 // The contract under test is the never-crash guarantee: every input either
 // succeeds or fails with a structured diagnostic/ParseError (ResourceError
@@ -31,12 +32,15 @@
 #include <string>
 #include <vector>
 
+#include "fsm/serialize.hpp"
 #include "ltlf/automaton.hpp"
 #include "ltlf/parser.hpp"
 #include "rex/parser.hpp"
+#include "shelley/cache.hpp"
 #include "shelley/verifier.hpp"
 #include "smv/parser.hpp"
 #include "support/guard.hpp"
+#include "support/hash.hpp"
 
 namespace {
 
@@ -155,6 +159,39 @@ bool run_one(const std::string& extension, const std::string& input) {
       (void)ltlf::to_dfa(formula, {});
     } else if (extension == ".smv") {
       (void)smv::parse_model(input);
+    } else if (extension == ".shc") {
+      // The cache loader's adversarial surface: mutated entries must decode
+      // to nullopt (a structured miss) or a valid value -- never crash.
+      // The expected key is recovered from the file image itself (bytes
+      // 9..24) so framing-intact mutants exercise the payload decoders too.
+      support::Digest128 key;
+      if (input.size() >= 25) {
+        const auto read_u64 = [&](std::size_t at) {
+          std::uint64_t value = 0;
+          for (int b = 7; b >= 0; --b) {
+            value = (value << 8) |
+                    static_cast<unsigned char>(input[at + static_cast<std::size_t>(b)]);
+          }
+          return value;
+        };
+        key.lo = read_u64(9);
+        key.hi = read_u64(17);
+      }
+      for (const auto kind : {core::BehaviorCache::Kind::kVerdict,
+                              core::BehaviorCache::Kind::kDfa,
+                              core::BehaviorCache::Kind::kArtifact}) {
+        if (const auto payload =
+                core::BehaviorCache::decode_file(input, key, kind)) {
+          (void)core::BehaviorCache::decode_verdict(*payload);
+          try {
+            SymbolTable table;
+            (void)fsm::dfa_from_bytes(*payload, table);
+          } catch (const support::BinaryFormatError&) {
+            // Structured rejection is the contract.
+          }
+        }
+      }
+      (void)core::BehaviorCache::decode_verdict(input);
     } else {
       core::Verifier verifier;
       (void)verifier.add_source_recover(input);

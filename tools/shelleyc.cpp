@@ -29,6 +29,7 @@
 #include "fsm/to_regex.hpp"
 #include "ltlf/parser.hpp"
 #include "shelley/automata.hpp"
+#include "shelley/cache.hpp"
 #include "shelley/graph.hpp"
 #include "shelley/monitor.hpp"
 #include "shelley/sampler.hpp"
@@ -61,6 +62,8 @@ struct Options {
   bool json = false;
   bool quiet = false;
   bool stats = false;
+  std::optional<std::string> cache_dir;
+  bool cache_stats = false;
   std::optional<std::string> trace_out;
   std::size_t dfa_budget = 0;
   // Resource guards (support::guard); zeros keep the built-in defaults /
@@ -89,6 +92,10 @@ void print_usage(std::ostream& out) {
          "                      hardware concurrency; 1 = serial)\n"
          "  --stats             print per-class automata statistics and\n"
          "                      pipeline counters (with --json: embed them)\n"
+         "  --cache DIR         incremental verification: consult (and\n"
+         "                      fill) an on-disk behavior cache in DIR\n"
+         "  --cache-stats       print cache hit/miss/invalidation counters\n"
+         "                      (stderr with --json, so stdout stays JSON)\n"
          "  --trace-out FILE    write a Chrome trace-event JSON timeline of\n"
          "                      the whole run (load in Perfetto)\n"
          "  --dfa-budget N      warn when a class's minimized DFA exceeds\n"
@@ -154,6 +161,11 @@ std::optional<Options> parse_args(int argc, char** argv) {
       options.jobs = static_cast<std::size_t>(parsed);
     } else if (arg == "--stats") {
       options.stats = true;
+    } else if (arg == "--cache") {
+      options.cache_dir = next();
+      if (!options.cache_dir) return std::nullopt;
+    } else if (arg == "--cache-stats") {
+      options.cache_stats = true;
     } else if (arg == "--trace-out") {
       options.trace_out = next();
       if (!options.trace_out) return std::nullopt;
@@ -257,6 +269,26 @@ void print_stats(const core::Report& report, std::ostream& out) {
   }
 }
 
+/// Prints the --cache-stats block on every exit path of run() (the
+/// destructor fires at scope end, after all other output of the run).
+struct CacheStatsPrinter {
+  const core::BehaviorCache* cache = nullptr;
+  bool enabled = false;
+  bool to_stderr = false;
+
+  ~CacheStatsPrinter() {
+    if (!enabled || cache == nullptr) return;
+    const core::CacheStats stats = cache->stats();
+    std::ostream& out = to_stderr ? std::cerr : std::cout;
+    out << "\ncache statistics\n"
+        << "  hits            " << stats.hits << "\n"
+        << "  misses          " << stats.misses << "\n"
+        << "  invalidations   " << stats.invalidations << "\n"
+        << "  stores          " << stats.stores << "\n"
+        << "  store failures  " << stats.store_failures << "\n";
+  }
+};
+
 /// One formatted diagnostic line; `path` (when non-empty) prefixes the
 /// location so batch-mode output says which file each error lives in.
 std::string format_diagnostic(const Diagnostic& diag,
@@ -300,6 +332,26 @@ int run(const Options& options) {
 
   core::Verifier verifier;
   verifier.set_lint_options(core::LintOptions{options.dfa_budget});
+
+  // Incremental verification: an on-disk behavior cache shared by the
+  // verification path (verdicts), --monitor (usage DFAs), and --smv
+  // (emitted model bytes).
+  std::optional<core::BehaviorCache> cache;
+  if (options.cache_dir) {
+    try {
+      cache.emplace(*options.cache_dir);
+    } catch (const std::exception& error) {
+      std::cerr << "shelleyc: " << error.what() << "\n";
+      return 2;
+    }
+    verifier.set_cache(&*cache);
+  }
+  if (options.cache_stats && !cache) {
+    std::cerr << "shelleyc: --cache-stats has no effect without --cache\n";
+  }
+  CacheStatsPrinter cache_stats_printer{
+      cache ? &*cache : nullptr, options.cache_stats && cache.has_value(),
+      options.json};
 
   // Load every input with per-file fault isolation: recovery collects all
   // syntax errors of a file, and a file that fails outright (unreadable,
@@ -382,7 +434,22 @@ int run(const Options& options) {
   if (options.monitor) {
     const auto* spec = require_class(verifier, *options.monitor);
     if (spec == nullptr) return 2;
-    core::Monitor monitor(*spec, verifier.symbols());
+    // With a cache, the minimal usage DFA is loaded (or, on a miss, built
+    // once and stored) instead of re-running usage_nfa/determinize/minimize
+    // on every monitor launch.
+    std::optional<core::Monitor> cached_monitor;
+    if (cache) {
+      const support::Digest128 key = verifier.cache_key(*spec);
+      if (auto dfa = cache->load_dfa(key, verifier.symbols())) {
+        cached_monitor.emplace(verifier.symbols(), *std::move(dfa));
+      } else {
+        cached_monitor.emplace(*spec, verifier.symbols());
+        cache->store_dfa(key, cached_monitor->dfa(), verifier.symbols());
+      }
+    }
+    core::Monitor monitor = cached_monitor
+                                ? *std::move(cached_monitor)
+                                : core::Monitor(*spec, verifier.symbols());
     std::string op;
     bool any_violation = false;
     while (std::cin >> op) {
@@ -424,11 +491,24 @@ int run(const Options& options) {
   if (options.smv) {
     const auto* spec = require_class(verifier, *options.smv);
     if (spec == nullptr) return 2;
+    // The emitted model is a pure function of the class key, so the cache
+    // stores its bytes verbatim: a warm run replays them byte-identically
+    // without building the system automaton at all.  Models with claims
+    // that fail to parse are never cached (the skip notice must reprint).
+    const support::Digest128 smv_key =
+        cache ? verifier.cache_key(*spec) : support::Digest128{};
+    if (cache) {
+      if (const auto artifact = cache->load_artifact(smv_key)) {
+        std::cout << *artifact;
+        return load_status;
+      }
+    }
     const core::SystemModel model = build_model(verifier, *spec);
     const fsm::Dfa dfa = fsm::minimize(
         fsm::determinize(model.nfa, model.full_alphabet()));
     smv::SmvModel smv_model =
         smv::from_dfa(dfa, verifier.symbols(), spec->name);
+    bool all_claims_parsed = true;
     for (const core::Claim& claim : spec->claims) {
       try {
         smv::add_ltlspec(
@@ -438,9 +518,12 @@ int run(const Options& options) {
       } catch (const ParseError&) {
         std::cerr << "shelleyc: skipping unparsable claim: " << claim.text
                   << "\n";
+        all_claims_parsed = false;
       }
     }
-    std::cout << smv::emit(smv_model);
+    const std::string emitted = smv::emit(smv_model);
+    std::cout << emitted;
+    if (cache && all_claims_parsed) cache->store_artifact(smv_key, emitted);
     return load_status;
   }
 
