@@ -1,0 +1,267 @@
+#include "engine/daemon.hpp"
+
+#include <exception>
+#include <istream>
+#include <optional>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "engine/query.hpp"
+#include "engine/render.hpp"
+#include "engine/workspace.hpp"
+#include "shelley/cache.hpp"
+#include "shelley/fingerprint.hpp"
+#include "support/guard.hpp"
+#include "support/json.hpp"
+
+namespace shelley::engine {
+
+namespace {
+
+/// One daemon session: the long-lived workspace/engine pair plus the
+/// session-wide defaults every request starts from.
+struct Session {
+  const CliOptions& defaults;
+  Workspace& workspace;
+  QueryEngine& engine;
+};
+
+void write_error(JsonWriter& writer, const std::string& message) {
+  writer.begin_object();
+  writer.key("ok").value(false);
+  writer.key("error").value(message);
+  writer.end_object();
+}
+
+void write_file_summaries(JsonWriter& writer,
+                          const std::vector<core::FileSummary>& summaries,
+                          std::size_t first) {
+  writer.key("files").begin_array();
+  for (std::size_t i = first; i < summaries.size(); ++i) {
+    const core::FileSummary& file = summaries[i];
+    writer.begin_object();
+    writer.key("path").value(file.path);
+    writer.key("loaded").value(file.loaded);
+    writer.key("parse_errors")
+        .value(static_cast<std::uint64_t>(file.parse_errors));
+    if (!file.failure.empty()) writer.key("failure").value(file.failure);
+    writer.end_object();
+  }
+  writer.end_array();
+}
+
+void handle_load(Session& session, const JsonValue& request,
+                 JsonWriter& writer) {
+  const JsonValue& files = request.at("files");
+  const std::size_t first = session.workspace.summaries().size();
+  std::vector<std::string> paths;
+  for (const JsonValue& file : files.as_array()) {
+    paths.push_back(file.as_string());
+  }
+  std::ostringstream errors;
+  load_inputs(session.workspace, paths, errors);
+  writer.begin_object();
+  writer.key("ok").value(true);
+  writer.key("status")
+      .value(static_cast<std::int64_t>(
+          session.workspace.load_failed() ? 2 : 0));
+  writer.key("errors").value(errors.str());
+  write_file_summaries(writer, session.workspace.summaries(), first);
+  writer.end_object();
+}
+
+void handle_update(Session& session, const JsonValue& request,
+                   JsonWriter& writer) {
+  const std::string path = request.at("file").as_string();
+  std::optional<std::string> text;
+  if (const JsonValue* value = request.find("text")) {
+    text = value->as_string();
+  }
+  const UpdateResult update =
+      session.workspace.update_source(path, std::move(text));
+  const std::size_t dropped = session.engine.apply_update(update);
+  writer.begin_object();
+  writer.key("ok").value(true);
+  writer.key("status")
+      .value(static_cast<std::int64_t>(
+          session.workspace.load_failed() ? 2 : 0));
+  // The full reload stderr: what a cold shelleyc run over the updated
+  // sources writes while loading.
+  writer.key("errors").value(render_load_errors(
+      session.workspace.summaries(), session.workspace.file_diag_ranges(),
+      session.workspace.verifier().diagnostics().diagnostics()));
+  writer.key("changed").begin_array();
+  for (const std::string& name : update.changed) {
+    writer.value(name);
+  }
+  writer.end_array();
+  writer.key("invalidated").value(static_cast<std::uint64_t>(dropped));
+  writer.end_object();
+}
+
+void handle_run(Session& session, const JsonValue& request, bool json,
+                JsonWriter& writer) {
+  CliOptions options = session.defaults;
+  options.json = json;
+  options.verify_class.reset();
+  if (const JsonValue* name = request.find("class")) {
+    options.verify_class = name->as_string();
+  }
+  if (const JsonValue* jobs = request.find("jobs")) {
+    options.jobs = static_cast<std::size_t>(jobs->as_number());
+  }
+  if (const JsonValue* stats = request.find("stats")) {
+    options.stats = stats->as_bool();
+  }
+  std::istringstream no_stdin;
+  std::ostringstream out;
+  std::ostringstream errors;
+  int status = 2;
+  try {
+    status = run_cli(options, session.engine, no_stdin, out, errors);
+  } catch (const std::exception& error) {
+    // The thin client's last-resort boundary, request-scoped.
+    errors << "shelleyc: internal error: " << error.what() << "\n";
+  } catch (...) {
+    errors << "shelleyc: internal error\n";
+  }
+  // Rewind to the post-load state so the next request's diagnostics
+  // render exactly like a cold run -- report_to_json emits every
+  // diagnostic in the sink, so accumulation would break byte-identity.
+  session.workspace.rewind_to_loaded();
+  writer.begin_object();
+  writer.key("ok").value(true);
+  writer.key("status").value(static_cast<std::int64_t>(status));
+  writer.key("output").value(out.str());
+  writer.key("errors").value(errors.str());
+  writer.end_object();
+}
+
+void handle_stats(Session& session, JsonWriter& writer) {
+  writer.begin_object();
+  writer.key("ok").value(true);
+  const MemoStats memo = session.engine.memo().stats();
+  writer.key("memo").begin_object();
+  writer.key("hits").value(memo.hits);
+  writer.key("misses").value(memo.misses);
+  writer.key("stores").value(memo.stores);
+  writer.key("invalidations").value(memo.invalidations);
+  writer.end_object();
+  const QueryStats queries = session.engine.stats();
+  writer.key("queries").begin_object();
+  writer.key("report_hits").value(queries.report_hits);
+  writer.key("report_misses").value(queries.report_misses);
+  writer.key("dfa_hits").value(queries.dfa_hits);
+  writer.key("dfa_misses").value(queries.dfa_misses);
+  writer.key("artifact_hits").value(queries.artifact_hits);
+  writer.key("artifact_misses").value(queries.artifact_misses);
+  writer.end_object();
+  const ParseStats parses = session.workspace.parse_stats();
+  writer.key("parse").begin_object();
+  writer.key("hits").value(parses.hits);
+  writer.key("misses").value(parses.misses);
+  writer.end_object();
+  if (const core::BehaviorCache* cache = session.workspace.cache()) {
+    const core::CacheStats disk = cache->stats();
+    writer.key("cache").begin_object();
+    writer.key("hits").value(disk.hits);
+    writer.key("misses").value(disk.misses);
+    writer.key("invalidations").value(disk.invalidations);
+    writer.key("stores").value(disk.stores);
+    writer.key("store_failures").value(disk.store_failures);
+    writer.end_object();
+  }
+  writer.end_object();
+}
+
+/// Dispatches one request; returns false once shutdown was requested.
+bool handle_request(Session& session, const std::string& line,
+                    JsonWriter& writer) {
+  const JsonValue request = parse_json(line);
+  const std::string& cmd = request.at("cmd").as_string();
+  if (cmd == "shutdown") {
+    writer.begin_object();
+    writer.key("ok").value(true);
+    writer.end_object();
+    return false;
+  }
+  if (cmd == "version") {
+    writer.begin_object();
+    writer.key("ok").value(true);
+    writer.key("version").value(core::kToolchainVersion);
+    writer.end_object();
+  } else if (cmd == "load") {
+    handle_load(session, request, writer);
+  } else if (cmd == "update") {
+    handle_update(session, request, writer);
+  } else if (cmd == "verify") {
+    handle_run(session, request, /*json=*/false, writer);
+  } else if (cmd == "report") {
+    handle_run(session, request, /*json=*/true, writer);
+  } else if (cmd == "stats") {
+    handle_stats(session, writer);
+  } else {
+    write_error(writer, "unknown command '" + cmd + "'");
+  }
+  return true;
+}
+
+}  // namespace
+
+int run_daemon(const CliOptions& session_options, std::istream& in,
+               std::ostream& out, std::ostream& err) {
+  // One set of resource guards for the whole session, exactly like the
+  // batch client arms per run.
+  support::guard::Limits limits;
+  if (session_options.max_depth > 0) {
+    limits.max_recursion_depth = session_options.max_depth;
+  }
+  if (session_options.max_input_bytes > 0) {
+    limits.max_input_bytes = session_options.max_input_bytes;
+  }
+  limits.max_states = session_options.max_states;
+  limits.timeout_ms = session_options.timeout_ms;
+  support::guard::ScopedLimits guard(limits);
+
+  Workspace workspace;
+  workspace.set_lint_options(core::LintOptions{session_options.dfa_budget});
+  std::optional<core::BehaviorCache> cache;
+  if (session_options.cache_dir) {
+    try {
+      cache.emplace(*session_options.cache_dir);
+    } catch (const std::exception& error) {
+      err << "shelleyd: " << error.what() << "\n";
+      return 2;
+    }
+    workspace.set_cache(&*cache);
+  }
+  QueryEngine engine(workspace);
+  Session session{session_options, workspace, engine};
+
+  // Files given on the command line are loaded before the first request,
+  // with the loader's stderr going to the real stderr (wire responses
+  // only cover wire-initiated loads).
+  if (!session_options.files.empty()) {
+    load_inputs(workspace, session_options.files, err);
+  }
+
+  std::string line;
+  bool running = true;
+  while (running && std::getline(in, line)) {
+    if (line.empty()) continue;
+    JsonWriter writer;
+    try {
+      running = handle_request(session, line, writer);
+    } catch (const std::exception& error) {
+      JsonWriter fresh;  // discard any half-written response
+      write_error(fresh, error.what());
+      out << fresh.str() << "\n" << std::flush;
+      continue;
+    }
+    out << writer.str() << "\n" << std::flush;
+  }
+  return 0;
+}
+
+}  // namespace shelley::engine

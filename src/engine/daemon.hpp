@@ -1,0 +1,45 @@
+// shelleyd's request loop: newline-delimited JSON over stdio, one
+// workspace + query engine per session.
+//
+// Wire protocol (one request object per input line, one response object
+// per output line; see docs/ARCHITECTURE.md for the full reference):
+//
+//   {"cmd":"version"}                    -> {"ok":true,"version":...}
+//   {"cmd":"load","files":[...]}         -> per-file summaries + the
+//                                           loader's stderr bytes
+//   {"cmd":"update","file":P,"text":T?}  -> changed classes + memo drops
+//                                           (text omitted: re-read disk)
+//   {"cmd":"verify","class"?,"jobs"?,"stats"?}
+//                                        -> shelleyc's text report bytes
+//   {"cmd":"report","class"?,"jobs"?,"stats"?}
+//                                        -> shelleyc's --json bytes
+//   {"cmd":"stats"}                      -> memo/query/parse/cache counters
+//   {"cmd":"shutdown"}                   -> {"ok":true}, then the loop ends
+//
+// verify/report responses carry, in "output" and "errors", the exact
+// stdout/stderr bytes a cold `shelleyc` run over the current sources
+// would produce, and "status" carries its exit code: requests run through
+// the same run_cli the thin client uses, and the diagnostic sink is
+// rewound to its post-load state after every request so repetition
+// cannot accumulate state.  Verification runs on the persistent shared
+// thread pool (support::parallel_for), so a long-lived daemon never
+// re-spawns threads per request.
+#pragma once
+
+#include <iosfwd>
+
+#include "engine/driver.hpp"
+
+namespace shelley::engine {
+
+/// Runs the daemon loop until shutdown or end of input.  `session` fixes
+/// the per-session configuration (cache dir, default jobs, lint budget;
+/// guard limits must already be armed by the caller).  Files listed in
+/// `session` are loaded before the first request, with the loader's
+/// stderr going to `err`.  Always returns 0; a malformed request is a
+/// per-request error response, never a crash (the never-crash frontend
+/// contract extends to the wire).
+[[nodiscard]] int run_daemon(const CliOptions& session, std::istream& in,
+                             std::ostream& out, std::ostream& err);
+
+}  // namespace shelley::engine

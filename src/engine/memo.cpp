@@ -1,0 +1,87 @@
+#include "engine/memo.hpp"
+
+#include <utility>
+
+namespace shelley::engine {
+
+std::optional<core::CachedVerdict> MemoTier::load_verdict(
+    const support::Digest128& key, std::string_view class_name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = verdicts_.find(key);
+  // The key embeds the class name (fingerprint.hpp); a mismatch means a
+  // collision, so miss rather than replay a foreign verdict -- the same
+  // rule the disk tier applies.
+  if (it == verdicts_.end() || it->second.class_name != class_name) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  return it->second;
+}
+
+void MemoTier::store_verdict(const support::Digest128& key,
+                             core::CachedVerdict verdict) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  verdicts_.insert_or_assign(key, std::move(verdict));
+  ++stats_.stores;
+}
+
+std::optional<std::string> MemoTier::load_dfa_bytes(
+    const support::Digest128& key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = dfas_.find(key);
+  if (it == dfas_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  return it->second;
+}
+
+void MemoTier::store_dfa_bytes(const support::Digest128& key,
+                               std::string bytes) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  dfas_.insert_or_assign(key, std::move(bytes));
+  ++stats_.stores;
+}
+
+std::optional<std::string> MemoTier::load_artifact(
+    const support::Digest128& key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = artifacts_.find(key);
+  if (it == artifacts_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  return it->second;
+}
+
+void MemoTier::store_artifact(const support::Digest128& key,
+                              std::string artifact) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  artifacts_.insert_or_assign(key, std::move(artifact));
+  ++stats_.stores;
+}
+
+std::size_t MemoTier::invalidate(const support::Digest128& key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t dropped =
+      verdicts_.erase(key) + dfas_.erase(key) + artifacts_.erase(key);
+  stats_.invalidations += dropped;
+  return dropped;
+}
+
+void MemoTier::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  verdicts_.clear();
+  dfas_.clear();
+  artifacts_.clear();
+}
+
+MemoStats MemoTier::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace shelley::engine

@@ -1,0 +1,70 @@
+// The in-memory memo tier of the query engine: verdicts, behavior DFAs,
+// and opaque artifacts keyed by the same content-addressed class keys as
+// the on-disk BehaviorCache (shelley/fingerprint.hpp), layered *above* it.
+//
+// Entries hold exactly the cache encodings (CachedVerdict, the name-keyed
+// DFA bytes of fsm/serialize.hpp, raw artifact bytes), never live automata
+// or symbol ids: the workspace rebuilds its symbol table on every source
+// update, so anything id-bearing would go stale.  Replay goes through
+// Verifier::replay_verdict / fsm::dfa_from_bytes -- the same single code
+// path the disk tier uses -- which is what keeps warm answers byte-
+// identical to cold ones.
+//
+// Internally synchronized: the daemon may run queries for several classes
+// concurrently on the shared thread pool.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "shelley/cache.hpp"
+#include "support/hash.hpp"
+
+namespace shelley::engine {
+
+struct MemoStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t invalidations = 0;  ///< entries dropped by invalidate()
+};
+
+class MemoTier {
+ public:
+  [[nodiscard]] std::optional<core::CachedVerdict> load_verdict(
+      const support::Digest128& key, std::string_view class_name);
+  void store_verdict(const support::Digest128& key,
+                     core::CachedVerdict verdict);
+
+  /// DFA entries are the name-keyed bytes of fsm/serialize.hpp; the caller
+  /// decodes against its current symbol table.
+  [[nodiscard]] std::optional<std::string> load_dfa_bytes(
+      const support::Digest128& key);
+  void store_dfa_bytes(const support::Digest128& key, std::string bytes);
+
+  [[nodiscard]] std::optional<std::string> load_artifact(
+      const support::Digest128& key);
+  void store_artifact(const support::Digest128& key, std::string artifact);
+
+  /// Drops every entry kind stored under `key`; returns how many were
+  /// dropped (counted as invalidations).  The workspace calls this for the
+  /// stale keys of exactly the dependency closure of an updated source.
+  std::size_t invalidate(const support::Digest128& key);
+
+  void clear();
+
+  [[nodiscard]] MemoStats stats() const;
+
+ private:
+  mutable std::mutex mutex_;
+  MemoStats stats_;
+  std::map<support::Digest128, core::CachedVerdict> verdicts_;
+  std::map<support::Digest128, std::string> dfas_;
+  std::map<support::Digest128, std::string> artifacts_;
+};
+
+}  // namespace shelley::engine

@@ -1,0 +1,197 @@
+#include "engine/query.hpp"
+
+#include <exception>
+#include <utility>
+
+#include "fsm/ops.hpp"
+#include "fsm/serialize.hpp"
+#include "ltlf/parser.hpp"
+#include "shelley/automata.hpp"
+#include "shelley/monitor.hpp"
+#include "shelley/replay.hpp"
+#include "smv/smv.hpp"
+#include "support/thread_pool.hpp"
+#include "support/trace.hpp"
+
+namespace shelley::engine {
+
+core::ClassReport QueryEngine::report(const core::ClassSpec& spec,
+                                      DiagnosticEngine& sink) {
+  core::Verifier& verifier = workspace_.verifier();
+  const support::Digest128 key = verifier.cache_key(spec);
+  if (auto verdict = memo_.load_verdict(key, spec.name)) {
+    {
+      const std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.report_hits;
+    }
+    if (support::trace::enabled()) {
+      support::trace::instant("memo.hit/" + spec.name);
+    }
+    return verifier.replay_verdict(spec, *std::move(verdict), sink);
+  }
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.report_misses;
+  }
+  // Fall through to the disk tier (or, without one, the live pipeline);
+  // either way the class's diagnostics land in `sink` starting at
+  // diags_begin, which is exactly the slice capture_verdict stores.
+  const std::size_t diags_begin = sink.diagnostics().size();
+  core::ClassReport result = verifier.verify_or_replay(spec, sink);
+  if (result.resource_errors == 0) {
+    memo_.store_verdict(
+        key, core::capture_verdict(result, sink, diags_begin,
+                                   verifier.symbols()));
+  }
+  return result;
+}
+
+core::ClassReport QueryEngine::verify_class(std::string_view name) {
+  core::Verifier& verifier = workspace_.verifier();
+  const core::ClassSpec* spec = verifier.find_class(name);
+  if (spec == nullptr) {
+    verifier.diagnostics().error(
+        {}, "cannot verify unknown class '" + std::string(name) + "'");
+    core::ClassReport result;
+    result.class_name = std::string(name);
+    result.invocation_errors = 1;
+    return result;
+  }
+  return report(*spec, verifier.diagnostics());
+}
+
+core::Report QueryEngine::verify_all(std::size_t jobs) {
+  core::Verifier& verifier = workspace_.verifier();
+  std::vector<const core::ClassSpec*> work;
+  for (const core::ClassSpec& spec : verifier.classes()) {
+    if (spec.is_system) work.push_back(&spec);
+  }
+
+  core::Report full_report;
+  if (jobs <= 1 || work.size() <= 1) {
+    for (const core::ClassSpec* spec : work) {
+      full_report.classes.push_back(report(*spec, verifier.diagnostics()));
+    }
+    return full_report;
+  }
+
+  // The deterministic-merge protocol of Verifier::verify_all(jobs):
+  // pre-intern every symbol in serial order (ids leak into the output),
+  // verify each class into its own sink, merge in registration order.
+  for (const core::ClassSpec* spec : work) verifier.warm_symbols(*spec);
+
+  std::vector<core::ClassReport> reports(work.size());
+  std::vector<DiagnosticEngine> sinks(work.size());
+  std::vector<std::exception_ptr> errors(work.size());
+  support::parallel_for(work.size(), jobs, [&](std::size_t i) {
+    try {
+      reports[i] = report(*work[i], sinks[i]);
+    } catch (...) {
+      errors[i] = std::current_exception();
+    }
+  });
+
+  for (std::size_t i = 0; i < work.size(); ++i) {
+    verifier.diagnostics().append(sinks[i]);
+    if (errors[i]) std::rethrow_exception(errors[i]);
+    full_report.classes.push_back(std::move(reports[i]));
+  }
+  return full_report;
+}
+
+fsm::Dfa QueryEngine::usage_dfa(const core::ClassSpec& spec) {
+  core::Verifier& verifier = workspace_.verifier();
+  const support::Digest128 key = verifier.cache_key(spec);
+  if (const auto bytes = memo_.load_dfa_bytes(key)) {
+    {
+      const std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.dfa_hits;
+    }
+    return fsm::dfa_from_bytes(*bytes, verifier.symbols());
+  }
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.dfa_misses;
+  }
+  core::BehaviorCache* cache = workspace_.cache();
+  if (cache != nullptr) {
+    if (auto dfa = cache->load_dfa(key, verifier.symbols())) {
+      memo_.store_dfa_bytes(key,
+                            fsm::dfa_to_bytes(*dfa, verifier.symbols()));
+      return *std::move(dfa);
+    }
+  }
+  // Build through the Monitor constructor -- the same
+  // usage_nfa/determinize/minimize pipeline --monitor runs cold.
+  const core::Monitor monitor(spec, verifier.symbols());
+  fsm::Dfa dfa = monitor.dfa();
+  if (cache != nullptr) cache->store_dfa(key, dfa, verifier.symbols());
+  memo_.store_dfa_bytes(key, fsm::dfa_to_bytes(dfa, verifier.symbols()));
+  return dfa;
+}
+
+SmvArtifact QueryEngine::smv_model(const core::ClassSpec& spec) {
+  core::Verifier& verifier = workspace_.verifier();
+  const support::Digest128 key = verifier.cache_key(spec);
+  if (const auto artifact = memo_.load_artifact(key)) {
+    {
+      const std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.artifact_hits;
+    }
+    return SmvArtifact{*artifact, {}};
+  }
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.artifact_misses;
+  }
+  core::BehaviorCache* cache = workspace_.cache();
+  if (cache != nullptr) {
+    if (const auto artifact = cache->load_artifact(key)) {
+      memo_.store_artifact(key, *artifact);
+      return SmvArtifact{*artifact, {}};
+    }
+  }
+
+  const auto behaviors = core::extract_behaviors(spec, verifier.symbols(),
+                                                 verifier.diagnostics());
+  const core::SystemModel model = core::build_system_model(
+      spec, behaviors, verifier.symbols(), verifier.diagnostics());
+  const fsm::Dfa dfa =
+      fsm::minimize(fsm::determinize(model.nfa, model.full_alphabet()));
+  smv::SmvModel smv_model =
+      smv::from_dfa(dfa, verifier.symbols(), spec.name);
+  SmvArtifact artifact;
+  for (const core::Claim& claim : spec.claims) {
+    try {
+      smv::add_ltlspec(
+          smv_model,
+          ltlf::parse(claim.text, verifier.symbols(), claim.loc),
+          verifier.symbols());
+    } catch (const ParseError&) {
+      artifact.skipped_claims.push_back(claim.text);
+    }
+  }
+  artifact.text = smv::emit(smv_model);
+  // A model with skipped claims is incomplete; never memoize it in any
+  // tier, so the caller's skip notice reprints on every run.
+  if (artifact.skipped_claims.empty()) {
+    if (cache != nullptr) cache->store_artifact(key, artifact.text);
+    memo_.store_artifact(key, artifact.text);
+  }
+  return artifact;
+}
+
+std::size_t QueryEngine::apply_update(const UpdateResult& update) {
+  std::size_t dropped = 0;
+  for (const support::Digest128& key : update.stale_keys) {
+    dropped += memo_.invalidate(key);
+  }
+  return dropped;
+}
+
+QueryStats QueryEngine::stats() const {
+  const std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+}  // namespace shelley::engine

@@ -1,0 +1,105 @@
+// The demand-driven query layer: every pipeline product -- a class's
+// verification report, its minimal usage DFA, its NuSMV model -- is an
+// individually memoized query over the Workspace, keyed by the class's
+// content-addressed fingerprint.
+//
+// Answer order for every query: in-memory memo tier, then the on-disk
+// BehaviorCache (when one is attached to the workspace), then the real
+// pipeline -- and a lower-tier answer is promoted into the tiers above it.
+// Replay always goes through the one proven code path
+// (Verifier::replay_verdict / fsm::dfa_from_bytes), so a warm answer is
+// byte-identical to a cold run.  After Workspace::update_source, the
+// caller drops exactly the stale keys (MemoTier::invalidate); everything
+// outside the edit's dependency closure keeps its entries and keeps
+// hitting.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "engine/memo.hpp"
+#include "engine/workspace.hpp"
+#include "fsm/dfa.hpp"
+
+namespace shelley::engine {
+
+/// Per-query-kind counters; the invalidation tests assert closure
+/// precision through these (an update must turn exactly the closure's
+/// next lookups into misses).
+struct QueryStats {
+  std::uint64_t report_hits = 0;    ///< report() answered from the memo
+  std::uint64_t report_misses = 0;  ///< fell through to disk or pipeline
+  std::uint64_t dfa_hits = 0;
+  std::uint64_t dfa_misses = 0;
+  std::uint64_t artifact_hits = 0;
+  std::uint64_t artifact_misses = 0;
+};
+
+/// A built (or replayed) NuSMV model plus the claims that had to be
+/// skipped because their formulas do not parse.  Models with skipped
+/// claims are never memoized in any tier, so the caller's skip notice
+/// reprints on every run -- exactly like the batch pipeline.
+struct SmvArtifact {
+  std::string text;
+  std::vector<std::string> skipped_claims;
+};
+
+class QueryEngine {
+ public:
+  explicit QueryEngine(Workspace& workspace) : workspace_(workspace) {}
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  /// The verification report of one registered class, with its
+  /// diagnostics appended to `sink`.  Memo hit -> replay; miss -> the
+  /// workspace verifier's cache-or-verify path, captured into the memo
+  /// (unless a resource limit aborted the class -- an aborted run is not
+  /// a result).
+  [[nodiscard]] core::ClassReport report(const core::ClassSpec& spec,
+                                         DiagnosticEngine& sink);
+
+  /// report() by name, diagnostics into the workspace sink; unknown names
+  /// produce a diagnostic and an error entry, exactly like
+  /// Verifier::verify_class.
+  [[nodiscard]] core::ClassReport verify_class(std::string_view name);
+
+  /// Verifies every registered @sys class through report(), on up to
+  /// `jobs` workers (1 = serial).  The deterministic-merge protocol of
+  /// Verifier::verify_all(jobs) is reproduced exactly: symbols pre-warmed
+  /// in serial order, per-class sinks, merge in registration order.
+  [[nodiscard]] core::Report verify_all(std::size_t jobs);
+
+  /// The minimal valid-usage DFA of one class (what --monitor walks).
+  /// Memoized as name-keyed serialized bytes so replay survives workspace
+  /// rebuilds; promoted from / stored to the disk tier when attached.
+  [[nodiscard]] fsm::Dfa usage_dfa(const core::ClassSpec& spec);
+
+  /// The emitted NuSMV model of one class (what --smv prints).
+  [[nodiscard]] SmvArtifact smv_model(const core::ClassSpec& spec);
+
+  /// Drops every memo entry under `key` (all query kinds).  Returns how
+  /// many entries were dropped.
+  std::size_t invalidate(const support::Digest128& key) {
+    return memo_.invalidate(key);
+  }
+
+  /// Applies a Workspace::update_source result: every stale key is
+  /// dropped from the memo.  Returns the total entries dropped.
+  std::size_t apply_update(const UpdateResult& update);
+
+  [[nodiscard]] Workspace& workspace() { return workspace_; }
+  [[nodiscard]] MemoTier& memo() { return memo_; }
+  [[nodiscard]] QueryStats stats() const;
+
+ private:
+  Workspace& workspace_;
+  MemoTier memo_;
+  mutable std::mutex stats_mutex_;
+  QueryStats stats_;
+};
+
+}  // namespace shelley::engine

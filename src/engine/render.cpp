@@ -1,0 +1,128 @@
+#include "engine/render.hpp"
+
+#include <iomanip>
+#include <ostream>
+
+#include "support/metrics.hpp"
+
+namespace shelley::engine {
+
+std::string format_diagnostic(const Diagnostic& diag,
+                              const std::string& path) {
+  std::string out;
+  if (!path.empty()) out += path + ":";
+  out += std::string(to_string(diag.severity)) + " " + to_string(diag.loc) +
+         ": " + diag.message + "\n";
+  return out;
+}
+
+void print_file_summaries(const std::vector<core::FileSummary>& files,
+                          std::ostream& out) {
+  out << "\ninputs:\n";
+  for (const core::FileSummary& file : files) {
+    out << "  " << file.path << ": ";
+    if (!file.failure.empty()) {
+      out << "FAILED (" << file.failure << ")";
+    } else if (file.parse_errors > 0) {
+      out << file.parse_errors << " parse error"
+          << (file.parse_errors == 1 ? "" : "s");
+    } else {
+      out << "ok";
+    }
+    out << "\n";
+  }
+}
+
+std::string render_load_errors(
+    const std::vector<core::FileSummary>& files,
+    const std::vector<std::pair<std::size_t, std::size_t>>& ranges,
+    const std::vector<Diagnostic>& diags, std::size_t first_file) {
+  std::string out;
+  for (std::size_t f = first_file; f < files.size(); ++f) {
+    const core::FileSummary& file = files[f];
+    const bool open_failure =
+        !file.loaded && file.failure == "cannot open file";
+    if (open_failure) {
+      out += "shelleyc: cannot open '" + file.path + "'\n";
+    }
+    if (f < ranges.size()) {
+      for (std::size_t i = ranges[f].first; i < ranges[f].second; ++i) {
+        out += format_diagnostic(diags[i], file.path);
+      }
+    }
+    if (!file.failure.empty() && !open_failure) {
+      out += "shelleyc: " + file.path + ": " + file.failure + "\n";
+    }
+  }
+  return out;
+}
+
+void print_stats(const core::Report& report, std::ostream& out) {
+  out << "\nautomata statistics\n";
+  out << std::left << std::setw(24) << "  class" << std::right
+      << std::setw(8) << "nfa" << std::setw(10) << "dfa.raw"
+      << std::setw(10) << "dfa.min" << std::setw(10) << "pairs"
+      << std::setw(8) << "ltlf" << std::setw(6) << "cex"
+      << std::setw(10) << "ms" << "\n";
+  for (const core::ClassReport& cls : report.classes) {
+    if (!cls.stats.collected) continue;
+    out << "  " << std::left << std::setw(22) << cls.class_name
+        << std::right << std::setw(8) << cls.stats.nfa_states
+        << std::setw(10) << cls.stats.dfa_states_before
+        << std::setw(10) << cls.stats.dfa_states_after
+        << std::setw(10) << cls.stats.product_pairs
+        << std::setw(8) << cls.stats.ltlf_states
+        << std::setw(6) << cls.stats.counterexample_len
+        << std::setw(10) << std::fixed << std::setprecision(2)
+        << cls.stats.elapsed_ms << "\n";
+  }
+  const auto counters = support::metrics::counter_snapshot();
+  if (!counters.empty()) {
+    out << "\npipeline counters\n";
+    for (const auto& [name, value] : counters) {
+      out << "  " << std::left << std::setw(30) << name << std::right
+          << std::setw(12) << value << "\n";
+    }
+  }
+  const auto distributions = support::metrics::distribution_snapshot();
+  if (!distributions.empty()) {
+    out << "\npipeline distributions (count/min/max/sum)\n";
+    for (const auto& [name, snap] : distributions) {
+      out << "  " << std::left << std::setw(30) << name << std::right
+          << std::setw(8) << snap.count << std::setw(8) << snap.min
+          << std::setw(8) << snap.max << std::setw(12) << snap.sum << "\n";
+    }
+  }
+}
+
+void print_cache_stats(const core::CacheStats& stats, std::ostream& out) {
+  out << "\ncache statistics\n"
+      << "  hits            " << stats.hits << "\n"
+      << "  misses          " << stats.misses << "\n"
+      << "  invalidations   " << stats.invalidations << "\n"
+      << "  stores          " << stats.stores << "\n"
+      << "  store failures  " << stats.store_failures << "\n";
+}
+
+void render_text_report(const core::Report& report,
+                        const core::Verifier& verifier,
+                        std::size_t load_diag_end,
+                        const std::vector<core::FileSummary>& summaries,
+                        bool load_failed, std::ostream& out) {
+  for (const core::ClassReport& cls : report.classes) {
+    out << cls.class_name << ": " << (cls.ok() ? "ok" : "FAILED") << "\n";
+  }
+  const std::string errors = report.render(verifier.symbols());
+  if (!errors.empty()) out << "\n" << errors;
+  std::string diagnostics;
+  const auto& diags = verifier.diagnostics().diagnostics();
+  for (std::size_t i = load_diag_end; i < diags.size(); ++i) {
+    diagnostics += format_diagnostic(diags[i], "");
+  }
+  if (!diagnostics.empty()) out << "\n" << diagnostics;
+  if (summaries.size() >= 2 || load_failed) {
+    print_file_summaries(summaries, out);
+  }
+}
+
+}  // namespace shelley::engine

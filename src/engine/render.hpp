@@ -1,0 +1,60 @@
+// The text surface of the CLI, factored out of tools/shelleyc.cpp so the
+// thin client and the shelleyd daemon render through one code path --
+// which is what makes "daemon output is byte-identical to a cold shelleyc
+// run" a property of the code rather than a test-time coincidence.  Every
+// function here is a byte-exact port of the shelleyc original, message
+// prefixes included (the daemon answers "what would shelleyc print").
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "shelley/cache.hpp"
+#include "shelley/report_json.hpp"
+#include "shelley/verifier.hpp"
+
+namespace shelley::engine {
+
+/// One formatted diagnostic line; `path` (when non-empty) prefixes the
+/// location so batch-mode output says which file each error lives in.
+[[nodiscard]] std::string format_diagnostic(const Diagnostic& diag,
+                                            const std::string& path);
+
+/// Batch-mode epilogue: one line per input file.
+void print_file_summaries(const std::vector<core::FileSummary>& files,
+                          std::ostream& out);
+
+/// The loader's stderr protocol for files[first_file..]: the "cannot
+/// open" notice before a file's (empty) diagnostic range, the
+/// path-prefixed diagnostics, then any other failure line after them.
+/// `ranges` holds each file's half-open slice of `diags`
+/// (Workspace::file_diag_ranges).  The daemon replays this for `load` and
+/// `update` responses so they carry the exact bytes a cold shelleyc load
+/// writes.
+[[nodiscard]] std::string render_load_errors(
+    const std::vector<core::FileSummary>& files,
+    const std::vector<std::pair<std::size_t, std::size_t>>& ranges,
+    const std::vector<Diagnostic>& diags, std::size_t first_file = 0);
+
+/// The --stats summary: one row of automata sizes per verified class, then
+/// the global pipeline counters and distributions.
+void print_stats(const core::Report& report, std::ostream& out);
+
+/// The --cache-stats block.
+void print_cache_stats(const core::CacheStats& stats, std::ostream& out);
+
+/// The default (non-JSON, non-quiet) verification report: per-class
+/// ok/FAILED lines, the paper-format error blocks, the diagnostics
+/// verification added past `load_diag_end` (loading already printed its
+/// own, path-prefixed), and -- when there are two or more inputs or any
+/// load failed -- the per-file summaries.
+void render_text_report(const core::Report& report,
+                        const core::Verifier& verifier,
+                        std::size_t load_diag_end,
+                        const std::vector<core::FileSummary>& summaries,
+                        bool load_failed, std::ostream& out);
+
+}  // namespace shelley::engine

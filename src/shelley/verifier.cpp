@@ -1,20 +1,15 @@
+// Class registration and the verify_class/verify_all drivers.  The §3
+// pipeline itself lives in verify_spec.cpp and the cache/replay protocol in
+// replay.cpp; this file owns the spec registry and the deterministic
+// serial/parallel orchestration.
 #include "shelley/verifier.hpp"
 
-#include <chrono>
 #include <exception>
-#include <optional>
 #include <vector>
 
-#include "ir/lowering.hpp"
-#include "ltlf/parser.hpp"
 #include "shelley/cache.hpp"
-#include "shelley/fingerprint.hpp"
-#include "shelley/graph.hpp"
-#include "shelley/invocation.hpp"
-#include "shelley/lint.hpp"
 #include "support/guard.hpp"
 #include "support/thread_pool.hpp"
-#include "support/trace.hpp"
 #include "upy/parser.hpp"
 
 namespace shelley::core {
@@ -77,234 +72,6 @@ const ClassSpec* Verifier::find_class(std::string_view name) const {
 
 ClassLookup Verifier::lookup() const {
   return [this](const std::string& name) { return find_class(name); };
-}
-
-ClassReport Verifier::verify_spec(const ClassSpec& spec,
-                                  DiagnosticEngine& sink) {
-  ClassReport report;
-  report.class_name = spec.name;
-  report.is_composite = spec.is_composite;
-
-  support::trace::Span span("shelley.verify");
-  span.arg("class", spec.name);
-  const std::size_t diags_before = sink.diagnostics().size();
-
-  // Collect per-class automata statistics when anyone will consume them:
-  // the metrics registry (--stats / --trace-out / SHELLEY_TRACE=1) or the
-  // DFA state-budget lint.  Otherwise the sink stays unset and every
-  // record_* call in the pipeline below stays on its two-load fast path.
-  std::optional<support::metrics::ScopedSink> stats_guard;
-  const bool want_stats = support::metrics::enabled() ||
-                          lint_options_.dfa_state_budget > 0;
-  if (want_stats) stats_guard.emplace(&report.stats);
-  const auto started = std::chrono::steady_clock::now();
-
-  try {
-    // Step 1 -- method dependency extraction validates successor references.
-    support::guard::check_deadline("verify.dependencies");
-    (void)DependencyGraph::build(spec, sink);
-
-    // Step 3 -- method invocation analysis.
-    support::guard::check_deadline("verify.invocations");
-    report.invocation_errors = analyze_invocations(spec, lookup(), sink);
-
-    // Specification lints (warnings only).
-    report.lint_findings = lint_class(spec, table_, sink);
-
-    // Step 2 plus the composite checks of §2.2 (behavior extraction happens
-    // inside check_composite).  Base classes still get their claims checked
-    // against the valid-usage language.
-    support::guard::check_deadline("verify.check");
-    if (spec.is_composite) {
-      report.check = check_composite(spec, lookup(), table_, sink);
-    } else {
-      report.check = check_base_claims(spec, table_, sink);
-    }
-  } catch (const support::guard::ResourceError& error) {
-    // One class blowing its state budget / deadline must not take down the
-    // whole run: record it (fails ok()) and let verify_all keep going.
-    ++report.resource_errors;
-    sink.error(error.loc(), "verification of '" + spec.name +
-                                "' aborted: " + error.message());
-  }
-
-  if (want_stats) {
-    report.stats.elapsed_ms =
-        std::chrono::duration<double, std::milli>(
-            std::chrono::steady_clock::now() - started)
-            .count();
-    stats_guard.reset();  // stop attributing before the lint reads stats
-    report.lint_findings +=
-        lint_state_budget(spec, report.stats, lint_options_, sink);
-  }
-
-  span.arg("ok", report.ok() ? std::string_view("true")
-                             : std::string_view("false"));
-  if (support::trace::enabled()) {
-    // Surface the first diagnostic this class produced as span metadata, so
-    // a red span in the trace viewer explains itself.
-    const auto& diags = sink.diagnostics();
-    if (diags.size() > diags_before) {
-      const Diagnostic& first = diags[diags_before];
-      span.arg("first_diagnostic", first.message);
-      span.arg("first_diagnostic_loc", to_string(first.loc));
-    }
-    if (report.stats.collected) {
-      span.arg("dfa_states", report.stats.dfa_states_after);
-      support::trace::counter(
-          "automata/" + spec.name,
-          {support::trace::Arg("nfa_states", report.stats.nfa_states),
-           support::trace::Arg("dfa_states_before",
-                               report.stats.dfa_states_before),
-           support::trace::Arg("dfa_states_after",
-                               report.stats.dfa_states_after),
-           support::trace::Arg("product_pairs",
-                               report.stats.product_pairs),
-           support::trace::Arg("ltlf_states", report.stats.ltlf_states),
-           support::trace::Arg("counterexample_len",
-                               report.stats.counterexample_len)});
-    }
-  }
-  return report;
-}
-
-void Verifier::warm_symbols(const ClassSpec& spec) {
-  // Mirrors the intern calls of verify_spec exactly, in order.  The first
-  // table touch is lint_completability's usage_nfa(spec, table): one bare
-  // operation name per operation.
-  if (!spec.operations.empty()) {
-    for (const Operation& op : spec.operations) {
-      (void)table_.intern(op.name);
-    }
-  }
-
-  if (spec.is_composite) {
-    // check_composite: extract_behaviors lowers every operation body and
-    // interns one `field.method` symbol per tracked call, in source order.
-    ir::LoweringContext context;
-    for (const SubsystemDecl& subsystem : spec.subsystems) {
-      context.tracked_fields.insert(subsystem.field);
-    }
-    context.symbols = &table_;  // diagnostics/next_return_id stay null
-    for (const Operation& op : spec.operations) {
-      (void)ir::lower_block(op.body, context);
-    }
-    // build_system_model + unrealizable_usage re-intern the bare operation
-    // names (no-ops by now); the per-subsystem monitors intern the
-    // prefix-qualified names of each subsystem class's operations.
-    for (const SubsystemDecl& subsystem : spec.subsystems) {
-      const ClassSpec* sub_spec = find_class(subsystem.class_name);
-      if (sub_spec == nullptr) continue;
-      const std::string prefix = subsystem.field + ".";
-      for (const Operation& op : sub_spec->operations) {
-        (void)table_.intern(prefix + op.name);
-      }
-    }
-  } else if (spec.claims.empty()) {
-    return;  // check_base_claims bails out before touching the table
-  }
-
-  // Claim atoms are interned while parsing, left to right.  Malformed
-  // claims intern whatever atoms precede the error, then throw; the real
-  // verification pass reports that error into its own sink.
-  for (const Claim& claim : spec.claims) {
-    try {
-      (void)ltlf::parse(claim.text, table_);
-    } catch (const ParseError&) {
-      // ignored here; verify_spec diagnoses it
-    }
-  }
-}
-
-support::Digest128 Verifier::cache_key(const ClassSpec& spec) const {
-  FingerprintOptions options;
-  options.dfa_state_budget = lint_options_.dfa_state_budget;
-  options.max_states = support::guard::limits().max_states;
-  return class_key(spec, lookup(), options);
-}
-
-ClassReport Verifier::verify_or_replay(const ClassSpec& spec,
-                                       DiagnosticEngine& sink) {
-  if (cache_ == nullptr) return verify_spec(spec, sink);
-
-  const support::Digest128 key = cache_key(spec);
-  std::optional<CachedVerdict> cached = cache_->load_verdict(key);
-  // The key embeds the class name, so a mismatch means a colliding or
-  // tampered entry: discard it rather than replaying a foreign verdict.
-  if (cached && cached->class_name != spec.name) cached.reset();
-  if (cached) {
-    // Intern everything the real verification would intern, in the same
-    // order, so downstream (missing) classes see identical symbol ids and
-    // produce byte-identical witnesses.  Every counterexample symbol below
-    // is part of that warmed set.
-    warm_symbols(spec);
-    ClassReport report;
-    report.class_name = spec.name;
-    report.is_composite = cached->is_composite;
-    report.invocation_errors = cached->invocation_errors;
-    report.lint_findings = cached->lint_findings;
-    for (CachedSubsystemError& error : cached->subsystem_errors) {
-      report.check.subsystem_errors.push_back(SubsystemError{
-          std::move(error.field), std::move(error.class_name),
-          intern_word(error.counterexample, table_),
-          std::move(error.detail)});
-    }
-    for (CachedClaimError& error : cached->claim_errors) {
-      report.check.claim_errors.push_back(
-          ClaimError{std::move(error.formula),
-                     intern_word(error.counterexample, table_)});
-    }
-    for (CachedDiagnostic& diag : cached->diagnostics) {
-      sink.report(static_cast<Severity>(diag.severity),
-                  SourceLoc{diag.line, diag.column},
-                  std::move(diag.message));
-    }
-    if (support::trace::enabled()) {
-      support::trace::instant("cache.hit/" + spec.name);
-    }
-    return report;
-  }
-
-  // Miss: verify into a private sink so exactly this class's diagnostics
-  // can be stored alongside the verdict, then merge them back (appending
-  // preserves the serial order).
-  DiagnosticEngine local;
-  const std::size_t diags_before = local.diagnostics().size();
-  ClassReport report = verify_spec(spec, local);
-  sink.append(local);
-  if (report.resource_errors > 0) return report;  // aborted, not a result
-
-  CachedVerdict verdict;
-  verdict.class_name = report.class_name;
-  verdict.is_composite = report.is_composite;
-  verdict.invocation_errors = report.invocation_errors;
-  verdict.lint_findings = report.lint_findings;
-  for (const SubsystemError& error : report.check.subsystem_errors) {
-    CachedSubsystemError cached_error;
-    cached_error.field = error.field;
-    cached_error.class_name = error.class_name;
-    for (const Symbol symbol : error.counterexample) {
-      cached_error.counterexample.push_back(table_.name(symbol));
-    }
-    cached_error.detail = error.detail;
-    verdict.subsystem_errors.push_back(std::move(cached_error));
-  }
-  for (const ClaimError& error : report.check.claim_errors) {
-    CachedClaimError cached_error;
-    cached_error.formula = error.formula;
-    for (const Symbol symbol : error.counterexample) {
-      cached_error.counterexample.push_back(table_.name(symbol));
-    }
-    verdict.claim_errors.push_back(std::move(cached_error));
-  }
-  const auto& diags = local.diagnostics();
-  for (std::size_t i = diags_before; i < diags.size(); ++i) {
-    verdict.diagnostics.push_back(CachedDiagnostic{
-        static_cast<std::uint8_t>(diags[i].severity), diags[i].loc.line,
-        diags[i].loc.column, diags[i].message});
-  }
-  cache_->store_verdict(key, verdict);
-  return report;
 }
 
 ClassReport Verifier::verify_class(std::string_view name) {

@@ -21,6 +21,7 @@
 namespace shelley::core {
 
 class BehaviorCache;
+struct CachedVerdict;
 
 /// Per-class verification outcome.
 struct ClassReport {
@@ -105,6 +106,31 @@ class Verifier {
   /// keys of its full subsystem closure (shelley/fingerprint.hpp).
   [[nodiscard]] support::Digest128 cache_key(const ClassSpec& spec) const;
 
+  /// Replays a previously captured verdict into a ClassReport exactly as
+  /// the live pipeline would have produced it: symbols are pre-warmed in
+  /// serial intern order and the stored diagnostics are re-emitted into
+  /// `sink`.  The caller is responsible for having looked `verdict` up
+  /// under this class's *current* cache key (shelley/replay.hpp pairs this
+  /// with capture_verdict; the engine's in-memory memo tier and the on-disk
+  /// BehaviorCache both replay through here).
+  [[nodiscard]] ClassReport replay_verdict(const ClassSpec& spec,
+                                           CachedVerdict verdict,
+                                           DiagnosticEngine& sink);
+
+  /// verify_spec wrapped in the on-disk cache protocol: replay on hit,
+  /// verify and store on miss.  Exactly verify_spec when no cache is
+  /// installed.  Public so memo tiers layered *above* the disk cache
+  /// (src/engine) can fall through to it.
+  [[nodiscard]] ClassReport verify_or_replay(const ClassSpec& spec,
+                                             DiagnosticEngine& sink);
+
+  /// Interns every symbol verifying `spec` will touch, in the same order
+  /// the serial verification path interns them.  Parallel drivers (here and
+  /// in src/engine) pre-warm every class in registration order first, so
+  /// worker-side interning only ever *finds* symbols and ids are identical
+  /// to a serial run.
+  void warm_symbols(const ClassSpec& spec);
+
   /// Lint thresholds applied to every subsequently verified class.
   void set_lint_options(const LintOptions& options) {
     lint_options_ = options;
@@ -123,14 +149,7 @@ class Verifier {
  private:
   [[nodiscard]] ClassReport verify_spec(const ClassSpec& spec,
                                         DiagnosticEngine& sink);
-  /// verify_spec wrapped in the cache protocol: replay on hit, verify and
-  /// store on miss.  Exactly verify_spec when no cache is installed.
-  [[nodiscard]] ClassReport verify_or_replay(const ClassSpec& spec,
-                                             DiagnosticEngine& sink);
   [[nodiscard]] ClassLookup lookup() const;
-  /// Interns every symbol verifying `spec` will touch, in the same order the
-  /// serial verification path interns them (see verify_all(jobs)).
-  void warm_symbols(const ClassSpec& spec);
 
   SymbolTable table_;
   DiagnosticEngine diagnostics_;

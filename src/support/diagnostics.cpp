@@ -51,6 +51,14 @@ std::string DiagnosticEngine::render() const {
   return out;
 }
 
+void DiagnosticEngine::truncate(std::size_t size) {
+  if (size >= diagnostics_.size()) return;
+  for (std::size_t i = size; i < diagnostics_.size(); ++i) {
+    if (diagnostics_[i].severity == Severity::kError) --error_count_;
+  }
+  diagnostics_.resize(size);
+}
+
 void DiagnosticEngine::clear() {
   diagnostics_.clear();
   error_count_ = 0;

@@ -51,6 +51,11 @@ class DiagnosticEngine {
   /// Renders every diagnostic, one per line: `error 3:4: message`.
   [[nodiscard]] std::string render() const;
 
+  /// Drops every diagnostic from index `size` on (error_count is
+  /// recomputed).  The query engine rewinds to the post-load state between
+  /// daemon requests so every verify renders exactly like a cold run.
+  void truncate(std::size_t size);
+
   void clear();
 
  private:

@@ -5,6 +5,12 @@
 
 namespace shelley::support {
 
+namespace {
+// Set for the lifetime of every worker thread (of any pool); lets
+// parallel_for detect nested use and stay on the calling thread.
+thread_local bool tls_on_worker = false;
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t workers) {
   const std::size_t count = std::max<std::size_t>(1, workers);
   threads_.reserve(count);
@@ -40,7 +46,15 @@ std::size_t ThreadPool::hardware_default() {
   return n == 0 ? 1 : static_cast<std::size_t>(n);
 }
 
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool(hardware_default());
+  return pool;
+}
+
+bool ThreadPool::on_worker_thread() { return tls_on_worker; }
+
 void ThreadPool::worker_loop() {
+  tls_on_worker = true;
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
     work_available_.wait(lock,
@@ -61,21 +75,35 @@ void parallel_for(std::size_t count, std::size_t jobs,
                   const std::function<void(std::size_t)>& fn) {
   if (count == 0) return;
   const std::size_t workers = std::min(jobs, count);
-  if (workers <= 1) {
+  if (workers <= 1 || ThreadPool::on_worker_thread()) {
     for (std::size_t i = 0; i < count; ++i) fn(i);
     return;
   }
+  // Fan out over the persistent shared pool instead of spawning (and then
+  // joining) a fresh pool per call.  Completion is tracked per call -- the
+  // pool may be carrying tasks of concurrent parallel_for invocations, so
+  // ThreadPool::wait() (which waits for a globally idle pool) is not used.
   std::atomic<std::size_t> next{0};
-  ThreadPool pool(workers);
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  std::size_t done = 0;
+  ThreadPool& pool = ThreadPool::shared();
   for (std::size_t w = 0; w < workers; ++w) {
     pool.submit([&] {
       for (std::size_t i = next.fetch_add(1); i < count;
            i = next.fetch_add(1)) {
         fn(i);
       }
+      // Notify while holding the lock: the waiter owns done_cv on its
+      // stack and may destroy it the moment it can re-acquire done_mutex,
+      // so the signal must complete before this task releases it.
+      const std::lock_guard<std::mutex> lock(done_mutex);
+      ++done;
+      done_cv.notify_one();
     });
   }
-  pool.wait();
+  std::unique_lock<std::mutex> lock(done_mutex);
+  done_cv.wait(lock, [&] { return done == workers; });
 }
 
 }  // namespace shelley::support

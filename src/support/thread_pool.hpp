@@ -38,6 +38,17 @@ class ThreadPool {
   /// allows it to report 0 when unknown).
   [[nodiscard]] static std::size_t hardware_default();
 
+  /// The process-wide pool (hardware_default() workers), started on first
+  /// use and joined at exit.  parallel_for and the query engine submit here
+  /// instead of spawning fresh threads per call; concurrent submitters are
+  /// fine (each parallel_for tracks the completion of its own tasks).
+  [[nodiscard]] static ThreadPool& shared();
+
+  /// True on a thread currently executing a task of any ThreadPool; used by
+  /// parallel_for to degrade to the serial path instead of deadlocking on
+  /// nested submission.
+  [[nodiscard]] static bool on_worker_thread();
+
  private:
   void worker_loop();
 
@@ -50,10 +61,14 @@ class ThreadPool {
   bool stopping_ = false;
 };
 
-/// Runs fn(0) .. fn(count - 1) on up to `jobs` workers.  Indices are handed
-/// out atomically in ascending order; `jobs <= 1` (or `count <= 1`) runs
-/// everything on the calling thread.  `fn` must be safe to call concurrently
-/// for distinct indices.
+/// Runs fn(0) .. fn(count - 1) on up to `jobs` workers of the shared pool.
+/// Indices are handed out atomically in ascending order; `jobs <= 1` (or
+/// `count <= 1`) runs everything on the calling thread and never touches
+/// the pool.  Effective concurrency is additionally capped by the shared
+/// pool's worker count.  `fn` must be safe to call concurrently for
+/// distinct indices.  Calls from inside a pool task run serially (the
+/// nested submission would otherwise wait on workers that may all be
+/// blocked in the same position).
 void parallel_for(std::size_t count, std::size_t jobs,
                   const std::function<void(std::size_t)>& fn);
 

@@ -1,0 +1,111 @@
+// Differential guard for the refactor: the demand-driven engine must
+// produce the same bytes as the direct Verifier pipeline on the same
+// sources -- reports, diagnostics, and JSON alike, warm or cold.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "engine/query.hpp"
+#include "engine/render.hpp"
+#include "engine/workspace.hpp"
+#include "paper_sources.hpp"
+#include "shelley/report_json.hpp"
+#include "shelley/verifier.hpp"
+
+namespace shelley::engine {
+namespace {
+
+const std::vector<std::pair<const char*, const char*>>& corpus() {
+  static const std::vector<std::pair<const char*, const char*>> sources = {
+      {"valve.py", examples::kValveSource},
+      {"bad.py", examples::kBadSectorSource},
+      {"sector.py", examples::kSectorSource},
+      {"good.py", examples::kGoodSectorSource},
+  };
+  return sources;
+}
+
+/// The reference pipeline: a plain Verifier, no memo tiers at all.
+std::string direct_pipeline_output(bool json) {
+  core::Verifier verifier;
+  for (const auto& [path, text] : corpus()) {
+    (void)verifier.add_source_recover(text);
+  }
+  const core::Report report = verifier.verify_all();
+  std::ostringstream out;
+  if (json) {
+    out << core::report_to_json(report, verifier, /*stats=*/false, nullptr)
+        << "\n";
+  } else {
+    out << report.render(verifier.symbols());
+    for (const Diagnostic& diag : verifier.diagnostics().diagnostics()) {
+      out << diag.message << "\n";
+    }
+  }
+  return out.str();
+}
+
+/// The same product through the workspace + query engine.
+std::string engine_output(bool json, bool warm_first) {
+  Workspace workspace;
+  for (const auto& [path, text] : corpus()) {
+    workspace.load_source(path, text);
+  }
+  QueryEngine engine(workspace);
+  if (warm_first) {
+    // Prime the memo, then rewind: the compared run replays everything.
+    (void)engine.verify_all(1);
+    workspace.rewind_to_loaded();
+  }
+  const core::Report report = engine.verify_all(1);
+  std::ostringstream out;
+  if (json) {
+    out << core::report_to_json(report, workspace.verifier(),
+                                /*stats=*/false, nullptr)
+        << "\n";
+  } else {
+    out << report.render(workspace.verifier().symbols());
+    const auto& diags = workspace.verifier().diagnostics().diagnostics();
+    for (std::size_t i = workspace.load_diag_end(); i < diags.size(); ++i) {
+      out << diags[i].message << "\n";
+    }
+  }
+  return out.str();
+}
+
+TEST(GoldenDiffTest, ColdEngineMatchesDirectPipelineText) {
+  EXPECT_EQ(engine_output(false, false), direct_pipeline_output(false));
+}
+
+TEST(GoldenDiffTest, WarmEngineMatchesDirectPipelineText) {
+  EXPECT_EQ(engine_output(false, true), direct_pipeline_output(false));
+}
+
+TEST(GoldenDiffTest, ColdEngineMatchesDirectPipelineJson) {
+  EXPECT_EQ(engine_output(true, false), direct_pipeline_output(true));
+}
+
+TEST(GoldenDiffTest, WarmEngineMatchesDirectPipelineJson) {
+  EXPECT_EQ(engine_output(true, true), direct_pipeline_output(true));
+}
+
+TEST(GoldenDiffTest, ParallelEngineMatchesDirectPipeline) {
+  Workspace workspace;
+  for (const auto& [path, text] : corpus()) {
+    workspace.load_source(path, text);
+  }
+  QueryEngine engine(workspace);
+  const core::Report report = engine.verify_all(4);
+  std::ostringstream out;
+  out << report.render(workspace.verifier().symbols());
+  const auto& diags = workspace.verifier().diagnostics().diagnostics();
+  for (std::size_t i = workspace.load_diag_end(); i < diags.size(); ++i) {
+    out << diags[i].message << "\n";
+  }
+  EXPECT_EQ(out.str(), direct_pipeline_output(false));
+}
+
+}  // namespace
+}  // namespace shelley::engine

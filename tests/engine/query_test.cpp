@@ -1,0 +1,285 @@
+// QueryEngine: memo-tier layering, hit/miss accounting, byte-identical
+// warm replay, and precise invalidation along the dependency closure.
+#include "engine/query.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "fsm/serialize.hpp"
+#include "paper_sources.hpp"
+#include "shelley/cache.hpp"
+
+namespace shelley::engine {
+namespace {
+
+std::string fresh_dir(const char* tag) {
+  static int counter = 0;
+  const std::filesystem::path dir = std::filesystem::path(::testing::TempDir()) /
+                                    ("query_" + std::string(tag) + "_" +
+                                     std::to_string(counter++));
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+class QueryTest : public ::testing::Test {
+ protected:
+  void load_paper_sources() {
+    workspace_.load_source("valve.py", examples::kValveSource);
+    workspace_.load_source("bad.py", examples::kBadSectorSource);
+    workspace_.load_source("sector.py", examples::kSectorSource);
+    workspace_.load_source("good.py", examples::kGoodSectorSource);
+  }
+
+  /// One verify_all sweep; returns the rendered report so runs can be
+  /// compared byte for byte.
+  std::string sweep(QueryEngine& engine) {
+    workspace_.rewind_to_loaded();
+    const core::Report report = engine.verify_all(1);
+    std::string text = report.render(workspace_.verifier().symbols());
+    for (const core::ClassReport& entry : report.classes) {
+      text += entry.class_name + (entry.ok() ? ":ok\n" : ":fail\n");
+    }
+    return text;
+  }
+
+  Workspace workspace_;
+};
+
+TEST_F(QueryTest, ColdSweepMissesWarmSweepHits) {
+  load_paper_sources();
+  QueryEngine engine(workspace_);
+  const std::string cold = sweep(engine);
+  EXPECT_EQ(engine.stats().report_misses, 4u);
+  EXPECT_EQ(engine.stats().report_hits, 0u);
+  EXPECT_EQ(engine.memo().stats().stores, 4u);
+
+  const std::string warm = sweep(engine);
+  EXPECT_EQ(engine.stats().report_hits, 4u);
+  EXPECT_EQ(engine.stats().report_misses, 4u);  // unchanged
+  EXPECT_EQ(warm, cold);  // replay is byte-identical
+}
+
+TEST_F(QueryTest, WarmDiagnosticsReplayVerbatim) {
+  load_paper_sources();
+  // An unknown successor is diagnosed at verification time, so the warm
+  // replay must reproduce the diagnostic bytes, not just the verdict.
+  workspace_.load_source("odd.py",
+                         "@sys\nclass Odd:\n    @op_initial_final\n"
+                         "    def go(self):\n"
+                         "        return [\"nonexistent\"]\n");
+  QueryEngine engine(workspace_);
+
+  auto render_diags = [&] {
+    workspace_.rewind_to_loaded();
+    const core::Report report = engine.verify_all(1);
+    (void)report;
+    std::string text;
+    const auto& diags = workspace_.verifier().diagnostics().diagnostics();
+    for (std::size_t i = workspace_.load_diag_end(); i < diags.size(); ++i) {
+      text += diags[i].message + "\n";
+    }
+    return text;
+  };
+  const std::string cold = render_diags();
+  const std::string warm = render_diags();
+  EXPECT_FALSE(cold.empty());  // BadSector produces findings
+  EXPECT_EQ(warm, cold);
+}
+
+TEST_F(QueryTest, ParallelSweepMatchesSerialBytes) {
+  load_paper_sources();
+  QueryEngine serial_engine(workspace_);
+  const std::string serial = sweep(serial_engine);
+
+  Workspace parallel_ws;
+  parallel_ws.load_source("valve.py", examples::kValveSource);
+  parallel_ws.load_source("bad.py", examples::kBadSectorSource);
+  parallel_ws.load_source("sector.py", examples::kSectorSource);
+  parallel_ws.load_source("good.py", examples::kGoodSectorSource);
+  QueryEngine parallel_engine(parallel_ws);
+  const core::Report report = parallel_engine.verify_all(4);
+  std::string parallel = report.render(parallel_ws.verifier().symbols());
+  for (const core::ClassReport& entry : report.classes) {
+    parallel += entry.class_name + (entry.ok() ? ":ok\n" : ":fail\n");
+  }
+  EXPECT_EQ(parallel, serial);
+}
+
+TEST_F(QueryTest, UpdateInvalidatesExactlyTheClosure) {
+  load_paper_sources();
+  QueryEngine engine(workspace_);
+  (void)sweep(engine);
+  ASSERT_EQ(engine.memo().stats().stores, 4u);
+
+  // Semantic edit to Valve: every composite folds Valve's key in, so the
+  // whole family invalidates.
+  std::string edited = examples::kValveSource;
+  const auto pos = edited.find("return [\"test\"]");
+  ASSERT_NE(pos, std::string::npos);
+  edited.replace(pos, 15, "return [\"test\", \"clean\"]");
+  const UpdateResult update = workspace_.update_source("valve.py", edited);
+  EXPECT_EQ(update.changed.size(), 4u);
+  EXPECT_EQ(engine.apply_update(update), 4u);
+  EXPECT_EQ(engine.memo().stats().invalidations, 4u);
+
+  (void)sweep(engine);
+  // No survivors: the whole closure re-verifies from scratch.
+  EXPECT_EQ(engine.stats().report_hits, 0u);
+  EXPECT_EQ(engine.stats().report_misses, 8u);
+}
+
+TEST_F(QueryTest, CanaryOutsideClosureKeepsItsMemoEntry) {
+  load_paper_sources();
+  workspace_.load_source("led.py",
+                         "@sys\nclass Led:\n    @op_initial_final\n"
+                         "    def blink(self):\n        return [\"blink\"]\n");
+  QueryEngine engine(workspace_);
+  (void)sweep(engine);
+  ASSERT_EQ(engine.stats().report_misses, 5u);
+
+  std::string edited = examples::kValveSource;
+  const auto pos = edited.find("return [\"test\"]");
+  ASSERT_NE(pos, std::string::npos);
+  edited.replace(pos, 15, "return [\"test\", \"clean\"]");
+  const std::size_t dropped =
+      engine.apply_update(workspace_.update_source("valve.py", edited));
+  EXPECT_EQ(dropped, 4u);  // Led's entry survives
+
+  (void)sweep(engine);
+  // The valve family re-verifies; Led replays from the memo.
+  EXPECT_EQ(engine.stats().report_hits, 1u);
+  EXPECT_EQ(engine.stats().report_misses, 9u);
+}
+
+TEST_F(QueryTest, CommentOnlyEditKeepsEveryEntry) {
+  load_paper_sources();
+  QueryEngine engine(workspace_);
+  const std::string cold = sweep(engine);
+
+  std::string edited = examples::kValveSource;
+  const auto pos = edited.find("def test(self):");
+  ASSERT_NE(pos, std::string::npos);
+  edited.insert(pos + 15, "  # comment");
+  const std::size_t dropped =
+      engine.apply_update(workspace_.update_source("valve.py", edited));
+  EXPECT_EQ(dropped, 0u);
+
+  const std::string warm = sweep(engine);
+  EXPECT_EQ(engine.stats().report_hits, 4u);
+  EXPECT_EQ(warm, cold);
+}
+
+TEST_F(QueryTest, UsageDfaMemoizesAndReplaysIdentically) {
+  workspace_.load_source("valve.py", examples::kValveSource);
+  QueryEngine engine(workspace_);
+  const core::ClassSpec* spec = workspace_.verifier().find_class("Valve");
+  ASSERT_NE(spec, nullptr);
+
+  const fsm::Dfa cold = engine.usage_dfa(*spec);
+  EXPECT_EQ(engine.stats().dfa_misses, 1u);
+  const fsm::Dfa warm = engine.usage_dfa(*spec);
+  EXPECT_EQ(engine.stats().dfa_hits, 1u);
+  SymbolTable& table = workspace_.verifier().symbols();
+  EXPECT_EQ(fsm::dfa_to_bytes(warm, table), fsm::dfa_to_bytes(cold, table));
+}
+
+TEST_F(QueryTest, UsageDfaPromotesFromTheDiskTier) {
+  const std::string dir = fresh_dir("dfa");
+  // First session: build and persist.
+  {
+    Workspace workspace;
+    core::BehaviorCache cache(dir);
+    workspace.set_cache(&cache);
+    workspace.load_source("valve.py", examples::kValveSource);
+    QueryEngine engine(workspace);
+    const core::ClassSpec* spec = workspace.verifier().find_class("Valve");
+    ASSERT_NE(spec, nullptr);
+    (void)engine.usage_dfa(*spec);
+    EXPECT_EQ(engine.stats().dfa_misses, 1u);
+  }
+  // Second session, fresh memo: the disk tier answers, then the in-memory
+  // tier takes over.
+  Workspace workspace;
+  core::BehaviorCache cache(dir);
+  workspace.set_cache(&cache);
+  workspace.load_source("valve.py", examples::kValveSource);
+  QueryEngine engine(workspace);
+  const core::ClassSpec* spec = workspace.verifier().find_class("Valve");
+  ASSERT_NE(spec, nullptr);
+  (void)engine.usage_dfa(*spec);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  (void)engine.usage_dfa(*spec);
+  EXPECT_EQ(engine.stats().dfa_hits, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);  // memo answered, disk untouched
+}
+
+TEST_F(QueryTest, SmvModelMemoizesWhenAllClaimsParse) {
+  load_paper_sources();
+  QueryEngine engine(workspace_);
+  const core::ClassSpec* spec =
+      workspace_.verifier().find_class("GoodSector");
+  ASSERT_NE(spec, nullptr);
+
+  const SmvArtifact cold = engine.smv_model(*spec);
+  EXPECT_TRUE(cold.skipped_claims.empty());
+  EXPECT_EQ(engine.stats().artifact_misses, 1u);
+  const SmvArtifact warm = engine.smv_model(*spec);
+  EXPECT_EQ(engine.stats().artifact_hits, 1u);
+  EXPECT_EQ(warm.text, cold.text);
+}
+
+TEST_F(QueryTest, SmvModelWithSkippedClaimsIsNeverMemoized) {
+  workspace_.load_source("valve.py", examples::kValveSource);
+  workspace_.load_source("odd.py",
+                         "@claim(\"this is not ltlf ((\")\n"
+                         "@sys([\"a\"])\nclass Odd:\n"
+                         "    def __init__(self):\n        self.a = Valve()\n"
+                         "    @op_initial_final\n    def go(self):\n"
+                         "        return []\n");
+  QueryEngine engine(workspace_);
+  const core::ClassSpec* spec = workspace_.verifier().find_class("Odd");
+  ASSERT_NE(spec, nullptr);
+
+  const SmvArtifact first = engine.smv_model(*spec);
+  EXPECT_FALSE(first.skipped_claims.empty());
+  const SmvArtifact second = engine.smv_model(*spec);
+  // Both runs fell through -- the skip notice must reprint every time.
+  EXPECT_EQ(engine.stats().artifact_hits, 0u);
+  EXPECT_EQ(engine.stats().artifact_misses, 2u);
+  EXPECT_EQ(second.skipped_claims, first.skipped_claims);
+  EXPECT_EQ(second.text, first.text);
+}
+
+TEST_F(QueryTest, MemoLayersAboveTheDiskCache) {
+  const std::string dir = fresh_dir("layer");
+  core::BehaviorCache cache(dir);
+  workspace_.set_cache(&cache);
+  load_paper_sources();
+  QueryEngine engine(workspace_);
+  (void)sweep(engine);
+  const auto cold_disk = cache.stats();
+  EXPECT_GE(cold_disk.misses, 4u);  // cold run populated the disk tier
+
+  (void)sweep(engine);
+  // The warm sweep is answered entirely by the in-memory tier: the disk
+  // cache sees no further traffic.
+  EXPECT_EQ(cache.stats().hits, cold_disk.hits);
+  EXPECT_EQ(cache.stats().misses, cold_disk.misses);
+  EXPECT_EQ(engine.stats().report_hits, 4u);
+}
+
+TEST_F(QueryTest, VerifyClassUnknownNameReportsError) {
+  load_paper_sources();
+  QueryEngine engine(workspace_);
+  workspace_.rewind_to_loaded();
+  const core::ClassReport report = engine.verify_class("Nonexistent");
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(workspace_.verifier().diagnostics().has_errors());
+}
+
+}  // namespace
+}  // namespace shelley::engine

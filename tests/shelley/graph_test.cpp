@@ -98,6 +98,78 @@ class C:
   EXPECT_EQ(reachable, (std::vector<std::string>{"m"}));
 }
 
+// The graph arcs can form cycles (Valve's test -> open -> close -> test);
+// every traversal below must terminate and count each operation once.
+TEST_F(GraphTest, OperationCycleTerminatesAndReachesAllMembers) {
+  const ClassSpec spec = extract_(R"py(
+@sys
+class Ring:
+    @op_initial
+    def a(self):
+        return ["b"]
+
+    @op
+    def b(self):
+        return ["c"]
+
+    @op_final
+    def c(self):
+        return ["a"]
+)py");
+  const DependencyGraph graph = DependencyGraph::build(spec, diagnostics_);
+  EXPECT_FALSE(diagnostics_.has_errors());
+  const auto reachable = graph.reachable_operations(spec);
+  EXPECT_EQ(reachable.size(), 3u);
+}
+
+TEST_F(GraphTest, SelfLoopIsASingleEdgePair) {
+  const ClassSpec spec = extract_(R"py(
+@sys
+class Loop:
+    @op_initial_final
+    def m(self):
+        return ["m"]
+)py");
+  const DependencyGraph graph = DependencyGraph::build(spec, diagnostics_);
+  EXPECT_FALSE(diagnostics_.has_errors());
+  // entry -> exit, exit -> entry: the tightest possible cycle.
+  EXPECT_EQ(graph.nodes().size(), 2u);
+  EXPECT_EQ(graph.edges().size(), 2u);
+  EXPECT_EQ(graph.reachable_operations(spec),
+            std::vector<std::string>{"m"});
+}
+
+// A missing successor drops only its own arc: the graph keeps the other
+// edges, so one bad return does not disconnect the class (mirrors the
+// engine's per-file fault isolation).
+TEST_F(GraphTest, MissingSuccessorKeepsTheRemainingEdges) {
+  const ClassSpec spec = extract_(R"py(
+@sys
+class C:
+    @op_initial_final
+    def m(self):
+        return ["nonexistent", "n"]
+
+    @op_final
+    def n(self):
+        return []
+)py");
+  const DependencyGraph graph = DependencyGraph::build(spec, diagnostics_);
+  EXPECT_TRUE(diagnostics_.has_errors());
+  // entry(m) -> exit(m), exit(m) -> entry(n), entry(n) -> exit(n); the
+  // arc to the unknown successor is skipped, not fabricated.
+  EXPECT_EQ(graph.edges().size(), 3u);
+  const auto reachable = graph.reachable_operations(spec);
+  EXPECT_EQ(reachable, (std::vector<std::string>{"m", "n"}));
+}
+
+TEST_F(GraphTest, EntryOfUnknownOperationIsNpos) {
+  const ClassSpec spec = extract_(examples::kValveSource);
+  const DependencyGraph graph = DependencyGraph::build(spec, diagnostics_);
+  EXPECT_EQ(graph.entry_of("nonexistent"), DependencyGraph::npos);
+  EXPECT_TRUE(graph.exits_of("nonexistent").empty());
+}
+
 TEST_F(GraphTest, NodeLabels) {
   const ClassSpec spec = extract_(examples::kValveSource);
   const DependencyGraph graph = DependencyGraph::build(spec, diagnostics_);

@@ -1,0 +1,106 @@
+#include "support/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+namespace shelley::support {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait();
+  EXPECT_EQ(counter.load(), 1);
+  pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPoolTest, SharedPoolIsASingleton) {
+  ThreadPool& first = ThreadPool::shared();
+  ThreadPool& second = ThreadPool::shared();
+  EXPECT_EQ(&first, &second);
+  EXPECT_GE(first.worker_count(), 1u);
+}
+
+TEST(ThreadPoolTest, HardwareDefaultHasAFloorOfOne) {
+  EXPECT_GE(ThreadPool::hardware_default(), 1u);
+}
+
+TEST(ThreadPoolTest, OnWorkerThreadIsSetInsideTasksOnly) {
+  EXPECT_FALSE(ThreadPool::on_worker_thread());
+  std::atomic<bool> inside{false};
+  ThreadPool::shared().submit(
+      [&inside] { inside = ThreadPool::on_worker_thread(); });
+  ThreadPool::shared().wait();
+  EXPECT_TRUE(inside.load());
+  EXPECT_FALSE(ThreadPool::on_worker_thread());
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  constexpr std::size_t kCount = 257;
+  std::vector<std::atomic<int>> seen(kCount);
+  parallel_for(kCount, 8, [&seen](std::size_t i) {
+    seen[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(seen[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForTest, SerialWhenJobsIsOne) {
+  // jobs <= 1 must run on the calling thread (the byte-identity contract
+  // of the serial path depends on it).
+  std::vector<bool> on_pool;
+  parallel_for(4, 1, [&on_pool](std::size_t) {
+    on_pool.push_back(ThreadPool::on_worker_thread());
+  });
+  ASSERT_EQ(on_pool.size(), 4u);
+  for (const bool flag : on_pool) EXPECT_FALSE(flag);
+}
+
+TEST(ParallelForTest, NestedCallsDegradeToSerial) {
+  // A parallel_for issued from inside a pool task must not wait on pool
+  // workers (they may all be busy in the same position): it runs inline.
+  std::atomic<int> inner_total{0};
+  parallel_for(4, 4, [&inner_total](std::size_t) {
+    parallel_for(8, 4, [&inner_total](std::size_t) {
+      inner_total.fetch_add(1);
+    });
+  });
+  EXPECT_EQ(inner_total.load(), 32);
+}
+
+TEST(ParallelForTest, ConcurrentSubmittersShareThePool) {
+  // Two top-level parallel_for calls racing on the shared pool must both
+  // complete every index (per-call completion tracking, not pool-wide).
+  std::atomic<int> total{0};
+  std::thread racer([&total] {
+    parallel_for(64, 4, [&total](std::size_t) { total.fetch_add(1); });
+  });
+  parallel_for(64, 4, [&total](std::size_t) { total.fetch_add(1); });
+  racer.join();
+  EXPECT_EQ(total.load(), 128);
+}
+
+TEST(ParallelForTest, ZeroCountIsANoOp) {
+  bool called = false;
+  parallel_for(0, 4, [&called](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+}  // namespace
+}  // namespace shelley::support

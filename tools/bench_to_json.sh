@@ -156,4 +156,84 @@ else
     echo "bench_to_json.sh: bench_incremental not built; skipping" >&2
 fi
 
+# Demand-driven engine: time the ring-200 verify cold (a fresh
+# workspace per request, what every shelleyc invocation pays) against warm
+# (one persistent engine answering from its memo, what a shelleyd session
+# pays), run a real shelleyd session over the same class as a smoke check,
+# and splice the numbers in as "daemon_verify".  bench_daemon's artifact
+# section already exits nonzero if the warm bytes diverge from cold.
+bench_daemon="$build_dir/bench/bench_daemon"
+shelleyd="$build_dir/tools/shelleyd"
+if [ -x "$bench_daemon" ]; then
+    work=$(mktemp -d "${TMPDIR:-/tmp}/bench_daemon.XXXXXX")
+    daemon_json="$work/daemon.json"
+    "$bench_daemon" \
+        --benchmark_min_time=0.3s \
+        --benchmark_out="$daemon_json" \
+        --benchmark_out_format=json > /dev/null
+
+    bench_daemon_ms() {
+        awk -F'[:,]' -v name="$1" '
+            index($0, "\"" name "\"") { found = 1 }
+            found && /"real_time"/ {
+                gsub(/[ "]/, "", $2); print $2; exit
+            }' "$daemon_json"
+    }
+    cold_ms=$(bench_daemon_ms BM_DaemonRing200_ColdCli)
+    warm_ms=$(bench_daemon_ms BM_DaemonRing200_Warm)
+    speedup=$(awk -v c="$cold_ms" -v w="$warm_ms" \
+        'BEGIN { printf "%.2f", c / w }')
+
+    # A real daemon session over the cli_valve spec: load, verify twice
+    # (the second answer comes from the memo), shutdown.  session_ok means
+    # the process exited 0 and both verifies answered.
+    session_ok=false
+    if [ -x "$shelleyd" ]; then
+        spec="$work/valve.py"
+        cat > "$spec" <<'EOF'
+@sys
+class Valve:
+    @op_initial
+    def test(self):
+        if x:
+            return ["open"]
+        else:
+            return ["clean"]
+
+    @op
+    def open(self):
+        return ["close"]
+
+    @op_final
+    def close(self):
+        return ["test"]
+
+    @op_final
+    def clean(self):
+        return ["test"]
+EOF
+        printf '{"cmd":"load","files":["%s"]}\n{"cmd":"verify","jobs":1}\n{"cmd":"verify","jobs":1}\n{"cmd":"shutdown"}\n' \
+            "$spec" > "$work/requests.txt"
+        if "$shelleyd" < "$work/requests.txt" > "$work/responses.txt" &&
+            [ "$(grep -c 'Valve: ok' "$work/responses.txt")" = "2" ]; then
+            session_ok=true
+        fi
+    fi
+
+    out="$root/BENCH_automata.json"
+    tmp="$out.tmp"
+    awk 'NR > 1 { print prev }
+         { prev = $0 }
+         END { sub(/}[[:space:]]*$/, "", prev); print prev }' "$out" > "$tmp"
+    printf ',"daemon_verify":{"ring_ops":200,"ring_exits":8,%s}}\n' \
+        "\"cold_ms\":$cold_ms,\"warm_ms\":$warm_ms,\"speedup\":$speedup,\
+\"session_ok\":$session_ok" >> "$tmp"
+    mv "$tmp" "$out"
+    rm -rf "$work"
+    echo "daemon_verify: cold ${cold_ms}ms warm ${warm_ms}ms" \
+        "(speedup ${speedup}x, session_ok: $session_ok)"
+else
+    echo "bench_to_json.sh: bench_daemon not built; skipping" >&2
+fi
+
 echo "wrote $root/BENCH_automata.json"

@@ -12,564 +12,29 @@
 // Exit status: 0 when verification passed, 1 on findings, 2 on usage or
 // input errors (a file that cannot be opened or parsed; other inputs are
 // still verified -- per-file fault isolation).
-#include <cctype>
-#include <cstdint>
-#include <cstdlib>
-#include <fstream>
+//
+// Thin client: all semantics live in src/engine (driver.hpp runs the
+// workspace + query-engine pipeline); this file only parses argv, flips
+// the instrumentation switches, and owns the last-resort error boundary.
+// shelleyd serves the same engine over stdio for warm repeated runs.
 #include <iostream>
-#include <random>
-#include <optional>
-#include <sstream>
-#include <string>
-#include <vector>
 
-#include <iomanip>
-
-#include "fsm/ops.hpp"
-#include "fsm/to_regex.hpp"
-#include "ltlf/parser.hpp"
-#include "shelley/automata.hpp"
-#include "shelley/cache.hpp"
-#include "shelley/graph.hpp"
-#include "shelley/monitor.hpp"
-#include "shelley/sampler.hpp"
-#include "shelley/report_json.hpp"
-#include "shelley/verifier.hpp"
-#include "smv/smv.hpp"
-#include "support/guard.hpp"
+#include "engine/driver.hpp"
 #include "support/metrics.hpp"
-#include "support/thread_pool.hpp"
 #include "support/trace.hpp"
-#include "viz/dot.hpp"
-
-namespace {
-
-using namespace shelley;
-
-struct Options {
-  std::vector<std::string> files;
-  std::optional<std::string> verify_class;
-  std::optional<std::string> dot_class;
-  std::optional<std::string> dot_model;
-  std::optional<std::string> dot_system;
-  std::optional<std::string> dot_usage;
-  std::optional<std::string> usage_regex;
-  std::optional<std::string> smv;
-  std::optional<std::string> monitor;
-  std::optional<std::string> sample;
-  int sample_count = 5;
-  std::size_t jobs = shelley::support::ThreadPool::hardware_default();
-  bool json = false;
-  bool quiet = false;
-  bool stats = false;
-  std::optional<std::string> cache_dir;
-  bool cache_stats = false;
-  std::optional<std::string> trace_out;
-  std::size_t dfa_budget = 0;
-  // Resource guards (support::guard); zeros keep the built-in defaults /
-  // leave the check disabled.
-  std::size_t max_states = 0;
-  std::uint64_t timeout_ms = 0;
-  std::size_t max_input_bytes = 0;
-  std::size_t max_depth = 0;
-};
-
-void print_usage(std::ostream& out) {
-  out << "usage: shelleyc [options] <file.py>...\n"
-         "  --class NAME        verify only NAME\n"
-         "  --json              print a JSON report\n"
-         "  --quiet             suppress the text report\n"
-         "  --dot-class NAME    emit the class behavior diagram (DOT)\n"
-         "  --dot-model NAME    emit the dependency-graph model (DOT)\n"
-         "  --dot-system NAME   emit the composite system automaton (DOT)\n"
-         "  --dot-usage NAME    emit the minimal valid-usage DFA (DOT)\n"
-         "  --usage-regex NAME  print the valid-usage language as a regex\n"
-         "  --smv NAME          emit a NuSMV model of the system behavior\n"
-         "  --monitor NAME      read operation calls from stdin, one per\n"
-         "                      line, and report a verdict for each\n"
-         "  --sample NAME [N]   print N (default 5) valid complete usages\n"
-         "  --jobs N            verify classes on up to N threads (default:\n"
-         "                      hardware concurrency; 1 = serial)\n"
-         "  --stats             print per-class automata statistics and\n"
-         "                      pipeline counters (with --json: embed them)\n"
-         "  --cache DIR         incremental verification: consult (and\n"
-         "                      fill) an on-disk behavior cache in DIR\n"
-         "  --cache-stats       print cache hit/miss/invalidation counters\n"
-         "                      (stderr with --json, so stdout stays JSON)\n"
-         "  --trace-out FILE    write a Chrome trace-event JSON timeline of\n"
-         "                      the whole run (load in Perfetto)\n"
-         "  --dfa-budget N      warn when a class's minimized DFA exceeds\n"
-         "                      N states (0 = off)\n"
-         "  --max-states N      abort (as an error, not a crash) any\n"
-         "                      automaton construction exceeding N states\n"
-         "                      (0 = unlimited)\n"
-         "  --timeout-ms N      abort verification once N ms of wall clock\n"
-         "                      have elapsed (0 = no deadline)\n"
-         "  --max-input-bytes N reject source files larger than N bytes\n"
-         "                      (0 = default, 8 MiB)\n"
-         "  --max-depth N       cap parser/visitor recursion depth\n"
-         "                      (0 = default, 256)\n";
-}
-
-std::optional<Options> parse_args(int argc, char** argv) {
-  Options options;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    const auto next = [&]() -> std::optional<std::string> {
-      if (i + 1 >= argc) return std::nullopt;
-      return std::string(argv[++i]);
-    };
-    if (arg == "--help" || arg == "-h") {
-      print_usage(std::cout);
-      std::exit(0);
-    } else if (arg == "--json") {
-      options.json = true;
-    } else if (arg == "--quiet") {
-      options.quiet = true;
-    } else if (arg == "--class") {
-      options.verify_class = next();
-      if (!options.verify_class) return std::nullopt;
-    } else if (arg == "--dot-class") {
-      options.dot_class = next();
-      if (!options.dot_class) return std::nullopt;
-    } else if (arg == "--dot-model") {
-      options.dot_model = next();
-      if (!options.dot_model) return std::nullopt;
-    } else if (arg == "--dot-system") {
-      options.dot_system = next();
-      if (!options.dot_system) return std::nullopt;
-    } else if (arg == "--dot-usage") {
-      options.dot_usage = next();
-      if (!options.dot_usage) return std::nullopt;
-    } else if (arg == "--usage-regex") {
-      options.usage_regex = next();
-      if (!options.usage_regex) return std::nullopt;
-    } else if (arg == "--smv") {
-      options.smv = next();
-      if (!options.smv) return std::nullopt;
-    } else if (arg == "--monitor") {
-      options.monitor = next();
-      if (!options.monitor) return std::nullopt;
-    } else if (arg == "--jobs" || arg == "-j") {
-      const auto value = next();
-      if (!value) return std::nullopt;
-      const long parsed = std::atol(value->c_str());
-      if (parsed < 1) {
-        std::cerr << "shelleyc: --jobs needs a positive integer\n";
-        return std::nullopt;
-      }
-      options.jobs = static_cast<std::size_t>(parsed);
-    } else if (arg == "--stats") {
-      options.stats = true;
-    } else if (arg == "--cache") {
-      options.cache_dir = next();
-      if (!options.cache_dir) return std::nullopt;
-    } else if (arg == "--cache-stats") {
-      options.cache_stats = true;
-    } else if (arg == "--trace-out") {
-      options.trace_out = next();
-      if (!options.trace_out) return std::nullopt;
-    } else if (arg == "--dfa-budget" || arg == "--max-states" ||
-               arg == "--timeout-ms" || arg == "--max-input-bytes" ||
-               arg == "--max-depth") {
-      const auto value = next();
-      if (!value) return std::nullopt;
-      const long parsed = std::atol(value->c_str());
-      if (parsed < 0) {
-        std::cerr << "shelleyc: " << arg
-                  << " needs a non-negative integer\n";
-        return std::nullopt;
-      }
-      const auto count = static_cast<std::size_t>(parsed);
-      if (arg == "--dfa-budget") {
-        options.dfa_budget = count;
-      } else if (arg == "--max-states") {
-        options.max_states = count;
-      } else if (arg == "--timeout-ms") {
-        options.timeout_ms = static_cast<std::uint64_t>(parsed);
-      } else if (arg == "--max-input-bytes") {
-        options.max_input_bytes = count;
-      } else {
-        options.max_depth = count;
-      }
-    } else if (arg == "--sample") {
-      options.sample = next();
-      if (!options.sample) return std::nullopt;
-      // Optional count argument.
-      if (i + 1 < argc && std::isdigit(static_cast<unsigned char>(
-                              argv[i + 1][0])) != 0) {
-        options.sample_count = std::atoi(argv[++i]);
-      }
-    } else if (!arg.empty() && arg[0] == '-') {
-      std::cerr << "shelleyc: unknown option '" << arg << "'\n";
-      return std::nullopt;
-    } else {
-      options.files.push_back(arg);
-    }
-  }
-  if (options.files.empty()) return std::nullopt;
-  return options;
-}
-
-const core::ClassSpec* require_class(const core::Verifier& verifier,
-                                     const std::string& name) {
-  const core::ClassSpec* spec = verifier.find_class(name);
-  if (spec == nullptr) {
-    std::cerr << "shelleyc: unknown class '" << name << "'\n";
-  }
-  return spec;
-}
-
-core::SystemModel build_model(core::Verifier& verifier,
-                              const core::ClassSpec& spec) {
-  const auto behaviors = core::extract_behaviors(
-      spec, verifier.symbols(), verifier.diagnostics());
-  return core::build_system_model(spec, behaviors, verifier.symbols(),
-                                  verifier.diagnostics());
-}
-
-/// The --stats summary: one row of automata sizes per verified class, then
-/// the global pipeline counters and distributions.
-void print_stats(const core::Report& report, std::ostream& out) {
-  out << "\nautomata statistics\n";
-  out << std::left << std::setw(24) << "  class" << std::right
-      << std::setw(8) << "nfa" << std::setw(10) << "dfa.raw"
-      << std::setw(10) << "dfa.min" << std::setw(10) << "pairs"
-      << std::setw(8) << "ltlf" << std::setw(6) << "cex"
-      << std::setw(10) << "ms" << "\n";
-  for (const core::ClassReport& cls : report.classes) {
-    if (!cls.stats.collected) continue;
-    out << "  " << std::left << std::setw(22) << cls.class_name
-        << std::right << std::setw(8) << cls.stats.nfa_states
-        << std::setw(10) << cls.stats.dfa_states_before
-        << std::setw(10) << cls.stats.dfa_states_after
-        << std::setw(10) << cls.stats.product_pairs
-        << std::setw(8) << cls.stats.ltlf_states
-        << std::setw(6) << cls.stats.counterexample_len
-        << std::setw(10) << std::fixed << std::setprecision(2)
-        << cls.stats.elapsed_ms << "\n";
-  }
-  const auto counters = shelley::support::metrics::counter_snapshot();
-  if (!counters.empty()) {
-    out << "\npipeline counters\n";
-    for (const auto& [name, value] : counters) {
-      out << "  " << std::left << std::setw(30) << name << std::right
-          << std::setw(12) << value << "\n";
-    }
-  }
-  const auto distributions =
-      shelley::support::metrics::distribution_snapshot();
-  if (!distributions.empty()) {
-    out << "\npipeline distributions (count/min/max/sum)\n";
-    for (const auto& [name, snap] : distributions) {
-      out << "  " << std::left << std::setw(30) << name << std::right
-          << std::setw(8) << snap.count << std::setw(8) << snap.min
-          << std::setw(8) << snap.max << std::setw(12) << snap.sum << "\n";
-    }
-  }
-}
-
-/// Prints the --cache-stats block on every exit path of run() (the
-/// destructor fires at scope end, after all other output of the run).
-struct CacheStatsPrinter {
-  const core::BehaviorCache* cache = nullptr;
-  bool enabled = false;
-  bool to_stderr = false;
-
-  ~CacheStatsPrinter() {
-    if (!enabled || cache == nullptr) return;
-    const core::CacheStats stats = cache->stats();
-    std::ostream& out = to_stderr ? std::cerr : std::cout;
-    out << "\ncache statistics\n"
-        << "  hits            " << stats.hits << "\n"
-        << "  misses          " << stats.misses << "\n"
-        << "  invalidations   " << stats.invalidations << "\n"
-        << "  stores          " << stats.stores << "\n"
-        << "  store failures  " << stats.store_failures << "\n";
-  }
-};
-
-/// One formatted diagnostic line; `path` (when non-empty) prefixes the
-/// location so batch-mode output says which file each error lives in.
-std::string format_diagnostic(const Diagnostic& diag,
-                              const std::string& path) {
-  std::string out;
-  if (!path.empty()) out += path + ":";
-  out += std::string(to_string(diag.severity)) + " " + to_string(diag.loc) +
-         ": " + diag.message + "\n";
-  return out;
-}
-
-/// Batch-mode epilogue: one line per input file.
-void print_file_summaries(const std::vector<core::FileSummary>& files,
-                          std::ostream& out) {
-  out << "\ninputs:\n";
-  for (const core::FileSummary& file : files) {
-    out << "  " << file.path << ": ";
-    if (!file.failure.empty()) {
-      out << "FAILED (" << file.failure << ")";
-    } else if (file.parse_errors > 0) {
-      out << file.parse_errors << " parse error"
-          << (file.parse_errors == 1 ? "" : "s");
-    } else {
-      out << "ok";
-    }
-    out << "\n";
-  }
-}
-
-int run(const Options& options) {
-  // Install the resource guards before any frontend code runs; the deadline
-  // (--timeout-ms) is armed here and covers loading and verification.
-  support::guard::Limits limits;
-  if (options.max_depth > 0) limits.max_recursion_depth = options.max_depth;
-  if (options.max_input_bytes > 0) {
-    limits.max_input_bytes = options.max_input_bytes;
-  }
-  limits.max_states = options.max_states;
-  limits.timeout_ms = options.timeout_ms;
-  support::guard::ScopedLimits guard(limits);
-
-  core::Verifier verifier;
-  verifier.set_lint_options(core::LintOptions{options.dfa_budget});
-
-  // Incremental verification: an on-disk behavior cache shared by the
-  // verification path (verdicts), --monitor (usage DFAs), and --smv
-  // (emitted model bytes).
-  std::optional<core::BehaviorCache> cache;
-  if (options.cache_dir) {
-    try {
-      cache.emplace(*options.cache_dir);
-    } catch (const std::exception& error) {
-      std::cerr << "shelleyc: " << error.what() << "\n";
-      return 2;
-    }
-    verifier.set_cache(&*cache);
-  }
-  if (options.cache_stats && !cache) {
-    std::cerr << "shelleyc: --cache-stats has no effect without --cache\n";
-  }
-  CacheStatsPrinter cache_stats_printer{
-      cache ? &*cache : nullptr, options.cache_stats && cache.has_value(),
-      options.json};
-
-  // Load every input with per-file fault isolation: recovery collects all
-  // syntax errors of a file, and a file that fails outright (unreadable,
-  // over the input budget, internal error) is reported and skipped while
-  // the remaining files are still parsed and verified.
-  std::vector<core::FileSummary> summaries;
-  summaries.reserve(options.files.size());
-  bool load_failed = false;
-  for (const std::string& path : options.files) {
-    core::FileSummary summary;
-    summary.path = path;
-    const std::size_t diags_before =
-        verifier.diagnostics().diagnostics().size();
-    std::ifstream file(path);
-    if (!file) {
-      summary.failure = "cannot open file";
-      std::cerr << "shelleyc: cannot open '" << path << "'\n";
-    } else {
-      std::stringstream buffer;
-      buffer << file.rdbuf();
-      try {
-        summary.parse_errors = verifier.add_source_recover(buffer.str());
-        summary.loaded = true;
-      } catch (const std::exception& error) {
-        summary.failure = error.what();
-      }
-    }
-    const auto& diags = verifier.diagnostics().diagnostics();
-    for (std::size_t i = diags_before; i < diags.size(); ++i) {
-      std::cerr << format_diagnostic(diags[i], path);
-    }
-    if (!summary.failure.empty() && file) {
-      // Open failures already printed their own message above.
-      std::cerr << "shelleyc: " << path << ": " << summary.failure << "\n";
-    }
-    load_failed = load_failed || !summary.loaded || summary.parse_errors > 0;
-    summaries.push_back(std::move(summary));
-  }
-  // Everything recorded past this point comes from verification, not
-  // loading; the text report below prints only those, because the loader
-  // already printed its own (path-prefixed).
-  const std::size_t load_diag_end =
-      verifier.diagnostics().diagnostics().size();
-  // Input problems dominate the exit status: even when an artifact mode or
-  // the verification below succeeds on the surviving files, a failed input
-  // makes the run exit 2.
-  const int load_status = load_failed ? 2 : 0;
-
-  // Artifact emission modes short-circuit verification.
-  if (options.dot_class) {
-    const auto* spec = require_class(verifier, *options.dot_class);
-    if (spec == nullptr) return 2;
-    std::cout << viz::dot_class_diagram(*spec);
-    return load_status;
-  }
-  if (options.dot_model) {
-    const auto* spec = require_class(verifier, *options.dot_model);
-    if (spec == nullptr) return 2;
-    const core::DependencyGraph graph =
-        core::DependencyGraph::build(*spec, verifier.diagnostics());
-    std::cout << viz::dot_dependency_graph(*spec, graph);
-    return load_status;
-  }
-  if (options.dot_system) {
-    const auto* spec = require_class(verifier, *options.dot_system);
-    if (spec == nullptr) return 2;
-    const core::SystemModel model = build_model(verifier, *spec);
-    std::cout << viz::dot_system_model(model, verifier.symbols());
-    return load_status;
-  }
-  if (options.dot_usage) {
-    const auto* spec = require_class(verifier, *options.dot_usage);
-    if (spec == nullptr) return 2;
-    const fsm::Dfa usage = fsm::minimize(fsm::determinize(
-        core::usage_nfa(*spec, verifier.symbols())));
-    std::cout << viz::dot_dfa(usage, verifier.symbols(),
-                              spec->name + "_usage");
-    return load_status;
-  }
-  if (options.monitor) {
-    const auto* spec = require_class(verifier, *options.monitor);
-    if (spec == nullptr) return 2;
-    // With a cache, the minimal usage DFA is loaded (or, on a miss, built
-    // once and stored) instead of re-running usage_nfa/determinize/minimize
-    // on every monitor launch.
-    std::optional<core::Monitor> cached_monitor;
-    if (cache) {
-      const support::Digest128 key = verifier.cache_key(*spec);
-      if (auto dfa = cache->load_dfa(key, verifier.symbols())) {
-        cached_monitor.emplace(verifier.symbols(), *std::move(dfa));
-      } else {
-        cached_monitor.emplace(*spec, verifier.symbols());
-        cache->store_dfa(key, cached_monitor->dfa(), verifier.symbols());
-      }
-    }
-    core::Monitor monitor = cached_monitor
-                                ? *std::move(cached_monitor)
-                                : core::Monitor(*spec, verifier.symbols());
-    std::string op;
-    bool any_violation = false;
-    while (std::cin >> op) {
-      const core::Verdict verdict = monitor.feed(op);
-      std::cout << op << ": " << core::to_string(verdict) << "\n";
-      any_violation = any_violation ||
-                      verdict == core::Verdict::kViolation;
-    }
-    std::cout << (monitor.completed() ? "complete" : "incomplete") << "\n";
-    if (load_failed) return 2;
-    return any_violation || !monitor.completed() ? 1 : 0;
-  }
-  if (options.sample) {
-    const auto* spec = require_class(verifier, *options.sample);
-    if (spec == nullptr) return 2;
-    core::TraceSampler sampler(*spec, verifier.symbols(),
-                               std::random_device{}());
-    for (int i = 0; i < options.sample_count; ++i) {
-      const auto trace = sampler.sample(16);
-      if (trace.empty()) {
-        std::cout << "(empty usage)\n";
-        continue;
-      }
-      for (std::size_t j = 0; j < trace.size(); ++j) {
-        std::cout << (j == 0 ? "" : ", ") << trace[j];
-      }
-      std::cout << "\n";
-    }
-    return load_status;
-  }
-  if (options.usage_regex) {
-    const auto* spec = require_class(verifier, *options.usage_regex);
-    if (spec == nullptr) return 2;
-    const fsm::Nfa usage = core::usage_nfa(*spec, verifier.symbols());
-    const rex::Regex regex = fsm::to_regex(usage);
-    std::cout << rex::to_string(regex, verifier.symbols()) << "\n";
-    return load_status;
-  }
-  if (options.smv) {
-    const auto* spec = require_class(verifier, *options.smv);
-    if (spec == nullptr) return 2;
-    // The emitted model is a pure function of the class key, so the cache
-    // stores its bytes verbatim: a warm run replays them byte-identically
-    // without building the system automaton at all.  Models with claims
-    // that fail to parse are never cached (the skip notice must reprint).
-    const support::Digest128 smv_key =
-        cache ? verifier.cache_key(*spec) : support::Digest128{};
-    if (cache) {
-      if (const auto artifact = cache->load_artifact(smv_key)) {
-        std::cout << *artifact;
-        return load_status;
-      }
-    }
-    const core::SystemModel model = build_model(verifier, *spec);
-    const fsm::Dfa dfa = fsm::minimize(
-        fsm::determinize(model.nfa, model.full_alphabet()));
-    smv::SmvModel smv_model =
-        smv::from_dfa(dfa, verifier.symbols(), spec->name);
-    bool all_claims_parsed = true;
-    for (const core::Claim& claim : spec->claims) {
-      try {
-        smv::add_ltlspec(
-            smv_model,
-            ltlf::parse(claim.text, verifier.symbols(), claim.loc),
-            verifier.symbols());
-      } catch (const ParseError&) {
-        std::cerr << "shelleyc: skipping unparsable claim: " << claim.text
-                  << "\n";
-        all_claims_parsed = false;
-      }
-    }
-    const std::string emitted = smv::emit(smv_model);
-    std::cout << emitted;
-    if (cache && all_claims_parsed) cache->store_artifact(smv_key, emitted);
-    return load_status;
-  }
-
-  // Verification.
-  core::Report report;
-  if (options.verify_class) {
-    report.classes.push_back(verifier.verify_class(*options.verify_class));
-  } else {
-    report = verifier.verify_all(options.jobs);
-  }
-
-  if (options.json) {
-    std::cout << core::report_to_json(report, verifier, options.stats,
-                                      &summaries)
-              << "\n";
-  } else if (!options.quiet) {
-    for (const core::ClassReport& cls : report.classes) {
-      std::cout << cls.class_name << ": " << (cls.ok() ? "ok" : "FAILED")
-                << "\n";
-    }
-    const std::string errors = report.render(verifier.symbols());
-    if (!errors.empty()) std::cout << "\n" << errors;
-    // Loading already printed its diagnostics (path-prefixed); print only
-    // what verification added.
-    std::string diagnostics;
-    const auto& diags = verifier.diagnostics().diagnostics();
-    for (std::size_t i = load_diag_end; i < diags.size(); ++i) {
-      diagnostics += format_diagnostic(diags[i], "");
-    }
-    if (!diagnostics.empty()) std::cout << "\n" << diagnostics;
-    if (options.files.size() >= 2 || load_failed) {
-      print_file_summaries(summaries, std::cout);
-    }
-  }
-  if (options.stats && !options.json) print_stats(report, std::cout);
-  if (load_failed) return 2;
-  return report.ok() && !verifier.diagnostics().has_errors() ? 0 : 1;
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
-  const auto parsed = parse_args(argc, argv);
+  using namespace shelley;
+
+  const auto parsed =
+      engine::parse_cli_args(argc, argv, "shelleyc", std::cerr);
   if (!parsed) {
-    print_usage(std::cerr);
+    engine::print_usage(std::cerr, "shelleyc");
     return 2;
+  }
+  if (parsed->help) {
+    engine::print_usage(std::cout, "shelleyc");
+    return 0;
   }
   // Flip the instrumentation switches before any pipeline code runs, so the
   // trace covers lexing/parsing too.  --stats needs the metrics registry;
@@ -584,14 +49,14 @@ int main(int argc, char** argv) {
   // reports it and exits with a status instead of crashing.
   int status = 2;
   try {
-    status = run(*parsed);
+    status = engine::run_tool(*parsed, std::cin, std::cout, std::cerr);
   } catch (const std::exception& error) {
     std::cerr << "shelleyc: internal error: " << error.what() << "\n";
   } catch (...) {
     std::cerr << "shelleyc: internal error\n";
   }
 
-  // Written on every exit path of run(), including artifact modes and
+  // Written on every exit path of the run, including artifact modes and
   // verification failures -- a failing run's timeline is the one you want.
   if (parsed->trace_out &&
       !support::trace::write_chrome_json(*parsed->trace_out)) {

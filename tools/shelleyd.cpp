@@ -1,0 +1,51 @@
+// shelleyd -- the persistent Shelley-MP verification daemon.
+//
+//   shelleyd [options] [file.py...]
+//
+// Speaks newline-delimited JSON over stdin/stdout (one request per line,
+// one response per line; see src/engine/daemon.hpp and
+// docs/ARCHITECTURE.md for the command reference).  Accepts shelleyc's
+// session options (--cache, --jobs, --dfa-budget, the resource guards);
+// files on the command line are loaded before the first request, or load
+// them over the wire with {"cmd":"load",...}.
+//
+// verify/report responses carry the exact bytes (and exit status) a cold
+// shelleyc run over the current sources would produce, while the
+// workspace's memo tiers keep warm requests from re-running unchanged
+// work -- the demand-driven counterpart of the batch client.
+#include <iostream>
+#include <string>
+
+#include "engine/daemon.hpp"
+#include "engine/driver.hpp"
+#include "shelley/fingerprint.hpp"
+
+int main(int argc, char** argv) {
+  using namespace shelley;
+
+  const auto parsed = engine::parse_cli_args(argc, argv, "shelleyd",
+                                             std::cerr,
+                                             /*require_files=*/false);
+  if (!parsed) {
+    engine::print_usage(std::cerr, "shelleyd");
+    return 2;
+  }
+  if (parsed->help) {
+    engine::print_usage(std::cout, "shelleyd");
+    return 0;
+  }
+  if (parsed->version) {
+    std::cout << core::kToolchainVersion << "\n";
+    return 0;
+  }
+
+  int status = 2;
+  try {
+    status = engine::run_daemon(*parsed, std::cin, std::cout, std::cerr);
+  } catch (const std::exception& error) {
+    std::cerr << "shelleyd: internal error: " << error.what() << "\n";
+  } catch (...) {
+    std::cerr << "shelleyd: internal error\n";
+  }
+  return status;
+}
