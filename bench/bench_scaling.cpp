@@ -17,6 +17,7 @@
 #include "ltlf/parser.hpp"
 #include "shelley/automata.hpp"
 #include "shelley/checker.hpp"
+#include "support/alloc.hpp"
 #include "upy/parser.hpp"
 
 namespace {
@@ -264,6 +265,39 @@ std::optional<Word> eager_inclusion(const fsm::Dfa& a, const fsm::Dfa& b) {
                                          fsm::extend_alphabet(b, joined),
                                          fsm::ProductMode::kDifference));
 }
+
+/// The tentpole target: determinize+minimize on the ring-N family (the
+/// branching rings the incremental/daemon benches verify end to end), timed
+/// with the heap-allocation counter alongside so the flat-kernel claims --
+/// time *and* allocations -- are recorded in BENCH_automata.json.
+void BM_Kernel_DeterminizeMinimize(benchmark::State& state) {
+  core::Verifier verifier;
+  verifier.add_source(shelley::bench::synthetic_class(
+      static_cast<std::size_t>(state.range(0)), 8));
+  SymbolTable table;
+  const fsm::Nfa nfa =
+      core::usage_nfa(*verifier.find_class("Ring"), table);
+  std::size_t states = 0;
+  // One warmup outside the timed loop so thread-local scratch pools are
+  // already grown; the steady-state allocation count is the claim.
+  benchmark::DoNotOptimize(fsm::minimize(fsm::determinize(nfa)));
+  const std::uint64_t allocs_before = support::alloc::allocation_count();
+  std::uint64_t iters = 0;
+  for (auto _ : state) {
+    const fsm::Dfa minimal = fsm::minimize(fsm::determinize(nfa));
+    states = minimal.state_count();
+    ++iters;
+    benchmark::DoNotOptimize(minimal);
+  }
+  const std::uint64_t allocs =
+      support::alloc::allocation_count() - allocs_before;
+  state.counters["minimal_states"] = static_cast<double>(states);
+  state.counters["heap_allocs_per_iter"] =
+      static_cast<double>(allocs) / static_cast<double>(iters == 0 ? 1 : iters);
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Kernel_DeterminizeMinimize)->Arg(50)->Arg(100)->Arg(200)->Arg(400)
+    ->Complexity();
 
 void BM_Minimize_Hopcroft(benchmark::State& state) {
   const fsm::Dfa dfa = ring_dfa(static_cast<std::size_t>(state.range(0)));

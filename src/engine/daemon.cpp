@@ -147,6 +147,8 @@ void handle_stats(Session& session, JsonWriter& writer) {
   writer.key("misses").value(memo.misses);
   writer.key("stores").value(memo.stores);
   writer.key("invalidations").value(memo.invalidations);
+  writer.key("evictions").value(memo.evictions);
+  writer.key("bytes").value(memo.bytes);
   writer.end_object();
   const QueryStats queries = session.engine.stats();
   writer.key("queries").begin_object();

@@ -4,6 +4,91 @@
 
 namespace shelley::engine {
 
+namespace {
+
+// Per-entry bookkeeping charge on top of the payload: map node, LRU node,
+// key copies.  A round number is fine -- the bound is a working-set limit,
+// not an allocator ledger.
+constexpr std::uint64_t kEntryOverhead = 128;
+
+std::uint64_t verdict_bytes(const core::CachedVerdict& verdict) {
+  std::uint64_t total = sizeof(core::CachedVerdict) + verdict.class_name.size();
+  for (const core::CachedSubsystemError& error : verdict.subsystem_errors) {
+    total += sizeof(error) + error.field.size() + error.class_name.size() +
+             error.detail.size();
+    for (const std::string& step : error.counterexample) {
+      total += sizeof(step) + step.size();
+    }
+  }
+  for (const core::CachedClaimError& error : verdict.claim_errors) {
+    total += sizeof(error) + error.formula.size();
+    for (const std::string& step : error.counterexample) {
+      total += sizeof(step) + step.size();
+    }
+  }
+  for (const core::CachedDiagnostic& diagnostic : verdict.diagnostics) {
+    total += sizeof(diagnostic) + diagnostic.message.size();
+  }
+  return total;
+}
+
+}  // namespace
+
+template <typename T>
+void MemoTier::store_entry(std::map<support::Digest128, Entry<T>>& entries,
+                           Kind kind, const support::Digest128& key, T value,
+                           std::uint64_t bytes) {
+  bytes += kEntryOverhead;
+  const auto it = entries.find(key);
+  if (it != entries.end()) {
+    stats_.bytes -= it->second.bytes;
+    stats_.bytes += bytes;
+    it->second.value = std::move(value);
+    it->second.bytes = bytes;
+    touch(it->second.lru);
+  } else {
+    lru_.emplace_front(kind, key);
+    entries.emplace(key, Entry<T>{std::move(value), bytes, lru_.begin()});
+    stats_.bytes += bytes;
+  }
+  ++stats_.stores;
+  evict_to_capacity();
+}
+
+template <typename T>
+std::size_t MemoTier::drop_entry(std::map<support::Digest128, Entry<T>>& entries,
+                                 const support::Digest128& key) {
+  const auto it = entries.find(key);
+  if (it == entries.end()) return 0;
+  stats_.bytes -= it->second.bytes;
+  lru_.erase(it->second.lru);
+  entries.erase(it);
+  return 1;
+}
+
+void MemoTier::touch(LruList::iterator it) {
+  lru_.splice(lru_.begin(), lru_, it);
+}
+
+void MemoTier::evict_to_capacity() {
+  while (stats_.bytes > capacity_bytes_ && !lru_.empty()) {
+    const auto& [kind, key] = lru_.back();
+    std::size_t dropped = 0;
+    switch (kind) {
+      case Kind::kVerdict:
+        dropped = drop_entry(verdicts_, key);
+        break;
+      case Kind::kDfa:
+        dropped = drop_entry(dfas_, key);
+        break;
+      case Kind::kArtifact:
+        dropped = drop_entry(artifacts_, key);
+        break;
+    }
+    stats_.evictions += dropped;
+  }
+}
+
 std::optional<core::CachedVerdict> MemoTier::load_verdict(
     const support::Digest128& key, std::string_view class_name) {
   const std::lock_guard<std::mutex> lock(mutex_);
@@ -11,19 +96,20 @@ std::optional<core::CachedVerdict> MemoTier::load_verdict(
   // The key embeds the class name (fingerprint.hpp); a mismatch means a
   // collision, so miss rather than replay a foreign verdict -- the same
   // rule the disk tier applies.
-  if (it == verdicts_.end() || it->second.class_name != class_name) {
+  if (it == verdicts_.end() || it->second.value.class_name != class_name) {
     ++stats_.misses;
     return std::nullopt;
   }
   ++stats_.hits;
-  return it->second;
+  touch(it->second.lru);
+  return it->second.value;
 }
 
 void MemoTier::store_verdict(const support::Digest128& key,
                              core::CachedVerdict verdict) {
   const std::lock_guard<std::mutex> lock(mutex_);
-  verdicts_.insert_or_assign(key, std::move(verdict));
-  ++stats_.stores;
+  const std::uint64_t bytes = verdict_bytes(verdict);
+  store_entry(verdicts_, Kind::kVerdict, key, std::move(verdict), bytes);
 }
 
 std::optional<std::string> MemoTier::load_dfa_bytes(
@@ -35,14 +121,15 @@ std::optional<std::string> MemoTier::load_dfa_bytes(
     return std::nullopt;
   }
   ++stats_.hits;
-  return it->second;
+  touch(it->second.lru);
+  return it->second.value;
 }
 
 void MemoTier::store_dfa_bytes(const support::Digest128& key,
                                std::string bytes) {
   const std::lock_guard<std::mutex> lock(mutex_);
-  dfas_.insert_or_assign(key, std::move(bytes));
-  ++stats_.stores;
+  const std::uint64_t size = bytes.size();
+  store_entry(dfas_, Kind::kDfa, key, std::move(bytes), size);
 }
 
 std::optional<std::string> MemoTier::load_artifact(
@@ -54,20 +141,22 @@ std::optional<std::string> MemoTier::load_artifact(
     return std::nullopt;
   }
   ++stats_.hits;
-  return it->second;
+  touch(it->second.lru);
+  return it->second.value;
 }
 
 void MemoTier::store_artifact(const support::Digest128& key,
                               std::string artifact) {
   const std::lock_guard<std::mutex> lock(mutex_);
-  artifacts_.insert_or_assign(key, std::move(artifact));
-  ++stats_.stores;
+  const std::uint64_t size = artifact.size();
+  store_entry(artifacts_, Kind::kArtifact, key, std::move(artifact), size);
 }
 
 std::size_t MemoTier::invalidate(const support::Digest128& key) {
   const std::lock_guard<std::mutex> lock(mutex_);
-  const std::size_t dropped =
-      verdicts_.erase(key) + dfas_.erase(key) + artifacts_.erase(key);
+  const std::size_t dropped = drop_entry(verdicts_, key) +
+                              drop_entry(dfas_, key) +
+                              drop_entry(artifacts_, key);
   stats_.invalidations += dropped;
   return dropped;
 }
@@ -77,6 +166,19 @@ void MemoTier::clear() {
   verdicts_.clear();
   dfas_.clear();
   artifacts_.clear();
+  lru_.clear();
+  stats_.bytes = 0;
+}
+
+void MemoTier::set_capacity_bytes(std::uint64_t capacity) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  capacity_bytes_ = capacity;
+  evict_to_capacity();
+}
+
+std::uint64_t MemoTier::capacity_bytes() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return capacity_bytes_;
 }
 
 MemoStats MemoTier::stats() const {

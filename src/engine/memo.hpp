@@ -10,16 +10,24 @@
 // path the disk tier uses -- which is what keeps warm answers byte-
 // identical to cold ones.
 //
+// The tier is bounded: every entry carries an approximate byte size, and
+// once the total passes the configured capacity the least-recently-used
+// entries are evicted (loads refresh recency).  Eviction is silent and
+// safe -- the disk tier below still holds the entry -- and is counted
+// separately from invalidation, which is a correctness event.
+//
 // Internally synchronized: the daemon may run queries for several classes
 // concurrently on the shared thread pool.
 #pragma once
 
 #include <cstdint>
+#include <list>
 #include <map>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
 
 #include "shelley/cache.hpp"
 #include "support/hash.hpp"
@@ -31,10 +39,16 @@ struct MemoStats {
   std::uint64_t misses = 0;
   std::uint64_t stores = 0;
   std::uint64_t invalidations = 0;  ///< entries dropped by invalidate()
+  std::uint64_t evictions = 0;      ///< entries dropped by the LRU bound
+  std::uint64_t bytes = 0;          ///< approximate bytes currently held
 };
 
 class MemoTier {
  public:
+  /// Default capacity is generous: the memo is a working-set accelerator,
+  /// not primary storage, but single-workspace sessions should never evict.
+  static constexpr std::uint64_t kDefaultCapacityBytes = 64ull << 20;
+
   [[nodiscard]] std::optional<core::CachedVerdict> load_verdict(
       const support::Digest128& key, std::string_view class_name);
   void store_verdict(const support::Digest128& key,
@@ -57,14 +71,41 @@ class MemoTier {
 
   void clear();
 
+  /// Shrinks (or grows) the LRU bound; shrinking evicts immediately.
+  void set_capacity_bytes(std::uint64_t capacity);
+  [[nodiscard]] std::uint64_t capacity_bytes() const;
+
   [[nodiscard]] MemoStats stats() const;
 
  private:
+  enum class Kind : std::uint8_t { kVerdict, kDfa, kArtifact };
+  using LruList = std::list<std::pair<Kind, support::Digest128>>;
+
+  template <typename T>
+  struct Entry {
+    T value;
+    std::uint64_t bytes = 0;
+    LruList::iterator lru;
+  };
+
+  // All four require mutex_ held.
+  template <typename T>
+  void store_entry(std::map<support::Digest128, Entry<T>>& entries, Kind kind,
+                   const support::Digest128& key, T value,
+                   std::uint64_t bytes);
+  template <typename T>
+  std::size_t drop_entry(std::map<support::Digest128, Entry<T>>& entries,
+                         const support::Digest128& key);
+  void touch(LruList::iterator it);
+  void evict_to_capacity();
+
   mutable std::mutex mutex_;
   MemoStats stats_;
-  std::map<support::Digest128, core::CachedVerdict> verdicts_;
-  std::map<support::Digest128, std::string> dfas_;
-  std::map<support::Digest128, std::string> artifacts_;
+  std::uint64_t capacity_bytes_ = kDefaultCapacityBytes;
+  LruList lru_;  ///< front = most recently used
+  std::map<support::Digest128, Entry<core::CachedVerdict>> verdicts_;
+  std::map<support::Digest128, Entry<std::string>> dfas_;
+  std::map<support::Digest128, Entry<std::string>> artifacts_;
 };
 
 }  // namespace shelley::engine

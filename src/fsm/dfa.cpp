@@ -1,6 +1,7 @@
 #include "fsm/dfa.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <stdexcept>
 
@@ -9,7 +10,8 @@ namespace shelley::fsm {
 Dfa::Dfa(std::size_t state_count, std::vector<Symbol> alphabet)
     : alphabet_(std::move(alphabet)),
       table_(state_count * alphabet_.size(), 0),
-      accepting_(state_count, false) {
+      accepting_words_((state_count + 63) / 64, 0),
+      state_count_(state_count) {
   assert(std::is_sorted(alphabet_.begin(), alphabet_.end()));
   assert(std::adjacent_find(alphabet_.begin(), alphabet_.end()) ==
          alphabet_.end());
@@ -31,7 +33,11 @@ Dfa Dfa::from_table(std::vector<Symbol> alphabet, std::vector<StateId> table,
     throw std::out_of_range("Dfa::from_table: state out of range");
   }
   out.table_ = std::move(table);
-  out.accepting_ = std::move(accepting);
+  for (StateId s = 0; s < n; ++s) {
+    if (accepting[s]) {
+      out.accepting_words_[s / 64] |= std::uint64_t{1} << (s % 64);
+    }
+  }
   out.initial_ = initial;
   return out;
 }
@@ -44,7 +50,15 @@ std::optional<std::size_t> Dfa::letter_index(Symbol symbol) const {
 }
 
 void Dfa::set_accepting(StateId state, bool accepting) {
-  accepting_.at(state) = accepting;
+  if (state >= state_count_) {
+    throw std::out_of_range("Dfa::set_accepting out of range");
+  }
+  const std::uint64_t bit = std::uint64_t{1} << (state % 64);
+  if (accepting) {
+    accepting_words_[state / 64] |= bit;
+  } else {
+    accepting_words_[state / 64] &= ~bit;
+  }
 }
 
 void Dfa::set_transition(StateId from, std::size_t letter, StateId to) {
@@ -71,12 +85,13 @@ std::optional<StateId> Dfa::run(const Word& word) const {
 
 bool Dfa::accepts(const Word& word) const {
   const auto state = run(word);
-  return state.has_value() && accepting_[*state];
+  return state.has_value() && is_accepting(*state);
 }
 
 std::size_t Dfa::accepting_count() const {
-  return static_cast<std::size_t>(
-      std::count(accepting_.begin(), accepting_.end(), true));
+  std::size_t total = 0;
+  for (std::uint64_t word : accepting_words_) total += std::popcount(word);
+  return total;
 }
 
 }  // namespace shelley::fsm

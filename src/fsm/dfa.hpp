@@ -30,7 +30,7 @@ class Dfa {
                         std::vector<StateId> table, std::vector<bool> accepting,
                         StateId initial);
 
-  [[nodiscard]] std::size_t state_count() const { return accepting_.size(); }
+  [[nodiscard]] std::size_t state_count() const { return state_count_; }
   [[nodiscard]] const std::vector<Symbol>& alphabet() const {
     return alphabet_;
   }
@@ -43,7 +43,16 @@ class Dfa {
 
   void set_accepting(StateId state, bool accepting);
   [[nodiscard]] bool is_accepting(StateId state) const {
-    return accepting_[state];
+    return (accepting_words_[state / 64] >> (state % 64)) & 1;
+  }
+
+  /// Accepting states as a packed bitmap, one bit per state.  Word-parallel
+  /// sweeps (reachability, lazy product search) read this directly.
+  [[nodiscard]] const std::uint64_t* accepting_words() const {
+    return accepting_words_.data();
+  }
+  [[nodiscard]] std::size_t accepting_word_count() const {
+    return accepting_words_.size();
   }
 
   void set_transition(StateId from, std::size_t letter, StateId to);
@@ -66,9 +75,12 @@ class Dfa {
   [[nodiscard]] std::size_t accepting_count() const;
 
  private:
-  std::vector<Symbol> alphabet_;         // sorted
-  std::vector<StateId> table_;           // state_count x alphabet size
-  std::vector<bool> accepting_;
+  std::vector<Symbol> alphabet_;  // sorted
+  std::vector<StateId> table_;    // state_count x alphabet size
+  // Accepting-state bitmap; bit s of word s/64.  Packed words instead of
+  // vector<bool> so kernel sweeps can AND whole words at a time.
+  std::vector<std::uint64_t> accepting_words_;
+  std::size_t state_count_ = 0;
   StateId initial_ = 0;
 };
 

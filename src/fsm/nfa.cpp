@@ -1,19 +1,34 @@
 #include "fsm/nfa.hpp"
 
-#include <deque>
+#include <algorithm>
 #include <stdexcept>
 
 namespace shelley::fsm {
 
+namespace {
+
+/// Words needed to hold one bit per state.
+std::size_t word_stride(std::size_t state_count) {
+  return (state_count + 63) / 64;
+}
+
+/// Inserts `state` into a sorted duplicate-free vector.
+void insert_sorted(std::vector<StateId>& states, StateId state) {
+  const auto it = std::lower_bound(states.begin(), states.end(), state);
+  if (it == states.end() || *it != state) states.insert(it, state);
+}
+
+}  // namespace
+
 StateId Nfa::add_state() {
-  out_edges_.emplace_back();
-  closures_dirty_ = true;
+  invalidate();
   return static_cast<StateId>(state_count_++);
 }
 
 StateId Nfa::add_states(std::size_t count) {
   const auto first = static_cast<StateId>(state_count_);
-  for (std::size_t i = 0; i < count; ++i) add_state();
+  invalidate();
+  state_count_ += count;
   return first;
 }
 
@@ -23,13 +38,23 @@ void Nfa::check_state(StateId state) const {
   }
 }
 
+void Nfa::invalidate() const {
+  csr_dirty_ = true;
+  closures_dirty_ = true;
+  alphabet_dirty_ = true;
+  accepting_dirty_ = true;
+}
+
 void Nfa::add_transition(StateId from, Symbol symbol, StateId to) {
   check_state(from);
   check_state(to);
-  const auto index = static_cast<std::uint32_t>(transitions_.size());
   transitions_.push_back(Transition{from, symbol, to});
-  out_edges_[from].push_back(index);
-  if (!symbol.valid()) closures_dirty_ = true;
+  csr_dirty_ = true;
+  if (symbol.valid()) {
+    alphabet_dirty_ = true;
+  } else {
+    closures_dirty_ = true;
+  }
 }
 
 void Nfa::add_epsilon(StateId from, StateId to) {
@@ -38,50 +63,165 @@ void Nfa::add_epsilon(StateId from, StateId to) {
 
 void Nfa::mark_initial(StateId state) {
   check_state(state);
-  initial_.insert(state);
+  insert_sorted(initial_, state);
 }
 
 void Nfa::mark_accepting(StateId state) {
   check_state(state);
-  accepting_.insert(state);
+  insert_sorted(accepting_, state);
+  accepting_dirty_ = true;
 }
 
-std::set<Symbol> Nfa::alphabet() const {
-  std::set<Symbol> out;
-  for (const Transition& t : transitions_) {
-    if (!t.is_epsilon()) out.insert(t.symbol);
+bool Nfa::is_accepting(StateId state) const {
+  return std::binary_search(accepting_.begin(), accepting_.end(), state);
+}
+
+const std::vector<Symbol>& Nfa::alphabet() const {
+  if (alphabet_dirty_) {
+    alphabet_.clear();
+    for (const Transition& t : transitions_) {
+      if (!t.is_epsilon()) alphabet_.push_back(t.symbol);
+    }
+    std::sort(alphabet_.begin(), alphabet_.end());
+    alphabet_.erase(std::unique(alphabet_.begin(), alphabet_.end()),
+                    alphabet_.end());
+    alphabet_dirty_ = false;
   }
-  return out;
+  return alphabet_;
+}
+
+void Nfa::ensure_csr() const {
+  if (!csr_dirty_) return;
+  const std::size_t n = state_count_;
+
+  // Counting sort of the transitions by source state, ε and non-ε streams
+  // kept separate.  A second pass insertion-sorts each state's non-ε run by
+  // symbol id; insertion sort is stable, so equal symbols keep their append
+  // order, and runs are short in practice.
+  csr_off_.assign(n + 1, 0);
+  eps_off_.assign(n + 1, 0);
+  std::size_t sym_edges = 0;
+  std::size_t eps_edges = 0;
+  for (const Transition& t : transitions_) {
+    if (t.is_epsilon()) {
+      ++eps_off_[t.from + 1];
+      ++eps_edges;
+    } else {
+      ++csr_off_[t.from + 1];
+      ++sym_edges;
+    }
+  }
+  for (std::size_t s = 0; s < n; ++s) {
+    csr_off_[s + 1] += csr_off_[s];
+    eps_off_[s + 1] += eps_off_[s];
+  }
+
+  csr_sym_.resize(sym_edges);
+  csr_to_.resize(sym_edges);
+  eps_to_.resize(eps_edges);
+  // Scatter using the offsets as running cursors, then shift them back.
+  for (const Transition& t : transitions_) {
+    if (t.is_epsilon()) {
+      eps_to_[eps_off_[t.from]++] = t.to;
+    } else {
+      const std::uint32_t at = csr_off_[t.from]++;
+      csr_sym_[at] = t.symbol;
+      csr_to_[at] = t.to;
+    }
+  }
+  for (std::size_t s = n; s > 0; --s) {
+    csr_off_[s] = csr_off_[s - 1];
+    eps_off_[s] = eps_off_[s - 1];
+  }
+  if (n > 0) {
+    csr_off_[0] = 0;
+    eps_off_[0] = 0;
+  }
+
+  for (std::size_t s = 0; s < n; ++s) {
+    const std::uint32_t begin = csr_off_[s];
+    const std::uint32_t end = csr_off_[s + 1];
+    for (std::uint32_t i = begin + 1; i < end; ++i) {
+      const Symbol sym = csr_sym_[i];
+      const StateId to = csr_to_[i];
+      std::uint32_t j = i;
+      while (j > begin && sym < csr_sym_[j - 1]) {
+        csr_sym_[j] = csr_sym_[j - 1];
+        csr_to_[j] = csr_to_[j - 1];
+        --j;
+      }
+      csr_sym_[j] = sym;
+      csr_to_[j] = to;
+    }
+  }
+  csr_dirty_ = false;
+}
+
+Nfa::SymbolCsr Nfa::symbol_csr() const {
+  ensure_csr();
+  return SymbolCsr{csr_off_.data(), csr_sym_.data(), csr_to_.data()};
+}
+
+Nfa::EpsilonCsr Nfa::epsilon_csr() const {
+  ensure_csr();
+  return EpsilonCsr{eps_off_.data(), eps_to_.data()};
 }
 
 void Nfa::ensure_closures() const {
   if (!closures_dirty_) return;
-  closures_.assign(state_count_, StateSet(state_count_));
-  for (StateId s = 0; s < state_count_; ++s) closures_[s].insert(s);
-  // Fixpoint over ε-edges: closure(s) ⊇ closure(t) for every s --ε--> t.
-  // Handles ε-cycles without an SCC pass; converges in O(diameter) sweeps.
+  ensure_csr();
+  const std::size_t n = state_count_;
+  stride_ = word_stride(n);
+  closure_words_.assign(n * stride_, 0);
+  for (std::size_t s = 0; s < n; ++s) {
+    closure_words_[s * stride_ + s / 64] |= std::uint64_t{1} << (s % 64);
+  }
+  // Fixpoint over ε-edges: row(s) ⊇ row(t) for every s --ε--> t, with
+  // word-parallel row unions.  Sweeps alternate direction so chains aligned
+  // either way converge in two passes; ε-cycles converge without an SCC
+  // pass in O(diameter) sweeps.
   bool changed = true;
+  bool forward = true;
   while (changed) {
     changed = false;
-    for (const Transition& t : transitions_) {
-      if (t.is_epsilon() && closures_[t.from].unite(closures_[t.to])) {
-        changed = true;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t s = forward ? i : n - 1 - i;
+      std::uint64_t* row = closure_words_.data() + s * stride_;
+      for (std::uint32_t e = eps_off_[s]; e < eps_off_[s + 1]; ++e) {
+        const std::uint64_t* src =
+            closure_words_.data() + std::size_t{eps_to_[e]} * stride_;
+        for (std::size_t w = 0; w < stride_; ++w) {
+          const std::uint64_t merged = row[w] | src[w];
+          changed = changed || merged != row[w];
+          row[w] = merged;
+        }
       }
     }
+    forward = !forward;
   }
   closures_dirty_ = false;
 }
 
-const StateSet& Nfa::state_closure(StateId state) const {
-  check_state(state);
+Nfa::ClosureTable Nfa::closures() const {
   ensure_closures();
-  return closures_[state];
+  return ClosureTable{closure_words_.data(), stride_};
+}
+
+const std::uint64_t* Nfa::accepting_words() const {
+  if (accepting_dirty_) {
+    accepting_words_.assign(word_stride(state_count_), 0);
+    for (StateId s : accepting_) {
+      accepting_words_[s / 64] |= std::uint64_t{1} << (s % 64);
+    }
+    accepting_dirty_ = false;
+  }
+  return accepting_words_.data();
 }
 
 StateSet Nfa::epsilon_closure(const StateSet& states) const {
-  ensure_closures();
+  const ClosureTable table = closures();
   StateSet out(state_count_);
-  states.for_each([&](StateId s) { out.unite(closures_[s]); });
+  states.for_each([&](StateId s) { out.unite_row(table.row(s)); });
   return out;
 }
 
@@ -92,19 +232,25 @@ StateSet Nfa::initial_closure() const {
 }
 
 StateSet Nfa::step(const StateSet& states, Symbol symbol) const {
+  const SymbolCsr csr = symbol_csr();
   StateSet out(state_count_);
   states.for_each([&](StateId s) {
-    for (std::uint32_t edge : out_edges_[s]) {
-      const Transition& t = transitions_[edge];
-      if (!t.is_epsilon() && t.symbol == symbol) out.insert(t.to);
+    const Symbol* begin = csr.symbols + csr.offsets[s];
+    const Symbol* end = csr.symbols + csr.offsets[s + 1];
+    const Symbol* hit = std::lower_bound(begin, end, symbol);
+    for (; hit != end && *hit == symbol; ++hit) {
+      out.insert(csr.targets[hit - csr.symbols]);
     }
   });
   return out;
 }
 
 bool Nfa::any_accepting(const StateSet& states) const {
-  for (StateId s : accepting_) {
-    if (states.contains(s)) return true;
+  const std::uint64_t* acc = accepting_words();
+  const std::size_t words =
+      std::min(states.word_count(), word_stride(state_count_));
+  for (std::size_t w = 0; w < words; ++w) {
+    if ((states.words()[w] & acc[w]) != 0) return true;
   }
   return false;
 }
@@ -120,13 +266,11 @@ std::set<StateId> Nfa::epsilon_closure(const std::set<StateId>& states) const {
 
 std::set<StateId> Nfa::step(const std::set<StateId>& states,
                             Symbol symbol) const {
+  StateSet seed(state_count_);
+  for (StateId s : states) seed.insert(s);
+  const StateSet stepped = step(seed, symbol);
   std::set<StateId> out;
-  for (StateId state : states) {
-    for (std::uint32_t edge : out_edges_[state]) {
-      const Transition& t = transitions_[edge];
-      if (!t.is_epsilon() && t.symbol == symbol) out.insert(t.to);
-    }
-  }
+  stepped.for_each([&](StateId s) { out.insert(s); });
   return out;
 }
 

@@ -2,6 +2,14 @@
 // ε-transitions.  This is the executable form of the behavioral models the
 // paper extracts: class specifications (§3.1), inferred method behaviors
 // (§3.2), and composed system behaviors all compile to Nfa.
+//
+// Storage is flat and contiguous (docs/KERNEL.md): transitions append to one
+// vector (the stable iteration order every renderer depends on), while the
+// hot paths read lazily built, cached views -- a per-state CSR of
+// symbol-sorted (symbol, target) runs, a separate ε-CSR, a packed ε-closure
+// table (one uint64 row per state), an accepting-state bitmap, and a sorted
+// alphabet vector.  Every structural mutation invalidates the views; they
+// are rebuilt on next use with O(1) large allocations each.
 #pragma once
 
 #include <cstdint>
@@ -42,18 +50,58 @@ class Nfa {
   [[nodiscard]] const std::vector<Transition>& transitions() const {
     return transitions_;
   }
-  [[nodiscard]] const std::set<StateId>& initial_states() const {
+  /// Initial states, sorted ascending.
+  [[nodiscard]] const std::vector<StateId>& initial_states() const {
     return initial_;
   }
-  [[nodiscard]] const std::set<StateId>& accepting_states() const {
+  /// Accepting states, sorted ascending.
+  [[nodiscard]] const std::vector<StateId>& accepting_states() const {
     return accepting_;
   }
-  [[nodiscard]] bool is_accepting(StateId state) const {
-    return accepting_.contains(state);
-  }
+  [[nodiscard]] bool is_accepting(StateId state) const;
 
-  /// Every symbol labelling a transition.
-  [[nodiscard]] std::set<Symbol> alphabet() const;
+  /// Every symbol labelling a transition, sorted by id and duplicate-free.
+  /// Computed once per automaton and cached (mutations invalidate).
+  [[nodiscard]] const std::vector<Symbol>& alphabet() const;
+
+  // Flat views for the automata kernel (ops.cpp).  Built lazily, cached,
+  // and invalidated by any structural mutation, so interleaving mutation
+  // with queries is valid but wasteful.  Not thread-safe.
+
+  /// Compressed-sparse-row view of the non-ε transitions: state s's run is
+  /// symbols[offsets[s]..offsets[s+1]) / targets[...], sorted by symbol id
+  /// (ties keep insertion order).
+  struct SymbolCsr {
+    const std::uint32_t* offsets = nullptr;  // state_count + 1 entries
+    const Symbol* symbols = nullptr;
+    const StateId* targets = nullptr;
+  };
+  [[nodiscard]] SymbolCsr symbol_csr() const;
+
+  /// CSR view of the ε-transitions only (no symbols).
+  struct EpsilonCsr {
+    const std::uint32_t* offsets = nullptr;  // state_count + 1 entries
+    const StateId* targets = nullptr;
+  };
+  [[nodiscard]] EpsilonCsr epsilon_csr() const;
+
+  /// The per-state ε-closure table: row s is `stride` packed uint64 words
+  /// (bit t of row s set iff t ∈ closure(s); the self bit is always set).
+  struct ClosureTable {
+    const std::uint64_t* words = nullptr;  // state_count rows
+    std::size_t stride = 0;                // words per row
+
+    [[nodiscard]] const std::uint64_t* row(StateId state) const {
+      return words + static_cast<std::size_t>(state) * stride;
+    }
+  };
+  [[nodiscard]] ClosureTable closures() const;
+
+  /// Accepting states as a packed bitmap of `closure stride` words.
+  [[nodiscard]] const std::uint64_t* accepting_words() const;
+
+  // Set-valued convenience wrappers over the flat views, used by word
+  // simulation and the test suites.
 
   /// ε-closure of a state set.
   [[nodiscard]] std::set<StateId> epsilon_closure(
@@ -62,15 +110,6 @@ class Nfa {
   /// States reachable from `states` through one `symbol` edge (no closure).
   [[nodiscard]] std::set<StateId> step(const std::set<StateId>& states,
                                        Symbol symbol) const;
-
-  // Bitset variants of the set operations above (see state_set.hpp), used by
-  // subset construction and word simulation.  Per-state ε-closures are
-  // computed once per automaton and cached; the cache is invalidated by any
-  // structural mutation, so interleaving mutation with closure queries is
-  // valid but wasteful.  Not thread-safe.
-
-  /// ε-closure of a single state, from the per-state cache.
-  [[nodiscard]] const StateSet& state_closure(StateId state) const;
 
   /// ε-closure of a bitset of states.
   [[nodiscard]] StateSet epsilon_closure(const StateSet& states) const;
@@ -94,17 +133,29 @@ class Nfa {
 
  private:
   void check_state(StateId state) const;
+  void invalidate() const;
+  void ensure_csr() const;
   void ensure_closures() const;
 
   std::size_t state_count_ = 0;
-  std::vector<Transition> transitions_;
-  // Adjacency index: per-state list of indexes into transitions_.
-  std::vector<std::vector<std::uint32_t>> out_edges_;
-  std::set<StateId> initial_;
-  std::set<StateId> accepting_;
-  // Lazily computed per-state ε-closures (see state_closure).
-  mutable std::vector<StateSet> closures_;
+  std::vector<Transition> transitions_;  // append order
+  std::vector<StateId> initial_;         // sorted, duplicate-free
+  std::vector<StateId> accepting_;       // sorted, duplicate-free
+
+  // Lazily built flat views (see class comment).
+  mutable bool csr_dirty_ = true;
   mutable bool closures_dirty_ = true;
+  mutable bool alphabet_dirty_ = true;
+  mutable bool accepting_dirty_ = true;
+  mutable std::vector<std::uint32_t> csr_off_;   // state_count + 1
+  mutable std::vector<Symbol> csr_sym_;
+  mutable std::vector<StateId> csr_to_;
+  mutable std::vector<std::uint32_t> eps_off_;   // state_count + 1
+  mutable std::vector<StateId> eps_to_;
+  mutable std::vector<std::uint64_t> closure_words_;    // state_count * stride
+  mutable std::vector<std::uint64_t> accepting_words_;  // stride words
+  mutable std::size_t stride_ = 0;
+  mutable std::vector<Symbol> alphabet_;
 };
 
 }  // namespace shelley::fsm

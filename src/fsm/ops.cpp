@@ -1,14 +1,17 @@
 #include "fsm/ops.hpp"
 
 #include <algorithm>
-#include <array>
+#include <bit>
+#include <cstring>
 #include <deque>
 #include <map>
 #include <numeric>
 #include <stdexcept>
-#include <unordered_map>
+#include <utility>
 
 #include "fsm/state_set.hpp"
+#include "support/alloc.hpp"
+#include "support/arena.hpp"
 #include "support/guard.hpp"
 #include "support/metrics.hpp"
 #include "support/trace.hpp"
@@ -24,10 +27,39 @@ std::vector<Symbol> sorted_union(const std::vector<Symbol>& a,
   return out;
 }
 
+/// Words needed to hold one bit per state.
+std::size_t word_stride(std::size_t state_count) {
+  return (state_count + 63) / 64;
+}
+
+/// The kernel's per-thread scratch arena (see support/arena.hpp).  Every
+/// algorithm below borrows it through an ArenaScope, so one call's scratch
+/// is released with a single rewind and the chunks stay warm for the next
+/// call -- steady state, the kernel performs no heap allocations beyond the
+/// automata it returns.
+support::Arena& kernel_arena() {
+  thread_local support::Arena arena;
+  return arena;
+}
+
+/// FNV-1a over a packed word row; same function StateSet::hash uses, so the
+/// open-addressed subset table behaves like the old unordered_map keying.
+std::uint64_t hash_words(const std::uint64_t* words, std::size_t count) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::size_t i = 0; i < count; ++i) {
+    h ^= words[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+constexpr StateId kNoState = 0xffffffffu;
+
 }  // namespace
 
 Dfa determinize(const Nfa& nfa, std::vector<Symbol> alphabet) {
   support::trace::Span span("fsm.determinize");
+  const std::uint64_t allocs_before = support::alloc::allocation_count();
   std::sort(alphabet.begin(), alphabet.end());
   alphabet.erase(std::unique(alphabet.begin(), alphabet.end()),
                  alphabet.end());
@@ -39,77 +71,153 @@ Dfa determinize(const Nfa& nfa, std::vector<Symbol> alphabet) {
   }
   const std::size_t n = nfa.state_count();
   const std::size_t k = alphabet.size();
-  const auto letter_of = [&](Symbol s) {
-    return static_cast<std::size_t>(
-        std::lower_bound(alphabet.begin(), alphabet.end(), s) -
-        alphabet.begin());
-  };
+  const std::size_t width = word_stride(n);
 
-  // Per-NFA-state moves bucketed by letter, so each subset is expanded with
-  // one scan over its members' edges instead of one scan per letter.
-  std::vector<std::vector<std::pair<std::uint32_t, StateId>>> moves(n);
-  for (const Transition& t : nfa.transitions()) {
-    if (t.is_epsilon()) continue;
-    moves[t.from].emplace_back(
-        static_cast<std::uint32_t>(letter_of(t.symbol)), t.to);
+  const Nfa::SymbolCsr csr = nfa.symbol_csr();
+  const Nfa::ClosureTable closure = nfa.closures();
+  const std::uint64_t* acc_words = nfa.accepting_words();
+
+  support::ArenaScope scope(kernel_arena());
+  support::Arena& arena = scope.arena();
+
+  // Alphabet index per CSR edge, resolved once so the subset-expansion loop
+  // never touches a Symbol again.
+  const std::size_t edge_count = csr.offsets[n];
+  std::uint32_t* edge_letter = arena.allocate_array<std::uint32_t>(edge_count);
+  for (std::size_t e = 0; e < edge_count; ++e) {
+    edge_letter[e] = static_cast<std::uint32_t>(
+        std::lower_bound(alphabet.begin(), alphabet.end(), csr.symbols[e]) -
+        alphabet.begin());
   }
 
   // Hash-cons ε-closed subsets; ids are assigned in discovery order, which
-  // matches the order the seed's std::map-based construction explored.
-  std::unordered_map<StateSet, StateId, StateSetHash> ids;
-  std::vector<const StateSet*> sets;  // id -> key (map nodes are stable)
-  const auto get_id = [&](StateSet set) {
-    const auto [it, inserted] =
-        ids.emplace(std::move(set), static_cast<StateId>(sets.size()));
-    if (inserted) sets.push_back(&it->first);
-    return it->second;
+  // matches the order the seed's std::map-based construction explored.  The
+  // subset rows live in the arena; the open-addressed id table replaces the
+  // old unordered_map (no per-node allocations).
+  thread_local std::vector<const std::uint64_t*> sets;  // id -> subset row
+  thread_local std::vector<StateId> rows;               // DFA table, row-major
+  thread_local std::vector<char> acc;                   // per DFA state
+  sets.clear();
+  rows.clear();
+  acc.clear();
+
+  std::size_t slot_count = 1024;
+  std::uint32_t* slots = arena.allocate_array<std::uint32_t>(slot_count);
+  std::fill_n(slots, slot_count, kNoState);
+
+  const auto get_id = [&](const std::uint64_t* row) {
+    if ((sets.size() + 1) * 10 >= slot_count * 7) {
+      const std::size_t grown = slot_count * 2;
+      std::uint32_t* fresh = arena.allocate_array<std::uint32_t>(grown);
+      std::fill_n(fresh, grown, kNoState);
+      for (std::size_t id = 0; id < sets.size(); ++id) {
+        std::size_t at = hash_words(sets[id], width) & (grown - 1);
+        while (fresh[at] != kNoState) at = (at + 1) & (grown - 1);
+        fresh[at] = static_cast<std::uint32_t>(id);
+      }
+      slots = fresh;
+      slot_count = grown;
+    }
+    std::size_t at = hash_words(row, width) & (slot_count - 1);
+    while (slots[at] != kNoState) {
+      const StateId id = slots[at];
+      if (std::equal(row, row + width, sets[id])) return id;
+      at = (at + 1) & (slot_count - 1);
+    }
+    std::uint64_t* copy = arena.allocate_array<std::uint64_t>(width);
+    std::copy(row, row + width, copy);
+    const auto id = static_cast<StateId>(sets.size());
+    sets.push_back(copy);
+    slots[at] = id;
+    return id;
   };
 
-  const StateId start = get_id(nfa.initial_closure());
-  std::vector<std::vector<StateId>> rows;  // per DFA state, per letter
-  std::vector<StateSet> succ(k, StateSet(n));
-  std::vector<bool> touched(k, false);
+  // Seed with the ε-closed initial set.
+  std::uint64_t* seed = arena.allocate_array<std::uint64_t>(width);
+  std::fill_n(seed, width, 0);
+  for (StateId s : nfa.initial_states()) {
+    const std::uint64_t* row = closure.row(s);
+    for (std::size_t w = 0; w < width; ++w) seed[w] |= row[w];
+  }
+  const StateId start = get_id(seed);
+
+  // Per-letter successor accumulators; only letters touched by the current
+  // subset are cleared afterwards, so untouched letters cost nothing.
+  std::uint64_t* succ = arena.allocate_array<std::uint64_t>(k * width);
+  std::fill_n(succ, k * width, 0);
+  char* touched = arena.allocate_array<char>(k);
+  std::fill_n(touched, k, 0);
+  std::uint32_t* touched_letters = arena.allocate_array<std::uint32_t>(k);
+  std::size_t touched_count = 0;
+
+  // Every untouched letter leads to the same empty subset: intern it once,
+  // lazily, so its discovery order still matches the seed construction.
+  StateId empty_id = kNoState;
+  std::uint64_t* zero_row = arena.allocate_array<std::uint64_t>(width);
+  std::fill_n(zero_row, width, 0);
+
   for (StateId current = 0; current < sets.size(); ++current) {
     support::guard::check_states(sets.size(), "determinization");
     if ((current & 0x3FF) == 0) {
       support::guard::check_deadline("fsm.determinize");
     }
-    const StateSet& subset = *sets[current];
-    subset.for_each([&](StateId s) {
-      for (const auto& [letter, to] : moves[s]) {
-        succ[letter].unite(nfa.state_closure(to));
-        touched[letter] = true;
-      }
-    });
-    std::vector<StateId> row(k, 0);
-    for (std::size_t letter = 0; letter < k; ++letter) {
-      row[letter] = get_id(touched[letter] ? succ[letter] : StateSet(n));
-      if (touched[letter]) {
-        succ[letter].clear();
-        touched[letter] = false;
+    const std::uint64_t* subset = sets[current];
+    // Expand with one scan over the members' CSR runs, bucketing the ε-closed
+    // successors per letter word-parallel.
+    for (std::size_t w = 0; w < width; ++w) {
+      std::uint64_t bits = subset[w];
+      while (bits != 0) {
+        const auto s = static_cast<StateId>(
+            w * 64 + static_cast<std::size_t>(std::countr_zero(bits)));
+        bits &= bits - 1;
+        for (std::uint32_t e = csr.offsets[s]; e < csr.offsets[s + 1]; ++e) {
+          const std::uint32_t letter = edge_letter[e];
+          std::uint64_t* dst = succ + letter * width;
+          if (touched[letter] == 0) {
+            touched[letter] = 1;
+            touched_letters[touched_count++] = letter;
+          }
+          const std::uint64_t* src = closure.row(csr.targets[e]);
+          for (std::size_t v = 0; v < width; ++v) dst[v] |= src[v];
+        }
       }
     }
-    rows.push_back(std::move(row));
+    bool accepting = false;
+    for (std::size_t w = 0; w < width && !accepting; ++w) {
+      accepting = (subset[w] & acc_words[w]) != 0;
+    }
+    acc.push_back(accepting ? 1 : 0);
+    for (std::size_t letter = 0; letter < k; ++letter) {
+      StateId id;
+      if (touched[letter] != 0) {
+        id = get_id(succ + letter * width);
+      } else if (empty_id != kNoState) {
+        id = empty_id;
+      } else {
+        id = empty_id = get_id(zero_row);
+      }
+      rows.push_back(id);
+    }
+    for (std::size_t i = 0; i < touched_count; ++i) {
+      const std::uint32_t letter = touched_letters[i];
+      std::fill_n(succ + letter * width, width, 0);
+      touched[letter] = 0;
+    }
+    touched_count = 0;
   }
 
-  Dfa dfa(sets.size(), alphabet);
-  dfa.set_initial(start);
-  for (StateId state = 0; state < sets.size(); ++state) {
-    for (std::size_t letter = 0; letter < k; ++letter) {
-      dfa.set_transition(state, letter, rows[state][letter]);
-    }
-    if (nfa.any_accepting(*sets[state])) dfa.set_accepting(state, true);
-  }
+  Dfa dfa = Dfa::from_table(std::move(alphabet),
+                            std::vector<StateId>(rows.begin(), rows.end()),
+                            std::vector<bool>(acc.begin(), acc.end()), start);
   support::metrics::record_determinize(n, dfa.state_count());
+  support::metrics::record_determinize_allocs(
+      support::alloc::allocation_count() - allocs_before);
   span.arg("nfa_states", static_cast<std::uint64_t>(n));
   span.arg("dfa_states", static_cast<std::uint64_t>(dfa.state_count()));
   return dfa;
 }
 
-Dfa determinize(const Nfa& nfa) {
-  const std::set<Symbol> sigma = nfa.alphabet();
-  return determinize(nfa, std::vector<Symbol>(sigma.begin(), sigma.end()));
-}
+Dfa determinize(const Nfa& nfa) { return determinize(nfa, nfa.alphabet()); }
 
 Dfa minimize(const Dfa& dfa) { return minimize_hopcroft(dfa); }
 
@@ -183,8 +291,13 @@ Dfa minimize_moore(const Dfa& dfa) {
 
 Dfa minimize_hopcroft(const Dfa& dfa) {
   support::trace::Span span("fsm.minimize");
+  const std::uint64_t allocs_before = support::alloc::allocation_count();
+  const std::size_t total = dfa.state_count();
   const std::size_t k = dfa.alphabet().size();
   const StateId* raw = dfa.transition_table().data();
+
+  support::ArenaScope scope(kernel_arena());
+  support::Arena& arena = scope.arena();
 
   // Per-target in-degree counts, kept in four stripes: a high in-degree
   // target (the rejecting sink absorbs almost every edge of a usage
@@ -192,21 +305,28 @@ Dfa minimize_hopcroft(const Dfa& dfa) {
   // store-to-load-forwarded counter.  Counted during the reachability BFS,
   // which reads every reachable row exactly once anyway; thrown away and
   // redone only if the BFS order turns out not to be the identity.
-  std::array<std::vector<std::uint32_t>, 4> stripe;
-  for (auto& counts : stripe) counts.assign(dfa.state_count(), 0);
+  std::uint32_t* stripe[4];
+  for (auto& counts : stripe) {
+    counts = arena.allocate_array<std::uint32_t>(total);
+    std::fill_n(counts, total, 0);
+  }
 
   // Restrict to reachable states, remapped densely in BFS discovery order.
-  std::vector<StateId> order;  // new id -> old id
-  std::vector<StateId> remap(dfa.state_count(), 0);
+  StateId* order = arena.allocate_array<StateId>(total);  // new id -> old id
+  StateId* remap = arena.allocate_array<StateId>(total);
+  std::size_t n = 0;
   {
-    std::vector<bool> seen(dfa.state_count(), false);
-    std::deque<StateId> work{dfa.initial()};
-    seen[dfa.initial()] = true;
-    while (!work.empty()) {
-      const StateId s = work.front();
-      work.pop_front();
-      remap[s] = static_cast<StateId>(order.size());
-      order.push_back(s);
+    char* seen = arena.allocate_array<char>(total);
+    std::fill_n(seen, total, 0);
+    StateId* work = arena.allocate_array<StateId>(total);
+    std::size_t head = 0;
+    std::size_t tail = 0;
+    work[tail++] = dfa.initial();
+    seen[dfa.initial()] = 1;
+    while (head < tail) {
+      const StateId s = work[head++];
+      remap[s] = static_cast<StateId>(n);
+      order[n++] = s;
       const std::size_t base = static_cast<std::size_t>(s) * k;
       const StateId* row = raw + base;
       for (std::size_t letter = 0; letter < k; ++letter) {
@@ -215,47 +335,49 @@ Dfa minimize_hopcroft(const Dfa& dfa) {
         // choice -- the cursors derived from these counts must agree with
         // the fill pass entry for entry.
         ++stripe[(base + letter) & 3][t];
-        if (!seen[t]) {
-          seen[t] = true;
-          work.push_back(t);
+        if (seen[t] == 0) {
+          seen[t] = 1;
+          work[tail++] = t;
         }
       }
     }
   }
-  const std::size_t n = order.size();
 
   // Subset construction already numbers states in BFS discovery order, so
   // the remap is usually the identity -- alias the input table instead of
   // copying it.
-  bool identity = n == dfa.state_count();
+  bool identity = n == total;
   for (std::size_t s = 0; identity && s < n; ++s) identity = order[s] == s;
-  std::vector<StateId> trans_store;
+  const StateId* trans = raw;
   if (!identity) {
-    trans_store.resize(n * k);
+    StateId* trans_store = arena.allocate_array<StateId>(n * k);
     for (std::size_t s = 0; s < n; ++s) {
       const StateId* row = raw + static_cast<std::size_t>(order[s]) * k;
       for (std::size_t letter = 0; letter < k; ++letter) {
         trans_store[s * k + letter] = remap[row[letter]];
       }
     }
+    trans = trans_store;
   }
-  const StateId* trans = identity ? raw : trans_store.data();
-  std::vector<bool> acc(n, false);
-  for (std::size_t s = 0; s < n; ++s) acc[s] = dfa.is_accepting(order[s]);
+  char* acc = arena.allocate_array<char>(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    acc[s] = dfa.is_accepting(order[s]) ? 1 : 0;
+  }
 
   // Inverse transitions in CSR form, bucketed by target state.  An entry is
   // the flat edge id `from * k + letter` (n·k always fits: a table with 2^32
   // cells would be 16 GB), so one scan over a block's in-edges can group the
   // preimages of *all* letters at once at half the memory traffic of a
   // (from, letter) pair.
-  std::vector<std::uint32_t> in_off(n + 1, 0);
-  std::vector<std::uint32_t> in_data(n * k);
+  std::uint32_t* in_off = arena.allocate_array<std::uint32_t>(n + 1);
+  std::uint32_t* in_data = arena.allocate_array<std::uint32_t>(n * k);
   {
     if (!identity) {
       // The BFS counted raw state ids; redo the counts in remapped space.
-      for (auto& counts : stripe) counts.assign(n, 0);
+      for (auto& counts : stripe) std::fill_n(counts, n, 0);
       for (std::size_t i = 0; i < n * k; ++i) ++stripe[i & 3][trans[i]];
     }
+    in_off[0] = 0;
     for (std::size_t t = 0; t < n; ++t) {
       // Turn the per-stripe counts into per-stripe write cursors.
       std::uint32_t base = in_off[t];
@@ -273,32 +395,47 @@ Dfa minimize_hopcroft(const Dfa& dfa) {
 
   // Refinable partition: states grouped contiguously in `elems`, one
   // [begin, end) range per block, marks swapped to the front of a block.
-  std::vector<int> blk(n, 0);
-  std::vector<StateId> elems(n);
-  std::vector<std::uint32_t> loc(n);
-  std::vector<std::uint32_t> begin_of{0};
-  std::vector<std::uint32_t> end_of;
-  std::vector<std::uint32_t> marks{0};
+  // Block counts only grow and never exceed n, so every per-block array is
+  // a flat arena slab with a running count.
+  int* blk = arena.allocate_array<int>(n);
+  StateId* elems = arena.allocate_array<StateId>(n);
+  std::uint32_t* loc = arena.allocate_array<std::uint32_t>(n);
+  std::uint32_t* begin_of = arena.allocate_array<std::uint32_t>(n + 1);
+  std::uint32_t* end_of = arena.allocate_array<std::uint32_t>(n + 1);
+  std::uint32_t* marks = arena.allocate_array<std::uint32_t>(n + 1);
+  std::uint64_t* weight = arena.allocate_array<std::uint64_t>(n + 1);
+  char* in_worklist = arena.allocate_array<char>(n + 1);
+  std::size_t blocks = 0;
 
-  const std::size_t accepting_count =
-      static_cast<std::size_t>(std::count(acc.begin(), acc.end(), true));
+  std::fill_n(blk, n, 0);
+  const std::size_t accepting_count = static_cast<std::size_t>(
+      std::count(acc, acc + n, static_cast<char>(1)));
   if (accepting_count == 0 || accepting_count == n) {
     // A single block: already minimal with respect to acceptance.
-    std::iota(elems.begin(), elems.end(), 0);
-    end_of.push_back(static_cast<std::uint32_t>(n));
+    std::iota(elems, elems + n, 0);
+    begin_of[0] = 0;
+    end_of[0] = static_cast<std::uint32_t>(n);
+    marks[0] = 0;
+    in_worklist[0] = 0;
+    blocks = 1;
   } else {
     // Block 0 = accepting, block 1 = rejecting, members in state order.
     std::uint32_t next_acc = 0;
     std::uint32_t next_rej = static_cast<std::uint32_t>(accepting_count);
     for (std::size_t s = 0; s < n; ++s) {
-      const std::uint32_t pos = acc[s] ? next_acc++ : next_rej++;
+      const std::uint32_t pos = acc[s] != 0 ? next_acc++ : next_rej++;
       elems[pos] = static_cast<StateId>(s);
-      blk[s] = acc[s] ? 0 : 1;
+      blk[s] = acc[s] != 0 ? 0 : 1;
     }
-    end_of.push_back(static_cast<std::uint32_t>(accepting_count));
-    begin_of.push_back(static_cast<std::uint32_t>(accepting_count));
-    end_of.push_back(static_cast<std::uint32_t>(n));
-    marks.push_back(0);
+    begin_of[0] = 0;
+    end_of[0] = static_cast<std::uint32_t>(accepting_count);
+    begin_of[1] = static_cast<std::uint32_t>(accepting_count);
+    end_of[1] = static_cast<std::uint32_t>(n);
+    marks[0] = 0;
+    marks[1] = 0;
+    in_worklist[0] = 0;
+    in_worklist[1] = 0;
+    blocks = 2;
   }
   for (std::size_t i = 0; i < n; ++i) loc[elems[i]] = i;
 
@@ -310,18 +447,13 @@ Dfa minimize_hopcroft(const Dfa& dfa) {
   // rule is pathological for usage automata: the rejecting sink is a
   // 1-state block carrying ~all of the edges, and seeding with it costs a
   // full Θ(n·k) scan before any refinement happens.
-  const auto block_weight = [&](int b) {
+  for (std::size_t b = 0; b < blocks; ++b) {
     std::uint64_t w = 0;
     for (std::uint32_t i = begin_of[b]; i < end_of[b]; ++i) {
       const StateId s = elems[i];
       w += in_off[s + 1] - in_off[s];
     }
-    return w;
-  };
-  std::vector<std::uint64_t> weight;
-  weight.reserve(begin_of.size());
-  for (std::size_t b = 0; b < begin_of.size(); ++b) {
-    weight.push_back(block_weight(static_cast<int>(b)));
+    weight[b] = w;
   }
 
   // Block-level splitter worklist: popping a block processes *all* letters
@@ -330,46 +462,70 @@ Dfa minimize_hopcroft(const Dfa& dfa) {
   // k-fold smaller queue -- decisive when the alphabet is as large as the
   // state count (usage automata have one letter per operation) and most
   // letters have an empty preimage at any given block.
-  std::vector<int> worklist;
-  std::vector<char> in_worklist{0, 0};
+  int* worklist = arena.allocate_array<int>(n + 1);
+  std::size_t worklist_top = 0;
   const auto push_splitter = [&](int b) {
     if (in_worklist[b] != 0) return;
     in_worklist[b] = 1;
-    worklist.push_back(b);
+    worklist[worklist_top++] = b;
   };
-  if (begin_of.size() == 2) {
+  if (blocks == 2) {
     push_splitter(weight[0] <= weight[1] ? 0 : 1);  // the lighter half
   }
 
-  std::vector<std::vector<StateId>> letter_preimage(k);
-  std::vector<std::uint32_t> touched_letters;
-  std::vector<int> touched;
-  while (!worklist.empty()) {
-    const int splitter = worklist.back();
-    worklist.pop_back();
+  // Per-letter preimage buckets as one flat slab: a counting pass over the
+  // splitter's in-edges sizes the buckets, a fill pass populates them, and
+  // only letters actually touched pay for clearing.
+  std::uint32_t* letter_count = arena.allocate_array<std::uint32_t>(k);
+  std::fill_n(letter_count, k, 0);
+  std::uint32_t* letter_cursor = arena.allocate_array<std::uint32_t>(k);
+  std::uint32_t* letter_begin = arena.allocate_array<std::uint32_t>(k);
+  std::uint32_t* touched_letters = arena.allocate_array<std::uint32_t>(k);
+  StateId* preimage = arena.allocate_array<StateId>(n * k);
+  int* touched = arena.allocate_array<int>(n + 1);
+  while (worklist_top > 0) {
+    const int splitter = worklist[--worklist_top];
     in_worklist[splitter] = 0;
 
     // Snapshot δ⁻¹(splitter, ·) grouped by letter before any swap moves the
     // splitter's members.
-    touched_letters.clear();
+    std::size_t touched_letter_count = 0;
+    for (std::uint32_t i = begin_of[splitter]; i < end_of[splitter]; ++i) {
+      const StateId target = elems[i];
+      for (std::uint32_t j = in_off[target]; j < in_off[target + 1]; ++j) {
+        const auto letter = static_cast<std::uint32_t>(in_data[j] % k);
+        if (letter_count[letter]++ == 0) {
+          touched_letters[touched_letter_count++] = letter;
+        }
+      }
+    }
+    std::uint32_t cursor = 0;
+    for (std::size_t t = 0; t < touched_letter_count; ++t) {
+      const std::uint32_t letter = touched_letters[t];
+      letter_begin[t] = cursor;
+      letter_cursor[letter] = cursor;
+      cursor += letter_count[letter];
+    }
     for (std::uint32_t i = begin_of[splitter]; i < end_of[splitter]; ++i) {
       const StateId target = elems[i];
       for (std::uint32_t j = in_off[target]; j < in_off[target + 1]; ++j) {
         const std::uint32_t edge = in_data[j];
-        const auto letter = static_cast<std::uint32_t>(edge % k);
-        std::vector<StateId>& bucket = letter_preimage[letter];
-        if (bucket.empty()) touched_letters.push_back(letter);
-        bucket.push_back(static_cast<StateId>(edge / k));
+        preimage[letter_cursor[edge % k]++] =
+            static_cast<StateId>(edge / k);
       }
     }
 
-    for (const std::uint32_t letter : touched_letters) {
-      std::vector<StateId>& preimage = letter_preimage[letter];
-      touched.clear();
-      for (const StateId s : preimage) {
+    for (std::size_t t = 0; t < touched_letter_count; ++t) {
+      const std::uint32_t letter = touched_letters[t];
+      const std::uint32_t begin = letter_begin[t];
+      const std::uint32_t end = begin + letter_count[letter];
+      letter_count[letter] = 0;
+      std::size_t touched_count = 0;
+      for (std::uint32_t i = begin; i < end; ++i) {
+        const StateId s = preimage[i];
         const int b = blk[s];
         if (end_of[b] - begin_of[b] == 1) continue;  // singletons never split
-        if (marks[b] == 0) touched.push_back(b);
+        if (marks[b] == 0) touched[touched_count++] = b;
         const std::uint32_t dest = begin_of[b] + marks[b];
         const std::uint32_t pos = loc[s];
         if (pos < dest) continue;  // already marked
@@ -378,27 +534,28 @@ Dfa minimize_hopcroft(const Dfa& dfa) {
         loc[elems[dest]] = dest;
         ++marks[b];
       }
-      preimage.clear();
 
-      for (const int b : touched) {
+      for (std::size_t i = 0; i < touched_count; ++i) {
+        const int b = touched[i];
         const std::uint32_t m = marks[b];
         marks[b] = 0;
         const std::uint32_t size = end_of[b] - begin_of[b];
         if (m == size) continue;  // every member hit: no split
         // The marked front half becomes a fresh block; b keeps the rest.
-        const int fresh = static_cast<int>(begin_of.size());
-        begin_of.push_back(begin_of[b]);
-        end_of.push_back(begin_of[b] + m);
-        marks.push_back(0);
-        in_worklist.push_back(0);
+        const int fresh = static_cast<int>(blocks);
+        begin_of[fresh] = begin_of[b];
+        end_of[fresh] = begin_of[b] + m;
+        marks[fresh] = 0;
+        in_worklist[fresh] = 0;
+        ++blocks;
         begin_of[b] += m;
         std::uint64_t fresh_weight = 0;
-        for (std::uint32_t i = begin_of[fresh]; i < end_of[fresh]; ++i) {
-          const StateId moved = elems[i];
+        for (std::uint32_t j = begin_of[fresh]; j < end_of[fresh]; ++j) {
+          const StateId moved = elems[j];
           blk[moved] = fresh;
           fresh_weight += in_off[moved + 1] - in_off[moved];
         }
-        weight.push_back(fresh_weight);
+        weight[fresh] = fresh_weight;
         weight[b] -= fresh_weight;
         // Hopcroft's rule: if b is still queued the (shrunk) b remains a
         // pending splitter and the fresh half must join it; otherwise the
@@ -415,9 +572,10 @@ Dfa minimize_hopcroft(const Dfa& dfa) {
   // Renumber blocks by first appearance in (reachability-BFS) state order,
   // so the initial state's block is 0 -- mirroring Moore's numbering scheme.
   // One representative per block supplies its row; members are equivalent.
-  const std::size_t block_count = begin_of.size();
-  std::vector<int> out_id(block_count, -1);
-  std::vector<StateId> rep(block_count, 0);
+  const std::size_t block_count = blocks;
+  int* out_id = arena.allocate_array<int>(block_count);
+  std::fill_n(out_id, block_count, -1);
+  StateId* rep = arena.allocate_array<StateId>(block_count);
   int next_id = 0;
   for (std::size_t s = 0; s < n; ++s) {
     if (out_id[blk[s]] < 0) {
@@ -428,7 +586,7 @@ Dfa minimize_hopcroft(const Dfa& dfa) {
   }
   // Per-state output id, precomposed so the row-copy loop below gathers
   // once per cell instead of twice (out_id[blk[t]]).
-  std::vector<StateId> new_id(n);
+  StateId* new_id = arena.allocate_array<StateId>(n);
   for (std::size_t s = 0; s < n; ++s) {
     new_id[s] = static_cast<StateId>(out_id[blk[s]]);
   }
@@ -436,13 +594,15 @@ Dfa minimize_hopcroft(const Dfa& dfa) {
   std::vector<bool> out_acc(block_count, false);
   for (std::size_t b = 0; b < block_count; ++b) {
     const StateId r = rep[b];
-    out_acc[b] = acc[r];
+    out_acc[b] = acc[r] != 0;
     const StateId* row = trans + static_cast<std::size_t>(r) * k;
     for (std::size_t letter = 0; letter < k; ++letter) {
       out_table[b * k + letter] = new_id[row[letter]];
     }
   }
   support::metrics::record_minimize(dfa.state_count(), block_count);
+  support::metrics::record_minimize_allocs(
+      support::alloc::allocation_count() - allocs_before);
   span.arg("states_in", static_cast<std::uint64_t>(dfa.state_count()));
   span.arg("states_out", static_cast<std::uint64_t>(block_count));
   return Dfa::from_table(dfa.alphabet(), std::move(out_table),
@@ -470,26 +630,35 @@ Dfa extend_alphabet(const Dfa& dfa, const std::vector<Symbol>& alphabet) {
   std::vector<Symbol> sigma = alphabet;
   std::sort(sigma.begin(), sigma.end());
   sigma.erase(std::unique(sigma.begin(), sigma.end()), sigma.end());
-  const std::vector<Symbol> joined = sorted_union(sigma, dfa.alphabet());
+  std::vector<Symbol> joined = sorted_union(sigma, dfa.alphabet());
 
-  // Fresh rejecting sink for the new letters.
+  // Fresh rejecting sink for the new letters.  The whole table is built
+  // flat: the per-letter source column is resolved once, then every row is
+  // a straight gather from the input table.
   const std::size_t n = dfa.state_count();
+  const std::size_t k = dfa.alphabet().size();
+  const std::size_t j = joined.size();
   const StateId sink = static_cast<StateId>(n);
-  Dfa out(n + 1, joined);
-  out.set_initial(dfa.initial());
-  for (StateId s = 0; s < n; ++s) {
-    out.set_accepting(s, dfa.is_accepting(s));
+  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> column(j, kNone);
+  for (std::size_t letter = 0; letter < j; ++letter) {
+    const auto old_letter = dfa.letter_index(joined[letter]);
+    if (old_letter) column[letter] = *old_letter;
   }
-  for (StateId s = 0; s <= n; ++s) {
-    for (std::size_t letter = 0; letter < joined.size(); ++letter) {
-      const auto old_letter = dfa.letter_index(joined[letter]);
-      const StateId to = (s == sink || !old_letter)
-                             ? sink
-                             : dfa.transition(s, *old_letter);
-      out.set_transition(s, letter, to);
+
+  const StateId* raw = dfa.transition_table().data();
+  std::vector<StateId> table((n + 1) * j, sink);
+  for (std::size_t s = 0; s < n; ++s) {
+    const StateId* row = raw + s * k;
+    StateId* out_row = table.data() + s * j;
+    for (std::size_t letter = 0; letter < j; ++letter) {
+      if (column[letter] != kNone) out_row[letter] = row[column[letter]];
     }
   }
-  return out;
+  std::vector<bool> acc(n + 1, false);
+  for (StateId s = 0; s < n; ++s) acc[s] = dfa.is_accepting(s);
+  return Dfa::from_table(std::move(joined), std::move(table), std::move(acc),
+                         dfa.initial());
 }
 
 Dfa extend_alphabet_ignore(const Dfa& dfa,
@@ -497,20 +666,34 @@ Dfa extend_alphabet_ignore(const Dfa& dfa,
   std::vector<Symbol> sigma = alphabet;
   std::sort(sigma.begin(), sigma.end());
   sigma.erase(std::unique(sigma.begin(), sigma.end()), sigma.end());
-  const std::vector<Symbol> joined = sorted_union(sigma, dfa.alphabet());
+  std::vector<Symbol> joined = sorted_union(sigma, dfa.alphabet());
 
   const std::size_t n = dfa.state_count();
-  Dfa out(n, joined);
-  out.set_initial(dfa.initial());
-  for (StateId s = 0; s < n; ++s) {
-    out.set_accepting(s, dfa.is_accepting(s));
-    for (std::size_t letter = 0; letter < joined.size(); ++letter) {
-      const auto old_letter = dfa.letter_index(joined[letter]);
-      out.set_transition(s, letter,
-                         old_letter ? dfa.transition(s, *old_letter) : s);
+  const std::size_t k = dfa.alphabet().size();
+  const std::size_t j = joined.size();
+  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> column(j, kNone);
+  for (std::size_t letter = 0; letter < j; ++letter) {
+    const auto old_letter = dfa.letter_index(joined[letter]);
+    if (old_letter) column[letter] = *old_letter;
+  }
+
+  const StateId* raw = dfa.transition_table().data();
+  std::vector<StateId> table(n * j);
+  for (std::size_t s = 0; s < n; ++s) {
+    const StateId* row = raw + s * k;
+    StateId* out_row = table.data() + s * j;
+    for (std::size_t letter = 0; letter < j; ++letter) {
+      // New letters are ignored: self-loop.
+      out_row[letter] = column[letter] != kNone
+                            ? row[column[letter]]
+                            : static_cast<StateId>(s);
     }
   }
-  return out;
+  std::vector<bool> acc(n, false);
+  for (StateId s = 0; s < n; ++s) acc[s] = dfa.is_accepting(s);
+  return Dfa::from_table(std::move(joined), std::move(table), std::move(acc),
+                         dfa.initial());
 }
 
 Dfa product(const Dfa& a, const Dfa& b, ProductMode mode) {
@@ -521,14 +704,14 @@ Dfa product(const Dfa& a, const Dfa& b, ProductMode mode) {
   const std::size_t k = a.alphabet().size();
   const std::size_t n = a.state_count();
   const std::size_t m = b.state_count();
-  Dfa out(n * m, a.alphabet());
-  const auto pair_id = [m](StateId x, StateId y) {
-    return static_cast<StateId>(x * m + y);
-  };
-  out.set_initial(pair_id(a.initial(), b.initial()));
+  const StateId* ra = a.transition_table().data();
+  const StateId* rb = b.transition_table().data();
+  std::vector<StateId> table(n * m * k);
+  std::vector<bool> acc(n * m, false);
   for (StateId x = 0; x < n; ++x) {
+    const bool in_a = a.is_accepting(x);
+    const StateId* row_a = ra + static_cast<std::size_t>(x) * k;
     for (StateId y = 0; y < m; ++y) {
-      const bool in_a = a.is_accepting(x);
       const bool in_b = b.is_accepting(y);
       bool accepting = false;
       switch (mode) {
@@ -542,15 +725,20 @@ Dfa product(const Dfa& a, const Dfa& b, ProductMode mode) {
           accepting = in_a && !in_b;
           break;
       }
-      out.set_accepting(pair_id(x, y), accepting);
+      const std::size_t id = static_cast<std::size_t>(x) * m + y;
+      acc[id] = accepting;
+      const StateId* row_b = rb + static_cast<std::size_t>(y) * k;
+      StateId* out_row = table.data() + id * k;
       for (std::size_t letter = 0; letter < k; ++letter) {
-        out.set_transition(pair_id(x, y), letter,
-                           pair_id(a.transition(x, letter),
-                                   b.transition(y, letter)));
+        out_row[letter] = static_cast<StateId>(
+            static_cast<std::size_t>(row_a[letter]) * m + row_b[letter]);
       }
     }
   }
-  return out;
+  return Dfa::from_table(
+      a.alphabet(), std::move(table), std::move(acc),
+      static_cast<StateId>(static_cast<std::size_t>(a.initial()) * m +
+                           b.initial()));
 }
 
 Dfa complement(const Dfa& dfa) {
@@ -562,21 +750,34 @@ Dfa complement(const Dfa& dfa) {
 }
 
 bool is_empty(const Dfa& dfa) {
-  // Plain reachability with early exit; no parent bookkeeping.
+  // Reachability with a packed visited bitmap and early exit on the first
+  // accepting state.
   if (dfa.is_accepting(dfa.initial())) return false;
   const std::size_t k = dfa.alphabet().size();
-  std::vector<bool> visited(dfa.state_count(), false);
-  std::deque<StateId> work{dfa.initial()};
-  visited[dfa.initial()] = true;
-  while (!work.empty()) {
-    const StateId s = work.front();
-    work.pop_front();
+  const std::size_t n = dfa.state_count();
+  const StateId* raw = dfa.transition_table().data();
+  const std::uint64_t* acc = dfa.accepting_words();
+
+  support::ArenaScope scope(kernel_arena());
+  support::Arena& arena = scope.arena();
+  const std::size_t width = word_stride(n);
+  std::uint64_t* visited = arena.allocate_array<std::uint64_t>(width);
+  std::fill_n(visited, width, 0);
+  StateId* work = arena.allocate_array<StateId>(n);
+  std::size_t head = 0;
+  std::size_t tail = 0;
+  work[tail++] = dfa.initial();
+  visited[dfa.initial() / 64] |= std::uint64_t{1} << (dfa.initial() % 64);
+  while (head < tail) {
+    const StateId s = work[head++];
+    const StateId* row = raw + static_cast<std::size_t>(s) * k;
     for (std::size_t letter = 0; letter < k; ++letter) {
-      const StateId t = dfa.transition(s, letter);
-      if (visited[t]) continue;
-      if (dfa.is_accepting(t)) return false;
-      visited[t] = true;
-      work.push_back(t);
+      const StateId t = row[letter];
+      const std::uint64_t bit = std::uint64_t{1} << (t % 64);
+      if ((visited[t / 64] & bit) != 0) continue;
+      if ((acc[t / 64] & bit) != 0) return false;
+      visited[t / 64] |= bit;
+      work[tail++] = t;
     }
   }
   return true;
@@ -584,28 +785,40 @@ bool is_empty(const Dfa& dfa) {
 
 std::optional<Word> shortest_word(const Dfa& dfa) {
   const std::size_t k = dfa.alphabet().size();
+  const std::size_t n = dfa.state_count();
+  const StateId* raw = dfa.transition_table().data();
   struct Parent {
-    StateId state = 0;
-    std::size_t letter = 0;
-    bool has_parent = false;
+    StateId state;
+    std::uint32_t letter;
+    bool has_parent;
   };
-  std::vector<bool> visited(dfa.state_count(), false);
-  std::vector<Parent> parents(dfa.state_count());
-  std::deque<StateId> work{dfa.initial()};
-  visited[dfa.initial()] = true;
+
+  support::ArenaScope scope(kernel_arena());
+  support::Arena& arena = scope.arena();
+  const std::size_t width = word_stride(n);
+  std::uint64_t* visited = arena.allocate_array<std::uint64_t>(width);
+  std::fill_n(visited, width, 0);
+  Parent* parents = arena.allocate_array<Parent>(n);
+  std::fill_n(parents, n, Parent{0, 0, false});
+  StateId* work = arena.allocate_array<StateId>(n);
+  std::size_t head = 0;
+  std::size_t tail = 0;
+  work[tail++] = dfa.initial();
+  visited[dfa.initial() / 64] |= std::uint64_t{1} << (dfa.initial() % 64);
 
   std::optional<StateId> goal;
   if (dfa.is_accepting(dfa.initial())) goal = dfa.initial();
-  while (!goal && !work.empty()) {
-    const StateId s = work.front();
-    work.pop_front();
+  while (!goal && head < tail) {
+    const StateId s = work[head++];
+    const StateId* row = raw + static_cast<std::size_t>(s) * k;
     for (std::size_t letter = 0; letter < k && !goal; ++letter) {
-      const StateId t = dfa.transition(s, letter);
-      if (visited[t]) continue;
-      visited[t] = true;
-      parents[t] = Parent{s, letter, true};
+      const StateId t = row[letter];
+      const std::uint64_t bit = std::uint64_t{1} << (t % 64);
+      if ((visited[t / 64] & bit) != 0) continue;
+      visited[t / 64] |= bit;
+      parents[t] = Parent{s, static_cast<std::uint32_t>(letter), true};
       if (dfa.is_accepting(t)) goal = t;
-      work.push_back(t);
+      work[tail++] = t;
     }
   }
   if (!goal) return std::nullopt;
@@ -627,6 +840,8 @@ namespace {
 /// shortest_word(product(a, b, kDifference)) letter for letter, so the
 /// returned witness is identical to the eager pipeline's -- it just never
 /// materializes the n·m product table.  Both inputs must share an alphabet.
+/// The visited/parent store is a flat open-addressed table keyed by packed
+/// pair id (replacing unordered_map: no per-node allocations).
 std::optional<Word> lazy_difference_witness(const Dfa& a, const Dfa& b) {
   const std::size_t k = a.alphabet().size();
   const std::uint64_t m = b.state_count();
@@ -634,49 +849,81 @@ std::optional<Word> lazy_difference_witness(const Dfa& a, const Dfa& b) {
     return static_cast<std::uint64_t>(x) * m + y;
   };
   constexpr std::uint32_t kRoot = 0xffffffffu;
-  struct Prev {
+  constexpr std::uint32_t kFree = 0xfffffffeu;
+  struct Slot {
+    std::uint64_t key = 0;
     std::uint64_t from = 0;
-    std::uint32_t letter = kRoot;
+    std::uint32_t letter = kFree;
   };
-  // Doubles as the visited set; ~O(reachable pairs) memory.
-  std::unordered_map<std::uint64_t, Prev> parents;
-  std::deque<std::pair<StateId, StateId>> work;
+  const auto mix = [](std::uint64_t x) {
+    // splitmix64 finalizer: pair keys are sequential-ish, so spread them.
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  };
+
+  std::vector<Slot> slots(1024);
+  std::size_t count = 0;
+  const auto find_slot = [&](std::uint64_t target) -> Slot& {
+    std::size_t at = mix(target) & (slots.size() - 1);
+    while (slots[at].letter != kFree && slots[at].key != target) {
+      at = (at + 1) & (slots.size() - 1);
+    }
+    return slots[at];
+  };
+  // Inserts (key -> prev) unless present; returns whether it was fresh.
+  const auto try_insert = [&](std::uint64_t target, std::uint64_t from,
+                              std::uint32_t letter) {
+    if ((count + 1) * 10 >= slots.size() * 7) {
+      std::vector<Slot> old(slots.size() * 2);
+      old.swap(slots);
+      for (const Slot& slot : old) {
+        if (slot.letter != kFree) find_slot(slot.key) = slot;
+      }
+    }
+    Slot& slot = find_slot(target);
+    if (slot.letter != kFree) return false;
+    slot = Slot{target, from, letter};
+    ++count;
+    return true;
+  };
+
+  std::vector<std::pair<StateId, StateId>> work;
+  std::size_t head = 0;
 
   const auto is_goal = [&](StateId x, StateId y) {
     return a.is_accepting(x) && !b.is_accepting(y);
   };
   const std::uint64_t start = key(a.initial(), b.initial());
-  parents.emplace(start, Prev{});
+  try_insert(start, 0, kRoot);
   work.emplace_back(a.initial(), b.initial());
 
   std::optional<std::uint64_t> goal;
   if (is_goal(a.initial(), b.initial())) goal = start;
   std::size_t popped = 0;
-  while (!goal && !work.empty()) {
+  while (!goal && head < work.size()) {
     if ((++popped & 0xFFF) == 0) {
       support::guard::check_deadline("fsm.inclusion");
     }
-    const auto [x, y] = work.front();
-    work.pop_front();
+    const auto [x, y] = work[head++];
     const std::uint64_t from = key(x, y);
     for (std::size_t letter = 0; letter < k && !goal; ++letter) {
       const StateId tx = a.transition(x, letter);
       const StateId ty = b.transition(y, letter);
       const std::uint64_t to = key(tx, ty);
-      const auto [it, inserted] = parents.emplace(
-          to, Prev{from, static_cast<std::uint32_t>(letter)});
-      if (!inserted) continue;
+      if (!try_insert(to, from, static_cast<std::uint32_t>(letter))) continue;
       if (is_goal(tx, ty)) goal = to;
       work.emplace_back(tx, ty);
     }
   }
-  support::metrics::record_product_pairs(parents.size());
+  support::metrics::record_product_pairs(count);
   if (!goal) return std::nullopt;
 
   Word word;
   std::uint64_t at = *goal;
-  for (Prev prev = parents.at(at); prev.letter != kRoot;
-       at = prev.from, prev = parents.at(at)) {
+  for (Slot prev = find_slot(at); prev.letter != kRoot;
+       at = prev.from, prev = find_slot(at)) {
     word.push_back(a.alphabet()[prev.letter]);
   }
   std::reverse(word.begin(), word.end());
@@ -794,50 +1041,77 @@ Nfa to_nfa(const Dfa& dfa) {
 std::vector<bool> live_states(const Dfa& dfa) {
   const std::size_t n = dfa.state_count();
   const std::size_t k = dfa.alphabet().size();
-  // Reverse adjacency, then BFS from the accepting states.
-  std::vector<std::vector<StateId>> predecessors(n);
-  for (StateId s = 0; s < n; ++s) {
-    for (std::size_t letter = 0; letter < k; ++letter) {
-      predecessors[dfa.transition(s, letter)].push_back(s);
-    }
+  const StateId* raw = dfa.transition_table().data();
+
+  support::ArenaScope scope(kernel_arena());
+  support::Arena& arena = scope.arena();
+  // Reverse adjacency in CSR form (counting sort by target), then BFS
+  // backwards from the accepting states.
+  std::uint32_t* off = arena.allocate_array<std::uint32_t>(n + 1);
+  std::fill_n(off, n + 1, 0);
+  for (std::size_t i = 0; i < n * k; ++i) ++off[raw[i] + 1];
+  for (std::size_t t = 0; t < n; ++t) off[t + 1] += off[t];
+  StateId* preds = arena.allocate_array<StateId>(n * k);
+  for (std::size_t i = 0; i < n * k; ++i) {
+    preds[off[raw[i]]++] = static_cast<StateId>(i / k);
   }
-  std::vector<bool> live(n, false);
-  std::deque<StateId> work;
+  for (std::size_t t = n; t > 0; --t) off[t] = off[t - 1];
+  off[0] = 0;
+
+  char* live = arena.allocate_array<char>(n);
+  std::fill_n(live, n, 0);
+  StateId* work = arena.allocate_array<StateId>(n);
+  std::size_t head = 0;
+  std::size_t tail = 0;
   for (StateId s = 0; s < n; ++s) {
     if (dfa.is_accepting(s)) {
-      live[s] = true;
-      work.push_back(s);
+      live[s] = 1;
+      work[tail++] = s;
     }
   }
-  while (!work.empty()) {
-    const StateId s = work.front();
-    work.pop_front();
-    for (StateId p : predecessors[s]) {
-      if (!live[p]) {
-        live[p] = true;
-        work.push_back(p);
+  while (head < tail) {
+    const StateId s = work[head++];
+    for (std::uint32_t i = off[s]; i < off[s + 1]; ++i) {
+      const StateId p = preds[i];
+      if (live[p] == 0) {
+        live[p] = 1;
+        work[tail++] = p;
       }
     }
   }
-  return live;
+  return std::vector<bool>(live, live + n);
 }
 
 std::size_t reachable_count(const Dfa& dfa) {
-  std::vector<bool> seen(dfa.state_count(), false);
-  std::deque<StateId> work{dfa.initial()};
-  seen[dfa.initial()] = true;
-  std::size_t count = 1;
-  while (!work.empty()) {
-    const StateId s = work.front();
-    work.pop_front();
-    for (std::size_t letter = 0; letter < dfa.alphabet().size(); ++letter) {
-      const StateId t = dfa.transition(s, letter);
-      if (!seen[t]) {
-        seen[t] = true;
-        ++count;
-        work.push_back(t);
+  const std::size_t k = dfa.alphabet().size();
+  const std::size_t n = dfa.state_count();
+  const StateId* raw = dfa.transition_table().data();
+
+  support::ArenaScope scope(kernel_arena());
+  support::Arena& arena = scope.arena();
+  const std::size_t width = word_stride(n);
+  std::uint64_t* visited = arena.allocate_array<std::uint64_t>(width);
+  std::fill_n(visited, width, 0);
+  StateId* work = arena.allocate_array<StateId>(n);
+  std::size_t head = 0;
+  std::size_t tail = 0;
+  work[tail++] = dfa.initial();
+  visited[dfa.initial() / 64] |= std::uint64_t{1} << (dfa.initial() % 64);
+  while (head < tail) {
+    const StateId s = work[head++];
+    const StateId* row = raw + static_cast<std::size_t>(s) * k;
+    for (std::size_t letter = 0; letter < k; ++letter) {
+      const StateId t = row[letter];
+      const std::uint64_t bit = std::uint64_t{1} << (t % 64);
+      if ((visited[t / 64] & bit) == 0) {
+        visited[t / 64] |= bit;
+        work[tail++] = t;
       }
     }
+  }
+  std::size_t count = 0;
+  for (std::size_t w = 0; w < width; ++w) {
+    count += static_cast<std::size_t>(std::popcount(visited[w]));
   }
   return count;
 }

@@ -1,6 +1,8 @@
 #include "fsm/serialize.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <cstring>
 #include <numeric>
 #include <unordered_set>
 #include <vector>
@@ -63,33 +65,69 @@ Dfa read_dfa(support::BinaryReader& reader, SymbolTable& table) {
   if (initial >= states) {
     throw support::BinaryFormatError("DFA initial state out of range");
   }
+  // Accepting flags arrive as one contiguous byte run: a single bounded
+  // raw() copy, validated eight flags per word (any bit above bit 0 set in
+  // any byte is malformed).
+  const std::string_view flag_bytes = reader.raw(states);
+  {
+    std::size_t i = 0;
+    for (; i + 8 <= states; i += 8) {
+      std::uint64_t chunk = 0;
+      std::memcpy(&chunk, flag_bytes.data() + i, 8);
+      if ((chunk & ~0x0101010101010101ull) != 0) {
+        throw support::BinaryFormatError("DFA accepting flag malformed");
+      }
+    }
+    for (; i < states; ++i) {
+      if (static_cast<std::uint8_t>(flag_bytes[i]) > 1) {
+        throw support::BinaryFormatError("DFA accepting flag malformed");
+      }
+    }
+  }
   std::vector<bool> accepting(states);
   for (std::uint64_t s = 0; s < states; ++s) {
-    const std::uint8_t flag = reader.u8();
-    if (flag > 1) {
-      throw support::BinaryFormatError("DFA accepting flag malformed");
+    accepting[s] = flag_bytes[s] != 0;
+  }
+
+  // The transition cells are likewise one contiguous little-endian u32 run:
+  // a single bounded raw() fetch, then (on little-endian hosts) one memcpy
+  // into the flat table followed by a range-check sweep.
+  const std::size_t cells = states * stored_alphabet.size();
+  const std::string_view cell_bytes = reader.raw(cells * 4);
+  std::vector<StateId> table_cells(cells);
+  if constexpr (std::endian::native == std::endian::little) {
+    static_assert(sizeof(StateId) == 4);
+    std::memcpy(table_cells.data(), cell_bytes.data(), cells * 4);
+  } else {
+    for (std::size_t i = 0; i < cells; ++i) {
+      const auto* at =
+          reinterpret_cast<const std::uint8_t*>(cell_bytes.data()) + i * 4;
+      table_cells[i] = static_cast<std::uint32_t>(at[0]) |
+                       static_cast<std::uint32_t>(at[1]) << 8 |
+                       static_cast<std::uint32_t>(at[2]) << 16 |
+                       static_cast<std::uint32_t>(at[3]) << 24;
     }
-    accepting[s] = flag != 0;
+  }
+  for (const StateId target : table_cells) {
+    if (target >= states) {
+      throw support::BinaryFormatError("DFA transition out of range");
+    }
   }
 
   // The destination table may hand the names ids in any relative order, but
-  // Dfa requires its alphabet sorted by id: read columns in stored order,
-  // then permute them into sorted position.
+  // Dfa requires its alphabet sorted by id: when the stored order is already
+  // sorted (the common case -- the writer emits sorted columns), the decoded
+  // table is used as-is; otherwise the columns are permuted into position.
   std::vector<std::size_t> order(stored_alphabet.size());
   std::iota(order.begin(), order.end(), std::size_t{0});
   std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
     return stored_alphabet[a] < stored_alphabet[b];
   });
-
-  std::vector<StateId> table_cells(states * stored_alphabet.size());
-  for (std::uint64_t s = 0; s < states; ++s) {
-    for (std::size_t stored = 0; stored < stored_alphabet.size(); ++stored) {
-      const std::uint32_t target = reader.u32();
-      if (target >= states) {
-        throw support::BinaryFormatError("DFA transition out of range");
-      }
-      table_cells[s * stored_alphabet.size() + stored] = target;
-    }
+  const bool identity =
+      std::is_sorted(order.begin(), order.end());
+  if (identity) {
+    return Dfa::from_table(std::move(stored_alphabet), std::move(table_cells),
+                           std::move(accepting), initial);
   }
 
   std::vector<Symbol> alphabet(stored_alphabet.size());

@@ -53,6 +53,23 @@ class StateSet {
     return changed;
   }
 
+  /// In-place union with a raw word row of the same width (a row of the
+  /// NFA's flat closure table); returns true when any bit was added.
+  bool unite_row(const std::uint64_t* row) {
+    bool changed = false;
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      const std::uint64_t merged = words_[i] | row[i];
+      changed = changed || merged != words_[i];
+      words_[i] = merged;
+    }
+    return changed;
+  }
+
+  /// Raw packed words (little-end-first, state s lives in bit s%64 of word
+  /// s/64).  The word-parallel kernel sweeps operate on these directly.
+  [[nodiscard]] const std::uint64_t* words() const { return words_.data(); }
+  [[nodiscard]] std::size_t word_count() const { return words_.size(); }
+
   /// Removes every member; capacity is unchanged.
   void clear() { std::fill(words_.begin(), words_.end(), 0); }
 

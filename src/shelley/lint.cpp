@@ -75,8 +75,7 @@ std::size_t lint_completability(const ClassSpec& spec, SymbolTable& table,
   // is dead (cannot reach acceptance).  The empty subset -- reached by
   // undeclared call sequences -- is legitimately dead and must not fire.
   const fsm::Nfa usage = usage_nfa(spec, table);
-  const std::set<Symbol> sigma_set = usage.alphabet();
-  const std::vector<Symbol> sigma(sigma_set.begin(), sigma_set.end());
+  const std::vector<Symbol>& sigma = usage.alphabet();
   const fsm::Dfa dfa = fsm::determinize(usage, sigma);
   const std::vector<bool> live = fsm::live_states(dfa);
 

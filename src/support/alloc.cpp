@@ -1,0 +1,111 @@
+#include "support/alloc.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace shelley::support::alloc {
+namespace {
+
+std::atomic<std::uint64_t> g_allocations{0};
+
+void* checked_malloc(std::size_t size) {
+  if (size == 0) size = 1;  // malloc(0) may return nullptr legitimately
+  for (;;) {
+    if (void* p = std::malloc(size)) {
+      g_allocations.fetch_add(1, std::memory_order_relaxed);
+      return p;
+    }
+    std::new_handler handler = std::get_new_handler();
+    if (handler == nullptr) return nullptr;
+    handler();
+  }
+}
+
+void* checked_aligned(std::size_t size, std::size_t align) {
+  // aligned_alloc requires size to be a multiple of the alignment.
+  const std::size_t rounded = (size + align - 1) / align * align;
+  for (;;) {
+    if (void* p = std::aligned_alloc(align, rounded == 0 ? align : rounded)) {
+      g_allocations.fetch_add(1, std::memory_order_relaxed);
+      return p;
+    }
+    std::new_handler handler = std::get_new_handler();
+    if (handler == nullptr) return nullptr;
+    handler();
+  }
+}
+
+}  // namespace
+
+std::uint64_t allocation_count() {
+  return g_allocations.load(std::memory_order_relaxed);
+}
+
+}  // namespace shelley::support::alloc
+
+// Global replacements.  Defined here (once, in the support library every
+// binary links) so the whole process counts through one atomic.
+
+void* operator new(std::size_t size) {
+  if (void* p = shelley::support::alloc::checked_malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  if (void* p = shelley::support::alloc::checked_malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return shelley::support::alloc::checked_malloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return shelley::support::alloc::checked_malloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  if (void* p = shelley::support::alloc::checked_aligned(
+          size, static_cast<std::size_t>(align))) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  if (void* p = shelley::support::alloc::checked_aligned(
+          size, static_cast<std::size_t>(align))) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return shelley::support::alloc::checked_aligned(
+      size, static_cast<std::size_t>(align));
+}
+
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return shelley::support::alloc::checked_aligned(
+      size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t, std::size_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t, std::size_t) noexcept {
+  std::free(p);
+}

@@ -1,0 +1,27 @@
+// Process-wide heap-allocation counter.
+//
+// The kernel's performance claims are stated in allocations, not just
+// nanoseconds: determinize/minimize on a ring-N class must do O(1) heap
+// allocations per call once the arena and scratch pools are warm.  To make
+// that measurable (and regression-testable) the library overrides the global
+// operator new/delete pair with forwarding versions that bump one relaxed
+// atomic.  Cost: a single uncontended fetch_add per allocation, which is
+// noise next to the allocation itself; behavior (alignment, bad_alloc,
+// nothrow) is unchanged, and the sanitizers still interpose the underlying
+// malloc/free.
+//
+// allocation_count() is monotonic and process-wide.  Callers measure deltas:
+//
+//   const auto before = support::alloc::allocation_count();
+//   work();
+//   const auto spent = support::alloc::allocation_count() - before;
+#pragma once
+
+#include <cstdint>
+
+namespace shelley::support::alloc {
+
+/// Number of successful global operator new calls since process start.
+[[nodiscard]] std::uint64_t allocation_count();
+
+}  // namespace shelley::support::alloc

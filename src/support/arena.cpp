@@ -1,0 +1,71 @@
+#include "support/arena.hpp"
+
+#include <algorithm>
+
+namespace shelley::support {
+
+void* Arena::allocate(std::size_t bytes, std::size_t align) {
+  if (current_ < chunks_.size()) {
+    Chunk& chunk = chunks_[current_];
+    const std::size_t base =
+        reinterpret_cast<std::uintptr_t>(chunk.data.get() + offset_);
+    const std::size_t padding = (align - base % align) % align;
+    if (offset_ + padding + bytes <= chunk.size) {
+      void* out = chunk.data.get() + offset_ + padding;
+      offset_ += padding + bytes;
+      return out;
+    }
+  }
+  return allocate_slow(bytes, align);
+}
+
+void* Arena::allocate_slow(std::size_t bytes, std::size_t align) {
+  // Advance through retained chunks first; allocate a fresh chunk only when
+  // none of them fits.  Chunk sizes grow geometrically so a request stream
+  // of total size S touches O(log S) chunks.
+  while (current_ + 1 < chunks_.size()) {
+    ++current_;
+    offset_ = 0;
+    Chunk& chunk = chunks_[current_];
+    const std::size_t base =
+        reinterpret_cast<std::uintptr_t>(chunk.data.get());
+    const std::size_t padding = (align - base % align) % align;
+    if (padding + bytes <= chunk.size) {
+      void* out = chunk.data.get() + padding;
+      offset_ = padding + bytes;
+      return out;
+    }
+  }
+
+  std::size_t size = min_chunk_bytes_;
+  if (!chunks_.empty()) size = chunks_.back().size * 2;
+  size = std::max(size, bytes + align);
+  Chunk chunk;
+  chunk.data = std::make_unique<std::byte[]>(size);
+  chunk.size = size;
+  ++chunk_allocs_;
+  chunks_.push_back(std::move(chunk));
+  current_ = chunks_.size() - 1;
+
+  const std::size_t base =
+      reinterpret_cast<std::uintptr_t>(chunks_[current_].data.get());
+  const std::size_t padding = (align - base % align) % align;
+  offset_ = padding + bytes;
+  return chunks_[current_].data.get() + padding;
+}
+
+void Arena::release() {
+  chunks_.clear();
+  current_ = 0;
+  offset_ = 0;
+}
+
+Arena::Stats Arena::stats() const {
+  Stats out;
+  out.chunks = chunks_.size();
+  out.chunk_allocs = chunk_allocs_;
+  for (const Chunk& chunk : chunks_) out.reserved_bytes += chunk.size;
+  return out;
+}
+
+}  // namespace shelley::support

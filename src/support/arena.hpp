@@ -1,0 +1,108 @@
+// A chunked bump allocator for the automata kernel's scratch memory.
+//
+// Subset construction and Hopcroft minimization allocate thousands of small,
+// identically-scoped objects per call (subset bitsets, CSR rows, partition
+// arrays).  Allocating each from the heap costs a malloc/free pair and
+// scatters them across the address space; the arena hands out pointers by
+// bumping an offset into large chunks, and a whole call's worth of memory is
+// released by rewinding one integer -- O(1) frees per call, and the chunks
+// themselves are retained for the next call (steady-state: zero heap
+// allocations per determinize/minimize once the pools are warm).
+//
+// Not thread-safe; the kernel keeps one arena per thread (see
+// fsm/ops.cpp).  Nested uses compose through mark()/rewind() -- take a
+// marker on entry, rewind on exit (ArenaScope does this with RAII, and is
+// unwind-safe when a resource guard throws mid-algorithm).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace shelley::support {
+
+class Arena {
+ public:
+  /// Chunks grow geometrically starting at `min_chunk_bytes`.
+  explicit Arena(std::size_t min_chunk_bytes = 1 << 16)
+      : min_chunk_bytes_(min_chunk_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Bump-allocates `bytes` aligned to `align` (a power of two).  The
+  /// memory is uninitialized and valid until the next rewind past it.
+  void* allocate(std::size_t bytes, std::size_t align);
+
+  /// Typed array of `count` Ts (uninitialized; T must be trivially
+  /// destructible -- the arena never runs destructors).
+  template <typename T>
+  [[nodiscard]] T* allocate_array(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena memory is rewound, never destroyed");
+    return static_cast<T*>(allocate(count * sizeof(T), alignof(T)));
+  }
+
+  /// A rewind point: the arena's position across every chunk.
+  struct Marker {
+    std::size_t chunk = 0;
+    std::size_t offset = 0;
+  };
+
+  [[nodiscard]] Marker mark() const { return Marker{current_, offset_}; }
+
+  /// Rewinds to `marker`; everything allocated after it is free for reuse.
+  /// Chunks are kept (capacity is retained).
+  void rewind(Marker marker) {
+    current_ = marker.chunk;
+    offset_ = marker.offset;
+  }
+
+  /// Rewinds to empty, keeping the chunks.
+  void reset() { rewind(Marker{}); }
+
+  /// Frees every chunk (capacity drops to zero).
+  void release();
+
+  struct Stats {
+    std::size_t chunks = 0;          ///< chunks currently owned
+    std::size_t reserved_bytes = 0;  ///< total chunk capacity
+    std::size_t chunk_allocs = 0;    ///< chunks ever heap-allocated
+  };
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  void* allocate_slow(std::size_t bytes, std::size_t align);
+
+  std::vector<Chunk> chunks_;
+  std::size_t current_ = 0;  ///< index of the chunk being bumped
+  std::size_t offset_ = 0;   ///< bump position inside chunks_[current_]
+  std::size_t min_chunk_bytes_;
+  std::size_t chunk_allocs_ = 0;
+};
+
+/// RAII mark/rewind over a scope: the canonical way the kernel borrows the
+/// per-thread arena for the duration of one algorithm.
+class ArenaScope {
+ public:
+  explicit ArenaScope(Arena& arena) : arena_(arena), marker_(arena.mark()) {}
+  ~ArenaScope() { arena_.rewind(marker_); }
+
+  ArenaScope(const ArenaScope&) = delete;
+  ArenaScope& operator=(const ArenaScope&) = delete;
+
+  [[nodiscard]] Arena& arena() { return arena_; }
+
+ private:
+  Arena& arena_;
+  Arena::Marker marker_;
+};
+
+}  // namespace shelley::support

@@ -146,6 +146,8 @@ void AutomataStats::merge(const AutomataStats& other) {
   determinize_calls += other.determinize_calls;
   minimize_calls += other.minimize_calls;
   product_pairs += other.product_pairs;
+  determinize_allocs += other.determinize_allocs;
+  minimize_allocs += other.minimize_allocs;
   ltlf_states = std::max(ltlf_states, other.ltlf_states);
   counterexample_len = std::max(counterexample_len, other.counterexample_len);
   regex_nodes = std::max(regex_nodes, other.regex_nodes);
@@ -196,6 +198,18 @@ void record_minimize(std::uint64_t before, std::uint64_t after) {
     counter("fsm.minimize.calls").add();
     distribution("fsm.minimize.states").record(after);
   }
+}
+
+void record_determinize_allocs(std::uint64_t allocs) {
+  if (idle()) return;
+  if (t_sink != nullptr) t_sink->determinize_allocs += allocs;
+  if (enabled()) counter("fsm.determinize.heap_allocs").add(allocs);
+}
+
+void record_minimize_allocs(std::uint64_t allocs) {
+  if (idle()) return;
+  if (t_sink != nullptr) t_sink->minimize_allocs += allocs;
+  if (enabled()) counter("fsm.minimize.heap_allocs").add(allocs);
 }
 
 void record_product_pairs(std::uint64_t pairs) {

@@ -89,6 +89,8 @@ struct AutomataStats {
   std::uint64_t determinize_calls = 0;   // (sum)
   std::uint64_t minimize_calls = 0;      // (sum)
   std::uint64_t product_pairs = 0;       // pair states explored (sum)
+  std::uint64_t determinize_allocs = 0;  // heap allocations inside (sum)
+  std::uint64_t minimize_allocs = 0;     // heap allocations inside (sum)
   std::uint64_t ltlf_states = 0;         // largest LTLf progression DFA (max)
   std::uint64_t counterexample_len = 0;  // longest witness found (max)
   std::uint64_t regex_nodes = 0;         // largest simplified regex (max)
@@ -122,6 +124,8 @@ void record_nfa_states(std::uint64_t states);
 void record_determinize(std::uint64_t nfa_states, std::uint64_t dfa_states);
 void record_minimize(std::uint64_t before, std::uint64_t after);
 void record_product_pairs(std::uint64_t pairs);
+void record_determinize_allocs(std::uint64_t allocs);
+void record_minimize_allocs(std::uint64_t allocs);
 void record_ltlf_states(std::uint64_t states);
 void record_counterexample(std::uint64_t length);
 void record_regex_simplify(std::uint64_t before, std::uint64_t after);

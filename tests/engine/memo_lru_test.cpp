@@ -1,0 +1,152 @@
+// The memo tier's LRU bound: byte accounting, least-recently-used eviction
+// order, recency refresh on load, and the separation between evictions
+// (capacity pressure, silent) and invalidations (correctness).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "engine/memo.hpp"
+#include "support/hash.hpp"
+
+namespace shelley::engine {
+namespace {
+
+support::Digest128 key_of(const std::string& name) {
+  return support::hash_bytes(name);
+}
+
+TEST(MemoLruTest, DefaultCapacityNeverEvictsSmallWorkloads) {
+  MemoTier memo;
+  EXPECT_EQ(memo.capacity_bytes(), MemoTier::kDefaultCapacityBytes);
+  for (int i = 0; i < 100; ++i) {
+    memo.store_artifact(key_of("artifact" + std::to_string(i)),
+                        std::string(1024, 'x'));
+  }
+  const MemoStats stats = memo.stats();
+  EXPECT_EQ(stats.stores, 100u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_GT(stats.bytes, 100u * 1024u);
+}
+
+TEST(MemoLruTest, BytesTrackStoresAndInvalidations) {
+  MemoTier memo;
+  memo.store_artifact(key_of("a"), std::string(500, 'a'));
+  const std::uint64_t after_one = memo.stats().bytes;
+  EXPECT_GE(after_one, 500u);
+
+  memo.store_artifact(key_of("b"), std::string(500, 'b'));
+  EXPECT_EQ(memo.stats().bytes, 2 * after_one);
+
+  // Re-storing under the same key replaces, never double-counts.
+  memo.store_artifact(key_of("a"), std::string(500, 'A'));
+  EXPECT_EQ(memo.stats().bytes, 2 * after_one);
+
+  EXPECT_EQ(memo.invalidate(key_of("a")), 1u);
+  EXPECT_EQ(memo.stats().bytes, after_one);
+  EXPECT_EQ(memo.stats().invalidations, 1u);
+  EXPECT_EQ(memo.stats().evictions, 0u);
+
+  memo.clear();
+  EXPECT_EQ(memo.stats().bytes, 0u);
+}
+
+TEST(MemoLruTest, EvictsLeastRecentlyUsedFirst) {
+  MemoTier memo;
+  memo.set_capacity_bytes(3 * (1024 + 200));  // room for ~3 entries
+  memo.store_artifact(key_of("first"), std::string(1024, '1'));
+  memo.store_artifact(key_of("second"), std::string(1024, '2'));
+  memo.store_artifact(key_of("third"), std::string(1024, '3'));
+  EXPECT_EQ(memo.stats().evictions, 0u);
+
+  // Touch "first" so "second" becomes the coldest entry.
+  EXPECT_TRUE(memo.load_artifact(key_of("first")).has_value());
+
+  memo.store_artifact(key_of("fourth"), std::string(1024, '4'));
+  EXPECT_EQ(memo.stats().evictions, 1u);
+  EXPECT_FALSE(memo.load_artifact(key_of("second")).has_value());
+  EXPECT_TRUE(memo.load_artifact(key_of("first")).has_value());
+  EXPECT_TRUE(memo.load_artifact(key_of("third")).has_value());
+  EXPECT_TRUE(memo.load_artifact(key_of("fourth")).has_value());
+}
+
+TEST(MemoLruTest, ShrinkingCapacityEvictsImmediately) {
+  MemoTier memo;
+  for (int i = 0; i < 10; ++i) {
+    memo.store_artifact(key_of("entry" + std::to_string(i)),
+                        std::string(1024, 'e'));
+  }
+  EXPECT_EQ(memo.stats().evictions, 0u);
+  memo.set_capacity_bytes(2048);
+  const MemoStats stats = memo.stats();
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_LE(stats.bytes, 2048u);
+  // The most recently stored entry is the survivor.
+  EXPECT_TRUE(memo.load_artifact(key_of("entry9")).has_value());
+}
+
+TEST(MemoLruTest, EvictionSpansAllThreeKinds) {
+  MemoTier memo;
+  core::CachedVerdict verdict;
+  verdict.class_name = "Valve";
+  memo.store_verdict(key_of("verdict"), verdict);
+  memo.store_dfa_bytes(key_of("dfa"), std::string(64, 'd'));
+  memo.store_artifact(key_of("artifact"), std::string(64, 'a'));
+
+  memo.set_capacity_bytes(0);
+  const MemoStats stats = memo.stats();
+  EXPECT_EQ(stats.evictions, 3u);
+  EXPECT_EQ(stats.bytes, 0u);
+  EXPECT_FALSE(memo.load_verdict(key_of("verdict"), "Valve").has_value());
+  EXPECT_FALSE(memo.load_dfa_bytes(key_of("dfa")).has_value());
+  EXPECT_FALSE(memo.load_artifact(key_of("artifact")).has_value());
+}
+
+TEST(MemoLruTest, LoadRefreshesVerdictRecency) {
+  MemoTier memo;
+  core::CachedVerdict cold;
+  cold.class_name = "Cold";
+  core::CachedVerdict warm;
+  warm.class_name = "Warm";
+  memo.store_verdict(key_of("cold"), cold);
+  memo.store_verdict(key_of("warm"), warm);
+  // Keep "cold" actually cold; make room for exactly one more entry.
+  EXPECT_TRUE(memo.load_verdict(key_of("warm"), "Warm").has_value());
+  memo.set_capacity_bytes(memo.stats().bytes);
+
+  core::CachedVerdict next;
+  next.class_name = "Next";
+  memo.store_verdict(key_of("next"), next);
+  EXPECT_FALSE(memo.load_verdict(key_of("cold"), "Cold").has_value());
+  EXPECT_TRUE(memo.load_verdict(key_of("warm"), "Warm").has_value());
+}
+
+TEST(MemoLruTest, VerdictClassCollisionStillMisses) {
+  // The LRU must not weaken the foreign-verdict rule: a class-name mismatch
+  // is a miss, and the mismatching probe must not be treated as a use.
+  MemoTier memo;
+  core::CachedVerdict verdict;
+  verdict.class_name = "Valve";
+  memo.store_verdict(key_of("k"), verdict);
+  EXPECT_FALSE(memo.load_verdict(key_of("k"), "Pump").has_value());
+  EXPECT_TRUE(memo.load_verdict(key_of("k"), "Valve").has_value());
+  const MemoStats stats = memo.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+}
+
+TEST(MemoLruTest, HitMissStoreCountersKeepTheirMeaning) {
+  MemoTier memo;
+  memo.set_capacity_bytes(1024 + 512);
+  memo.store_artifact(key_of("x"), std::string(1024, 'x'));
+  memo.store_artifact(key_of("y"), std::string(1024, 'y'));  // evicts x
+  const MemoStats stats = memo.stats();
+  EXPECT_EQ(stats.stores, 2u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.invalidations, 0u);
+  // Loading the evicted key is an ordinary miss.
+  EXPECT_FALSE(memo.load_artifact(key_of("x")).has_value());
+  EXPECT_EQ(memo.stats().misses, 1u);
+}
+
+}  // namespace
+}  // namespace shelley::engine

@@ -1,0 +1,99 @@
+// The allocation regression gate for the flat kernel: once the per-thread
+// arena and scratch pools are warm, determinize + minimize over the ring-50
+// automaton must stay under a fixed heap-allocation ceiling.  The counts
+// come from the PR-2 metrics sink (AutomataStats.determinize_allocs /
+// minimize_allocs), which ops.cpp fills from the process-wide allocation
+// counter -- the same numbers `shelleyc --stats` reports.
+//
+// The seed kernel spent ~7,300 heap allocations on this workload; the flat
+// kernel spends ~10.  The ceiling of 64 leaves room for allocator noise
+// (e.g. a std::vector deciding to regrow) without ever letting quadratic
+// per-state allocation patterns back in.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "fsm/dfa.hpp"
+#include "fsm/nfa.hpp"
+#include "fsm/ops.hpp"
+#include "support/metrics.hpp"
+
+namespace shelley::fsm {
+namespace {
+
+constexpr std::size_t kRingStates = 50;
+constexpr std::uint64_t kWarmAllocCeiling = 64;
+
+/// A ring of N states over {a, b}: `a` advances, `b` resets to 0, sparse
+/// ε shortcuts keep the closure sweeps honest.  Subsets stay short
+/// contiguous windows, so the construction is O(N) states -- the workload
+/// measures allocation discipline, not subset blowup.
+Nfa ring_nfa(SymbolTable& table, std::size_t states) {
+  const Symbol a = table.intern("a");
+  const Symbol b = table.intern("b");
+  Nfa nfa;
+  nfa.add_states(states);
+  nfa.mark_initial(0);
+  for (StateId s = 0; s < states; ++s) {
+    const StateId next = (s + 1) % static_cast<StateId>(states);
+    nfa.add_transition(s, a, next);
+    nfa.add_transition(s, b, 0);
+    if (s % 10 == 0) nfa.add_epsilon(s, next);
+  }
+  nfa.mark_accepting(0);
+  return nfa;
+}
+
+TEST(AllocRegressionTest, Ring50StaysUnderWarmCeiling) {
+  SymbolTable table;
+
+  // Warm-up: first calls may grow the arena chunks and thread-local
+  // scratch; those one-time costs are not the regression surface.
+  {
+    const Nfa nfa = ring_nfa(table, kRingStates);
+    const Dfa dfa = determinize(nfa);
+    (void)minimize_hopcroft(dfa);
+  }
+
+  support::metrics::AutomataStats stats;
+  {
+    const support::metrics::ScopedSink sink(&stats);
+    const Nfa nfa = ring_nfa(table, kRingStates);
+    const Dfa dfa = determinize(nfa);
+    const Dfa minimal = minimize_hopcroft(dfa);
+    ASSERT_GE(minimal.state_count(), 1u);
+  }
+
+  ASSERT_TRUE(stats.collected);
+  EXPECT_EQ(stats.determinize_calls, 1u);
+  EXPECT_EQ(stats.minimize_calls, 1u);
+  EXPECT_LE(stats.determinize_allocs + stats.minimize_allocs,
+            kWarmAllocCeiling)
+      << "warm determinize+minimize regressed to "
+      << stats.determinize_allocs << " + " << stats.minimize_allocs
+      << " heap allocations on ring-" << kRingStates;
+}
+
+TEST(AllocRegressionTest, WarmAllocsDoNotScaleWithStateCount) {
+  SymbolTable table;
+  const auto measure = [&table](std::size_t states) {
+    {
+      const Nfa warm = ring_nfa(table, states);
+      (void)minimize_hopcroft(determinize(warm));
+    }
+    support::metrics::AutomataStats stats;
+    const support::metrics::ScopedSink sink(&stats);
+    const Nfa nfa = ring_nfa(table, states);
+    (void)minimize_hopcroft(determinize(nfa));
+    return stats.determinize_allocs + stats.minimize_allocs;
+  };
+
+  const std::uint64_t at_50 = measure(50);
+  const std::uint64_t at_200 = measure(200);
+  // 4x the states must not mean 4x the allocations: the whole point of the
+  // arena is that warm allocation count is flat in the input size.
+  EXPECT_LE(at_200, at_50 + kWarmAllocCeiling);
+}
+
+}  // namespace
+}  // namespace shelley::fsm

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "testing.hpp"
 
 namespace shelley::fsm {
@@ -98,9 +100,11 @@ TEST_F(NfaTest, AlphabetExcludesEpsilon) {
   nfa.add_states(2);
   nfa.add_transition(0, a_, 1);
   nfa.add_epsilon(0, 1);
-  const auto sigma = nfa.alphabet();
+  const auto& sigma = nfa.alphabet();
   EXPECT_EQ(sigma.size(), 1u);
-  EXPECT_TRUE(sigma.contains(a_));
+  EXPECT_TRUE(std::binary_search(sigma.begin(), sigma.end(), a_));
+  // The alphabet is cached: repeated calls return the same storage.
+  EXPECT_EQ(sigma.data(), nfa.alphabet().data());
 }
 
 TEST_F(NfaTest, ImportStatesOffsetsEverything) {

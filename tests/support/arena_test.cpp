@@ -1,0 +1,114 @@
+// The chunked bump arena behind the flat automata kernel: alignment,
+// mark/rewind reuse, geometric chunk growth, and the steady-state
+// guarantee that warm scopes perform zero heap allocations.
+#include "support/arena.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+
+#include "support/alloc.hpp"
+
+namespace shelley::support {
+namespace {
+
+TEST(ArenaTest, AllocationsAreAligned) {
+  Arena arena;
+  for (std::size_t align : {1u, 2u, 4u, 8u, 16u, 64u}) {
+    void* p = arena.allocate(3, align);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % align, 0u)
+        << "misaligned for align=" << align;
+  }
+}
+
+TEST(ArenaTest, DistinctAllocationsDoNotOverlap) {
+  Arena arena;
+  auto* a = arena.allocate_array<std::uint64_t>(8);
+  auto* b = arena.allocate_array<std::uint64_t>(8);
+  std::memset(a, 0xAA, 8 * sizeof(std::uint64_t));
+  std::memset(b, 0x55, 8 * sizeof(std::uint64_t));
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(a[i], 0xAAAAAAAAAAAAAAAAull);
+    EXPECT_EQ(b[i], 0x5555555555555555ull);
+  }
+}
+
+TEST(ArenaTest, RewindReusesMemory) {
+  Arena arena;
+  const Arena::Marker marker = arena.mark();
+  void* first = arena.allocate(64, 8);
+  arena.rewind(marker);
+  void* second = arena.allocate(64, 8);
+  EXPECT_EQ(first, second);
+}
+
+TEST(ArenaTest, ArenaScopeRewindsOnDestruction) {
+  Arena arena;
+  (void)arena.allocate(16, 8);
+  void* probe = nullptr;
+  {
+    ArenaScope scope(arena);
+    probe = scope.arena().allocate(1024, 8);
+    ASSERT_NE(probe, nullptr);
+  }
+  void* after = arena.allocate(1024, 8);
+  EXPECT_EQ(after, probe);
+}
+
+TEST(ArenaTest, OversizedRequestGetsOwnChunk) {
+  Arena arena(1 << 8);  // tiny chunks
+  auto* big = arena.allocate_array<std::byte>(1 << 20);
+  ASSERT_NE(big, nullptr);
+  std::memset(big, 0x42, 1 << 20);  // must be fully addressable
+  EXPECT_GE(arena.stats().reserved_bytes, std::size_t{1} << 20);
+}
+
+TEST(ArenaTest, WarmScopesDoNotTouchTheHeap) {
+  Arena arena;
+  {
+    ArenaScope warmup(arena);
+    (void)warmup.arena().allocate(1 << 12, 8);
+    (void)warmup.arena().allocate(1 << 12, 64);
+  }
+  const std::size_t chunk_allocs = arena.stats().chunk_allocs;
+  const std::uint64_t heap_before = alloc::allocation_count();
+  for (int round = 0; round < 100; ++round) {
+    ArenaScope scope(arena);
+    (void)scope.arena().allocate(1 << 12, 8);
+    (void)scope.arena().allocate(1 << 12, 64);
+  }
+  EXPECT_EQ(alloc::allocation_count(), heap_before);
+  EXPECT_EQ(arena.stats().chunk_allocs, chunk_allocs);
+}
+
+TEST(ArenaTest, ReleaseDropsCapacityButStaysUsable) {
+  Arena arena;
+  (void)arena.allocate(1 << 12, 8);
+  EXPECT_GT(arena.stats().reserved_bytes, 0u);
+  arena.release();
+  EXPECT_EQ(arena.stats().reserved_bytes, 0u);
+  EXPECT_EQ(arena.stats().chunks, 0u);
+  auto* p = arena.allocate_array<int>(4);
+  ASSERT_NE(p, nullptr);
+  p[0] = 7;
+  EXPECT_EQ(p[0], 7);
+}
+
+TEST(ArenaTest, NestedScopesComposeLifoStyle) {
+  Arena arena;
+  ArenaScope outer(arena);
+  auto* outer_word = outer.arena().allocate_array<std::uint64_t>(1);
+  *outer_word = 0xDEADBEEF;
+  {
+    ArenaScope inner(arena);
+    auto* inner_word = inner.arena().allocate_array<std::uint64_t>(1);
+    *inner_word = 0;
+  }
+  // The inner rewind must not clobber the outer allocation.
+  EXPECT_EQ(*outer_word, 0xDEADBEEFull);
+}
+
+}  // namespace
+}  // namespace shelley::support
