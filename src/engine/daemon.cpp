@@ -1,5 +1,6 @@
 #include "engine/daemon.hpp"
 
+#include <chrono>
 #include <exception>
 #include <istream>
 #include <optional>
@@ -14,17 +15,29 @@
 #include "shelley/fingerprint.hpp"
 #include "support/guard.hpp"
 #include "support/json.hpp"
+#include "support/log.hpp"
+#include "support/metrics.hpp"
+#include "support/trace.hpp"
 
 namespace shelley::engine {
 
 namespace {
 
+namespace log = support::log;
+namespace metrics = support::metrics;
+namespace trace = support::trace;
+
 /// One daemon session: the long-lived workspace/engine pair plus the
-/// session-wide defaults every request starts from.
+/// session-wide defaults every request starts from.  Request ids are the
+/// 1-based arrival order; they tag spans, log lines, and error replies.
 struct Session {
   const CliOptions& defaults;
   Workspace& workspace;
   QueryEngine& engine;
+  std::uint64_t requests = 0;
+  std::uint64_t request_errors = 0;
+  std::chrono::steady_clock::time_point started =
+      std::chrono::steady_clock::now();
 };
 
 void write_error(JsonWriter& writer, const std::string& message) {
@@ -138,9 +151,52 @@ void handle_run(Session& session, const JsonValue& request, bool json,
   writer.end_object();
 }
 
+double hit_rate(std::uint64_t hits, std::uint64_t misses) {
+  const std::uint64_t total = hits + misses;
+  return total == 0 ? 0.0
+                    : static_cast<double>(hits) / static_cast<double>(total);
+}
+
+std::uint64_t uptime_ms(const Session& session) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - session.started)
+          .count());
+}
+
+/// Every registered histogram: summary stats, estimated quantiles, and the
+/// sparse bucket array as [upper_bound, count] pairs.
+void write_histograms(JsonWriter& writer) {
+  writer.key("histograms").begin_object();
+  for (const auto& [name, snap] : metrics::histogram_snapshot()) {
+    writer.key(name).begin_object();
+    writer.key("count").value(snap.count);
+    writer.key("sum").value(snap.sum);
+    writer.key("min").value(snap.min);
+    writer.key("max").value(snap.max);
+    writer.key("p50").value(snap.quantile(0.50));
+    writer.key("p90").value(snap.quantile(0.90));
+    writer.key("p99").value(snap.quantile(0.99));
+    writer.key("buckets").begin_array();
+    for (std::size_t i = 0; i < metrics::Histogram::kBuckets; ++i) {
+      if (snap.buckets[i] == 0) continue;
+      writer.begin_array();
+      writer.value(metrics::Histogram::bucket_upper_bound(i));
+      writer.value(snap.buckets[i]);
+      writer.end_array();
+    }
+    writer.end_array();
+    writer.end_object();
+  }
+  writer.end_object();
+}
+
 void handle_stats(Session& session, JsonWriter& writer) {
   writer.begin_object();
   writer.key("ok").value(true);
+  writer.key("uptime_ms").value(uptime_ms(session));
+  writer.key("requests").value(session.requests);
+  writer.key("request_errors").value(session.request_errors);
   const MemoStats memo = session.engine.memo().stats();
   writer.key("memo").begin_object();
   writer.key("hits").value(memo.hits);
@@ -149,6 +205,7 @@ void handle_stats(Session& session, JsonWriter& writer) {
   writer.key("invalidations").value(memo.invalidations);
   writer.key("evictions").value(memo.evictions);
   writer.key("bytes").value(memo.bytes);
+  writer.key("hit_rate").value(hit_rate(memo.hits, memo.misses));
   writer.end_object();
   const QueryStats queries = session.engine.stats();
   writer.key("queries").begin_object();
@@ -163,6 +220,7 @@ void handle_stats(Session& session, JsonWriter& writer) {
   writer.key("parse").begin_object();
   writer.key("hits").value(parses.hits);
   writer.key("misses").value(parses.misses);
+  writer.key("hit_rate").value(hit_rate(parses.hits, parses.misses));
   writer.end_object();
   if (const core::BehaviorCache* cache = session.workspace.cache()) {
     const core::CacheStats disk = cache->stats();
@@ -172,16 +230,106 @@ void handle_stats(Session& session, JsonWriter& writer) {
     writer.key("invalidations").value(disk.invalidations);
     writer.key("stores").value(disk.stores);
     writer.key("store_failures").value(disk.store_failures);
+    writer.key("hit_rate").value(hit_rate(disk.hits, disk.misses));
     writer.end_object();
   }
+  // The support/metrics registry: global pipeline counters (e.g. the PR-6
+  // allocation counters) and every latency histogram.  Both are empty
+  // unless metrics collection is enabled.
+  writer.key("counters").begin_object();
+  for (const auto& [name, value] : metrics::counter_snapshot()) {
+    writer.key(name).value(value);
+  }
+  writer.end_object();
+  write_histograms(writer);
+  writer.end_object();
+}
+
+/// Prometheus text-exposition rendering of the metrics registry plus the
+/// session gauges.  Dots and other non-identifier characters in series
+/// names become underscores; histogram buckets are cumulative with the
+/// mandatory "+Inf" terminal bucket.
+std::string render_prometheus(const Session& session) {
+  std::ostringstream out;
+  const auto sanitize = [](std::string_view name) {
+    std::string clean = "shelley_";
+    for (const char c : name) {
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9');
+      clean.push_back(ok ? c : '_');
+    }
+    return clean;
+  };
+  out << "# TYPE shelley_daemon_uptime_ms gauge\n";
+  out << "shelley_daemon_uptime_ms " << uptime_ms(session) << "\n";
+  out << "# TYPE shelley_daemon_requests_total counter\n";
+  out << "shelley_daemon_requests_total " << session.requests << "\n";
+  out << "# TYPE shelley_daemon_request_errors_total counter\n";
+  out << "shelley_daemon_request_errors_total " << session.request_errors
+      << "\n";
+  for (const auto& [name, value] : metrics::counter_snapshot()) {
+    const std::string metric = sanitize(name) + "_total";
+    out << "# TYPE " << metric << " counter\n";
+    out << metric << " " << value << "\n";
+  }
+  for (const auto& [name, snap] : metrics::histogram_snapshot()) {
+    const std::string metric = sanitize(name);
+    out << "# TYPE " << metric << " histogram\n";
+    std::uint64_t cumulative = 0;
+    std::size_t highest = 0;
+    for (std::size_t i = 0; i < metrics::Histogram::kBuckets; ++i) {
+      if (snap.buckets[i] != 0) highest = i;
+    }
+    for (std::size_t i = 0; i <= highest && snap.count != 0; ++i) {
+      cumulative += snap.buckets[i];
+      out << metric << "_bucket{le=\""
+          << metrics::Histogram::bucket_upper_bound(i) << "\"} "
+          << cumulative << "\n";
+    }
+    out << metric << "_bucket{le=\"+Inf\"} " << snap.count << "\n";
+    out << metric << "_sum " << snap.sum << "\n";
+    out << metric << "_count " << snap.count << "\n";
+  }
+  return out.str();
+}
+
+void handle_metrics(Session& session, JsonWriter& writer) {
+  writer.begin_object();
+  writer.key("ok").value(true);
+  writer.key("content_type").value("text/plain; version=0.0.4");
+  writer.key("body").value(render_prometheus(session));
+  writer.end_object();
+}
+
+/// Trace export over the wire: inline by default, or written to the path
+/// in "out" (the daemon-side equivalent of shelleyc --trace-out).
+void handle_trace(const JsonValue& request, JsonWriter& writer) {
+  if (const JsonValue* path = request.find("out")) {
+    const std::string file = path->as_string();
+    if (!trace::write_chrome_json(file)) {
+      write_error(writer, "cannot write trace to '" + file + "'");
+      return;
+    }
+    writer.begin_object();
+    writer.key("ok").value(true);
+    writer.key("path").value(file);
+    writer.end_object();
+    return;
+  }
+  writer.begin_object();
+  writer.key("ok").value(true);
+  writer.key("trace").value(trace::to_chrome_json());
   writer.end_object();
 }
 
 /// Dispatches one request; returns false once shutdown was requested.
+/// `cmd_out` receives the parsed command name (for logging) as soon as it
+/// is known.
 bool handle_request(Session& session, const std::string& line,
-                    JsonWriter& writer) {
+                    JsonWriter& writer, std::string& cmd_out) {
   const JsonValue request = parse_json(line);
   const std::string& cmd = request.at("cmd").as_string();
+  cmd_out = cmd;
   if (cmd == "shutdown") {
     writer.begin_object();
     writer.key("ok").value(true);
@@ -203,6 +351,10 @@ bool handle_request(Session& session, const std::string& line,
     handle_run(session, request, /*json=*/true, writer);
   } else if (cmd == "stats") {
     handle_stats(session, writer);
+  } else if (cmd == "metrics") {
+    handle_metrics(session, writer);
+  } else if (cmd == "trace") {
+    handle_trace(request, writer);
   } else {
     write_error(writer, "unknown command '" + cmd + "'");
   }
@@ -248,20 +400,94 @@ int run_daemon(const CliOptions& session_options, std::istream& in,
     load_inputs(workspace, session_options.files, err);
   }
 
+  if (log::enabled()) {
+    log::write(log::Level::kInfo, "daemon.start", 0,
+               {log::Field("slow_ms", session_options.slow_ms)});
+  }
+
   std::string line;
   bool running = true;
   while (running && std::getline(in, line)) {
     if (line.empty()) continue;
+    const std::uint64_t request_id = ++session.requests;
+    // Observability wrapper, all gated so a bare daemon still pays one
+    // relaxed load per surface: install the request's trace context (so
+    // every span of this request -- including pool workers downstream of
+    // submit() -- carries its id), time the request, and log its
+    // start/finish/error.
+    const bool timed = metrics::enabled() || log::enabled();
+    const auto started = timed ? std::chrono::steady_clock::now()
+                               : std::chrono::steady_clock::time_point{};
+    if (log::enabled()) {
+      log::write(log::Level::kInfo, "request.start", request_id,
+                 {log::Field("bytes", std::uint64_t{line.size()})});
+    }
     JsonWriter writer;
-    try {
-      running = handle_request(session, line, writer);
-    } catch (const std::exception& error) {
+    std::string cmd;
+    bool failed = false;
+    std::string failure;
+    {
+      std::optional<trace::ScopedContext> scoped;
+      std::optional<trace::Span> span;
+      if (trace::enabled()) {
+        scoped.emplace(trace::TraceContext{request_id, 0});
+        span.emplace("daemon.request");
+      }
+      try {
+        running = handle_request(session, line, writer, cmd);
+      } catch (const std::exception& error) {
+        failed = true;
+        failure = error.what();
+      } catch (...) {
+        failed = true;
+        failure = "unknown error";
+      }
+      if (span && span->active()) {
+        span->arg("cmd", cmd.empty() ? std::string_view("invalid")
+                                     : std::string_view(cmd));
+      }
+    }
+    std::uint64_t elapsed_us = 0;
+    if (timed) {
+      elapsed_us = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - started)
+              .count());
+    }
+    if (metrics::enabled()) {
+      metrics::histogram("daemon.request_us").record(elapsed_us);
+    }
+    if (failed) {
+      ++session.request_errors;
+      if (log::enabled()) {
+        log::write(log::Level::kError, "request.error", request_id,
+                   {log::Field("cmd", cmd.empty() ? "invalid" : cmd),
+                    log::Field("error", failure),
+                    log::Field("elapsed_us", elapsed_us)});
+      }
       JsonWriter fresh;  // discard any half-written response
-      write_error(fresh, error.what());
+      write_error(fresh, failure);
       out << fresh.str() << "\n" << std::flush;
       continue;
     }
+    if (log::enabled()) {
+      log::write(log::Level::kInfo, "request.finish", request_id,
+                 {log::Field("cmd", cmd),
+                  log::Field("elapsed_us", elapsed_us)});
+      if (session_options.slow_ms > 0 &&
+          elapsed_us > session_options.slow_ms * 1000) {
+        log::write(log::Level::kWarn, "request.slow", request_id,
+                   {log::Field("cmd", cmd),
+                    log::Field("elapsed_us", elapsed_us),
+                    log::Field("threshold_ms", session_options.slow_ms)});
+      }
+    }
     out << writer.str() << "\n" << std::flush;
+  }
+  if (log::enabled()) {
+    log::write(log::Level::kInfo, "daemon.stop", 0,
+               {log::Field("requests", session.requests),
+                log::Field("errors", session.request_errors)});
   }
   return 0;
 }

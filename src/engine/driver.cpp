@@ -85,6 +85,8 @@ void print_usage(std::ostream& out, const std::string& tool) {
          "                      (0 = default, 8 MiB)\n"
          "  --max-depth N       cap parser/visitor recursion depth\n"
          "                      (0 = default, 256)\n"
+         "  --slow-ms N         daemon: log requests slower than N ms to\n"
+         "                      the structured log (0 = off)\n"
          "  --version           print the toolchain version and exit\n";
 }
 
@@ -154,7 +156,7 @@ std::optional<CliOptions> parse_cli_args(int argc, char** argv,
       if (!options.trace_out) return std::nullopt;
     } else if (arg == "--dfa-budget" || arg == "--max-states" ||
                arg == "--timeout-ms" || arg == "--max-input-bytes" ||
-               arg == "--max-depth") {
+               arg == "--max-depth" || arg == "--slow-ms") {
       const auto value = next();
       if (!value) return std::nullopt;
       const long parsed = std::atol(value->c_str());
@@ -171,6 +173,8 @@ std::optional<CliOptions> parse_cli_args(int argc, char** argv,
         options.timeout_ms = static_cast<std::uint64_t>(parsed);
       } else if (arg == "--max-input-bytes") {
         options.max_input_bytes = count;
+      } else if (arg == "--slow-ms") {
+        options.slow_ms = static_cast<std::uint64_t>(parsed);
       } else {
         options.max_depth = count;
       }

@@ -40,6 +40,9 @@ struct CliOptions {
   bool cache_stats = false;
   std::optional<std::string> trace_out;
   std::size_t dfa_budget = 0;
+  // Daemon slow-query threshold: requests taking longer than this many ms
+  // get a "request.slow" structured-log line (0 = off).
+  std::uint64_t slow_ms = 0;
   // Resource guards (support::guard); zeros keep the built-in defaults /
   // leave the check disabled.
   std::size_t max_states = 0;

@@ -1,5 +1,6 @@
 #include "engine/query.hpp"
 
+#include <chrono>
 #include <exception>
 #include <utility>
 
@@ -10,13 +11,48 @@
 #include "shelley/monitor.hpp"
 #include "shelley/replay.hpp"
 #include "smv/smv.hpp"
+#include "support/metrics.hpp"
 #include "support/thread_pool.hpp"
 #include "support/trace.hpp"
 
 namespace shelley::engine {
 
+namespace {
+
+/// Charges the enclosing scope's wall time to a named latency histogram
+/// (one per query kind).  Armed only while metrics collection is on, so
+/// the disabled cost is one relaxed load and a branch -- no clock read.
+class LatencyProbe {
+ public:
+  explicit LatencyProbe(std::string_view name) {
+    if (!support::metrics::enabled()) return;
+    armed_ = true;
+    name_ = name;
+    start_ = std::chrono::steady_clock::now();
+  }
+  ~LatencyProbe() {
+    if (!armed_) return;
+    const auto elapsed =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start_);
+    support::metrics::histogram(name_).record(
+        static_cast<std::uint64_t>(elapsed.count()));
+  }
+
+  LatencyProbe(const LatencyProbe&) = delete;
+  LatencyProbe& operator=(const LatencyProbe&) = delete;
+
+ private:
+  bool armed_ = false;
+  std::string_view name_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace
+
 core::ClassReport QueryEngine::report(const core::ClassSpec& spec,
                                       DiagnosticEngine& sink) {
+  const LatencyProbe probe("query.report_us");
   core::Verifier& verifier = workspace_.verifier();
   const support::Digest128 key = verifier.cache_key(spec);
   if (auto verdict = memo_.load_verdict(key, spec.name)) {
@@ -61,6 +97,11 @@ core::ClassReport QueryEngine::verify_class(std::string_view name) {
 }
 
 core::Report QueryEngine::verify_all(std::size_t jobs) {
+  const LatencyProbe probe("query.verify_all_us");
+  // One root span per top-level call; the per-class report() spans opened
+  // on pool workers parent here via the context ThreadPool::submit carries.
+  support::trace::Span span("engine.verify_all");
+  span.arg("jobs", static_cast<std::uint64_t>(jobs));
   core::Verifier& verifier = workspace_.verifier();
   std::vector<const core::ClassSpec*> work;
   for (const core::ClassSpec& spec : verifier.classes()) {
@@ -100,6 +141,7 @@ core::Report QueryEngine::verify_all(std::size_t jobs) {
 }
 
 fsm::Dfa QueryEngine::usage_dfa(const core::ClassSpec& spec) {
+  const LatencyProbe probe("query.usage_dfa_us");
   core::Verifier& verifier = workspace_.verifier();
   const support::Digest128 key = verifier.cache_key(spec);
   if (const auto bytes = memo_.load_dfa_bytes(key)) {
@@ -131,6 +173,7 @@ fsm::Dfa QueryEngine::usage_dfa(const core::ClassSpec& spec) {
 }
 
 SmvArtifact QueryEngine::smv_model(const core::ClassSpec& spec) {
+  const LatencyProbe probe("query.smv_model_us");
   core::Verifier& verifier = workspace_.verifier();
   const support::Digest128 key = verifier.cache_key(spec);
   if (const auto artifact = memo_.load_artifact(key)) {

@@ -10,6 +10,7 @@
 #include "shelley/cache.hpp"
 #include "support/guard.hpp"
 #include "support/thread_pool.hpp"
+#include "support/trace.hpp"
 #include "upy/parser.hpp"
 
 namespace shelley::core {
@@ -89,11 +90,13 @@ ClassReport Verifier::verify_class(std::string_view name) {
 }
 
 Report Verifier::verify_all() {
+  support::trace::Span span("shelley.verify_all");
   Report report;
   for (const ClassSpec& spec : specs_) {
     if (!spec.is_system) continue;
     report.classes.push_back(verify_or_replay(spec, diagnostics_));
   }
+  span.arg("classes", static_cast<std::uint64_t>(report.classes.size()));
   return report;
 }
 
@@ -105,6 +108,16 @@ Report Verifier::verify_all(std::size_t jobs) {
     if (spec.is_system) work.push_back(&spec);
   }
   if (work.size() <= 1) return verify_all();
+
+  // The parallel root span opens after the serial delegations above, so a
+  // top-level call produces exactly one "shelley.verify_all" root.  Every
+  // per-class pipeline span lands under it: parallel_for submits through
+  // ThreadPool::submit, which carries this thread's trace context (now
+  // pointing at this span) onto the workers -- the fix for the orphan
+  // worker spans that used to show up as parentless roots in timelines.
+  support::trace::Span span("shelley.verify_all");
+  span.arg("jobs", static_cast<std::uint64_t>(jobs));
+  span.arg("classes", static_cast<std::uint64_t>(work.size()));
 
   // Symbol ids leak into the output: alphabets are sorted by id and witness
   // searches break ties in alphabet order.  Pre-intern every symbol in the

@@ -1,0 +1,168 @@
+#include "support/log.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <utility>
+
+#include "support/json.hpp"
+
+namespace shelley::support::log {
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+struct Sink {
+  std::mutex mutex;
+  std::ofstream file;    // open when logging to a path
+  bool to_stderr = false;
+
+  // Rate limiter: a per-second window; lines past the budget are counted
+  // and surfaced as one "log.rate_limited" line when the window turns.
+  std::uint64_t budget = 1000;
+  std::uint64_t window = 0;       // seconds since the steady epoch
+  std::uint64_t in_window = 0;    // lines emitted this window
+  std::uint64_t dropped_window = 0;
+  std::atomic<std::uint64_t> dropped_total{0};
+
+  void emit(const std::string& line) {
+    if (to_stderr) {
+      std::fprintf(stderr, "%s\n", line.c_str());
+      std::fflush(stderr);
+    } else if (file.is_open()) {
+      file << line << '\n' << std::flush;
+    }
+  }
+};
+
+Sink& sink() {
+  static Sink instance;
+  return instance;
+}
+
+std::uint64_t now_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+std::uint64_t steady_seconds() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::seconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+bool env_configured() {
+  const char* value = std::getenv("SHELLEY_LOG");
+  if (value == nullptr || *value == '\0') return false;
+  return configure(value);
+}
+
+// Force the env check to run once at startup, mirroring SHELLEY_TRACE.
+[[maybe_unused]] const bool g_env_init = env_configured();
+
+}  // namespace
+
+std::string_view level_name(Level level) {
+  switch (level) {
+    case Level::kDebug: return "debug";
+    case Level::kInfo: return "info";
+    case Level::kWarn: return "warn";
+    case Level::kError: return "error";
+  }
+  return "info";
+}
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+bool configure(const std::string& target) {
+  Sink& s = sink();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  if (s.file.is_open()) s.file.close();
+  s.to_stderr = false;
+  s.window = 0;
+  s.in_window = 0;
+  s.dropped_window = 0;
+  s.dropped_total.store(0, std::memory_order_relaxed);
+  if (target.empty()) {
+    g_enabled.store(false, std::memory_order_relaxed);
+    return true;
+  }
+  if (target == "stderr") {
+    s.to_stderr = true;
+    g_enabled.store(true, std::memory_order_relaxed);
+    return true;
+  }
+  s.file.open(target, std::ios::app);
+  if (!s.file.is_open()) {
+    g_enabled.store(false, std::memory_order_relaxed);
+    return false;
+  }
+  g_enabled.store(true, std::memory_order_relaxed);
+  return true;
+}
+
+std::string format_line(Level level, std::string_view event,
+                        std::uint64_t request_id,
+                        const std::vector<Field>& fields) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("ts_ms").value(now_ms());
+  json.key("level").value(level_name(level));
+  json.key("event").value(event);
+  if (request_id != 0) json.key("request").value(request_id);
+  for (const Field& field : fields) {
+    json.key(field.key);
+    if (field.numeric) {
+      json.value(field.num);
+    } else {
+      json.value(field.text);
+    }
+  }
+  json.end_object();
+  return json.str();
+}
+
+void write(Level level, std::string_view event, std::uint64_t request_id,
+           std::vector<Field> fields) {
+  if (!enabled()) return;
+  // Render outside the sink lock; only ordering and the limiter state need
+  // serialization.
+  const std::string line = format_line(level, event, request_id, fields);
+  Sink& s = sink();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  const std::uint64_t second = steady_seconds();
+  if (second != s.window) {
+    if (s.dropped_window != 0) {
+      s.emit(format_line(Level::kWarn, "log.rate_limited", 0,
+                         {Field("dropped", s.dropped_window)}));
+    }
+    s.window = second;
+    s.in_window = 0;
+    s.dropped_window = 0;
+  }
+  if (s.in_window >= s.budget) {
+    ++s.dropped_window;
+    s.dropped_total.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  ++s.in_window;
+  s.emit(line);
+}
+
+std::uint64_t dropped_lines() {
+  return sink().dropped_total.load(std::memory_order_relaxed);
+}
+
+void set_rate_limit(std::uint64_t lines_per_second) {
+  Sink& s = sink();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  s.budget = lines_per_second == 0 ? 1 : lines_per_second;
+}
+
+}  // namespace shelley::support::log

@@ -1,0 +1,66 @@
+// Structured NDJSON logging for the long-running surfaces (daemon, tools).
+//
+// One call emits one JSON object on one line: {"ts_ms": ..., "level": ...,
+// "event": ..., "request": <id, when nonzero>, <fields>...}.  Lines are
+// written atomically under a sink mutex, flushed per line (a crash loses at
+// most the line being written), and rate-limited: past the per-second
+// budget lines are counted and dropped, and a single "log.rate_limited"
+// summary line is emitted when the window rolls over.
+//
+// Off by default.  Set SHELLEY_LOG=stderr or SHELLEY_LOG=/path/to/file to
+// enable at startup, or call configure() programmatically.  When disabled,
+// write() is one relaxed atomic load and a branch -- callers building
+// expensive fields should gate on enabled() themselves.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace shelley::support::log {
+
+enum class Level { kDebug, kInfo, kWarn, kError };
+
+/// The wire spelling of a level ("debug"/"info"/"warn"/"error").
+[[nodiscard]] std::string_view level_name(Level level);
+
+/// One key/value pair on a log line.  Mirrors trace::Arg.
+struct Field {
+  std::string key;
+  std::string text;       // used when !numeric
+  std::uint64_t num = 0;  // used when numeric
+  bool numeric = false;
+
+  Field(std::string_view k, std::string_view v) : key(k), text(v) {}
+  Field(std::string_view k, std::uint64_t v) : key(k), num(v), numeric(true) {}
+};
+
+/// True while a sink is configured and logging is on.  One relaxed load.
+[[nodiscard]] bool enabled();
+
+/// Points the logger at `target`: "stderr", a file path (opened for
+/// append), or "" to disable.  Returns false (and disables) when the file
+/// cannot be opened.  Safe to call between requests; not safe to race with
+/// in-flight write() calls on other threads.
+bool configure(const std::string& target);
+
+/// Emits one line.  `request_id` 0 omits the "request" key.  No-op while
+/// disabled.
+void write(Level level, std::string_view event, std::uint64_t request_id,
+           std::vector<Field> fields = {});
+
+/// Lines suppressed by the rate limiter since the last configure().
+[[nodiscard]] std::uint64_t dropped_lines();
+
+/// Overrides the per-second line budget (default 1000).  Test hook.
+void set_rate_limit(std::uint64_t lines_per_second);
+
+/// Renders a log line without writing it (the exact bytes write() would
+/// emit, minus the trailing newline).  Used by tests to round-trip the
+/// schema through support/json.
+[[nodiscard]] std::string format_line(Level level, std::string_view event,
+                                      std::uint64_t request_id,
+                                      const std::vector<Field>& fields);
+
+}  // namespace shelley::support::log

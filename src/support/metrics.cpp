@@ -1,6 +1,7 @@
 #include "support/metrics.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cstdlib>
 #include <map>
 #include <memory>
@@ -40,6 +41,11 @@ SeriesRegistry<Counter>& counters() {
 
 SeriesRegistry<Distribution>& distributions() {
   static SeriesRegistry<Distribution> instance;
+  return instance;
+}
+
+SeriesRegistry<Histogram>& histograms() {
+  static SeriesRegistry<Histogram> instance;
   return instance;
 }
 
@@ -97,10 +103,91 @@ Distribution::Snapshot Distribution::snapshot() const {
   return out;
 }
 
+std::size_t Histogram::bucket_index(std::uint64_t value) {
+  return std::min<std::size_t>(std::bit_width(value), kBuckets - 1);
+}
+
+std::uint64_t Histogram::bucket_upper_bound(std::size_t index) {
+  if (index == 0) return 0;
+  if (index >= kBuckets - 1) return ~std::uint64_t{0};
+  return (std::uint64_t{1} << index) - 1;
+}
+
+void Histogram::record(std::uint64_t value) {
+  buckets_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  fetch_min(min_, value);
+  fetch_max(max_, value);
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot out;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    out.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    out.count += out.buckets[i];
+  }
+  out.sum = sum_.load(std::memory_order_relaxed);
+  out.max = max_.load(std::memory_order_relaxed);
+  const std::uint64_t min = min_.load(std::memory_order_relaxed);
+  out.min = out.count == 0 ? 0 : min;
+  return out;
+}
+
+std::uint64_t Histogram::Snapshot::quantile(double q) const {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-th order statistic, 1-based: ceil(q * count), at least 1.
+  const double scaled = q * static_cast<double>(count);
+  std::uint64_t rank = static_cast<std::uint64_t>(scaled);
+  if (static_cast<double>(rank) < scaled) ++rank;
+  if (rank == 0) rank = 1;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets[i];
+    if (seen >= rank) {
+      return std::min(bucket_upper_bound(i), max);
+    }
+  }
+  return max;
+}
+
+void Histogram::Snapshot::merge(const Snapshot& other) {
+  for (std::size_t i = 0; i < kBuckets; ++i) buckets[i] += other.buckets[i];
+  sum += other.sum;
+  if (other.count != 0) {
+    min = count == 0 ? other.min : std::min(min, other.min);
+    max = count == 0 ? other.max : std::max(max, other.max);
+  }
+  count += other.count;
+}
+
+void Histogram::merge(const Snapshot& other) {
+  if (other.count == 0) return;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (other.buckets[i] != 0) {
+      buckets_[i].fetch_add(other.buckets[i], std::memory_order_relaxed);
+    }
+  }
+  sum_.fetch_add(other.sum, std::memory_order_relaxed);
+  fetch_min(min_, other.min);
+  fetch_max(max_, other.max);
+}
+
+void Histogram::reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(~std::uint64_t{0}, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
 Counter& counter(std::string_view name) { return counters().get(name); }
 
 Distribution& distribution(std::string_view name) {
   return distributions().get(name);
+}
+
+Histogram& histogram(std::string_view name) {
+  return histograms().get(name);
 }
 
 std::vector<std::pair<std::string, std::uint64_t>> counter_snapshot() {
@@ -126,6 +213,18 @@ distribution_snapshot() {
   return out;
 }
 
+std::vector<std::pair<std::string, Histogram::Snapshot>>
+histogram_snapshot() {
+  std::vector<std::pair<std::string, Histogram::Snapshot>> out;
+  SeriesRegistry<Histogram>& reg = histograms();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  out.reserve(reg.series.size());
+  for (const auto& [name, series] : reg.series) {
+    out.emplace_back(name, series->snapshot());
+  }
+  return out;
+}
+
 void reset() {
   {
     SeriesRegistry<Counter>& reg = counters();
@@ -134,6 +233,11 @@ void reset() {
   }
   {
     SeriesRegistry<Distribution>& reg = distributions();
+    const std::lock_guard<std::mutex> lock(reg.mutex);
+    for (auto& [name, series] : reg.series) series->reset();
+  }
+  {
+    SeriesRegistry<Histogram>& reg = histograms();
     const std::lock_guard<std::mutex> lock(reg.mutex);
     for (auto& [name, series] : reg.series) series->reset();
   }

@@ -18,6 +18,7 @@
 // startup, together with tracing.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <string>
@@ -67,16 +68,69 @@ class Distribution {
   std::atomic<std::uint64_t> max_{0};
 };
 
-/// Returns the counter/distribution registered under `name`, creating it on
-/// first use.  References stay valid for the process lifetime.
+/// A fixed-bucket log-scale latency/value histogram.  Bucket `i` holds the
+/// values whose bit width is `i` (bucket 0: the value 0; bucket i >= 1:
+/// [2^(i-1), 2^i), with everything 2^62 and above clamped into the last
+/// bucket) -- so the relative quantile-estimation error is bounded by one
+/// power of two.  record() is wait-free (one fetch_add per bucket plus the
+/// sum/min/max updates); snapshots taken during concurrent recording are
+/// approximate but never torn per-field.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  /// The bucket `value` lands in.
+  [[nodiscard]] static std::size_t bucket_index(std::uint64_t value);
+  /// The largest value bucket `index` can hold (inclusive).
+  [[nodiscard]] static std::uint64_t bucket_upper_bound(std::size_t index);
+
+  void record(std::uint64_t value);
+
+  struct Snapshot {
+    std::array<std::uint64_t, kBuckets> buckets{};
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t min = 0;
+    std::uint64_t max = 0;
+
+    /// Estimated value at quantile `q` in [0, 1]: the upper bound of the
+    /// bucket holding the q-th recorded value, clamped to the observed
+    /// max -- within one bucket of the exact order statistic.  0 when
+    /// empty.
+    [[nodiscard]] std::uint64_t quantile(double q) const;
+
+    /// Adds `other` in; merging is associative and commutative.
+    void merge(const Snapshot& other);
+  };
+
+  [[nodiscard]] Snapshot snapshot() const;
+
+  /// Folds a snapshot (e.g. a peer histogram's) into this histogram.
+  void merge(const Snapshot& other);
+
+  void reset();
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{~std::uint64_t{0}};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+/// Returns the counter/distribution/histogram registered under `name`,
+/// creating it on first use.  References stay valid for the process
+/// lifetime.
 [[nodiscard]] Counter& counter(std::string_view name);
 [[nodiscard]] Distribution& distribution(std::string_view name);
+[[nodiscard]] Histogram& histogram(std::string_view name);
 
 /// Name-sorted snapshots of every registered series.
 [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>>
 counter_snapshot();
 [[nodiscard]] std::vector<std::pair<std::string, Distribution::Snapshot>>
 distribution_snapshot();
+[[nodiscard]] std::vector<std::pair<std::string, Histogram::Snapshot>>
+histogram_snapshot();
 
 /// Zeroes every registered series (the series themselves stay registered).
 void reset();

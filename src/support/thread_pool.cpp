@@ -2,6 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <utility>
+
+#include "support/metrics.hpp"
+#include "support/trace.hpp"
 
 namespace shelley::support {
 
@@ -29,6 +34,27 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  // Carry the submitting thread's trace context onto the worker so spans
+  // opened inside the task stay children of the submitting span (one
+  // connected tree per request); while metering, also charge the time the
+  // task sat queued to the pool.queue_wait_us histogram.  Both wrappers
+  // are skipped entirely on the disabled fast path.
+  if (trace::enabled() || metrics::enabled()) {
+    const trace::TraceContext context = trace::current_context();
+    const bool metered = metrics::enabled();
+    const auto enqueued = std::chrono::steady_clock::now();
+    task = [context, metered, enqueued,
+            inner = std::move(task)]() mutable {
+      if (metered) {
+        const auto waited = std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - enqueued);
+        metrics::histogram("pool.queue_wait_us")
+            .record(static_cast<std::uint64_t>(waited.count()));
+      }
+      const trace::ScopedContext scoped(context);
+      inner();
+    };
+  }
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     queue_.push_back(std::move(task));

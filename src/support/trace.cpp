@@ -23,12 +23,23 @@ bool env_enabled() {
 
 std::atomic<bool> g_enabled{env_enabled()};
 
+// Span identities: a process-wide id well (1-based; 0 means "none") and the
+// per-thread context every new span inherits from.  ThreadPool::submit
+// captures the submitting thread's pair and restores it in the worker, so
+// the ids connect across threads.
+std::atomic<std::uint64_t> g_next_span{1};
+thread_local std::uint64_t tls_request_id = 0;
+thread_local std::uint64_t tls_current_span = 0;
+
 struct FullEvent {
   std::string name;
   char phase = 'X';
   std::uint32_t tid = 0;
   double ts_us = 0;
   double dur_us = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span = 0;
+  std::uint64_t request_id = 0;
   std::vector<Arg> args;
 };
 
@@ -95,9 +106,14 @@ void record(FullEvent event) {
   buffer.events.push_back(std::move(event));
 }
 
-void write_args(JsonWriter& json, const std::vector<Arg>& args) {
+void write_args(JsonWriter& json, const FullEvent& event) {
   json.key("args").begin_object();
-  for (const Arg& arg : args) {
+  // Identity first: span_id/parent stitch cross-thread trees back
+  // together, request groups every event of one daemon request.
+  if (event.span_id != 0) json.key("span_id").value(event.span_id);
+  if (event.parent_span != 0) json.key("parent").value(event.parent_span);
+  if (event.request_id != 0) json.key("request").value(event.request_id);
+  for (const Arg& arg : event.args) {
     json.key(arg.key);
     if (arg.numeric) {
       json.value(arg.num);
@@ -121,23 +137,48 @@ void reset() {
   const std::lock_guard<std::mutex> lock(reg.mutex);
   reg.buffers.clear();
   reg.epoch = Clock::now();
+  g_next_span.store(1, std::memory_order_relaxed);
   g_generation.fetch_add(1, std::memory_order_acq_rel);
+}
+
+TraceContext current_context() {
+  return TraceContext{tls_request_id, tls_current_span};
+}
+
+ScopedContext::ScopedContext(const TraceContext& context)
+    : previous_request_(tls_request_id),
+      previous_span_(tls_current_span) {
+  tls_request_id = context.request_id;
+  tls_current_span = context.parent_span;
+}
+
+ScopedContext::~ScopedContext() {
+  tls_request_id = previous_request_;
+  tls_current_span = previous_span_;
 }
 
 Span::Span(std::string_view name) {
   if (!enabled()) return;
   active_ = true;
   name_ = name;
+  span_id_ = g_next_span.fetch_add(1, std::memory_order_relaxed);
+  parent_span_ = tls_current_span;
+  request_id_ = tls_request_id;
+  tls_current_span = span_id_;
   start_us_ = now_us();
 }
 
 Span::~Span() {
   if (!active_) return;
+  tls_current_span = parent_span_;
   FullEvent event;
   event.name = std::move(name_);
   event.phase = 'X';
   event.ts_us = start_us_;
   event.dur_us = now_us() - start_us_;
+  event.span_id = span_id_;
+  event.parent_span = parent_span_;
+  event.request_id = request_id_;
   event.args = std::move(args_);
   record(std::move(event));
 }
@@ -158,6 +199,10 @@ void instant(std::string_view name, std::vector<Arg> args) {
   event.name = std::string(name);
   event.phase = 'i';
   event.ts_us = now_us();
+  // Instants anchor to the enclosing span and request, so a memo hit or a
+  // diagnostic is attributable to the request that produced it.
+  event.parent_span = tls_current_span;
+  event.request_id = tls_request_id;
   event.args = std::move(args);
   record(std::move(event));
 }
@@ -227,8 +272,9 @@ std::string to_chrome_json() {
     json.key("ts").value(event.ts_us);
     if (event.phase == 'X') json.key("dur").value(event.dur_us);
     if (event.phase == 'i') json.key("s").value("t");  // thread-scoped
-    if (!event.args.empty() || event.phase == 'C') {
-      write_args(json, event.args);
+    if (!event.args.empty() || event.phase == 'C' || event.span_id != 0 ||
+        event.parent_span != 0 || event.request_id != 0) {
+      write_args(json, event);
     }
     json.end_object();
   }

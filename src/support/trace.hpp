@@ -31,6 +31,36 @@ void set_enabled(bool on);
 /// other threads (e.g. between pipeline runs, after worker pools joined).
 void reset();
 
+/// The identity a span records under: which request it belongs to and
+/// which span encloses it.  Zero means "none" for both fields.  The
+/// context is thread-local; support::ThreadPool captures it at submit()
+/// and restores it inside the worker, so spans opened on a worker thread
+/// stay children of the submitting span and one daemon request renders as
+/// one connected tree across threads.
+struct TraceContext {
+  std::uint64_t request_id = 0;
+  std::uint64_t parent_span = 0;
+};
+
+/// The calling thread's context: its request id and innermost live span.
+[[nodiscard]] TraceContext current_context();
+
+/// Installs `context` as the calling thread's context for the current
+/// scope, restoring the previous one on destruction.  Cheap (two
+/// thread-local stores) and independent of enabled().
+class ScopedContext {
+ public:
+  explicit ScopedContext(const TraceContext& context);
+  ~ScopedContext();
+
+  ScopedContext(const ScopedContext&) = delete;
+  ScopedContext& operator=(const ScopedContext&) = delete;
+
+ private:
+  std::uint64_t previous_request_;
+  std::uint64_t previous_span_;
+};
+
 /// One key/value annotation on an event ("args" in the Chrome format).
 struct Arg {
   std::string key;
@@ -43,10 +73,13 @@ struct Arg {
   Arg(std::string_view k, std::uint64_t v) : key(k), num(v), numeric(true) {}
 };
 
-/// A hierarchical timed span ("X" complete event).  Nesting is positional:
-/// spans opened while another span is live on the same thread render as its
-/// children.  Inactive spans (tracing disabled at construction) cost nothing
-/// and ignore arg().
+/// A hierarchical timed span ("X" complete event).  Nesting is positional
+/// within a thread (spans opened while another span is live render as its
+/// children) and explicit across threads: every active span draws a unique
+/// `span_id`, records the enclosing span (or the TraceContext parent
+/// restored by a ThreadPool worker) as `parent`, and carries its request
+/// id -- all three land in the exported args.  Inactive spans (tracing
+/// disabled at construction) cost nothing and ignore arg().
 class Span {
  public:
   explicit Span(std::string_view name);
@@ -60,10 +93,14 @@ class Span {
   void arg(std::string_view key, std::uint64_t value);
 
   [[nodiscard]] bool active() const { return active_; }
+  [[nodiscard]] std::uint64_t span_id() const { return span_id_; }
 
  private:
   bool active_ = false;
   double start_us_ = 0;
+  std::uint64_t span_id_ = 0;
+  std::uint64_t parent_span_ = 0;
+  std::uint64_t request_id_ = 0;
   std::string name_;
   std::vector<Arg> args_;
 };

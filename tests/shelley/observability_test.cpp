@@ -231,6 +231,50 @@ TEST_F(ObservabilityTest, DfaBudgetLintStaysQuietUnderBudget) {
       support::metrics::counter("fsm.determinize.calls").value(), 0u);
 }
 
+TEST_F(ObservabilityTest, ParallelRunHasNoOrphanSpans) {
+  // The regression this PR fixes: spans opened on verify_all(jobs) worker
+  // threads used to surface as parentless roots in --trace-out timelines.
+  // With context propagation through ThreadPool::submit, a --jobs 4 run
+  // must yield exactly one root (the verify_all span) with every pipeline
+  // span reachable from it through resolved parent links.
+  support::trace::set_enabled(true);
+  Verifier verifier;
+  verifier.add_source(examples::kValveSource);
+  verifier.add_source(examples::kBadSectorSource);
+  verifier.add_source(examples::kSectorSource);
+  verifier.add_source(examples::kGoodSectorSource);
+  support::trace::reset();  // only the verify phase is under test
+  const Report report = verifier.verify_all(4);
+  ASSERT_EQ(report.classes.size(), 4u);
+
+  const JsonValue doc = parse_json(support::trace::to_chrome_json());
+  std::set<std::uint64_t> ids;
+  std::size_t roots = 0;
+  std::size_t spans = 0;
+  for (const JsonValue& event : doc.at("traceEvents").as_array()) {
+    if (event.at("ph").as_string() != "X") continue;
+    ids.insert(static_cast<std::uint64_t>(
+        event.at("args").at("span_id").as_number()));
+  }
+  for (const JsonValue& event : doc.at("traceEvents").as_array()) {
+    if (event.at("ph").as_string() != "X") continue;
+    ++spans;
+    const JsonValue* parent = event.at("args").find("parent");
+    if (parent == nullptr) {
+      ++roots;
+      EXPECT_EQ(event.at("name").as_string(), "shelley.verify_all");
+    } else {
+      EXPECT_TRUE(ids.contains(
+          static_cast<std::uint64_t>(parent->as_number())))
+          << "dangling parent link on "
+          << event.at("name").as_string();
+    }
+  }
+  EXPECT_EQ(roots, 1u);
+  // The parallel run actually produced a tree, not just the root.
+  EXPECT_GT(spans, 4u);
+}
+
 TEST_F(ObservabilityTest, TracedParallelRunStaysDeterministic) {
   support::trace::set_enabled(true);
   support::trace::reset();

@@ -1,0 +1,225 @@
+// The log-scale latency histogram: bucket boundaries, quantile estimates
+// within one bucket of the exact order statistic, concurrent-record
+// integrity (run under the tsan preset), and merge algebra.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "support/metrics.hpp"
+
+namespace shelley::support::metrics {
+namespace {
+
+TEST(HistogramBuckets, BoundariesArePowersOfTwo) {
+  // Bucket 0 is exactly {0}; bucket i >= 1 is [2^(i-1), 2^i).
+  EXPECT_EQ(Histogram::bucket_index(0), 0u);
+  EXPECT_EQ(Histogram::bucket_index(1), 1u);
+  EXPECT_EQ(Histogram::bucket_index(2), 2u);
+  EXPECT_EQ(Histogram::bucket_index(3), 2u);
+  EXPECT_EQ(Histogram::bucket_index(4), 3u);
+  EXPECT_EQ(Histogram::bucket_index(7), 3u);
+  EXPECT_EQ(Histogram::bucket_index(8), 4u);
+  EXPECT_EQ(Histogram::bucket_index(1023), 10u);
+  EXPECT_EQ(Histogram::bucket_index(1024), 11u);
+  // The last bucket absorbs everything too wide to distinguish.
+  EXPECT_EQ(Histogram::bucket_index(~std::uint64_t{0}),
+            Histogram::kBuckets - 1);
+
+  EXPECT_EQ(Histogram::bucket_upper_bound(0), 0u);
+  EXPECT_EQ(Histogram::bucket_upper_bound(1), 1u);
+  EXPECT_EQ(Histogram::bucket_upper_bound(2), 3u);
+  EXPECT_EQ(Histogram::bucket_upper_bound(3), 7u);
+  EXPECT_EQ(Histogram::bucket_upper_bound(11), 2047u);
+  EXPECT_EQ(Histogram::bucket_upper_bound(Histogram::kBuckets - 1),
+            ~std::uint64_t{0});
+  // Every value lands in the bucket whose range covers it.
+  for (std::uint64_t value :
+       {0ull, 1ull, 5ull, 100ull, 65535ull, 1ull << 20}) {
+    const std::size_t bucket = Histogram::bucket_index(value);
+    EXPECT_LE(value, Histogram::bucket_upper_bound(bucket)) << value;
+    if (bucket > 0) {
+      EXPECT_GT(value, Histogram::bucket_upper_bound(bucket - 1)) << value;
+    }
+  }
+}
+
+TEST(HistogramBuckets, CountSumMinMaxAreExact) {
+  Histogram h;
+  std::uint64_t sum = 0;
+  for (std::uint64_t v : {7u, 0u, 300u, 12u, 12u, 99999u}) {
+    h.record(v);
+    sum += v;
+  }
+  const Histogram::Snapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 6u);
+  EXPECT_EQ(snap.sum, sum);
+  EXPECT_EQ(snap.min, 0u);
+  EXPECT_EQ(snap.max, 99999u);
+}
+
+TEST(HistogramBuckets, EmptySnapshotIsAllZero) {
+  const Histogram::Snapshot snap = Histogram().snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.min, 0u);
+  EXPECT_EQ(snap.max, 0u);
+  EXPECT_EQ(snap.quantile(0.5), 0u);
+}
+
+TEST(HistogramQuantiles, WithinOneBucketOfExactOnSeededData) {
+  std::mt19937_64 rng(20260808);
+  std::uniform_int_distribution<std::uint64_t> dist(0, 2'000'000);
+  Histogram h;
+  std::vector<std::uint64_t> values;
+  for (int i = 0; i < 5000; ++i) {
+    values.push_back(dist(rng));
+    h.record(values.back());
+  }
+  std::sort(values.begin(), values.end());
+  const Histogram::Snapshot snap = h.snapshot();
+  for (const double q : {0.01, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+    // The exact q-th order statistic (rank = ceil(q * n), 1-based).
+    std::size_t rank = static_cast<std::size_t>(q * values.size());
+    if (static_cast<double>(rank) < q * static_cast<double>(values.size())) {
+      ++rank;
+    }
+    if (rank == 0) rank = 1;
+    const std::uint64_t exact = values[rank - 1];
+    const std::uint64_t estimate = snap.quantile(q);
+    // The estimate is the upper bound of the exact value's bucket, clamped
+    // to the observed max: never below the exact value, never more than
+    // one bucket above it.
+    EXPECT_GE(estimate, exact) << "q=" << q;
+    EXPECT_LE(estimate, Histogram::bucket_upper_bound(
+                            Histogram::bucket_index(exact)))
+        << "q=" << q;
+  }
+  EXPECT_EQ(snap.quantile(1.0), snap.max);
+  // Quantiles are monotone.
+  EXPECT_LE(snap.quantile(0.5), snap.quantile(0.9));
+  EXPECT_LE(snap.quantile(0.9), snap.quantile(0.99));
+}
+
+TEST(HistogramQuantiles, SingleBucketDataIsExactlyClamped) {
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.record(41);
+  const Histogram::Snapshot snap = h.snapshot();
+  // All mass in one bucket: every quantile clamps to the observed max.
+  EXPECT_EQ(snap.quantile(0.5), 41u);
+  EXPECT_EQ(snap.quantile(0.99), 41u);
+}
+
+TEST(HistogramMerge, IsAssociativeAndCommutative) {
+  std::mt19937_64 rng(7);
+  const auto seeded = [&rng](int count, std::uint64_t cap) {
+    Histogram h;
+    std::uniform_int_distribution<std::uint64_t> dist(0, cap);
+    for (int i = 0; i < count; ++i) h.record(dist(rng));
+    return h.snapshot();
+  };
+  const Histogram::Snapshot a = seeded(100, 50);
+  const Histogram::Snapshot b = seeded(200, 5000);
+  const Histogram::Snapshot c = seeded(50, 1u << 30);
+
+  Histogram::Snapshot ab_c = a;
+  ab_c.merge(b);
+  ab_c.merge(c);
+  Histogram::Snapshot bc = b;
+  bc.merge(c);
+  Histogram::Snapshot a_bc = a;
+  a_bc.merge(bc);
+  Histogram::Snapshot ba_c = b;
+  ba_c.merge(a);
+  ba_c.merge(c);
+
+  for (const Histogram::Snapshot* other : {&a_bc, &ba_c}) {
+    EXPECT_EQ(ab_c.count, other->count);
+    EXPECT_EQ(ab_c.sum, other->sum);
+    EXPECT_EQ(ab_c.min, other->min);
+    EXPECT_EQ(ab_c.max, other->max);
+    EXPECT_EQ(ab_c.buckets, other->buckets);
+  }
+  EXPECT_EQ(ab_c.count, 350u);
+}
+
+TEST(HistogramMerge, EmptyIsTheIdentity) {
+  Histogram h;
+  h.record(5);
+  h.record(500);
+  const Histogram::Snapshot before = h.snapshot();
+  h.merge(Histogram().snapshot());  // histogram-side merge
+  Histogram::Snapshot after = h.snapshot();
+  EXPECT_EQ(after.count, before.count);
+  EXPECT_EQ(after.min, before.min);
+  EXPECT_EQ(after.max, before.max);
+  after.merge(Histogram::Snapshot{});  // snapshot-side merge
+  EXPECT_EQ(after.count, before.count);
+  EXPECT_EQ(after.min, before.min);
+  EXPECT_EQ(after.max, before.max);
+}
+
+TEST(HistogramMerge, FoldsAPeerIntoTheRegistry) {
+  Histogram peer;
+  peer.record(16);
+  peer.record(64);
+  Histogram target;
+  target.record(1);
+  target.merge(peer.snapshot());
+  const Histogram::Snapshot snap = target.snapshot();
+  EXPECT_EQ(snap.count, 3u);
+  EXPECT_EQ(snap.min, 1u);
+  EXPECT_EQ(snap.max, 64u);
+  EXPECT_EQ(snap.sum, 81u);
+}
+
+TEST(HistogramConcurrency, ParallelRecordsLoseNothing) {
+  // 8 threads x 20k records into one histogram; count and sum must be
+  // exact.  The tsan preset runs this suite to prove record() is race-free.
+  Histogram h;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.record(static_cast<std::uint64_t>(t * kPerThread + i) % 4096);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const Histogram::Snapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  std::uint64_t expected_sum = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kPerThread; ++i) {
+      expected_sum += static_cast<std::uint64_t>(t * kPerThread + i) % 4096;
+    }
+  }
+  EXPECT_EQ(snap.sum, expected_sum);
+  EXPECT_EQ(snap.max, 4095u);
+  EXPECT_EQ(snap.min, 0u);
+}
+
+TEST(HistogramRegistry, NamedSeriesPersistAndReset) {
+  histogram("test.registry_us").record(100);
+  histogram("test.registry_us").record(200);
+  bool found = false;
+  for (const auto& [name, snap] : histogram_snapshot()) {
+    if (name == "test.registry_us") {
+      found = true;
+      EXPECT_EQ(snap.count, 2u);
+    }
+  }
+  EXPECT_TRUE(found);
+  reset();
+  for (const auto& [name, snap] : histogram_snapshot()) {
+    if (name == "test.registry_us") EXPECT_EQ(snap.count, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace shelley::support::metrics

@@ -1,0 +1,201 @@
+// TraceContext propagation: spans carry explicit span/parent/request
+// identity in the export, ScopedContext installs and restores the
+// thread-local context, and ThreadPool::submit carries the submitting
+// thread's context onto workers so cross-thread span trees stay connected.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+#include "support/json.hpp"
+#include "support/metrics.hpp"
+#include "support/thread_pool.hpp"
+#include "support/trace.hpp"
+
+namespace shelley::support::trace {
+namespace {
+
+class TraceContextTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_enabled(true);
+    reset();
+  }
+  void TearDown() override {
+    set_enabled(false);
+    reset();
+    metrics::set_enabled(false);
+    metrics::reset();
+  }
+};
+
+struct ExportedEvent {
+  std::string name;
+  std::uint64_t span = 0;
+  std::uint64_t parent = 0;
+  std::uint64_t request = 0;
+};
+
+std::vector<ExportedEvent> exported_spans() {
+  std::vector<ExportedEvent> out;
+  const JsonValue doc = parse_json(to_chrome_json());
+  for (const JsonValue& event : doc.at("traceEvents").as_array()) {
+    if (event.at("ph").as_string() != "X") continue;
+    ExportedEvent exported;
+    exported.name = event.at("name").as_string();
+    const JsonValue& args = event.at("args");
+    exported.span =
+        static_cast<std::uint64_t>(args.at("span_id").as_number());
+    if (const JsonValue* parent = args.find("parent")) {
+      exported.parent = static_cast<std::uint64_t>(parent->as_number());
+    }
+    if (const JsonValue* request = args.find("request")) {
+      exported.request = static_cast<std::uint64_t>(request->as_number());
+    }
+    out.push_back(std::move(exported));
+  }
+  return out;
+}
+
+TEST_F(TraceContextTest, NestedSpansRecordExplicitParents) {
+  {
+    Span outer("outer");
+    { Span inner("inner"); }
+  }
+  const auto spans = exported_spans();
+  ASSERT_EQ(spans.size(), 2u);
+  std::uint64_t outer_id = 0;
+  for (const ExportedEvent& span : spans) {
+    if (span.name == "outer") outer_id = span.span;
+  }
+  ASSERT_NE(outer_id, 0u);
+  for (const ExportedEvent& span : spans) {
+    if (span.name == "inner") EXPECT_EQ(span.parent, outer_id);
+    if (span.name == "outer") EXPECT_EQ(span.parent, 0u);
+  }
+}
+
+TEST_F(TraceContextTest, ScopedContextInstallsAndRestores) {
+  const TraceContext before = current_context();
+  EXPECT_EQ(before.request_id, 0u);
+  {
+    const ScopedContext scoped(TraceContext{17, 0});
+    EXPECT_EQ(current_context().request_id, 17u);
+    Span span("inside");
+    // The open span becomes the thread's parent-to-be.
+    EXPECT_EQ(current_context().parent_span, span.span_id());
+  }
+  const TraceContext after = current_context();
+  EXPECT_EQ(after.request_id, before.request_id);
+  EXPECT_EQ(after.parent_span, before.parent_span);
+}
+
+TEST_F(TraceContextTest, SpansInheritTheRequestId) {
+  {
+    const ScopedContext scoped(TraceContext{99, 0});
+    Span root("root");
+    { Span child("child"); }
+    instant("marker");
+  }
+  const JsonValue doc = parse_json(to_chrome_json());
+  std::size_t tagged = 0;
+  for (const JsonValue& event : doc.at("traceEvents").as_array()) {
+    const std::string& ph = event.at("ph").as_string();
+    if (ph != "X" && ph != "i") continue;
+    EXPECT_EQ(event.at("args").at("request").as_number(), 99.0)
+        << event.at("name").as_string();
+    ++tagged;
+  }
+  EXPECT_EQ(tagged, 3u);
+}
+
+TEST_F(TraceContextTest, SubmitCarriesContextOntoWorkers) {
+  std::uint64_t root_id = 0;
+  {
+    const ScopedContext request(TraceContext{7, 0});
+    Span root("request.root");
+    root_id = root.span_id();
+    ThreadPool pool(2);
+    for (int i = 0; i < 8; ++i) {
+      pool.submit([] { Span worker("worker.task"); });
+    }
+    pool.wait();
+  }
+  const auto spans = exported_spans();
+  std::size_t workers = 0;
+  for (const ExportedEvent& span : spans) {
+    if (span.name != "worker.task") continue;
+    ++workers;
+    // Parented under the submitting span, tagged with its request --
+    // across threads.
+    EXPECT_EQ(span.parent, root_id);
+    EXPECT_EQ(span.request, 7u);
+  }
+  EXPECT_EQ(workers, 8u);
+}
+
+TEST_F(TraceContextTest, ParallelForSpansStayConnected) {
+  std::uint64_t root_id = 0;
+  {
+    const ScopedContext request(TraceContext{3, 0});
+    Span root("fanout.root");
+    root_id = root.span_id();
+    parallel_for(16, 4, [](std::size_t) { Span leaf("fanout.leaf"); });
+  }
+  const auto spans = exported_spans();
+  std::map<std::uint64_t, const ExportedEvent*> by_id;
+  for (const ExportedEvent& span : spans) by_id[span.span] = &span;
+  std::size_t leaves = 0;
+  for (const ExportedEvent& span : spans) {
+    if (span.name != "fanout.leaf") continue;
+    ++leaves;
+    EXPECT_EQ(span.request, 3u);
+    // Walk to the root: every leaf must reach fanout.root through resolved
+    // parent links (a broken link would mean an orphan subtree).
+    std::uint64_t cursor = span.span;
+    std::set<std::uint64_t> seen;
+    while (cursor != root_id) {
+      ASSERT_TRUE(seen.insert(cursor).second) << "parent cycle";
+      const auto it = by_id.find(cursor);
+      ASSERT_NE(it, by_id.end()) << "unresolved parent link";
+      cursor = it->second->parent;
+      ASSERT_NE(cursor, 0u) << "orphaned leaf " << span.span;
+    }
+  }
+  EXPECT_EQ(leaves, 16u);
+}
+
+TEST_F(TraceContextTest, QueueWaitLandsInTheHistogram) {
+  metrics::set_enabled(true);
+  metrics::reset();
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 10; ++i) {
+      pool.submit([] {});
+    }
+    pool.wait();
+  }
+  bool found = false;
+  for (const auto& [name, snap] : metrics::histogram_snapshot()) {
+    if (name == "pool.queue_wait_us") {
+      found = true;
+      EXPECT_EQ(snap.count, 10u);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(TraceContextTest, ResetRestartsTheSpanIdWell) {
+  { Span first("first"); }
+  reset();
+  { Span second("second"); }
+  const auto spans = exported_spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "second");
+  EXPECT_EQ(spans[0].span, 1u);
+}
+
+}  // namespace
+}  // namespace shelley::support::trace

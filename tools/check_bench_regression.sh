@@ -1,0 +1,94 @@
+#!/bin/sh
+# Guards the committed benchmark snapshot against silent regressions:
+# compares every lower-is-better metric of BENCH_automata.json against
+# BENCH_automata.baseline.json and fails when any grew by more than 25%
+# (override with a third argument, e.g. 1.10 for 10%).
+#
+#   tools/check_bench_regression.sh [current.json] [baseline.json] [ratio]
+#
+# Compared metrics: every google-benchmark cpu_time (keyed by benchmark
+# name) and the cold_ms/warm_ms walls of the spliced incremental_verify /
+# daemon_verify keys.  Ignored on purpose: higher-is-better fields
+# (speedup), the noisy per-class elapsed_ms inside pipeline_stats, and the
+# ablation families (BM_Ablation_*, BM_*_EagerProduct) -- those measure the
+# deliberately-unoptimized contrast algorithms, not shipped code paths, so
+# their drift is measurement noise, not a regression.  Pure POSIX sh + awk;
+# both inputs are committed files, so the check is deterministic.
+set -eu
+
+current="${1:-BENCH_automata.json}"
+baseline="${2:-BENCH_automata.baseline.json}"
+ratio="${3:-1.25}"
+
+for file in "$current" "$baseline"; do
+  if [ ! -f "$file" ]; then
+    echo "check_bench_regression: missing $file" >&2
+    exit 2
+  fi
+done
+
+# Emits "metric value" lines: bench/<name> <cpu_time> for each benchmark,
+# and <key>/cold_ms|warm_ms for the spliced summary objects.
+extract() {
+  awk '
+    function emit_walls(prefix, blob) {
+      if (match(blob, /"cold_ms":[0-9.eE+-]+/)) {
+        print prefix "/cold_ms " substr(blob, RSTART + 10, RLENGTH - 10)
+      }
+      if (match(blob, /"warm_ms":[0-9.eE+-]+/)) {
+        print prefix "/warm_ms " substr(blob, RSTART + 10, RLENGTH - 10)
+      }
+    }
+    /^[[:space:]]*"name":/ {
+      name = $0
+      sub(/^[[:space:]]*"name":[[:space:]]*"/, "", name)
+      sub(/".*$/, "", name)
+    }
+    /^[[:space:]]*"cpu_time":/ {
+      value = $0
+      sub(/^[[:space:]]*"cpu_time":[[:space:]]*/, "", value)
+      sub(/[,[:space:]].*$/, "", value)
+      if (name != "" && name !~ /^BM_Ablation_/ && name !~ /EagerProduct/) {
+        print "bench/" name " " value
+      }
+      name = ""
+    }
+    {
+      if (match($0, /"incremental_verify":\{[^}]*\}/)) {
+        emit_walls("incremental_verify", substr($0, RSTART, RLENGTH))
+      }
+      if (match($0, /"daemon_verify":\{[^}]*\}/)) {
+        emit_walls("daemon_verify", substr($0, RSTART, RLENGTH))
+      }
+    }
+  ' "$1"
+}
+
+tmp_current=$(mktemp)
+tmp_baseline=$(mktemp)
+trap 'rm -f "$tmp_current" "$tmp_baseline"' EXIT
+
+extract "$current" | sort > "$tmp_current"
+extract "$baseline" | sort > "$tmp_baseline"
+
+join "$tmp_current" "$tmp_baseline" | awk -v limit="$ratio" '
+  {
+    compared++
+    current = $2 + 0
+    base = $3 + 0
+    if (base > 0 && current > base * limit) {
+      failures++
+      printf "REGRESSION %s: %.4g vs baseline %.4g (%.0f%% > %.0f%% allowed)\n", \
+          $1, current, base, 100 * (current / base - 1), 100 * (limit - 1)
+    }
+  }
+  END {
+    if (compared == 0) {
+      print "check_bench_regression: no comparable metrics found" > "/dev/stderr"
+      exit 2
+    }
+    printf "check_bench_regression: %d metrics compared, %d regressions\n", \
+        compared, failures
+    exit failures > 0 ? 1 : 0
+  }
+'

@@ -1,0 +1,120 @@
+// shelley_stats -- renders a shelleyd stats reply as a human summary.
+//
+//   shelley_stats [stats.json]
+//   printf '{"cmd":"stats"}\n{"cmd":"shutdown"}\n' | shelleyd a.py | shelley_stats
+//
+// Reads NDJSON from the file argument (or stdin with no argument / "-"),
+// picks the last line that looks like a daemon stats reply, and prints the
+// session gauges, cache tiers with hit rates, the support/metrics
+// counters, and one row per latency histogram (count / p50 / p90 / p99 /
+// max).  Exits 1 when no stats reply is found, so pipelines fail loudly.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/json.hpp"
+
+namespace {
+
+using shelley::JsonValue;
+
+double number_or(const JsonValue& object, const char* key, double fallback) {
+  const JsonValue* value = object.find(key);
+  return value == nullptr ? fallback : value->as_number();
+}
+
+void print_tier(const char* name, const JsonValue& tier) {
+  const double hits = number_or(tier, "hits", 0);
+  const double misses = number_or(tier, "misses", 0);
+  const double total = hits + misses;
+  const double rate = total == 0 ? 0 : 100.0 * hits / total;
+  std::printf("  %-8s %10.0f hits %10.0f misses  %5.1f%% hit rate\n", name,
+              hits, misses, rate);
+}
+
+int render(const JsonValue& stats) {
+  std::printf("shelleyd session\n");
+  if (const JsonValue* uptime = stats.find("uptime_ms")) {
+    std::printf("  %-8s %10.0f ms\n", "uptime", uptime->as_number());
+  }
+  if (const JsonValue* requests = stats.find("requests")) {
+    std::printf("  %-8s %10.0f (%.0f errors)\n", "requests",
+                requests->as_number(),
+                number_or(stats, "request_errors", 0));
+  }
+  std::printf("\ncache tiers\n");
+  for (const char* tier : {"memo", "queries", "parse", "cache"}) {
+    if (const JsonValue* value = stats.find(tier)) print_tier(tier, *value);
+  }
+  if (const JsonValue* counters = stats.find("counters")) {
+    if (!counters->as_object().empty()) {
+      std::printf("\ncounters\n");
+      for (const auto& [name, value] : counters->as_object()) {
+        std::printf("  %-36s %12.0f\n", name.c_str(), value.as_number());
+      }
+    }
+  }
+  if (const JsonValue* histograms = stats.find("histograms")) {
+    if (!histograms->as_object().empty()) {
+      std::printf("\nlatency histograms (us)\n");
+      std::printf("  %-24s %8s %10s %10s %10s %10s\n", "name", "count",
+                  "p50", "p90", "p99", "max");
+      for (const auto& [name, h] : histograms->as_object()) {
+        std::printf("  %-24s %8.0f %10.0f %10.0f %10.0f %10.0f\n",
+                    name.c_str(), number_or(h, "count", 0),
+                    number_or(h, "p50", 0), number_or(h, "p90", 0),
+                    number_or(h, "p99", 0), number_or(h, "max", 0));
+      }
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  if (argc > 2 || (argc == 2 && std::string(argv[1]) == "--help")) {
+    std::cerr << "usage: shelley_stats [stats.json]\n"
+                 "reads a shelleyd NDJSON stats reply from the file (or "
+                 "stdin) and prints a summary table\n";
+    return argc > 2 ? 2 : 0;
+  }
+  if (argc == 2 && std::string(argv[1]) != "-") path = argv[1];
+
+  std::ifstream file;
+  if (!path.empty()) {
+    file.open(path);
+    if (!file) {
+      std::cerr << "shelley_stats: cannot open '" << path << "'\n";
+      return 1;
+    }
+  }
+  std::istream& in = path.empty() ? std::cin : file;
+
+  // A daemon transcript interleaves many replies; the stats reply is the
+  // one carrying cache-tier objects.  Keep the last so a stats request at
+  // the end of a session reflects the whole run.
+  std::optional<JsonValue> stats;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    try {
+      JsonValue value = shelley::parse_json(line);
+      if (value.find("memo") != nullptr ||
+          value.find("histograms") != nullptr) {
+        stats = std::move(value);
+      }
+    } catch (...) {
+      continue;  // not JSON (e.g. verify output) -- skip
+    }
+  }
+  if (!stats) {
+    std::cerr << "shelley_stats: no stats reply found in input\n";
+    return 1;
+  }
+  return render(*stats);
+}
