@@ -1,0 +1,234 @@
+// Multi-session socket server throughput: hundreds of interleaved client
+// sessions against one in-process SocketServer over real Unix sockets.
+//
+// Eight client threads each replay 32 sequential sessions (load valve,
+// verify, edit, verify, shutdown) against one server sharing a memo tier
+// and the process thread pool, so the run covers connection churn, the
+// round-robin scheduler under contention, and cross-session memo hits.
+// Per-request latency is measured client-side (send to reply); the final
+// stdout line is one JSON object -- throughput plus latency quantiles --
+// that tools/bench_to_json.sh splices into BENCH_automata.json as
+// "server_sessions" and tools/check_bench_regression.sh gates.
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/driver.hpp"
+#include "engine/server.hpp"
+#include "paper_sources.hpp"
+#include "support/json.hpp"
+
+namespace {
+
+using namespace shelley;
+
+constexpr int kClients = 8;
+constexpr int kSessionsPerClient = 32;
+
+/// One blocking NDJSON exchange: send the line, read exactly one reply.
+class Client {
+ public:
+  explicit Client(const std::string& socket_path) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0 ||
+        ::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      std::fprintf(stderr, "bench_server: connect failed\n");
+      std::exit(1);
+    }
+  }
+  ~Client() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  std::string request(const std::string& line) {
+    const std::string framed = line + "\n";
+    std::size_t sent = 0;
+    while (sent < framed.size()) {
+      const ssize_t n = ::send(fd_, framed.data() + sent,
+                               framed.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) {
+        std::fprintf(stderr, "bench_server: send failed\n");
+        std::exit(1);
+      }
+      sent += static_cast<std::size_t>(n);
+    }
+    for (;;) {
+      const auto nl = buffer_.find('\n');
+      if (nl != std::string::npos) {
+        std::string reply = buffer_.substr(0, nl);
+        buffer_.erase(0, nl + 1);
+        return reply;
+      }
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+      if (n <= 0) {
+        std::fprintf(stderr, "bench_server: connection lost\n");
+        std::exit(1);
+      }
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+std::uint64_t percentile(const std::vector<std::uint64_t>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  const auto index = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(index, sorted.size() - 1)];
+}
+
+}  // namespace
+
+int main() {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("bench_server_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::string valve_path = (dir / "valve.py").string();
+  {
+    std::ofstream out(valve_path, std::ios::binary);
+    out << examples::kValveSource;
+  }
+
+  // The per-session request script: load, verify, edit, verify, revert,
+  // shutdown -- the editor loop shape, with the second verify a memo miss
+  // (edited sources) and the others cross-session hits.
+  std::string edited = examples::kValveSource;
+  const auto pos = edited.find("return [\"test\"]");
+  if (pos == std::string::npos) {
+    std::fprintf(stderr, "bench_server: unexpected valve source\n");
+    return 1;
+  }
+  edited.replace(pos, 15, "return [\"test\", \"clean\"]");
+  const auto json_request = [&](auto fill) {
+    JsonWriter writer;
+    writer.begin_object();
+    fill(writer);
+    writer.end_object();
+    return writer.str();
+  };
+  const std::vector<std::string> script = {
+      json_request([&](JsonWriter& w) {
+        w.key("cmd").value("load");
+        w.key("files").begin_array();
+        w.value(valve_path);
+        w.end_array();
+      }),
+      R"({"cmd":"verify","jobs":1})",
+      json_request([&](JsonWriter& w) {
+        w.key("cmd").value("update");
+        w.key("file").value(valve_path);
+        w.key("text").value(edited);
+      }),
+      R"({"cmd":"verify","jobs":1})",
+      json_request([&](JsonWriter& w) {
+        w.key("cmd").value("update");
+        w.key("file").value(valve_path);
+        w.key("text").value(examples::kValveSource);
+      }),
+      R"({"cmd":"shutdown"})",
+  };
+
+  engine::CliOptions defaults;
+  defaults.jobs = 1;
+  engine::SocketServer::Options options;
+  options.socket_path = (dir / "shelleyd.sock").string();
+  engine::SocketServer server(defaults, options, /*cache=*/nullptr);
+  std::ostringstream server_err;
+  if (!server.start(server_err)) {
+    std::fprintf(stderr, "bench_server: %s\n", server_err.str().c_str());
+    return 1;
+  }
+  std::thread serving([&server] { (void)server.serve(); });
+
+  std::vector<std::uint64_t> latencies_us;
+  std::mutex latencies_mutex;
+  std::uint64_t bad_replies = 0;
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      std::vector<std::uint64_t> local;
+      local.reserve(kSessionsPerClient * script.size());
+      std::uint64_t local_bad = 0;
+      for (int s = 0; s < kSessionsPerClient; ++s) {
+        Client client(options.socket_path);
+        for (const std::string& line : script) {
+          const auto start = std::chrono::steady_clock::now();
+          const std::string reply = client.request(line);
+          local.push_back(static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::microseconds>(
+                  std::chrono::steady_clock::now() - start)
+                  .count()));
+          if (reply.find("\"ok\":true") == std::string::npos) ++local_bad;
+        }
+      }
+      const std::lock_guard<std::mutex> lock(latencies_mutex);
+      latencies_us.insert(latencies_us.end(), local.begin(), local.end());
+      bad_replies += local_bad;
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - wall_start)
+          .count();
+  server.request_stop();
+  serving.join();
+
+  const engine::Scheduler::Stats stats = server.scheduler().stats();
+  std::sort(latencies_us.begin(), latencies_us.end());
+  const auto requests = latencies_us.size();
+  const double throughput =
+      wall_ms > 0 ? 1000.0 * static_cast<double>(requests) / wall_ms : 0.0;
+
+  std::fprintf(stderr,
+               "bench_server: %d clients x %d sessions, %zu requests in "
+               "%.1f ms (%.0f req/s), %llu bad replies, %llu rejected\n",
+               kClients, kSessionsPerClient, requests, wall_ms, throughput,
+               static_cast<unsigned long long>(bad_replies),
+               static_cast<unsigned long long>(stats.rejected));
+  std::filesystem::remove_all(dir);
+  if (bad_replies != 0 || stats.rejected != 0 ||
+      requests != static_cast<std::size_t>(kClients) * kSessionsPerClient *
+                      script.size()) {
+    std::fprintf(stderr, "bench_server: run invalid; not reporting\n");
+    return 1;
+  }
+
+  // The one stdout line: the JSON object bench_to_json.sh splices in.
+  std::printf(
+      "{\"clients\":%d,\"sessions\":%d,\"requests\":%zu,"
+      "\"wall_ms\":%.1f,\"throughput_rps\":%.1f,"
+      "\"p50_us\":%llu,\"p90_us\":%llu,\"p99_us\":%llu,\"max_us\":%llu}\n",
+      kClients, kClients * kSessionsPerClient, requests, wall_ms, throughput,
+      static_cast<unsigned long long>(percentile(latencies_us, 0.50)),
+      static_cast<unsigned long long>(percentile(latencies_us, 0.90)),
+      static_cast<unsigned long long>(percentile(latencies_us, 0.99)),
+      static_cast<unsigned long long>(
+          latencies_us.empty() ? 0 : latencies_us.back()));
+  return 0;
+}

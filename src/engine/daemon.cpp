@@ -1,367 +1,17 @@
 #include "engine/daemon.hpp"
 
-#include <chrono>
 #include <exception>
 #include <istream>
 #include <optional>
 #include <ostream>
-#include <sstream>
 #include <string>
 
-#include "engine/query.hpp"
-#include "engine/render.hpp"
-#include "engine/workspace.hpp"
+#include "engine/session.hpp"
 #include "shelley/cache.hpp"
-#include "shelley/fingerprint.hpp"
 #include "support/guard.hpp"
-#include "support/json.hpp"
 #include "support/log.hpp"
-#include "support/metrics.hpp"
-#include "support/trace.hpp"
 
 namespace shelley::engine {
-
-namespace {
-
-namespace log = support::log;
-namespace metrics = support::metrics;
-namespace trace = support::trace;
-
-/// One daemon session: the long-lived workspace/engine pair plus the
-/// session-wide defaults every request starts from.  Request ids are the
-/// 1-based arrival order; they tag spans, log lines, and error replies.
-struct Session {
-  const CliOptions& defaults;
-  Workspace& workspace;
-  QueryEngine& engine;
-  std::uint64_t requests = 0;
-  std::uint64_t request_errors = 0;
-  std::chrono::steady_clock::time_point started =
-      std::chrono::steady_clock::now();
-};
-
-void write_error(JsonWriter& writer, const std::string& message) {
-  writer.begin_object();
-  writer.key("ok").value(false);
-  writer.key("error").value(message);
-  writer.end_object();
-}
-
-void write_file_summaries(JsonWriter& writer,
-                          const std::vector<core::FileSummary>& summaries,
-                          std::size_t first) {
-  writer.key("files").begin_array();
-  for (std::size_t i = first; i < summaries.size(); ++i) {
-    const core::FileSummary& file = summaries[i];
-    writer.begin_object();
-    writer.key("path").value(file.path);
-    writer.key("loaded").value(file.loaded);
-    writer.key("parse_errors")
-        .value(static_cast<std::uint64_t>(file.parse_errors));
-    if (!file.failure.empty()) writer.key("failure").value(file.failure);
-    writer.end_object();
-  }
-  writer.end_array();
-}
-
-void handle_load(Session& session, const JsonValue& request,
-                 JsonWriter& writer) {
-  const JsonValue& files = request.at("files");
-  const std::size_t first = session.workspace.summaries().size();
-  std::vector<std::string> paths;
-  for (const JsonValue& file : files.as_array()) {
-    paths.push_back(file.as_string());
-  }
-  std::ostringstream errors;
-  load_inputs(session.workspace, paths, errors);
-  writer.begin_object();
-  writer.key("ok").value(true);
-  writer.key("status")
-      .value(static_cast<std::int64_t>(
-          session.workspace.load_failed() ? 2 : 0));
-  writer.key("errors").value(errors.str());
-  write_file_summaries(writer, session.workspace.summaries(), first);
-  writer.end_object();
-}
-
-void handle_update(Session& session, const JsonValue& request,
-                   JsonWriter& writer) {
-  const std::string path = request.at("file").as_string();
-  std::optional<std::string> text;
-  if (const JsonValue* value = request.find("text")) {
-    text = value->as_string();
-  }
-  const UpdateResult update =
-      session.workspace.update_source(path, std::move(text));
-  const std::size_t dropped = session.engine.apply_update(update);
-  writer.begin_object();
-  writer.key("ok").value(true);
-  writer.key("status")
-      .value(static_cast<std::int64_t>(
-          session.workspace.load_failed() ? 2 : 0));
-  // The full reload stderr: what a cold shelleyc run over the updated
-  // sources writes while loading.
-  writer.key("errors").value(render_load_errors(
-      session.workspace.summaries(), session.workspace.file_diag_ranges(),
-      session.workspace.verifier().diagnostics().diagnostics()));
-  writer.key("changed").begin_array();
-  for (const std::string& name : update.changed) {
-    writer.value(name);
-  }
-  writer.end_array();
-  writer.key("invalidated").value(static_cast<std::uint64_t>(dropped));
-  writer.end_object();
-}
-
-void handle_run(Session& session, const JsonValue& request, bool json,
-                JsonWriter& writer) {
-  CliOptions options = session.defaults;
-  options.json = json;
-  options.verify_class.reset();
-  if (const JsonValue* name = request.find("class")) {
-    options.verify_class = name->as_string();
-  }
-  if (const JsonValue* jobs = request.find("jobs")) {
-    options.jobs = static_cast<std::size_t>(jobs->as_number());
-  }
-  if (const JsonValue* stats = request.find("stats")) {
-    options.stats = stats->as_bool();
-  }
-  std::istringstream no_stdin;
-  std::ostringstream out;
-  std::ostringstream errors;
-  int status = 2;
-  try {
-    status = run_cli(options, session.engine, no_stdin, out, errors);
-  } catch (const std::exception& error) {
-    // The thin client's last-resort boundary, request-scoped.
-    errors << "shelleyc: internal error: " << error.what() << "\n";
-  } catch (...) {
-    errors << "shelleyc: internal error\n";
-  }
-  // Rewind to the post-load state so the next request's diagnostics
-  // render exactly like a cold run -- report_to_json emits every
-  // diagnostic in the sink, so accumulation would break byte-identity.
-  session.workspace.rewind_to_loaded();
-  writer.begin_object();
-  writer.key("ok").value(true);
-  writer.key("status").value(static_cast<std::int64_t>(status));
-  writer.key("output").value(out.str());
-  writer.key("errors").value(errors.str());
-  writer.end_object();
-}
-
-double hit_rate(std::uint64_t hits, std::uint64_t misses) {
-  const std::uint64_t total = hits + misses;
-  return total == 0 ? 0.0
-                    : static_cast<double>(hits) / static_cast<double>(total);
-}
-
-std::uint64_t uptime_ms(const Session& session) {
-  return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::milliseconds>(
-          std::chrono::steady_clock::now() - session.started)
-          .count());
-}
-
-/// Every registered histogram: summary stats, estimated quantiles, and the
-/// sparse bucket array as [upper_bound, count] pairs.
-void write_histograms(JsonWriter& writer) {
-  writer.key("histograms").begin_object();
-  for (const auto& [name, snap] : metrics::histogram_snapshot()) {
-    writer.key(name).begin_object();
-    writer.key("count").value(snap.count);
-    writer.key("sum").value(snap.sum);
-    writer.key("min").value(snap.min);
-    writer.key("max").value(snap.max);
-    writer.key("p50").value(snap.quantile(0.50));
-    writer.key("p90").value(snap.quantile(0.90));
-    writer.key("p99").value(snap.quantile(0.99));
-    writer.key("buckets").begin_array();
-    for (std::size_t i = 0; i < metrics::Histogram::kBuckets; ++i) {
-      if (snap.buckets[i] == 0) continue;
-      writer.begin_array();
-      writer.value(metrics::Histogram::bucket_upper_bound(i));
-      writer.value(snap.buckets[i]);
-      writer.end_array();
-    }
-    writer.end_array();
-    writer.end_object();
-  }
-  writer.end_object();
-}
-
-void handle_stats(Session& session, JsonWriter& writer) {
-  writer.begin_object();
-  writer.key("ok").value(true);
-  writer.key("uptime_ms").value(uptime_ms(session));
-  writer.key("requests").value(session.requests);
-  writer.key("request_errors").value(session.request_errors);
-  const MemoStats memo = session.engine.memo().stats();
-  writer.key("memo").begin_object();
-  writer.key("hits").value(memo.hits);
-  writer.key("misses").value(memo.misses);
-  writer.key("stores").value(memo.stores);
-  writer.key("invalidations").value(memo.invalidations);
-  writer.key("evictions").value(memo.evictions);
-  writer.key("bytes").value(memo.bytes);
-  writer.key("hit_rate").value(hit_rate(memo.hits, memo.misses));
-  writer.end_object();
-  const QueryStats queries = session.engine.stats();
-  writer.key("queries").begin_object();
-  writer.key("report_hits").value(queries.report_hits);
-  writer.key("report_misses").value(queries.report_misses);
-  writer.key("dfa_hits").value(queries.dfa_hits);
-  writer.key("dfa_misses").value(queries.dfa_misses);
-  writer.key("artifact_hits").value(queries.artifact_hits);
-  writer.key("artifact_misses").value(queries.artifact_misses);
-  writer.end_object();
-  const ParseStats parses = session.workspace.parse_stats();
-  writer.key("parse").begin_object();
-  writer.key("hits").value(parses.hits);
-  writer.key("misses").value(parses.misses);
-  writer.key("hit_rate").value(hit_rate(parses.hits, parses.misses));
-  writer.end_object();
-  if (const core::BehaviorCache* cache = session.workspace.cache()) {
-    const core::CacheStats disk = cache->stats();
-    writer.key("cache").begin_object();
-    writer.key("hits").value(disk.hits);
-    writer.key("misses").value(disk.misses);
-    writer.key("invalidations").value(disk.invalidations);
-    writer.key("stores").value(disk.stores);
-    writer.key("store_failures").value(disk.store_failures);
-    writer.key("hit_rate").value(hit_rate(disk.hits, disk.misses));
-    writer.end_object();
-  }
-  // The support/metrics registry: global pipeline counters (e.g. the PR-6
-  // allocation counters) and every latency histogram.  Both are empty
-  // unless metrics collection is enabled.
-  writer.key("counters").begin_object();
-  for (const auto& [name, value] : metrics::counter_snapshot()) {
-    writer.key(name).value(value);
-  }
-  writer.end_object();
-  write_histograms(writer);
-  writer.end_object();
-}
-
-/// Prometheus text-exposition rendering of the metrics registry plus the
-/// session gauges.  Dots and other non-identifier characters in series
-/// names become underscores; histogram buckets are cumulative with the
-/// mandatory "+Inf" terminal bucket.
-std::string render_prometheus(const Session& session) {
-  std::ostringstream out;
-  const auto sanitize = [](std::string_view name) {
-    std::string clean = "shelley_";
-    for (const char c : name) {
-      const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
-                      (c >= '0' && c <= '9');
-      clean.push_back(ok ? c : '_');
-    }
-    return clean;
-  };
-  out << "# TYPE shelley_daemon_uptime_ms gauge\n";
-  out << "shelley_daemon_uptime_ms " << uptime_ms(session) << "\n";
-  out << "# TYPE shelley_daemon_requests_total counter\n";
-  out << "shelley_daemon_requests_total " << session.requests << "\n";
-  out << "# TYPE shelley_daemon_request_errors_total counter\n";
-  out << "shelley_daemon_request_errors_total " << session.request_errors
-      << "\n";
-  for (const auto& [name, value] : metrics::counter_snapshot()) {
-    const std::string metric = sanitize(name) + "_total";
-    out << "# TYPE " << metric << " counter\n";
-    out << metric << " " << value << "\n";
-  }
-  for (const auto& [name, snap] : metrics::histogram_snapshot()) {
-    const std::string metric = sanitize(name);
-    out << "# TYPE " << metric << " histogram\n";
-    std::uint64_t cumulative = 0;
-    std::size_t highest = 0;
-    for (std::size_t i = 0; i < metrics::Histogram::kBuckets; ++i) {
-      if (snap.buckets[i] != 0) highest = i;
-    }
-    for (std::size_t i = 0; i <= highest && snap.count != 0; ++i) {
-      cumulative += snap.buckets[i];
-      out << metric << "_bucket{le=\""
-          << metrics::Histogram::bucket_upper_bound(i) << "\"} "
-          << cumulative << "\n";
-    }
-    out << metric << "_bucket{le=\"+Inf\"} " << snap.count << "\n";
-    out << metric << "_sum " << snap.sum << "\n";
-    out << metric << "_count " << snap.count << "\n";
-  }
-  return out.str();
-}
-
-void handle_metrics(Session& session, JsonWriter& writer) {
-  writer.begin_object();
-  writer.key("ok").value(true);
-  writer.key("content_type").value("text/plain; version=0.0.4");
-  writer.key("body").value(render_prometheus(session));
-  writer.end_object();
-}
-
-/// Trace export over the wire: inline by default, or written to the path
-/// in "out" (the daemon-side equivalent of shelleyc --trace-out).
-void handle_trace(const JsonValue& request, JsonWriter& writer) {
-  if (const JsonValue* path = request.find("out")) {
-    const std::string file = path->as_string();
-    if (!trace::write_chrome_json(file)) {
-      write_error(writer, "cannot write trace to '" + file + "'");
-      return;
-    }
-    writer.begin_object();
-    writer.key("ok").value(true);
-    writer.key("path").value(file);
-    writer.end_object();
-    return;
-  }
-  writer.begin_object();
-  writer.key("ok").value(true);
-  writer.key("trace").value(trace::to_chrome_json());
-  writer.end_object();
-}
-
-/// Dispatches one request; returns false once shutdown was requested.
-/// `cmd_out` receives the parsed command name (for logging) as soon as it
-/// is known.
-bool handle_request(Session& session, const std::string& line,
-                    JsonWriter& writer, std::string& cmd_out) {
-  const JsonValue request = parse_json(line);
-  const std::string& cmd = request.at("cmd").as_string();
-  cmd_out = cmd;
-  if (cmd == "shutdown") {
-    writer.begin_object();
-    writer.key("ok").value(true);
-    writer.end_object();
-    return false;
-  }
-  if (cmd == "version") {
-    writer.begin_object();
-    writer.key("ok").value(true);
-    writer.key("version").value(core::kToolchainVersion);
-    writer.end_object();
-  } else if (cmd == "load") {
-    handle_load(session, request, writer);
-  } else if (cmd == "update") {
-    handle_update(session, request, writer);
-  } else if (cmd == "verify") {
-    handle_run(session, request, /*json=*/false, writer);
-  } else if (cmd == "report") {
-    handle_run(session, request, /*json=*/true, writer);
-  } else if (cmd == "stats") {
-    handle_stats(session, writer);
-  } else if (cmd == "metrics") {
-    handle_metrics(session, writer);
-  } else if (cmd == "trace") {
-    handle_trace(request, writer);
-  } else {
-    write_error(writer, "unknown command '" + cmd + "'");
-  }
-  return true;
-}
-
-}  // namespace
 
 int run_daemon(const CliOptions& session_options, std::istream& in,
                std::ostream& out, std::ostream& err) {
@@ -378,8 +28,6 @@ int run_daemon(const CliOptions& session_options, std::istream& in,
   limits.timeout_ms = session_options.timeout_ms;
   support::guard::ScopedLimits guard(limits);
 
-  Workspace workspace;
-  workspace.set_lint_options(core::LintOptions{session_options.dfa_budget});
   std::optional<core::BehaviorCache> cache;
   if (session_options.cache_dir) {
     try {
@@ -388,106 +36,38 @@ int run_daemon(const CliOptions& session_options, std::istream& in,
       err << "shelleyd: " << error.what() << "\n";
       return 2;
     }
-    workspace.set_cache(&*cache);
   }
-  QueryEngine engine(workspace);
-  Session session{session_options, workspace, engine};
+  // The degenerate single-session transport: a private memo tier and
+  // session-local request ids (SessionShared defaults), one line in, one
+  // line out.  The socket server runs the very same Session per client.
+  SessionShared shared;
+  if (cache) shared.cache = &*cache;
+  Session session(session_options, shared);
 
   // Files given on the command line are loaded before the first request,
   // with the loader's stderr going to the real stderr (wire responses
   // only cover wire-initiated loads).
-  if (!session_options.files.empty()) {
-    load_inputs(workspace, session_options.files, err);
-  }
+  session.load_initial_files(err);
 
+  namespace log = support::log;
   if (log::enabled()) {
     log::write(log::Level::kInfo, "daemon.start", 0,
                {log::Field("slow_ms", session_options.slow_ms)});
   }
 
   std::string line;
-  bool running = true;
-  while (running && std::getline(in, line)) {
+  while (std::getline(in, line)) {
     if (line.empty()) continue;
-    const std::uint64_t request_id = ++session.requests;
-    // Observability wrapper, all gated so a bare daemon still pays one
-    // relaxed load per surface: install the request's trace context (so
-    // every span of this request -- including pool workers downstream of
-    // submit() -- carries its id), time the request, and log its
-    // start/finish/error.
-    const bool timed = metrics::enabled() || log::enabled();
-    const auto started = timed ? std::chrono::steady_clock::now()
-                               : std::chrono::steady_clock::time_point{};
-    if (log::enabled()) {
-      log::write(log::Level::kInfo, "request.start", request_id,
-                 {log::Field("bytes", std::uint64_t{line.size()})});
-    }
-    JsonWriter writer;
-    std::string cmd;
-    bool failed = false;
-    std::string failure;
-    {
-      std::optional<trace::ScopedContext> scoped;
-      std::optional<trace::Span> span;
-      if (trace::enabled()) {
-        scoped.emplace(trace::TraceContext{request_id, 0});
-        span.emplace("daemon.request");
-      }
-      try {
-        running = handle_request(session, line, writer, cmd);
-      } catch (const std::exception& error) {
-        failed = true;
-        failure = error.what();
-      } catch (...) {
-        failed = true;
-        failure = "unknown error";
-      }
-      if (span && span->active()) {
-        span->arg("cmd", cmd.empty() ? std::string_view("invalid")
-                                     : std::string_view(cmd));
-      }
-    }
-    std::uint64_t elapsed_us = 0;
-    if (timed) {
-      elapsed_us = static_cast<std::uint64_t>(
-          std::chrono::duration_cast<std::chrono::microseconds>(
-              std::chrono::steady_clock::now() - started)
-              .count());
-    }
-    if (metrics::enabled()) {
-      metrics::histogram("daemon.request_us").record(elapsed_us);
-    }
-    if (failed) {
-      ++session.request_errors;
-      if (log::enabled()) {
-        log::write(log::Level::kError, "request.error", request_id,
-                   {log::Field("cmd", cmd.empty() ? "invalid" : cmd),
-                    log::Field("error", failure),
-                    log::Field("elapsed_us", elapsed_us)});
-      }
-      JsonWriter fresh;  // discard any half-written response
-      write_error(fresh, failure);
-      out << fresh.str() << "\n" << std::flush;
-      continue;
-    }
-    if (log::enabled()) {
-      log::write(log::Level::kInfo, "request.finish", request_id,
-                 {log::Field("cmd", cmd),
-                  log::Field("elapsed_us", elapsed_us)});
-      if (session_options.slow_ms > 0 &&
-          elapsed_us > session_options.slow_ms * 1000) {
-        log::write(log::Level::kWarn, "request.slow", request_id,
-                   {log::Field("cmd", cmd),
-                    log::Field("elapsed_us", elapsed_us),
-                    log::Field("threshold_ms", session_options.slow_ms)});
-      }
-    }
-    out << writer.str() << "\n" << std::flush;
+    const Session::Outcome outcome = session.handle_line(line);
+    out << outcome.response << "\n" << std::flush;
+    // Over stdio there is no server distinct from the session, so both
+    // shutdown scopes end the loop.
+    if (outcome.shutdown) break;
   }
   if (log::enabled()) {
     log::write(log::Level::kInfo, "daemon.stop", 0,
-               {log::Field("requests", session.requests),
-                log::Field("errors", session.request_errors)});
+               {log::Field("requests", session.requests()),
+                log::Field("errors", session.request_errors())});
   }
   return 0;
 }

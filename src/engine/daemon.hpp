@@ -14,7 +14,10 @@
 //   {"cmd":"report","class"?,"jobs"?,"stats"?}
 //                                        -> shelleyc's --json bytes
 //   {"cmd":"stats"}                      -> memo/query/parse/cache counters
-//   {"cmd":"shutdown"}                   -> {"ok":true}, then the loop ends
+//   {"cmd":"shutdown","scope"?}          -> {"ok":true}, then the loop ends
+//                                           (over stdio, scope "server"
+//                                           behaves like a plain shutdown;
+//                                           see engine/server.hpp)
 //
 // verify/report responses carry, in "output" and "errors", the exact
 // stdout/stderr bytes a cold `shelleyc` run over the current sources
@@ -24,6 +27,10 @@
 // cannot accumulate state.  Verification runs on the persistent shared
 // thread pool (support::parallel_for), so a long-lived daemon never
 // re-spawns threads per request.
+//
+// This stdio loop is the degenerate single-session transport over
+// engine/session.hpp; the concurrent multi-session socket transport is
+// engine/server.hpp.
 #pragma once
 
 #include <iosfwd>

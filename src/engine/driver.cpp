@@ -87,6 +87,15 @@ void print_usage(std::ostream& out, const std::string& tool) {
          "                      (0 = default, 256)\n"
          "  --slow-ms N         daemon: log requests slower than N ms to\n"
          "                      the structured log (0 = off)\n"
+         "  --socket PATH       daemon: serve concurrent sessions over a\n"
+         "                      Unix-domain socket at PATH (stdio stays\n"
+         "                      the single-session default)\n"
+         "  --connect PATH      daemon: bridge stdin/stdout to the server\n"
+         "                      listening at PATH\n"
+         "  --max-inflight N    server: run at most N requests at once\n"
+         "                      across all sessions (0 = hardware default)\n"
+         "  --session-queue N   server: reject a session's requests once N\n"
+         "                      are already pending (default 16)\n"
          "  --version           print the toolchain version and exit\n";
 }
 
@@ -154,6 +163,27 @@ std::optional<CliOptions> parse_cli_args(int argc, char** argv,
     } else if (arg == "--trace-out") {
       options.trace_out = next();
       if (!options.trace_out) return std::nullopt;
+    } else if (arg == "--socket") {
+      options.socket_path = next();
+      if (!options.socket_path) return std::nullopt;
+    } else if (arg == "--connect") {
+      options.connect_path = next();
+      if (!options.connect_path) return std::nullopt;
+    } else if (arg == "--max-inflight" || arg == "--session-queue") {
+      const auto value = next();
+      if (!value) return std::nullopt;
+      const long parsed = std::atol(value->c_str());
+      if (parsed < 0 || (arg == "--session-queue" && parsed < 1)) {
+        err << tool << ": " << arg << " needs a "
+            << (arg == "--session-queue" ? "positive" : "non-negative")
+            << " integer\n";
+        return std::nullopt;
+      }
+      if (arg == "--max-inflight") {
+        options.max_inflight = static_cast<std::size_t>(parsed);
+      } else {
+        options.session_queue_depth = static_cast<std::size_t>(parsed);
+      }
     } else if (arg == "--dfa-budget" || arg == "--max-states" ||
                arg == "--timeout-ms" || arg == "--max-input-bytes" ||
                arg == "--max-depth" || arg == "--slow-ms") {

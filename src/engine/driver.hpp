@@ -43,6 +43,16 @@ struct CliOptions {
   // Daemon slow-query threshold: requests taking longer than this many ms
   // get a "request.slow" structured-log line (0 = off).
   std::uint64_t slow_ms = 0;
+  // Daemon transports (shelleyd only).  --socket PATH serves N concurrent
+  // sessions over a Unix-domain socket; --connect PATH bridges stdio to a
+  // running server; neither set = the classic stdio daemon.
+  std::optional<std::string> socket_path;
+  std::optional<std::string> connect_path;
+  // Server scheduling: executor threads = max concurrently running
+  // requests (0 = hardware default), and the per-session pending-request
+  // bound past which admission control rejects.
+  std::size_t max_inflight = 0;
+  std::size_t session_queue_depth = 16;
   // Resource guards (support::guard); zeros keep the built-in defaults /
   // leave the check disabled.
   std::size_t max_states = 0;

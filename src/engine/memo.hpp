@@ -17,7 +17,11 @@
 // separately from invalidation, which is a correctness event.
 //
 // Internally synchronized: the daemon may run queries for several classes
-// concurrently on the shared thread pool.
+// concurrently on the shared thread pool, and the socket server shares one
+// tier across every client session (sound because keys are
+// content-addressed class fingerprints, independent of any session's
+// symbol table -- two sessions with identical sources compute identical
+// keys and replay identical bytes).
 #pragma once
 
 #include <cstdint>

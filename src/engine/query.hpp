@@ -49,7 +49,15 @@ struct SmvArtifact {
 
 class QueryEngine {
  public:
-  explicit QueryEngine(Workspace& workspace) : workspace_(workspace) {}
+  /// `shared` optionally points the engine at a caller-owned MemoTier
+  /// instead of a private one -- the socket server hands every session the
+  /// same tier, which is sound because keys are content-addressed class
+  /// fingerprints (symbol-table independent) and MemoTier is internally
+  /// synchronized.  With `shared == nullptr` the engine owns its tier, as
+  /// the stdio daemon and the batch client always did.
+  explicit QueryEngine(Workspace& workspace, MemoTier* shared = nullptr)
+      : workspace_(workspace),
+        memo_(shared != nullptr ? *shared : owned_memo_) {}
 
   QueryEngine(const QueryEngine&) = delete;
   QueryEngine& operator=(const QueryEngine&) = delete;
@@ -97,7 +105,8 @@ class QueryEngine {
 
  private:
   Workspace& workspace_;
-  MemoTier memo_;
+  MemoTier owned_memo_;  ///< backing store when no shared tier was given
+  MemoTier& memo_;
   mutable std::mutex stats_mutex_;
   QueryStats stats_;
 };

@@ -1,0 +1,145 @@
+#include "engine/scheduler.hpp"
+
+#include "support/metrics.hpp"
+#include "support/thread_pool.hpp"
+
+namespace shelley::engine {
+
+namespace metrics = support::metrics;
+
+Scheduler::Scheduler(const Options& options)
+    : queue_depth_(options.session_queue_depth > 0
+                       ? options.session_queue_depth
+                       : 1) {
+  const std::size_t executors =
+      options.executors > 0 ? options.executors
+                            : support::ThreadPool::hardware_default();
+  executors_.reserve(executors);
+  for (std::size_t i = 0; i < executors; ++i) {
+    executors_.emplace_back([this] { executor_loop(); });
+  }
+}
+
+Scheduler::~Scheduler() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& executor : executors_) executor.join();
+}
+
+std::uint64_t Scheduler::add_session() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t id = ++next_session_;
+  sessions_.emplace(id, SessionQueue{});
+  return id;
+}
+
+void Scheduler::remove_session(std::uint64_t session) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto it = sessions_.find(session);
+  if (it == sessions_.end()) return;
+  idle_.wait(lock, [&] {
+    return it->second.tasks.empty() && !it->second.running;
+  });
+  // Not in ready_ either: a session enters the ready list only with
+  // pending tasks, and leaves it before its task runs.
+  sessions_.erase(it);
+}
+
+Scheduler::Admission Scheduler::submit(std::uint64_t session, Task task) {
+  std::size_t backlog = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = sessions_.find(session);
+    if (it == sessions_.end()) return Admission::kRejectedUnknownSession;
+    SessionQueue& queue = it->second;
+    if (queue.tasks.size() >= queue_depth_) {
+      ++stats_.rejected;
+      if (metrics::enabled()) metrics::counter("sched.rejected").add();
+      return Admission::kRejectedQueueFull;
+    }
+    queue.tasks.emplace_back(std::move(task),
+                             std::chrono::steady_clock::now());
+    ++stats_.submitted;
+    if (!queue.running && queue.tasks.size() == 1) {
+      ready_.push_back(session);
+    }
+    backlog = pending_locked();
+  }
+  if (metrics::enabled()) {
+    metrics::counter("sched.submitted").add();
+    metrics::histogram("daemon.queue_depth").record(backlog);
+  }
+  work_available_.notify_one();
+  return Admission::kAccepted;
+}
+
+void Scheduler::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [&] { return pending_locked() == 0 && inflight_ == 0; });
+}
+
+Scheduler::Stats Scheduler::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Stats out = stats_;
+  out.sessions = sessions_.size();
+  return out;
+}
+
+std::size_t Scheduler::pending_locked() const {
+  std::size_t pending = 0;
+  for (const auto& [id, queue] : sessions_) pending += queue.tasks.size();
+  return pending;
+}
+
+void Scheduler::executor_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    work_available_.wait(lock, [&] { return stopping_ || !ready_.empty(); });
+    if (stopping_) return;
+    const std::uint64_t session = ready_.front();
+    ready_.pop_front();
+    const auto it = sessions_.find(session);
+    if (it == sessions_.end() || it->second.tasks.empty()) continue;
+    SessionQueue& queue = it->second;
+    auto [task, enqueued] = std::move(queue.tasks.front());
+    queue.tasks.pop_front();
+    queue.running = true;
+    ++inflight_;
+    lock.unlock();
+
+    if (metrics::enabled()) {
+      const auto waited =
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - enqueued);
+      metrics::histogram("daemon.sched_wait_us")
+          .record(static_cast<std::uint64_t>(waited.count()));
+    }
+    try {
+      task();
+    } catch (...) {
+      // Tasks own their error reporting (the server task wraps
+      // Session::handle_line, which never throws); a throw here must not
+      // take the executor down.
+    }
+
+    lock.lock();
+    ++stats_.executed;
+    --inflight_;
+    // The session may have been erased while its task ran only if
+    // remove_session returned early -- it cannot, because it waits on
+    // running; re-find to stay safe against future changes.
+    const auto again = sessions_.find(session);
+    if (again != sessions_.end()) {
+      again->second.running = false;
+      // Round-robin fairness: a session re-enters the ready list at the
+      // back, behind every other session that accumulated work meanwhile.
+      if (!again->second.tasks.empty()) ready_.push_back(session);
+    }
+    idle_.notify_all();
+  }
+}
+
+}  // namespace shelley::engine

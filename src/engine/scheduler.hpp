@@ -1,0 +1,115 @@
+// The multi-session request scheduler: admission control and round-robin
+// fair queuing for the socket server (docs/ARCHITECTURE.md).
+//
+// Layering follows the engine/executor split of serving stacks: the
+// scheduler owns the queues and the dispatch policy, a small set of
+// executor threads owns request execution, and the executors fan
+// per-request verification work out to the process-wide
+// support::ThreadPool exactly like the stdio daemon does.  Each session
+// owns a bounded FIFO of pending requests executed strictly in arrival
+// order (the wire protocol is sequential per client), while distinct
+// sessions run concurrently on up to `executors` threads.  Fairness is
+// round-robin per request: a session that just ran a request goes to the
+// back of the ready list, so one chatty client pays with its own latency,
+// never with anyone else's.
+//
+// Admission control is per session: once a session has
+// `session_queue_depth` requests pending, further submissions are
+// rejected synchronously (the server answers them with a structured
+// reject reply instead of queueing unboundedly).  Observability: when
+// metrics collection is on, every accepted request records the global
+// backlog into the `daemon.queue_depth` histogram at enqueue and its
+// enqueue-to-dispatch wait into `daemon.sched_wait_us` at dispatch, and
+// the `sched.submitted` / `sched.rejected` counters tally admissions.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace shelley::engine {
+
+class Scheduler {
+ public:
+  struct Options {
+    /// Executor threads = the request-level concurrency cap (max in-flight
+    /// requests across all sessions).  0 = ThreadPool::hardware_default().
+    std::size_t executors = 0;
+    /// Pending requests one session may hold before submissions are
+    /// rejected (floored at 1).
+    std::size_t session_queue_depth = 16;
+  };
+
+  enum class Admission : std::uint8_t {
+    kAccepted,
+    kRejectedQueueFull,
+    kRejectedUnknownSession,
+  };
+
+  struct Stats {
+    std::uint64_t submitted = 0;  ///< accepted into a session queue
+    std::uint64_t rejected = 0;   ///< refused by admission control
+    std::uint64_t executed = 0;   ///< tasks run to completion
+    std::size_t sessions = 0;     ///< currently registered sessions
+  };
+
+  using Task = std::function<void()>;
+
+  explicit Scheduler(const Options& options);
+
+  /// Stops the executors.  Pending tasks of still-registered sessions are
+  /// dropped; callers that need them run must drain() first.
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Registers a new session and returns its id (never reused).
+  [[nodiscard]] std::uint64_t add_session();
+
+  /// Blocks until `session` has no pending or running task, then drops it.
+  /// Unknown ids are ignored (a double remove is harmless).
+  void remove_session(std::uint64_t session);
+
+  /// Enqueues `task` on `session`'s FIFO.  Tasks of one session run one at
+  /// a time in submission order; tasks of distinct sessions interleave
+  /// round-robin.  Never blocks: a full session queue rejects instead.
+  [[nodiscard]] Admission submit(std::uint64_t session, Task task);
+
+  /// Blocks until every queue is empty and every executor is idle.
+  void drain();
+
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] std::size_t executor_count() const {
+    return executors_.size();
+  }
+
+ private:
+  struct SessionQueue {
+    std::deque<std::pair<Task, std::chrono::steady_clock::time_point>> tasks;
+    bool running = false;
+  };
+
+  void executor_loop();
+  [[nodiscard]] std::size_t pending_locked() const;
+
+  const std::size_t queue_depth_;
+  mutable std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::map<std::uint64_t, SessionQueue> sessions_;
+  std::deque<std::uint64_t> ready_;  ///< sessions with work, not running
+  std::vector<std::thread> executors_;
+  std::uint64_t next_session_ = 0;
+  std::size_t inflight_ = 0;
+  Stats stats_;
+  bool stopping_ = false;
+};
+
+}  // namespace shelley::engine

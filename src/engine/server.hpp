@@ -1,0 +1,130 @@
+// The concurrent multi-session transport: a Unix-domain socket listener
+// accepting N clients, each with its own Session (workspace + query
+// engine), all sharing one process-wide MemoTier, the on-disk
+// BehaviorCache, and the support::ThreadPool.
+//
+// Layering (docs/ARCHITECTURE.md): one reader thread per connection
+// splits the byte stream into NDJSON requests and submits them to the
+// Scheduler, whose executor threads run Session::handle_line and write
+// the response back under the connection's write lock.  The scheduler
+// serializes each session's requests (strict FIFO, so the wire protocol
+// stays sequential per client) and round-robins across sessions, and its
+// admission control answers over-quota requests immediately with a
+// structured reject reply ({"ok":false,...,"rejected":true}) instead of
+// queueing unboundedly -- the reject is written from the reader thread,
+// so it is the one reply that may overtake queued responses.
+//
+// Sharing MemoTier/BehaviorCache across sessions is sound because both
+// are keyed by content-addressed class fingerprints (symbol-table
+// independent) and internally synchronized; replies stay byte-identical
+// to a dedicated single-session daemon, which the server tests pin.
+//
+// A client's {"cmd":"shutdown"} ends only its own session; with
+// "scope":"server" it also stops the whole server (accepting stops, live
+// sessions drain, the socket file is removed).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/driver.hpp"
+#include "engine/memo.hpp"
+#include "engine/scheduler.hpp"
+
+namespace shelley::core {
+class BehaviorCache;
+}
+
+namespace shelley::engine {
+
+class Session;
+
+class SocketServer {
+ public:
+  struct Options {
+    std::string socket_path;
+    /// Executor threads = max concurrently running requests across all
+    /// sessions.  0 = ThreadPool::hardware_default().
+    std::size_t max_inflight = 0;
+    /// Pending requests one session may queue before admission control
+    /// rejects (Scheduler::Options::session_queue_depth).
+    std::size_t session_queue_depth = 16;
+  };
+
+  /// `defaults` is the per-session configuration every accepted client
+  /// starts from (its files are loaded into each new session); `cache`
+  /// may be null.  Guard limits must already be armed by the caller.
+  SocketServer(const CliOptions& defaults, const Options& options,
+               core::BehaviorCache* cache);
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// Binds and listens on the configured path (removing a stale socket
+  /// file first).  On failure writes a diagnostic to `err` and returns
+  /// false.
+  [[nodiscard]] bool start(std::ostream& err);
+
+  /// Accepts and serves clients until request_stop() (or a
+  /// scope:"server" shutdown request).  Returns the process exit status.
+  int serve();
+
+  /// Asks serve() to stop; safe from any thread, including executor
+  /// tasks.  serve() notices within its poll interval, stops accepting,
+  /// drains live sessions, and removes the socket file.
+  void request_stop() { stop_requested_.store(true); }
+
+  [[nodiscard]] const std::string& socket_path() const {
+    return options_.socket_path;
+  }
+  [[nodiscard]] Scheduler& scheduler() { return scheduler_; }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::uint64_t scheduler_id = 0;
+    std::unique_ptr<Session> session;
+    std::mutex write_mutex;
+    std::thread reader;
+    std::atomic<bool> done{false};
+  };
+
+  void reader_loop(Connection& conn);
+  void dispatch_line(Connection& conn, std::string line);
+  void write_line(Connection& conn, const std::string& line);
+  void reap_finished();
+  void shutdown_all();
+
+  CliOptions defaults_;
+  Options options_;
+  core::BehaviorCache* cache_;
+  MemoTier shared_memo_;
+  std::atomic<std::uint64_t> request_serial_{0};
+  Scheduler scheduler_;
+  int listen_fd_ = -1;
+  std::atomic<bool> stop_requested_{false};
+  std::vector<std::unique_ptr<Connection>> connections_;  ///< serve() only
+  std::mutex err_mutex_;
+  std::ostream* err_ = nullptr;
+};
+
+/// shelleyd --socket PATH: arms the guards, opens the cache, runs a
+/// SocketServer until a scope:"server" shutdown.  Returns the exit
+/// status.
+[[nodiscard]] int run_server(const CliOptions& options, std::ostream& err);
+
+/// shelleyd --connect PATH: the stdio bridge -- forwards `in` lines to
+/// the server and server bytes to `out`, so scripts and tests speak to a
+/// socket server exactly like they speak to a stdio daemon.  Ends at
+/// stdin EOF or when the server closes the session.
+[[nodiscard]] int run_client(const CliOptions& options, std::istream& in,
+                             std::ostream& out, std::ostream& err);
+
+}  // namespace shelley::engine

@@ -34,6 +34,10 @@ class ThreadPool {
 
   [[nodiscard]] std::size_t worker_count() const { return threads_.size(); }
 
+  /// Tasks currently queued (excluding running ones); a point-in-time
+  /// reading for observability, stale the moment it returns.
+  [[nodiscard]] std::size_t queue_depth() const;
+
   /// std::thread::hardware_concurrency with a floor of 1 (the standard
   /// allows it to report 0 when unknown).
   [[nodiscard]] static std::size_t hardware_default();
@@ -52,7 +56,7 @@ class ThreadPool {
  private:
   void worker_loop();
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable work_available_;
   std::condition_variable all_idle_;
   std::deque<std::function<void()>> queue_;

@@ -19,6 +19,7 @@
 
 #include "engine/driver.hpp"
 #include "engine/query.hpp"
+#include "engine/session.hpp"
 #include "engine/workspace.hpp"
 #include "paper_sources.hpp"
 #include "support/json.hpp"
@@ -442,6 +443,96 @@ TEST_F(DaemonObsTest, ObservabilityOffLeavesRepliesByteIdentical) {
           << "response " << i;
     }
   }
+}
+
+TEST_F(DaemonObsTest, SwallowedRunFailureIsAnErrorReplyAndCounted) {
+  // The error-accounting fix: a run_cli failure inside verify/report must
+  // surface as {"ok":false,...}, count in request_errors, and leave a
+  // request.error log line -- never a fabricated ok:true report.
+  ASSERT_TRUE(log::configure(log_path_));
+  testing::fail_next_run(true);
+  const auto responses = daemon_session({
+      R"({"cmd":"version"})",          // 1
+      load_request(),                  // 2
+      R"({"cmd":"verify","jobs":1})",  // 3 (injected failure)
+      R"({"cmd":"verify","jobs":1})",  // 4 (recovers)
+      R"({"cmd":"stats"})",            // 5
+      R"({"cmd":"metrics"})",          // 6
+      R"({"cmd":"shutdown"})",         // 7
+  });
+  testing::fail_next_run(false);
+  log::configure("");
+  ASSERT_EQ(responses.size(), 7u);
+
+  const JsonValue& failed = responses[2];
+  EXPECT_FALSE(failed.at("ok").as_bool());
+  EXPECT_NE(failed.at("error").as_string().find("shelleyc: internal error"),
+            std::string::npos);
+  EXPECT_NE(failed.at("error").as_string().find("injected run failure"),
+            std::string::npos);
+
+  // The session recovers: the next verify answers with the real report.
+  const JsonValue& recovered = responses[3];
+  EXPECT_TRUE(recovered.at("ok").as_bool());
+  EXPECT_NE(recovered.at("output").as_string().find("Valve: ok"),
+            std::string::npos);
+
+  const JsonValue& stats = responses[4];
+  ASSERT_TRUE(stats.at("ok").as_bool());
+  EXPECT_EQ(stats.at("requests").as_number(), 5.0);
+  EXPECT_EQ(stats.at("request_errors").as_number(), 1.0);
+
+  // The gauge reaches the Prometheus surface too.
+  const std::string& body = responses[5].at("body").as_string();
+  EXPECT_NE(body.find("shelley_daemon_request_errors_total 1"),
+            std::string::npos);
+
+  std::ifstream in(log_path_);
+  std::string line;
+  bool found_error = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const JsonValue doc = parse_json(line);
+    if (doc.at("event").as_string() != "request.error") continue;
+    found_error = true;
+    EXPECT_EQ(doc.at("request").as_number(), 3.0);
+    EXPECT_EQ(doc.at("cmd").as_string(), "verify");
+    EXPECT_NE(doc.at("error").as_string().find("injected run failure"),
+              std::string::npos);
+    EXPECT_EQ(doc.at("level").as_string(), "error");
+  }
+  EXPECT_TRUE(found_error);
+}
+
+TEST_F(DaemonObsTest, PrometheusRenderDeduplicatesCollidingSanitizedNames) {
+  // "collide.a_us" and "collide_a.us" both sanitize to
+  // "shelley_collide_a_us"; before the fix the exposition announced the
+  // same "# TYPE" family twice, which Prometheus rejects.
+  metrics::counter("collide.a_us").add(3);
+  metrics::counter("collide_a.us").add(5);
+  metrics::histogram("collide.h_us").record(7);
+  metrics::histogram("collide_h.us").record(9);
+  const auto responses = daemon_session({
+      R"({"cmd":"metrics"})",
+      R"({"cmd":"shutdown"})",
+  });
+  ASSERT_EQ(responses.size(), 2u);
+  const std::string& body = responses[0].at("body").as_string();
+
+  std::set<std::string> families;
+  std::istringstream lines(body);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.rfind("# TYPE ", 0) != 0) continue;
+    const auto space = line.rfind(' ');
+    const std::string name = line.substr(7, space - 7);
+    EXPECT_TRUE(families.insert(name).second) << "duplicate family " << name;
+  }
+  // Both colliding series survive, under deterministic suffixed names.
+  EXPECT_TRUE(families.contains("shelley_collide_a_us_total"));
+  EXPECT_TRUE(families.contains("shelley_collide_a_us_total_2"));
+  EXPECT_TRUE(families.contains("shelley_collide_h_us"));
+  EXPECT_TRUE(families.contains("shelley_collide_h_us_2"));
 }
 
 }  // namespace

@@ -161,6 +161,44 @@ TEST(HistogramMerge, EmptyIsTheIdentity) {
   EXPECT_EQ(after.max, before.max);
 }
 
+TEST(HistogramMerge, MergeIntoAnEmptyTargetAdoptsThePeerMin) {
+  // The regression this pins: an empty target's sentinel min (all-ones in
+  // the histogram, 0 in a default snapshot) must not survive or poison the
+  // merge -- merging {min=5,...} into an empty side yields min=5, not 0.
+  Histogram empty_hist;
+  Histogram peer;
+  peer.record(5);
+  peer.record(500);
+  empty_hist.merge(peer.snapshot());  // histogram-side, empty target
+  const Histogram::Snapshot from_hist = empty_hist.snapshot();
+  EXPECT_EQ(from_hist.count, 2u);
+  EXPECT_EQ(from_hist.min, 5u);
+  EXPECT_EQ(from_hist.max, 500u);
+  EXPECT_EQ(from_hist.sum, 505u);
+
+  Histogram::Snapshot empty_snap;  // snapshot-side, empty target
+  empty_snap.merge(peer.snapshot());
+  EXPECT_EQ(empty_snap.count, 2u);
+  EXPECT_EQ(empty_snap.min, 5u);
+  EXPECT_EQ(empty_snap.max, 500u);
+  EXPECT_EQ(empty_snap.sum, 505u);
+}
+
+TEST(HistogramMerge, EmptyIntoEmptyStaysEmpty) {
+  Histogram::Snapshot target;
+  target.merge(Histogram::Snapshot{});
+  EXPECT_EQ(target.count, 0u);
+  EXPECT_EQ(target.min, 0u);
+  EXPECT_EQ(target.max, 0u);
+  EXPECT_EQ(target.sum, 0u);
+  Histogram h;
+  h.merge(Histogram().snapshot());
+  const Histogram::Snapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.min, 0u);
+  EXPECT_EQ(snap.max, 0u);
+}
+
 TEST(HistogramMerge, FoldsAPeerIntoTheRegistry) {
   Histogram peer;
   peer.record(16);

@@ -236,4 +236,29 @@ else
     echo "bench_to_json.sh: bench_daemon not built; skipping" >&2
 fi
 
+# Multi-session socket server: bench_server replays 8 clients x 32
+# interleaved sessions (hundreds of connections, thousands of requests)
+# against one in-process server over real Unix sockets and emits one JSON
+# object -- throughput plus client-side latency quantiles -- on stdout.
+# Spliced in as "server_sessions"; the p50_us/p99_us/wall_ms walls are
+# gated by tools/check_bench_regression.sh.
+bench_server="$build_dir/bench/bench_server"
+if [ -x "$bench_server" ]; then
+    if server_json=$("$bench_server" 2>/dev/null | tail -n 1) &&
+        [ -n "$server_json" ]; then
+        out="$root/BENCH_automata.json"
+        tmp="$out.tmp"
+        awk 'NR > 1 { print prev }
+             { prev = $0 }
+             END { sub(/}[[:space:]]*$/, "", prev); print prev }' "$out" > "$tmp"
+        printf ',"server_sessions":%s}\n' "$server_json" >> "$tmp"
+        mv "$tmp" "$out"
+        echo "server_sessions: $server_json"
+    else
+        echo "bench_to_json.sh: bench_server run failed; skipping" >&2
+    fi
+else
+    echo "bench_to_json.sh: bench_server not built; skipping" >&2
+fi
+
 echo "wrote $root/BENCH_automata.json"

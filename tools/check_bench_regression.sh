@@ -7,8 +7,9 @@
 #   tools/check_bench_regression.sh [current.json] [baseline.json] [ratio]
 #
 # Compared metrics: every google-benchmark cpu_time (keyed by benchmark
-# name) and the cold_ms/warm_ms walls of the spliced incremental_verify /
-# daemon_verify keys.  Ignored on purpose: higher-is-better fields
+# name), the cold_ms/warm_ms walls of the spliced incremental_verify /
+# daemon_verify keys, and the p50_us/p99_us/wall_ms walls of the spliced
+# server_sessions key.  Ignored on purpose: higher-is-better fields
 # (speedup), the noisy per-class elapsed_ms inside pipeline_stats, and the
 # ablation families (BM_Ablation_*, BM_*_EagerProduct) -- those measure the
 # deliberately-unoptimized contrast algorithms, not shipped code paths, so
@@ -39,6 +40,19 @@ extract() {
         print prefix "/warm_ms " substr(blob, RSTART + 10, RLENGTH - 10)
       }
     }
+    # server_sessions walls: latency quantiles and the total wall; the
+    # higher-is-better throughput_rps is skipped like speedup.
+    function emit_latencies(prefix, blob) {
+      if (match(blob, /"p50_us":[0-9.eE+-]+/)) {
+        print prefix "/p50_us " substr(blob, RSTART + 9, RLENGTH - 9)
+      }
+      if (match(blob, /"p99_us":[0-9.eE+-]+/)) {
+        print prefix "/p99_us " substr(blob, RSTART + 9, RLENGTH - 9)
+      }
+      if (match(blob, /"wall_ms":[0-9.eE+-]+/)) {
+        print prefix "/wall_ms " substr(blob, RSTART + 10, RLENGTH - 10)
+      }
+    }
     /^[[:space:]]*"name":/ {
       name = $0
       sub(/^[[:space:]]*"name":[[:space:]]*"/, "", name)
@@ -59,6 +73,9 @@ extract() {
       }
       if (match($0, /"daemon_verify":\{[^}]*\}/)) {
         emit_walls("daemon_verify", substr($0, RSTART, RLENGTH))
+      }
+      if (match($0, /"server_sessions":\{[^}]*\}/)) {
+        emit_latencies("server_sessions", substr($0, RSTART, RLENGTH))
       }
     }
   ' "$1"

@@ -1,13 +1,19 @@
 // shelleyd -- the persistent Shelley-MP verification daemon.
 //
-//   shelleyd [options] [file.py...]
+//   shelleyd [options] [file.py...]              stdio, single session
+//   shelleyd --socket PATH [options] [file.py..] concurrent socket server
+//   shelleyd --connect PATH                      stdio bridge to a server
 //
-// Speaks newline-delimited JSON over stdin/stdout (one request per line,
-// one response per line; see src/engine/daemon.hpp and
-// docs/ARCHITECTURE.md for the command reference).  Accepts shelleyc's
-// session options (--cache, --jobs, --dfa-budget, the resource guards);
-// files on the command line are loaded before the first request, or load
-// them over the wire with {"cmd":"load",...}.
+// Speaks newline-delimited JSON (one request per line, one response per
+// line; see src/engine/daemon.hpp and docs/ARCHITECTURE.md for the
+// command reference).  Accepts shelleyc's session options (--cache,
+// --jobs, --dfa-budget, the resource guards); files on the command line
+// are loaded before each session's first request, or load them over the
+// wire with {"cmd":"load",...}.  With --socket, every accepted client
+// gets its own session (workspace + engine) while all sessions share the
+// in-memory memo tier, the on-disk cache, and the thread pool; --max-
+// inflight and --session-queue bound the server's concurrency and
+// per-session backlog.
 //
 // verify/report responses carry the exact bytes (and exit status) a cold
 // shelleyc run over the current sources would produce, while the
@@ -18,6 +24,7 @@
 
 #include "engine/daemon.hpp"
 #include "engine/driver.hpp"
+#include "engine/server.hpp"
 #include "shelley/fingerprint.hpp"
 
 int main(int argc, char** argv) {
@@ -39,9 +46,20 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  if (parsed->socket_path && parsed->connect_path) {
+    std::cerr << "shelleyd: --socket and --connect are exclusive\n";
+    return 2;
+  }
+
   int status = 2;
   try {
-    status = engine::run_daemon(*parsed, std::cin, std::cout, std::cerr);
+    if (parsed->connect_path) {
+      status = engine::run_client(*parsed, std::cin, std::cout, std::cerr);
+    } else if (parsed->socket_path) {
+      status = engine::run_server(*parsed, std::cerr);
+    } else {
+      status = engine::run_daemon(*parsed, std::cin, std::cout, std::cerr);
+    }
   } catch (const std::exception& error) {
     std::cerr << "shelleyd: internal error: " << error.what() << "\n";
   } catch (...) {

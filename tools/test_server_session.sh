@@ -1,0 +1,124 @@
+#!/bin/sh
+# Process-level exercise of the multi-session socket server: one
+# `shelleyd --socket` process serves four concurrent `shelleyd --connect`
+# clients, and each client's reply bytes must be identical to a dedicated
+# single-session stdio daemon fed the same request sequence.  A final
+# client stops the server with {"cmd":"shutdown","scope":"server"}.
+#
+# Usage: test_server_session.sh <shelleyd-binary> <workdir>
+set -eu
+
+SHELLEYD=$1
+DIR=$2
+
+rm -rf "$DIR"
+mkdir -p "$DIR"
+
+cat > "$DIR/valve.py" <<'EOF'
+@sys
+class Valve:
+    @op_initial
+    def test(self):
+        if x:
+            return ["open"]
+        else:
+            return ["clean"]
+
+    @op
+    def open(self):
+        return ["close"]
+
+    @op_final
+    def close(self):
+        return ["test"]
+
+    @op_final
+    def clean(self):
+        return ["test"]
+EOF
+
+cat > "$DIR/valve2.py" <<'EOF'
+@sys
+class Valve2:
+    @op_initial_final
+    def ping(self):
+        return []
+EOF
+
+# Four distinct sessions: overlapping files, serial and parallel verifies,
+# all ending in a plain per-session shutdown.  No stats/metrics (their
+# replies are timing-dependent by design).
+cat > "$DIR/req_1.txt" <<EOF
+{"cmd":"version"}
+{"cmd":"load","files":["$DIR/valve.py"]}
+{"cmd":"verify","jobs":1}
+{"cmd":"shutdown"}
+EOF
+cat > "$DIR/req_2.txt" <<EOF
+{"cmd":"load","files":["$DIR/valve.py","$DIR/valve2.py"]}
+{"cmd":"verify","jobs":2}
+{"cmd":"report","jobs":1}
+{"cmd":"shutdown"}
+EOF
+cat > "$DIR/req_3.txt" <<EOF
+{"cmd":"load","files":["$DIR/valve2.py"]}
+{"cmd":"verify","jobs":1}
+{"cmd":"verify","jobs":1}
+{"cmd":"shutdown"}
+EOF
+cat > "$DIR/req_4.txt" <<EOF
+{"cmd":"version"}
+{"cmd":"load","files":["$DIR/valve.py"]}
+{"cmd":"report","jobs":2}
+{"cmd":"verify","jobs":1}
+{"cmd":"shutdown"}
+EOF
+
+# References: each sequence against its own dedicated stdio daemon.
+for i in 1 2 3 4; do
+  "$SHELLEYD" < "$DIR/req_$i.txt" > "$DIR/expected_$i.txt"
+done
+
+SOCK=$DIR/shelleyd.sock
+"$SHELLEYD" --socket "$SOCK" 2> "$DIR/server_stderr.txt" &
+SERVER_PID=$!
+
+tries=0
+while [ ! -S "$SOCK" ]; do
+  tries=$((tries + 1))
+  if [ "$tries" -gt 100 ]; then
+    echo "FAIL: server socket never appeared" >&2
+    kill "$SERVER_PID" 2>/dev/null || true
+    exit 1
+  fi
+  sleep 0.1
+done
+
+# All four clients at once against the one server.
+for i in 1 2 3 4; do
+  "$SHELLEYD" --connect "$SOCK" < "$DIR/req_$i.txt" > "$DIR/actual_$i.txt" &
+  eval "CLIENT_$i=\$!"
+done
+status=0
+for i in 1 2 3 4; do
+  eval "wait \$CLIENT_$i" || status=1
+done
+
+for i in 1 2 3 4; do
+  if ! cmp -s "$DIR/expected_$i.txt" "$DIR/actual_$i.txt"; then
+    echo "FAIL: client $i replies differ from the dedicated daemon" >&2
+    diff "$DIR/expected_$i.txt" "$DIR/actual_$i.txt" >&2 || true
+    status=1
+  fi
+done
+if [ "$status" -ne 0 ]; then
+  kill "$SERVER_PID" 2>/dev/null || true
+  exit 1
+fi
+
+# scope:"server" stops the whole process, not just this session.
+printf '{"cmd":"shutdown","scope":"server"}\n' | \
+  "$SHELLEYD" --connect "$SOCK" > /dev/null
+wait "$SERVER_PID"
+
+echo "server session OK: 4 clients byte-identical"
