@@ -1,0 +1,133 @@
+// The two LTLf claim engines head to head (docs/ARCHITECTURE.md): the
+// on-the-fly tableau (ltlf/tableau.hpp) against the progression-DFA oracle
+// (ltlf/automaton.hpp) on the two workloads that separate them --
+//
+//   * shallow counterexample: the claim is violated a step or two into the
+//     system, so the tableau's early exit touches a handful of frames while
+//     the oracle still pays the full determinize-and-product pipeline;
+//   * deep proof: the claim holds, so both engines must exhaust the whole
+//     reachable product and the comparison is honest apples-to-apples.
+//
+// System size is the sweep axis (a ring of N states), which is exactly the
+// shape the demand-driven engine meets per class.
+#include "bench_common.hpp"
+
+#include "fsm/nfa.hpp"
+#include "fsm/ops.hpp"
+#include "ltlf/automaton.hpp"
+#include "ltlf/parser.hpp"
+#include "ltlf/tableau.hpp"
+
+namespace {
+
+using namespace shelley;
+
+struct RingFixture {
+  SymbolTable table;
+  Symbol a = table.intern("step");
+  Symbol brk = table.intern("brk");
+  std::vector<Symbol> alphabet{a, brk};
+
+  /// A ring of `n` states: `step` advances, state 0 additionally offers
+  /// `brk` (also advancing), every state is accepting.  The `brk` edge is
+  /// what the shallow family's violated invariant trips over immediately;
+  /// because every `brk` is followed by `step` (or the trace ends), the
+  /// deep family's `G (brk -> N step)` genuinely holds and forces a full
+  /// sweep.
+  fsm::Nfa ring(std::size_t n) const {
+    fsm::Nfa nfa;
+    for (std::size_t i = 0; i < n; ++i) (void)nfa.add_state();
+    for (std::size_t i = 0; i < n; ++i) {
+      nfa.add_transition(static_cast<fsm::StateId>(i), a,
+                         static_cast<fsm::StateId>((i + 1) % n));
+      nfa.mark_accepting(static_cast<fsm::StateId>(i));
+    }
+    nfa.add_transition(0, brk, static_cast<fsm::StateId>(1 % n));
+    nfa.mark_initial(0);
+    return nfa;
+  }
+};
+
+void print_artifact() {
+  shelley::bench::artifact_banner(
+      "ltlf engines: tableau vs progression-DFA oracle");
+  RingFixture fixture;
+  const fsm::Nfa nfa = fixture.ring(64);
+  const ltlf::Formula violated = ltlf::parse("G !brk", fixture.table);
+  const ltlf::Formula held = ltlf::parse("G (brk -> N step)", fixture.table);
+  const ltlf::TableauResult shallow =
+      ltlf::check_tableau(nfa, fixture.alphabet, violated);
+  const ltlf::TableauResult deep =
+      ltlf::check_tableau(nfa, fixture.alphabet, held);
+  std::printf("ring(64): shallow verdict=%s after %zu frames, "
+              "deep verdict=%s after %zu frames\n",
+              shallow.verdict == ltlf::TableauVerdict::kCounterexample
+                  ? "counterexample"
+                  : "holds",
+              shallow.frames,
+              deep.verdict == ltlf::TableauVerdict::kHolds ? "holds"
+                                                           : "counterexample",
+              deep.frames);
+  shelley::bench::end_banner();
+}
+
+// -- Shallow counterexample: violated one letter in ------------------------
+
+void BM_LtlfShallow_Tableau(benchmark::State& state) {
+  RingFixture fixture;
+  const fsm::Nfa nfa = fixture.ring(static_cast<std::size_t>(state.range(0)));
+  const ltlf::Formula f = ltlf::parse("G !brk", fixture.table);
+  for (auto _ : state) {
+    const auto result = ltlf::check_tableau(nfa, fixture.alphabet, f);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_LtlfShallow_Tableau)->Arg(16)->Arg(128)->Arg(512);
+
+void BM_LtlfShallow_Dfa(benchmark::State& state) {
+  RingFixture fixture;
+  const fsm::Nfa nfa = fixture.ring(static_cast<std::size_t>(state.range(0)));
+  const ltlf::Formula f = ltlf::parse("G !brk", fixture.table);
+  for (auto _ : state) {
+    const auto witness = ltlf::counterexample(
+        fsm::minimize(fsm::determinize(nfa, fixture.alphabet)), f);
+    benchmark::DoNotOptimize(witness);
+  }
+}
+BENCHMARK(BM_LtlfShallow_Dfa)->Arg(16)->Arg(128)->Arg(512);
+
+// -- Deep proof: the claim holds, both engines sweep everything ------------
+
+void BM_LtlfDeep_Tableau(benchmark::State& state) {
+  RingFixture fixture;
+  const fsm::Nfa nfa = fixture.ring(static_cast<std::size_t>(state.range(0)));
+  const ltlf::Formula f =
+      ltlf::parse("G (brk -> N step)", fixture.table);
+  for (auto _ : state) {
+    const auto result = ltlf::check_tableau(nfa, fixture.alphabet, f);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_LtlfDeep_Tableau)->Arg(16)->Arg(128)->Arg(512);
+
+void BM_LtlfDeep_Dfa(benchmark::State& state) {
+  RingFixture fixture;
+  const fsm::Nfa nfa = fixture.ring(static_cast<std::size_t>(state.range(0)));
+  const ltlf::Formula f =
+      ltlf::parse("G (brk -> N step)", fixture.table);
+  for (auto _ : state) {
+    const auto witness = ltlf::counterexample(
+        fsm::minimize(fsm::determinize(nfa, fixture.alphabet)), f);
+    benchmark::DoNotOptimize(witness);
+  }
+}
+BENCHMARK(BM_LtlfDeep_Dfa)->Arg(16)->Arg(128)->Arg(512);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_artifact();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -76,6 +76,12 @@ void print_usage(std::ostream& out, const std::string& tool) {
          "                      the whole run (load in Perfetto)\n"
          "  --dfa-budget N      warn when a class's minimized DFA exceeds\n"
          "                      N states (0 = off)\n"
+         "  --ltlf-engine E     answer @claim formulas with E: 'dfa' (the\n"
+         "                      default progression-DFA oracle), 'tableau'\n"
+         "                      (the on-the-fly frame solver), or 'both'\n"
+         "                      (run both, abort on any disagreement)\n"
+         "  --lint-claims       warn about unsatisfiable or trivially-true\n"
+         "                      @claim formulas\n"
          "  --max-states N      abort (as an error, not a crash) any\n"
          "                      automaton construction exceeding N states\n"
          "                      (0 = unlimited)\n"
@@ -160,6 +166,22 @@ std::optional<CliOptions> parse_cli_args(int argc, char** argv,
       if (!options.cache_dir) return std::nullopt;
     } else if (arg == "--cache-stats") {
       options.cache_stats = true;
+    } else if (arg == "--ltlf-engine") {
+      const auto value = next();
+      if (!value) return std::nullopt;
+      if (*value == "dfa") {
+        options.ltlf_engine = core::LtlfEngine::kDfa;
+      } else if (*value == "tableau") {
+        options.ltlf_engine = core::LtlfEngine::kTableau;
+      } else if (*value == "both") {
+        options.ltlf_engine = core::LtlfEngine::kBoth;
+      } else {
+        err << tool << ": --ltlf-engine needs 'dfa', 'tableau', or 'both'"
+            << " (got '" << *value << "')\n";
+        return std::nullopt;
+      }
+    } else if (arg == "--lint-claims") {
+      options.lint_claims = true;
     } else if (arg == "--trace-out") {
       options.trace_out = next();
       if (!options.trace_out) return std::nullopt;
@@ -380,6 +402,8 @@ int run_tool(const CliOptions& options, std::istream& in, std::ostream& out,
 
   Workspace workspace;
   workspace.set_lint_options(core::LintOptions{options.dfa_budget});
+  workspace.set_check_options(
+      core::CheckOptions{options.ltlf_engine, options.lint_claims});
 
   // Incremental verification: an on-disk behavior cache shared by the
   // verification path (verdicts), --monitor (usage DFAs), and --smv

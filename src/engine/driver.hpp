@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "shelley/checker.hpp"
 #include "support/thread_pool.hpp"
 
 namespace shelley::engine {
@@ -40,6 +41,11 @@ struct CliOptions {
   bool cache_stats = false;
   std::optional<std::string> trace_out;
   std::size_t dfa_budget = 0;
+  // Claim checking: which LTLf engine answers (--ltlf-engine; `both`
+  // cross-checks the tableau against the DFA oracle and aborts on any
+  // disagreement) and whether to lint claim quality (--lint-claims).
+  core::LtlfEngine ltlf_engine = core::LtlfEngine::kDfa;
+  bool lint_claims = false;
   // Daemon slow-query threshold: requests taking longer than this many ms
   // get a "request.slow" structured-log line (0 = off).
   std::uint64_t slow_ms = 0;

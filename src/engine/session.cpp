@@ -406,6 +406,8 @@ Session::Session(const CliOptions& defaults, const SessionShared& shared)
       request_serial_(shared.request_serial),
       engine_(workspace_, shared.memo) {
   workspace_.set_lint_options(core::LintOptions{defaults_.dfa_budget});
+  workspace_.set_check_options(
+      core::CheckOptions{defaults_.ltlf_engine, defaults_.lint_claims});
   if (shared.cache != nullptr) workspace_.set_cache(shared.cache);
 }
 

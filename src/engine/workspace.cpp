@@ -20,6 +20,11 @@ void Workspace::set_lint_options(const core::LintOptions& options) {
   verifier_->set_lint_options(options);
 }
 
+void Workspace::set_check_options(const core::CheckOptions& options) {
+  check_options_ = options;
+  verifier_->set_check_options(options);
+}
+
 void Workspace::set_cache(core::BehaviorCache* cache) {
   cache_ = cache;
   verifier_->set_cache(cache);
@@ -233,6 +238,7 @@ const Workspace::ParseResult& Workspace::lookup_or_parse(
 void Workspace::rebuild() {
   verifier_ = std::make_unique<core::Verifier>();
   verifier_->set_lint_options(lint_options_);
+  verifier_->set_check_options(check_options_);
   verifier_->set_cache(cache_);
   summaries_.clear();
   summaries_.reserve(sources_.size());

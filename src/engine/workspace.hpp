@@ -55,6 +55,10 @@ class Workspace {
   /// Lint thresholds for every subsequently (re)built verifier.
   void set_lint_options(const core::LintOptions& options);
 
+  /// Claim-checking options (LTLf engine, claim lints) for every
+  /// subsequently (re)built verifier.
+  void set_check_options(const core::CheckOptions& options);
+
   /// Installs the on-disk behavior cache tier (not owned; nullptr
   /// detaches).  Survives rebuilds.
   void set_cache(core::BehaviorCache* cache);
@@ -154,6 +158,7 @@ class Workspace {
 
   std::unique_ptr<core::Verifier> verifier_;
   core::LintOptions lint_options_;
+  core::CheckOptions check_options_;
   core::BehaviorCache* cache_ = nullptr;
   std::vector<SourceFile> sources_;
   std::vector<core::FileSummary> summaries_;

@@ -53,6 +53,13 @@ fsm::Dfa to_dfa(const Formula& formula, std::vector<Symbol> alphabet,
     const Formula state = states[current];
     std::vector<fsm::StateId> row(alphabet.size(), 0);
     for (std::size_t letter = 0; letter < alphabet.size(); ++letter) {
+      // Each successor pays a progress + to_dnf, which on pathological
+      // formulas (deep U/R nests over wide alphabets) is the expensive
+      // step -- the per-state cadence above can leave 256·|Σ| of them
+      // between deadline checks, so re-check inside the row too.
+      if ((letter & 0xF) == 0xF) {
+        support::guard::check_deadline("ltlf.to_dfa");
+      }
       // DNF canonicalization is what closes the state space: progression
       // results that are logically equal become structurally equal.
       row[letter] = get_id(to_dnf(progress(state, alphabet[letter])));

@@ -411,7 +411,11 @@ std::set<Symbol> atoms(const Formula& f) {
 
 namespace {
 
-// Precedence: binary temporal (1) < | (2) < & (3) < unary (4) < atom (5).
+// Precedence mirrors the parser's ladder (parser.cpp): `|` binds loosest
+// (1), then `&` (2), then the right-associative binary temporals U/R (3),
+// then the unary prefixes !/X/N/F/G (4), then atoms (5).  A binary
+// temporal's *left* operand sits at unary level -- `a & b U c` parses as
+// `a & (b U c)` -- so printing `(a & b) U c` must parenthesize the left.
 void print(const Formula& f, const SymbolTable& table, int parent_level,
            std::string& out) {
   const auto wrap = [&](int level, auto&& body) {
@@ -436,57 +440,62 @@ void print(const Formula& f, const SymbolTable& table, int parent_level,
     case Kind::kNot:
       wrap(4, [&] {
         out += '!';
+        // NNF keeps `!` on atoms/end only, both at atom level already.
         print(f->left(), table, 5, out);
       });
       break;
     case Kind::kNext:
       wrap(4, [&] {
         out += "X ";
-        print(f->left(), table, 5, out);
+        print(f->left(), table, 4, out);
       });
       break;
     case Kind::kWeakNext:
       wrap(4, [&] {
         out += "N ";
-        print(f->left(), table, 5, out);
+        print(f->left(), table, 4, out);
       });
       break;
     case Kind::kAnd:
-      wrap(3, [&] {
-        print(f->left(), table, 3, out);
+      wrap(2, [&] {
+        print(f->left(), table, 2, out);
         out += " & ";
-        print(f->right(), table, 3, out);
+        print(f->right(), table, 2, out);
       });
       break;
     case Kind::kOr:
-      wrap(2, [&] {
-        print(f->left(), table, 2, out);
+      wrap(1, [&] {
+        print(f->left(), table, 1, out);
         out += " | ";
-        print(f->right(), table, 2, out);
+        print(f->right(), table, 1, out);
       });
       break;
     case Kind::kUntil:
-      wrap(1, [&] {
-        if (f->left()->kind() == Kind::kTrue) {
+      if (f->left()->kind() == Kind::kTrue) {
+        wrap(4, [&] {
           out += "F ";
-          print(f->right(), table, 5, out);
-          return;
-        }
-        print(f->left(), table, 2, out);
+          print(f->right(), table, 4, out);
+        });
+        break;
+      }
+      wrap(3, [&] {
+        print(f->left(), table, 4, out);
         out += " U ";
-        print(f->right(), table, 2, out);
+        print(f->right(), table, 3, out);  // right-associative chain
       });
       break;
     case Kind::kRelease:
-      wrap(1, [&] {
-        if (f->left()->kind() == Kind::kFalse) {
+      if (f->left()->kind() == Kind::kFalse) {
+        wrap(4, [&] {
           out += "G ";
-          print(f->right(), table, 5, out);
-          return;
-        }
-        print(f->left(), table, 2, out);
+          print(f->right(), table, 4, out);
+        });
+        break;
+      }
+      wrap(3, [&] {
+        print(f->left(), table, 4, out);
         out += " R ";
-        print(f->right(), table, 2, out);
+        print(f->right(), table, 3, out);  // right-associative chain
       });
       break;
   }

@@ -1,0 +1,288 @@
+#include "ltlf/tableau.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <map>
+#include <utility>
+
+#include "ltlf/eval.hpp"
+#include "support/arena.hpp"
+#include "support/guard.hpp"
+#include "support/metrics.hpp"
+#include "support/trace.hpp"
+
+namespace shelley::ltlf {
+
+namespace {
+
+struct FormulaLess {
+  bool operator()(const Formula& a, const Formula& b) const {
+    return structural_compare(a, b) < 0;
+  }
+};
+
+// splitmix64 finalizer; frame hashes combine sequential formula ids with
+// sparse bitset words, so spread both.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+TableauResult check_tableau(const fsm::Nfa& system,
+                            std::vector<Symbol> alphabet,
+                            const Formula& formula, std::size_t max_frames) {
+  support::trace::Span span("ltlf.tableau");
+  TableauResult result;
+
+  // A violation is a word of L(system) satisfying ¬φ; the tableau tracks
+  // the progressed remainder of ¬φ frame by frame.  Same simplify +
+  // alphabet join as to_dfa(make_not(φ), ...), so both engines search the
+  // same joined letter space in the same sorted order.
+  const Formula goal_seed = simplify(make_not(formula));
+  for (Symbol s : atoms(goal_seed)) alphabet.push_back(s);
+  std::sort(alphabet.begin(), alphabet.end());
+  alphabet.erase(std::unique(alphabet.begin(), alphabet.end()),
+                 alphabet.end());
+  const std::size_t k = alphabet.size();
+
+  if (system.state_count() == 0 || system.initial_states().empty()) {
+    return result;  // L(system) is empty: nothing to violate
+  }
+
+  const fsm::Nfa::SymbolCsr csr = system.symbol_csr();
+  const fsm::Nfa::ClosureTable closures = system.closures();
+  const std::uint64_t* accepting = system.accepting_words();
+  const std::size_t stride = closures.stride;
+
+  // -- Formula interning (the ψ half of a frame) -------------------------
+  std::map<Formula, std::uint32_t, FormulaLess> formula_ids;
+  std::vector<Formula> formulas;
+  std::vector<char> empty_ok;  // eval_empty memo, one per interned formula
+  const auto intern = [&](const Formula& f) {
+    const auto [it, inserted] =
+        formula_ids.emplace(f, static_cast<std::uint32_t>(formulas.size()));
+    if (inserted) {
+      formulas.push_back(f);
+      empty_ok.push_back(eval_empty(f) ? 1 : 0);
+    }
+    return it->second;
+  };
+  // Per-formula successor rows, filled lazily letter by letter (to_dfa
+  // computes whole rows eagerly; the tableau's point is to touch only the
+  // frames BFS actually reaches).
+  constexpr std::uint32_t kUnset = 0xffffffffu;
+  std::vector<std::vector<std::uint32_t>> successor_rows;
+  const auto formula_successor = [&](std::uint32_t fid, std::size_t letter) {
+    if (successor_rows.size() < formulas.size()) {
+      successor_rows.resize(formulas.size());
+    }
+    std::vector<std::uint32_t>& row = successor_rows[fid];
+    if (row.empty()) row.assign(k, kUnset);
+    if (row[letter] == kUnset) {
+      // DNF canonicalization closes the frame space, exactly as in to_dfa.
+      // (intern never touches successor_rows, so `row` stays valid; a
+      // freshly interned formula gets its row on first expansion.)
+      row[letter] =
+          intern(to_dnf(progress(formulas[fid], alphabet[letter])));
+    }
+    return row[letter];
+  };
+
+  // -- Frame store (struct-of-arrays; bitset rows live in the arena) -----
+  support::Arena arena;
+  std::vector<std::uint32_t> frame_formula;
+  std::vector<const std::uint64_t*> frame_bits;
+  std::vector<std::uint32_t> frame_parent;
+  std::vector<std::uint32_t> frame_letter;
+  constexpr std::uint32_t kRoot = 0xffffffffu;
+
+  // Open-addressed hash-cons of frames: slots hold frame_id + 1 (0 empty).
+  std::vector<std::uint32_t> slots(1024, 0);
+  std::size_t filled = 0;
+  const auto frame_hash = [&](std::uint32_t fid, const std::uint64_t* bits) {
+    std::uint64_t h = 1469598103934665603ull;
+    for (std::size_t i = 0; i < stride; ++i) {
+      h ^= bits[i];
+      h *= 1099511628211ull;
+    }
+    return mix(h ^ (std::uint64_t{fid} << 32 ^ fid));
+  };
+  const auto frame_equal = [&](std::uint32_t frame, std::uint32_t fid,
+                               const std::uint64_t* bits) {
+    return frame_formula[frame] == fid &&
+           std::memcmp(frame_bits[frame], bits,
+                       stride * sizeof(std::uint64_t)) == 0;
+  };
+  const auto rehash = [&] {
+    std::vector<std::uint32_t> old(slots.size() * 2, 0);
+    old.swap(slots);
+    for (const std::uint32_t entry : old) {
+      if (entry == 0) continue;
+      const std::uint32_t frame = entry - 1;
+      std::size_t at =
+          frame_hash(frame_formula[frame], frame_bits[frame]) &
+          (slots.size() - 1);
+      while (slots[at] != 0) at = (at + 1) & (slots.size() - 1);
+      slots[at] = entry;
+    }
+  };
+  // Interns (fid, bits); returns the frame id and whether it was fresh.
+  const auto intern_frame = [&](std::uint32_t fid, const std::uint64_t* bits,
+                                std::uint32_t parent, std::uint32_t letter)
+      -> std::pair<std::uint32_t, bool> {
+    if ((filled + 1) * 10 >= slots.size() * 7) rehash();
+    std::size_t at = frame_hash(fid, bits) & (slots.size() - 1);
+    while (slots[at] != 0) {
+      if (frame_equal(slots[at] - 1, fid, bits)) return {slots[at] - 1, false};
+      at = (at + 1) & (slots.size() - 1);
+    }
+    auto* stored = arena.allocate_array<std::uint64_t>(stride);
+    std::memcpy(stored, bits, stride * sizeof(std::uint64_t));
+    const auto frame = static_cast<std::uint32_t>(frame_formula.size());
+    frame_formula.push_back(fid);
+    frame_bits.push_back(stored);
+    frame_parent.push_back(parent);
+    frame_letter.push_back(letter);
+    slots[at] = frame + 1;
+    ++filled;
+    support::guard::check_states(frame_formula.size(), "LTLf tableau");
+    return {frame, true};
+  };
+
+  const auto is_goal = [&](std::uint32_t fid, const std::uint64_t* bits) {
+    if (empty_ok[fid] == 0) return false;  // pending strong obligations
+    for (std::size_t i = 0; i < stride; ++i) {
+      if ((bits[i] & accepting[i]) != 0) return true;
+    }
+    return false;
+  };
+  const auto reconstruct = [&](std::uint32_t frame) {
+    Word word;
+    for (; frame_letter[frame] != kRoot; frame = frame_parent[frame]) {
+      word.push_back(alphabet[frame_letter[frame]]);
+    }
+    std::reverse(word.begin(), word.end());
+    return word;
+  };
+  const auto finish = [&](TableauVerdict verdict) {
+    result.verdict = verdict;
+    result.frames = frame_formula.size();
+    support::metrics::record_ltlf_states(result.frames);
+    span.arg("frames", static_cast<std::uint64_t>(result.frames));
+    span.arg("alphabet", static_cast<std::uint64_t>(k));
+    span.arg("verdict",
+             verdict == TableauVerdict::kHolds ? std::string_view("holds")
+             : verdict == TableauVerdict::kCounterexample
+                 ? std::string_view("counterexample")
+                 : std::string_view("limited"));
+    return result;
+  };
+
+  // -- Initial frame ------------------------------------------------------
+  const fsm::StateSet initial = system.initial_closure();
+  const std::uint32_t seed_id = intern(to_dnf(goal_seed));
+  const auto [root, fresh] =
+      intern_frame(seed_id, initial.words(), kRoot, kRoot);
+  (void)fresh;
+  if (is_goal(seed_id, frame_bits[root])) {
+    result.counterexample = {};  // the empty word already violates
+    return finish(TableauVerdict::kCounterexample);
+  }
+
+  // -- BFS ----------------------------------------------------------------
+  std::vector<std::uint64_t> scratch(stride);
+  std::size_t head = 0;
+  while (head < frame_formula.size()) {
+    if ((head & 0xFF) == 0) support::guard::check_deadline("ltlf.tableau");
+    const auto current = static_cast<std::uint32_t>(head++);
+    const std::uint32_t fid = frame_formula[current];
+    const std::uint64_t* bits = frame_bits[current];
+    for (std::size_t letter = 0; letter < k; ++letter) {
+      if ((letter & 0xF) == 0xF) {
+        support::guard::check_deadline("ltlf.tableau");
+      }
+      // Step-and-close: union the ε-closure rows of every target reached
+      // from a set state on this letter (the kernel's word-parallel sweep).
+      std::fill(scratch.begin(), scratch.end(), 0);
+      bool any = false;
+      const Symbol symbol = alphabet[letter];
+      for (std::size_t word_at = 0; word_at < stride; ++word_at) {
+        std::uint64_t word = bits[word_at];
+        while (word != 0) {
+          const int bit = std::countr_zero(word);
+          word &= word - 1;
+          const auto state =
+              static_cast<fsm::StateId>(word_at * 64 + bit);
+          const std::uint32_t begin = csr.offsets[state];
+          const std::uint32_t end = csr.offsets[state + 1];
+          const Symbol* first = csr.symbols + begin;
+          const Symbol* last = csr.symbols + end;
+          const Symbol* at = std::lower_bound(first, last, symbol);
+          for (; at != last && *at == symbol; ++at) {
+            const fsm::StateId target = csr.targets[at - csr.symbols];
+            const std::uint64_t* row = closures.row(target);
+            for (std::size_t i = 0; i < stride; ++i) scratch[i] |= row[i];
+            any = true;
+          }
+        }
+      }
+      // Dead branches cannot reach a goal (an empty state set stays empty,
+      // a false remainder progresses to false) -- prune them; live frames'
+      // BFS discovery order, and hence the witness, is unaffected.
+      if (!any) continue;
+      const std::uint32_t next_fid = formula_successor(fid, letter);
+      if (formulas[next_fid]->kind() == Kind::kFalse) continue;
+      const auto [next, inserted] = intern_frame(
+          next_fid, scratch.data(), current,
+          static_cast<std::uint32_t>(letter));
+      if (!inserted) continue;  // loop check: revisits prove nothing new
+      if (frame_formula.size() > max_frames) {
+        result.limit = "tableau exceeded " + std::to_string(max_frames) +
+                       " frames";
+        return finish(TableauVerdict::kLimited);
+      }
+      if (is_goal(next_fid, frame_bits[next])) {
+        result.counterexample = reconstruct(next);
+        return finish(TableauVerdict::kCounterexample);
+      }
+    }
+  }
+  return finish(TableauVerdict::kHolds);
+}
+
+Satisfiability satisfiable(const Formula& formula,
+                           std::vector<Symbol> alphabet,
+                           std::size_t max_frames) {
+  // The universal automaton must loop on the formula's own atoms too, or a
+  // model mentioning them could never be simulated.
+  for (Symbol s : atoms(formula)) alphabet.push_back(s);
+  std::sort(alphabet.begin(), alphabet.end());
+  alphabet.erase(std::unique(alphabet.begin(), alphabet.end()),
+                 alphabet.end());
+
+  fsm::Nfa universal;
+  const fsm::StateId state = universal.add_state();
+  universal.mark_initial(state);
+  universal.mark_accepting(state);
+  for (Symbol s : alphabet) universal.add_transition(state, s, state);
+
+  // check_tableau(Σ*, Σ, ¬φ) hunts for a word satisfying ¬¬φ = φ.
+  const TableauResult result =
+      check_tableau(universal, alphabet, make_not(formula), max_frames);
+  switch (result.verdict) {
+    case TableauVerdict::kCounterexample:
+      return Satisfiability::kSatisfiable;
+    case TableauVerdict::kHolds:
+      return Satisfiability::kUnsatisfiable;
+    case TableauVerdict::kLimited:
+      break;
+  }
+  return Satisfiability::kUnknown;
+}
+
+}  // namespace shelley::ltlf

@@ -1,0 +1,75 @@
+// On-the-fly LTLf tableau solver: checks a formula directly against the
+// usage NFA, without ever determinizing either side.
+//
+// A frame is one obligation pair (S, ψ): S the ε-closed set of NFA states
+// some prefix can reach, ψ the canonically progressed remainder of ¬φ that
+// the prefix's continuations must satisfy for the prefix to extend into a
+// violation.  The solver runs a breadth-first expansion over hash-consed
+// frames -- formulas interned by structural identity, state sets stored as
+// packed bitset rows in a `support::Arena` -- and stops at the first frame
+// where S contains an accepting NFA state and ψ holds on the empty trace:
+// the access word of that frame is a violating word of L(system).
+//
+// Finite traces make the construction simpler than an infinite-trace
+// tableau: there is no PRUNE/loop rule because eventualities (X-requests,
+// pending U right-hand sides) are exactly the strong operators, which
+// eval_empty rejects -- a frame whose ψ still carries one simply is not
+// accepting, and the hash-consed frame dedup is the loop check (revisiting
+// a frame can never yield a new verdict).  BFS with letters in sorted order
+// discovers, like `fsm::inclusion_witness`, the lexicographically least
+// shortest witness, so the two engines return *identical* counterexamples
+// -- the differential suite pins that, not just verdict agreement.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fsm/nfa.hpp"
+#include "ltlf/formula.hpp"
+
+namespace shelley::ltlf {
+
+enum class TableauVerdict : std::uint8_t {
+  kHolds,           // no word of L(system) violates the formula
+  kCounterexample,  // `counterexample` is a shortest violating word
+  kLimited,         // frame budget exhausted before a verdict
+};
+
+struct TableauResult {
+  TableauVerdict verdict = TableauVerdict::kHolds;
+  Word counterexample;  // meaningful only for kCounterexample
+  std::string limit;    // human-readable reason, only for kLimited
+  std::size_t frames = 0;  // frames explored (counterexamples exit early)
+};
+
+/// Checks that every word of L(system) ∩ alphabet* satisfies `formula`,
+/// mirroring `ltlf::counterexample(determinize(system, alphabet), formula)`
+/// verdict for verdict and witness for witness -- but on the fly: shallow
+/// counterexamples are found after a handful of frames, long before either
+/// the subset construction or the formula DFA would have been built.
+/// `alphabet` is joined with the formula's own atoms, exactly as to_dfa
+/// joins them.  Deadline and state-budget guards (`support::guard`) apply
+/// and throw ResourceError; the solver's own `max_frames` cushion returns
+/// kLimited instead, so callers with a fallback engine can keep going.
+[[nodiscard]] TableauResult check_tableau(const fsm::Nfa& system,
+                                          std::vector<Symbol> alphabet,
+                                          const Formula& formula,
+                                          std::size_t max_frames = 1 << 16);
+
+enum class Satisfiability : std::uint8_t {
+  kSatisfiable,
+  kUnsatisfiable,
+  kUnknown,  // frame budget exhausted
+};
+
+/// Is any finite word over `alphabet` a model of `formula`?  Runs the
+/// tableau against the one-state universal automaton (Σ*); the claim lints
+/// build on this: an unsatisfiable claim can never be met, a claim whose
+/// negation is unsatisfiable is trivially true on this alphabet.
+[[nodiscard]] Satisfiability satisfiable(const Formula& formula,
+                                         std::vector<Symbol> alphabet,
+                                         std::size_t max_frames = 1 << 12);
+
+}  // namespace shelley::ltlf

@@ -1,14 +1,29 @@
 #include "shelley/checker.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <functional>
 
 #include "fsm/ops.hpp"
 #include "ltlf/automaton.hpp"
+#include "ltlf/eval.hpp"
 #include "ltlf/parser.hpp"
+#include "ltlf/tableau.hpp"
+#include "support/guard.hpp"
 #include "support/strings.hpp"
 #include "support/trace.hpp"
 
 namespace shelley::core {
+
+namespace {
+std::atomic<bool> g_force_ltlf_disagreement{false};
+}  // namespace
+
+namespace testing {
+void force_ltlf_disagreement(bool force) {
+  g_force_ltlf_disagreement.store(force, std::memory_order_relaxed);
+}
+}  // namespace testing
 
 std::string CheckResult::render(const SymbolTable& table) const {
   std::string out;
@@ -83,6 +98,87 @@ Word project_word(const Word& word, std::string_view prefix,
   return out;
 }
 
+/// Answers one claim with the configured engine(s).  `system` and `alphabet`
+/// feed the tableau; `system_dfa` lazily builds the determinized system for
+/// the oracle path, so kTableau never pays for a subset construction.
+std::optional<Word> claim_counterexample(
+    const fsm::Nfa& system, const std::vector<Symbol>& alphabet,
+    const std::function<const fsm::Dfa&()>& system_dfa,
+    const ltlf::Formula& formula, const std::string& claim_text,
+    LtlfEngine engine) {
+  if (engine == LtlfEngine::kDfa) {
+    return ltlf::counterexample(system_dfa(), formula);
+  }
+  ltlf::TableauResult tableau = ltlf::check_tableau(system, alphabet, formula);
+  if (tableau.verdict == ltlf::TableauVerdict::kLimited) {
+    if (engine == LtlfEngine::kTableau) {
+      // Surfaced exactly like the DFA path's budget trips, so verify_spec's
+      // resource accounting treats both engines alike.
+      throw support::guard::ResourceError(
+          support::guard::Resource::kStateBudget, {},
+          "ltlf::check_tableau: " + tableau.limit);
+    }
+    return ltlf::counterexample(system_dfa(), formula);  // oracle decides
+  }
+  std::optional<Word> witness;
+  if (tableau.verdict == ltlf::TableauVerdict::kCounterexample) {
+    witness = std::move(tableau.counterexample);
+  }
+  if (engine == LtlfEngine::kTableau) return witness;
+
+  // kBoth: the tableau answers, the DFA oracle audits.  Verdicts must
+  // match, witnesses must be byte-identical (both engines find the
+  // lexicographically least shortest violation), and the witness must
+  // *independently* check out -- a word of L(system) that eval rejects.
+  const std::optional<Word> oracle =
+      ltlf::counterexample(system_dfa(), formula);
+  std::string mismatch;
+  if (g_force_ltlf_disagreement.exchange(false, std::memory_order_relaxed)) {
+    mismatch = "disagreement injected by testing hook";
+  } else if (witness.has_value() != oracle.has_value()) {
+    mismatch = witness ? "tableau found a counterexample, oracle proved the "
+                         "claim"
+                       : "oracle found a counterexample, tableau proved the "
+                         "claim";
+  } else if (witness && *witness != *oracle) {
+    mismatch = "engines found different counterexamples";
+  } else if (witness && !system.accepts(*witness)) {
+    mismatch = "counterexample is not a word of the system language";
+  } else if (witness && ltlf::eval(formula, *witness)) {
+    mismatch = "counterexample does not violate the formula";
+  }
+  if (!mismatch.empty()) {
+    throw EngineDisagreement("LTLf engine disagreement on claim \"" +
+                             claim_text + "\": " + mismatch);
+  }
+  return oracle;
+}
+
+/// --lint-claims: warn on claims no trace can meet and claims every trace
+/// meets; either way the claim is not constraining what the author thinks.
+void lint_claim(const ltlf::Formula& formula,
+                const std::vector<Symbol>& alphabet, const ClassSpec& spec,
+                const Claim& claim, DiagnosticEngine& diagnostics,
+                CheckResult& result) {
+  using ltlf::Satisfiability;
+  if (ltlf::satisfiable(formula, alphabet) == Satisfiability::kUnsatisfiable) {
+    diagnostics.warning(
+        claim.loc, "class '" + spec.name + "': claim \"" + claim.text +
+                       "\" is unsatisfiable -- no finite trace over this "
+                       "alphabet can meet it");
+    ++result.claim_lints;
+    return;
+  }
+  if (ltlf::satisfiable(ltlf::make_not(formula), alphabet) ==
+      Satisfiability::kUnsatisfiable) {
+    diagnostics.warning(
+        claim.loc, "class '" + spec.name + "': claim \"" + claim.text +
+                       "\" is trivially true on this alphabet -- every "
+                       "finite trace satisfies it");
+    ++result.claim_lints;
+  }
+}
+
 }  // namespace
 
 std::optional<Word> unrealizable_usage(const ClassSpec& composite,
@@ -104,14 +200,20 @@ std::optional<Word> unrealizable_usage(const ClassSpec& composite,
 }
 
 CheckResult check_base_claims(const ClassSpec& spec, SymbolTable& table,
-                              DiagnosticEngine& diagnostics) {
+                              DiagnosticEngine& diagnostics,
+                              const CheckOptions& options) {
   CheckResult result;
   if (spec.claims.empty()) return result;
   support::trace::Span span("shelley.check_base_claims");
   span.arg("class", spec.name);
   span.arg("claims", static_cast<std::uint64_t>(spec.claims.size()));
-  const fsm::Dfa usage =
-      fsm::minimize(fsm::determinize(usage_nfa(spec, table)));
+  const fsm::Nfa usage = usage_nfa(spec, table);
+  const std::vector<Symbol>& alphabet = usage.alphabet();
+  std::optional<fsm::Dfa> usage_dfa;  // only the oracle path pays for it
+  const auto get_dfa = [&]() -> const fsm::Dfa& {
+    if (!usage_dfa) usage_dfa = fsm::minimize(fsm::determinize(usage));
+    return *usage_dfa;
+  };
   for (const Claim& claim : spec.claims) {
     support::trace::Span claim_span("shelley.claim");
     claim_span.arg("formula", claim.text);
@@ -124,7 +226,11 @@ CheckResult check_base_claims(const ClassSpec& spec, SymbolTable& table,
                                        claim.text + "\": " + error.what());
       continue;
     }
-    const auto witness = ltlf::counterexample(usage, formula);
+    if (options.lint_claims) {
+      lint_claim(formula, alphabet, spec, claim, diagnostics, result);
+    }
+    const auto witness = claim_counterexample(
+        usage, alphabet, get_dfa, formula, claim.text, options.ltlf_engine);
     if (!witness) continue;
     result.claim_errors.push_back(ClaimError{claim.text, *witness});
   }
@@ -133,7 +239,8 @@ CheckResult check_base_claims(const ClassSpec& spec, SymbolTable& table,
 
 CheckResult check_composite(const ClassSpec& composite,
                             const ClassLookup& lookup, SymbolTable& table,
-                            DiagnosticEngine& diagnostics) {
+                            DiagnosticEngine& diagnostics,
+                            const CheckOptions& options) {
   CheckResult result;
   support::trace::Span span("shelley.check_composite");
   span.arg("class", composite.name);
@@ -196,9 +303,23 @@ CheckResult check_composite(const ClassSpec& composite,
         fsm::map_labels(model.nfa, [&](Symbol s) {
           return op_labels.contains(s) ? Symbol{} : s;
         });
-    const fsm::Dfa projected_dfa =
-        fsm::minimize(fsm::determinize(projected, model.event_symbols));
-    std::optional<fsm::Dfa> full_dfa;  // built lazily
+    // Both determinizations are lazy: the tableau engine runs straight on
+    // the NFAs and never needs them.
+    std::optional<fsm::Dfa> projected_dfa;
+    const auto get_projected_dfa = [&]() -> const fsm::Dfa& {
+      if (!projected_dfa) {
+        projected_dfa =
+            fsm::minimize(fsm::determinize(projected, model.event_symbols));
+      }
+      return *projected_dfa;
+    };
+    std::optional<fsm::Dfa> full_dfa;
+    const auto get_full_dfa = [&]() -> const fsm::Dfa& {
+      if (!full_dfa) {
+        full_dfa = fsm::minimize(fsm::determinize(model.nfa, alphabet));
+      }
+      return *full_dfa;
+    };
 
     for (const Claim& claim : composite.claims) {
       support::trace::Span claim_span("shelley.claim");
@@ -216,15 +337,18 @@ CheckResult check_composite(const ClassSpec& composite,
       for (Symbol atom : ltlf::atoms(formula)) {
         if (op_labels.contains(atom)) mentions_ops = true;
       }
-      const fsm::Dfa* target = &projected_dfa;
-      if (mentions_ops) {
-        if (!full_dfa) {
-          full_dfa = fsm::minimize(
-              fsm::determinize(model.nfa, model.full_alphabet()));
-        }
-        target = &*full_dfa;
+      const fsm::Nfa& target = mentions_ops ? model.nfa : projected;
+      const std::vector<Symbol>& claim_alphabet =
+          mentions_ops ? alphabet : model.event_symbols;
+      if (options.lint_claims) {
+        lint_claim(formula, claim_alphabet, composite, claim, diagnostics,
+                   result);
       }
-      const auto witness = ltlf::counterexample(*target, formula);
+      const auto witness = claim_counterexample(
+          target, claim_alphabet,
+          mentions_ops ? std::function<const fsm::Dfa&()>(get_full_dfa)
+                       : std::function<const fsm::Dfa&()>(get_projected_dfa),
+          formula, claim.text, options.ltlf_engine);
       if (!witness) continue;
       result.claim_errors.push_back(ClaimError{claim.text, *witness});
     }

@@ -11,8 +11,10 @@
 // format (INVALID SUBSYSTEM USAGE / FAIL TO MEET REQUIREMENT).
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -21,6 +23,34 @@
 #include "shelley/spec.hpp"
 
 namespace shelley::core {
+
+/// Which LTLf engine answers temporal claims.  kDfa is the historical
+/// progression-DFA path (`ltlf::counterexample`); kTableau is the on-the-fly
+/// frame solver (`ltlf::check_tableau`), which skips determinization
+/// entirely; kBoth runs both, validates the tableau's witness independently,
+/// and throws EngineDisagreement when the verdicts differ -- the
+/// two-independent-implementations oracle discipline, promoted to a
+/// runtime mode.
+enum class LtlfEngine : std::uint8_t { kDfa = 0, kTableau = 1, kBoth = 2 };
+
+/// Claim-checking knobs threaded from the CLI through the verifier.  Both
+/// fields change verification output, so both fold into the cache key
+/// (shelley/fingerprint.hpp).
+struct CheckOptions {
+  LtlfEngine ltlf_engine = LtlfEngine::kDfa;
+  /// Satisfiability/vacuity lints on every parsed claim: warn when a claim
+  /// is unsatisfiable, or trivially true, over its checking alphabet.
+  bool lint_claims = false;
+};
+
+/// `--ltlf-engine both` found the two engines disagreeing on a claim (or a
+/// tableau witness that does not actually witness).  Never caught inside
+/// the pipeline: a disagreement is a bug in one of the engines and must
+/// abort loudly rather than ship either answer.
+class EngineDisagreement : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
 
 struct SubsystemError {
   std::string field;         // e.g. "a"
@@ -37,6 +67,9 @@ struct ClaimError {
 struct CheckResult {
   std::vector<SubsystemError> subsystem_errors;
   std::vector<ClaimError> claim_errors;
+  /// Claim-quality findings (unsatisfiable / trivially-true), emitted as
+  /// warnings; verify_spec folds them into ClassReport::lint_findings.
+  std::size_t claim_lints = 0;
 
   [[nodiscard]] bool ok() const {
     return subsystem_errors.empty() && claim_errors.empty();
@@ -54,14 +87,16 @@ using ClassLookup = std::function<const ClassSpec*(const std::string&)>;
 [[nodiscard]] CheckResult check_composite(const ClassSpec& composite,
                                           const ClassLookup& lookup,
                                           SymbolTable& table,
-                                          DiagnosticEngine& diagnostics);
+                                          DiagnosticEngine& diagnostics,
+                                          const CheckOptions& options = {});
 
 /// Checks the @claim annotations of a *base* class against its valid-usage
 /// language (atoms are bare operation names).  Composites are handled by
 /// check_composite, which sees subsystem events as well.
 [[nodiscard]] CheckResult check_base_claims(const ClassSpec& spec,
                                             SymbolTable& table,
-                                            DiagnosticEngine& diagnostics);
+                                            DiagnosticEngine& diagnostics,
+                                            const CheckOptions& options = {});
 
 /// Explains why `projected` (a word over `<field>.<op>` symbols) is not a
 /// valid complete usage of `spec`: renders the op sequence with the
@@ -69,6 +104,14 @@ using ClassLookup = std::function<const ClassSpec*(const std::string&)>;
 [[nodiscard]] std::string diagnose_subsystem_usage(
     const ClassSpec& spec, std::string_view field, const Word& projected,
     SymbolTable& table);
+
+namespace testing {
+/// Makes the next `both`-mode claim check report an engine disagreement even
+/// though the engines agree -- the regression hook proving the abort path
+/// actually aborts (CheckOptions{kBoth} + one claim → EngineDisagreement).
+/// Test-only; self-resets after one claim.
+void force_ltlf_disagreement(bool force);
+}  // namespace testing
 
 /// Realizability: every usage declared by the composite's own annotations
 /// should be executable by some run of its method bodies.  Undecodable

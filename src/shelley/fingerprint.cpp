@@ -209,6 +209,8 @@ support::Digest128 class_key(const ClassSpec& spec, const ClassLookup& lookup,
   hasher.update_sized(kToolchainVersion);
   hasher.update_u64(options.dfa_state_budget);
   hasher.update_u64(options.max_states);
+  hasher.update_u64(options.ltlf_engine);
+  hasher.update_u64(options.lint_claims);
   std::vector<const ClassSpec*> in_progress;
   fold_key(hasher, spec, lookup, in_progress);
   return hasher.digest();

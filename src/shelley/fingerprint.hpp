@@ -35,6 +35,8 @@ inline constexpr std::string_view kToolchainVersion =
 struct FingerprintOptions {
   std::uint64_t dfa_state_budget = 0;  ///< the --dfa-budget lint threshold
   std::uint64_t max_states = 0;        ///< the --max-states guard
+  std::uint64_t ltlf_engine = 0;       ///< the --ltlf-engine choice
+  std::uint64_t lint_claims = 0;       ///< the --lint-claims toggle
 };
 
 /// Canonical hash of one class specification in isolation.

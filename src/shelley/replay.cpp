@@ -17,6 +17,8 @@ support::Digest128 Verifier::cache_key(const ClassSpec& spec) const {
   FingerprintOptions options;
   options.dfa_state_budget = lint_options_.dfa_state_budget;
   options.max_states = support::guard::limits().max_states;
+  options.ltlf_engine = static_cast<std::uint64_t>(check_options_.ltlf_engine);
+  options.lint_claims = check_options_.lint_claims ? 1 : 0;
   return class_key(spec, lookup(), options);
 }
 

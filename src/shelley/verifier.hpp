@@ -139,6 +139,15 @@ class Verifier {
     return lint_options_;
   }
 
+  /// Claim-checking options (LTLf engine, claim lints) applied to every
+  /// subsequently verified class.  Both fold into cache_key.
+  void set_check_options(const CheckOptions& options) {
+    check_options_ = options;
+  }
+  [[nodiscard]] const CheckOptions& check_options() const {
+    return check_options_;
+  }
+
   [[nodiscard]] SymbolTable& symbols() { return table_; }
   [[nodiscard]] const SymbolTable& symbols() const { return table_; }
   [[nodiscard]] DiagnosticEngine& diagnostics() { return diagnostics_; }
@@ -154,6 +163,7 @@ class Verifier {
   SymbolTable table_;
   DiagnosticEngine diagnostics_;
   LintOptions lint_options_;
+  CheckOptions check_options_;
   BehaviorCache* cache_ = nullptr;
   std::deque<ClassSpec> specs_;  // deque: stable addresses for ClassLookup
   // Name -> index into specs_; keeps find_class O(1) (it is called once per

@@ -54,10 +54,14 @@ ClassReport Verifier::verify_spec(const ClassSpec& spec,
     // against the valid-usage language.
     support::guard::check_deadline("verify.check");
     if (spec.is_composite) {
-      report.check = check_composite(spec, lookup(), table_, sink);
+      report.check =
+          check_composite(spec, lookup(), table_, sink, check_options_);
     } else {
-      report.check = check_base_claims(spec, table_, sink);
+      report.check =
+          check_base_claims(spec, table_, sink, check_options_);
     }
+    // Claim-quality findings are lints: warnings that never affect ok().
+    report.lint_findings += report.check.claim_lints;
   } catch (const support::guard::ResourceError& error) {
     // One class blowing its state budget / deadline must not take down the
     // whole run: record it (fails ok()) and let verify_all keep going.

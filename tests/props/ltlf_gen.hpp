@@ -1,0 +1,96 @@
+// Seeded random generators for the LTLf differential suite: formulas built
+// through the normalizing constructors and usage-shaped NFAs (sparse,
+// ε-edged, possibly empty-language).  Everything is driven by a
+// std::mt19937_64 the caller seeds, so every failure reproduces from the
+// test's seed parameter alone.
+#pragma once
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "fsm/nfa.hpp"
+#include "ltlf/formula.hpp"
+#include "support/symbol.hpp"
+
+namespace shelley::testing {
+
+/// Interns `count` atom symbols p0..p(count-1).  Multi-letter names on
+/// purpose: the claim lexer reserves the single letters X N F G U W R as
+/// operators, and the print→parse round-trip property needs every printed
+/// atom to lex as an atom again.
+inline std::vector<Symbol> ltlf_atoms(SymbolTable& table, std::size_t count) {
+  std::vector<Symbol> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(table.intern("p" + std::to_string(i)));
+  }
+  return out;
+}
+
+/// A random formula of nesting depth at most `depth` over `atoms`.  Every
+/// connective of the claim grammar is reachable, including the derived
+/// F/G/W/-> spellings (they normalize into the core set, which is exactly
+/// what the round-trip property wants to stress).
+inline ltlf::Formula random_formula(std::mt19937_64& rng,
+                                    const std::vector<Symbol>& atoms,
+                                    std::size_t depth) {
+  using namespace ltlf;  // NOLINT(google-build-using-namespace)
+  if (depth == 0 || rng() % 8 == 0) {
+    switch (rng() % 8) {
+      case 0: return truth();
+      case 1: return falsity();
+      case 2: return end();
+      default: return atom(atoms[rng() % atoms.size()]);
+    }
+  }
+  const auto sub = [&] { return random_formula(rng, atoms, depth - 1); };
+  switch (rng() % 12) {
+    case 0: return make_not(sub());
+    case 1: return make_and(sub(), sub());
+    case 2: return make_or(sub(), sub());
+    case 3: return make_next(sub());
+    case 4: return make_weak_next(sub());
+    case 5: return make_until(sub(), sub());
+    case 6: return make_release(sub(), sub());
+    case 7: return make_finally(sub());
+    case 8: return make_globally(sub());
+    case 9: return make_weak_until(sub(), sub());
+    case 10: return make_implies(sub(), sub());
+    default: return make_not(sub());
+  }
+}
+
+/// A random NFA over `alphabet` with up to `max_states` states: sparse
+/// labelled edges, an occasional ε edge, random accepting set (possibly
+/// empty -- the empty language is a legitimate, interesting system).
+inline fsm::Nfa random_nfa(std::mt19937_64& rng,
+                           const std::vector<Symbol>& alphabet,
+                           std::size_t max_states) {
+  fsm::Nfa nfa;
+  const std::size_t count = 1 + rng() % max_states;
+  for (std::size_t i = 0; i < count; ++i) (void)nfa.add_state();
+  nfa.mark_initial(static_cast<fsm::StateId>(rng() % count));
+  for (std::size_t s = 0; s < count; ++s) {
+    for (const Symbol letter : alphabet) {
+      // Expected ~1 edge per (state, letter), sometimes 0, sometimes 2 --
+      // genuine nondeterminism included.
+      for (int k = 0; k < 2; ++k) {
+        if (rng() % 2 == 0) {
+          nfa.add_transition(static_cast<fsm::StateId>(s), letter,
+                             static_cast<fsm::StateId>(rng() % count));
+        }
+      }
+    }
+    if (rng() % 4 == 0) {
+      nfa.add_epsilon(static_cast<fsm::StateId>(s),
+                      static_cast<fsm::StateId>(rng() % count));
+    }
+    if (rng() % 5 < 2) {
+      nfa.mark_accepting(static_cast<fsm::StateId>(s));
+    }
+  }
+  return nfa;
+}
+
+}  // namespace shelley::testing

@@ -20,6 +20,10 @@
 #include "ir/generator.hpp"
 #include "ir/inference.hpp"
 #include "ir/semantics.hpp"
+#include "ltlf/automaton.hpp"
+#include "ltlf/eval.hpp"
+#include "ltlf/parser.hpp"
+#include "ltlf/tableau.hpp"
 #include "rex/derivative.hpp"
 
 namespace shelley::ir {
@@ -218,6 +222,63 @@ TEST_F(BoundedExhaustivePrograms, TheoremsHoldOnEveryProgramUpToBound) {
   std::cout << "bounded-exhaustive sweep: " << total << " programs, "
             << stats.traces_checked << " traces, " << stats.words_checked
             << " words\n";
+}
+
+// The dual-engine counterpart of the sweep above: every inferred language of
+// every ≤6-node program, run against a panel of claims through BOTH LTLf
+// engines.  The on-the-fly tableau and the progression-DFA oracle must agree
+// verdict for verdict and witness for witness on all 7030 programs, and
+// every counterexample is independently validated by NFA simulation plus the
+// reference evaluator -- the `--ltlf-engine both` discipline replayed over
+// the entire bounded-exhaustive program space.
+TEST_F(BoundedExhaustivePrograms, ClaimEnginesAgreeOnEveryProgramUpToBound) {
+  const auto by_size = programs_by_size();
+  const std::vector<Symbol> alphabet{a_, b_, c_};
+  const ltlf::Formula claims[] = {
+      ltlf::parse("G (a -> F b)", table_),
+      ltlf::parse("F a", table_),
+      ltlf::parse("(!b) U a", table_),
+      ltlf::parse("G (c -> X (a | end))", table_),
+  };
+
+  std::size_t programs = 0;
+  std::size_t violations = 0;
+  std::size_t holds = 0;
+  for (std::size_t n = 1; n <= kNodeBound; ++n) {
+    for (const Program& p : by_size[n]) {
+      ++programs;
+      const fsm::Nfa nfa = fsm::from_regex(rex::simplify(infer(p)));
+      const fsm::Dfa dfa = fsm::minimize(fsm::determinize(nfa, alphabet));
+      for (const ltlf::Formula& f : claims) {
+        const ltlf::TableauResult tableau =
+            ltlf::check_tableau(nfa, alphabet, f);
+        ASSERT_NE(tableau.verdict, ltlf::TableauVerdict::kLimited)
+            << to_string(p, table_);
+        const auto witness = ltlf::counterexample(dfa, f);
+        if (tableau.verdict == ltlf::TableauVerdict::kHolds) {
+          EXPECT_FALSE(witness.has_value()) << to_string(p, table_);
+          ++holds;
+          continue;
+        }
+        ++violations;
+        ASSERT_TRUE(witness.has_value()) << to_string(p, table_);
+        EXPECT_EQ(tableau.counterexample, *witness) << to_string(p, table_);
+        EXPECT_TRUE(nfa.accepts(tableau.counterexample))
+            << to_string(p, table_);
+        EXPECT_FALSE(ltlf::eval(f, tableau.counterexample))
+            << to_string(p, table_);
+      }
+    }
+  }
+  ASSERT_EQ(programs, 7030u);
+  // Both verdicts must occur in volume; a one-sided sweep tests one engine
+  // path only.
+  EXPECT_GT(violations, 100u);
+  EXPECT_GT(holds, 100u);
+  RecordProperty("claim_violations", static_cast<int>(violations));
+  RecordProperty("claim_holds", static_cast<int>(holds));
+  std::cout << "dual-engine claim sweep: " << programs << " programs, "
+            << violations << " violations, " << holds << " holds\n";
 }
 
 // Randomized sweep over deeper programs.

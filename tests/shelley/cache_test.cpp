@@ -211,8 +211,9 @@ TEST(Cache, DfaRoundTrip) {
   other.intern("unrelated");
   const auto loaded = cache.load_dfa(key, other);
   ASSERT_TRUE(loaded.has_value());
-  EXPECT_TRUE(loaded->accepts(testing::word(other, {"ping"})));
-  EXPECT_FALSE(loaded->accepts(testing::word(other, {"ping", "ping", "x"})));
+  EXPECT_TRUE(loaded->accepts(shelley::testing::word(other, {"ping"})));
+  EXPECT_FALSE(
+      loaded->accepts(shelley::testing::word(other, {"ping", "ping", "x"})));
 }
 
 TEST(Cache, CorruptDfaPayloadDegradesToMiss) {

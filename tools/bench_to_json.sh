@@ -261,4 +261,33 @@ else
     echo "bench_to_json.sh: bench_server not built; skipping" >&2
 fi
 
+# Dual LTLf engines: the tableau-vs-DFA-oracle families (shallow
+# counterexample / deep proof, bench_ltlf) spliced in verbatim as
+# "ltlf_engines".  The google-benchmark name/cpu_time lines inside are
+# picked up by tools/check_bench_regression.sh's extractor, so every
+# family is gated against the committed baseline automatically.
+bench_ltlf="$build_dir/bench/bench_ltlf"
+if [ -x "$bench_ltlf" ]; then
+    work=$(mktemp -d "${TMPDIR:-/tmp}/bench_ltlf.XXXXXX")
+    ltlf_json="$work/ltlf.json"
+    "$bench_ltlf" \
+        --benchmark_min_time=0.3s \
+        --benchmark_out="$ltlf_json" \
+        --benchmark_out_format=json > /dev/null
+
+    out="$root/BENCH_automata.json"
+    tmp="$out.tmp"
+    awk 'NR > 1 { print prev }
+         { prev = $0 }
+         END { sub(/}[[:space:]]*$/, "", prev); print prev }' "$out" > "$tmp"
+    printf ',"ltlf_engines":' >> "$tmp"
+    cat "$ltlf_json" >> "$tmp"
+    printf '}\n' >> "$tmp"
+    mv "$tmp" "$out"
+    rm -rf "$work"
+    echo "ltlf_engines: spliced $(grep -c '"name":' "$out") benchmark entries total"
+else
+    echo "bench_to_json.sh: bench_ltlf not built; skipping" >&2
+fi
+
 echo "wrote $root/BENCH_automata.json"
