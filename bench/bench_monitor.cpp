@@ -1,0 +1,189 @@
+// Streaming-monitor throughput: the compiled ring-200 table checking
+// pre-encoded SMEV event frames through monitor::StreamChecker.
+//
+// The stream is a seeded valid random walk (every event legal for its
+// device), so the hot path is the pure table sweep: decode + route + step
+// with no violation reporting.  Two configurations run over identical
+// bytes -- single shard and a multi-shard fleet -- plus a violation-heavy
+// control stream to keep the reporting path honest.  The final stdout
+// line is one JSON object (ns/event, events/sec, per-batch latency
+// quantiles) that tools/bench_to_json.sh splices into BENCH_automata.json
+// as "monitor_stream" and tools/check_bench_regression.sh gates.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <random>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "fsm/ops.hpp"
+#include "fsm/table.hpp"
+#include "monitor/stream.hpp"
+#include "shelley/automata.hpp"
+#include "shelley/spec.hpp"
+#include "upy/parser.hpp"
+
+namespace {
+
+using namespace shelley;
+
+constexpr std::size_t kRingOps = 200;
+constexpr std::size_t kRingExits = 8;
+constexpr std::size_t kDevices = 256;
+constexpr std::size_t kEventsPerBatch = std::size_t{1} << 16;
+constexpr std::size_t kBatches = 64;  // ~4.2M events per configuration
+
+std::uint64_t percentile(const std::vector<std::uint64_t>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  const auto index = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(index, sorted.size() - 1)];
+}
+
+struct RunResult {
+  double ns_per_event = 0;
+  double events_per_sec = 0;
+  std::uint64_t p50_batch_us = 0;
+  std::uint64_t p99_batch_us = 0;
+  std::uint64_t events = 0;
+  std::uint64_t violations = 0;
+};
+
+/// Feeds every pre-encoded frame body through a fresh checker, timing each
+/// ingest_binary call (decode + route + parallel sweep) as one batch.
+RunResult run_stream(const fsm::CompiledDfa& table,
+                     const std::vector<std::string>& bodies,
+                     std::size_t shards) {
+  monitor::StreamChecker::Options options;
+  options.shards = shards;
+  monitor::StreamChecker checker(table, options);
+  std::vector<std::uint64_t> batch_us;
+  batch_us.reserve(bodies.size());
+  const auto started = std::chrono::steady_clock::now();
+  for (const std::string& body : bodies) {
+    const auto batch_start = std::chrono::steady_clock::now();
+    checker.ingest_binary(body);
+    batch_us.push_back(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - batch_start)
+            .count()));
+  }
+  const double total_ns = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - started)
+          .count());
+  std::sort(batch_us.begin(), batch_us.end());
+  RunResult result;
+  result.events = checker.stats().events;
+  result.violations = checker.stats().violations;
+  result.ns_per_event = total_ns / static_cast<double>(result.events);
+  result.events_per_sec =
+      1e9 * static_cast<double>(result.events) / total_ns;
+  result.p50_batch_us = percentile(batch_us, 0.50);
+  result.p99_batch_us = percentile(batch_us, 0.99);
+  return result;
+}
+
+void print_result(const char* key, std::size_t shards,
+                  const RunResult& result) {
+  std::printf(
+      "\"%s\":{\"shards\":%zu,\"events\":%llu,\"violations\":%llu,"
+      "\"ns_per_event\":%.2f,\"events_per_sec\":%.0f,"
+      "\"p50_batch_us\":%llu,\"p99_batch_us\":%llu}",
+      key, shards, static_cast<unsigned long long>(result.events),
+      static_cast<unsigned long long>(result.violations),
+      result.ns_per_event, result.events_per_sec,
+      static_cast<unsigned long long>(result.p50_batch_us),
+      static_cast<unsigned long long>(result.p99_batch_us));
+}
+
+}  // namespace
+
+int main() {
+  // Compile the ring-200 table the way the engine does: spec -> usage NFA
+  // -> determinize -> minimize -> dense table.
+  const std::string source =
+      shelley::bench::synthetic_class(kRingOps, kRingExits);
+  const upy::Module module = upy::parse_module(source);
+  DiagnosticEngine diagnostics;
+  const core::ClassSpec spec =
+      core::extract_class_spec(module.classes.at(0), diagnostics);
+  SymbolTable symbols;
+  const fsm::Dfa dfa =
+      fsm::minimize(fsm::determinize(core::usage_nfa(spec, symbols)));
+  const fsm::CompiledDfa table = fsm::CompiledDfa::compile(dfa, symbols);
+
+  // Pre-encode the whole stream as SMEV frame bodies: a seeded valid
+  // random walk per device, so timing covers only the checker.
+  std::vector<std::string> device_names;
+  device_names.reserve(kDevices);
+  for (std::size_t i = 0; i < kDevices; ++i) {
+    device_names.push_back("dev" + std::to_string(i));
+  }
+  std::vector<std::string> op_names;
+  for (const std::string& name : table.event_names()) {
+    op_names.push_back(name);
+  }
+  std::mt19937_64 rng(0xb33fc200u);
+  std::vector<std::uint32_t> device_state(kDevices, table.initial());
+  std::vector<fsm::CompiledDfa::Letter> allowed;
+  std::vector<std::string> bodies;
+  bodies.reserve(kBatches);
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> events;
+  events.reserve(kEventsPerBatch);
+  for (std::size_t batch = 0; batch < kBatches; ++batch) {
+    events.clear();
+    for (std::size_t i = 0; i < kEventsPerBatch; ++i) {
+      const auto device =
+          static_cast<std::uint32_t>(rng() % kDevices);
+      allowed.clear();
+      table.allowed_letters(device_state[device], allowed);
+      const fsm::CompiledDfa::Letter letter =
+          allowed[rng() % allowed.size()];
+      device_state[device] = table.step(device_state[device], letter);
+      events.emplace_back(device, letter);
+    }
+    // Frame bodies only (no SMEV magic/size header): ingest_binary is the
+    // unit under test; framing is exercised by the CLI tests.
+    std::string frame =
+        monitor::encode_binary_frame(device_names, op_names, events);
+    bodies.push_back(frame.substr(12));
+  }
+
+  // Control stream: every second op is illegal, exercising report
+  // construction and the latched fast path.
+  std::vector<std::string> hostile_bodies;
+  {
+    events.clear();
+    for (std::size_t i = 0; i < kEventsPerBatch; ++i) {
+      const auto device = static_cast<std::uint32_t>(rng() % kDevices);
+      events.emplace_back(device,
+                          static_cast<std::uint32_t>(rng() % op_names.size()));
+    }
+    std::string frame =
+        monitor::encode_binary_frame(device_names, op_names, events);
+    hostile_bodies.push_back(frame.substr(12));
+  }
+
+  const std::size_t wide = std::max<std::size_t>(
+      2, std::min<std::size_t>(8, std::thread::hardware_concurrency()));
+  const RunResult single = run_stream(table, bodies, 1);
+  const RunResult sharded = run_stream(table, bodies, wide);
+  const RunResult hostile = run_stream(table, hostile_bodies, 1);
+
+  std::printf("{\"ring_ops\":%zu,\"ring_exits\":%zu,\"devices\":%zu,"
+              "\"table_states\":%u,\"table_letters\":%u,",
+              kRingOps, kRingExits, kDevices, table.state_count(),
+              table.letter_count());
+  print_result("single", 1, single);
+  std::printf(",");
+  print_result("sharded", wide, sharded);
+  std::printf(",");
+  print_result("hostile", 1, hostile);
+  std::printf("}\n");
+  return 0;
+}

@@ -13,6 +13,13 @@
 //                                        -> shelleyc's text report bytes
 //   {"cmd":"report","class"?,"jobs"?,"stats"?}
 //                                        -> shelleyc's --json bytes
+//   {"cmd":"monitor","class":C,...}      -> streaming-monitor run: compiles
+//                                           C's table (tiered) and checks
+//                                           events from an inline "events"
+//                                           array, an "ndjson" blob, or a
+//                                           "file" (+"format": "ndjson" |
+//                                           "binary"); optional "shards",
+//                                           "max_violations"
 //   {"cmd":"stats"}                      -> memo/query/parse/cache counters
 //   {"cmd":"shutdown","scope"?}          -> {"ok":true}, then the loop ends
 //                                           (over stdio, scope "server"

@@ -84,6 +84,9 @@ void MemoTier::evict_to_capacity() {
       case Kind::kArtifact:
         dropped = drop_entry(artifacts_, key);
         break;
+      case Kind::kTable:
+        dropped = drop_entry(tables_, key);
+        break;
     }
     stats_.evictions += dropped;
   }
@@ -152,11 +155,32 @@ void MemoTier::store_artifact(const support::Digest128& key,
   store_entry(artifacts_, Kind::kArtifact, key, std::move(artifact), size);
 }
 
+std::optional<std::string> MemoTier::load_table_bytes(
+    const support::Digest128& key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = tables_.find(key);
+  if (it == tables_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  touch(it->second.lru);
+  return it->second.value;
+}
+
+void MemoTier::store_table_bytes(const support::Digest128& key,
+                                 std::string bytes) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t size = bytes.size();
+  store_entry(tables_, Kind::kTable, key, std::move(bytes), size);
+}
+
 std::size_t MemoTier::invalidate(const support::Digest128& key) {
   const std::lock_guard<std::mutex> lock(mutex_);
   const std::size_t dropped = drop_entry(verdicts_, key) +
                               drop_entry(dfas_, key) +
-                              drop_entry(artifacts_, key);
+                              drop_entry(artifacts_, key) +
+                              drop_entry(tables_, key);
   stats_.invalidations += dropped;
   return dropped;
 }
@@ -166,6 +190,7 @@ void MemoTier::clear() {
   verdicts_.clear();
   dfas_.clear();
   artifacts_.clear();
+  tables_.clear();
   lru_.clear();
   stats_.bytes = 0;
 }

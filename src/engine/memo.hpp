@@ -1,6 +1,7 @@
 // The in-memory memo tier of the query engine: verdicts, behavior DFAs,
-// and opaque artifacts keyed by the same content-addressed class keys as
-// the on-disk BehaviorCache (shelley/fingerprint.hpp), layered *above* it.
+// opaque artifacts, and compiled monitoring tables keyed by the same
+// content-addressed class keys as the on-disk BehaviorCache
+// (shelley/fingerprint.hpp), layered *above* it.
 //
 // Entries hold exactly the cache encodings (CachedVerdict, the name-keyed
 // DFA bytes of fsm/serialize.hpp, raw artifact bytes), never live automata
@@ -68,6 +69,13 @@ class MemoTier {
       const support::Digest128& key);
   void store_artifact(const support::Digest128& key, std::string artifact);
 
+  /// Compiled monitoring tables, held as their versioned byte encoding
+  /// (fsm/table.hpp); the caller decodes against its current symbol table
+  /// -- the same single decode path as the disk tier.
+  [[nodiscard]] std::optional<std::string> load_table_bytes(
+      const support::Digest128& key);
+  void store_table_bytes(const support::Digest128& key, std::string bytes);
+
   /// Drops every entry kind stored under `key`; returns how many were
   /// dropped (counted as invalidations).  The workspace calls this for the
   /// stale keys of exactly the dependency closure of an updated source.
@@ -82,7 +90,7 @@ class MemoTier {
   [[nodiscard]] MemoStats stats() const;
 
  private:
-  enum class Kind : std::uint8_t { kVerdict, kDfa, kArtifact };
+  enum class Kind : std::uint8_t { kVerdict, kDfa, kArtifact, kTable };
   using LruList = std::list<std::pair<Kind, support::Digest128>>;
 
   template <typename T>
@@ -110,6 +118,7 @@ class MemoTier {
   std::map<support::Digest128, Entry<core::CachedVerdict>> verdicts_;
   std::map<support::Digest128, Entry<std::string>> dfas_;
   std::map<support::Digest128, Entry<std::string>> artifacts_;
+  std::map<support::Digest128, Entry<std::string>> tables_;
 };
 
 }  // namespace shelley::engine

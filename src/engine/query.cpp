@@ -172,6 +172,41 @@ fsm::Dfa QueryEngine::usage_dfa(const core::ClassSpec& spec) {
   return dfa;
 }
 
+fsm::CompiledDfa QueryEngine::compiled_table(const core::ClassSpec& spec) {
+  const LatencyProbe probe("query.compiled_table_us");
+  core::Verifier& verifier = workspace_.verifier();
+  const support::Digest128 key = verifier.cache_key(spec);
+  if (const auto bytes = memo_.load_table_bytes(key)) {
+    try {
+      fsm::CompiledDfa compiled =
+          fsm::CompiledDfa::from_bytes(*bytes, verifier.symbols());
+      const std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.table_hits;
+      return compiled;
+    } catch (const support::BinaryFormatError&) {
+      // The memo holds exactly what we encoded, so this cannot happen short
+      // of a format-version bump mid-process; degrade to a miss.
+    }
+  }
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.table_misses;
+  }
+  core::BehaviorCache* cache = workspace_.cache();
+  if (cache != nullptr) {
+    if (auto compiled = cache->load_table(key, verifier.symbols())) {
+      memo_.store_table_bytes(key, compiled->to_bytes());
+      return *std::move(compiled);
+    }
+  }
+  // Cold: compile from the usage DFA, which runs its own memo/disk tiering.
+  const fsm::CompiledDfa compiled =
+      fsm::CompiledDfa::compile(usage_dfa(spec), verifier.symbols());
+  if (cache != nullptr) cache->store_table(key, compiled);
+  memo_.store_table_bytes(key, compiled.to_bytes());
+  return compiled;
+}
+
 SmvArtifact QueryEngine::smv_model(const core::ClassSpec& spec) {
   const LatencyProbe probe("query.smv_model_us");
   core::Verifier& verifier = workspace_.verifier();

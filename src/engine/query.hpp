@@ -23,6 +23,7 @@
 #include "engine/memo.hpp"
 #include "engine/workspace.hpp"
 #include "fsm/dfa.hpp"
+#include "fsm/table.hpp"
 
 namespace shelley::engine {
 
@@ -36,6 +37,8 @@ struct QueryStats {
   std::uint64_t dfa_misses = 0;
   std::uint64_t artifact_hits = 0;
   std::uint64_t artifact_misses = 0;
+  std::uint64_t table_hits = 0;    ///< compiled_table() answered from memo
+  std::uint64_t table_misses = 0;
 };
 
 /// A built (or replayed) NuSMV model plus the claims that had to be
@@ -88,6 +91,13 @@ class QueryEngine {
 
   /// The emitted NuSMV model of one class (what --smv prints).
   [[nodiscard]] SmvArtifact smv_model(const core::ClassSpec& spec);
+
+  /// The compiled monitoring table of one class (fsm/table.hpp) -- what the
+  /// streaming monitor walks.  Memoized as its versioned byte encoding;
+  /// promoted from / stored to the disk tier when attached.  The cold path
+  /// compiles from usage_dfa(), so a warm DFA entry still short-circuits
+  /// most of the pipeline.
+  [[nodiscard]] fsm::CompiledDfa compiled_table(const core::ClassSpec& spec);
 
   /// Drops every memo entry under `key` (all query kinds).  Returns how
   /// many entries were dropped.

@@ -1,15 +1,18 @@
 #include "engine/session.hpp"
 
 #include <exception>
+#include <fstream>
 #include <optional>
 #include <ostream>
 #include <set>
 #include <sstream>
 #include <stdexcept>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "engine/render.hpp"
+#include "monitor/stream.hpp"
 #include "shelley/cache.hpp"
 #include "shelley/fingerprint.hpp"
 #include "support/json.hpp"
@@ -207,6 +210,106 @@ struct SessionAccess {
     writer.end_object();
   }
 
+  /// The streaming-monitor command: compiles the class's monitoring table
+  /// through the tiered compiled_table() query, then checks the request's
+  /// events -- an inline {"device","op"} array, a raw NDJSON blob
+  /// ("ndjson"), or a file ("file" + optional "format" of "ndjson" or
+  /// "binary") -- through a sharded StreamChecker.
+  static void handle_monitor(Session& session, const JsonValue& request,
+                             JsonWriter& writer) {
+    const std::string& name = request.at("class").as_string();
+    const core::ClassSpec* spec =
+        session.workspace_.verifier().find_class(name);
+    if (spec == nullptr) {
+      write_error(writer, "unknown class '" + name + "'");
+      return;
+    }
+    monitor::StreamChecker::Options options;
+    if (const JsonValue* shards = request.find("shards")) {
+      options.shards = static_cast<std::size_t>(shards->as_number());
+    }
+    if (const JsonValue* cap = request.find("max_violations")) {
+      options.max_violations = static_cast<std::size_t>(cap->as_number());
+    }
+    monitor::StreamChecker checker(session.engine_.compiled_table(*spec),
+                                   options);
+    std::unordered_map<std::string, SourceLoc> locations;
+    for (const core::Operation& op : spec->operations) {
+      locations.emplace(op.name, op.loc);
+    }
+    checker.set_source_locations(std::move(locations));
+
+    if (const JsonValue* events = request.find("events")) {
+      for (const JsonValue& event : events->as_array()) {
+        checker.ingest_event(event.at("device").as_string(),
+                             event.at("op").as_string());
+      }
+      checker.flush();
+    } else if (const JsonValue* ndjson = request.find("ndjson")) {
+      std::string text = ndjson->as_string();
+      if (!text.empty() && text.back() != '\n') text.push_back('\n');
+      checker.ingest_ndjson(text);
+    } else if (const JsonValue* file = request.find("file")) {
+      std::ifstream input(file->as_string(), std::ios::binary);
+      if (!input) {
+        write_error(writer,
+                    "cannot open event file '" + file->as_string() + "'");
+        return;
+      }
+      std::stringstream buffer;
+      buffer << input.rdbuf();
+      std::string bytes = buffer.str();
+      const JsonValue* format = request.find("format");
+      if (format != nullptr && format->as_string() == "binary") {
+        const std::size_t consumed =
+            monitor::ingest_binary_stream(checker, bytes);
+        if (consumed != bytes.size()) {
+          throw support::BinaryFormatError("event file ends mid-frame");
+        }
+      } else {
+        if (!bytes.empty() && bytes.back() != '\n') bytes.push_back('\n');
+        checker.ingest_ndjson(bytes);
+      }
+    } else {
+      write_error(writer, "monitor needs \"events\", \"ndjson\", or \"file\"");
+      return;
+    }
+
+    const monitor::StreamStats& stats = checker.stats();
+    writer.begin_object();
+    writer.key("ok").value(true);
+    writer.key("class").value(name);
+    writer.key("events").value(stats.events);
+    writer.key("ok_events").value(stats.ok);
+    writer.key("violations").value(stats.violations);
+    writer.key("malformed").value(stats.malformed);
+    writer.key("devices").value(stats.devices);
+    writer.key("completed_devices").value(checker.completed_devices());
+    writer.key("violated_devices").value(checker.violated_devices());
+    writer.key("incomplete_devices").value(checker.incomplete_devices());
+    writer.key("violations_dropped").value(stats.violations_dropped);
+    writer.key("reports").begin_array();
+    for (const monitor::Violation& report : checker.violations()) {
+      writer.begin_object();
+      writer.key("index").value(report.event_index);
+      writer.key("device").value(report.device);
+      writer.key("device_index").value(report.device_event_index);
+      writer.key("op").value(report.operation);
+      if (report.loc.known()) {
+        writer.key("line").value(std::uint64_t{report.loc.line});
+        writer.key("column").value(std::uint64_t{report.loc.column});
+      }
+      writer.key("allowed").begin_array();
+      for (const std::string& allowed : report.allowed) {
+        writer.value(allowed);
+      }
+      writer.end_array();
+      writer.end_object();
+    }
+    writer.end_array();
+    writer.end_object();
+  }
+
   static std::uint64_t uptime_ms(const Session& session) {
     return static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::milliseconds>(
@@ -238,6 +341,8 @@ struct SessionAccess {
     writer.key("dfa_misses").value(queries.dfa_misses);
     writer.key("artifact_hits").value(queries.artifact_hits);
     writer.key("artifact_misses").value(queries.artifact_misses);
+    writer.key("table_hits").value(queries.table_hits);
+    writer.key("table_misses").value(queries.table_misses);
     writer.end_object();
     const ParseStats parses = session.workspace_.parse_stats();
     writer.key("parse").begin_object();
@@ -388,6 +493,8 @@ struct SessionAccess {
       handle_run(session, request, /*json=*/false, writer);
     } else if (cmd == "report") {
       handle_run(session, request, /*json=*/true, writer);
+    } else if (cmd == "monitor") {
+      handle_monitor(session, request, writer);
     } else if (cmd == "stats") {
       handle_stats(session, writer);
     } else if (cmd == "metrics") {

@@ -27,6 +27,8 @@ const char* kind_suffix(BehaviorCache::Kind kind) {
       return "dfa";
     case BehaviorCache::Kind::kArtifact:
       return "art";
+    case BehaviorCache::Kind::kTable:
+      return "tbl";
   }
   return "unknown";
 }
@@ -297,6 +299,27 @@ std::optional<std::string> BehaviorCache::load_artifact(
 bool BehaviorCache::store_artifact(const support::Digest128& key,
                                    std::string_view artifact) {
   return store_payload(key, Kind::kArtifact, artifact);
+}
+
+std::optional<fsm::CompiledDfa> BehaviorCache::load_table(
+    const support::Digest128& key, SymbolTable& table) {
+  const auto payload = load_payload(key, Kind::kTable);
+  if (!payload) return std::nullopt;
+  try {
+    return fsm::CompiledDfa::from_bytes(*payload, table);
+  } catch (const std::exception&) {
+    // Framing verified but the payload does not decode (e.g. table-format
+    // version skew): count the hit back out as an invalidation.
+    hits_.fetch_sub(1, std::memory_order_relaxed);
+    invalidations_.fetch_add(1, std::memory_order_relaxed);
+    support::metrics::counter("cache.invalidated").add();
+    return std::nullopt;
+  }
+}
+
+bool BehaviorCache::store_table(const support::Digest128& key,
+                                const fsm::CompiledDfa& compiled) {
+  return store_payload(key, Kind::kTable, compiled.to_bytes());
 }
 
 CacheStats BehaviorCache::stats() const {

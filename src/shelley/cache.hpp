@@ -13,7 +13,7 @@
 // renamed file -- is counted as an invalidation and degrades to a miss,
 // never a crash and never a stale hit.
 //
-// Three entry kinds:
+// Four entry kinds:
 //   * verdict  -- a class's full verification outcome (report counters,
 //                 subsystem/claim errors with counterexamples as symbol
 //                 NAMES, and the diagnostics verification emitted), enough
@@ -21,7 +21,9 @@
 //   * dfa      -- a behavior DFA (fsm/serialize.hpp round-trip), used to
 //                 skip usage-automaton construction in monitor mode;
 //   * artifact -- opaque output bytes (e.g. the emitted SMV model), keyed
-//                 by the same dependency-closure class key.
+//                 by the same dependency-closure class key;
+//   * table    -- a compiled monitoring table (fsm/table.hpp), the
+//                 streaming monitor's warm-start artifact.
 //
 // Verdicts for classes that hit a resource limit (timeout, state budget)
 // are never stored: an aborted run is not a result.
@@ -35,6 +37,7 @@
 #include <vector>
 
 #include "fsm/dfa.hpp"
+#include "fsm/table.hpp"
 #include "support/diagnostics.hpp"
 #include "support/hash.hpp"
 #include "support/symbol.hpp"
@@ -86,7 +89,12 @@ struct CacheStats {
 
 class BehaviorCache {
  public:
-  enum class Kind : std::uint8_t { kVerdict = 1, kDfa = 2, kArtifact = 3 };
+  enum class Kind : std::uint8_t {
+    kVerdict = 1,
+    kDfa = 2,
+    kArtifact = 3,
+    kTable = 4,
+  };
 
   /// Opens (and creates, if needed) the cache directory.  Throws
   /// std::runtime_error when the directory cannot be created.
@@ -108,6 +116,11 @@ class BehaviorCache {
       const support::Digest128& key);
   bool store_artifact(const support::Digest128& key,
                       std::string_view artifact);
+
+  [[nodiscard]] std::optional<fsm::CompiledDfa> load_table(
+      const support::Digest128& key, SymbolTable& table);
+  bool store_table(const support::Digest128& key,
+                   const fsm::CompiledDfa& compiled);
 
   /// A consistent snapshot of the counters (safe while workers run).
   [[nodiscard]] CacheStats stats() const;

@@ -20,32 +20,54 @@ std::string_view to_string(Verdict verdict) {
 Monitor::Monitor(const ClassSpec& spec, SymbolTable& table)
     : table_(&table),
       dfa_(fsm::minimize(fsm::determinize(usage_nfa(spec, table)))),
-      live_(fsm::live_states(dfa_)),
-      state_(dfa_.initial()) {}
+      compiled_(fsm::CompiledDfa::compile(dfa_, table)),
+      state_(compiled_.initial()) {}
 
 Monitor::Monitor(SymbolTable& table, fsm::Dfa dfa)
     : table_(&table),
       dfa_(std::move(dfa)),
-      live_(fsm::live_states(dfa_)),
-      state_(dfa_.initial()) {}
+      compiled_(fsm::CompiledDfa::compile(dfa_, table)),
+      state_(compiled_.initial()) {}
+
+void Monitor::record(std::string_view operation) {
+  history_.emplace_back(operation);
+  // Amortized O(1) bound: let the vector run to twice the limit, then drop
+  // the oldest half in one erase.  Retained size stays in [limit, 2*limit).
+  if (history_limit_ != 0 && history_.size() >= history_limit_ * 2) {
+    history_.erase(history_.begin(),
+                   history_.end() - static_cast<std::ptrdiff_t>(history_limit_));
+  }
+}
 
 Verdict Monitor::feed(std::string_view operation) {
-  history_.emplace_back(operation);
+  record(operation);
+  ++events_fed_;
   if (violated_) return Verdict::kViolation;
 
   const auto symbol = table_->lookup(operation);
-  const auto letter = symbol ? dfa_.letter_index(*symbol) : std::nullopt;
-  if (!letter) {
+  const fsm::CompiledDfa::Letter letter =
+      symbol ? compiled_.letter_of(*symbol) : fsm::CompiledDfa::kNoLetter;
+  return step(letter);
+}
+
+Verdict Monitor::feed_letter(fsm::CompiledDfa::Letter letter) {
+  ++events_fed_;
+  if (violated_) return Verdict::kViolation;
+  return step(letter);
+}
+
+Verdict Monitor::step(fsm::CompiledDfa::Letter letter) {
+  if (letter == fsm::CompiledDfa::kNoLetter) {
+    // Not in the class alphabet: a violation that does not move the state
+    // (there is no column to follow) -- same as the legacy walk.
     violated_ = true;
     return Verdict::kViolation;
   }
-  const fsm::StateId next = dfa_.transition(state_, *letter);
-  if (!live_[next]) {
-    // Entering a dead state: distinguish "this exact call was undeclared"
-    // from "allowed but now doomed".  In the usage DFA the only dead states
-    // come from undeclared sequences or stuck exits; both make every
-    // completion impossible, so the call is a violation either way for a
-    // latching monitor.
+  const std::uint32_t next = compiled_.step(state_, letter);
+  if (!compiled_.live(next)) {
+    // Entering the sink (every dead state of the source DFA folds into it):
+    // undeclared sequences and stuck exits both make completion impossible,
+    // so the call is a violation either way for a latching monitor.
     violated_ = true;
     state_ = next;
     return Verdict::kViolation;
@@ -55,26 +77,35 @@ Verdict Monitor::feed(std::string_view operation) {
 }
 
 bool Monitor::completed() const {
-  return !violated_ && dfa_.is_accepting(state_);
+  return !violated_ && compiled_.accepting(state_);
 }
 
-bool Monitor::can_complete() const { return !violated_ && live_[state_]; }
+bool Monitor::can_complete() const {
+  return !violated_ && compiled_.live(state_);
+}
 
 std::vector<std::string> Monitor::allowed_next() const {
   std::vector<std::string> out;
   if (violated_) return out;
-  for (std::size_t letter = 0; letter < dfa_.alphabet().size(); ++letter) {
-    const fsm::StateId next = dfa_.transition(state_, letter);
-    if (live_[next]) {
-      out.push_back(table_->name(dfa_.alphabet()[letter]));
-    }
+  std::vector<fsm::CompiledDfa::Letter> letters;
+  compiled_.allowed_letters(state_, letters);
+  out.reserve(letters.size());
+  for (const fsm::CompiledDfa::Letter letter : letters) {
+    out.push_back(compiled_.event_name(letter));
   }
   return out;
 }
 
+void Monitor::allowed_next(std::vector<fsm::CompiledDfa::Letter>& out) const {
+  out.clear();
+  if (violated_) return;
+  compiled_.allowed_letters(state_, out);
+}
+
 void Monitor::reset() {
-  state_ = dfa_.initial();
+  state_ = compiled_.initial();
   violated_ = false;
+  events_fed_ = 0;
   history_.clear();
 }
 

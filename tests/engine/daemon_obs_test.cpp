@@ -59,7 +59,7 @@ class DaemonObsTest : public ::testing::Test {
     write_file("bad.py", examples::kBadSectorSource);
     write_file("sector.py", examples::kSectorSource);
     write_file("good.py", examples::kGoodSectorSource);
-    write_file("ring.py", ring_source(80));
+    write_file("ring.py", ring_source(300));
     log_path_ = (dir_ / "daemon.ndjson").string();
 
     trace::set_enabled(true);
@@ -291,7 +291,7 @@ TEST_F(DaemonObsTest, SlowQueryLogCarriesTheRequestId) {
   }
   EXPECT_EQ(starts, 24u);
   EXPECT_EQ(finishes, 24u);
-  // The 80-op ring's cold verification cannot finish within 1 ms.
+  // The 300-op ring's cold verification cannot finish within 1 ms.
   EXPECT_TRUE(found_slow);
 }
 

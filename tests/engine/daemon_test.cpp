@@ -336,5 +336,104 @@ TEST_F(DaemonTest, LoadReportsPerFileOutcomes) {
             std::string::npos);
 }
 
+TEST_F(DaemonTest, MonitorChecksInlineEventsAgainstTheValveSpec) {
+  const auto responses = daemon_session(
+      {load_request(),
+       R"({"cmd":"monitor","class":"Valve","events":[)"
+       R"({"device":"a","op":"test"},{"device":"b","op":"test"},)"
+       R"({"device":"a","op":"open"},{"device":"b","op":"clean"},)"
+       R"({"device":"a","op":"close"}]})"});
+  ASSERT_EQ(responses.size(), 2u);
+  const JsonValue& reply = responses[1];
+  EXPECT_TRUE(reply.at("ok").as_bool());
+  EXPECT_EQ(reply.at("class").as_string(), "Valve");
+  EXPECT_EQ(reply.at("events").as_number(), 5);
+  EXPECT_EQ(reply.at("ok_events").as_number(), 5);
+  EXPECT_EQ(reply.at("violations").as_number(), 0);
+  EXPECT_EQ(reply.at("malformed").as_number(), 0);
+  EXPECT_EQ(reply.at("devices").as_number(), 2);
+  EXPECT_EQ(reply.at("completed_devices").as_number(), 2);
+  EXPECT_EQ(reply.at("violated_devices").as_number(), 0);
+  EXPECT_EQ(reply.at("incomplete_devices").as_number(), 0);
+  EXPECT_TRUE(reply.at("reports").as_array().empty());
+}
+
+TEST_F(DaemonTest, MonitorReportsViolationsWithSourceLocations) {
+  const auto responses = daemon_session(
+      {load_request(),
+       R"({"cmd":"monitor","class":"Valve","events":[)"
+       R"({"device":"v","op":"test"},{"device":"v","op":"open"},)"
+       R"({"device":"v","op":"close"},{"device":"v","op":"close"}]})"});
+  ASSERT_EQ(responses.size(), 2u);
+  const JsonValue& reply = responses[1];
+  EXPECT_TRUE(reply.at("ok").as_bool());
+  EXPECT_EQ(reply.at("violations").as_number(), 1);
+  EXPECT_EQ(reply.at("violated_devices").as_number(), 1);
+  const auto& reports = reply.at("reports").as_array();
+  ASSERT_EQ(reports.size(), 1u);
+  const JsonValue& report = reports[0];
+  EXPECT_EQ(report.at("index").as_number(), 3);  // global event index
+  EXPECT_EQ(report.at("device").as_string(), "v");
+  EXPECT_EQ(report.at("device_index").as_number(), 3);
+  EXPECT_EQ(report.at("op").as_string(), "close");
+  // `close` is declared in valve.py, so the report carries its location.
+  EXPECT_GT(report.at("line").as_number(), 0);
+  EXPECT_GT(report.at("column").as_number(), 0);
+  const auto& allowed = report.at("allowed").as_array();
+  ASSERT_EQ(allowed.size(), 1u);  // after close only test may follow
+  EXPECT_EQ(allowed[0].as_string(), "test");
+}
+
+TEST_F(DaemonTest, MonitorAcceptsNdjsonBlobsAndCountsMalformedLines) {
+  const auto responses = daemon_session(
+      {load_request(), [] {
+         JsonWriter writer;
+         writer.begin_object();
+         writer.key("cmd").value("monitor");
+         writer.key("class").value("Valve");
+         writer.key("shards").value(std::uint64_t{3});
+         writer.key("ndjson").value(
+             "{\"device\":\"x\",\"op\":\"test\"}\n"
+             "not json at all\n"
+             "{\"device\":\"x\",\"op\":\"clean\"}");  // no trailing newline
+         writer.end_object();
+         return writer.str();
+       }()});
+  ASSERT_EQ(responses.size(), 2u);
+  const JsonValue& reply = responses[1];
+  EXPECT_TRUE(reply.at("ok").as_bool());
+  EXPECT_EQ(reply.at("events").as_number(), 2);
+  EXPECT_EQ(reply.at("ok_events").as_number(), 2);
+  EXPECT_EQ(reply.at("malformed").as_number(), 1);
+  EXPECT_EQ(reply.at("completed_devices").as_number(), 1);
+}
+
+TEST_F(DaemonTest, MonitorUnknownClassIsAnErrorResponse) {
+  const auto responses = daemon_session(
+      {load_request(),
+       R"({"cmd":"monitor","class":"Ghost","events":[]})",
+       R"({"cmd":"version"})"});
+  ASSERT_EQ(responses.size(), 3u);
+  EXPECT_FALSE(responses[1].at("ok").as_bool());
+  EXPECT_NE(responses[1].at("error").as_string().find("unknown class"),
+            std::string::npos);
+  EXPECT_TRUE(responses[2].at("ok").as_bool());  // the session survived
+}
+
+TEST_F(DaemonTest, MonitorMemoizesTheCompiledTableAcrossRequests) {
+  const std::string monitor_request =
+      R"({"cmd":"monitor","class":"Valve","events":[)"
+      R"({"device":"m","op":"test"}]})";
+  const auto responses = daemon_session(
+      {load_request(), monitor_request, monitor_request,
+       R"({"cmd":"stats"})"});
+  ASSERT_EQ(responses.size(), 4u);
+  EXPECT_TRUE(responses[1].at("ok").as_bool());
+  EXPECT_TRUE(responses[2].at("ok").as_bool());
+  const JsonValue& queries = responses[3].at("queries");
+  EXPECT_EQ(queries.at("table_misses").as_number(), 1);
+  EXPECT_EQ(queries.at("table_hits").as_number(), 1);
+}
+
 }  // namespace
 }  // namespace shelley::engine

@@ -217,6 +217,74 @@ TEST_F(QueryTest, UsageDfaPromotesFromTheDiskTier) {
   EXPECT_EQ(cache.stats().hits, 1u);  // memo answered, disk untouched
 }
 
+TEST_F(QueryTest, CompiledTableMemoizesAndReplaysIdentically) {
+  workspace_.load_source("valve.py", examples::kValveSource);
+  QueryEngine engine(workspace_);
+  const core::ClassSpec* spec = workspace_.verifier().find_class("Valve");
+  ASSERT_NE(spec, nullptr);
+
+  const fsm::CompiledDfa cold = engine.compiled_table(*spec);
+  EXPECT_EQ(engine.stats().table_misses, 1u);
+  EXPECT_EQ(engine.stats().table_hits, 0u);
+  const fsm::CompiledDfa warm = engine.compiled_table(*spec);
+  EXPECT_EQ(engine.stats().table_hits, 1u);
+  EXPECT_EQ(warm.to_bytes(), cold.to_bytes());
+  // The table agrees with the usage DFA it was compiled from.
+  const fsm::Dfa& dfa = engine.usage_dfa(*spec);
+  EXPECT_EQ(cold.state_count(), dfa.state_count() + 1);  // + sink row
+}
+
+TEST_F(QueryTest, CompiledTablePromotesFromTheDiskTier) {
+  const std::string dir = fresh_dir("table");
+  std::string cold_bytes;
+  // First session: compile and persist.
+  {
+    Workspace workspace;
+    core::BehaviorCache cache(dir);
+    workspace.set_cache(&cache);
+    workspace.load_source("valve.py", examples::kValveSource);
+    QueryEngine engine(workspace);
+    const core::ClassSpec* spec = workspace.verifier().find_class("Valve");
+    ASSERT_NE(spec, nullptr);
+    cold_bytes = engine.compiled_table(*spec).to_bytes();
+    EXPECT_EQ(engine.stats().table_misses, 1u);
+    EXPECT_GE(cache.stats().stores, 1u);
+  }
+  // Second session, fresh memo: the disk tier answers byte-identically,
+  // then the in-memory tier takes over.
+  Workspace workspace;
+  core::BehaviorCache cache(dir);
+  workspace.set_cache(&cache);
+  workspace.load_source("valve.py", examples::kValveSource);
+  QueryEngine engine(workspace);
+  const core::ClassSpec* spec = workspace.verifier().find_class("Valve");
+  ASSERT_NE(spec, nullptr);
+  EXPECT_EQ(engine.compiled_table(*spec).to_bytes(), cold_bytes);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  (void)engine.compiled_table(*spec);
+  EXPECT_EQ(engine.stats().table_hits, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);  // memo answered, disk untouched
+}
+
+TEST_F(QueryTest, CompiledTableInvalidatesWithTheClosure) {
+  workspace_.load_source("valve.py", examples::kValveSource);
+  QueryEngine engine(workspace_);
+  const core::ClassSpec* spec = workspace_.verifier().find_class("Valve");
+  ASSERT_NE(spec, nullptr);
+  (void)engine.compiled_table(*spec);
+  // A semantic edit to the class invalidates the memoized table: the next
+  // query recompiles against the new fingerprint.
+  std::string edited = examples::kValveSource;
+  const auto pos = edited.find("return [\"test\"]");
+  ASSERT_NE(pos, std::string::npos);
+  edited.replace(pos, 15, "return [\"test\", \"clean\"]");
+  (void)engine.apply_update(workspace_.update_source("valve.py", edited));
+  spec = workspace_.verifier().find_class("Valve");
+  ASSERT_NE(spec, nullptr);
+  (void)engine.compiled_table(*spec);
+  EXPECT_EQ(engine.stats().table_misses, 2u);
+}
+
 TEST_F(QueryTest, SmvModelMemoizesWhenAllClaimsParse) {
   load_paper_sources();
   QueryEngine engine(workspace_);

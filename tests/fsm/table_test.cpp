@@ -1,0 +1,238 @@
+// CompiledDfa (fsm/table.hpp): compile invariants (sink row, dead-state
+// merging, bitmaps, letter order), verdict parity with the source DFA on
+// random words, the versioned byte format's round trip, and the adversarial
+// decode surface -- every truncation and every bit flip must either throw
+// support::BinaryFormatError or decode to a table that still satisfies all
+// structural invariants.  Never UB, never a crash.
+#include "fsm/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "fsm/dfa.hpp"
+#include "support/binary.hpp"
+
+namespace shelley::fsm {
+namespace {
+
+/// The valve usage DFA, hand-built: test -> {open, clean}, open -> close,
+/// close/clean -> test, plus an explicit dead state (4) reached nowhere.
+/// States: 0 initial/accepting, 1 after test, 2 after open, 4 dead trap.
+class TableTest : public ::testing::Test {
+ protected:
+  TableTest() {
+    test_ = table_.intern("test");
+    open_ = table_.intern("open");
+    close_ = table_.intern("close");
+    clean_ = table_.intern("clean");
+  }
+
+  /// Alphabet order is sorted symbol order: intern order here.
+  Dfa valve_dfa() {
+    Dfa dfa(5, {test_, open_, close_, clean_});
+    const auto at = [&](Symbol s) { return *dfa.letter_index(s); };
+    // Default transitions self-loop on 0; send everything to the trap
+    // first, then carve the legal cycle.
+    for (StateId from = 0; from < 5; ++from) {
+      for (std::size_t letter = 0; letter < 4; ++letter) {
+        dfa.set_transition(from, letter, 4);
+      }
+    }
+    dfa.set_transition(0, at(test_), 1);
+    dfa.set_transition(1, at(open_), 2);
+    dfa.set_transition(1, at(clean_), 0);
+    dfa.set_transition(2, at(close_), 0);
+    dfa.set_accepting(0, true);
+    dfa.set_initial(0);
+    return dfa;
+  }
+
+  SymbolTable table_;
+  Symbol test_, open_, close_, clean_;
+};
+
+TEST_F(TableTest, CompileAppendsSinkAndMergesDeadStates) {
+  const CompiledDfa compiled = CompiledDfa::compile(valve_dfa(), table_);
+  EXPECT_EQ(compiled.state_count(), 6u);  // 5 source states + sink row
+  EXPECT_EQ(compiled.letter_count(), 4u);
+  EXPECT_EQ(compiled.sink(), 5u);
+  EXPECT_EQ(compiled.initial(), 0u);
+  // The explicit trap state's targets were redirected to the sink.
+  const CompiledDfa::Letter open = compiled.letter_of("open");
+  EXPECT_EQ(compiled.step(0, open), compiled.sink());
+  // The sink self-loops on every letter and is neither accepting nor live.
+  for (CompiledDfa::Letter l = 0; l < compiled.letter_count(); ++l) {
+    EXPECT_EQ(compiled.step(compiled.sink(), l), compiled.sink());
+  }
+  EXPECT_FALSE(compiled.accepting(compiled.sink()));
+  EXPECT_FALSE(compiled.live(compiled.sink()));
+  // Live states are exactly the legal-cycle ones.
+  EXPECT_TRUE(compiled.live(0));
+  EXPECT_TRUE(compiled.live(1));
+  EXPECT_TRUE(compiled.live(2));
+  EXPECT_FALSE(compiled.live(4));
+  EXPECT_TRUE(compiled.accepting(0));
+  EXPECT_FALSE(compiled.accepting(1));
+}
+
+TEST_F(TableTest, LetterOrderIsAlphabetOrder) {
+  const Dfa dfa = valve_dfa();
+  const CompiledDfa compiled = CompiledDfa::compile(dfa, table_);
+  ASSERT_EQ(compiled.event_names().size(), dfa.alphabet().size());
+  for (std::size_t i = 0; i < dfa.alphabet().size(); ++i) {
+    EXPECT_EQ(compiled.event_names()[i], table_.name(dfa.alphabet()[i]));
+    EXPECT_EQ(compiled.event_symbol(static_cast<CompiledDfa::Letter>(i)),
+              dfa.alphabet()[i]);
+  }
+  EXPECT_EQ(compiled.letter_of(test_), compiled.letter_of("test"));
+  EXPECT_EQ(compiled.letter_of("explode"), CompiledDfa::kNoLetter);
+  EXPECT_EQ(compiled.letter_of(table_.intern("explode")),
+            CompiledDfa::kNoLetter);
+}
+
+TEST_F(TableTest, StepAgreesWithDfaOnRandomWords) {
+  const Dfa dfa = valve_dfa();
+  const CompiledDfa compiled = CompiledDfa::compile(dfa, table_);
+  const Symbol ops[] = {test_, open_, close_, clean_};
+  std::mt19937_64 rng(11);
+  for (int round = 0; round < 500; ++round) {
+    Word word;
+    std::uint32_t state = compiled.initial();
+    for (int i = 0; i < 8; ++i) {
+      const Symbol symbol = ops[rng() % 4];
+      word.push_back(symbol);
+      state = compiled.step(state, compiled.letter_of(symbol));
+    }
+    const auto reached = dfa.run(word);
+    ASSERT_TRUE(reached.has_value());
+    EXPECT_EQ(compiled.accepting(state), dfa.is_accepting(*reached));
+  }
+}
+
+TEST_F(TableTest, AllowedLettersAreExactlyTheLiveTargets) {
+  const CompiledDfa compiled = CompiledDfa::compile(valve_dfa(), table_);
+  std::vector<CompiledDfa::Letter> out;
+  compiled.allowed_letters(compiled.initial(), out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(compiled.event_name(out[0]), "test");
+  // Appends without clearing, so the scratch-reuse contract holds.
+  compiled.allowed_letters(1, out);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(compiled.event_name(out[1]), "open");
+  EXPECT_EQ(compiled.event_name(out[2]), "clean");
+  out.clear();
+  compiled.allowed_letters(compiled.sink(), out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_F(TableTest, RoundTripPreservesEverything) {
+  const CompiledDfa compiled = CompiledDfa::compile(valve_dfa(), table_);
+  const std::string bytes = compiled.to_bytes();
+
+  SymbolTable other;
+  other.intern("unrelated");  // different interning on the far side
+  const CompiledDfa loaded = CompiledDfa::from_bytes(bytes, other);
+  EXPECT_EQ(loaded.state_count(), compiled.state_count());
+  EXPECT_EQ(loaded.letter_count(), compiled.letter_count());
+  EXPECT_EQ(loaded.initial(), compiled.initial());
+  EXPECT_EQ(loaded.sink(), compiled.sink());
+  EXPECT_EQ(loaded.cells(), compiled.cells());
+  EXPECT_EQ(loaded.event_names(), compiled.event_names());
+  for (std::uint32_t s = 0; s < loaded.state_count(); ++s) {
+    EXPECT_EQ(loaded.accepting(s), compiled.accepting(s));
+    EXPECT_EQ(loaded.live(s), compiled.live(s));
+  }
+  // Re-serialization is byte-identical (the format is canonical).
+  EXPECT_EQ(loaded.to_bytes(), bytes);
+}
+
+TEST_F(TableTest, TruncationAtEveryLengthThrows) {
+  const std::string bytes =
+      CompiledDfa::compile(valve_dfa(), table_).to_bytes();
+  for (std::size_t length = 0; length < bytes.size(); ++length) {
+    SymbolTable scratch;
+    EXPECT_THROW((void)CompiledDfa::from_bytes(bytes.substr(0, length),
+                                               scratch),
+                 support::BinaryFormatError)
+        << "prefix of length " << length << " decoded";
+  }
+}
+
+/// A decoded table must satisfy every structural invariant, whatever bytes
+/// produced it.
+void expect_valid(const CompiledDfa& table) {
+  ASSERT_GT(table.state_count(), 0u);
+  ASSERT_LT(table.initial(), table.state_count());
+  ASSERT_LT(table.sink(), table.state_count());
+  EXPECT_FALSE(table.live(table.sink()));
+  EXPECT_FALSE(table.accepting(table.sink()));
+  for (std::uint32_t s = 0; s < table.state_count(); ++s) {
+    for (CompiledDfa::Letter l = 0; l < table.letter_count(); ++l) {
+      const std::uint32_t next = table.step(s, l);
+      ASSERT_LT(next, table.state_count());
+      ASSERT_TRUE(table.live(next) || next == table.sink());
+    }
+  }
+}
+
+TEST_F(TableTest, EveryBitFlipRejectsOrStaysStructurallyValid) {
+  const std::string bytes =
+      CompiledDfa::compile(valve_dfa(), table_).to_bytes();
+  for (std::size_t bit = 0; bit < bytes.size() * 8; ++bit) {
+    std::string mutated = bytes;
+    mutated[bit / 8] = static_cast<char>(
+        static_cast<unsigned char>(mutated[bit / 8]) ^ (1u << (bit % 8)));
+    SymbolTable scratch;
+    try {
+      const CompiledDfa loaded = CompiledDfa::from_bytes(mutated, scratch);
+      expect_valid(loaded);  // a lucky flip may still be a valid table
+    } catch (const support::BinaryFormatError&) {
+      // structured rejection is the expected outcome
+    }
+  }
+}
+
+TEST_F(TableTest, TrailingGarbageThrows) {
+  const std::string bytes =
+      CompiledDfa::compile(valve_dfa(), table_).to_bytes();
+  SymbolTable scratch;
+  EXPECT_THROW((void)CompiledDfa::from_bytes(bytes + "x", scratch),
+               support::BinaryFormatError);
+}
+
+TEST_F(TableTest, RandomBytesNeverCrashTheDecoder) {
+  std::mt19937_64 rng(23);
+  for (int round = 0; round < 2000; ++round) {
+    std::string bytes(rng() % 128, '\0');
+    for (char& byte : bytes) byte = static_cast<char>(rng());
+    SymbolTable scratch;
+    try {
+      const CompiledDfa loaded = CompiledDfa::from_bytes(bytes, scratch);
+      expect_valid(loaded);
+    } catch (const support::BinaryFormatError&) {
+    }
+  }
+}
+
+TEST_F(TableTest, SingleAcceptingInitialStateCompiles) {
+  // Degenerate but legal: one state, empty-usage-only class.
+  SymbolTable symbols;
+  const Symbol ping = symbols.intern("ping");
+  Dfa dfa(1, {ping});
+  dfa.set_transition(0, 0, 0);
+  dfa.set_accepting(0, true);
+  const CompiledDfa compiled = CompiledDfa::compile(dfa, symbols);
+  EXPECT_EQ(compiled.state_count(), 2u);
+  EXPECT_TRUE(compiled.live(0));
+  EXPECT_EQ(compiled.step(0, 0), 0u);
+  SymbolTable other;
+  const CompiledDfa loaded =
+      CompiledDfa::from_bytes(compiled.to_bytes(), other);
+  EXPECT_EQ(loaded.cells(), compiled.cells());
+}
+
+}  // namespace
+}  // namespace shelley::fsm

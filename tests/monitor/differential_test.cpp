@@ -1,0 +1,277 @@
+// The randomized differential suite pinning the compiled monitoring path:
+// over seeded generated class specs and seeded event traces,
+//   * core::Monitor (CompiledDfa walk) must produce verdict sequences
+//     byte-identical to a reference reimplementation of the legacy
+//     DFA-walk monitor,
+//   * non-violating prefixes must agree with direct fsm::Dfa simulation
+//     (completed() iff the DFA accepts the prefix),
+//   * a Monitor rebuilt from serialized compiled-table bytes must agree
+//     event for event,
+//   * StreamChecker must agree with a fleet of per-device Monitors on
+//     every counter.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "fsm/ops.hpp"
+#include "fsm/table.hpp"
+#include "monitor/stream.hpp"
+#include "shelley/automata.hpp"
+#include "shelley/monitor.hpp"
+#include "shelley/spec.hpp"
+#include "upy/parser.hpp"
+
+namespace shelley::core {
+namespace {
+
+/// A seeded random @sys class: `ops` operations, each exiting to 1-3
+/// random targets via if/elif branches; op0 is initial, a random nonempty
+/// subset is final.  Always a well-formed parseable spec.
+std::string random_class_source(std::mt19937_64& rng, std::size_t ops) {
+  std::string out = "@sys\nclass Gen:\n";
+  for (std::size_t i = 0; i < ops; ++i) {
+    const bool final_op = i == ops - 1 || rng() % 3 == 0;
+    if (i == 0) {
+      out += final_op ? "    @op_initial_final\n" : "    @op_initial\n";
+    } else {
+      out += final_op ? "    @op_final\n" : "    @op\n";
+    }
+    out += "    def op" + std::to_string(i) + "(self):\n";
+    const std::size_t exits = 1 + rng() % 3;
+    if (exits == 1) {
+      out += "        return [\"op" + std::to_string(rng() % ops) + "\"]\n";
+    } else {
+      out += "        if x:\n";
+      for (std::size_t e = 0; e + 1 < exits; ++e) {
+        out += "            return [\"op" + std::to_string(rng() % ops) +
+               "\"]\n";
+        if (e + 2 < exits) out += "        elif y:\n";
+      }
+      out += "        else:\n";
+      out += "            return [\"op" + std::to_string(rng() % ops) +
+             "\"]\n";
+    }
+  }
+  return out;
+}
+
+/// The legacy monitor semantics, reimplemented directly on the minimal
+/// DFA: latch after any violation; unknown symbols and symbols outside
+/// the alphabet violate without moving; entering a non-live state
+/// violates (and moves); otherwise kOk when a final operation is still
+/// reachable, kDoomed when not.
+class ReferenceMonitor {
+ public:
+  ReferenceMonitor(const fsm::Dfa& dfa, const SymbolTable& table)
+      : dfa_(&dfa), table_(&table), state_(dfa.initial()) {
+    live_ = live_states(dfa);
+  }
+
+  Verdict feed(std::string_view operation) {
+    if (violated_) return Verdict::kViolation;
+    const std::optional<Symbol> symbol = table_->lookup(operation);
+    if (!symbol.has_value()) return violate();
+    const std::optional<std::size_t> letter = dfa_->letter_index(*symbol);
+    if (!letter.has_value()) return violate();
+    const fsm::StateId next = dfa_->transition(state_, *letter);
+    if (!live_[next]) {
+      state_ = next;
+      return violate();
+    }
+    state_ = next;
+    return live_[state_] ? Verdict::kOk : Verdict::kDoomed;
+  }
+
+  [[nodiscard]] bool completed() const {
+    return !violated_ && dfa_->is_accepting(state_);
+  }
+  [[nodiscard]] bool can_complete() const {
+    return !violated_ && live_[state_];
+  }
+  [[nodiscard]] bool violated() const { return violated_; }
+
+ private:
+  Verdict violate() {
+    violated_ = true;
+    return Verdict::kViolation;
+  }
+
+  /// Backward reachability: states from which an accepting state is
+  /// reachable (including accepting states themselves).
+  static std::vector<bool> live_states(const fsm::Dfa& dfa) {
+    std::vector<bool> live(dfa.state_count(), false);
+    bool changed = true;
+    for (fsm::StateId s = 0; s < dfa.state_count(); ++s) {
+      live[s] = dfa.is_accepting(s);
+    }
+    while (changed) {
+      changed = false;
+      for (fsm::StateId s = 0; s < dfa.state_count(); ++s) {
+        if (live[s]) continue;
+        for (std::size_t l = 0; l < dfa.alphabet().size(); ++l) {
+          if (live[dfa.transition(s, l)]) {
+            live[s] = true;
+            changed = true;
+            break;
+          }
+        }
+      }
+    }
+    return live;
+  }
+
+  const fsm::Dfa* dfa_;
+  const SymbolTable* table_;
+  fsm::StateId state_;
+  std::vector<bool> live_;
+  bool violated_ = false;
+};
+
+TEST(MonitorDifferential, CompiledVerdictsMatchLegacyWalkOnRandomTraces) {
+  std::mt19937_64 rng(2026);
+  for (int spec_round = 0; spec_round < 25; ++spec_round) {
+    const std::size_t ops = 2 + rng() % 6;
+    const std::string source = random_class_source(rng, ops);
+    const upy::Module module = upy::parse_module(source);
+    DiagnosticEngine diagnostics;
+    const ClassSpec spec =
+        extract_class_spec(module.classes.at(0), diagnostics);
+    SymbolTable symbols;
+    const fsm::Dfa dfa =
+        fsm::minimize(fsm::determinize(usage_nfa(spec, symbols)));
+
+    // Event pool: every declared op plus two names outside the alphabet.
+    std::vector<std::string> pool;
+    for (std::size_t i = 0; i < ops; ++i) {
+      pool.push_back("op" + std::to_string(i));
+    }
+    pool.push_back("bogus");
+    pool.push_back("op" + std::to_string(ops + 7));
+
+    for (int trace = 0; trace < 20; ++trace) {
+      Monitor compiled(symbols, dfa);
+      ReferenceMonitor reference(dfa, symbols);
+      // The serialized round trip must walk identically too.
+      SymbolTable fresh;
+      const fsm::CompiledDfa decoded = fsm::CompiledDfa::from_bytes(
+          compiled.compiled().to_bytes(), fresh);
+
+      std::uint32_t decoded_state = decoded.initial();
+      bool decoded_violated = false;
+      const std::size_t length = 1 + rng() % 24;
+      for (std::size_t i = 0; i < length; ++i) {
+        const std::string& event = pool[rng() % pool.size()];
+        const Verdict expected = reference.feed(event);
+        EXPECT_EQ(compiled.feed(event), expected)
+            << "spec " << spec_round << " trace " << trace << " event "
+            << event << "\n" << source;
+        EXPECT_EQ(compiled.violated(), reference.violated());
+        EXPECT_EQ(compiled.completed(), reference.completed());
+        EXPECT_EQ(compiled.can_complete(), reference.can_complete());
+
+        if (!decoded_violated) {
+          const fsm::CompiledDfa::Letter letter = decoded.letter_of(event);
+          if (letter == fsm::CompiledDfa::kNoLetter) {
+            decoded_violated = true;
+          } else {
+            decoded_state = decoded.step(decoded_state, letter);
+            decoded_violated = !decoded.live(decoded_state);
+          }
+          EXPECT_EQ(decoded_violated, expected == Verdict::kViolation);
+        }
+      }
+    }
+  }
+}
+
+TEST(MonitorDifferential, NonViolatingPrefixesAgreeWithDfaSimulation) {
+  std::mt19937_64 rng(4177);
+  for (int spec_round = 0; spec_round < 15; ++spec_round) {
+    const std::string source = random_class_source(rng, 2 + rng() % 5);
+    const upy::Module module = upy::parse_module(source);
+    DiagnosticEngine diagnostics;
+    const ClassSpec spec =
+        extract_class_spec(module.classes.at(0), diagnostics);
+    SymbolTable symbols;
+    const fsm::Dfa dfa =
+        fsm::minimize(fsm::determinize(usage_nfa(spec, symbols)));
+    for (int trace = 0; trace < 20; ++trace) {
+      Monitor monitor(symbols, dfa);
+      Word word;
+      for (int i = 0; i < 16; ++i) {
+        const std::string event =
+            "op" + std::to_string(rng() % spec.operations.size());
+        if (monitor.feed(event) == Verdict::kViolation) break;
+        word.push_back(*symbols.lookup(event));
+        EXPECT_EQ(monitor.completed(), dfa.accepts(word));
+      }
+    }
+  }
+}
+
+TEST(MonitorDifferential, StreamCheckerAgreesWithMonitorFleet) {
+  std::mt19937_64 rng(90125);
+  for (int spec_round = 0; spec_round < 10; ++spec_round) {
+    const std::size_t ops = 2 + rng() % 5;
+    const std::string source = random_class_source(rng, ops);
+    const upy::Module module = upy::parse_module(source);
+    DiagnosticEngine diagnostics;
+    const ClassSpec spec =
+        extract_class_spec(module.classes.at(0), diagnostics);
+    SymbolTable symbols;
+    const fsm::Dfa dfa =
+        fsm::minimize(fsm::determinize(usage_nfa(spec, symbols)));
+    const fsm::CompiledDfa table = fsm::CompiledDfa::compile(dfa, symbols);
+
+    constexpr std::size_t kDevices = 12;
+    monitor::StreamChecker::Options options;
+    options.shards = 1 + spec_round % 5;
+    monitor::StreamChecker checker(table, options);
+    std::vector<Monitor> fleet;
+    fleet.reserve(kDevices);
+    for (std::size_t d = 0; d < kDevices; ++d) {
+      fleet.emplace_back(symbols, dfa);
+    }
+
+    std::uint64_t expected_ok = 0;
+    std::uint64_t expected_violations = 0;
+    std::string chunk;
+    for (int i = 0; i < 400; ++i) {
+      const std::size_t device = rng() % kDevices;
+      const std::string event =
+          rng() % 8 == 0 ? "bogus"
+                         : "op" + std::to_string(rng() % (ops + 1));
+      chunk += "{\"device\":\"d" + std::to_string(device) +
+               "\",\"op\":\"" + event + "\"}\n";
+      if (fleet[device].feed(event) == Verdict::kViolation) {
+        ++expected_violations;
+      } else {
+        ++expected_ok;
+      }
+      if (i % 37 == 0) {  // uneven batch boundaries
+        checker.ingest_ndjson(chunk);
+        chunk.clear();
+      }
+    }
+    checker.ingest_ndjson(chunk);
+
+    EXPECT_EQ(checker.stats().events, 400u);
+    EXPECT_EQ(checker.stats().ok, expected_ok);
+    EXPECT_EQ(checker.stats().violations, expected_violations);
+    std::uint64_t completed = 0, violated = 0;
+    for (const Monitor& monitor : fleet) {
+      if (monitor.violated()) {
+        ++violated;
+      } else if (monitor.completed()) {
+        ++completed;
+      }
+    }
+    EXPECT_EQ(checker.violated_devices(), violated);
+    EXPECT_EQ(checker.completed_devices(), completed);
+  }
+}
+
+}  // namespace
+}  // namespace shelley::core

@@ -17,6 +17,7 @@
 #include <gtest/gtest.h>
 
 #include "fsm/dfa.hpp"
+#include "fsm/table.hpp"
 #include "shelley/fingerprint.hpp"
 #include "shelley/verifier.hpp"
 #include "support/hash.hpp"
@@ -230,6 +231,113 @@ TEST(Cache, CorruptDfaPayloadDegradesToMiss) {
   const CacheStats stats = cache.stats();
   EXPECT_EQ(stats.hits, 0u);
   EXPECT_EQ(stats.invalidations, 1u);
+}
+
+TEST(Cache, CompiledTableRoundTrip) {
+  BehaviorCache cache(fresh_dir("table"));
+  SymbolTable table;
+  const Symbol ping = table.intern("ping");
+  fsm::Dfa dfa(2, {ping});
+  dfa.set_transition(0, 0, 1);
+  dfa.set_transition(1, 0, 1);
+  dfa.set_accepting(1, true);
+  const fsm::CompiledDfa compiled = fsm::CompiledDfa::compile(dfa, table);
+
+  const auto key = key_of("Pinger");
+  ASSERT_TRUE(cache.store_table(key, compiled));
+
+  SymbolTable other;
+  other.intern("unrelated");
+  const auto loaded = cache.load_table(key, other);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->cells(), compiled.cells());
+  EXPECT_EQ(loaded->event_names(), compiled.event_names());
+  EXPECT_EQ(loaded->to_bytes(), compiled.to_bytes());
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.stores, 1u);
+}
+
+TEST(Cache, TableKindIsDistinctFromDfaKind) {
+  // A stored table must not answer a DFA load of the same key (and vice
+  // versa): the kind is part of the entry identity.
+  BehaviorCache cache(fresh_dir("table_kind"));
+  SymbolTable table;
+  const Symbol ping = table.intern("ping");
+  fsm::Dfa dfa(1, {ping});
+  dfa.set_transition(0, 0, 0);
+  dfa.set_accepting(0, true);
+  const auto key = key_of("Pinger");
+  ASSERT_TRUE(cache.store_table(key, fsm::CompiledDfa::compile(dfa, table)));
+  SymbolTable scratch;
+  EXPECT_FALSE(cache.load_dfa(key, scratch).has_value());
+  EXPECT_TRUE(cache.load_table(key, scratch).has_value());
+}
+
+TEST(Cache, CorruptTablePayloadDegradesToMiss) {
+  // Well-framed entry, garbage payload: framing passes, the table decoder
+  // rejects, and the hit is re-counted as an invalidation.
+  BehaviorCache cache(fresh_dir("table_corrupt"));
+  const auto key = key_of("Pinger");
+  const std::string image = BehaviorCache::encode_file(
+      key, BehaviorCache::Kind::kTable, "not a compiled table");
+  write_file(cache.entry_path(key, BehaviorCache::Kind::kTable), image);
+  SymbolTable table;
+  EXPECT_FALSE(cache.load_table(key, table).has_value());
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.invalidations, 1u);
+}
+
+TEST(Cache, TableTruncationAndBitFlipsDegradeToCountedMisses) {
+  // The full adversarial sweep over the on-disk image: every truncation
+  // and every bit flip must load as nullopt (a miss or a counted
+  // invalidation), never crash, never replay garbage.
+  SymbolTable table;
+  const Symbol a = table.intern("a");
+  const Symbol b = table.intern("b");
+  fsm::Dfa dfa(3, {a, b});
+  dfa.set_transition(0, 0, 1);
+  dfa.set_transition(0, 1, 2);
+  dfa.set_transition(1, 0, 2);
+  dfa.set_transition(1, 1, 0);
+  dfa.set_transition(2, 0, 2);
+  dfa.set_transition(2, 1, 2);
+  dfa.set_accepting(2, true);
+  const fsm::CompiledDfa compiled = fsm::CompiledDfa::compile(dfa, table);
+  const auto key = key_of("Flipper");
+
+  std::string image;
+  {
+    BehaviorCache cache(fresh_dir("table_image"));
+    ASSERT_TRUE(cache.store_table(key, compiled));
+    image = read_file(cache.entry_path(key, BehaviorCache::Kind::kTable));
+  }
+
+  BehaviorCache cache(fresh_dir("table_adversarial"));
+  const std::string path =
+      cache.entry_path(key, BehaviorCache::Kind::kTable);
+  std::uint64_t rejected = 0;
+  for (std::size_t length = 0; length < image.size(); length += 7) {
+    write_file(path, image.substr(0, length));
+    SymbolTable scratch;
+    if (!cache.load_table(key, scratch).has_value()) ++rejected;
+  }
+  for (std::size_t bit = 0; bit < image.size() * 8; bit += 11) {
+    std::string mutated = image;
+    mutated[bit / 8] = static_cast<char>(
+        static_cast<unsigned char>(mutated[bit / 8]) ^ (1u << (bit % 8)));
+    write_file(path, mutated);
+    SymbolTable scratch;
+    (void)cache.load_table(key, scratch);  // must not crash
+  }
+  EXPECT_GT(rejected, 0u);
+  // The pristine image still loads after the storm.
+  write_file(path, image);
+  SymbolTable scratch;
+  const auto loaded = cache.load_table(key, scratch);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->cells(), compiled.cells());
 }
 
 TEST(Cache, ArtifactRoundTripPreservesBytes) {

@@ -110,6 +110,84 @@ class OneWay:
   EXPECT_NE(monitor.feed("enter"), Verdict::kOk);
 }
 
+TEST_F(MonitorTest, HistoryIsBoundedByTheRingLimit) {
+  Monitor monitor(valve_, table_);
+  monitor.set_history_limit(4);
+  for (int cycle = 0; cycle < 10; ++cycle) {
+    monitor.feed("test");
+    monitor.feed("open");
+    monitor.feed("close");
+  }
+  EXPECT_FALSE(monitor.violated());
+  EXPECT_EQ(monitor.events_fed(), 30u);
+  // Between limit and 2x limit entries are retained (amortized trimming).
+  EXPECT_GE(monitor.history().size(), 4u);
+  EXPECT_LT(monitor.history().size(), 8u);
+  // The retained suffix is the most recent calls, in order.
+  EXPECT_EQ(monitor.history().back(), "close");
+}
+
+TEST_F(MonitorTest, HistoryLimitZeroKeepsEverything) {
+  Monitor monitor(valve_, table_);
+  monitor.set_history_limit(0);
+  for (int cycle = 0; cycle < 1000; ++cycle) {
+    monitor.feed("test");
+    monitor.feed("clean");
+  }
+  EXPECT_EQ(monitor.history().size(), 2000u);
+  EXPECT_EQ(monitor.events_fed(), 2000u);
+}
+
+TEST_F(MonitorTest, DefaultHistoryLimitBoundsUnboundedStreams) {
+  Monitor monitor(valve_, table_);
+  ASSERT_EQ(monitor.history_limit(), Monitor::kDefaultHistoryLimit);
+  for (std::size_t i = 0; i < Monitor::kDefaultHistoryLimit * 5; ++i) {
+    monitor.feed(i % 2 == 0 ? "test" : "clean");
+  }
+  EXPECT_LT(monitor.history().size(), Monitor::kDefaultHistoryLimit * 2);
+  EXPECT_EQ(monitor.events_fed(), Monitor::kDefaultHistoryLimit * 5);
+}
+
+TEST_F(MonitorTest, FeedLetterMatchesFeedByName) {
+  Monitor by_name(valve_, table_);
+  Monitor by_letter(valve_, table_);
+  const char* trace[] = {"test", "open", "close", "close"};
+  for (const char* op : trace) {
+    const fsm::CompiledDfa::Letter letter =
+        by_letter.compiled().letter_of(op);
+    EXPECT_EQ(by_letter.feed_letter(letter), by_name.feed(op));
+    EXPECT_EQ(by_letter.violated(), by_name.violated());
+    EXPECT_EQ(by_letter.completed(), by_name.completed());
+  }
+  // Letter feeds count events but record no history.
+  EXPECT_EQ(by_letter.events_fed(), 4u);
+  EXPECT_TRUE(by_letter.history().empty());
+  EXPECT_EQ(by_name.history().size(), 4u);
+}
+
+TEST_F(MonitorTest, UnknownLetterIsViolation) {
+  Monitor monitor(valve_, table_);
+  EXPECT_EQ(monitor.feed_letter(fsm::CompiledDfa::kNoLetter),
+            Verdict::kViolation);
+  EXPECT_TRUE(monitor.violated());
+}
+
+TEST_F(MonitorTest, AllowedNextLetterOverloadMatchesStrings) {
+  Monitor monitor(valve_, table_);
+  std::vector<fsm::CompiledDfa::Letter> letters = {99, 98};  // stale scratch
+  monitor.feed("test");
+  monitor.allowed_next(letters);  // clears, then fills
+  const std::vector<std::string> names = monitor.allowed_next();
+  ASSERT_EQ(letters.size(), names.size());
+  for (std::size_t i = 0; i < letters.size(); ++i) {
+    EXPECT_EQ(monitor.compiled().event_name(letters[i]), names[i]);
+  }
+  monitor.feed("close");  // violation
+  monitor.allowed_next(letters);
+  EXPECT_TRUE(letters.empty());
+  EXPECT_TRUE(monitor.allowed_next().empty());
+}
+
 TEST_F(MonitorTest, MonitorAgreesWithUsageDfaOnRandomWords) {
   // Cross-check: the monitor accepts exactly the prefixes of valid usages.
   Monitor monitor(valve_, table_);

@@ -290,4 +290,29 @@ else
     echo "bench_to_json.sh: bench_ltlf not built; skipping" >&2
 fi
 
+# Streaming monitor: bench_monitor sweeps ~4M pre-encoded SMEV events of a
+# valid ring-200 random walk through monitor::StreamChecker (single shard,
+# multi-shard, and a violation-heavy control) and emits one JSON object --
+# ns/event, events/sec, per-batch latency quantiles -- on stdout.  Spliced
+# in as "monitor_stream"; the ns_per_event and p99_batch_us walls are
+# gated by tools/check_bench_regression.sh.
+bench_monitor="$build_dir/bench/bench_monitor"
+if [ -x "$bench_monitor" ]; then
+    if monitor_json=$("$bench_monitor" 2>/dev/null | tail -n 1) &&
+        [ -n "$monitor_json" ]; then
+        out="$root/BENCH_automata.json"
+        tmp="$out.tmp"
+        awk 'NR > 1 { print prev }
+             { prev = $0 }
+             END { sub(/}[[:space:]]*$/, "", prev); print prev }' "$out" > "$tmp"
+        printf ',"monitor_stream":%s}\n' "$monitor_json" >> "$tmp"
+        mv "$tmp" "$out"
+        echo "monitor_stream: $monitor_json"
+    else
+        echo "bench_to_json.sh: bench_monitor run failed; skipping" >&2
+    fi
+else
+    echo "bench_to_json.sh: bench_monitor not built; skipping" >&2
+fi
+
 echo "wrote $root/BENCH_automata.json"

@@ -8,8 +8,9 @@
 #
 # Compared metrics: every google-benchmark cpu_time (keyed by benchmark
 # name), the cold_ms/warm_ms walls of the spliced incremental_verify /
-# daemon_verify keys, and the p50_us/p99_us/wall_ms walls of the spliced
-# server_sessions key.  Ignored on purpose: higher-is-better fields
+# daemon_verify keys, the p50_us/p99_us/wall_ms walls of the spliced
+# server_sessions key, and the ns_per_event/p99_batch_us walls of each
+# monitor_stream configuration.  Ignored on purpose: higher-is-better fields
 # (speedup), the noisy per-class elapsed_ms inside pipeline_stats, and the
 # ablation families (BM_Ablation_*, BM_*_EagerProduct) -- those measure the
 # deliberately-unoptimized contrast algorithms, not shipped code paths, so
@@ -53,6 +54,16 @@ extract() {
         print prefix "/wall_ms " substr(blob, RSTART + 10, RLENGTH - 10)
       }
     }
+    # monitor_stream configurations: the per-event cost and the tail batch
+    # latency; the higher-is-better events_per_sec is skipped like speedup.
+    function emit_monitor(prefix, blob) {
+      if (match(blob, /"ns_per_event":[0-9.eE+-]+/)) {
+        print prefix "/ns_per_event " substr(blob, RSTART + 15, RLENGTH - 15)
+      }
+      if (match(blob, /"p99_batch_us":[0-9.eE+-]+/)) {
+        print prefix "/p99_batch_us " substr(blob, RSTART + 15, RLENGTH - 15)
+      }
+    }
     /^[[:space:]]*"name":/ {
       name = $0
       sub(/^[[:space:]]*"name":[[:space:]]*"/, "", name)
@@ -76,6 +87,18 @@ extract() {
       }
       if (match($0, /"server_sessions":\{[^}]*\}/)) {
         emit_latencies("server_sessions", substr($0, RSTART, RLENGTH))
+      }
+      if (match($0, /"monitor_stream":/)) {
+        rest = substr($0, RSTART)
+        if (match(rest, /"single":\{[^}]*\}/)) {
+          emit_monitor("monitor_stream/single", substr(rest, RSTART, RLENGTH))
+        }
+        if (match(rest, /"sharded":\{[^}]*\}/)) {
+          emit_monitor("monitor_stream/sharded", substr(rest, RSTART, RLENGTH))
+        }
+        if (match(rest, /"hostile":\{[^}]*\}/)) {
+          emit_monitor("monitor_stream/hostile", substr(rest, RSTART, RLENGTH))
+        }
       }
     }
   ' "$1"

@@ -10,7 +10,9 @@
 //   .rex          rex::parse
 //   .ltlf         ltlf::parse -> to_dfa (under a tight state budget)
 //   .smv          smv::parse_model
-//   .shc          cache entry decode (framing + verdict payload + DFA)
+//   .shc          cache entry decode (framing + verdict payload + DFA/table)
+//   .ndjson       StreamChecker NDJSON event ingestion
+//   .smev         StreamChecker binary (SMEV) frame decode
 //
 // The contract under test is the never-crash guarantee: every input either
 // succeeds or fails with a structured diagnostic/ParseError (ResourceError
@@ -32,9 +34,12 @@
 #include <string>
 #include <vector>
 
+#include "fsm/dfa.hpp"
 #include "fsm/serialize.hpp"
+#include "fsm/table.hpp"
 #include "ltlf/automaton.hpp"
 #include "ltlf/parser.hpp"
+#include "monitor/stream.hpp"
 #include "rex/parser.hpp"
 #include "shelley/cache.hpp"
 #include "shelley/verifier.hpp"
@@ -138,6 +143,23 @@ std::string mutate(const std::string& seed,
   return out;
 }
 
+/// The compiled table the event-stream fuzz targets walk: a small two-op
+/// lifecycle, built once.  The checker is reconstructed per input so a
+/// poisoned state never leaks between iterations.
+const fsm::CompiledDfa& fuzz_table() {
+  static SymbolTable symbols;
+  static const fsm::CompiledDfa table = [] {
+    fsm::Dfa dfa(2, {symbols.intern("start"), symbols.intern("stop")});
+    dfa.set_transition(0, 0, 1);  // start: idle -> busy
+    dfa.set_transition(0, 1, 0);  // stop from idle loops (self-loop default)
+    dfa.set_transition(1, 0, 1);
+    dfa.set_transition(1, 1, 0);  // stop: busy -> idle
+    dfa.set_accepting(0, true);
+    return fsm::CompiledDfa::compile(dfa, symbols);
+  }();
+  return table;
+}
+
 /// Runs one mutated input through the pipeline for its extension.  Returns
 /// true when the contract held (success or structured error).
 bool run_one(const std::string& extension, const std::string& input) {
@@ -159,6 +181,30 @@ bool run_one(const std::string& extension, const std::string& input) {
       (void)ltlf::to_dfa(formula, {});
     } else if (extension == ".smv") {
       (void)smv::parse_model(input);
+    } else if (extension == ".ndjson") {
+      // The streaming monitor's text surface: malformed lines must be
+      // counted, never thrown; partial trailing lines stay unconsumed.
+      monitor::StreamChecker checker(fuzz_table());
+      std::string stream = input;
+      const std::size_t consumed = checker.ingest_ndjson(stream);
+      if (consumed < stream.size()) {
+        stream.erase(0, consumed);
+        stream.push_back('\n');
+        (void)checker.ingest_ndjson(stream);
+      }
+      (void)checker.stats();
+      (void)checker.violations();
+    } else if (extension == ".smev") {
+      // The binary frame decoder: mutated frames either parse and check,
+      // stop at a partial frame, or reject with BinaryFormatError -- and a
+      // rejected frame must have checked nothing from that frame.
+      monitor::StreamChecker checker(fuzz_table());
+      try {
+        (void)monitor::ingest_binary_stream(checker, input);
+      } catch (const support::BinaryFormatError&) {
+        // Structured rejection is the contract.
+      }
+      (void)checker.stats();
     } else if (extension == ".shc") {
       // The cache loader's adversarial surface: mutated entries must decode
       // to nullopt (a structured miss) or a valid value -- never crash.
@@ -179,13 +225,20 @@ bool run_one(const std::string& extension, const std::string& input) {
       }
       for (const auto kind : {core::BehaviorCache::Kind::kVerdict,
                               core::BehaviorCache::Kind::kDfa,
-                              core::BehaviorCache::Kind::kArtifact}) {
+                              core::BehaviorCache::Kind::kArtifact,
+                              core::BehaviorCache::Kind::kTable}) {
         if (const auto payload =
                 core::BehaviorCache::decode_file(input, key, kind)) {
           (void)core::BehaviorCache::decode_verdict(*payload);
           try {
             SymbolTable table;
             (void)fsm::dfa_from_bytes(*payload, table);
+          } catch (const support::BinaryFormatError&) {
+            // Structured rejection is the contract.
+          }
+          try {
+            SymbolTable table;
+            (void)fsm::CompiledDfa::from_bytes(*payload, table);
           } catch (const support::BinaryFormatError&) {
             // Structured rejection is the contract.
           }
